@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each experiment benchmark runs the corresponding module from
+``repro.bench.experiments`` once (``benchmark.pedantic`` with a single
+round: the experiments measure their own internals where timing matters)
+and asserts the paper's qualitative claims on the result.  Run with
+``pytest benchmarks/ --benchmark-only`` and ``-s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run one experiment module under the benchmark fixture and print it."""
+
+    def _run(module, scale: str = "quick", **kwargs):
+        result = benchmark.pedantic(
+            lambda: module.run(scale, **kwargs), iterations=1, rounds=1
+        )
+        print()
+        result.print()
+        return result
+
+    return _run

@@ -1,0 +1,17 @@
+"""CAL bench — probabilistic calibration of the TR predictions."""
+
+from repro.bench.experiments import calibration_exp
+
+
+def test_calibration(run_experiment):
+    result = run_experiment(calibration_exp)
+    # The SMP's probabilities are well calibrated...
+    assert result.notes["smp_ece"] < 0.10
+    # ...and beat the LAST baseline on both Brier score and reliability.
+    assert result.notes["smp_brier"] < result.notes["last_brier"]
+    assert result.notes["smp_better_calibrated"]
+    # The reliability diagram hugs the diagonal in well-populated bins.
+    diagram = result.table("CAL reliability diagram (SMP)")
+    for predicted, observed, count in diagram.rows:
+        if count >= 50:
+            assert abs(predicted - observed) < 0.15

@@ -1,0 +1,21 @@
+"""CHAR bench — availability characterization of the testbed."""
+
+from repro.bench.experiments import characterization
+
+
+def test_characterization(run_experiment):
+    result = run_experiment(characterization)
+    # Failures exist and their durations fit a light-tailed family well
+    # (the synthesizer draws from exponential/uniform mixtures).
+    assert result.notes["n_unavailability_events"] > 100
+    assert result.notes["duration_best_fit"] in ("exponential", "weibull", "lognormal")
+    # A real diurnal pattern exists (the SMP's pooling premise)...
+    assert result.notes["mean_diurnal_R2"] > 0.15
+    # ...and 8:00 is a low-risk hour relative to the peak — the paper's
+    # rationale for injecting noise there.
+    assert result.notes["intensity_8h_vs_peak"] < 0.6
+    # The failure calendar covers all 24 hours.
+    calendar = result.table(
+        "CHAR weekday failure intensity by hour (events/day, pooled)"
+    )
+    assert len(calendar.rows) == 24

@@ -1,0 +1,19 @@
+"""E2E bench — TR-aware vs oblivious scheduling (extension)."""
+
+from repro.bench.experiments import e2e
+
+
+def test_e2e_scheduling(run_experiment):
+    result = run_experiment(e2e)
+    table = result.tables[0]
+    # Everything completes under every policy.
+    for row in table.rows:
+        done, total = str(row[2]).split("/")
+        assert done == total
+    # The paper's motivation: proactive (prediction-aware) management
+    # improves guest job response time over oblivious placement.
+    assert result.notes["predictive_fewer_failures_than_random"]
+    assert (
+        result.notes["predictive_response_h"]
+        <= result.notes["random_response_h"] * 1.10
+    )

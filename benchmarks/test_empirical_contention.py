@@ -1,0 +1,37 @@
+"""EMP-CPU / EMP-MEM benches — the Section-3.2 empirical studies."""
+
+from repro.bench.experiments import empirical_cpu, empirical_mem
+
+
+def test_empirical_cpu(run_experiment):
+    result = run_experiment(empirical_cpu)
+    # The two thresholds exist, are ordered, and land near the paper's
+    # testbed values (Th1 = 20%, Th2 = 60%).
+    th1, th2 = result.notes["th1"], result.notes["th2"]
+    assert 0.10 <= th1 <= 0.35
+    assert 0.45 <= th2 <= 0.80
+    assert th1 < th2
+    # Guest CPU utilization decreases with host group size and the
+    # decline saturates beyond size 5.
+    assert result.notes["guest_util_decreases"]
+    assert result.notes["saturates_beyond_5"]
+    # Priority alternatives: intermediate nices are redundant, and
+    # always-nice-19 costs the guest throughput under light load.
+    alt = result.table("EMP-CPU priority-control alternatives")
+    light = [r for r in alt.rows if r[1] == 0.1]
+    by_nice = {r[0]: r for r in light}
+    assert by_nice[19][3] < by_nice[0][3]  # guest utilization
+    assert abs(by_nice[10][2] - by_nice[19][2]) < max(2.0, by_nice[0][2])
+
+
+def test_empirical_mem(run_experiment):
+    result = run_experiment(empirical_mem)
+    assert result.notes["thrashing_iff_overcommit"]
+    assert result.notes["n_thrashing_configs"] > 0
+    # Thrashing is priority-insensitive and always a noticeable slowdown.
+    assert result.notes["priority_gap_under_thrashing"] < 0.10
+    assert result.notes["mean_thrashing_reduction_pct"] > 5.0
+    # With sufficient memory the slowdown is the (small) CPU-only one.
+    assert result.notes["mean_fitting_reduction_pct"] < result.notes[
+        "mean_thrashing_reduction_pct"
+    ]

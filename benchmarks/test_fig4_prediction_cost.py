@@ -1,0 +1,19 @@
+"""FIG4 bench — prediction cost vs window length (paper Figure 4)."""
+
+from repro.bench.experiments import fig4
+
+
+def test_fig4_prediction_cost(run_experiment):
+    result = run_experiment(fig4)
+    table = result.tables[0]
+    totals = table.column("total_ms")
+    # Cost grows with the window length...
+    assert totals[-1] > totals[0]
+    # ...superlinearly in the number of recursive steps (paper: ~1.85;
+    # NumPy-vectorized inner products flatten the exponent, but it must
+    # stay above linear).
+    assert result.notes["growth_exponent"] > 1.0
+    # The paper's headline: under 0.006% of a job's own execution time.
+    assert result.notes["max_job_overhead_pct"] < 0.006
+    # Q/H estimation is the smaller share of the total at 10 h.
+    assert result.notes["qh_fraction_at_10h"] < 0.5

@@ -1,0 +1,20 @@
+"""FIG5 bench — accuracy of the SMP prediction (paper Figure 5a/5b)."""
+
+from repro.bench.experiments import fig5
+
+
+def test_fig5_accuracy(run_experiment):
+    result = run_experiment(fig5)
+    weekdays = result.table("Fig5 weekdays")
+    weekends = result.table("Fig5 weekends")
+    for table in (weekdays, weekends):
+        avgs = table.column("avg_error_pct")
+        mins = table.column("min_error_pct")
+        # Error grows with the window length (paper: TR -> 0 for large T).
+        assert avgs[-1] > avgs[0]
+        # Best-case windows are predicted almost exactly (paper's bars
+        # touch ~0).
+        assert min(mins) < 5.0
+        # Short windows stay accurate (paper: ~5% average at 1 h).
+        assert avgs[0] < 35.0
+    assert result.notes["error_grows_with_length_weekdays"]

@@ -1,0 +1,23 @@
+"""TAB1+FIG7 bench — SMP vs linear time-series models (Table 1, Fig. 7)."""
+
+import numpy as np
+
+from repro.bench.experiments import fig7
+
+
+def test_fig7_baselines(run_experiment):
+    result = run_experiment(fig7)
+    table = result.tables[0]
+    # All five Table-1 models are present.
+    assert list(table.columns[2:]) == ["AR(8)", "BM(8)", "MA(8)", "ARMA(8,8)", "LAST"]
+    # Paper observation (1): the SMP performs better than all five
+    # linear models on these windows.
+    assert result.notes["smp_beats_all_models"]
+    # Paper observation (2): linear models are adept at *short-term*
+    # prediction — their disadvantage grows with the window length.
+    smp = np.asarray(table.column("SMP"), dtype=float)
+    for name in table.columns[2:]:
+        col = np.asarray(table.column(name), dtype=float)
+        ok = np.isfinite(col) & np.isfinite(smp)
+        gaps = col[ok] - smp[ok]
+        assert gaps[-1] >= gaps[0] - 1e-9, name

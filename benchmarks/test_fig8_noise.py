@@ -1,0 +1,19 @@
+"""FIG8 bench — robustness to injected noise (paper Figure 8)."""
+
+import numpy as np
+
+from repro.bench.experiments import fig8
+
+
+def test_fig8_noise(run_experiment):
+    result = run_experiment(fig8)
+    table = result.tables[0]
+    short = np.asarray(table.column("T=1h"), dtype=float)
+    # Discrepancy grows with the amount of injected noise.
+    assert short[-1] > short[0]
+    # Paper observation: predictions on smaller windows are more
+    # sensitive to noise than larger ones.
+    assert result.notes["short_window_more_sensitive"]
+    # A single injected event barely moves any prediction.
+    first_row = [v for v in table.rows[0][1:]]
+    assert max(first_row) < 20.0

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the hot kernels (true timing benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import StateClassifier
+from repro.core.smp import SmpKernel, estimate_kernel, failure_probabilities
+from repro.traces.synthesis import synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def random_kernel():
+    rng = np.random.default_rng(0)
+    n = 3000
+    k = np.zeros((8, n + 1))
+    for rows in (slice(0, 4), slice(4, 8)):
+        raw = rng.random((4, n))
+        raw /= raw.sum()
+        k[rows, 1:] = raw * 0.8
+    return SmpKernel(k, 6.0)
+
+
+@pytest.fixture(scope="module")
+def day_sequences():
+    rng = np.random.default_rng(1)
+    seqs = []
+    for _ in range(40):
+        s = np.ones(1200, dtype=np.int8)
+        i = 0
+        while i < 1200:
+            ln = int(rng.integers(5, 60))
+            s[i : i + ln] = int(rng.choice([1, 1, 2, 2, 3]))
+            i += ln
+        seqs.append(s)
+    return seqs
+
+
+def test_solver_speed_horizon_3000(benchmark, random_kernel):
+    """The Eq.-3 recursion at a 5 h window with d = 6 s."""
+    result = benchmark(failure_probabilities, random_kernel, 1)
+    assert 0.0 <= result.sum() <= 1.0
+
+
+def test_kernel_estimation_speed(benchmark, day_sequences):
+    """Q/H estimation from 40 pooled history windows."""
+    kern = benchmark(estimate_kernel, day_sequences, 1200, 6.0)
+    assert kern.horizon == 1200
+
+
+def test_classifier_speed_one_day(benchmark):
+    """Classifying one day of 6-second samples."""
+    trace = synthesize_trace("micro", n_days=1, sample_period=6.0, seed=2)
+    clf = StateClassifier()
+    states = benchmark(clf.classify_trace, trace)
+    assert states.shape[0] == trace.n_samples
+
+
+def test_synthesis_speed_one_week(benchmark):
+    """Synthesizing one week of 6-second samples."""
+    trace = benchmark(
+        synthesize_trace, "micro2", n_days=7, sample_period=6.0, seed=3
+    )
+    assert trace.n_days == 7

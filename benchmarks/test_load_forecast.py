@@ -1,0 +1,15 @@
+"""LOAD bench — native load-forecast quality of the linear models."""
+
+from repro.bench.experiments import load_forecast
+
+
+def test_load_forecast(run_experiment):
+    result = run_experiment(load_forecast)
+    table = result.tables[0]
+    # All six models evaluated on shared origins.
+    assert len(table.columns) == 7
+    assert result.notes["n_origins"] > 0
+    # Their home game: short-horizon load MAE is small in absolute terms.
+    assert result.notes["short_horizon_mae"] < 0.15
+    # And error still grows with look-ahead — the seed of the Fig.-7 gap.
+    assert result.notes["error_grows_with_lookahead"]

@@ -1,0 +1,12 @@
+"""OVH bench — monitoring and prediction overhead (Section 7.1)."""
+
+from repro.bench.experiments import overhead
+
+
+def test_monitor_overhead(run_experiment):
+    result = run_experiment(overhead)
+    # Paper: monitoring consumed < 1% CPU at a 6 s period.
+    assert result.notes["monitor_overhead_pct"] < 1.0
+    # Paper: prediction adds < 0.006% to a 10 h job.
+    assert result.notes["prediction_job_overhead_pct"] < 0.006
+    assert result.notes["samples_taken"] > 0

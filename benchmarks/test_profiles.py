@@ -1,0 +1,16 @@
+"""PROF bench — prediction across workload-pattern testbeds (future work)."""
+
+from repro.bench.experiments import profiles_exp
+
+
+def test_profiles(run_experiment):
+    result = run_experiment(profiles_exp)
+    table = result.tables[0]
+    profiles = table.column("profile")
+    assert set(profiles) == {"student-lab", "office-desktop", "server-room"}
+    # The paper's expectation: the prediction "will perform well" on the
+    # other testbeds too — average errors stay in a usable range.
+    assert result.notes["all_profiles_usable"]
+    # Each testbed produced real failure activity to predict.
+    for events_per_day in table.column("events_per_day"):
+        assert events_per_day > 0.1

@@ -1,0 +1,17 @@
+"""SIZE bench — job sizing from TR profiles."""
+
+from repro.bench.experiments import sizing
+
+
+def test_sizing(run_experiment):
+    result = run_experiment(sizing)
+    table = result.tables[0]
+    assert len(table.rows) >= 10
+    # Night hours admit longer jobs than midday on a student lab.
+    assert result.notes["night_admits_longer_jobs"]
+    # Relaxing the success target can only lengthen the admitted job.
+    assert result.notes["thresholds_monotone"]
+    # Every horizon is a sane non-negative number of hours.
+    for row in table.rows:
+        for v in row[1:]:
+            assert 0.0 <= v <= 24.0

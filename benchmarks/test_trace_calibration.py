@@ -1,0 +1,19 @@
+"""TRACE bench — synthetic testbed calibration (Section 6.1)."""
+
+from repro.bench.experiments import trace_stats
+
+
+def test_trace_calibration(run_experiment):
+    result = run_experiment(trace_stats)
+    # Paper: 405-453 unavailability events per machine over 3 months.
+    # The synthetic testbed must land in the same order of magnitude
+    # (the exact count shifts a little with the sampling period).
+    assert result.notes["in_order_of_magnitude"]
+    # Event mix: CPU contention dominates, all three failure modes occur.
+    table = result.tables[0]
+    for row in table.rows:
+        _mid, _events, s3, s4, s5, avail, _load = row
+        assert s3 > s4 > 0 and s5 > 0
+        assert 0.9 < avail < 1.0
+    # Same-type days correlate (the SMP's pooling premise).
+    assert result.notes["weekday_pattern_correlation"] > 0.15

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""SMP vs linear time-series models on one machine (paper Fig. 7).
+
+Why does a semi-Markov process beat AR/MA/ARMA/BM/LAST at predicting
+availability?  Linear models "only consider different load levels and
+fit them into a linear model by ignoring the dynamic structure of load
+variations" (Section 6.2) — and multi-step-ahead forecasts decay to the
+series mean, so they cannot anticipate the failure an 8:00-to-18:00
+window will almost surely contain.  This example makes that concrete on
+a single synthetic machine.
+
+Run:  python examples/baseline_comparison.py        (~30 seconds)
+"""
+
+from repro.core import (
+    ClockWindow,
+    DayType,
+    EstimatorConfig,
+    StateClassifier,
+    TemporalReliabilityPredictor,
+    empirical_tr,
+    relative_error,
+)
+from repro.timeseries import TimeSeriesTRPredictor, rps_model_suite
+from repro.traces.synthesis import synthesize_trace
+
+
+def main() -> None:
+    trace = synthesize_trace("lab-03", n_days=90, sample_period=30.0, seed=3)
+    train, test = trace.split_by_ratio(0.5)
+    classifier = StateClassifier()
+    step_multiple = 2  # d = 60 s
+
+    smp = TemporalReliabilityPredictor(
+        train, estimator_config=EstimatorConfig(step_multiple=step_multiple)
+    )
+    models = rps_model_suite()  # AR(8), BM(8), MA(8), ARMA(8,8), LAST
+    names = ["SMP"] + [m.name for m in models]
+
+    print("Relative error of predicted TR, windows starting 8:00 on weekdays:\n")
+    print(f"{'T (h)':>6}  {'TR actual':>9}  " + "  ".join(f"{n:>9}" for n in names))
+    for T in (1.0, 2.0, 3.0, 5.0, 10.0):
+        window = ClockWindow.from_hours(8.0, T)
+        actual = empirical_tr(
+            test, classifier, window, DayType.WEEKDAY, step_multiple=step_multiple
+        ).value
+        errs = [relative_error(smp.predict(window, DayType.WEEKDAY), actual)]
+        for model in models:
+            ts_pred = TimeSeriesTRPredictor(
+                type(model), classifier, step_multiple=step_multiple
+            )
+            predicted = ts_pred.predicted_tr(test, window, DayType.WEEKDAY)
+            errs.append(relative_error(predicted.value, actual))
+        cells = "  ".join(
+            f"{e * 100:8.1f}%" if e == e and e != float("inf") else "      inf"
+            for e in errs
+        )
+        print(f"{T:>6.0f}  {actual:>9.3f}  {cells}")
+
+    print(
+        "\nThe SMP's advantage grows with the window: it integrates the"
+        " *rate* of failure\nevents observed in the same clock window on"
+        " past days, while the linear models'\nforecasts collapse to the"
+        " recent mean load within a few steps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Proactive scheduling: the paper's motivation, end to end.
+
+Section 1 motivates availability prediction with proactive job
+management: picking machines by predicted reliability and checkpointing
+adaptively.  This example builds a complete simulated iShare deployment
+(monitors, gateways, state managers, P2P discovery) over a synthetic
+6-machine lab and runs the *same* batch workload under four setups:
+
+  1. random placement, no checkpointing        (fully oblivious)
+  2. least-loaded placement, no checkpointing  (load-aware, availability-oblivious)
+  3. TR-ranked placement, no checkpointing     (the paper's predictor in the loop)
+  4. TR-ranked placement + adaptive checkpointing (the paper's future work)
+
+Run:  python examples/proactive_scheduling.py        (~1 minute)
+"""
+
+from repro.core.windows import SECONDS_PER_DAY
+from repro.sim import (
+    AdaptiveCheckpointing,
+    FgcsTestbed,
+    LeastLoadedPolicy,
+    NoCheckpointing,
+    PredictivePolicy,
+    RandomPolicy,
+    poisson_workload,
+    run_workload,
+)
+from repro.traces.synthesis import synthesize_testbed
+
+
+def main() -> None:
+    configs = [
+        ("random, no ckpt", lambda: RandomPolicy(seed=11), NoCheckpointing()),
+        ("least-loaded, no ckpt", lambda: LeastLoadedPolicy(), NoCheckpointing()),
+        ("predictive, no ckpt", lambda: PredictivePolicy(), NoCheckpointing()),
+        (
+            "predictive + adaptive ckpt",
+            lambda: PredictivePolicy(),
+            AdaptiveCheckpointing(tr_threshold=0.8, check_interval=600.0,
+                                  cost_cpu_seconds=15.0),
+        ),
+    ]
+    print("Simulating a 6-machine iShare lab, 24 batch jobs over 8 days...\n")
+    header = (
+        f"{'setup':>28}  {'done':>5}  {'failures':>8}  "
+        f"{'mean response':>13}  {'wasted CPU':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, policy_factory, ckpt in configs:
+        # A fresh (but identically seeded) testbed per run: every setup
+        # sees exactly the same machines and the same workload.
+        traces = synthesize_testbed(6, n_days=28, sample_period=30.0, seed=42)
+        bed = FgcsTestbed(traces, monitor_period=30.0)
+        workload = poisson_workload(
+            24,
+            start=bed.start_time + 3600.0,
+            span=8 * SECONDS_PER_DAY,
+            cpu_seconds_range=(1800.0, 14400.0),
+            seed=13,
+        )
+        stats = run_workload(bed, policy_factory(), workload, checkpoint_policy=ckpt)
+        print(
+            f"{name:>28}  {stats.n_completed:>2}/{stats.n_jobs:<2}  "
+            f"{stats.n_failures:>8}  {stats.mean_response_time / 3600:>11.2f} h  "
+            f"{stats.total_wasted_cpu_seconds / 3600:>8.2f} h"
+        )
+    print(
+        "\nThe TR-ranked policy routes long jobs away from machines whose"
+        " history predicts\ndaytime contention or reboots; adaptive"
+        " checkpointing then caps the cost of the\nfailures that still"
+        " happen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""How sure is the predictor?  Intervals, calibration and risk math.
+
+The paper reports point predictions of temporal reliability.  A
+scheduler acting on those numbers also wants to know (a) the sampling
+uncertainty of each prediction, (b) whether the probabilities are
+*calibrated*, and (c) what they imply operationally — how many replicas
+to launch, what checkpoint interval to use, which machine minimizes
+expected completion time.  This example demonstrates all three layers
+this library adds on top of the paper.
+
+Run:  python examples/uncertainty_and_calibration.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.core import ClockWindow, DayType
+from repro.core.calibration import brier_score, reliability_diagram
+from repro.core.empirical import observed_window_outcomes
+from repro.core.estimator import EstimatorConfig, WindowedKernelEstimator
+from repro.core.multi import (
+    expected_completion_time,
+    group_survival,
+    replication_needed,
+    select_best_k,
+)
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.classifier import StateClassifier
+from repro.core.uncertainty import bootstrap_tr
+from repro.sim.checkpoint import failure_rate_from_tr, young_interval
+from repro.traces.synthesis import synthesize_testbed
+
+
+def main() -> None:
+    print("Synthesizing a 4-machine lab (60 days)...\n")
+    traces = synthesize_testbed(4, n_days=60, sample_period=30.0, seed=23)
+    config = EstimatorConfig(step_multiple=2)  # d = 60 s
+    classifier = StateClassifier()
+    window = ClockWindow.from_hours(9.0, 5.0)
+
+    # ---- (a) bootstrap confidence intervals --------------------------- #
+    print("TR for the 9:00-14:00 weekday window, with 90% bootstrap CIs:")
+    machine_trs = {}
+    for trace in traces:
+        train, _test = trace.split_by_ratio(0.5)
+        estimator = WindowedKernelEstimator(classifier, config)
+        interval = bootstrap_tr(
+            estimator, train, window, DayType.WEEKDAY, n_resamples=150, rng=3
+        )
+        machine_trs[trace.machine_id] = interval.point
+        print(f"  {trace.machine_id}: {interval}  "
+              f"({interval.n_history_days} history days)")
+
+    # ---- (b) calibration ---------------------------------------------- #
+    predictions, outcomes = [], []
+    for trace in traces:
+        train, test = trace.split_by_ratio(0.5)
+        predictor = TemporalReliabilityPredictor(train, estimator_config=config)
+        for T in (1.0, 3.0, 5.0, 10.0):
+            for h in (0, 4, 8, 11, 14, 17, 20):
+                cw = ClockWindow.from_hours(h, T)
+                tr = predictor.predict(cw, DayType.WEEKDAY)
+                for _d, _i, ok in observed_window_outcomes(
+                    test, classifier, cw, DayType.WEEKDAY, step_multiple=2
+                ):
+                    predictions.append(tr)
+                    outcomes.append(ok)
+    dec = brier_score(predictions, outcomes)
+    print(f"\nCalibration over {len(predictions)} (prediction, outcome) pairs:")
+    print(f"  Brier {dec.brier:.3f} = reliability {dec.reliability:.4f}"
+          f" - resolution {dec.resolution:.3f} + uncertainty {dec.uncertainty:.3f}")
+    print("  reliability diagram (predicted -> observed):")
+    for p_bar, y_bar, count in reliability_diagram(predictions, outcomes, n_bins=5):
+        print(f"    {p_bar:5.2f} -> {y_bar:5.2f}   (n={count})")
+
+    # ---- (c) acting on the probabilities ------------------------------ #
+    best_two = select_best_k(machine_trs, 2)
+    both = group_survival([machine_trs[m] for m in best_two])
+    print(f"\nGang-scheduling on the best two machines {best_two}:")
+    print(f"  P(both survive the window) = {both:.3f}")
+    worst = min(machine_trs, key=machine_trs.get)
+    tr_worst = machine_trs[worst]
+    if 0.0 < tr_worst < 0.97:
+        n = replication_needed(tr_worst, 0.99)
+        print(f"  replicas of {worst} (TR {tr_worst:.2f}) for 99% success: {n}")
+    rate = failure_rate_from_tr(max(min(tr_worst, 1 - 1e-9), 1e-9), window.duration)
+    interval = young_interval(30.0, 1.0 / rate if rate > 0 else np.inf)
+    ect = expected_completion_time(3.0 * 3600.0, rate)
+    print(f"  on {worst}: failure rate {rate * 3600:.2f}/h, "
+          f"Young checkpoint interval {interval / 60:.0f} min,")
+    print(f"  expected completion of a 3h job with restarts: {ect / 3600:.2f} h")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — Resource availability prediction for fine-grained cycle sharing.
+
+A faithful, from-scratch reproduction of Ren, Lee, Eigenmann and Bagchi,
+"Resource Availability Prediction in Fine-Grained Cycle Sharing Systems"
+(HPDC 2006): a five-state resource availability model, a semi-Markov
+process predictor of temporal reliability, the trace / contention /
+time-series substrates the paper's evaluation rests on, and an iShare-
+style FGCS system simulator.
+
+Quickstart::
+
+    from repro import (ClockWindow, DayType, TemporalReliabilityPredictor)
+    from repro.traces.synthesis import synthesize_trace, SynthesisConfig
+
+    trace = synthesize_trace("lab-01", n_days=28, seed=7)
+    train, test = trace.split_by_ratio(0.5)
+    predictor = TemporalReliabilityPredictor(train)
+    tr = predictor.predict(ClockWindow.from_hours(8, 5), DayType.WEEKDAY)
+"""
+
+from repro.core import (
+    AbsoluteWindow,
+    ClassifierConfig,
+    ClockWindow,
+    DayType,
+    EstimatorConfig,
+    SmpKernel,
+    State,
+    StateClassifier,
+    TemporalReliabilityPredictor,
+    Thresholds,
+    WindowedKernelEstimator,
+    empirical_tr,
+    relative_error,
+    temporal_reliability,
+)
+from repro.service import AvailabilityService
+from repro.traces import MachineTrace, TraceSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbsoluteWindow",
+    "AvailabilityService",
+    "ClassifierConfig",
+    "ClockWindow",
+    "DayType",
+    "EstimatorConfig",
+    "MachineTrace",
+    "SmpKernel",
+    "State",
+    "StateClassifier",
+    "TemporalReliabilityPredictor",
+    "Thresholds",
+    "TraceSet",
+    "WindowedKernelEstimator",
+    "empirical_tr",
+    "relative_error",
+    "temporal_reliability",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Availability-data analysis: distribution fitting and temporal patterns.
+
+The quantitative companion to the measurement literature the paper
+builds on: duration-distribution fitting
+(:mod:`~repro.analysis.distributions`) and load-pattern analysis
+(:mod:`~repro.analysis.patterns`).
+"""
+
+from repro.analysis.distributions import (
+    SUPPORTED,
+    DistributionFit,
+    best_fit,
+    fit_all,
+    fit_distribution,
+)
+from repro.analysis.patterns import (
+    DiurnalProfile,
+    day_type_separation,
+    diurnal_profile,
+    diurnal_strength,
+    failure_intensity_by_hour,
+    load_autocorrelation,
+)
+
+__all__ = [
+    "SUPPORTED",
+    "DistributionFit",
+    "DiurnalProfile",
+    "best_fit",
+    "day_type_separation",
+    "diurnal_profile",
+    "diurnal_strength",
+    "failure_intensity_by_hour",
+    "fit_all",
+    "fit_distribution",
+    "load_autocorrelation",
+]

@@ -1,0 +1,202 @@
+"""Distribution fitting for availability data.
+
+The machine-availability measurement literature the paper builds on
+([4, 21, 16] — enterprise/desktop availability studies) characterizes
+uptime and downtime durations by fitting candidate distributions
+(exponential, Weibull, lognormal, Pareto) and comparing goodness of
+fit.  This module provides that analysis for our traces: maximum-
+likelihood fits, Kolmogorov-Smirnov distances, and a best-fit report —
+used by the CHAR experiment to characterize the synthetic testbed the
+way those papers characterized real ones.
+
+All fits are on strictly positive duration samples (seconds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import optimize, stats
+
+__all__ = ["DistributionFit", "fit_distribution", "fit_all", "best_fit", "SUPPORTED"]
+
+SUPPORTED = ("exponential", "weibull", "lognormal", "pareto")
+
+
+@dataclass(frozen=True)
+class DistributionFit:
+    """One fitted candidate distribution.
+
+    ``params`` are the natural parameters of the family; ``ks`` is the
+    Kolmogorov-Smirnov distance between the empirical CDF and the fit
+    (smaller is better); ``log_likelihood`` the total log-likelihood.
+    """
+
+    name: str
+    params: dict[str, float]
+    ks: float
+    log_likelihood: float
+    n: int
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted CDF."""
+        return _CDFS[self.name](np.asarray(x, dtype=float), self.params)
+
+    def mean(self) -> float:
+        """Mean of the fitted distribution (may be inf for heavy tails)."""
+        p = self.params
+        if self.name == "exponential":
+            return 1.0 / p["rate"]
+        if self.name == "weibull":
+            return p["scale"] * math.gamma(1.0 + 1.0 / p["shape"])
+        if self.name == "lognormal":
+            return math.exp(p["mu"] + 0.5 * p["sigma"] ** 2)
+        if self.name == "pareto":
+            if p["alpha"] <= 1.0:
+                return math.inf
+            return p["alpha"] * p["xmin"] / (p["alpha"] - 1.0)
+        raise AssertionError(self.name)
+
+
+def _validate(samples: Sequence[float]) -> np.ndarray:
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1 or x.size < 3:
+        raise ValueError(f"need at least 3 samples in a 1-D array, got shape {x.shape}")
+    if np.any(x <= 0.0) or not np.all(np.isfinite(x)):
+        raise ValueError("duration samples must be positive and finite")
+    return x
+
+
+# ---------------------------------------------------------------------- #
+# per-family MLE + CDF
+# ---------------------------------------------------------------------- #
+
+
+def _fit_exponential(x: np.ndarray) -> dict[str, float]:
+    return {"rate": 1.0 / float(x.mean())}
+
+
+def _fit_lognormal(x: np.ndarray) -> dict[str, float]:
+    logs = np.log(x)
+    return {"mu": float(logs.mean()), "sigma": float(max(logs.std(), 1e-9))}
+
+
+def _fit_pareto(x: np.ndarray) -> dict[str, float]:
+    xmin = float(x.min())
+    alpha = x.size / float(np.sum(np.log(x / xmin)) + 1e-12)
+    return {"xmin": xmin, "alpha": float(max(alpha, 1e-6))}
+
+
+def _fit_weibull(x: np.ndarray) -> dict[str, float]:
+    # MLE profile equation for the shape k; scale has a closed form.
+    logs = np.log(x)
+
+    def profile(k: float) -> float:
+        xk = x**k
+        return float(np.sum(xk * logs) / np.sum(xk) - 1.0 / k - logs.mean())
+
+    lo, hi = 1e-3, 50.0
+    try:
+        k = optimize.brentq(profile, lo, hi, xtol=1e-9)
+    except ValueError:
+        # Degenerate samples (e.g. all equal): fall back to exponential-ish.
+        k = 1.0
+    scale = float((np.mean(x**k)) ** (1.0 / k))
+    return {"shape": float(k), "scale": scale}
+
+
+def _cdf_exponential(x: np.ndarray, p: dict[str, float]) -> np.ndarray:
+    return 1.0 - np.exp(-p["rate"] * x)
+
+
+def _cdf_weibull(x: np.ndarray, p: dict[str, float]) -> np.ndarray:
+    return 1.0 - np.exp(-((np.maximum(x, 0.0) / p["scale"]) ** p["shape"]))
+
+
+def _cdf_lognormal(x: np.ndarray, p: dict[str, float]) -> np.ndarray:
+    return stats.norm.cdf((np.log(np.maximum(x, 1e-300)) - p["mu"]) / p["sigma"])
+
+
+def _cdf_pareto(x: np.ndarray, p: dict[str, float]) -> np.ndarray:
+    out = 1.0 - (p["xmin"] / np.maximum(x, p["xmin"])) ** p["alpha"]
+    return np.where(x < p["xmin"], 0.0, out)
+
+
+def _loglik_exponential(x: np.ndarray, p: dict[str, float]) -> float:
+    return float(x.size * math.log(p["rate"]) - p["rate"] * x.sum())
+
+
+def _loglik_weibull(x: np.ndarray, p: dict[str, float]) -> float:
+    k, lam = p["shape"], p["scale"]
+    return float(
+        x.size * (math.log(k) - k * math.log(lam))
+        + (k - 1.0) * np.sum(np.log(x))
+        - np.sum((x / lam) ** k)
+    )
+
+
+def _loglik_lognormal(x: np.ndarray, p: dict[str, float]) -> float:
+    mu, sigma = p["mu"], p["sigma"]
+    logs = np.log(x)
+    return float(
+        -x.size * (math.log(sigma) + 0.5 * math.log(2 * math.pi))
+        - np.sum(logs)
+        - np.sum((logs - mu) ** 2) / (2 * sigma**2)
+    )
+
+
+def _loglik_pareto(x: np.ndarray, p: dict[str, float]) -> float:
+    a, xmin = p["alpha"], p["xmin"]
+    return float(
+        x.size * (math.log(a) + a * math.log(xmin)) - (a + 1.0) * np.sum(np.log(x))
+    )
+
+
+_FITTERS: dict[str, Callable] = {
+    "exponential": _fit_exponential,
+    "weibull": _fit_weibull,
+    "lognormal": _fit_lognormal,
+    "pareto": _fit_pareto,
+}
+_CDFS: dict[str, Callable] = {
+    "exponential": _cdf_exponential,
+    "weibull": _cdf_weibull,
+    "lognormal": _cdf_lognormal,
+    "pareto": _cdf_pareto,
+}
+_LOGLIKS: dict[str, Callable] = {
+    "exponential": _loglik_exponential,
+    "weibull": _loglik_weibull,
+    "lognormal": _loglik_lognormal,
+    "pareto": _loglik_pareto,
+}
+
+
+def fit_distribution(samples: Sequence[float], name: str) -> DistributionFit:
+    """MLE-fit one family and score it with the KS distance."""
+    if name not in SUPPORTED:
+        raise ValueError(f"unknown distribution {name!r}; supported: {SUPPORTED}")
+    x = _validate(samples)
+    params = _FITTERS[name](x)
+    ks = float(stats.kstest(x, lambda v: _CDFS[name](v, params)).statistic)
+    return DistributionFit(
+        name=name,
+        params=params,
+        ks=ks,
+        log_likelihood=_LOGLIKS[name](x, params),
+        n=int(x.size),
+    )
+
+
+def fit_all(samples: Sequence[float]) -> list[DistributionFit]:
+    """Fit every supported family, sorted by KS distance (best first)."""
+    fits = [fit_distribution(samples, name) for name in SUPPORTED]
+    return sorted(fits, key=lambda f: f.ks)
+
+
+def best_fit(samples: Sequence[float]) -> DistributionFit:
+    """The family with the smallest KS distance."""
+    return fit_all(samples)[0]

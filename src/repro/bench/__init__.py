@@ -1,0 +1,7 @@
+"""Benchmark/experiment harness regenerating every paper table and figure."""
+
+from repro.bench.data import EvaluationData, evaluation_data
+from repro.bench.experiments import REGISTRY
+from repro.bench.harness import ExperimentResult, ResultTable
+
+__all__ = ["REGISTRY", "EvaluationData", "ExperimentResult", "ResultTable", "evaluation_data"]

@@ -1,0 +1,149 @@
+"""Terminal rendering of the paper's figures (no plotting dependency).
+
+The benchmark harness regenerates the *data* of each figure; this module
+renders it as monospace line/bar charts so a terminal run of
+``repro-fgcs run fig5`` shows the figure's shape, not just its table.
+
+Only the features the figures need are implemented: multi-series line
+charts with per-series markers, optional log-y, and horizontal bar
+charts.  Axes are labelled with min/max ticks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+        if not self.x:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+def _finite_pairs(series: Series) -> list[tuple[float, float]]:
+    return [
+        (float(a), float(b))
+        for a, b in zip(series.x, series.y)
+        if math.isfinite(a) and math.isfinite(b)
+    ]
+
+
+def line_chart(
+    series: list[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more series as a monospace scatter/line chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    pts = {s.name: _finite_pairs(s) for s in series}
+    all_pts = [p for ps in pts.values() for p in ps]
+    if not all_pts:
+        return f"{title}\n(no finite data)"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    if log_y:
+        ys = [y for y in ys if y > 0]
+        if not ys:
+            return f"{title}\n(no positive data for log axis)"
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def ty(y: float) -> float:
+        if log_y:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    ylo_t, yhi_t = ty(y_lo), ty(y_hi)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts[s.name]:
+            if log_y and y <= 0:
+                continue
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((ty(y) - ylo_t) / (yhi_t - ylo_t) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    pad = max(len(y_hi_label), len(y_lo_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label
+        elif i == height - 1:
+            label = y_lo_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    axis = f"{'':>{pad}} +" + "-" * width
+    lines.append(axis)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}"
+    lines.append(f"{'':>{pad}}  " + x_axis + (f"  {xlabel}" if xlabel else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(f"{'':>{pad}}  {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("need at least one bar")
+    finite = [v for v in values if math.isfinite(v)]
+    vmax = max(finite) if finite else 1.0
+    if vmax <= 0:
+        vmax = 1.0
+    pad = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if not math.isfinite(value):
+            bar, text = "", "nan"
+        else:
+            n = int(round(max(value, 0.0) / vmax * width))
+            bar = "#" * n
+            text = f"{value:.4g}{unit}"
+        lines.append(f"{str(label):>{pad}} |{bar} {text}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Shared evaluation data for the experiment suite.
+
+The accuracy experiments (FIG5-FIG8) all evaluate the same kind of
+testbed: a collection of student-lab machines with a train/test split.
+This module synthesizes and caches it so the experiments stay mutually
+consistent and the suite doesn't pay the synthesis cost repeatedly.
+
+Two scales are provided:
+
+* ``quick`` — 3 machines, 56 days at 30 s sampling, coarsened to a 60 s
+  SMP step; minutes of total suite runtime.  Used by the benchmarks.
+* ``full``  — 8 machines, 90 days at 6 s sampling (the paper's trace
+  geometry), 60 s SMP step.  Used by the CLI's ``--full`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import EstimatorConfig
+from repro.traces.trace import TraceSet
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["EvaluationData", "evaluation_data"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    n_machines: int
+    n_days: int
+    sample_period: float
+    step_multiple: int
+
+
+_SCALES = {
+    "quick": Scale(n_machines=3, n_days=56, sample_period=30.0, step_multiple=2),
+    "full": Scale(n_machines=8, n_days=90, sample_period=6.0, step_multiple=10),
+}
+
+
+@dataclass(frozen=True)
+class EvaluationData:
+    """A synthesized testbed with its train/test split and configs."""
+
+    traces: TraceSet
+    train: TraceSet
+    test: TraceSet
+    classifier: StateClassifier
+    estimator_config: EstimatorConfig
+    sample_period: float
+    step_multiple: int
+
+    @property
+    def machine_ids(self) -> list[str]:
+        return self.traces.machine_ids
+
+
+@lru_cache(maxsize=4)
+def evaluation_data(
+    scale: str = "quick",
+    *,
+    seed: int = 0,
+    train_fraction: float = 0.5,
+) -> EvaluationData:
+    """Build (and cache) the shared evaluation testbed at a given scale."""
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    s = _SCALES[scale]
+    traces = synthesize_testbed(
+        s.n_machines,
+        n_days=s.n_days,
+        sample_period=s.sample_period,
+        seed=seed,
+        machine_jitter=0.10,
+    )
+    train, test = traces.split_by_ratio(train_fraction)
+    return EvaluationData(
+        traces=traces,
+        train=train,
+        test=test,
+        classifier=StateClassifier(),
+        estimator_config=EstimatorConfig(step_multiple=s.step_multiple),
+        sample_period=s.sample_period,
+        step_multiple=s.step_multiple,
+    )

@@ -1,0 +1,42 @@
+"""One module per experiment of the per-experiment index in DESIGN.md."""
+
+from repro.bench.experiments import (
+    ablations,
+    calibration_exp,
+    characterization,
+    e2e,
+    empirical_cpu,
+    empirical_mem,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    load_forecast,
+    overhead,
+    profiles_exp,
+    sizing,
+    trace_stats,
+)
+
+#: Registry used by the CLI: experiment id -> module with a run() function.
+REGISTRY = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "emp-cpu": empirical_cpu,
+    "emp-mem": empirical_mem,
+    "ovh": overhead,
+    "trace": trace_stats,
+    "e2e": e2e,
+    "ablations": ablations,
+    "profiles": profiles_exp,
+    "char": characterization,
+    "cal": calibration_exp,
+    "size": sizing,
+    "load": load_forecast,
+}
+
+__all__ = ["REGISTRY"] + sorted(REGISTRY)

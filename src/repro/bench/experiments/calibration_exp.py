@@ -1,0 +1,104 @@
+"""CAL — probabilistic calibration of the TR predictions (extension).
+
+The paper evaluates relative error of the predicted TR.  A scheduler
+that *acts* on the probability (choosing replication factors, setting
+checkpoint intervals) additionally needs the prediction to be
+*calibrated*: among windows predicted to survive with probability p,
+a fraction ~p must actually survive.  This experiment measures the
+Brier score (with Murphy decomposition), expected calibration error
+and the reliability diagram of the SMP predictor over a grid of
+windows, against the LAST baseline adapted the same way.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ascii_plot import Series, line_chart
+from repro.bench.data import evaluation_data
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.calibration import (
+    brier_score,
+    collect_outcomes,
+    expected_calibration_error,
+    reliability_diagram,
+)
+from repro.core.empirical import observed_window_outcomes
+from repro.core.windows import ClockWindow, DayType
+from repro.timeseries.models import Last
+from repro.timeseries.tr_adapter import TimeSeriesTRPredictor
+
+__all__ = ["run"]
+
+
+def _baseline_outcomes(data, lengths, start_hours):
+    """(prediction, outcome) pairs for the LAST time-series baseline."""
+    predictions, outcomes = [], []
+    for mid in data.machine_ids:
+        pred = TimeSeriesTRPredictor(
+            lambda: Last(), data.classifier, step_multiple=data.step_multiple
+        )
+        for T in lengths:
+            for h in start_hours:
+                cw = ClockWindow.from_hours(h, T)
+                # LAST "predicts" on the test trace itself (its protocol
+                # uses the immediately preceding window, Section 6.2).
+                ts = pred.predicted_tr(data.test[mid], cw, DayType.WEEKDAY)
+                if ts.n_days == 0:
+                    continue
+                rows = observed_window_outcomes(
+                    data.test[mid], data.classifier, cw, DayType.WEEKDAY,
+                    step_multiple=data.step_multiple,
+                )
+                for _d, _i, ok in rows:
+                    predictions.append(ts.value)
+                    outcomes.append(ok)
+    return predictions, outcomes
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the calibration experiment."""
+    data = evaluation_data(scale, seed=seed)
+    lengths = (1.0, 3.0, 5.0, 10.0)
+    start_hours = (0, 4, 8, 11, 14, 17, 20) if scale == "quick" else tuple(range(0, 24, 2))
+
+    smp_p, smp_y = collect_outcomes(data, lengths=lengths, start_hours=start_hours)
+    last_p, last_y = _baseline_outcomes(data, lengths, start_hours)
+
+    score_table = ResultTable(
+        title="CAL calibration scores",
+        columns=["predictor", "brier", "reliability", "resolution", "ece", "n"],
+    )
+    curves = []
+    for name, (p, y) in (("SMP", (smp_p, smp_y)), ("LAST", (last_p, last_y))):
+        dec = brier_score(p, y)
+        ece = expected_calibration_error(p, y)
+        score_table.add(name, dec.brier, dec.reliability, dec.resolution, ece, len(p))
+        diagram = reliability_diagram(p, y)
+        curves.append(Series(name, [d[0] for d in diagram], [d[1] for d in diagram]))
+
+    diagram_table = ResultTable(
+        title="CAL reliability diagram (SMP)",
+        columns=["predicted", "observed", "count"],
+    )
+    for p_bar, y_bar, count in reliability_diagram(smp_p, smp_y):
+        diagram_table.add(p_bar, y_bar, count)
+
+    result = ExperimentResult(
+        experiment_id="CAL",
+        description="probabilistic calibration of TR predictions (extension)",
+        tables=[score_table, diagram_table],
+    )
+    curves.append(Series("ideal", [0.0, 1.0], [0.0, 1.0]))
+    result.charts.append(
+        line_chart(
+            curves,
+            title="CAL: reliability diagram (predicted vs observed survival)",
+            xlabel="predicted",
+            ylabel="observed",
+        )
+    )
+    rows = {r[0]: r for r in score_table.rows}
+    result.notes["smp_brier"] = rows["SMP"][1]
+    result.notes["last_brier"] = rows["LAST"][1]
+    result.notes["smp_better_calibrated"] = bool(rows["SMP"][2] <= rows["LAST"][2])
+    result.notes["smp_ece"] = rows["SMP"][4]
+    return result

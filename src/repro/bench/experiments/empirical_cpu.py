@@ -1,0 +1,142 @@
+"""EMP-CPU — the CPU-contention empirical study (paper Section 3.2.1).
+
+Reproduces the experiments behind the availability model: host groups
+of several sizes and isolated usages, a CPU-bound guest at nice 0 and
+nice 19, the measured reduction rate of host CPU usage, the derived
+thresholds Th1/Th2, the saturation of guest CPU utilization with host
+group size, and the priority-control alternatives.
+
+Paper reference values (Linux testbed): Th1 = 20%, Th2 = 60%; the
+thresholds come from the size-1 group (larger groups cross later);
+guest CPU utilization decreases with group size and saturates beyond 5;
+intermediate nice values are redundant and always-nice-19 wastes guest
+throughput under light load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.ascii_plot import Series, line_chart
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.contention.experiment import (
+    cpu_contention_study,
+    priority_alternatives_study,
+)
+from repro.contention.processes import HostGroup, guest_spec
+from repro.contention.scheduler import SchedulerSimulator
+from repro.contention.thresholds import derive_thresholds
+
+__all__ = ["run", "guest_utilization_by_group_size"]
+
+
+def guest_utilization_by_group_size(
+    sizes: tuple[int, ...] = (1, 2, 3, 5, 8),
+    *,
+    duration: float = 90.0,
+    reps: int = 3,
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """Guest CPU utilization vs host group size (random groups).
+
+    The paper's observation: the guest's chance to steal cycles
+    decreases with group size and saturates beyond 5.
+    """
+    sim = SchedulerSimulator()
+    out = []
+    for size in sizes:
+        vals = []
+        for rep in range(reps):
+            rng = np.random.default_rng([seed, size, rep])
+            group = HostGroup.random(rng, size, usage_range=(0.10, 1.00))
+            res = sim.run(list(group.processes) + [guest_spec(0)], duration, seed=rep)
+            vals.append(res.cpu_usage["guest"])
+        out.append((size, float(np.mean(vals))))
+    return out
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the EMP-CPU study at the given scale."""
+    if scale == "quick":
+        loads = (0.1, 0.2, 0.3, 0.5, 0.6, 0.7, 0.9)
+        sizes = (1, 2, 3)
+        duration, reps = 90.0, 2
+    else:
+        loads = (0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0)
+        sizes = (1, 2, 3, 5)
+        duration, reps = 180.0, 4
+
+    records = cpu_contention_study(
+        loads=loads, group_sizes=sizes, duration=duration, reps=reps, seed=seed
+    )
+    curves = ResultTable(
+        title="EMP-CPU reduction rate (%) of host CPU usage",
+        columns=["group_size", "L_H", "nice0_pct", "nice19_pct"],
+    )
+    for size in sizes:
+        for load in loads:
+            row = {}
+            for r in records:
+                if r.group_size == size and abs(r.isolated_usage - load) < 1e-9:
+                    row[r.guest_nice] = r.reduction * 100
+            curves.add(size, load, row.get(0, float("nan")), row.get(19, float("nan")))
+
+    derivation = derive_thresholds(records)
+    thresholds = ResultTable(
+        title="EMP-CPU derived thresholds",
+        columns=["threshold", "value", "paper_value"],
+    )
+    thresholds.add("Th1", derivation.th1, 0.20)
+    thresholds.add("Th2", derivation.th2, 0.60)
+
+    saturation = ResultTable(
+        title="EMP-CPU guest CPU utilization vs host group size",
+        columns=["group_size", "guest_utilization"],
+    )
+    for size, util in guest_utilization_by_group_size(seed=seed, duration=duration, reps=reps):
+        saturation.add(size, util)
+
+    alternatives = ResultTable(
+        title="EMP-CPU priority-control alternatives",
+        columns=["nice", "L_H", "host_reduction_pct", "guest_utilization"],
+    )
+    for rec in priority_alternatives_study(
+        loads=(0.1, 0.5), nices=(0, 5, 10, 15, 19), duration=duration, reps=reps, seed=seed
+    ):
+        alternatives.add(
+            rec.guest_nice, rec.isolated_usage, rec.host_reduction * 100, rec.guest_usage
+        )
+
+    result = ExperimentResult(
+        experiment_id="EMP-CPU",
+        description="CPU contention empirical study (Section 3.2.1)",
+        tables=[curves, thresholds, saturation, alternatives],
+    )
+    size1 = [r for r in records if r.group_size == 1]
+    result.charts.append(
+        line_chart(
+            [
+                Series(
+                    f"nice {nice}",
+                    [r.isolated_usage for r in size1 if r.guest_nice == nice],
+                    [r.reduction * 100 for r in size1 if r.guest_nice == nice],
+                )
+                for nice in (0, 19)
+            ],
+            title="EMP-CPU: host slowdown (%) vs isolated host load (size-1 group)",
+            xlabel="L_H",
+            ylabel="red %",
+        )
+    )
+    result.notes["th1"] = derivation.th1
+    result.notes["th2"] = derivation.th2
+    utils = saturation.column("guest_utilization")
+    sizes_col = saturation.column("group_size")
+    result.notes["guest_util_decreases"] = bool(utils[0] > utils[-1])
+    # "When the size is beyond 5, the reduction saturates": the decline of
+    # guest utilization past size 5 is smaller than the decline up to 5.
+    i5 = sizes_col.index(5)
+    result.notes["saturates_beyond_5"] = bool(
+        (utils[i5] - utils[-1]) < (utils[0] - utils[i5])
+    )
+    return result

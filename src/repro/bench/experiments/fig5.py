@@ -1,0 +1,100 @@
+"""FIG5 — accuracy of the SMP prediction (paper Figure 5a/5b).
+
+For time windows of length 1..10 hours starting at each hour of the
+day, on weekdays and weekends: predict the temporal reliability from
+the training half of each machine's trace and compare with the
+empirical TR observed on the test half.  Reported per (day type,
+window length): the average, minimum and maximum relative error over
+all (machine, start hour) pairs — exactly the points and error bars of
+the paper's Figure 5.
+
+Paper reference values: average error grows with window length, up to
+~13.5% at 10 h (accuracy >= 86.5%); worst case ~26.7% (accuracy >=
+73.3%); weekends slightly worse on short windows due to the smaller
+training set.
+"""
+
+from __future__ import annotations
+
+from repro.bench.data import EvaluationData, evaluation_data
+from repro.bench.ascii_plot import Series, line_chart
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.empirical import empirical_tr
+from repro.core.metrics import relative_error, summarize_errors
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import ClockWindow, DayType
+
+__all__ = ["run", "window_errors"]
+
+DEFAULT_LENGTHS = (1.0, 2.0, 3.0, 5.0, 10.0)
+
+
+def window_errors(
+    data: EvaluationData,
+    clock: ClockWindow,
+    dtype: DayType,
+) -> list[float]:
+    """Relative errors of the SMP prediction, one per machine."""
+    errors = []
+    for mid in data.machine_ids:
+        predictor = TemporalReliabilityPredictor(
+            data.train[mid], estimator_config=data.estimator_config
+        )
+        predicted = predictor.predict(clock, dtype)
+        emp = empirical_tr(
+            data.test[mid],
+            data.classifier,
+            clock,
+            dtype,
+            step_multiple=data.step_multiple,
+        )
+        errors.append(relative_error(predicted, emp.value))
+    return errors
+
+
+def run(
+    scale: str = "quick",
+    *,
+    lengths: tuple[float, ...] = DEFAULT_LENGTHS,
+    start_hours: tuple[int, ...] | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the FIG5 experiment at the given scale."""
+    data = evaluation_data(scale, seed=seed)
+    if start_hours is None:
+        start_hours = tuple(range(0, 24, 2)) if scale == "quick" else tuple(range(24))
+    result = ExperimentResult(
+        experiment_id="FIG5",
+        description="relative error of predicted TR vs window length (Fig. 5a/5b)",
+    )
+    for dtype in (DayType.WEEKDAY, DayType.WEEKEND):
+        table = ResultTable(
+            title=f"Fig5 {dtype.value}s",
+            columns=["window_hours", "avg_error_pct", "min_error_pct", "max_error_pct", "n"],
+        )
+        for T in lengths:
+            errors = []
+            for h in start_hours:
+                errors.extend(window_errors(data, ClockWindow.from_hours(h, T), dtype))
+            s = summarize_errors(errors)
+            table.add(T, s.mean * 100, s.minimum * 100, s.maximum * 100, s.n)
+        result.tables.append(table)
+    result.charts.append(
+        line_chart(
+            [
+                Series(t.title.split()[-1], t.column("window_hours"), t.column("avg_error_pct"))
+                for t in result.tables
+            ],
+            title="Fig5: average relative error (%) vs window length (h)",
+            xlabel="T (h)",
+            ylabel="err %",
+        )
+    )
+    wd = result.tables[0]
+    result.notes["avg_accuracy_floor_pct"] = min(
+        100 - max(t.column("avg_error_pct")) for t in result.tables
+    )
+    result.notes["error_grows_with_length_weekdays"] = (
+        wd.column("avg_error_pct")[-1] > wd.column("avg_error_pct")[0]
+    )
+    return result

@@ -1,0 +1,78 @@
+"""FIG6 — sensitivity to the training/test size ratio (paper Figure 6).
+
+All weekday trace data is split at ratios 1:9 .. 9:1; for each split the
+prediction runs over the same grid of weekday windows (start hours x
+window lengths — the paper's 240 windows) and two summary metrics are
+reported: the *max-average* error (average per window length, then the
+maximum of those averages) and the overall maximum error.
+
+Paper reference: both metrics are minimized around the 6:4 ratio — a
+sweet spot exists because more history helps until the extra days are
+old enough to bias the recent pattern, and a too-small test set makes
+the empirical TR itself noisy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench.data import evaluation_data
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.empirical import empirical_tr
+from repro.core.metrics import relative_error, summarize_errors
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import ClockWindow, DayType
+
+__all__ = ["run"]
+
+RATIOS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run(
+    scale: str = "quick",
+    *,
+    lengths: tuple[float, ...] = (1.0, 3.0, 5.0, 10.0),
+    start_hours: tuple[int, ...] | None = None,
+    ratios: tuple[float, ...] = RATIOS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the FIG6 experiment at the given scale."""
+    data = evaluation_data(scale, seed=seed)
+    if start_hours is None:
+        start_hours = tuple(range(0, 24, 3)) if scale == "quick" else tuple(range(24))
+    table = ResultTable(
+        title="Fig6 training:test ratio sensitivity (weekdays)",
+        columns=["train_fraction", "ratio", "max_avg_error_pct", "max_error_pct"],
+    )
+    for frac in ratios:
+        per_length: dict[float, list[float]] = defaultdict(list)
+        for mid in data.machine_ids:
+            train, test = data.traces[mid].split_by_ratio(frac)
+            predictor = TemporalReliabilityPredictor(
+                train, estimator_config=data.estimator_config
+            )
+            for T in lengths:
+                for h in start_hours:
+                    cw = ClockWindow.from_hours(h, T)
+                    predicted = predictor.predict(cw, DayType.WEEKDAY)
+                    emp = empirical_tr(
+                        test, data.classifier, cw, DayType.WEEKDAY,
+                        step_multiple=data.step_multiple,
+                    )
+                    per_length[T].append(relative_error(predicted, emp.value))
+        summaries = [summarize_errors(v) for v in per_length.values()]
+        max_avg = max(s.mean for s in summaries)
+        max_err = max(s.maximum for s in summaries)
+        label = f"{int(round(frac * 10))}:{int(round((1 - frac) * 10))}"
+        table.add(frac, label, max_avg * 100, max_err * 100)
+    result = ExperimentResult(
+        experiment_id="FIG6",
+        description="prediction error vs training:test split ratio (Fig. 6)",
+        tables=[table],
+    )
+    fracs = table.column("train_fraction")
+    max_avgs = table.column("max_avg_error_pct")
+    best = fracs[max_avgs.index(min(max_avgs))]
+    result.notes["best_train_fraction"] = best
+    result.notes["sweet_spot_interior"] = bool(min(fracs) < best < max(fracs))
+    return result

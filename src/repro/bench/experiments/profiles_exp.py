@@ -1,0 +1,88 @@
+"""PROF — prediction across workload-pattern testbeds (paper future work).
+
+"In future work, we plan to test our prediction mechanisms on testbeds
+with different workload patterns, such as a testbed containing
+enterprise desktop resources.  We expect that our prediction will
+perform well on the proposed testbeds" (Section 8).
+
+This experiment runs the FIG5 accuracy protocol on three synthetic
+testbeds — the student lab the paper evaluated on, an enterprise
+desktop fleet, and an always-on server room — and compares average and
+worst-case prediction error.  The paper's expectation is that accuracy
+carries over; the interesting structure is *why*: desktops have sharper
+(more predictable) diurnal edges, server rooms have almost no pattern
+but also almost no failures.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.classifier import StateClassifier
+from repro.core.empirical import empirical_tr
+from repro.core.estimator import EstimatorConfig
+from repro.core.metrics import relative_error, summarize_errors
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import ClockWindow, DayType
+from repro.traces.profiles import PROFILES
+from repro.traces.stats import summarize_trace
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["run"]
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the cross-profile accuracy comparison."""
+    if scale == "quick":
+        n_machines, n_days, period, mult = 2, 56, 30.0, 2
+        start_hours = (2, 8, 11, 14, 20)
+    else:
+        n_machines, n_days, period, mult = 4, 90, 6.0, 10
+        start_hours = tuple(range(0, 24, 2))
+    lengths = (1.0, 3.0, 5.0, 10.0)
+    classifier = StateClassifier()
+    cfg = EstimatorConfig(step_multiple=mult)
+
+    table = ResultTable(
+        title="PROF prediction accuracy by testbed profile (weekdays)",
+        columns=[
+            "profile", "events_per_day", "avg_error_pct", "max_error_pct", "n_windows",
+        ],
+    )
+    for name, factory in PROFILES.items():
+        traces = synthesize_testbed(
+            n_machines,
+            n_days=n_days,
+            sample_period=period,
+            seed=seed,
+            profile=factory(),
+            machine_jitter=0.10,
+            id_prefix=name,
+        )
+        events_per_day = sum(
+            summarize_trace(t, classifier).events_per_day for t in traces
+        ) / len(traces)
+        errors = []
+        for trace in traces:
+            train, test = trace.split_by_ratio(0.5)
+            predictor = TemporalReliabilityPredictor(train, estimator_config=cfg)
+            for T in lengths:
+                for h in start_hours:
+                    cw = ClockWindow.from_hours(h, T)
+                    predicted = predictor.predict(cw, DayType.WEEKDAY)
+                    emp = empirical_tr(
+                        test, classifier, cw, DayType.WEEKDAY, step_multiple=mult
+                    )
+                    errors.append(relative_error(predicted, emp.value))
+        s = summarize_errors(errors)
+        table.add(name, events_per_day, s.mean * 100, s.maximum * 100, s.n)
+
+    result = ExperimentResult(
+        experiment_id="PROF",
+        description="prediction accuracy across workload-pattern testbeds "
+        "(the paper's future-work expectation)",
+        tables=[table],
+    )
+    by_profile = {row[0]: row[2] for row in table.rows}
+    result.notes["lab_avg_error_pct"] = by_profile["student-lab"]
+    result.notes["all_profiles_usable"] = all(v < 60.0 for v in by_profile.values())
+    return result

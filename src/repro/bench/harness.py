@@ -1,0 +1,109 @@
+"""Experiment harness: result tables and experiment metadata.
+
+Every experiment module in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` — one or more :class:`ResultTable` objects
+plus free-form notes — which the benchmarks print and the CLI renders.
+The tables carry exactly the rows/series the paper's figures report, so
+a run is directly comparable against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["ResultTable", "ExperimentResult"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        """Render as aligned monospace text."""
+        cells = [[str(c) for c in self.columns]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [self.title, "-" * len(self.title)]
+        for j, row in enumerate(cells):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the table as CSV."""
+        import csv
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: tables, terminal charts, headline notes."""
+
+    experiment_id: str
+    description: str
+    tables: list[ResultTable] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def table(self, title: str) -> ResultTable:
+        """Look up a table by title."""
+        for t in self.tables:
+            if t.title == title:
+                return t
+        raise KeyError(f"no table titled {title!r} in {self.experiment_id}")
+
+    def format(self) -> str:
+        """Render the full result as text."""
+        parts = [f"=== {self.experiment_id}: {self.description} ==="]
+        for t in self.tables:
+            parts.append(t.format())
+        for chart in self.charts:
+            parts.append(chart)
+        if self.notes:
+            parts.append("notes:")
+            for k, v in self.notes.items():
+                parts.append(f"  {k}: {_fmt(v)}")
+        return "\n\n".join(parts)
+
+    def print(self) -> None:
+        """Print the result to stdout."""
+        print(self.format(), flush=True)

@@ -1,0 +1,155 @@
+"""Command-line driver: regenerate any paper table/figure from a terminal.
+
+Usage::
+
+    repro-fgcs list                         # show the experiment registry
+    repro-fgcs run fig5                     # one experiment, quick scale
+    repro-fgcs run fig7 --scale full        # paper-scale run
+    repro-fgcs run all --out results/       # everything, tables to CSV
+    repro-fgcs synthesize --machines 8 --days 90 --out traces/
+    repro-fgcs predict --trace traces/lab-00.npz --start-hour 8 --hours 5
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.bench.experiments import REGISTRY
+
+    print(f"{'id':<10} description")
+    print(f"{'-' * 10} {'-' * 50}")
+    for name, module in REGISTRY.items():
+        desc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<10} {desc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import REGISTRY
+
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: all, {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        result = REGISTRY[name].run(args.scale, seed=args.seed)
+        result.print()
+        print(f"\n[{name} finished in {time.perf_counter() - t0:.1f} s]\n")
+        if args.out:
+            out = Path(args.out)
+            for i, table in enumerate(result.tables):
+                slug = table.title.lower().replace(" ", "_").replace(":", "")[:60]
+                table.to_csv(out / f"{name}_{i}_{slug}.csv")
+            print(f"[tables written to {out}/]")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.traces.io import save_traceset
+    from repro.traces.profiles import PROFILES
+    from repro.traces.synthesis import synthesize_testbed
+
+    if args.profile not in PROFILES:
+        print(f"unknown profile {args.profile!r}; known: {', '.join(PROFILES)}",
+              file=sys.stderr)
+        return 2
+    testbed = synthesize_testbed(
+        args.machines,
+        n_days=args.days,
+        sample_period=args.period,
+        seed=args.seed,
+        profile=PROFILES[args.profile](),
+    )
+    path = save_traceset(testbed, args.out)
+    total = sum(t.n_samples for t in testbed)
+    print(f"wrote {len(testbed)} machine traces ({total} samples) to {path}/")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core import ClockWindow, DayType, TemporalReliabilityPredictor
+    from repro.core.estimator import EstimatorConfig
+    from repro.traces.io import load_trace_npz
+
+    trace = load_trace_npz(args.trace)
+    predictor = TemporalReliabilityPredictor(
+        trace, estimator_config=EstimatorConfig(step_multiple=args.step_multiple)
+    )
+    window = ClockWindow.from_hours(args.start_hour, args.hours)
+    dtype = DayType.WEEKEND if args.weekend else DayType.WEEKDAY
+    res = predictor.predict_detailed(window, dtype)
+    print(f"machine:    {trace.machine_id} ({trace.n_days} days of history)")
+    print(f"window:     {args.start_hour:05.2f}h + {args.hours:g}h on {dtype.value}s")
+    print(f"TR:         {res.tr:.4f}")
+    print(f"init state: {res.init_state.name} ({res.init_state.describe()})")
+    print(
+        f"based on:   {res.n_history_days} history days, {res.n_observations} sojourns, "
+        f"horizon {res.horizon} x {res.step:g}s"
+    )
+    print(f"cost:       {res.total_seconds * 1000:.1f} ms "
+          f"(estimation {res.estimation_seconds * 1000:.1f} ms)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fgcs",
+        description="Resource availability prediction in FGCS systems — "
+        "reproduction of Ren et al., HPDC 2006.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--scale", choices=("quick", "full"), default="quick",
+                     help="quick: minutes; full: paper-scale (default: quick)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", help="directory to also write result tables as CSV")
+    run.set_defaults(func=_cmd_run)
+
+    synth = sub.add_parser("synthesize", help="generate a synthetic testbed")
+    synth.add_argument("--machines", type=int, default=8)
+    synth.add_argument("--days", type=int, default=90)
+    synth.add_argument("--period", type=float, default=6.0,
+                       help="monitoring period in seconds (default: 6)")
+    synth.add_argument("--profile", default="student-lab",
+                       help="machine profile (student-lab, office-desktop, server-room)")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--out", required=True, help="output directory")
+    synth.set_defaults(func=_cmd_synthesize)
+
+    pred = sub.add_parser("predict", help="predict TR from a saved trace")
+    pred.add_argument("--trace", required=True, help="path to a .npz trace")
+    pred.add_argument("--start-hour", type=float, default=8.0)
+    pred.add_argument("--hours", type=float, default=5.0)
+    pred.add_argument("--weekend", action="store_true",
+                      help="predict for weekends instead of weekdays")
+    pred.add_argument("--step-multiple", type=int, default=10,
+                      help="SMP step as a multiple of the monitoring period")
+    pred.set_defaults(func=_cmd_predict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

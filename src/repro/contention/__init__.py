@@ -1,0 +1,43 @@
+"""Contention substrate: the Section-3.2 empirical studies, simulated.
+
+An event-driven time-sharing scheduler
+(:mod:`~repro.contention.scheduler`), process/host-group workloads
+(:mod:`~repro.contention.processes`), a memory/thrashing model
+(:mod:`~repro.contention.memory`), the study runners
+(:mod:`~repro.contention.experiment`) and the Th1/Th2 derivation
+(:mod:`~repro.contention.thresholds`).
+"""
+
+from repro.contention.experiment import (
+    MemoryRecord,
+    PriorityRecord,
+    ReductionRecord,
+    cpu_contention_study,
+    measure_reduction,
+    memory_contention_study,
+    priority_alternatives_study,
+)
+from repro.contention.memory import MemorySystem
+from repro.contention.processes import HostGroup, ProcessSpec, guest_spec
+from repro.contention.scheduler import SchedulerParams, SchedulerSimulator, SimulationResult
+from repro.contention.thresholds import ThresholdDerivation, crossing_load, derive_thresholds
+
+__all__ = [
+    "HostGroup",
+    "MemoryRecord",
+    "MemorySystem",
+    "PriorityRecord",
+    "ProcessSpec",
+    "ReductionRecord",
+    "SchedulerParams",
+    "SchedulerSimulator",
+    "SimulationResult",
+    "ThresholdDerivation",
+    "cpu_contention_study",
+    "crossing_load",
+    "derive_thresholds",
+    "guest_spec",
+    "measure_reduction",
+    "memory_contention_study",
+    "priority_alternatives_study",
+]

@@ -1,0 +1,136 @@
+"""Process and host-group specifications for the contention studies.
+
+The paper's Section-3.2 experiments run an aggregated *host group* of
+synthetic processes (isolated CPU usages between 10% and 100%) together
+with a completely CPU-bound *guest* process whose nice value is 0 or 19.
+These specs describe exactly those workloads for the scheduler simulator.
+
+A bursty process alternates compute bursts with sleeps sized so that its
+*isolated* CPU usage (the usage when running alone, what the paper calls
+``L``) hits the requested target.  A CPU-bound process never sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcessSpec", "HostGroup", "guest_spec"]
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One simulated process.
+
+    ``isolated_usage`` is the target duty cycle in isolation (1.0 = pure
+    CPU-bound).  ``burst_mean`` is the mean length of one compute burst
+    in seconds; bursts are exponentially distributed, mimicking the
+    compute-then-sleep loop of the paper's synthetic host programs.
+    ``working_set_mb`` feeds the memory-contention model.
+    """
+
+    name: str
+    nice: int = 0
+    isolated_usage: float = 1.0
+    burst_mean: float = 0.030
+    working_set_mb: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not -20 <= self.nice <= 19:
+            raise ValueError(f"nice must be in [-20, 19], got {self.nice}")
+        if not 0.0 < self.isolated_usage <= 1.0:
+            raise ValueError(f"isolated_usage must be in (0, 1], got {self.isolated_usage}")
+        if self.burst_mean <= 0.0:
+            raise ValueError(f"burst_mean must be positive, got {self.burst_mean}")
+        if self.working_set_mb < 0.0:
+            raise ValueError(f"working_set_mb must be >= 0, got {self.working_set_mb}")
+
+    @property
+    def cpu_bound(self) -> bool:
+        """True when the process never sleeps (isolated usage 1.0)."""
+        return self.isolated_usage >= 1.0
+
+    @property
+    def sleep_per_burst(self) -> float:
+        """Mean sleep following each burst to hit the isolated usage."""
+        if self.cpu_bound:
+            return 0.0
+        return self.burst_mean * (1.0 - self.isolated_usage) / self.isolated_usage
+
+
+@dataclass(frozen=True)
+class HostGroup:
+    """An aggregated group of host processes (the paper's ``H``)."""
+
+    processes: tuple[ProcessSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.processes:
+            raise ValueError("host group must contain at least one process")
+
+    @property
+    def size(self) -> int:
+        """Number of host processes in the group."""
+        return len(self.processes)
+
+    @property
+    def isolated_usage(self) -> float:
+        """The group's aggregate isolated CPU usage ``L_H``, capped at 1.
+
+        Usages add as long as the CPU is not saturated; the cap reflects
+        that a single CPU cannot exceed 100%.
+        """
+        return min(1.0, sum(p.isolated_usage for p in self.processes))
+
+    @property
+    def working_set_mb(self) -> float:
+        """Aggregate working set of the host group."""
+        return sum(p.working_set_mb for p in self.processes)
+
+    @classmethod
+    def single(cls, isolated_usage: float, **kwargs) -> "HostGroup":
+        """A group of one host process with the given isolated usage."""
+        return cls((ProcessSpec(name="host-0", isolated_usage=isolated_usage, **kwargs),))
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        size: int,
+        usage_range: tuple[float, float] = (0.10, 1.00),
+        **kwargs,
+    ) -> "HostGroup":
+        """The paper's randomized groups: per-process usage U(10%, 100%)."""
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        lo, hi = usage_range
+        specs = tuple(
+            ProcessSpec(
+                name=f"host-{i}",
+                isolated_usage=float(rng.uniform(lo, hi)),
+                **kwargs,
+            )
+            for i in range(size)
+        )
+        return cls(specs)
+
+    @classmethod
+    def with_total_usage(
+        cls, total: float, size: int = 1, **kwargs
+    ) -> "HostGroup":
+        """A group of ``size`` identical processes summing to ``total``."""
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        per = total / size
+        specs = tuple(
+            ProcessSpec(name=f"host-{i}", isolated_usage=per, **kwargs) for i in range(size)
+        )
+        return cls(specs)
+
+
+def guest_spec(nice: int = 0, working_set_mb: float = 64.0) -> ProcessSpec:
+    """The paper's guest: a completely CPU-bound process."""
+    return ProcessSpec(
+        name="guest", nice=nice, isolated_usage=1.0, working_set_mb=working_set_mb
+    )

@@ -1,0 +1,110 @@
+"""Derive Th1/Th2 from measured reduction-rate curves (paper Section 3.3).
+
+The paper picks the thresholds "according to the lowest values of L_H
+among the different host group sizes, where the guest process needs to
+be reniced or terminated, respectively, to keep the slowdown below 5%":
+
+* **Th1** — the smallest L_H at which a *nice-0* guest causes more than
+  5% host slowdown (beyond it the guest must be reniced);
+* **Th2** — the smallest L_H at which even a *nice-19* guest causes more
+  than 5% slowdown (beyond it the guest must be terminated).
+
+Crossings are located by linear interpolation on the per-group-size
+curves, then the minimum over group sizes is taken, exactly following
+the paper's conservative rule.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.contention.experiment import ReductionRecord
+from repro.core.states import Thresholds
+
+__all__ = ["ThresholdDerivation", "crossing_load", "derive_thresholds"]
+
+
+def crossing_load(
+    loads: Sequence[float], reductions: Sequence[float], limit: float
+) -> float | None:
+    """The smallest load at which the reduction curve crosses ``limit``.
+
+    Points are sorted by load; the first upward crossing is located by
+    linear interpolation between the bracketing points.  Returns ``None``
+    when the curve never reaches the limit, and the first measured load
+    when even that already exceeds it.
+    """
+    if len(loads) != len(reductions) or not loads:
+        raise ValueError("loads and reductions must be equal-length and non-empty")
+    order = np.argsort(loads)
+    xs = np.asarray(loads, dtype=float)[order]
+    ys = np.asarray(reductions, dtype=float)[order]
+    if ys[0] > limit:
+        return float(xs[0])
+    for i in range(1, len(xs)):
+        if ys[i] > limit >= ys[i - 1]:
+            span = ys[i] - ys[i - 1]
+            frac = 0.5 if span <= 0.0 else (limit - ys[i - 1]) / span
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    return None
+
+
+@dataclass(frozen=True)
+class ThresholdDerivation:
+    """The derived thresholds plus per-group-size crossings for inspection."""
+
+    th1: float
+    th2: float
+    slowdown_limit: float
+    crossings_nice0: dict[int, float | None]
+    crossings_nice19: dict[int, float | None]
+
+    def as_thresholds(self) -> Thresholds:
+        """Convert to the classifier's :class:`Thresholds` (clipped sane)."""
+        th1 = min(max(self.th1, 0.01), 0.98)
+        th2 = min(max(self.th2, th1 + 0.01), 0.99)
+        return Thresholds(th1=th1, th2=th2, slowdown_limit=self.slowdown_limit)
+
+
+def derive_thresholds(
+    records: Iterable[ReductionRecord],
+    *,
+    slowdown_limit: float = 0.05,
+) -> ThresholdDerivation:
+    """Apply the paper's rule to a CPU-contention study's records.
+
+    Records must contain nice-0 and nice-19 measurements.  A nice level
+    whose curves never cross the limit contributes no crossing; if no
+    group crosses at all for a level, the threshold defaults to 1.0
+    (the guest never needs the corresponding action).
+    """
+    by_key: dict[tuple[int, int], list[ReductionRecord]] = defaultdict(list)
+    for rec in records:
+        if rec.guest_nice in (0, 19):
+            by_key[(rec.guest_nice, rec.group_size)].append(rec)
+    if not any(nice == 0 for nice, _ in by_key):
+        raise ValueError("no nice-0 records: cannot derive Th1")
+    if not any(nice == 19 for nice, _ in by_key):
+        raise ValueError("no nice-19 records: cannot derive Th2")
+
+    crossings: dict[int, dict[int, float | None]] = {0: {}, 19: {}}
+    for (nice, size), recs in by_key.items():
+        loads = [r.isolated_usage for r in recs]
+        reds = [r.reduction for r in recs]
+        crossings[nice][size] = crossing_load(loads, reds, slowdown_limit)
+
+    def lowest(nice: int) -> float:
+        vals = [c for c in crossings[nice].values() if c is not None]
+        return min(vals) if vals else 1.0
+
+    return ThresholdDerivation(
+        th1=lowest(0),
+        th2=lowest(19),
+        slowdown_limit=slowdown_limit,
+        crossings_nice0=crossings[0],
+        crossings_nice19=crossings[19],
+    )

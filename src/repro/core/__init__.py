@@ -1,0 +1,71 @@
+"""Core of the reproduction: the paper's availability model and predictor.
+
+Public surface:
+
+* :mod:`repro.core.states` — the five-state availability model.
+* :mod:`repro.core.windows` — calendar/window arithmetic.
+* :mod:`repro.core.classifier` — samples -> states.
+* :mod:`repro.core.smp` — the semi-Markov kernel and the Eq.-3 solver.
+* :mod:`repro.core.estimator` — windowed kernel estimation from history.
+* :mod:`repro.core.predictor` — the temporal-reliability predictor.
+* :mod:`repro.core.empirical` — ground-truth TR from test data.
+* :mod:`repro.core.metrics` — the paper's evaluation metrics.
+"""
+
+from repro.core.classifier import ClassifierConfig, StateClassifier
+from repro.core.ctsmp import ContinuousSmp, fit_phase_type
+from repro.core.empirical import EmpiricalTR, empirical_tr
+from repro.core.estimator import EstimatorConfig, WindowedKernelEstimator
+from repro.core.metrics import (
+    ErrorSummary,
+    accuracy_from_error,
+    prediction_discrepancy,
+    relative_error,
+)
+from repro.core.predictor import PredictionResult, TemporalReliabilityPredictor
+from repro.core.smp import (
+    SmpKernel,
+    estimate_kernel,
+    failure_probabilities,
+    temporal_reliability,
+)
+from repro.core.uncertainty import TrInterval, bootstrap_tr
+from repro.core.states import (
+    DEFAULT_THRESHOLDS,
+    FAILURE_STATES,
+    OPERATIONAL_STATES,
+    State,
+    Thresholds,
+)
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+
+__all__ = [
+    "AbsoluteWindow",
+    "ClassifierConfig",
+    "ClockWindow",
+    "ContinuousSmp",
+    "TrInterval",
+    "bootstrap_tr",
+    "fit_phase_type",
+    "DayType",
+    "DEFAULT_THRESHOLDS",
+    "EmpiricalTR",
+    "ErrorSummary",
+    "EstimatorConfig",
+    "FAILURE_STATES",
+    "OPERATIONAL_STATES",
+    "PredictionResult",
+    "SmpKernel",
+    "State",
+    "StateClassifier",
+    "TemporalReliabilityPredictor",
+    "Thresholds",
+    "WindowedKernelEstimator",
+    "accuracy_from_error",
+    "empirical_tr",
+    "estimate_kernel",
+    "failure_probabilities",
+    "prediction_discrepancy",
+    "relative_error",
+    "temporal_reliability",
+]

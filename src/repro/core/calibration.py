@@ -1,0 +1,184 @@
+"""Probabilistic calibration of TR predictions.
+
+The paper scores predictions with relative error against a per-window
+empirical TR.  A complementary — and for a scheduler arguably more
+actionable — question is *calibration*: among all windows predicted to
+survive with probability ~0.8, do ~80% actually survive?  This module
+provides the standard tooling:
+
+* :func:`brier_score` — mean squared error of probabilistic predictions
+  against binary outcomes (0 = failed, 1 = survived), with the
+  Murphy decomposition into reliability / resolution / uncertainty;
+* :func:`reliability_diagram` — binned predicted-probability vs
+  observed-frequency pairs (the calibration curve);
+* :func:`collect_outcomes` — pair per-day TR predictions with per-day
+  survival outcomes over a testbed, the input to both.
+
+The CAL bench uses these to show the SMP predictor is not just accurate
+on average but *calibrated* — and that the linear baselines are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.empirical import observed_window_outcomes
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import ClockWindow, DayType
+
+__all__ = [
+    "BrierDecomposition",
+    "brier_score",
+    "reliability_diagram",
+    "expected_calibration_error",
+    "collect_outcomes",
+]
+
+
+@dataclass(frozen=True)
+class BrierDecomposition:
+    """Murphy decomposition: ``brier = reliability - resolution + uncertainty``."""
+
+    brier: float
+    reliability: float  #: calibration term, 0 = perfectly calibrated
+    resolution: float  #: discrimination term, larger = better
+    uncertainty: float  #: outcome base-rate variance (predictor-independent)
+
+    def __post_init__(self) -> None:
+        recomposed = self.reliability - self.resolution + self.uncertainty
+        if abs(recomposed - self.brier) > 1e-9:
+            raise ValueError(
+                f"decomposition does not recompose: {recomposed} != {self.brier}"
+            )
+
+
+def _validate(predictions: Sequence[float], outcomes: Sequence[bool]) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(predictions, dtype=float)
+    y = np.asarray(outcomes, dtype=float)
+    if p.shape != y.shape or p.ndim != 1:
+        raise ValueError(f"predictions and outcomes must be equal-length 1-D, got {p.shape}, {y.shape}")
+    if p.size == 0:
+        raise ValueError("need at least one (prediction, outcome) pair")
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("predictions must be probabilities in [0, 1]")
+    if np.any((y != 0.0) & (y != 1.0)):
+        raise ValueError("outcomes must be binary")
+    return p, y
+
+
+def brier_score(
+    predictions: Sequence[float],
+    outcomes: Sequence[bool],
+    *,
+    n_bins: int = 10,
+) -> BrierDecomposition:
+    """Brier score with the Murphy (binned) decomposition.
+
+    The decomposition uses equal-width probability bins; both the score
+    and the terms are exact for the binned forecasts (the standard
+    construction, replacing each prediction by its bin mean).
+    """
+    p, y = _validate(predictions, outcomes)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    bins = np.clip((p * n_bins).astype(int), 0, n_bins - 1)
+    base = float(y.mean())
+    uncertainty = base * (1.0 - base)
+    reliability = 0.0
+    resolution = 0.0
+    binned_p = p.copy()
+    for b in range(n_bins):
+        mask = bins == b
+        if not np.any(mask):
+            continue
+        w = mask.mean()
+        p_bar = float(p[mask].mean())
+        y_bar = float(y[mask].mean())
+        binned_p[mask] = p_bar
+        reliability += w * (p_bar - y_bar) ** 2
+        resolution += w * (y_bar - base) ** 2
+    brier = float(np.mean((binned_p - y) ** 2))
+    return BrierDecomposition(
+        brier=brier,
+        reliability=float(reliability),
+        resolution=float(resolution),
+        uncertainty=float(uncertainty),
+    )
+
+
+def reliability_diagram(
+    predictions: Sequence[float],
+    outcomes: Sequence[bool],
+    *,
+    n_bins: int = 10,
+) -> list[tuple[float, float, int]]:
+    """Calibration curve: ``(mean predicted, observed frequency, count)`` per bin.
+
+    Bins with no predictions are omitted.  A calibrated predictor's
+    points lie on the diagonal.
+    """
+    p, y = _validate(predictions, outcomes)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    bins = np.clip((p * n_bins).astype(int), 0, n_bins - 1)
+    out = []
+    for b in range(n_bins):
+        mask = bins == b
+        if not np.any(mask):
+            continue
+        out.append((float(p[mask].mean()), float(y[mask].mean()), int(mask.sum())))
+    return out
+
+
+def expected_calibration_error(
+    predictions: Sequence[float],
+    outcomes: Sequence[bool],
+    *,
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |predicted - observed| over the bins."""
+    diagram = reliability_diagram(predictions, outcomes, n_bins=n_bins)
+    total = sum(c for _p, _y, c in diagram)
+    return float(sum(c * abs(p - y) for p, y, c in diagram) / total)
+
+
+def collect_outcomes(
+    data,
+    *,
+    lengths: Sequence[float] = (1.0, 3.0, 5.0, 10.0),
+    start_hours: Sequence[int] = (0, 4, 8, 11, 14, 17, 20),
+    dtype: DayType = DayType.WEEKDAY,
+) -> tuple[list[float], list[bool]]:
+    """Per-day (TR prediction, survived?) pairs over a testbed.
+
+    ``data`` is an :class:`repro.bench.data.EvaluationData` (duck-typed
+    here to keep the core free of a bench dependency): it provides
+    ``machine_ids``, ``train``/``test`` trace sets, a ``classifier``,
+    an ``estimator_config`` and the ``step_multiple``.
+
+    Each machine's predictor (built from its training half) predicts
+    every (start hour, length) window; each *test day* of that window
+    contributes one binary outcome paired with that prediction.  This is
+    the per-event view behind the paper's per-window empirical TR.
+    """
+    predictions: list[float] = []
+    outcomes: list[bool] = []
+    for mid in data.machine_ids:
+        predictor = TemporalReliabilityPredictor(
+            data.train[mid], estimator_config=data.estimator_config
+        )
+        for T in lengths:
+            for h in start_hours:
+                cw = ClockWindow.from_hours(h, T)
+                tr = predictor.predict(cw, dtype)
+                rows = observed_window_outcomes(
+                    data.test[mid], data.classifier, cw, dtype,
+                    step_multiple=data.step_multiple,
+                )
+                for _day, _init, ok in rows:
+                    predictions.append(tr)
+                    outcomes.append(ok)
+    return predictions, outcomes

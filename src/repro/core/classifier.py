@@ -1,0 +1,145 @@
+"""Map raw monitoring samples to the five-state availability model.
+
+The classifier implements the state definitions of paper Section 3.3:
+
+* down samples (stale heartbeat) are **S5**;
+* samples with insufficient free memory for the guest working set are
+  **S4** (memory thrashing is priority-insensitive, Section 3.2.2);
+* samples with host CPU load steadily above ``Th2`` are **S3** — where
+  *steadily* means an excursion lasting at least the transient tolerance
+  (1 minute in the paper's testbed).  Shorter excursions are absorbed by
+  the surrounding operational state: the guest is merely suspended and
+  resumed, which the paper folds into S1/S2;
+* remaining samples are **S2** when ``Th1 <= L_H <= Th2`` and **S1**
+  when ``L_H < Th1``.
+
+The precedence S5 > S4 > CPU-based states matches the model: a revoked
+machine has no load to speak of, and thrashing kills the guest regardless
+of CPU headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.segments import run_length_encode
+from repro.core.states import State, Thresholds
+from repro.traces.trace import MachineTrace, TraceWindow
+
+__all__ = ["ClassifierConfig", "StateClassifier", "DEFAULT_CLASSIFIER"]
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Configuration of the sample-to-state mapping.
+
+    Attributes
+    ----------
+    thresholds:
+        The ``Th1``/``Th2`` host-load thresholds.
+    transient_tolerance:
+        Maximum duration (seconds) of an ``L_H > Th2`` excursion that is
+        still treated as transient (guest suspended, not killed).  The
+        paper used 1 minute.
+    guest_mem_requirement_mb:
+        Free memory (MB) a guest working set needs; less free memory means
+        thrashing (S4).  The paper's guest applications had working sets
+        of 29-193 MB; the default is a mid-range 128 MB.
+    """
+
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    transient_tolerance: float = 60.0
+    guest_mem_requirement_mb: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.transient_tolerance < 0.0:
+            raise ValueError(
+                f"transient_tolerance must be >= 0, got {self.transient_tolerance}"
+            )
+        if self.guest_mem_requirement_mb < 0.0:
+            raise ValueError(
+                f"guest_mem_requirement_mb must be >= 0, got {self.guest_mem_requirement_mb}"
+            )
+
+
+class StateClassifier:
+    """Classify monitoring samples into the five availability states."""
+
+    def __init__(self, config: ClassifierConfig | None = None) -> None:
+        self.config = config or ClassifierConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def classify_arrays(
+        self,
+        load: np.ndarray,
+        free_mem_mb: np.ndarray,
+        up: np.ndarray,
+        sample_period: float,
+    ) -> np.ndarray:
+        """Classify parallel sample arrays; returns an int8 state array.
+
+        ``sample_period`` converts the transient tolerance into a sample
+        count.  An excursion above ``Th2`` is transient when it spans
+        *fewer* samples than ``ceil(tolerance / period)`` — i.e. it lasted
+        strictly less than the tolerance.
+        """
+        load = np.asarray(load, dtype=np.float64)
+        free_mem_mb = np.asarray(free_mem_mb, dtype=np.float64)
+        up = np.asarray(up, dtype=bool)
+        if load.shape != free_mem_mb.shape or load.shape != up.shape:
+            raise ValueError("sample arrays must have identical shapes")
+        if sample_period <= 0.0:
+            raise ValueError(f"sample_period must be positive, got {sample_period}")
+
+        th = self.config.thresholds
+        states = np.where(load < th.th1, np.int8(State.S1), np.int8(State.S2))
+        states = np.where(load > th.th2, np.int8(State.S3), states).astype(np.int8)
+        self._absorb_transient_spikes(states, sample_period)
+        # Memory thrashing and revocation override CPU-based states.
+        states[free_mem_mb < self.config.guest_mem_requirement_mb] = np.int8(State.S4)
+        states[~up] = np.int8(State.S5)
+        return states
+
+    def classify_window(self, view: TraceWindow) -> np.ndarray:
+        """Classify one :class:`~repro.traces.trace.TraceWindow`."""
+        return self.classify_arrays(view.load, view.free_mem_mb, view.up, view.sample_period)
+
+    def classify_trace(self, trace: MachineTrace) -> np.ndarray:
+        """Classify a whole trace; returns one state per sample."""
+        return self.classify_arrays(trace.load, trace.free_mem_mb, trace.up, trace.sample_period)
+
+    # ------------------------------------------------------------------ #
+
+    def transient_tolerance_samples(self, sample_period: float) -> int:
+        """Number of samples at/above which an excursion is non-transient."""
+        return max(1, int(np.ceil(self.config.transient_tolerance / sample_period)))
+
+    def _absorb_transient_spikes(self, states: np.ndarray, sample_period: float) -> None:
+        """Remap short S3 runs to the surrounding operational state, in place.
+
+        A transient spike inherits the state of the preceding operational
+        visit (the guest was running at that state's priority when it got
+        suspended).  A spike at the very start of the sequence — or one
+        preceded by a failure — inherits the following operational state;
+        if neither neighbour is operational, S2 is used (the conservative
+        choice: the host was busy).
+        """
+        tol = self.transient_tolerance_samples(sample_period)
+        vals, starts, lengths = run_length_encode(states)
+        n_runs = len(vals)
+        for i in range(n_runs):
+            if vals[i] != State.S3 or lengths[i] >= tol:
+                continue
+            replacement = np.int8(State.S2)
+            if i > 0 and vals[i - 1] in (State.S1, State.S2):
+                replacement = vals[i - 1]
+            elif i + 1 < n_runs and vals[i + 1] in (State.S1, State.S2):
+                replacement = vals[i + 1]
+            states[starts[i] : starts[i] + lengths[i]] = replacement
+
+
+#: A classifier with the paper's testbed parameters.
+DEFAULT_CLASSIFIER = StateClassifier()

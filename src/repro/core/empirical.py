@@ -1,0 +1,104 @@
+"""Empirical temporal reliability from held-out test data.
+
+The paper evaluates prediction accuracy by comparing the predicted TR
+against "the actual observations from the test data set" (Section 7.2).
+The empirical TR of a clock window is the fraction of test days (of the
+matching day type) on which the machine never entered a failure state
+during that window.
+
+Days on which the machine is already failed at the window start are
+excluded by default: no scheduler would launch a guest job on a machine
+that is currently unavailable, and the SMP prediction is likewise
+conditioned on an operational initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import coarsen_states
+from repro.core.segments import failure_free
+from repro.core.states import State
+from repro.core.windows import ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+__all__ = ["EmpiricalTR", "empirical_tr", "observed_window_outcomes"]
+
+
+@dataclass(frozen=True)
+class EmpiricalTR:
+    """Empirical temporal reliability and its support.
+
+    ``value`` is the fraction of counted days that stayed failure-free;
+    ``n_days`` is the number of days counted; ``n_excluded`` the days
+    skipped because the machine was already failed at the window start.
+    """
+
+    value: float
+    n_days: int
+    n_excluded: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days > 0 and not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"empirical TR must be in [0, 1], got {self.value}")
+
+
+def observed_window_outcomes(
+    trace: MachineTrace,
+    classifier: StateClassifier,
+    clock: ClockWindow,
+    dtype: DayType,
+    *,
+    condition_on_operational_start: bool = True,
+    step_multiple: int = 1,
+) -> list[tuple[int, State, bool]]:
+    """Per-day window outcomes: ``(day, initial_state, failure_free)``.
+
+    Only days of type ``dtype`` whose window lies inside the trace are
+    listed.  With ``condition_on_operational_start`` days whose window
+    starts in a failure state are omitted.
+    """
+    out: list[tuple[int, State, bool]] = []
+    for day in trace.days(dtype):
+        window = clock.on_day(day)
+        if not trace.covers(window):
+            continue
+        states = classifier.classify_window(trace.window_view(window))
+        states = coarsen_states(states, step_multiple)
+        init = State(int(states[0]))
+        if condition_on_operational_start and init.is_failure:
+            continue
+        out.append((day, init, failure_free(states)))
+    return out
+
+
+def empirical_tr(
+    trace: MachineTrace,
+    classifier: StateClassifier,
+    clock: ClockWindow,
+    dtype: DayType,
+    *,
+    condition_on_operational_start: bool = True,
+    step_multiple: int = 1,
+) -> EmpiricalTR:
+    """Empirical TR of ``clock`` over the trace's days of type ``dtype``."""
+    n_total = 0
+    outcomes = []
+    for day in trace.days(dtype):
+        if trace.covers(clock.on_day(day)):
+            n_total += 1
+    rows = observed_window_outcomes(
+        trace,
+        classifier,
+        clock,
+        dtype,
+        condition_on_operational_start=condition_on_operational_start,
+        step_multiple=step_multiple,
+    )
+    if not rows:
+        return EmpiricalTR(value=float("nan"), n_days=0, n_excluded=n_total)
+    ok = np.array([r[2] for r in rows], dtype=float)
+    return EmpiricalTR(value=float(ok.mean()), n_days=len(rows), n_excluded=n_total - len(rows))

@@ -1,0 +1,115 @@
+"""Evaluation metrics for availability prediction.
+
+The paper's primary metric is the *relative error* of the predicted
+temporal reliability, ``abs(TR_predicted - TR_empirical) / TR_empirical``
+(Section 7.2); robustness is measured as the *prediction discrepancy*,
+the relative difference between predictions with and without injected
+noise (Section 7.3).  This module implements both plus the small summary
+statistics (average / min / max over window start times) that the paper's
+figures report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "prediction_discrepancy",
+    "accuracy_from_error",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def relative_error(predicted: float, empirical: float) -> float:
+    """Relative error of a TR prediction against the empirical TR.
+
+    Matches the paper's definition
+    ``abs(TR_predicted - TR_empirical) / TR_empirical``.  When the
+    empirical TR is zero the ratio is undefined; we return 0.0 when the
+    prediction is also (near) zero and ``inf`` otherwise, so that a model
+    predicting "certainly fails" for a window that always failed is
+    scored as perfect rather than skipped.
+    """
+    if math.isnan(predicted) or math.isnan(empirical):
+        return float("nan")
+    diff = abs(predicted - empirical)
+    if empirical == 0.0:
+        return 0.0 if diff < 1e-12 else float("inf")
+    return diff / empirical
+
+
+def prediction_discrepancy(noisy: float, clean: float) -> float:
+    """Relative difference between noisy- and clean-history predictions.
+
+    The paper's robustness metric (Section 7.3): how much the injected
+    noise disturbs the prediction, relative to the clean prediction.
+    """
+    if math.isnan(noisy) or math.isnan(clean):
+        return float("nan")
+    diff = abs(noisy - clean)
+    if clean == 0.0:
+        return 0.0 if diff < 1e-12 else float("inf")
+    return diff / clean
+
+
+def accuracy_from_error(rel_error: float) -> float:
+    """Prediction accuracy as the paper reports it: ``1 - relative error``.
+
+    Clamped below at 0 (a >100% relative error is "no accuracy", not
+    negative accuracy).
+    """
+    if math.isnan(rel_error):
+        return float("nan")
+    return max(0.0, 1.0 - rel_error)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Average / min / max of a set of relative errors (one figure point).
+
+    Non-finite entries (``nan`` from empty test sets, ``inf`` from zero
+    empirical TR with a non-zero prediction) are excluded from the
+    summary but counted in ``n_dropped``.
+    """
+
+    mean: float
+    minimum: float
+    maximum: float
+    n: int
+    n_dropped: int = 0
+
+    @classmethod
+    def from_errors(cls, errors: Iterable[float]) -> "ErrorSummary":
+        arr = np.asarray(list(errors), dtype=float)
+        finite = arr[np.isfinite(arr)]
+        dropped = int(arr.size - finite.size)
+        if finite.size == 0:
+            return cls(float("nan"), float("nan"), float("nan"), 0, dropped)
+        return cls(
+            mean=float(finite.mean()),
+            minimum=float(finite.min()),
+            maximum=float(finite.max()),
+            n=int(finite.size),
+            n_dropped=dropped,
+        )
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Average prediction accuracy, ``1 - mean error`` (clamped at 0)."""
+        return accuracy_from_error(self.mean)
+
+    @property
+    def worst_accuracy(self) -> float:
+        """Worst-case prediction accuracy, ``1 - max error`` (clamped at 0)."""
+        return accuracy_from_error(self.maximum)
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Convenience wrapper over :meth:`ErrorSummary.from_errors`."""
+    return ErrorSummary.from_errors(errors)

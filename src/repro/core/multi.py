@@ -1,0 +1,163 @@
+"""Multi-machine reliability and expected-completion-time models.
+
+The paper's scheduler sketch says the predicted TR "can be used by the
+scheduler to select the machine(s) with relatively high availability"
+— note the plural.  This module supplies the arithmetic a multi-machine
+scheduler needs on top of per-machine TR values:
+
+* :func:`group_survival` — probability that *all* of a set of machines
+  stay available (independent machines: the product), the quantity a
+  gang-scheduled job group cares about;
+* :func:`any_survival` — probability at least one machine survives
+  (replicated execution);
+* :func:`select_best_k` — the top-k machines by TR;
+* :func:`replication_needed` — smallest replication factor reaching a
+  target success probability;
+* :func:`expected_completion_time` — expected wall-clock completion of
+  a job under the restart model: attempts on a machine with failure
+  rate lambda (from :func:`repro.sim.checkpoint.failure_rate_from_tr`)
+  restart from scratch until one attempt survives the full execution
+  window.  This is the classic ``E[T] = (e^{lambda R} - 1)/lambda``
+  result, which lets a scheduler compare a slow-but-safe machine
+  against a fast-but-flaky one on expected response time rather than
+  raw TR.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = [
+    "group_survival",
+    "any_survival",
+    "select_best_k",
+    "replication_needed",
+    "expected_completion_time",
+    "expected_completion_with_checkpointing",
+]
+
+
+def _check_probs(trs: Sequence[float]) -> list[float]:
+    out = []
+    for tr in trs:
+        if not 0.0 <= tr <= 1.0:
+            raise ValueError(f"TR values must be in [0, 1], got {tr}")
+        out.append(float(tr))
+    if not out:
+        raise ValueError("need at least one TR value")
+    return out
+
+
+def group_survival(trs: Sequence[float]) -> float:
+    """P(all machines stay available) for independent machines."""
+    result = 1.0
+    for tr in _check_probs(trs):
+        result *= tr
+    return result
+
+
+def any_survival(trs: Sequence[float]) -> float:
+    """P(at least one machine stays available) for independent machines."""
+    miss = 1.0
+    for tr in _check_probs(trs):
+        miss *= 1.0 - tr
+    return 1.0 - miss
+
+
+def select_best_k(machine_trs: Mapping[str, float], k: int) -> list[str]:
+    """The ``k`` machine ids with the highest TR (ties broken by id).
+
+    Raises when fewer than ``k`` machines are offered — a scheduler
+    must know it cannot gang-schedule, not silently under-allocate.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if len(machine_trs) < k:
+        raise ValueError(f"need at least {k} machines, got {len(machine_trs)}")
+    _check_probs(list(machine_trs.values()))
+    ranked = sorted(machine_trs.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [mid for mid, _tr in ranked[:k]]
+
+
+def replication_needed(tr: float, target: float) -> int:
+    """Smallest n with ``any_survival([tr] * n) >= target``.
+
+    Raises for an impossible request (``tr == 0`` with ``target > 0``).
+    """
+    _check_probs([tr])
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    if tr >= target:
+        return 1
+    if tr <= 0.0:
+        raise ValueError("a machine with TR 0 can never reach the target")
+    # (1 - tr)^n <= 1 - target
+    n = math.log(1.0 - target) / math.log(1.0 - tr)
+    return max(1, math.ceil(n - 1e-12))
+
+
+def expected_completion_time(
+    work_seconds: float,
+    failure_rate: float,
+    *,
+    restart_delay: float = 0.0,
+) -> float:
+    """Expected completion under exponential failures and full restarts.
+
+    An attempt takes ``work_seconds``; failures arrive at ``failure_rate``
+    per second; a failed attempt wastes its elapsed time plus
+    ``restart_delay`` and starts over.  The classic renewal argument
+    gives ``E[T] = (e^{lambda W} - 1) / lambda + (1/p - 1) * delay``
+    with ``p = e^{-lambda W}`` the per-attempt success probability.
+    """
+    if work_seconds <= 0.0:
+        raise ValueError(f"work_seconds must be positive, got {work_seconds}")
+    if failure_rate < 0.0:
+        raise ValueError(f"failure_rate must be >= 0, got {failure_rate}")
+    if restart_delay < 0.0:
+        raise ValueError(f"restart_delay must be >= 0, got {restart_delay}")
+    if failure_rate == 0.0:
+        return work_seconds
+    lam_w = failure_rate * work_seconds
+    if lam_w > 700.0:  # exp overflow guard: effectively never completes
+        return math.inf
+    p_success = math.exp(-lam_w)
+    expected = (math.exp(lam_w) - 1.0) / failure_rate
+    expected += (1.0 / p_success - 1.0) * restart_delay
+    return expected
+
+
+def expected_completion_with_checkpointing(
+    work_seconds: float,
+    failure_rate: float,
+    checkpoint_interval: float,
+    checkpoint_cost: float,
+    *,
+    restart_delay: float = 0.0,
+) -> float:
+    """Expected completion when progress is checkpointed every interval.
+
+    The job is a chain of ``ceil(W / I)`` segments; each segment of
+    length ``I + C`` (work plus checkpoint cost) is retried independently
+    under the restart model.  Setting the interval with
+    :func:`repro.sim.checkpoint.young_interval` approximately minimizes
+    this expression — which is exactly what the E2E experiment's
+    predictive-interval policy exploits.
+    """
+    if checkpoint_interval <= 0.0:
+        raise ValueError(f"checkpoint_interval must be positive, got {checkpoint_interval}")
+    if checkpoint_cost < 0.0:
+        raise ValueError(f"checkpoint_cost must be >= 0, got {checkpoint_cost}")
+    if work_seconds <= 0.0:
+        raise ValueError(f"work_seconds must be positive, got {work_seconds}")
+    n_segments = max(1, math.ceil(work_seconds / checkpoint_interval))
+    last = work_seconds - (n_segments - 1) * checkpoint_interval
+    total = 0.0
+    for i in range(n_segments):
+        seg_work = checkpoint_interval if i < n_segments - 1 else last
+        seg_cost = checkpoint_cost if i < n_segments - 1 else 0.0
+        total += expected_completion_time(
+            seg_work + seg_cost, failure_rate, restart_delay=restart_delay
+        )
+    return total

@@ -1,0 +1,184 @@
+"""Incremental (online) kernel estimation for a live State Manager.
+
+The batch estimator re-classifies every history window on every query.
+That is fine for experiments but wasteful in deployment, where the
+paper's State Manager answers a stream of queries for recurring windows
+(a scheduler polls the same "next few hours" shape all day) while the
+history grows one day at a time.
+
+:class:`IncrementalPredictor` memoizes the expensive part — the pooled
+per-day sojourn observations of each (clock window, day type) — keyed
+by day index.  A query against a grown trace only classifies the *new*
+days; everything else is reused.  Results are exactly equal to the
+batch estimator's (verified by tests), because per-day observation
+extraction is deterministic given the trace.
+
+Cache invalidation: an entry is keyed by ``(machine, clock, day type,
+day)``; re-synthesizing or replacing a trace object with different data
+for the same machine id requires :meth:`invalidate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import windows as win
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import EstimatorConfig, WindowedKernelEstimator, coarsen_states
+from repro.core.smp import (
+    SmpKernel,
+    VisitObservation,
+    collect_observations,
+    kernel_from_observations,
+    temporal_reliability,
+)
+from repro.core.states import State
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+__all__ = ["IncrementalPredictor"]
+
+
+def _clock_key(clock: ClockWindow) -> tuple[int, int]:
+    return (int(round(clock.start)), int(round(clock.duration)))
+
+
+@dataclass
+class _WindowCache:
+    per_day_obs: dict[int, list[VisitObservation]]
+    per_day_init: dict[int, int]
+
+
+class IncrementalPredictor:
+    """A TR predictor with per-day observation memoization.
+
+    Mirrors :class:`~repro.core.predictor.TemporalReliabilityPredictor`'s
+    results while only paying classification cost for days not seen in
+    earlier queries of the same clock window.
+    """
+
+    def __init__(
+        self,
+        classifier: StateClassifier | None = None,
+        config: EstimatorConfig | None = None,
+    ) -> None:
+        self.estimator = WindowedKernelEstimator(classifier, config)
+        self._caches: dict[tuple, _WindowCache] = {}
+        self.days_classified = 0
+        self.days_reused = 0
+
+    @property
+    def config(self) -> EstimatorConfig:
+        """The estimation configuration in force."""
+        return self.estimator.config
+
+    def invalidate(self, machine_id: str | None = None) -> None:
+        """Drop cached observations (for one machine, or all)."""
+        if machine_id is None:
+            self._caches.clear()
+        else:
+            for key in [k for k in self._caches if k[0] == machine_id]:
+                del self._caches[key]
+
+    # ------------------------------------------------------------------ #
+
+    def _day_entry(
+        self, trace: MachineTrace, clock: ClockWindow, day: int
+    ) -> tuple[list[VisitObservation], int]:
+        """Observations and initial state for one history day (uncached)."""
+        cfg = self.estimator.config
+        lookback = cfg.lookback if cfg.lookback is not None else clock.duration
+        target = clock.on_day(day)
+        lb = min(lookback, max(0.0, target.start - trace.start_time))
+        lb_steps = int(round(lb / trace.sample_period))
+        view = trace.window_view(
+            AbsoluteWindow(
+                target.start - lb_steps * trace.sample_period,
+                target.duration + lb_steps * trace.sample_period,
+            )
+        )
+        states = self.estimator.classifier.classify_window(view)
+        mult = cfg.step_multiple
+        trim = lb_steps % mult
+        coarse = coarsen_states(states[trim:], mult)
+        coarse_lb = (lb_steps - trim) // mult
+        obs = collect_observations([coarse], lookback_steps=coarse_lb)
+        init = int(coarse[coarse_lb]) if coarse_lb < coarse.shape[0] else int(State.S1)
+        return obs, init
+
+    def _cache_for(
+        self, trace: MachineTrace, clock: ClockWindow, dtype: DayType
+    ) -> tuple[_WindowCache, list[int]]:
+        key = (trace.machine_id, _clock_key(clock), dtype)
+        cache = self._caches.setdefault(
+            key, _WindowCache(per_day_obs={}, per_day_init={})
+        )
+        days = self.estimator.history_days(trace, clock, dtype)
+        for day in days:
+            if day in cache.per_day_obs:
+                self.days_reused += 1
+                continue
+            obs, init = self._day_entry(trace, clock, day)
+            cache.per_day_obs[day] = obs
+            cache.per_day_init[day] = init
+            self.days_classified += 1
+        return cache, days
+
+    # ------------------------------------------------------------------ #
+
+    def _kernel_from_cache(
+        self, trace: MachineTrace, clock: ClockWindow, cache: _WindowCache, days
+    ) -> SmpKernel:
+        obs = [o for day in days for o in cache.per_day_obs[day]]
+        step = self.estimator.step(trace)
+        horizon = win.n_steps(clock.duration, step)
+        cfg = self.estimator.config
+        return kernel_from_observations(
+            obs, horizon, step, censoring=cfg.censoring, laplace=cfg.laplace
+        )
+
+    @staticmethod
+    def _init_from_cache(cache: _WindowCache, days) -> State:
+        counts = np.zeros(6, dtype=np.int64)
+        for day in days:
+            counts[cache.per_day_init[day]] += 1
+        if counts.sum() == 0:
+            return State.S1
+        return State(int(np.argmax(counts[1:]) + 1))
+
+    def kernel(
+        self, trace: MachineTrace, clock: ClockWindow, dtype: DayType
+    ) -> SmpKernel:
+        """Estimate the kernel, reusing cached per-day observations."""
+        cache, days = self._cache_for(trace, clock, dtype)
+        return self._kernel_from_cache(trace, clock, cache, days)
+
+    def typical_initial_state(
+        self, trace: MachineTrace, clock: ClockWindow, dtype: DayType
+    ) -> State:
+        """Most common cached window-start state (matches the batch rule)."""
+        cache, days = self._cache_for(trace, clock, dtype)
+        return self._init_from_cache(cache, days)
+
+    def predict(
+        self,
+        trace: MachineTrace,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        init_state: State | None = None,
+    ) -> float:
+        """Predict TR; identical semantics to the batch predictor."""
+        if isinstance(window, AbsoluteWindow):
+            clock = window.clock_window()
+            dtype = dtype or window.day_type
+        else:
+            clock = window
+            if dtype is None:
+                raise ValueError("a ClockWindow requires an explicit day type")
+        cache, days = self._cache_for(trace, clock, dtype)
+        kernel = self._kernel_from_cache(trace, clock, cache, days)
+        if init_state is None:
+            init_state = self._init_from_cache(cache, days)
+        return temporal_reliability(kernel, init_state)

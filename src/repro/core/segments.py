@@ -1,0 +1,68 @@
+"""Run-length utilities over classified state sequences.
+
+The SMP estimator consumes *visits* (maximal runs of one state) and the
+transitions between them, not raw per-sample states.  This module provides
+the vectorized run-length encoding both it and the classifier's
+transient-spike rule are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.states import State
+from repro.traces.events import StateVisit
+
+__all__ = ["run_length_encode", "visits", "transition_pairs", "failure_free"]
+
+
+def run_length_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length encode a 1-D array.
+
+    Returns ``(run_values, run_starts, run_lengths)``; empty input yields
+    three empty arrays.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"expected 1-D array, got shape {values.shape}")
+    n = values.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return values[:0], empty, empty
+    change = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    lengths = np.diff(np.concatenate((starts, [n])))
+    return values[starts], starts.astype(np.intp), lengths.astype(np.intp)
+
+
+def visits(states: np.ndarray) -> list[StateVisit]:
+    """Decompose a per-sample state sequence into maximal state visits."""
+    vals, starts, lengths = run_length_encode(np.asarray(states))
+    return [
+        StateVisit(state=State(int(v)), start_index=int(s), length=int(ln))
+        for v, s, ln in zip(vals, starts, lengths)
+    ]
+
+
+def transition_pairs(states: np.ndarray) -> list[tuple[State, State, int]]:
+    """List the observed transitions ``(from, to, holding_samples)``.
+
+    ``holding_samples`` is the number of samples the sequence stayed in
+    ``from`` before switching to ``to``.  The final (right-censored) visit
+    produces no pair — the estimator accounts for censoring separately.
+    """
+    vals, _starts, lengths = run_length_encode(np.asarray(states))
+    out: list[tuple[State, State, int]] = []
+    for i in range(len(vals) - 1):
+        out.append((State(int(vals[i])), State(int(vals[i + 1])), int(lengths[i])))
+    return out
+
+
+def failure_free(states: np.ndarray) -> bool:
+    """True when a state sequence never enters S3/S4/S5.
+
+    This is the per-day ingredient of the *empirical* temporal
+    reliability used as ground truth in the paper's accuracy experiments.
+    """
+    states = np.asarray(states)
+    return bool(np.all(states <= State.S2))

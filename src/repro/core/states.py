@@ -1,0 +1,136 @@
+"""The five-state resource availability model (paper Section 3.3, Fig. 1).
+
+States
+------
+``S1``  full availability: host CPU load below ``Th1``; a guest process runs
+        at default priority.
+``S2``  constrained availability: host CPU load between ``Th1`` and ``Th2``;
+        the guest must run at the lowest priority (``renice 19``) to keep
+        host slowdown below the noticeable-slowdown limit (5%).
+``S3``  CPU unavailability (UEC): host CPU load steadily above ``Th2``; any
+        guest process must be terminated.
+``S4``  memory thrashing (UEC): free memory cannot hold the guest working
+        set; any guest process must be terminated.
+``S5``  machine unavailability (URR): the machine was revoked by its owner
+        or failed; detected by a stale monitoring heartbeat.
+
+S3, S4 and S5 are *unrecoverable* for a guest job — the guest has been
+killed or migrated and no state is left on the host — hence they are
+absorbing states of the semi-Markov process (paper Fig. 3 sparsity).
+
+S1 and S2 additionally absorb *transient* excursions of the load above
+``Th2`` (shorter than the suspension tolerance, 1 minute in the paper):
+the guest is briefly suspended and then resumed, which is not a failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "State",
+    "OPERATIONAL_STATES",
+    "FAILURE_STATES",
+    "N_STATES",
+    "Thresholds",
+    "DEFAULT_THRESHOLDS",
+]
+
+
+class State(enum.IntEnum):
+    """One of the five availability states.  Values match the paper (1-5)."""
+
+    S1 = 1  #: full availability for guest process
+    S2 = 2  #: availability for guest process at lowest priority
+    S3 = 3  #: CPU unavailability (UEC)
+    S4 = 4  #: memory thrashing (UEC)
+    S5 = 5  #: machine unavailability (URR)
+
+    @property
+    def is_operational(self) -> bool:
+        """True for S1/S2 — a guest process can (still) run."""
+        return self in OPERATIONAL_STATES
+
+    @property
+    def is_failure(self) -> bool:
+        """True for the absorbing failure states S3/S4/S5."""
+        return self in FAILURE_STATES
+
+    @property
+    def is_uec(self) -> bool:
+        """True when the state is unavailability due to excessive contention."""
+        return self in (State.S3, State.S4)
+
+    @property
+    def is_urr(self) -> bool:
+        """True when the state is unavailability due to resource revocation."""
+        return self is State.S5
+
+    def describe(self) -> str:
+        """A one-line human-readable description of the state."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    State.S1: "full resource availability for guest process",
+    State.S2: "resource availability for guest process with lowest priority",
+    State.S3: "CPU unavailability (UEC)",
+    State.S4: "memory thrashing (UEC)",
+    State.S5: "machine unavailability (URR)",
+}
+
+#: States in which a guest process keeps running.
+OPERATIONAL_STATES = (State.S1, State.S2)
+
+#: Absorbing failure states; entering any of these kills the guest job.
+FAILURE_STATES = (State.S3, State.S4, State.S5)
+
+#: Total number of states in the model.
+N_STATES = 5
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Host-load thresholds that quantify "noticeable slowdown".
+
+    ``th1`` and ``th2`` are the two host-CPU-load thresholds derived from
+    the empirical contention studies (paper Section 3.2): below ``th1`` a
+    default-priority guest is harmless; between ``th1`` and ``th2`` the
+    guest must be reniced; steadily above ``th2`` the guest must be
+    terminated.  ``slowdown_limit`` is the noticeable-slowdown criterion
+    that defines the thresholds (reduction of host CPU usage > 5%).
+
+    The paper's Linux testbed measured ``th1 = 0.20`` and ``th2 = 0.60``;
+    these are the defaults.  :mod:`repro.contention` re-derives thresholds
+    for the simulated testbed.
+    """
+
+    th1: float = 0.20
+    th2: float = 0.60
+    slowdown_limit: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.th1 < self.th2 <= 1.0:
+            raise ValueError(
+                f"thresholds must satisfy 0 < th1 < th2 <= 1, got th1={self.th1}, th2={self.th2}"
+            )
+        if not 0.0 < self.slowdown_limit < 1.0:
+            raise ValueError(f"slowdown_limit must be in (0, 1), got {self.slowdown_limit}")
+
+    def cpu_state(self, load: float) -> State:
+        """Classify a (steady) host CPU load into S1/S2/S3.
+
+        This is the raw threshold rule; the transient-spike tolerance and
+        the S4/S5 conditions are applied by
+        :class:`repro.core.classifier.StateClassifier`.
+        """
+        if load < self.th1:
+            return State.S1
+        if load <= self.th2:
+            return State.S2
+        return State.S3
+
+
+#: Thresholds measured on the paper's Purdue Linux testbed.
+DEFAULT_THRESHOLDS = Thresholds()

@@ -1,0 +1,207 @@
+"""A multi-machine availability-prediction service facade.
+
+This is the component a downstream system (a grid scheduler, a broker,
+an ops dashboard) would actually embed: one object that holds every
+machine's history, answers temporal-reliability queries efficiently
+(via the incremental per-day cache), and exposes the derived quantities
+schedulers act on — rankings, gang-survival, confidence intervals and
+reliable-horizon sizing.
+
+::
+
+    service = AvailabilityService()
+    for trace in traces:
+        service.register(trace)
+    window = ClockWindow.from_hours(9, 5)
+    ranking = service.rank(window, DayType.WEEKDAY)
+    best = service.select(window, DayType.WEEKDAY, k=2)
+    iv = service.interval("lab-03", window, DayType.WEEKDAY)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import EstimatorConfig
+from repro.core.multi import group_survival, select_best_k
+from repro.core.online import IncrementalPredictor
+from repro.core.predictor import max_reliable_horizon
+from repro.core.smp import temporal_reliability_profile
+from repro.core.states import State
+from repro.core.uncertainty import TrInterval, bootstrap_tr
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+__all__ = ["AvailabilityService", "RankedMachine"]
+
+
+@dataclass(frozen=True)
+class RankedMachine:
+    """One entry of a service ranking."""
+
+    machine_id: str
+    tr: float
+
+
+class AvailabilityService:
+    """Registry + query front-end over many machines' histories."""
+
+    def __init__(
+        self,
+        *,
+        classifier: StateClassifier | None = None,
+        estimator_config: EstimatorConfig | None = None,
+    ) -> None:
+        self.classifier = classifier or StateClassifier()
+        self.config = estimator_config or EstimatorConfig(step_multiple=10)
+        self._histories: dict[str, MachineTrace] = {}
+        self._predictor = IncrementalPredictor(self.classifier, self.config)
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+
+    def register(self, history: MachineTrace) -> None:
+        """Add a machine (or replace its history, invalidating caches)."""
+        if history.machine_id in self._histories:
+            self._predictor.invalidate(history.machine_id)
+        self._histories[history.machine_id] = history
+
+    def extend_history(self, history: MachineTrace) -> None:
+        """Replace a machine's history with a grown version of itself.
+
+        Unlike :meth:`register`, the per-day caches are kept: the new
+        trace must extend the old one (same grid), so cached days stay
+        valid and only new days will be classified.
+        """
+        old = self._histories.get(history.machine_id)
+        if old is None:
+            self.register(history)
+            return
+        if (
+            old.sample_period != history.sample_period
+            or abs(old.start_time - history.start_time) > 1e-9
+            or history.n_samples < old.n_samples
+        ):
+            raise ValueError(
+                "extend_history requires a trace that grows the existing one; "
+                "use register() to replace it"
+            )
+        self._histories[history.machine_id] = history
+
+    def unregister(self, machine_id: str) -> None:
+        """Remove a machine and its caches."""
+        del self._histories[machine_id]
+        self._predictor.invalidate(machine_id)
+
+    @property
+    def machine_ids(self) -> list[str]:
+        """Registered machine ids."""
+        return list(self._histories)
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __contains__(self, machine_id: str) -> bool:
+        return machine_id in self._histories
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def _history(self, machine_id: str) -> MachineTrace:
+        try:
+            return self._histories[machine_id]
+        except KeyError:
+            raise KeyError(f"machine {machine_id!r} is not registered") from None
+
+    def predict(
+        self,
+        machine_id: str,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        init_state: State | None = None,
+    ) -> float:
+        """TR of one machine over one window."""
+        return self._predictor.predict(
+            self._history(machine_id), window, dtype, init_state=init_state
+        )
+
+    def predict_all(
+        self, window: ClockWindow | AbsoluteWindow, dtype: DayType | None = None
+    ) -> dict[str, float]:
+        """TR of every registered machine over one window."""
+        return {
+            mid: self.predict(mid, window, dtype) for mid in self._histories
+        }
+
+    def rank(
+        self, window: ClockWindow | AbsoluteWindow, dtype: DayType | None = None
+    ) -> list[RankedMachine]:
+        """Machines sorted by TR, best first (ties broken by id)."""
+        trs = self.predict_all(window, dtype)
+        order = sorted(trs.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [RankedMachine(machine_id=m, tr=tr) for m, tr in order]
+
+    def select(
+        self,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        *,
+        k: int = 1,
+    ) -> tuple[list[str], float]:
+        """The best ``k`` machines and their gang-survival probability."""
+        trs = self.predict_all(window, dtype)
+        chosen = select_best_k(trs, k)
+        return chosen, group_survival([trs[m] for m in chosen])
+
+    def interval(
+        self,
+        machine_id: str,
+        window: ClockWindow,
+        dtype: DayType,
+        *,
+        n_resamples: int = 200,
+        confidence: float = 0.90,
+        rng: np.random.Generator | int = 0,
+    ) -> TrInterval:
+        """Bootstrap confidence interval for one machine's TR."""
+        return bootstrap_tr(
+            self._predictor.estimator,
+            self._history(machine_id),
+            window,
+            dtype,
+            n_resamples=n_resamples,
+            confidence=confidence,
+            rng=rng,
+        )
+
+    def reliable_horizon(
+        self,
+        machine_id: str,
+        start: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        *,
+        tr_threshold: float = 0.9,
+    ) -> float:
+        """Longest job (seconds) placeable at ``start`` with TR >= threshold.
+
+        ``start`` fixes the window start and the *maximum* length probed
+        (its duration); the answer is where the TR profile crosses the
+        threshold.
+        """
+        history = self._history(machine_id)
+        if isinstance(start, AbsoluteWindow):
+            clock = start.clock_window()
+            dtype = dtype or start.day_type
+        else:
+            clock = start
+            if dtype is None:
+                raise ValueError("a ClockWindow requires an explicit day type")
+        kernel = self._predictor.kernel(history, clock, dtype)
+        init = self._predictor.typical_initial_state(history, clock, dtype)
+        profile = temporal_reliability_profile(kernel, init)
+        return max_reliable_horizon(profile, kernel.step, tr_threshold)

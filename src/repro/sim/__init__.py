@@ -1,0 +1,83 @@
+"""iShare FGCS system simulator (paper Section 5).
+
+A discrete-event simulation of the iShare host node and client: the
+Resource Monitor (:mod:`~repro.sim.monitor`), the Gateway
+(:mod:`~repro.sim.gateway`), the State Manager
+(:mod:`~repro.sim.state_manager`), trace-driven machines
+(:mod:`~repro.sim.machine`), guest jobs (:mod:`~repro.sim.jobs`), the
+client Job Scheduler with placement policies
+(:mod:`~repro.sim.scheduler`), checkpointing extensions
+(:mod:`~repro.sim.checkpoint`), the P2P publication/discovery overlay
+(:mod:`~repro.sim.p2p`), and testbed assembly
+(:mod:`~repro.sim.cluster`).
+"""
+
+from repro.sim.checkpoint import (
+    AdaptiveCheckpointing,
+    CheckpointPolicy,
+    NoCheckpointing,
+    PeriodicCheckpointing,
+    PredictiveIntervalCheckpointing,
+    failure_rate_from_tr,
+    young_interval,
+)
+from repro.sim.cluster import FgcsTestbed, poisson_workload, run_multi_client, run_workload
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.gateway import GuestStatus, IShareGateway
+from repro.sim.jobs import GuestJob, JobAttempt, JobGroup, JobState, WorkloadStats
+from repro.sim.machine import HostMachine
+from repro.sim.monitor import MonitorSample, ResourceMonitor
+from repro.sim.p2p import DiscoveryResult, P2PNetwork, ResourceAdvert
+from repro.sim.scheduler import (
+    ClientJobScheduler,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    PredictivePolicy,
+    RandomPolicy,
+)
+from repro.sim.state_manager import StateManager
+from repro.sim.workloads import (
+    WorkloadSpec,
+    bimodal_workload,
+    diurnal_workload,
+    group_workload,
+)
+
+__all__ = [
+    "AdaptiveCheckpointing",
+    "CheckpointPolicy",
+    "ClientJobScheduler",
+    "DiscoveryResult",
+    "EventHandle",
+    "FgcsTestbed",
+    "GuestJob",
+    "GuestStatus",
+    "HostMachine",
+    "IShareGateway",
+    "JobAttempt",
+    "JobGroup",
+    "JobState",
+    "LeastLoadedPolicy",
+    "MonitorSample",
+    "NoCheckpointing",
+    "P2PNetwork",
+    "PeriodicCheckpointing",
+    "PlacementPolicy",
+    "PredictiveIntervalCheckpointing",
+    "PredictivePolicy",
+    "RandomPolicy",
+    "ResourceAdvert",
+    "ResourceMonitor",
+    "SimulationEngine",
+    "StateManager",
+    "WorkloadSpec",
+    "WorkloadStats",
+    "bimodal_workload",
+    "diurnal_workload",
+    "failure_rate_from_tr",
+    "group_workload",
+    "poisson_workload",
+    "run_multi_client",
+    "run_workload",
+    "young_interval",
+]

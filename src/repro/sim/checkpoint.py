@@ -1,0 +1,222 @@
+"""Checkpointing policies (the paper's future work / refs [20, 31]).
+
+The paper motivates availability prediction with proactive job
+management — "turning on checkpointing adaptively based on the results
+of availability prediction" — and names integration with a proactive
+scheduler as future work.  These policies implement that extension on
+top of the simulator:
+
+* :class:`NoCheckpointing` — failures lose all progress;
+* :class:`PeriodicCheckpointing` — checkpoint every fixed interval;
+* :class:`AdaptiveCheckpointing` — checkpoint only when the predicted
+  temporal reliability of the remaining execution window falls below a
+  threshold: cheap when the machine looks safe, aggressive when it
+  doesn't.
+
+Each checkpoint costs ``cost_cpu_seconds`` of guest compute, charged
+against the job's progress rate.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.windows import AbsoluteWindow
+from repro.sim.jobs import GuestJob
+
+__all__ = [
+    "CheckpointPolicy",
+    "NoCheckpointing",
+    "PeriodicCheckpointing",
+    "AdaptiveCheckpointing",
+    "PredictiveIntervalCheckpointing",
+    "young_interval",
+    "failure_rate_from_tr",
+]
+
+
+class CheckpointPolicy(abc.ABC):
+    """Decides when a running guest should write a checkpoint."""
+
+    #: CPU-seconds one checkpoint costs the guest.
+    cost_cpu_seconds: float = 30.0
+
+    @abc.abstractmethod
+    def should_checkpoint(self, job: GuestJob, now: float, predict_tr) -> bool:
+        """Whether to checkpoint now.
+
+        ``predict_tr(window)`` queries the host's state manager; policies
+        that don't need predictions ignore it.
+        """
+
+    def apply(self, job: GuestJob, now: float, predict_tr) -> bool:
+        """Run the decision and perform the checkpoint bookkeeping."""
+        if job.progress - job.checkpointed_progress <= self.cost_cpu_seconds:
+            return False  # nothing worth saving yet
+        if not self.should_checkpoint(job, now, predict_tr):
+            return False
+        job.progress = max(job.checkpointed_progress, job.progress - self.cost_cpu_seconds)
+        job.checkpointed_progress = job.progress
+        return True
+
+
+@dataclass
+class NoCheckpointing(CheckpointPolicy):
+    """Never checkpoint; a failure restarts the job from scratch."""
+
+    def should_checkpoint(self, job: GuestJob, now: float, predict_tr) -> bool:
+        return False
+
+
+@dataclass
+class PeriodicCheckpointing(CheckpointPolicy):
+    """Checkpoint every ``interval`` seconds of wall time."""
+
+    interval: float = 1800.0
+    cost_cpu_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        self._last: dict[str, float] = {}
+
+    def should_checkpoint(self, job: GuestJob, now: float, predict_tr) -> bool:
+        last = self._last.get(job.job_id)
+        if last is None:
+            started = job.attempts[-1].started_at if job.attempts else now
+            last = started
+        if now - last >= self.interval:
+            self._last[job.job_id] = now
+            return True
+        return False
+
+
+@dataclass
+class AdaptiveCheckpointing(CheckpointPolicy):
+    """Checkpoint when the predicted TR of the remaining work is low.
+
+    Every ``check_interval`` seconds the policy asks the host's state
+    manager for the TR over the job's remaining execution window; below
+    ``tr_threshold`` it checkpoints.  This is the paper's proactive
+    fault-tolerance loop closed over its own predictor.
+    """
+
+    tr_threshold: float = 0.8
+    check_interval: float = 600.0
+    cost_cpu_seconds: float = 30.0
+    #: assumed guest progress rate when sizing the remaining window.
+    assumed_rate: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tr_threshold <= 1.0:
+            raise ValueError(f"tr_threshold must be in (0, 1], got {self.tr_threshold}")
+        if self.check_interval <= 0.0:
+            raise ValueError(f"check_interval must be positive, got {self.check_interval}")
+        self._last_check: dict[str, float] = {}
+
+    def should_checkpoint(self, job: GuestJob, now: float, predict_tr) -> bool:
+        last = self._last_check.get(job.job_id, -float("inf"))
+        if now - last < self.check_interval:
+            return False
+        self._last_check[job.job_id] = now
+        remaining_wall = max(60.0, job.remaining / self.assumed_rate)
+        try:
+            tr = predict_tr(AbsoluteWindow(now, remaining_wall))
+        except Exception:
+            return True  # cannot predict: be safe
+        return tr < self.tr_threshold
+
+
+def failure_rate_from_tr(tr: float, window_seconds: float) -> float:
+    """Effective failure rate (per second) implied by a TR prediction.
+
+    Treating the window's failure process as (locally) Poisson,
+    ``TR = exp(-lambda * T)`` inverts to ``lambda = -ln(TR) / T``.  A TR
+    of 0 maps to infinity; a TR of 1 to 0.
+    """
+    if not 0.0 <= tr <= 1.0:
+        raise ValueError(f"tr must be in [0, 1], got {tr}")
+    if window_seconds <= 0.0:
+        raise ValueError(f"window must be positive, got {window_seconds}")
+    if tr == 0.0:
+        return math.inf
+    return -math.log(tr) / window_seconds
+
+
+def young_interval(checkpoint_cost_seconds: float, mtbf_seconds: float) -> float:
+    """Young's first-order optimal checkpoint interval.
+
+    ``t_opt = sqrt(2 * C * MTBF)`` — the classic result the follow-up
+    failure-aware-checkpointing literature builds on.  An infinite MTBF
+    yields an infinite interval (never checkpoint).
+    """
+    if checkpoint_cost_seconds <= 0.0:
+        raise ValueError(f"checkpoint cost must be positive, got {checkpoint_cost_seconds}")
+    if mtbf_seconds <= 0.0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_seconds}")
+    if math.isinf(mtbf_seconds):
+        return math.inf
+    return math.sqrt(2.0 * checkpoint_cost_seconds * mtbf_seconds)
+
+
+@dataclass
+class PredictiveIntervalCheckpointing(CheckpointPolicy):
+    """Checkpoint at the Young-optimal interval implied by the predicted TR.
+
+    This is the quantitative version of the paper's "turn on
+    checkpointing adaptively based on the results of availability
+    prediction": the machine's predicted TR over the remaining execution
+    window gives an effective MTBF, Young's formula gives the interval,
+    and the interval is re-derived every ``refresh_interval`` seconds so
+    the policy tightens as the machine heads into its busy hours.
+    """
+
+    cost_cpu_seconds: float = 30.0
+    refresh_interval: float = 600.0
+    #: assumed guest progress rate when sizing the remaining window.
+    assumed_rate: float = 0.7
+    #: intervals are clamped into this range (seconds).
+    min_interval: float = 120.0
+    max_interval: float = 6.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.refresh_interval <= 0.0:
+            raise ValueError(f"refresh_interval must be positive, got {self.refresh_interval}")
+        if not 0.0 < self.min_interval <= self.max_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+        self._last_checkpoint: dict[str, float] = {}
+        self._interval: dict[str, float] = {}
+        self._last_refresh: dict[str, float] = {}
+
+    def current_interval(self, job_id: str) -> float | None:
+        """The interval currently in force for a job (None before first refresh)."""
+        return self._interval.get(job_id)
+
+    def _refresh(self, job: GuestJob, now: float, predict_tr) -> None:
+        remaining_wall = max(60.0, job.remaining / self.assumed_rate)
+        try:
+            tr = float(predict_tr(AbsoluteWindow(now, remaining_wall)))
+        except Exception:
+            tr = 0.5  # unknown: assume a mediocre machine
+        rate = failure_rate_from_tr(min(max(tr, 1e-6), 1.0 - 1e-9), remaining_wall)
+        mtbf = math.inf if rate == 0.0 else 1.0 / rate
+        interval = young_interval(self.cost_cpu_seconds, mtbf)
+        self._interval[job.job_id] = min(self.max_interval, max(self.min_interval, interval))
+        self._last_refresh[job.job_id] = now
+
+    def should_checkpoint(self, job: GuestJob, now: float, predict_tr) -> bool:
+        last_refresh = self._last_refresh.get(job.job_id)
+        if last_refresh is None or now - last_refresh >= self.refresh_interval:
+            self._refresh(job, now, predict_tr)
+        interval = self._interval[job.job_id]
+        if math.isinf(interval):
+            return False
+        last = self._last_checkpoint.get(job.job_id)
+        if last is None:
+            last = job.attempts[-1].started_at if job.attempts else now
+        if now - last >= interval:
+            self._last_checkpoint[job.job_id] = now
+            return True
+        return False

@@ -1,0 +1,198 @@
+"""Testbed assembly: wire machines, monitors, gateways and schedulers.
+
+:class:`FgcsTestbed` turns a :class:`~repro.traces.trace.TraceSet` into
+a complete running iShare deployment: each machine gets a monitor (6 s
+sampling), a gateway, and a state manager bootstrapped with that
+machine's *history* portion of the trace; the *live* portion drives the
+simulation.  A P2P overlay carries the resource adverts clients discover
+before submitting.
+
+The E2E experiment uses :func:`run_workload` to compare placement
+policies on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig
+from repro.core.estimator import EstimatorConfig
+from repro.sim.checkpoint import CheckpointPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.gateway import IShareGateway
+from repro.sim.jobs import GuestJob, WorkloadStats
+from repro.sim.machine import HostMachine
+from repro.sim.monitor import ResourceMonitor
+from repro.sim.p2p import P2PNetwork, ResourceAdvert
+from repro.sim.scheduler import ClientJobScheduler, PlacementPolicy
+from repro.sim.state_manager import StateManager
+from repro.traces.trace import TraceSet
+
+__all__ = ["FgcsTestbed", "poisson_workload", "run_multi_client", "run_workload"]
+
+
+@dataclass
+class _HostStack:
+    machine: HostMachine
+    monitor: ResourceMonitor
+    gateway: IShareGateway
+    manager: StateManager
+
+
+class FgcsTestbed:
+    """A complete simulated iShare deployment over a trace set."""
+
+    def __init__(
+        self,
+        traces: TraceSet,
+        *,
+        history_fraction: float = 0.5,
+        monitor_period: float = 6.0,
+        classifier_config: ClassifierConfig | None = None,
+        estimator_config: EstimatorConfig | None = None,
+        p2p_seed: int = 0,
+    ) -> None:
+        if len(traces) == 0:
+            raise ValueError("trace set is empty")
+        self.p2p = P2PNetwork(seed=p2p_seed)
+        splits = [trace.split_by_ratio(history_fraction) for trace in traces]
+        engine_start = min(live.start_time for _hist, live in splits)
+        self._start_time = engine_start
+        self.engine = SimulationEngine(start_time=engine_start)
+        cfg = estimator_config or EstimatorConfig(step_multiple=10)
+        self.hosts: list[_HostStack] = []
+        for history, live in splits:
+            machine = HostMachine(live)
+            monitor = ResourceMonitor(machine, self.engine, period=monitor_period)
+            gateway = IShareGateway(
+                machine,
+                monitor,
+                thresholds=(classifier_config or ClassifierConfig()).thresholds,
+            )
+            manager = StateManager(
+                monitor,
+                bootstrap_history=history,
+                classifier_config=classifier_config,
+                estimator_config=cfg,
+            )
+            self.hosts.append(
+                _HostStack(machine=machine, monitor=monitor, gateway=gateway, manager=manager)
+            )
+            monitor.start()
+            self.p2p.join(machine.machine_id)
+            self.p2p.publish(machine.machine_id, ResourceAdvert(machine_id=machine.machine_id))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def machine_ids(self) -> list[str]:
+        """Identifiers of the testbed machines."""
+        return [s.machine.machine_id for s in self.hosts]
+
+    @property
+    def start_time(self) -> float:
+        """Start of the live (simulated) period."""
+        return self._start_time
+
+    @property
+    def end_time(self) -> float:
+        """End of the shortest live trace (safe simulation horizon)."""
+        return min(s.machine.trace.end_time for s in self.hosts)
+
+    def discover_hosts(self, origin: str | None = None, ttl: int = 6) -> list[str]:
+        """Discover advertised machines through the P2P overlay."""
+        origin = origin or self.machine_ids[0]
+        result = self.p2p.discover(origin, ttl=ttl)
+        return [a.machine_id for a in result.adverts]
+
+    def make_scheduler(
+        self,
+        policy: PlacementPolicy,
+        *,
+        checkpoint_policy: CheckpointPolicy | None = None,
+    ) -> ClientJobScheduler:
+        """Build a client scheduler over the discovered hosts."""
+        discovered = set(self.discover_hosts())
+        pairs = [
+            (s.gateway, s.manager)
+            for s in self.hosts
+            if s.machine.machine_id in discovered
+        ]
+        return ClientJobScheduler(
+            self.engine, pairs, policy, checkpoint_policy=checkpoint_policy
+        )
+
+    def monitoring_overhead(self) -> float:
+        """Mean per-machine monitoring CPU overhead fraction so far."""
+        elapsed = self.engine.now - self.start_time
+        if elapsed <= 0.0:
+            return 0.0
+        return float(
+            np.mean([s.monitor.overhead_fraction(elapsed) for s in self.hosts])
+        )
+
+
+def poisson_workload(
+    n_jobs: int,
+    *,
+    start: float,
+    span: float,
+    cpu_seconds_range: tuple[float, float] = (1800.0, 14400.0),
+    mem_mb: float = 64.0,
+    seed: int = 0,
+) -> list[tuple[float, GuestJob]]:
+    """A workload of jobs with uniform arrivals and log-uniform sizes."""
+    rng = np.random.default_rng(seed)
+    lo, hi = cpu_seconds_range
+    out = []
+    arrivals = np.sort(rng.uniform(start, start + span, n_jobs))
+    sizes = np.exp(rng.uniform(np.log(lo), np.log(hi), n_jobs))
+    for i, (t, size) in enumerate(zip(arrivals, sizes)):
+        out.append(
+            (float(t), GuestJob(job_id=f"job-{i:03d}", cpu_seconds=float(size), mem_requirement_mb=mem_mb))
+        )
+    return out
+
+
+def run_workload(
+    testbed: FgcsTestbed,
+    policy: PlacementPolicy,
+    workload: list[tuple[float, GuestJob]],
+    *,
+    until: float | None = None,
+    checkpoint_policy: CheckpointPolicy | None = None,
+) -> WorkloadStats:
+    """Run a workload to completion (or ``until``) under one policy."""
+    scheduler = testbed.make_scheduler(policy, checkpoint_policy=checkpoint_policy)
+    for t, job in workload:
+        scheduler.submit_at(job, t)
+    testbed.engine.run_until(until if until is not None else testbed.end_time - 1.0)
+    return scheduler.stats()
+
+
+def run_multi_client(
+    testbed: FgcsTestbed,
+    clients: dict[str, tuple[PlacementPolicy, list[tuple[float, GuestJob]]]],
+    *,
+    until: float | None = None,
+) -> dict[str, WorkloadStats]:
+    """Run several clients' workloads concurrently on one testbed.
+
+    ``clients`` maps a client name to its placement policy and workload.
+    All schedulers share the same gateways, so clients *contend* for
+    machines: a busy gateway rejects further guests until its job ends —
+    the natural multi-tenant regime of a public FGCS system.  Returns
+    per-client statistics.
+    """
+    if not clients:
+        raise ValueError("need at least one client")
+    schedulers = {
+        name: testbed.make_scheduler(policy) for name, (policy, _wl) in clients.items()
+    }
+    for name, (_policy, workload) in clients.items():
+        for t, job in workload:
+            schedulers[name].submit_at(job, t)
+    testbed.engine.run_until(until if until is not None else testbed.end_time - 1.0)
+    return {name: sched.stats() for name, sched in schedulers.items()}

@@ -1,0 +1,108 @@
+"""Minimal discrete-event simulation engine.
+
+Drives the iShare system simulation (paper Section 5): monitors that
+sample every 6 seconds, gateways that react to state transitions, and
+clients that submit jobs are all callbacks scheduled on one shared
+timeline.  Events at equal times fire in scheduling order (FIFO), which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventHandle", "SimulationEngine"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle for a scheduled event; allows cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled."""
+        return self._entry.cancelled
+
+
+class SimulationEngine:
+    """A heap-based event loop with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_Entry] = []
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now ({self._now})")
+        entry = _Entry(time=max(time, self._now), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events up to and including ``end_time``; clock ends there."""
+        while self._queue and self._queue[0].time <= end_time:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._fired += 1
+            entry.callback()
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Execute all pending events (callbacks may schedule more)."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._fired += 1
+            entry.callback()

@@ -1,0 +1,186 @@
+"""The iShare Gateway (paper Section 5.1, Fig. 2).
+
+The gateway "communicates with remote clients and controls local guest
+processes": on every monitor sample it applies the paper's guest-control
+policy —
+
+* host load below ``Th1``: guest runs at default priority (S1);
+* load between ``Th1`` and ``Th2``: guest reniced to the lowest priority
+  (S2);
+* load above ``Th2``: guest suspended; if the excursion outlasts the
+  transient tolerance (1 minute) the guest is terminated (S3), otherwise
+  it resumes when the load drops;
+* free memory below the guest working set: guest terminated (S4);
+* machine revoked: the guest dies with it (S5).
+
+Guest progress accrues at the machine's idle-complement rate while the
+guest runs (discounted when reniced), pausing during suspensions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.states import State, Thresholds
+from repro.sim.jobs import GuestJob, JobState
+from repro.sim.machine import HostMachine
+from repro.sim.monitor import MonitorSample, ResourceMonitor
+
+__all__ = ["GuestStatus", "IShareGateway"]
+
+
+class GuestStatus(enum.Enum):
+    """How the gateway is currently running its guest."""
+
+    NONE = "none"
+    DEFAULT_PRIORITY = "default"  # S1
+    RENICED = "reniced"  # S2
+    SUSPENDED = "suspended"  # transient spike
+
+
+@dataclass
+class _GuestContext:
+    job: GuestJob
+    on_complete: Callable[[GuestJob], None]
+    on_failure: Callable[[GuestJob, State], None]
+    last_accrual: float
+    status: GuestStatus = GuestStatus.DEFAULT_PRIORITY
+    spike_started: float | None = None
+
+
+class IShareGateway:
+    """Guest-process controller for one host machine."""
+
+    def __init__(
+        self,
+        machine: HostMachine,
+        monitor: ResourceMonitor,
+        *,
+        thresholds: Thresholds | None = None,
+        transient_tolerance: float = 60.0,
+    ) -> None:
+        self.machine = machine
+        self.monitor = monitor
+        self.thresholds = thresholds or Thresholds()
+        self.transient_tolerance = transient_tolerance
+        self._guest: _GuestContext | None = None
+        self.guests_started = 0
+        self.guests_failed = 0
+        self.guests_completed = 0
+        monitor.add_listener(self._on_sample)
+        monitor.add_down_listener(self._on_machine_down)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def machine_id(self) -> str:
+        """Identifier of the gateway's machine."""
+        return self.machine.machine_id
+
+    @property
+    def busy(self) -> bool:
+        """Whether a guest job currently occupies this machine."""
+        return self._guest is not None
+
+    @property
+    def guest_status(self) -> GuestStatus:
+        """Current guest control status."""
+        return self._guest.status if self._guest else GuestStatus.NONE
+
+    def accepts_jobs(self, now: float, mem_requirement_mb: float = 0.0) -> bool:
+        """Whether a new guest could be launched right now.
+
+        Requires an up machine, a fresh heartbeat, no current guest, a
+        host load that does not already imply termination and — when the
+        job's working set is known — enough free memory to hold it (the
+        scheduler-side use of the paper's memory-usage estimate [11]).
+        """
+        if self.busy or self.monitor.heartbeat_stale(now):
+            return False
+        if not self.machine.covers(now) or not self.machine.up_at(now):
+            return False
+        if self.machine.free_mem_at(now) < mem_requirement_mb:
+            return False
+        return self.machine.load_at(now) <= self.thresholds.th2
+
+    def launch_guest(
+        self,
+        job: GuestJob,
+        now: float,
+        on_complete: Callable[[GuestJob], None],
+        on_failure: Callable[[GuestJob, State], None],
+    ) -> None:
+        """Start a guest job; callbacks fire on completion/failure."""
+        if self.busy:
+            raise RuntimeError(f"gateway {self.machine_id} already runs a guest")
+        job.begin_attempt(self.machine_id, now)
+        status = (
+            GuestStatus.DEFAULT_PRIORITY
+            if self.machine.load_at(now) < self.thresholds.th1
+            else GuestStatus.RENICED
+        )
+        self._guest = _GuestContext(
+            job=job,
+            on_complete=on_complete,
+            on_failure=on_failure,
+            last_accrual=now,
+            status=status,
+        )
+        self.guests_started += 1
+
+    # ------------------------------------------------------------------ #
+
+    def _accrue(self, ctx: _GuestContext, now: float) -> None:
+        dt = now - ctx.last_accrual
+        ctx.last_accrual = now
+        if dt <= 0.0 or ctx.status is GuestStatus.SUSPENDED:
+            return
+        rate = self.machine.guest_rate_at(now, reniced=ctx.status is GuestStatus.RENICED)
+        ctx.job.progress += rate * dt
+
+    def _fail(self, ctx: _GuestContext, state: State, now: float) -> None:
+        ctx.job.fail_attempt(state, now)
+        self._guest = None
+        self.guests_failed += 1
+        ctx.on_failure(ctx.job, state)
+
+    def _on_machine_down(self, now: float) -> None:
+        if self._guest is not None:
+            self._fail(self._guest, State.S5, now)
+
+    def _on_sample(self, sample: MonitorSample) -> None:
+        ctx = self._guest
+        if ctx is None:
+            return
+        now = sample.time
+        self._accrue(ctx, now)
+
+        if ctx.job.progress >= ctx.job.cpu_seconds:
+            ctx.job.complete(now)
+            self._guest = None
+            self.guests_completed += 1
+            ctx.on_complete(ctx.job)
+            return
+
+        if sample.free_mem_mb < ctx.job.mem_requirement_mb:
+            self._fail(ctx, State.S4, now)
+            return
+
+        th = self.thresholds
+        if sample.cpu_load > th.th2:
+            if ctx.spike_started is None:
+                ctx.spike_started = now
+                ctx.status = GuestStatus.SUSPENDED
+                ctx.job.state = JobState.SUSPENDED
+            elif now - ctx.spike_started >= self.transient_tolerance:
+                self._fail(ctx, State.S3, now)
+            return
+
+        # Load back under Th2: clear any transient spike, resume.
+        ctx.spike_started = None
+        ctx.status = (
+            GuestStatus.DEFAULT_PRIORITY if sample.cpu_load < th.th1 else GuestStatus.RENICED
+        )
+        ctx.job.state = JobState.RUNNING

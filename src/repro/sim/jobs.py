@@ -1,0 +1,235 @@
+"""Guest jobs and their lifecycle statistics.
+
+The paper's guest jobs are compute-bound batch programs whose primary
+metric is *response time* (Section 1): either small test programs
+(minutes) or large computations (hours).  A job needs a given number of
+CPU-seconds and a memory working set; it accrues progress at whatever
+rate its host machine offers, dies with the machine's failure states,
+and may be restarted (from scratch or from a checkpoint) elsewhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.states import State
+
+__all__ = ["JobState", "GuestJob", "JobAttempt", "JobGroup", "WorkloadStats"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a guest job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    COMPLETED = "completed"
+    FAILED = "failed"  #: current attempt failed; may be rescheduled
+
+
+@dataclass
+class JobAttempt:
+    """One placement of a job on one machine."""
+
+    machine_id: str
+    started_at: float
+    ended_at: float | None = None
+    failure_state: State | None = None  #: None = completed or still running
+    progress_at_end: float = 0.0
+
+
+@dataclass
+class GuestJob:
+    """A compute-bound guest job.
+
+    ``cpu_seconds`` is the work requirement; ``mem_requirement_mb`` the
+    working set the host must hold (drives S4).  ``progress`` counts
+    CPU-seconds completed in the current incarnation;
+    ``checkpointed_progress`` is what survives a failure.
+    """
+
+    job_id: str
+    cpu_seconds: float
+    mem_requirement_mb: float = 64.0
+    submitted_at: float = 0.0
+
+    state: JobState = JobState.PENDING
+    progress: float = 0.0
+    checkpointed_progress: float = 0.0
+    completed_at: float | None = None
+    attempts: list[JobAttempt] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds <= 0.0:
+            raise ValueError(f"cpu_seconds must be positive, got {self.cpu_seconds}")
+        if self.mem_requirement_mb < 0.0:
+            raise ValueError(f"mem_requirement_mb must be >= 0, got {self.mem_requirement_mb}")
+
+    @property
+    def remaining(self) -> float:
+        """CPU-seconds still to compute."""
+        return max(0.0, self.cpu_seconds - self.progress)
+
+    @property
+    def done(self) -> bool:
+        """True once the job completed."""
+        return self.state is JobState.COMPLETED
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failed attempts so far."""
+        return sum(1 for a in self.attempts if a.failure_state is not None)
+
+    @property
+    def response_time(self) -> float | None:
+        """Wall time from submission to completion (None if not done)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def wasted_cpu_seconds(self) -> float:
+        """CPU-seconds computed in failed attempts and lost.
+
+        Work saved by checkpoints is not wasted; we charge each failed
+        attempt its progress beyond what the job retained afterwards.
+        """
+        wasted = 0.0
+        retained = 0.0
+        for a in self.attempts:
+            if a.failure_state is not None:
+                wasted += max(0.0, a.progress_at_end - retained)
+                retained = max(retained, 0.0)
+            retained = max(retained, a.progress_at_end)
+        return wasted
+
+    def begin_attempt(self, machine_id: str, now: float) -> JobAttempt:
+        """Record the start of a new placement."""
+        self.progress = self.checkpointed_progress
+        self.state = JobState.RUNNING
+        attempt = JobAttempt(machine_id=machine_id, started_at=now)
+        self.attempts.append(attempt)
+        return attempt
+
+    def fail_attempt(self, failure_state: State, now: float) -> None:
+        """Record the failure of the current attempt."""
+        if not self.attempts:
+            raise RuntimeError("no attempt in progress")
+        attempt = self.attempts[-1]
+        attempt.ended_at = now
+        attempt.failure_state = failure_state
+        attempt.progress_at_end = self.progress
+        self.progress = self.checkpointed_progress
+        self.state = JobState.FAILED
+
+    def complete(self, now: float) -> None:
+        """Record successful completion."""
+        if not self.attempts:
+            raise RuntimeError("no attempt in progress")
+        attempt = self.attempts[-1]
+        attempt.ended_at = now
+        attempt.progress_at_end = self.progress
+        self.state = JobState.COMPLETED
+        self.completed_at = now
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Aggregate outcome of a scheduled workload."""
+
+    n_jobs: int
+    n_completed: int
+    n_failures: int
+    mean_response_time: float
+    total_wasted_cpu_seconds: float
+
+    @classmethod
+    def from_jobs(cls, jobs: list[GuestJob]) -> "WorkloadStats":
+        completed = [j for j in jobs if j.done]
+        rts = [j.response_time for j in completed if j.response_time is not None]
+        return cls(
+            n_jobs=len(jobs),
+            n_completed=len(completed),
+            n_failures=sum(j.n_failures for j in jobs),
+            mean_response_time=float(sum(rts) / len(rts)) if rts else float("nan"),
+            total_wasted_cpu_seconds=float(sum(j.wasted_cpu_seconds for j in jobs)),
+        )
+
+
+@dataclass
+class JobGroup:
+    """A batch of related guest jobs submitted together.
+
+    The paper's motivating workload: applications "composed of multiple
+    related jobs that are submitted as a group and must all complete
+    before the results being used" (Section 1) — e.g. a Monte-Carlo
+    sweep.  The group's response time is therefore governed by its
+    *slowest* member, which is exactly why per-machine availability
+    prediction matters: one badly placed member delays the whole result.
+    """
+
+    group_id: str
+    jobs: list[GuestJob] = field(default_factory=list)
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a job group needs at least one member job")
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate member job ids: {ids}")
+
+    @classmethod
+    def uniform(
+        cls,
+        group_id: str,
+        n_jobs: int,
+        cpu_seconds: float,
+        *,
+        mem_requirement_mb: float = 64.0,
+    ) -> "JobGroup":
+        """A group of ``n_jobs`` identical members (a parameter sweep)."""
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        return cls(
+            group_id=group_id,
+            jobs=[
+                GuestJob(
+                    job_id=f"{group_id}/{i:02d}",
+                    cpu_seconds=cpu_seconds,
+                    mem_requirement_mb=mem_requirement_mb,
+                )
+                for i in range(n_jobs)
+            ],
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of member jobs."""
+        return len(self.jobs)
+
+    @property
+    def done(self) -> bool:
+        """True once every member completed."""
+        return all(j.done for j in self.jobs)
+
+    @property
+    def completed_at(self) -> float | None:
+        """Completion time of the slowest member (None until all done)."""
+        if not self.done:
+            return None
+        return max(j.completed_at for j in self.jobs)
+
+    @property
+    def response_time(self) -> float | None:
+        """Wall time from group submission to the last completion."""
+        done_at = self.completed_at
+        if done_at is None:
+            return None
+        return done_at - self.submitted_at
+
+    @property
+    def n_failures(self) -> int:
+        """Total failures across member jobs."""
+        return sum(j.n_failures for j in self.jobs)

@@ -1,0 +1,63 @@
+"""Trace-driven host machine.
+
+The simulated machine replays a monitoring trace as the ground truth of
+its host workload: at any instant the simulator can ask for the host CPU
+load, free memory and up/down status.  Host behaviour is exogenous — the
+FGCS contract is precisely that guest processes never noticeably perturb
+it, and the contention substrate (:mod:`repro.contention`) is where that
+contract itself is validated.
+
+The *guest CPU rate* a machine offers is the idle complement of the host
+load (a CPU-bound guest soaks whatever the host leaves, as the scheduler
+simulator confirms), slightly discounted at the lowest priority for the
+extra context switching.
+"""
+
+from __future__ import annotations
+
+from repro.traces.trace import MachineTrace
+
+__all__ = ["HostMachine"]
+
+#: Guest throughput discount when running at the lowest priority, from
+#: the priority-alternatives study (nice 19 wastes a few percent in
+#: context switches even on an idle host).
+RENICED_GUEST_DISCOUNT = 0.96
+
+
+class HostMachine:
+    """One host machine whose resources follow a trace."""
+
+    def __init__(self, trace: MachineTrace) -> None:
+        self.trace = trace
+
+    @property
+    def machine_id(self) -> str:
+        """Identifier of the machine (the trace's machine id)."""
+        return self.trace.machine_id
+
+    def _index(self, t: float) -> int:
+        return self.trace.index_of(t)
+
+    def up_at(self, t: float) -> bool:
+        """Whether the machine is running at time ``t``."""
+        return bool(self.trace.up[self._index(t)])
+
+    def load_at(self, t: float) -> float:
+        """Host CPU load ``L_H`` at time ``t`` (0 when down)."""
+        return float(self.trace.load[self._index(t)])
+
+    def free_mem_at(self, t: float) -> float:
+        """Free memory (MB) available for a guest at time ``t``."""
+        return float(self.trace.free_mem_mb[self._index(t)])
+
+    def covers(self, t: float) -> bool:
+        """Whether the trace defines the machine's behaviour at ``t``."""
+        return self.trace.start_time <= t < self.trace.end_time
+
+    def guest_rate_at(self, t: float, reniced: bool) -> float:
+        """Guest progress rate (CPU-seconds per wall second) at ``t``."""
+        if not self.up_at(t):
+            return 0.0
+        idle = max(0.0, 1.0 - self.load_at(t))
+        return idle * (RENICED_GUEST_DISCOUNT if reniced else 1.0)

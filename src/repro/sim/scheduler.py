@@ -1,0 +1,223 @@
+"""The client-side Job Scheduler (paper Section 5.1).
+
+"Upon the request of a job submission on a client, the client's Job
+Scheduler queries the gateways on the available machines for their
+temporal reliability within the future time window of job execution,
+and decides on which machine(s) the job would be executed."
+
+Three placement policies are provided so the E2E experiment can compare
+prediction-aware scheduling against availability-oblivious baselines:
+
+* :class:`PredictivePolicy` — rank candidates by predicted TR over the
+  job's estimated execution window (the paper's proposal);
+* :class:`LeastLoadedPolicy` — pick the machine with the lowest current
+  host load (a classic availability-oblivious heuristic);
+* :class:`RandomPolicy` — uniform choice.
+
+On failure the scheduler re-submits the job, excluding the machine that
+just failed from the immediate retry.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.states import State
+from repro.core.windows import AbsoluteWindow
+from repro.sim.checkpoint import CheckpointPolicy, NoCheckpointing
+from repro.sim.engine import SimulationEngine
+from repro.sim.gateway import IShareGateway
+from repro.sim.jobs import GuestJob, JobGroup, WorkloadStats
+from repro.sim.state_manager import StateManager
+
+__all__ = [
+    "PlacementPolicy",
+    "PredictivePolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "ClientJobScheduler",
+]
+
+#: assumed guest progress rate used to size prediction windows.
+ASSUMED_GUEST_RATE = 0.7
+
+
+@dataclass(frozen=True)
+class _Host:
+    gateway: IShareGateway
+    manager: StateManager
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a machine for a job among currently accepting hosts."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def choose(
+        self, job: GuestJob, hosts: list[_Host], now: float
+    ) -> _Host | None:
+        """Return the chosen host, or None to leave the job queued."""
+
+
+class PredictivePolicy(PlacementPolicy):
+    """Rank hosts by predicted temporal reliability (the paper's scheme)."""
+
+    name = "predictive"
+
+    def choose(self, job: GuestJob, hosts: list[_Host], now: float) -> _Host | None:
+        if not hosts:
+            return None
+        window = AbsoluteWindow(now, max(60.0, job.remaining / ASSUMED_GUEST_RATE))
+        best, best_tr = None, -1.0
+        for host in hosts:
+            try:
+                tr = host.manager.predict_tr(window)
+            except Exception:
+                tr = 0.0
+            if tr > best_tr:
+                best, best_tr = host, tr
+        return best
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Pick the host with the lowest instantaneous load (oblivious)."""
+
+    name = "least-loaded"
+
+    def choose(self, job: GuestJob, hosts: list[_Host], now: float) -> _Host | None:
+        if not hosts:
+            return None
+        return min(hosts, key=lambda h: h.gateway.machine.load_at(now))
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniform random placement (oblivious)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, job: GuestJob, hosts: list[_Host], now: float) -> _Host | None:
+        if not hosts:
+            return None
+        return hosts[int(self._rng.integers(0, len(hosts)))]
+
+
+class ClientJobScheduler:
+    """Submits guest jobs to gateways and handles failures."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        hosts: list[tuple[IShareGateway, StateManager]],
+        policy: PlacementPolicy,
+        *,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        retry_delay: float = 30.0,
+        queue_poll: float = 60.0,
+    ) -> None:
+        self.engine = engine
+        self.hosts = [_Host(gateway=g, manager=m) for g, m in hosts]
+        self.policy = policy
+        self.checkpoint_policy = checkpoint_policy or NoCheckpointing()
+        self.retry_delay = retry_delay
+        self.queue_poll = queue_poll
+        self.jobs: list[GuestJob] = []
+        self.groups: list[JobGroup] = []
+        self._running: dict[str, _Host] = {}
+        self._last_failed: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job: GuestJob) -> None:
+        """Accept a job now (sets its submission time) and try to place it."""
+        job.submitted_at = self.engine.now
+        self.jobs.append(job)
+        self._try_place(job)
+
+    def submit_at(self, job: GuestJob, time: float) -> None:
+        """Schedule a future submission."""
+        self.engine.schedule_at(time, lambda: self.submit(job))
+
+    def submit_group(self, group: JobGroup) -> None:
+        """Submit a job group now; members are placed independently.
+
+        The group's response time is governed by its slowest member
+        (paper Section 1); the placement policy sees each member in
+        turn, so a TR-ranked policy naturally spreads the group over
+        the most reliable machines first.
+        """
+        group.submitted_at = self.engine.now
+        self.groups.append(group)
+        for job in group.jobs:
+            self.submit(job)
+
+    def submit_group_at(self, group: JobGroup, time: float) -> None:
+        """Schedule a future group submission."""
+        self.engine.schedule_at(time, lambda: self.submit_group(group))
+
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, job: GuestJob, now: float) -> list[_Host]:
+        exclude = self._last_failed.get(job.job_id)
+        out = []
+        mem = job.mem_requirement_mb
+        for host in self.hosts:
+            if host.gateway.machine_id == exclude:
+                continue
+            if host.gateway.accepts_jobs(now, mem):
+                out.append(host)
+        if not out and exclude is not None:
+            # Fall back to the failed machine if it is the only option.
+            out = [h for h in self.hosts if h.gateway.accepts_jobs(now, mem)]
+        return out
+
+    def _try_place(self, job: GuestJob) -> None:
+        if job.done:
+            return
+        now = self.engine.now
+        host = self.policy.choose(job, self._candidates(job, now), now)
+        if host is None:
+            self.engine.schedule_in(self.queue_poll, lambda: self._try_place(job))
+            return
+        self._running[job.job_id] = host
+        host.gateway.launch_guest(job, now, self._on_complete, self._on_failure)
+        self._schedule_checkpoint_tick(job)
+
+    def _schedule_checkpoint_tick(self, job: GuestJob) -> None:
+        if isinstance(self.checkpoint_policy, NoCheckpointing):
+            return
+
+        def tick() -> None:
+            host = self._running.get(job.job_id)
+            if host is None or job.done:
+                return
+            self.checkpoint_policy.apply(job, self.engine.now, host.manager.predict_tr)
+            self.engine.schedule_in(60.0, tick)
+
+        self.engine.schedule_in(60.0, tick)
+
+    def _on_complete(self, job: GuestJob) -> None:
+        self._running.pop(job.job_id, None)
+        self._last_failed.pop(job.job_id, None)
+
+    def _on_failure(self, job: GuestJob, state: State) -> None:
+        host = self._running.pop(job.job_id, None)
+        if host is not None:
+            self._last_failed[job.job_id] = host.gateway.machine_id
+        self.engine.schedule_in(self.retry_delay, lambda: self._try_place(job))
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> WorkloadStats:
+        """Aggregate statistics over all submitted jobs."""
+        return WorkloadStats.from_jobs(self.jobs)
+
+    def group_response_times(self) -> dict[str, float | None]:
+        """Per-group response times (None for incomplete groups)."""
+        return {g.group_id: g.response_time for g in self.groups}

@@ -1,0 +1,118 @@
+"""The State Manager (paper Section 5, Fig. 2).
+
+"The State Manager stores history logs and predicts resource
+availability."  It is bootstrapped with the machine's accumulated
+history trace, keeps appending the monitor's live samples, and serves
+temporal-reliability queries by running the SMP predictor over the
+combined history.
+
+Down periods never produce monitor samples; when the manager folds the
+live log into a trace it reconstructs them from the gaps — the same
+heartbeat-based URR detection the monitor uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig
+from repro.core.estimator import EstimatorConfig
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import AbsoluteWindow
+from repro.sim.monitor import ResourceMonitor
+from repro.traces.trace import MachineTrace
+
+__all__ = ["StateManager"]
+
+
+class StateManager:
+    """History log plus prediction service for one machine."""
+
+    def __init__(
+        self,
+        monitor: ResourceMonitor,
+        bootstrap_history: MachineTrace | None = None,
+        *,
+        classifier_config: ClassifierConfig | None = None,
+        estimator_config: EstimatorConfig | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.bootstrap = bootstrap_history
+        self._predictor: TemporalReliabilityPredictor | None = None
+        self._predictor_log_len = -1
+        self._classifier_config = classifier_config
+        self._estimator_config = estimator_config
+        self.predictions_served = 0
+
+    # ------------------------------------------------------------------ #
+
+    def live_trace(self, until: float) -> MachineTrace | None:
+        """Fold the monitor's live log into a regular-grid trace.
+
+        The grid starts where the bootstrap history ends (or at the first
+        sample) and extends to ``until``; grid slots with no recorded
+        sample are marked down (heartbeat gap -> URR).
+        """
+        if not self.monitor.log_times:
+            return None
+        period = self.monitor.period
+        t0 = self.bootstrap.end_time if self.bootstrap else self.monitor.log_times[0]
+        n = int((until - t0) / period)
+        if n <= 0:
+            return None
+        load = np.zeros(n)
+        mem = np.zeros(n)
+        up = np.zeros(n, dtype=bool)
+        times = np.asarray(self.monitor.log_times)
+        idx = np.floor((times - t0) / period + 1e-9).astype(int)
+        ok = (idx >= 0) & (idx < n)
+        load[idx[ok]] = np.asarray(self.monitor.log_loads)[ok]
+        mem[idx[ok]] = np.asarray(self.monitor.log_mems)[ok]
+        up[idx[ok]] = True
+        return MachineTrace(
+            machine_id=self.monitor.machine.machine_id,
+            start_time=t0,
+            sample_period=period,
+            load=np.clip(load, 0.0, 1.0),
+            free_mem_mb=mem,
+            up=up,
+        )
+
+    def history(self, until: float) -> MachineTrace:
+        """The full history available at time ``until``.
+
+        Concatenates the bootstrap trace with the live log when both
+        exist and align; otherwise returns whichever is available.
+        """
+        live = self.live_trace(until)
+        if self.bootstrap is None:
+            if live is None:
+                raise RuntimeError("state manager has no history yet")
+            return live
+        if live is None or live.n_samples == 0:
+            return self.bootstrap
+        try:
+            return self.bootstrap.concat(live)
+        except ValueError:
+            # Misaligned live grid (e.g. a changed monitor period): the
+            # bootstrap alone is still a valid history.
+            return self.bootstrap
+
+    # ------------------------------------------------------------------ #
+
+    def predict_tr(self, window: AbsoluteWindow) -> float:
+        """Temporal reliability of this machine over ``window``.
+
+        The predictor is rebuilt lazily when new live samples arrived
+        since the last query (history logs grow between queries).
+        """
+        log_len = len(self.monitor.log_times)
+        if self._predictor is None or log_len != self._predictor_log_len:
+            self._predictor = TemporalReliabilityPredictor(
+                self.history(window.start),
+                classifier_config=self._classifier_config,
+                estimator_config=self._estimator_config,
+            )
+            self._predictor_log_len = log_len
+        self.predictions_served += 1
+        return self._predictor.predict(window)

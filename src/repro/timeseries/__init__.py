@@ -1,0 +1,47 @@
+"""Linear time-series baselines (paper Table 1 / RPS toolkit rebuild).
+
+Models: :class:`~repro.timeseries.models.AutoRegressive` (AR),
+:class:`~repro.timeseries.models.BestMean` (BM),
+:class:`~repro.timeseries.models.MovingAverage` (MA),
+:class:`~repro.timeseries.models.Arma` (ARMA) and
+:class:`~repro.timeseries.models.Last` (LAST), plus the
+:class:`~repro.timeseries.tr_adapter.TimeSeriesTRPredictor` that turns
+any of them into a temporal-reliability predictor for the Figure-7
+comparison.
+"""
+
+from repro.timeseries.base import TimeSeriesModel, clip_loads
+from repro.timeseries.fitting import autocovariance, hannan_rissanen, yule_walker
+from repro.timeseries.models import (
+    Arima,
+    Arma,
+    AutoRegressive,
+    BestMean,
+    GlobalMean,
+    Last,
+    MovingAverage,
+    WindowedMedian,
+    rps_extended_suite,
+    rps_model_suite,
+)
+from repro.timeseries.tr_adapter import TimeSeriesTR, TimeSeriesTRPredictor
+
+__all__ = [
+    "Arima",
+    "Arma",
+    "AutoRegressive",
+    "BestMean",
+    "GlobalMean",
+    "Last",
+    "MovingAverage",
+    "TimeSeriesModel",
+    "WindowedMedian",
+    "TimeSeriesTR",
+    "TimeSeriesTRPredictor",
+    "autocovariance",
+    "clip_loads",
+    "hannan_rissanen",
+    "rps_extended_suite",
+    "rps_model_suite",
+    "yule_walker",
+]

@@ -1,0 +1,75 @@
+"""Base interface of the linear time-series models (paper Table 1).
+
+The paper compares its SMP predictor against the linear time-series
+models of the RPS toolkit [8]: ``AR(p)``, ``BM(p)``, ``MA(p)``,
+``ARMA(p, q)`` and ``LAST``.  This package reimplements those model
+classes over NumPy with the interface the comparison protocol needs:
+fit on one window of load samples, then produce a multi-step-ahead
+forecast for the next window.
+
+All models operate on a one-dimensional series of host-CPU-load samples
+in ``[0, 1]``; forecasts are clipped back into that range.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["TimeSeriesModel", "clip_loads"]
+
+
+def clip_loads(values: np.ndarray) -> np.ndarray:
+    """Clip forecasted loads into the physical ``[0, 1]`` range."""
+    return np.clip(values, 0.0, 1.0)
+
+
+class TimeSeriesModel(abc.ABC):
+    """A univariate time-series predictor: fit once, forecast ahead.
+
+    Subclasses set :attr:`name` (used in result tables) and implement
+    :meth:`fit` and :meth:`_forecast`.  ``forecast`` wraps ``_forecast``
+    with input validation and load clipping.
+    """
+
+    #: Human-readable model name, e.g. ``"AR(8)"``.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, series: np.ndarray) -> "TimeSeriesModel":
+        """Fit the model to a 1-D series; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def _forecast(self, steps: int) -> np.ndarray:
+        """Produce ``steps`` multi-step-ahead forecasts (unclipped)."""
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Forecast ``steps`` values past the end of the fitted series."""
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: forecast() called before fit()")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        out = np.asarray(self._forecast(steps), dtype=np.float64)
+        if out.shape != (steps,):
+            raise AssertionError(
+                f"{self.name}: _forecast returned shape {out.shape}, expected ({steps},)"
+            )
+        return clip_loads(out)
+
+    @staticmethod
+    def _validate_series(series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 1:
+            raise ValueError(f"series must be 1-D, got shape {series.shape}")
+        if series.size < 1:
+            raise ValueError("series must be non-empty")
+        if not np.all(np.isfinite(series)):
+            raise ValueError("series must be finite")
+        return series
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,108 @@
+"""Forecast-quality evaluation for the time-series models.
+
+The linear models come from the host-load-prediction literature [9],
+where they are scored on *load* forecast error, not on TR.  This module
+provides that native evaluation — per-horizon mean absolute error over
+rolling forecast origins — so the library can show both sides of the
+paper's Fig.-7 story: the linear models are genuinely decent short-term
+*load* forecasters (their home game) and still lose the *availability*
+game, because availability hinges on threshold crossings the mean-
+reverting forecasts never reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.timeseries.base import TimeSeriesModel
+
+__all__ = ["HorizonErrors", "rolling_forecast_errors", "compare_models"]
+
+
+@dataclass(frozen=True)
+class HorizonErrors:
+    """Forecast errors of one model, resolved by look-ahead distance.
+
+    ``mae[k]``/``rmse[k]`` aggregate the (k+1)-step-ahead errors over
+    all forecast origins; ``n_origins`` counts them.
+    """
+
+    model_name: str
+    mae: np.ndarray
+    rmse: np.ndarray
+    n_origins: int
+
+    @property
+    def horizon(self) -> int:
+        """Number of look-ahead steps evaluated."""
+        return int(self.mae.shape[0])
+
+
+def rolling_forecast_errors(
+    model_factory: Callable[[], TimeSeriesModel],
+    series: np.ndarray,
+    *,
+    fit_length: int,
+    horizon: int,
+    stride: int | None = None,
+) -> HorizonErrors:
+    """Rolling-origin evaluation of one model on one series.
+
+    At each origin the model fits the previous ``fit_length`` samples
+    and forecasts ``horizon`` steps; errors are collected against the
+    actual continuation.  ``stride`` spaces the origins (default: one
+    horizon, giving non-overlapping evaluation windows).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {series.shape}")
+    if fit_length < 2 or horizon < 1:
+        raise ValueError("need fit_length >= 2 and horizon >= 1")
+    if series.size < fit_length + horizon:
+        raise ValueError(
+            f"series of {series.size} too short for fit {fit_length} + horizon {horizon}"
+        )
+    stride = horizon if stride is None else stride
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+
+    abs_errs = np.zeros(horizon)
+    sq_errs = np.zeros(horizon)
+    n = 0
+    name = model_factory().name
+    for origin in range(fit_length, series.size - horizon + 1, stride):
+        history = series[origin - fit_length : origin]
+        actual = series[origin : origin + horizon]
+        forecast = model_factory().fit(history).forecast(horizon)
+        err = forecast - actual
+        abs_errs += np.abs(err)
+        sq_errs += err**2
+        n += 1
+    if n == 0:
+        raise AssertionError("no forecast origins evaluated")  # guarded above
+    return HorizonErrors(
+        model_name=name,
+        mae=abs_errs / n,
+        rmse=np.sqrt(sq_errs / n),
+        n_origins=n,
+    )
+
+
+def compare_models(
+    factories: Sequence[Callable[[], TimeSeriesModel]],
+    series: np.ndarray,
+    *,
+    fit_length: int,
+    horizon: int,
+    stride: int | None = None,
+) -> list[HorizonErrors]:
+    """Evaluate several models on the same rolling origins."""
+    return [
+        rolling_forecast_errors(
+            f, series, fit_length=fit_length, horizon=horizon, stride=stride
+        )
+        for f in factories
+    ]

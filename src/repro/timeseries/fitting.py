@@ -1,0 +1,117 @@
+"""Parameter-estimation routines shared by the linear models.
+
+* :func:`autocovariance` — biased sample autocovariances (the standard
+  choice for Yule-Walker, guaranteeing a positive-semidefinite Toeplitz
+  system and hence a stationary AR fit).
+* :func:`yule_walker` — AR(p) coefficients via the Levinson-style
+  Toeplitz solve from SciPy.
+* :func:`hannan_rissanen` — the classic two-stage ARMA(p, q) estimator:
+  a long AR fit provides innovation estimates, then ordinary least
+  squares regresses the series on its own lags and the lagged
+  innovations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_toeplitz
+
+__all__ = ["autocovariance", "yule_walker", "hannan_rissanen", "ar_residuals"]
+
+#: Series with variance below this are treated as constant.
+_VAR_EPS = 1e-12
+
+
+def autocovariance(series: np.ndarray, maxlag: int) -> np.ndarray:
+    """Biased sample autocovariances ``gamma_0 .. gamma_maxlag``.
+
+    ``gamma_k = (1/n) sum_t (x_t - mean)(x_{t+k} - mean)``.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    n = series.size
+    if maxlag >= n:
+        raise ValueError(f"maxlag {maxlag} must be < series length {n}")
+    x = series - series.mean()
+    out = np.empty(maxlag + 1)
+    for k in range(maxlag + 1):
+        out[k] = np.dot(x[: n - k], x[k:]) / n
+    return out
+
+
+def yule_walker(series: np.ndarray, order: int) -> tuple[np.ndarray, float]:
+    """Fit AR(``order``) by solving the Yule-Walker equations.
+
+    Returns ``(phi, sigma2)``: the AR coefficients (on the demeaned
+    series) and the innovation variance.  A (near-)constant series gets
+    all-zero coefficients — its best predictor is its mean.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    series = np.asarray(series, dtype=np.float64)
+    if series.size <= order:
+        raise ValueError(f"series of length {series.size} too short for AR({order})")
+    gamma = autocovariance(series, order)
+    if gamma[0] < _VAR_EPS:
+        return np.zeros(order), 0.0
+    phi = solve_toeplitz(gamma[:-1], gamma[1:])
+    sigma2 = float(gamma[0] - np.dot(phi, gamma[1:]))
+    return phi, max(sigma2, 0.0)
+
+
+def ar_residuals(series: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """One-step-ahead residuals of an AR fit (demeaned internally).
+
+    The first ``len(phi)`` residuals, which lack a full lag window, are
+    set to zero — the Hannan-Rissanen convention.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    x = series - series.mean()
+    p = len(phi)
+    resid = np.zeros(series.size)
+    if p == 0:
+        return x.copy()
+    for t in range(p, series.size):
+        stop = t - p - 1
+        resid[t] = x[t] - np.dot(phi, x[t - 1 : stop if stop >= 0 else None : -1])
+    return resid
+
+
+def hannan_rissanen(
+    series: np.ndarray, p: int, q: int, long_order: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-stage Hannan-Rissanen estimation of ARMA(p, q).
+
+    Returns ``(phi, theta)`` on the demeaned series.  ``long_order``
+    controls the stage-1 AR length (default ``p + q + 5``, clipped to a
+    third of the series).  Falls back to pure Yule-Walker AR terms (and
+    zero MA terms) when the series is too short for the regression.
+    """
+    if p < 0 or q < 0 or p + q == 0:
+        raise ValueError(f"need p >= 0, q >= 0, p + q >= 1; got p={p}, q={q}")
+    series = np.asarray(series, dtype=np.float64)
+    n = series.size
+    x = series - series.mean()
+    if np.var(x) < _VAR_EPS:
+        return np.zeros(p), np.zeros(q)
+
+    if long_order is None:
+        long_order = p + q + 5
+    long_order = max(1, min(long_order, n // 3))
+    if n <= long_order + 1:
+        return np.zeros(p), np.zeros(q)
+    phi_long, _ = yule_walker(series, long_order)
+    eps = ar_residuals(series, phi_long)
+
+    m = max(p, q, long_order)
+    rows = n - m
+    if rows <= p + q:
+        phi, _ = yule_walker(series, p) if p else (np.zeros(0), 0.0)
+        return phi, np.zeros(q)
+    design = np.empty((rows, p + q))
+    for i in range(p):
+        design[:, i] = x[m - 1 - i : n - 1 - i]
+    for j in range(q):
+        design[:, p + j] = eps[m - 1 - j : n - 1 - j]
+    target = x[m:]
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return coeffs[:p].copy(), coeffs[p:].copy()

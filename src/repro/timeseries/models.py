@@ -1,0 +1,335 @@
+"""The five linear time-series models of paper Table 1.
+
+========  =====================================================
+Model     Description (from the paper's Table 1)
+========  =====================================================
+AR(p)     autoregressive model with ``p`` coefficients
+BM(p)     mean over the previous ``N`` values (``N <= p``)
+MA(q)     moving-average model with ``q`` coefficients
+ARMA(p,q) autoregressive moving average, ``p + q`` coefficients
+LAST      last measured value
+========  =====================================================
+
+The paper used the RPS defaults with ``p = q = 8``;
+:func:`rps_model_suite` builds exactly that roster.
+
+Multi-step-ahead forecasting follows the standard recursion: future
+innovations are replaced by their zero mean, so AR/ARMA forecasts decay
+toward the series mean while MA forecasts reach it after ``q`` steps —
+the very property that makes linear models "more adept at short-term
+prediction" (paper Section 7.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.base import TimeSeriesModel
+from repro.timeseries.fitting import ar_residuals, hannan_rissanen, yule_walker
+
+__all__ = [
+    "Arima",
+    "Arma",
+    "AutoRegressive",
+    "BestMean",
+    "GlobalMean",
+    "Last",
+    "MovingAverage",
+    "WindowedMedian",
+    "rps_extended_suite",
+    "rps_model_suite",
+]
+
+
+class Last(TimeSeriesModel):
+    """LAST: every future value is predicted to equal the last observation."""
+
+    name = "LAST"
+
+    def fit(self, series: np.ndarray) -> "Last":
+        series = self._validate_series(series)
+        self._last = float(series[-1])
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        return np.full(steps, self._last)
+
+
+class BestMean(TimeSeriesModel):
+    """BM(p): the mean of (up to) the previous ``p`` observations.
+
+    RPS's BestMean additionally searches the window length ``N <= p``
+    minimizing one-step error on the training series; we implement that
+    search so the model matches its namesake.
+    """
+
+    name = "BM"
+
+    def __init__(self, p: int = 8) -> None:
+        super().__init__()
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        self.p = p
+        self.name = f"BM({p})"
+
+    def fit(self, series: np.ndarray) -> "BestMean":
+        series = self._validate_series(series)
+        best_n, best_err = 1, np.inf
+        for n in range(1, min(self.p, series.size) + 1):
+            if series.size <= n:
+                break
+            # One-step-ahead error of an n-window running mean.
+            csum = np.cumsum(np.concatenate([[0.0], series]))
+            means = (csum[n:-1] - csum[:-n:][: series.size - n]) / n
+            err = float(np.mean((series[n:] - means) ** 2))
+            if err < best_err:
+                best_n, best_err = n, err
+        self._mean = float(series[-best_n:].mean())
+        self.window = best_n
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        return np.full(steps, self._mean)
+
+
+class AutoRegressive(TimeSeriesModel):
+    """AR(p) fit by Yule-Walker; multi-step forecasts via the recursion."""
+
+    name = "AR"
+
+    def __init__(self, p: int = 8) -> None:
+        super().__init__()
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        self.p = p
+        self.name = f"AR({p})"
+
+    def fit(self, series: np.ndarray) -> "AutoRegressive":
+        series = self._validate_series(series)
+        p = min(self.p, max(1, series.size - 1))
+        if series.size <= p:
+            # Degenerate short series: fall back to the mean.
+            self.phi = np.zeros(1)
+            self._mean = float(series.mean())
+            self._tail = np.zeros(1)
+        else:
+            self.phi, _ = yule_walker(series, p)
+            self._mean = float(series.mean())
+            self._tail = (series - self._mean)[-p:]
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        p = len(self.phi)
+        buf = np.concatenate([self._tail, np.zeros(steps)])
+        for t in range(steps):
+            buf[p + t] = np.dot(self.phi, buf[p + t - 1 : t - 1 if t >= 1 else None : -1])
+        return buf[p:] + self._mean
+
+
+class MovingAverage(TimeSeriesModel):
+    """MA(q): innovations regression via Hannan-Rissanen with p = 0.
+
+    Forecasts use the estimated recent innovations; beyond ``q`` steps
+    the forecast is exactly the series mean.
+    """
+
+    name = "MA"
+
+    def __init__(self, q: int = 8) -> None:
+        super().__init__()
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.name = f"MA({q})"
+
+    def fit(self, series: np.ndarray) -> "MovingAverage":
+        series = self._validate_series(series)
+        self._mean = float(series.mean())
+        q = min(self.q, max(1, series.size // 4))
+        _, self.theta = hannan_rissanen(series, 0, q)
+        long_order = max(1, min(q + 5, series.size // 3))
+        if series.size > long_order + 1:
+            phi_long, _ = yule_walker(series, long_order)
+            eps = ar_residuals(series, phi_long)
+        else:
+            eps = series - self._mean
+        self._eps_tail = eps[-len(self.theta) :] if len(self.theta) else np.zeros(0)
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        q = len(self.theta)
+        eps = np.concatenate([self._eps_tail, np.zeros(steps)])
+        out = np.empty(steps)
+        for t in range(steps):
+            # Future innovations are zero; only the observed tail matters.
+            out[t] = self._mean + np.dot(self.theta, eps[q + t - 1 : t - 1 if t >= 1 else None : -1])
+        return out
+
+
+class Arma(TimeSeriesModel):
+    """ARMA(p, q) via Hannan-Rissanen; the strongest RPS linear model."""
+
+    name = "ARMA"
+
+    def __init__(self, p: int = 8, q: int = 8) -> None:
+        super().__init__()
+        if p < 1 or q < 1:
+            raise ValueError(f"p and q must be >= 1, got p={p}, q={q}")
+        self.p = p
+        self.q = q
+        self.name = f"ARMA({p},{q})"
+
+    def fit(self, series: np.ndarray) -> "Arma":
+        series = self._validate_series(series)
+        self._mean = float(series.mean())
+        p = min(self.p, max(1, series.size // 4))
+        q = min(self.q, max(1, series.size // 4))
+        self.phi, self.theta = hannan_rissanen(series, p, q)
+        long_order = max(1, min(p + q + 5, series.size // 3))
+        if series.size > long_order + 1:
+            phi_long, _ = yule_walker(series, long_order)
+            eps = ar_residuals(series, phi_long)
+        else:
+            eps = np.zeros(series.size)
+        x = series - self._mean
+        self._x_tail = x[-max(1, len(self.phi)) :]
+        self._eps_tail = eps[-max(1, len(self.theta)) :]
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        p, q = len(self.phi), len(self.theta)
+        xbuf = np.concatenate([self._x_tail, np.zeros(steps)])
+        ebuf = np.concatenate([self._eps_tail, np.zeros(steps)])
+        np_off = len(self._x_tail)
+        ne_off = len(self._eps_tail)
+        out = np.empty(steps)
+        for t in range(steps):
+            acc = 0.0
+            if p:
+                stop = np_off + t - 1 - p
+                acc += np.dot(self.phi, xbuf[np_off + t - 1 : stop if stop >= 0 else None : -1])
+            if q:
+                stop = ne_off + t - 1 - q
+                acc += np.dot(self.theta, ebuf[ne_off + t - 1 : stop if stop >= 0 else None : -1])
+            xbuf[np_off + t] = acc
+            out[t] = acc + self._mean
+        return out
+
+
+def rps_model_suite(p: int = 8, q: int = 8) -> list[TimeSeriesModel]:
+    """The paper's Table-1 roster with RPS's default parameters."""
+    return [
+        AutoRegressive(p),
+        BestMean(p),
+        MovingAverage(p),
+        Arma(p, q),
+        Last(),
+    ]
+
+
+class GlobalMean(TimeSeriesModel):
+    """MEAN: every future value is the mean of the whole fitted series.
+
+    Part of the wider RPS roster (beyond the paper's Table 1); the
+    long-run-average predictor of Mutka-style capacity studies [19].
+    """
+
+    name = "MEAN"
+
+    def fit(self, series: np.ndarray) -> "GlobalMean":
+        series = self._validate_series(series)
+        self._mean = float(series.mean())
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        return np.full(steps, self._mean)
+
+
+class WindowedMedian(TimeSeriesModel):
+    """MEDIAN(p): the median of the previous ``p`` observations.
+
+    RPS's outlier-robust cousin of BM; a single load spike in the
+    fitting window cannot move it.
+    """
+
+    name = "MEDIAN"
+
+    def __init__(self, p: int = 8) -> None:
+        super().__init__()
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        self.p = p
+        self.name = f"MEDIAN({p})"
+
+    def fit(self, series: np.ndarray) -> "WindowedMedian":
+        series = self._validate_series(series)
+        self._median = float(np.median(series[-self.p :]))
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        return np.full(steps, self._median)
+
+
+class Arima(TimeSeriesModel):
+    """ARIMA(p, d, q): ARMA on the d-times-differenced series.
+
+    Completes the RPS linear roster.  Fitting differences the series
+    ``d`` times, fits ARMA(p, q) by Hannan-Rissanen, forecasts the
+    differenced process and integrates the forecasts back.  With d = 0
+    this is exactly :class:`Arma`; d = 1 tracks load ramps — and badly
+    over-extrapolates them on long horizons, which is instructive next
+    to the paper's Fig. 7 result.
+    """
+
+    name = "ARIMA"
+
+    def __init__(self, p: int = 8, d: int = 1, q: int = 8) -> None:
+        super().__init__()
+        if p < 1 or q < 1:
+            raise ValueError(f"p and q must be >= 1, got p={p}, q={q}")
+        if d < 0 or d > 2:
+            raise ValueError(f"d must be 0, 1 or 2, got {d}")
+        self.p = p
+        self.d = d
+        self.q = q
+        self.name = f"ARIMA({p},{d},{q})"
+
+    def fit(self, series: np.ndarray) -> "Arima":
+        series = self._validate_series(series)
+        work = series
+        self._tails: list[float] = []
+        for _ in range(self.d):
+            if work.size < 2:
+                break
+            self._tails.append(float(work[-1]))
+            work = np.diff(work)
+        if work.size < 8:
+            # Too short after differencing: behave like LAST.
+            self._arma = None
+            self._last = float(series[-1])
+        else:
+            self._arma = Arma(self.p, self.q).fit(work)
+        self._fitted = True
+        return self
+
+    def _forecast(self, steps: int) -> np.ndarray:
+        if self._arma is None:
+            return np.full(steps, self._last)
+        diffed = self._arma._forecast(steps)
+        # Integrate back d times: cumulative sums anchored at the tails.
+        out = np.asarray(diffed, dtype=float)
+        for tail in reversed(self._tails):
+            out = tail + np.cumsum(out)
+        return out
+
+
+def rps_extended_suite(p: int = 8, q: int = 8) -> list[TimeSeriesModel]:
+    """The Table-1 roster plus MEAN, MEDIAN(p) and ARIMA(p,1,q)."""
+    return rps_model_suite(p, q) + [GlobalMean(), WindowedMedian(p), Arima(p, 1, q)]

@@ -1,0 +1,135 @@
+"""Temporal reliability from time-series load forecasts (paper Section 6.2).
+
+The paper's comparison protocol: "we used time series models to predict
+the state transitions in a future time window based on the samples from
+the previous time window of the same length.  The prediction accuracy is
+determined by the difference of the observed temporal reliability on the
+predicted and the measured state transitions."
+
+Concretely, for every evaluation day the model fits the load samples of
+the window immediately preceding the target window and forecasts the
+load trajectory across the target window (multi-step-ahead); forecasted
+loads are classified into CPU states and the day's predicted outcome is
+"failure-free or not".  The predicted TR over the evaluation days is the
+fraction of days predicted failure-free, compared against the same
+empirical TR the SMP is judged by.
+
+Time-series models see only the CPU-load signal — memory exhaustion (S4)
+and revocation (S5) are not linear functions of recent load — which is
+part of why the paper finds them ill-suited to FGCS availability.  Days
+whose preceding window contains down time still participate: the monitor
+would have recorded zero load there, and that is what the model sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core import windows as win
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import coarsen_states
+from repro.core.segments import failure_free
+from repro.core.states import State
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.timeseries.base import TimeSeriesModel
+from repro.traces.trace import MachineTrace
+
+__all__ = ["TimeSeriesTR", "TimeSeriesTRPredictor"]
+
+
+@dataclass(frozen=True)
+class TimeSeriesTR:
+    """Predicted TR of a model over the evaluation days, with support."""
+
+    value: float
+    n_days: int
+    model_name: str
+
+
+class TimeSeriesTRPredictor:
+    """Evaluate a time-series model as a temporal-reliability predictor."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], TimeSeriesModel],
+        classifier: StateClassifier | None = None,
+        *,
+        step_multiple: int = 1,
+    ) -> None:
+        if step_multiple < 1:
+            raise ValueError(f"step_multiple must be >= 1, got {step_multiple}")
+        self.model_factory = model_factory
+        self.classifier = classifier or StateClassifier()
+        self.step_multiple = step_multiple
+
+    # ------------------------------------------------------------------ #
+
+    def _series(self, trace: MachineTrace, window: AbsoluteWindow) -> np.ndarray:
+        view = trace.window_view(window)
+        load = np.where(view.up, view.load, 0.0)
+        mult = self.step_multiple
+        if mult > 1:
+            n_full = (load.shape[0] // mult) * mult
+            load = load[:n_full].reshape(-1, mult).mean(axis=1)
+        return load
+
+    def predict_day(self, trace: MachineTrace, target: AbsoluteWindow) -> bool:
+        """Predict whether one concrete window stays failure-free.
+
+        Fits the model on the preceding same-length window's loads and
+        classifies the forecasted trajectory.  The transient-spike rule
+        applies to the forecast exactly as it would to real samples.
+        """
+        previous = AbsoluteWindow(target.start - target.duration, target.duration)
+        if not trace.covers(previous) or not trace.covers(target):
+            raise IndexError("target or preceding window outside the trace")
+        history = self._series(trace, previous)
+        model = self.model_factory().fit(history)
+        step = trace.sample_period * self.step_multiple
+        steps = win.n_steps(target.duration, step)
+        forecast = model.forecast(steps)
+        states = self.classifier.classify_arrays(
+            forecast,
+            np.full(steps, np.inf),
+            np.ones(steps, bool),
+            step,
+        )
+        return failure_free(states)
+
+    def predicted_tr(
+        self,
+        trace: MachineTrace,
+        clock: ClockWindow,
+        dtype: DayType,
+        *,
+        condition_on_operational_start: bool = True,
+    ) -> TimeSeriesTR:
+        """Predicted TR over the trace's eligible days of type ``dtype``.
+
+        Day eligibility matches :func:`repro.core.empirical.empirical_tr`
+        so both sides of the comparison use the same day population: the
+        target window must lie in the trace (plus its preceding window
+        here) and, when conditioning, the day must start operational.
+        """
+        name = self.model_factory().name
+        outcomes: list[bool] = []
+        for day in trace.days(dtype):
+            target = clock.on_day(day)
+            previous = AbsoluteWindow(target.start - target.duration, target.duration)
+            if not (trace.covers(target) and trace.covers(previous)):
+                continue
+            if condition_on_operational_start:
+                view = trace.window_view(target)
+                states = self.classifier.classify_window(view)
+                init = State(int(coarsen_states(states, self.step_multiple)[0]))
+                if init.is_failure:
+                    continue
+            outcomes.append(self.predict_day(trace, target))
+        if not outcomes:
+            return TimeSeriesTR(value=float("nan"), n_days=0, model_name=name)
+        return TimeSeriesTR(
+            value=float(np.mean(outcomes)), n_days=len(outcomes), model_name=name
+        )

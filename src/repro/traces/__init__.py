@@ -1,0 +1,22 @@
+"""Trace substrate: containers, synthesis, noise injection and I/O.
+
+The paper's evaluation data is a 3-month monitoring trace of a Purdue
+student lab; this package provides the equivalent substrate — trace
+containers (:mod:`~repro.traces.trace`), a calibrated synthetic workload
+generator (:mod:`~repro.traces.synthesis`), the Section-7.3 noise
+injector (:mod:`~repro.traces.noise`), persistence
+(:mod:`~repro.traces.io`) and trace statistics
+(:mod:`~repro.traces.stats`).
+"""
+
+from repro.traces.events import ResourceSample, StateVisit, UnavailabilityEvent
+from repro.traces.trace import MachineTrace, TraceSet, TraceWindow
+
+__all__ = [
+    "MachineTrace",
+    "ResourceSample",
+    "StateVisit",
+    "TraceSet",
+    "TraceWindow",
+    "UnavailabilityEvent",
+]

@@ -1,0 +1,90 @@
+"""Record types shared across the trace substrate.
+
+The monitoring data the paper collected (Section 6.1) contains, per
+machine, a periodic record of host resource usage plus, derived from it,
+"the start and end time of each unavailability occurrence, the
+corresponding failure state (S3, S4, or S5), and the available CPU and
+memory for guest jobs".  These records are the exchange currency between
+the trace substrate, the classifier and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.states import State
+
+__all__ = ["ResourceSample", "UnavailabilityEvent", "StateVisit"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One periodic observation of a host machine.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time of the measurement (seconds).
+    cpu_load:
+        Total CPU usage of all *host* processes, in ``[0, 1]`` (the paper's
+        ``L_H``).  Guest processes are excluded by construction: the
+        monitor knows the guest pid (Section 5.1).
+    free_mem_mb:
+        Free physical memory available for a guest working set, in MB.
+    up:
+        Whether the machine (and hence the monitor) was running.  ``False``
+        samples correspond to heartbeat gaps, i.e. URR periods.
+    """
+
+    time: float
+    cpu_load: float
+    free_mem_mb: float
+    up: bool = True
+
+
+@dataclass(frozen=True)
+class UnavailabilityEvent:
+    """One contiguous occurrence of resource unavailability.
+
+    Mirrors the per-event record the paper's trace contains: start/end
+    times and the failure state responsible.
+    """
+
+    start: float
+    end: float
+    state: State
+
+    def __post_init__(self) -> None:
+        if not State(self.state).is_failure:
+            raise ValueError(f"unavailability event must carry a failure state, got {self.state}")
+        if self.end <= self.start:
+            raise ValueError(f"event must have positive duration: [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> float:
+        """Length of the unavailability period in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class StateVisit:
+    """One maximal run of a single state in a classified state sequence.
+
+    ``start_index``/``length`` are in samples; ``state`` is the visited
+    state.  Produced by :func:`repro.core.segments.visits`.
+    """
+
+    state: State
+    start_index: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"visit length must be positive, got {self.length}")
+        if self.start_index < 0:
+            raise ValueError(f"visit start_index must be >= 0, got {self.start_index}")
+
+    @property
+    def end_index(self) -> int:
+        """Exclusive end index of the visit."""
+        return self.start_index + self.length

@@ -1,0 +1,144 @@
+"""Trace persistence: compressed NumPy archives and portable CSV.
+
+Two formats are supported:
+
+* **NPZ** — the native format: one compressed ``.npz`` per machine with
+  the sample arrays plus metadata; fast and lossless.  A testbed saves
+  as a directory of per-machine files plus a ``manifest.json``.
+* **CSV** — one row per sample (``time,cpu_load,free_mem_mb,up``) with a
+  ``# key=value`` comment header; interoperable with external tooling at
+  ~20x the size.
+
+Both round-trip exactly (CSV stores full ``repr`` precision).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.trace import MachineTrace, TraceSet
+
+__all__ = [
+    "save_trace_npz",
+    "load_trace_npz",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_traceset",
+    "load_traceset",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace_npz(trace: MachineTrace, path: str | Path) -> Path:
+    """Write one trace as a compressed ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        machine_id=np.str_(trace.machine_id),
+        start_time=np.float64(trace.start_time),
+        sample_period=np.float64(trace.sample_period),
+        load=trace.load,
+        free_mem_mb=trace.free_mem_mb,
+        up=trace.up,
+    )
+    return path
+
+
+def load_trace_npz(path: str | Path) -> MachineTrace:
+    """Read one trace from a ``.npz`` archive written by :func:`save_trace_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return MachineTrace(
+            machine_id=str(data["machine_id"]),
+            start_time=float(data["start_time"]),
+            sample_period=float(data["sample_period"]),
+            load=data["load"],
+            free_mem_mb=data["free_mem_mb"],
+            up=data["up"],
+        )
+
+
+def save_trace_csv(trace: MachineTrace, path: str | Path) -> Path:
+    """Write one trace as CSV with a comment metadata header."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# machine_id={trace.machine_id}\n")
+        fh.write(f"# start_time={trace.start_time!r}\n")
+        fh.write(f"# sample_period={trace.sample_period!r}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["time", "cpu_load", "free_mem_mb", "up"])
+        times = trace.times()
+        for t, ld, fm, u in zip(times, trace.load, trace.free_mem_mb, trace.up):
+            writer.writerow([repr(float(t)), repr(float(ld)), repr(float(fm)), int(u)])
+    return path
+
+
+def load_trace_csv(path: str | Path) -> MachineTrace:
+    """Read a trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    meta: dict[str, str] = {}
+    loads: list[float] = []
+    mems: list[float] = []
+    ups: list[bool] = []
+    with path.open() as fh:
+        pos = fh.tell()
+        line = fh.readline()
+        while line.startswith("#"):
+            key, _, value = line[1:].strip().partition("=")
+            meta[key.strip()] = value.strip()
+            pos = fh.tell()
+            line = fh.readline()
+        fh.seek(pos)
+        reader = csv.DictReader(fh)
+        for row in reader:
+            loads.append(float(row["cpu_load"]))
+            mems.append(float(row["free_mem_mb"]))
+            ups.append(bool(int(row["up"])))
+    for key in ("machine_id", "start_time", "sample_period"):
+        if key not in meta:
+            raise ValueError(f"CSV trace {path} is missing the {key} header")
+    return MachineTrace(
+        machine_id=meta["machine_id"],
+        start_time=float(meta["start_time"]),
+        sample_period=float(meta["sample_period"]),
+        load=np.array(loads),
+        free_mem_mb=np.array(mems),
+        up=np.array(ups, dtype=bool),
+    )
+
+
+def save_traceset(traces: TraceSet, directory: str | Path) -> Path:
+    """Write a testbed: per-machine NPZ files plus ``manifest.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"format_version": _FORMAT_VERSION, "machines": []}
+    for trace in traces:
+        fname = f"{trace.machine_id}.npz"
+        save_trace_npz(trace, directory / fname)
+        manifest["machines"].append({"machine_id": trace.machine_id, "file": fname})
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_traceset(directory: str | Path) -> TraceSet:
+    """Read a testbed directory written by :func:`save_traceset`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported manifest version {manifest.get('format_version')}")
+    traces = TraceSet()
+    for entry in manifest["machines"]:
+        traces.add(load_trace_npz(directory / entry["file"]))
+    return traces

@@ -1,0 +1,199 @@
+"""Machine/user behaviour profiles for trace synthesis.
+
+A :class:`MachineProfile` captures everything the synthesizer needs to
+generate a realistic host-resource-usage trace: the diurnal intensity
+curves that shape user activity, the session and burst processes that
+produce CPU load, the memory footprint model, and the revocation (URR)
+process.
+
+The default :func:`student_lab` profile is calibrated against what the
+paper reports about its testbed (Section 6.1): a general-purpose Purdue
+computer laboratory, students "checking e-mails, editing files, and
+compiling and testing class projects", with 405-453 unavailability
+occurrences per machine over 3 months (~4.5-5 per day) and load patterns
+that recur across weekdays (weekends) — machines rebooted by console
+users who "do not wish to share the machine".
+
+Two additional presets anticipate the paper's future-work testbeds:
+:func:`office_desktop` (a single owner, 9-5 usage, fewer reboots) and
+:func:`server_room` (always-on batch machines, rare revocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["MachineProfile", "student_lab", "office_desktop", "server_room", "PROFILES"]
+
+
+def _curve(points: dict[int, float]) -> tuple[float, ...]:
+    """Expand sparse {hour: value} control points into a 24-value curve."""
+    hours = sorted(points)
+    xs = np.array(hours + [hours[0] + 24], dtype=float)
+    ys = np.array([points[h] for h in hours] + [points[hours[0]]], dtype=float)
+    grid = np.arange(24, dtype=float)
+    return tuple(float(v) for v in np.interp(grid, xs, ys))
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """All tunables of the synthetic workload of one machine class.
+
+    Intensity curves are unit-free multipliers (0 = dead of night,
+    1 = peak usage); they scale the session arrival rate and the
+    revocation hazard.  Durations are seconds, loads are CPU fractions,
+    memory is MB.
+    """
+
+    name: str
+
+    # --- machine hardware -------------------------------------------- #
+    ram_mb: float = 512.0
+    kernel_mem_mb: float = 96.0
+
+    # --- diurnal intensity ------------------------------------------- #
+    weekday_hourly: tuple[float, ...] = field(default_factory=tuple)
+    weekend_hourly: tuple[float, ...] = field(default_factory=tuple)
+    #: lognormal sigma of the per-day intensity multiplier (day-to-day
+    #: deviation from the recurring pattern).
+    day_jitter_sigma: float = 0.12
+
+    # --- interactive sessions ---------------------------------------- #
+    #: expected sessions per day at intensity 1.0 sustained all day.
+    sessions_per_day: float = 60.0
+    #: lognormal (mu of ln-seconds, sigma) of session duration.
+    session_duration_ln: tuple[float, float] = (7.3, 0.7)  # median ~25 min
+    #: uniform range of a session's steady CPU load (editing, e-mail).
+    session_load_range: tuple[float, float] = (0.05, 0.22)
+    #: uniform range of a session's resident memory (MB).
+    session_mem_range: tuple[float, float] = (30.0, 80.0)
+
+    # --- compile / compute bursts inside sessions --------------------- #
+    #: expected bursts per hour of session time.
+    bursts_per_session_hour: float = 1.35
+    #: lognormal (mu of ln-seconds, sigma) of burst duration; the mix of
+    #: sub-minute (transient, guest suspended) and multi-minute (S3)
+    #: bursts is what drives UEC frequency.
+    burst_duration_ln: tuple[float, float] = (2.9, 0.9)  # median ~18 s
+    #: uniform range of burst CPU load (compilers/tests peg the CPU).
+    burst_load_range: tuple[float, float] = (0.70, 1.00)
+
+    # --- background activity ------------------------------------------ #
+    #: idle baseline load (daemons, monitors).
+    idle_load: float = 0.02
+    #: AR(1) background noise: coefficient and innovation std-dev.
+    noise_phi: float = 0.9
+    noise_sigma: float = 0.01
+    #: system spikes per day (cron jobs, updatedb, remote X) — short,
+    #: high-load, session-independent.
+    system_spikes_per_day: float = 6.0
+    system_spike_duration: tuple[float, float] = (6.0, 54.0)
+    system_spike_load: tuple[float, float] = (0.65, 1.00)
+
+    # --- large-memory applications (S4 driver) ------------------------ #
+    #: expected big-memory app launches per day at intensity 1.0.
+    bigmem_per_day: float = 0.35
+    bigmem_ws_range: tuple[float, float] = (260.0, 380.0)
+    bigmem_duration_ln: tuple[float, float] = (6.6, 0.6)  # median ~12 min
+
+    # --- revocation (URR / S5 driver) ---------------------------------- #
+    #: expected console reboots per day at intensity 1.0 sustained.
+    reboots_per_day: float = 1.6
+    #: expected intensity-independent crashes per day.
+    crashes_per_day: float = 0.08
+    #: uniform range of downtime per revocation (seconds).
+    downtime_range: tuple[float, float] = (120.0, 900.0)
+
+    def __post_init__(self) -> None:
+        for label, curve in (("weekday", self.weekday_hourly), ("weekend", self.weekend_hourly)):
+            if len(curve) != 24:
+                raise ValueError(f"{label}_hourly must have 24 entries, got {len(curve)}")
+            if min(curve) < 0.0:
+                raise ValueError(f"{label}_hourly values must be >= 0")
+        if self.ram_mb <= self.kernel_mem_mb:
+            raise ValueError("ram_mb must exceed kernel_mem_mb")
+
+    def hourly(self, weekend: bool) -> np.ndarray:
+        """The intensity curve for the requested day type, as an array."""
+        return np.asarray(self.weekend_hourly if weekend else self.weekday_hourly)
+
+    def with_jitter(self, rng: np.random.Generator, scale: float = 0.15) -> "MachineProfile":
+        """A per-machine perturbed copy, so testbed machines differ.
+
+        Rates and curves are scaled by independent lognormal factors of
+        sigma ``scale``; this models the paper's "highly diverse host
+        workloads" across lab machines while keeping each machine's own
+        day-to-day pattern stable.
+        """
+
+        def f() -> float:
+            return float(np.exp(rng.normal(0.0, scale)))
+
+        return replace(
+            self,
+            weekday_hourly=tuple(min(1.5, v * f()) for v in self.weekday_hourly),
+            weekend_hourly=tuple(min(1.5, v * f()) for v in self.weekend_hourly),
+            sessions_per_day=self.sessions_per_day * f(),
+            bursts_per_session_hour=self.bursts_per_session_hour * f(),
+            bigmem_per_day=self.bigmem_per_day * f(),
+            reboots_per_day=self.reboots_per_day * f(),
+        )
+
+
+def student_lab() -> MachineProfile:
+    """The paper's testbed: a general-purpose student computer lab.
+
+    Busy mid-morning through late evening on weekdays (classes,
+    assignments), quieter but non-trivial weekends, near-idle overnight.
+    """
+    return MachineProfile(
+        name="student-lab",
+        weekday_hourly=_curve({0: 0.10, 3: 0.02, 7: 0.06, 9: 0.55, 11: 0.85, 13: 0.80,
+                               15: 0.95, 17: 0.75, 19: 0.70, 21: 0.55, 23: 0.20}),
+        weekend_hourly=_curve({0: 0.12, 4: 0.02, 9: 0.10, 12: 0.35, 15: 0.45, 18: 0.40,
+                               21: 0.30, 23: 0.15}),
+    )
+
+
+def office_desktop() -> MachineProfile:
+    """An enterprise desktop: one owner, 9-to-5, locked overnight."""
+    return MachineProfile(
+        name="office-desktop",
+        weekday_hourly=_curve({0: 0.01, 7: 0.05, 9: 0.80, 12: 0.50, 14: 0.85, 17: 0.60,
+                               19: 0.10, 22: 0.02}),
+        weekend_hourly=_curve({0: 0.01, 10: 0.06, 14: 0.10, 20: 0.02}),
+        sessions_per_day=10.0,
+        session_duration_ln=(8.2, 0.6),  # median ~1 h
+        reboots_per_day=0.35,
+        crashes_per_day=0.05,
+        bigmem_per_day=0.3,
+        system_spikes_per_day=4.0,
+    )
+
+
+def server_room() -> MachineProfile:
+    """Always-on shared compute servers: flat load, rare revocation."""
+    return MachineProfile(
+        name="server-room",
+        weekday_hourly=_curve({0: 0.45, 6: 0.40, 10: 0.60, 16: 0.65, 22: 0.50}),
+        weekend_hourly=_curve({0: 0.40, 8: 0.35, 14: 0.45, 20: 0.40}),
+        sessions_per_day=30.0,
+        session_duration_ln=(8.6, 0.9),  # long batch jobs
+        session_load_range=(0.10, 0.45),
+        reboots_per_day=0.05,
+        crashes_per_day=0.03,
+        downtime_range=(300.0, 3600.0),
+        day_jitter_sigma=0.12,
+        ram_mb=2048.0,
+        kernel_mem_mb=160.0,
+    )
+
+
+#: Named registry used by the CLI and examples.
+PROFILES = {
+    "student-lab": student_lab,
+    "office-desktop": office_desktop,
+    "server-room": server_room,
+}

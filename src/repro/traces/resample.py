@@ -1,0 +1,74 @@
+"""Trace resampling utilities.
+
+Real deployments mix monitoring periods (the paper's 6 s testbed, a 30 s
+office fleet, minute-level archival storage).  These helpers convert a
+trace between periods without losing the signals the availability model
+depends on:
+
+* **load** is averaged within each coarse interval (CPU usage is a
+  time-average by definition);
+* **free memory** takes the interval *minimum* (thrashing is triggered
+  by the worst moment, not the average);
+* **up** takes the interval minimum too: any down sample marks the
+  coarse interval down, so URR periods are never hidden.
+
+Downsampling therefore never hides a failure condition that lasted at
+least one fine sample, though a sub-interval S3 excursion can lose its
+exact duration (which is why the classifier's transient tolerance is
+expressed in seconds, not samples).
+"""
+
+from __future__ import annotations
+
+from repro.traces.trace import MachineTrace
+
+__all__ = ["downsample", "align_periods"]
+
+
+def downsample(trace: MachineTrace, factor: int) -> MachineTrace:
+    """Coarsen a trace by an integer factor.
+
+    The result has ``sample_period * factor``; a trailing remainder of
+    fewer than ``factor`` samples is dropped (the grid must stay
+    regular).
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return trace
+    n_full = (trace.n_samples // factor) * factor
+    if n_full == 0:
+        raise ValueError(
+            f"trace of {trace.n_samples} samples too short for factor {factor}"
+        )
+    load = trace.load[:n_full].reshape(-1, factor)
+    mem = trace.free_mem_mb[:n_full].reshape(-1, factor)
+    up = trace.up[:n_full].reshape(-1, factor)
+    return MachineTrace(
+        machine_id=trace.machine_id,
+        start_time=trace.start_time,
+        sample_period=trace.sample_period * factor,
+        load=load.mean(axis=1),
+        free_mem_mb=mem.min(axis=1),
+        up=up.min(axis=1).astype(bool),
+    )
+
+
+def align_periods(a: MachineTrace, b: MachineTrace) -> tuple[MachineTrace, MachineTrace]:
+    """Downsample the finer of two traces so both share one period.
+
+    The coarser period must be an integer multiple of the finer one;
+    otherwise no lossless alignment exists and a ``ValueError`` is
+    raised.
+    """
+    pa, pb = a.sample_period, b.sample_period
+    if pa == pb:
+        return a, b
+    fine, coarse = (a, b) if pa < pb else (b, a)
+    ratio = coarse.sample_period / fine.sample_period
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError(
+            f"periods {pa} and {pb} are not integer multiples; cannot align"
+        )
+    resampled = downsample(fine, int(round(ratio)))
+    return (resampled, coarse) if pa < pb else (coarse, resampled)

@@ -1,0 +1,133 @@
+"""Trace statistics: unavailability events, availability, pattern similarity.
+
+These are the quantities the paper reports about its dataset (Section
+6.1): the number of unavailability occurrences per machine (405-453 over
+3 months), the failure-state breakdown, and the day-to-day comparability
+of load patterns that justifies windowed history pooling.  The synthesis
+calibration bench (`TRACE` in DESIGN.md) checks our synthetic testbed
+against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import windows as win
+from repro.core.classifier import StateClassifier
+from repro.core.segments import run_length_encode
+from repro.core.states import State
+from repro.traces.events import UnavailabilityEvent
+from repro.traces.trace import MachineTrace
+
+__all__ = [
+    "unavailability_events",
+    "TraceSummary",
+    "summarize_trace",
+    "hourly_mean_load",
+    "daily_pattern_correlation",
+]
+
+
+def unavailability_events(
+    trace: MachineTrace, classifier: StateClassifier | None = None
+) -> list[UnavailabilityEvent]:
+    """Extract maximal unavailability occurrences from a trace.
+
+    Consecutive samples in *any* failure state form one event; the event
+    is labelled with the state of its first sample (matching how the
+    paper's trace records "the corresponding failure state").  Back-to-
+    back distinct failure states (e.g. S3 leading into a reboot's S5)
+    are reported as separate events, since each would independently kill
+    a guest.
+    """
+    classifier = classifier or StateClassifier()
+    states = classifier.classify_trace(trace)
+    vals, starts, lengths = run_length_encode(states)
+    events: list[UnavailabilityEvent] = []
+    for v, s, ln in zip(vals, starts, lengths):
+        state = State(int(v))
+        if not state.is_failure:
+            continue
+        t0 = trace.start_time + s * trace.sample_period
+        events.append(
+            UnavailabilityEvent(start=t0, end=t0 + ln * trace.sample_period, state=state)
+        )
+    return events
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline statistics of one machine trace."""
+
+    machine_id: str
+    n_days: int
+    n_events: int
+    events_per_day: float
+    n_s3: int
+    n_s4: int
+    n_s5: int
+    availability: float  #: fraction of samples in an operational state
+    mean_load: float  #: mean host CPU load over up samples
+
+    def breakdown(self) -> dict[str, int]:
+        """Event counts keyed by failure-state name."""
+        return {"S3": self.n_s3, "S4": self.n_s4, "S5": self.n_s5}
+
+
+def summarize_trace(
+    trace: MachineTrace, classifier: StateClassifier | None = None
+) -> TraceSummary:
+    """Compute the :class:`TraceSummary` of one trace."""
+    classifier = classifier or StateClassifier()
+    events = unavailability_events(trace, classifier)
+    states = classifier.classify_trace(trace)
+    n_days = max(trace.n_days, 1)
+    counts = {s: sum(1 for e in events if e.state is s) for s in (State.S3, State.S4, State.S5)}
+    up_loads = trace.load[trace.up]
+    return TraceSummary(
+        machine_id=trace.machine_id,
+        n_days=trace.n_days,
+        n_events=len(events),
+        events_per_day=len(events) / n_days,
+        n_s3=counts[State.S3],
+        n_s4=counts[State.S4],
+        n_s5=counts[State.S5],
+        availability=float(np.mean(states <= State.S2)) if states.size else float("nan"),
+        mean_load=float(up_loads.mean()) if up_loads.size else float("nan"),
+    )
+
+
+def hourly_mean_load(trace: MachineTrace, day: int) -> np.ndarray:
+    """Mean host CPU load per hour-of-day for one day (24 values).
+
+    Down samples are excluded from each hour's mean; an hour that is
+    entirely down yields ``nan``.
+    """
+    view = trace.day_view(day)
+    samples_per_hour = int(round(win.SECONDS_PER_HOUR / trace.sample_period))
+    load = view.load[: 24 * samples_per_hour].reshape(24, samples_per_hour)
+    up = view.up[: 24 * samples_per_hour].reshape(24, samples_per_hour)
+    with np.errstate(invalid="ignore"):
+        sums = np.where(up, load, 0.0).sum(axis=1)
+        counts = up.sum(axis=1)
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def daily_pattern_correlation(trace: MachineTrace, day_a: int, day_b: int) -> float:
+    """Pearson correlation of two days' hourly load profiles.
+
+    The paper's premise is that same-type days have comparable load
+    patterns; this is the quantitative check.  Returns ``nan`` when
+    either profile is degenerate (constant or fully down).
+    """
+    a = hourly_mean_load(trace, day_a)
+    b = hourly_mean_load(trace, day_b)
+    ok = np.isfinite(a) & np.isfinite(b)
+    if ok.sum() < 3:
+        return float("nan")
+    a, b = a[ok], b[ok]
+    if np.std(a) < 1e-12 or np.std(b) < 1e-12:
+        return float("nan")
+    return float(np.corrcoef(a, b)[0, 1])

@@ -1,0 +1,273 @@
+"""Synthetic host-workload trace generation.
+
+This is the data substitute for the paper's 3-month Purdue lab traces
+(DESIGN.md, substitution table).  A trace is assembled from explicitly
+modelled processes, every one of which corresponds to a phenomenon the
+paper describes:
+
+* a **diurnal intensity curve** per day type (weekday/weekend) — the
+  recurring daily pattern the SMP estimator relies on;
+* **interactive user sessions** (e-mail, editing) arriving as a
+  non-homogeneous Poisson process modulated by the intensity curve, each
+  contributing a steady CPU load and resident memory;
+* **compile/test bursts** inside sessions — short CPU-pegging episodes;
+  sub-minute bursts become transient suspensions, longer ones become S3;
+* **system spikes** — session-independent short high-load events (cron,
+  remote X clients), the paper's example cause of transient spikes;
+* **large-memory applications** whose working set overcommits RAM — the
+  S4 (thrashing) driver;
+* **revocations** — console reboots (intensity-modulated: an impatient
+  local user implies a busy lab) plus rare intensity-independent crashes
+  — the S5 (URR) driver;
+* **AR(1) background noise** on top of everything.
+
+All randomness flows from a single :class:`numpy.random.Generator`
+seeded per machine, so traces are fully reproducible.  Interval loads
+are accumulated with the difference-array trick and a single cumulative
+sum — no per-sample Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.core import windows as win
+from repro.traces.profiles import MachineProfile, student_lab
+from repro.traces.trace import MachineTrace, TraceSet
+
+__all__ = ["SynthesisConfig", "synthesize_trace", "synthesize_testbed"]
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Parameters of one synthesis run.
+
+    ``n_days`` full days starting at day index ``start_day`` (day 0 is a
+    Monday), sampled every ``sample_period`` seconds — 6 s in the paper's
+    testbed.  ``machine_jitter`` perturbs the profile per machine (0
+    disables it, making all machines statistically identical).
+    """
+
+    n_days: int = 90
+    sample_period: float = 6.0
+    start_day: int = 0
+    profile: MachineProfile | None = None
+    machine_jitter: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {self.n_days}")
+        if self.sample_period <= 0.0:
+            raise ValueError(f"sample_period must be positive, got {self.sample_period}")
+        if self.start_day < 0:
+            raise ValueError(f"start_day must be >= 0, got {self.start_day}")
+        if self.machine_jitter < 0.0:
+            raise ValueError(f"machine_jitter must be >= 0, got {self.machine_jitter}")
+
+
+class _IntervalAccumulator:
+    """Accumulate ``value`` over half-open sample-index intervals.
+
+    Uses the difference-array trick: ``add`` costs O(1); the full
+    per-sample array is materialized once by :meth:`materialize` with a
+    single cumulative sum.
+    """
+
+    def __init__(self, n: int) -> None:
+        self._diff = np.zeros(n + 1)
+        self._n = n
+
+    def add(self, i0: int, i1: int, value: float) -> None:
+        i0 = max(0, min(self._n, i0))
+        i1 = max(0, min(self._n, i1))
+        if i1 <= i0:
+            return
+        self._diff[i0] += value
+        self._diff[i1] -= value
+
+    def materialize(self) -> np.ndarray:
+        return np.cumsum(self._diff[:-1])
+
+
+def _sample_times_by_intensity(
+    rng: np.random.Generator, intensity: np.ndarray, n_events: int, t0: float, period: float
+) -> np.ndarray:
+    """Draw event times with density proportional to a per-sample intensity."""
+    if n_events == 0:
+        return np.empty(0)
+    weights = np.maximum(intensity, 1e-9)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    idx = np.searchsorted(cdf, rng.random(n_events))
+    return t0 + (idx + rng.random(n_events)) * period
+
+
+def _lognormal(rng: np.random.Generator, params: tuple[float, float], size: int) -> np.ndarray:
+    mu, sigma = params
+    return np.exp(rng.normal(mu, sigma, size))
+
+
+def synthesize_trace(
+    machine_id: str,
+    *,
+    n_days: int = 90,
+    sample_period: float = 6.0,
+    start_day: int = 0,
+    profile: MachineProfile | None = None,
+    machine_jitter: float = 0.15,
+    seed: int | np.random.Generator = 0,
+) -> MachineTrace:
+    """Generate one machine's monitoring trace.
+
+    See the module docstring for the generative model.  ``seed`` may be
+    an integer or a pre-built generator (the testbed synthesizer passes
+    child generators).
+    """
+    config = SynthesisConfig(
+        n_days=n_days,
+        sample_period=sample_period,
+        start_day=start_day,
+        profile=profile,
+        machine_jitter=machine_jitter,
+    )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    prof = config.profile or student_lab()
+    if config.machine_jitter > 0.0:
+        prof = prof.with_jitter(rng, config.machine_jitter)
+
+    period = config.sample_period
+    samples_per_day = int(round(win.SECONDS_PER_DAY / period))
+    n = config.n_days * samples_per_day
+    t_start = win.day_start(config.start_day)
+
+    load_acc = _IntervalAccumulator(n)
+    mem_acc = _IntervalAccumulator(n)
+    up = np.ones(n, dtype=bool)
+
+    def to_index(t: float) -> int:
+        return int((t - t_start) / period)
+
+    # Per-sample time-of-day grid for one day, reused for every day.
+    tod = (np.arange(samples_per_day) + 0.5) * period / win.SECONDS_PER_HOUR
+    hour_grid = np.arange(25, dtype=float)
+
+    day_intensity_mean = np.empty(config.n_days)
+    for d in range(config.n_days):
+        day = config.start_day + d
+        weekend = win.day_type(day) is win.DayType.WEEKEND
+        curve = prof.hourly(weekend)
+        curve_closed = np.concatenate([curve, curve[:1]])
+        base = np.interp(tod, hour_grid, curve_closed)
+        day_mult = float(np.exp(rng.normal(0.0, prof.day_jitter_sigma)))
+        intensity = base * day_mult
+        day_intensity_mean[d] = float(intensity.mean())
+        day_t0 = win.day_start(day)
+
+        # ---------------- interactive sessions ---------------------- #
+        expected_sessions = prof.sessions_per_day * day_intensity_mean[d]
+        n_sessions = int(rng.poisson(expected_sessions))
+        starts = _sample_times_by_intensity(rng, intensity, n_sessions, day_t0, period)
+        durations = _lognormal(rng, prof.session_duration_ln, n_sessions)
+        loads = rng.uniform(*prof.session_load_range, n_sessions)
+        mems = rng.uniform(*prof.session_mem_range, n_sessions)
+        for s, dur, sl, sm in zip(starts, durations, loads, mems):
+            i0, i1 = to_index(s), to_index(s + dur)
+            load_acc.add(i0, i1, float(sl))
+            mem_acc.add(i0, i1, float(sm))
+            # ------------ compile/test bursts in this session -------- #
+            n_bursts = int(rng.poisson(dur / 3600.0 * prof.bursts_per_session_hour))
+            if n_bursts:
+                b_starts = s + rng.random(n_bursts) * dur
+                b_durs = _lognormal(rng, prof.burst_duration_ln, n_bursts)
+                b_loads = rng.uniform(*prof.burst_load_range, n_bursts)
+                for bs, bd, bl in zip(b_starts, b_durs, b_loads):
+                    load_acc.add(to_index(bs), to_index(bs + bd), float(bl))
+
+        # ---------------- system spikes ------------------------------ #
+        n_spikes = int(rng.poisson(prof.system_spikes_per_day))
+        sp_starts = day_t0 + rng.random(n_spikes) * win.SECONDS_PER_DAY
+        sp_durs = rng.uniform(*prof.system_spike_duration, n_spikes)
+        sp_loads = rng.uniform(*prof.system_spike_load, n_spikes)
+        for ss, sd, sl in zip(sp_starts, sp_durs, sp_loads):
+            load_acc.add(to_index(ss), to_index(ss + sd), float(sl))
+
+        # ---------------- big-memory applications -------------------- #
+        n_big = int(rng.poisson(prof.bigmem_per_day * day_intensity_mean[d] / 0.5))
+        big_starts = _sample_times_by_intensity(rng, intensity, n_big, day_t0, period)
+        big_durs = _lognormal(rng, prof.bigmem_duration_ln, n_big)
+        big_ws = rng.uniform(*prof.bigmem_ws_range, n_big)
+        for bs, bd, bw in zip(big_starts, big_durs, big_ws):
+            mem_acc.add(to_index(bs), to_index(bs + bd), float(bw))
+
+        # ---------------- revocations -------------------------------- #
+        n_reboots = int(rng.poisson(prof.reboots_per_day * day_intensity_mean[d]))
+        rb_starts = _sample_times_by_intensity(rng, intensity, n_reboots, day_t0, period)
+        n_crashes = int(rng.poisson(prof.crashes_per_day))
+        cr_starts = day_t0 + rng.random(n_crashes) * win.SECONDS_PER_DAY
+        for rs in np.concatenate([rb_starts, cr_starts]):
+            downtime = rng.uniform(*prof.downtime_range)
+            i0 = max(0, min(n, to_index(rs)))
+            i1 = max(0, min(n, to_index(rs + downtime)))
+            up[i0:i1] = False
+
+    # -------------------- assembly ----------------------------------- #
+    load = load_acc.materialize()
+    load += prof.idle_load
+    noise = lfilter([1.0], [1.0, -prof.noise_phi], rng.normal(0.0, prof.noise_sigma, n))
+    load = np.clip(load + noise, 0.0, 1.0)
+
+    free_mem = prof.ram_mb - prof.kernel_mem_mb - mem_acc.materialize()
+    free_mem = np.maximum(free_mem, 8.0)
+
+    load[~up] = 0.0
+    free_mem[~up] = 0.0
+
+    return MachineTrace(
+        machine_id=machine_id,
+        start_time=t_start,
+        sample_period=period,
+        load=load,
+        free_mem_mb=free_mem,
+        up=up,
+    )
+
+
+def synthesize_testbed(
+    n_machines: int = 10,
+    *,
+    n_days: int = 90,
+    sample_period: float = 6.0,
+    start_day: int = 0,
+    profile: MachineProfile | None = None,
+    machine_jitter: float = 0.15,
+    seed: int = 0,
+    id_prefix: str = "lab",
+) -> TraceSet:
+    """Generate a whole testbed: ``n_machines`` independent machine traces.
+
+    Machines share the base profile but receive independent per-machine
+    jitter and workload randomness (independent child generators of the
+    given ``seed``), mirroring the paper's collection of lab machines
+    with "highly diverse host workloads".
+    """
+    if n_machines < 1:
+        raise ValueError(f"n_machines must be >= 1, got {n_machines}")
+    root = np.random.default_rng(seed)
+    children = root.spawn(n_machines)
+    traces = TraceSet()
+    for i, child in enumerate(children):
+        traces.add(
+            synthesize_trace(
+                f"{id_prefix}-{i:02d}",
+                n_days=n_days,
+                sample_period=sample_period,
+                start_day=start_day,
+                profile=profile,
+                machine_jitter=machine_jitter,
+                seed=child,
+            )
+        )
+    return traces

@@ -1,0 +1,326 @@
+"""Containers for host-resource-usage traces.
+
+A :class:`MachineTrace` is the in-memory form of what the paper's Resource
+Monitor recorded for one machine: a regular grid of samples (6-second
+period on the Purdue testbed) of total host CPU load, free memory and an
+up/down flag derived from the heartbeat mechanism.  A :class:`TraceSet`
+collects the traces of a whole testbed.
+
+Traces are backed by NumPy arrays; all window operations return *views*
+(no copies) so that slicing a 3-month trace into thousands of evaluation
+windows stays cheap, following the standard scientific-Python guidance of
+preferring views over copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core import windows as win
+from repro.core.windows import AbsoluteWindow, DayType
+
+__all__ = ["MachineTrace", "TraceSet", "TraceWindow"]
+
+
+@dataclass(frozen=True)
+class TraceWindow:
+    """Array views of one trace over one absolute window.
+
+    The arrays are views into the parent trace (mutating them mutates the
+    trace); treat them as read-only.
+    """
+
+    window: AbsoluteWindow
+    sample_period: float
+    load: np.ndarray
+    free_mem_mb: np.ndarray
+    up: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples covering the window."""
+        return int(self.load.shape[0])
+
+
+class MachineTrace:
+    """A regular-grid monitoring trace of one host machine.
+
+    Parameters
+    ----------
+    machine_id:
+        Identifier of the traced machine.
+    start_time:
+        Absolute time of the first sample.  Usually day-aligned (00:00).
+    sample_period:
+        Monitoring period in seconds (the paper used 6 s).
+    load:
+        Total host CPU load per sample, in ``[0, 1]``.
+    free_mem_mb:
+        Free memory per sample, MB.
+    up:
+        Whether the machine was up at each sample.  During down (URR)
+        periods, ``load``/``free_mem_mb`` values are meaningless and by
+        convention stored as ``0.0``.
+    """
+
+    __slots__ = ("machine_id", "start_time", "sample_period", "load", "free_mem_mb", "up")
+
+    def __init__(
+        self,
+        machine_id: str,
+        start_time: float,
+        sample_period: float,
+        load: np.ndarray,
+        free_mem_mb: np.ndarray,
+        up: np.ndarray | None = None,
+    ) -> None:
+        load = np.asarray(load, dtype=np.float64)
+        free_mem_mb = np.asarray(free_mem_mb, dtype=np.float64)
+        if up is None:
+            up = np.ones(load.shape, dtype=bool)
+        else:
+            up = np.asarray(up, dtype=bool)
+        if load.ndim != 1:
+            raise ValueError(f"load must be 1-D, got shape {load.shape}")
+        if free_mem_mb.shape != load.shape or up.shape != load.shape:
+            raise ValueError(
+                "load, free_mem_mb and up must have identical shapes: "
+                f"{load.shape}, {free_mem_mb.shape}, {up.shape}"
+            )
+        if sample_period <= 0.0:
+            raise ValueError(f"sample_period must be positive, got {sample_period}")
+        if load.size and (np.nanmin(load) < -1e-9 or np.nanmax(load) > 1.0 + 1e-9):
+            raise ValueError("load samples must lie in [0, 1]")
+        self.machine_id = machine_id
+        self.start_time = float(start_time)
+        self.sample_period = float(sample_period)
+        self.load = load
+        self.free_mem_mb = free_mem_mb
+        self.up = up
+
+    # ------------------------------------------------------------------ #
+    # basic geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the trace."""
+        return int(self.load.shape[0])
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds (samples x period)."""
+        return self.n_samples * self.sample_period
+
+    @property
+    def end_time(self) -> float:
+        """Absolute time just past the last sample's interval."""
+        return self.start_time + self.duration
+
+    def times(self) -> np.ndarray:
+        """Absolute sample times (computed on demand; not cached)."""
+        return self.start_time + np.arange(self.n_samples) * self.sample_period
+
+    def index_of(self, t: float) -> int:
+        """Index of the sample interval containing absolute time ``t``."""
+        idx = int(np.floor((t - self.start_time) / self.sample_period + 1e-9))
+        if idx < 0 or idx >= self.n_samples:
+            raise IndexError(
+                f"time {t} outside trace [{self.start_time}, {self.end_time}) "
+                f"of machine {self.machine_id!r}"
+            )
+        return idx
+
+    # ------------------------------------------------------------------ #
+    # days
+    # ------------------------------------------------------------------ #
+
+    @property
+    def first_day(self) -> int:
+        """Day index of the first fully covered day."""
+        d = win.day_index(self.start_time)
+        if win.day_start(d) < self.start_time - 1e-9:
+            d += 1
+        return d
+
+    @property
+    def last_day(self) -> int:
+        """Exclusive day index: days ``first_day .. last_day-1`` are fully covered."""
+        return win.day_index(self.end_time + 1e-9)
+
+    @property
+    def n_days(self) -> int:
+        """Number of fully covered days."""
+        return max(0, self.last_day - self.first_day)
+
+    def days(self, dtype: DayType | None = None) -> list[int]:
+        """Fully covered day indices, optionally filtered by day type."""
+        all_days = range(self.first_day, self.last_day)
+        if dtype is None:
+            return list(all_days)
+        return [d for d in all_days if win.day_type(d) is dtype]
+
+    # ------------------------------------------------------------------ #
+    # window access
+    # ------------------------------------------------------------------ #
+
+    def covers(self, window: AbsoluteWindow) -> bool:
+        """True when the window lies entirely within the trace."""
+        return window.start >= self.start_time - 1e-9 and window.end <= self.end_time + 1e-9
+
+    def window_view(self, window: AbsoluteWindow) -> TraceWindow:
+        """Return array views over one absolute window.
+
+        The number of samples is ``round(duration / sample_period)``
+        (matching the paper's ``T/d`` discretization); a window not fully
+        inside the trace raises :class:`IndexError`.
+        """
+        if not self.covers(window):
+            raise IndexError(
+                f"window [{window.start}, {window.end}) outside trace "
+                f"[{self.start_time}, {self.end_time}) of {self.machine_id!r}"
+            )
+        i0 = int(round((window.start - self.start_time) / self.sample_period))
+        n = win.n_steps(window.duration, self.sample_period)
+        n = min(n, self.n_samples - i0)
+        sl = slice(i0, i0 + n)
+        return TraceWindow(
+            window=window,
+            sample_period=self.sample_period,
+            load=self.load[sl],
+            free_mem_mb=self.free_mem_mb[sl],
+            up=self.up[sl],
+        )
+
+    def day_view(self, day: int) -> TraceWindow:
+        """Return views covering one whole day."""
+        return self.window_view(AbsoluteWindow(win.day_start(day), win.SECONDS_PER_DAY))
+
+    # ------------------------------------------------------------------ #
+    # splitting
+    # ------------------------------------------------------------------ #
+
+    def slice_days(self, first_day: int, last_day: int) -> "MachineTrace":
+        """Return a sub-trace covering days ``[first_day, last_day)``.
+
+        The result shares storage with the parent trace (views).
+        """
+        if first_day < self.first_day or last_day > self.last_day or first_day >= last_day:
+            raise ValueError(
+                f"day range [{first_day}, {last_day}) outside trace days "
+                f"[{self.first_day}, {self.last_day})"
+            )
+        t0 = win.day_start(first_day)
+        i0 = int(round((t0 - self.start_time) / self.sample_period))
+        n = int(round((last_day - first_day) * win.SECONDS_PER_DAY / self.sample_period))
+        return MachineTrace(
+            machine_id=self.machine_id,
+            start_time=t0,
+            sample_period=self.sample_period,
+            load=self.load[i0 : i0 + n],
+            free_mem_mb=self.free_mem_mb[i0 : i0 + n],
+            up=self.up[i0 : i0 + n],
+        )
+
+    def concat(self, other: "MachineTrace") -> "MachineTrace":
+        """Append a contiguous continuation of this trace.
+
+        ``other`` must belong to the same machine, share the sample
+        period and start exactly where this trace ends — the shape the
+        State Manager produces when folding live monitor logs onto a
+        bootstrap history.
+        """
+        if other.machine_id != self.machine_id:
+            raise ValueError(
+                f"cannot concat traces of different machines: "
+                f"{self.machine_id!r} and {other.machine_id!r}"
+            )
+        if other.sample_period != self.sample_period:
+            raise ValueError(
+                f"sample periods differ: {self.sample_period} vs {other.sample_period}"
+            )
+        if abs(other.start_time - self.end_time) > 1e-6:
+            raise ValueError(
+                f"traces are not contiguous: this ends at {self.end_time}, "
+                f"other starts at {other.start_time}"
+            )
+        return MachineTrace(
+            machine_id=self.machine_id,
+            start_time=self.start_time,
+            sample_period=self.sample_period,
+            load=np.concatenate([self.load, other.load]),
+            free_mem_mb=np.concatenate([self.free_mem_mb, other.free_mem_mb]),
+            up=np.concatenate([self.up, other.up]),
+        )
+
+    def split_by_ratio(self, train_fraction: float) -> tuple["MachineTrace", "MachineTrace"]:
+        """Split into (train, test) sub-traces on a day boundary.
+
+        ``train_fraction`` is the fraction of fully covered days assigned
+        to the training set (the paper's Figure 6 sweeps this from 1:9 to
+        9:1).  Both halves are guaranteed at least one day.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        n_days = self.n_days
+        if n_days < 2:
+            raise ValueError(f"need at least 2 full days to split, trace has {n_days}")
+        n_train = min(max(1, int(round(n_days * train_fraction))), n_days - 1)
+        cut = self.first_day + n_train
+        return (
+            self.slice_days(self.first_day, cut),
+            self.slice_days(cut, self.last_day),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MachineTrace({self.machine_id!r}, days={self.first_day}..{self.last_day - 1}, "
+            f"period={self.sample_period}s, n={self.n_samples})"
+        )
+
+
+class TraceSet:
+    """An ordered collection of machine traces (one testbed)."""
+
+    def __init__(self, traces: Iterable[MachineTrace] = ()) -> None:
+        self._traces: dict[str, MachineTrace] = {}
+        for tr in traces:
+            self.add(tr)
+
+    def add(self, trace: MachineTrace) -> None:
+        """Add one trace; machine ids must be unique."""
+        if trace.machine_id in self._traces:
+            raise KeyError(f"duplicate machine id {trace.machine_id!r}")
+        self._traces[trace.machine_id] = trace
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[MachineTrace]:
+        return iter(self._traces.values())
+
+    def __getitem__(self, machine_id: str) -> MachineTrace:
+        return self._traces[machine_id]
+
+    def __contains__(self, machine_id: str) -> bool:
+        return machine_id in self._traces
+
+    @property
+    def machine_ids(self) -> list[str]:
+        """Machine ids in insertion order."""
+        return list(self._traces)
+
+    def split_by_ratio(self, train_fraction: float) -> tuple["TraceSet", "TraceSet"]:
+        """Split every trace by day ratio; returns (train set, test set)."""
+        train, test = TraceSet(), TraceSet()
+        for tr in self:
+            a, b = tr.split_by_ratio(train_fraction)
+            train.add(a)
+            test.add(b)
+        return train, test
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceSet({len(self)} machines)"

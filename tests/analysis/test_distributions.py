@@ -1,0 +1,95 @@
+"""Tests for duration-distribution fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    SUPPORTED,
+    best_fit,
+    fit_all,
+    fit_distribution,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFitters:
+    def test_exponential_recovery(self, rng):
+        x = rng.exponential(50.0, 5000)
+        fit = fit_distribution(x, "exponential")
+        assert fit.params["rate"] == pytest.approx(1 / 50.0, rel=0.05)
+        assert fit.ks < 0.03
+        assert fit.mean() == pytest.approx(50.0, rel=0.05)
+
+    def test_weibull_recovery(self, rng):
+        shape, scale = 1.8, 120.0
+        x = scale * rng.weibull(shape, 5000)
+        fit = fit_distribution(x, "weibull")
+        assert fit.params["shape"] == pytest.approx(shape, rel=0.08)
+        assert fit.params["scale"] == pytest.approx(scale, rel=0.08)
+        assert fit.ks < 0.03
+
+    def test_lognormal_recovery(self, rng):
+        x = rng.lognormal(3.0, 0.8, 5000)
+        fit = fit_distribution(x, "lognormal")
+        assert fit.params["mu"] == pytest.approx(3.0, abs=0.05)
+        assert fit.params["sigma"] == pytest.approx(0.8, rel=0.08)
+        assert fit.mean() == pytest.approx(math.exp(3.0 + 0.32), rel=0.1)
+
+    def test_pareto_recovery(self, rng):
+        alpha, xmin = 2.5, 10.0
+        x = xmin * (1.0 - rng.random(5000)) ** (-1.0 / alpha)
+        fit = fit_distribution(x, "pareto")
+        assert fit.params["alpha"] == pytest.approx(alpha, rel=0.08)
+        assert fit.params["xmin"] == pytest.approx(xmin, rel=0.02)
+        assert fit.mean() == pytest.approx(alpha * xmin / (alpha - 1), rel=0.1)
+
+    def test_pareto_heavy_tail_infinite_mean(self, rng):
+        x = 10.0 * (1.0 - rng.random(3000)) ** (-1.0 / 0.8)
+        fit = fit_distribution(x, "pareto")
+        assert math.isinf(fit.mean())
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            fit_distribution([1.0, 2.0, 3.0], "cauchy")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_distribution([1.0, 2.0], "exponential")  # too few
+        with pytest.raises(ValueError):
+            fit_distribution([1.0, -2.0, 3.0], "exponential")
+        with pytest.raises(ValueError):
+            fit_distribution([1.0, float("inf"), 3.0], "exponential")
+
+    def test_cdf_monotone(self, rng):
+        x = rng.exponential(10.0, 100)
+        for name in SUPPORTED:
+            fit = fit_distribution(x, name)
+            grid = np.linspace(0.1, 100.0, 50)
+            cdf = fit.cdf(grid)
+            assert np.all(np.diff(cdf) >= -1e-12)
+            assert np.all((cdf >= 0) & (cdf <= 1))
+
+
+class TestSelection:
+    def test_fit_all_sorted(self, rng):
+        fits = fit_all(rng.exponential(10.0, 500))
+        assert [f.ks for f in fits] == sorted(f.ks for f in fits)
+        assert {f.name for f in fits} == set(SUPPORTED)
+
+    def test_best_fit_identifies_family(self, rng):
+        # Exponential data: exponential or weibull (shape ~ 1) must win.
+        x = rng.exponential(10.0, 3000)
+        assert best_fit(x).name in ("exponential", "weibull")
+        # Strongly lognormal data: lognormal must win.
+        y = rng.lognormal(2.0, 1.5, 3000)
+        assert best_fit(y).name == "lognormal"
+
+    def test_degenerate_constant_samples(self):
+        fits = fit_all([5.0, 5.0, 5.0, 5.0])
+        assert len(fits) == len(SUPPORTED)  # must not crash

@@ -1,0 +1,122 @@
+"""Tests for temporal-pattern analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    day_type_separation,
+    diurnal_profile,
+    diurnal_strength,
+    failure_intensity_by_hour,
+    load_autocorrelation,
+)
+from repro.core.windows import SECONDS_PER_DAY, DayType
+from repro.traces.trace import MachineTrace
+
+
+def sine_trace(n_days=7, period=300.0, amplitude=0.3, noise=0.0, seed=0):
+    """A trace whose load is a pure diurnal sine (peak at noon)."""
+    rng = np.random.default_rng(seed)
+    n_per_day = int(SECONDS_PER_DAY / period)
+    tod = np.arange(n_per_day) * period
+    day = 0.35 - amplitude * np.cos(2 * np.pi * tod / SECONDS_PER_DAY)
+    load = np.tile(day, n_days)
+    if noise:
+        load = load + rng.normal(0.0, noise, load.shape)
+    return MachineTrace(
+        "sine", 0.0, period, np.clip(load, 0, 1), np.full(load.shape, 400.0)
+    )
+
+
+class TestDiurnalProfile:
+    def test_shape_and_peak(self):
+        tr = sine_trace()
+        prof = diurnal_profile(tr, DayType.WEEKDAY)
+        assert prof.mean.shape == (24,)
+        assert prof.peak_hour == 12
+        assert prof.trough_hour == 0
+        assert prof.n_days == 5
+
+    def test_no_days_rejected(self):
+        tr = sine_trace(n_days=2)  # Mon+Tue only
+        with pytest.raises(ValueError):
+            diurnal_profile(tr, DayType.WEEKEND)
+
+
+class TestDiurnalStrength:
+    def test_pure_pattern_near_one(self):
+        assert diurnal_strength(sine_trace(), DayType.WEEKDAY) > 0.95
+
+    def test_noise_reduces_strength(self):
+        clean = diurnal_strength(sine_trace(), DayType.WEEKDAY)
+        noisy = diurnal_strength(sine_trace(noise=0.3, seed=1), DayType.WEEKDAY)
+        assert noisy < clean
+
+    def test_flat_trace_zero(self):
+        n = int(7 * SECONDS_PER_DAY / 300.0)
+        tr = MachineTrace("flat", 0.0, 300.0, np.full(n, 0.3), np.full(n, 400.0))
+        assert diurnal_strength(tr, DayType.WEEKDAY) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDayTypeSeparation:
+    def test_identical_day_types_zero(self):
+        tr = sine_trace(n_days=14)
+        assert day_type_separation(tr) == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_day_types_positive(self, long_trace):
+        # The synthetic lab has distinct weekday/weekend curves.
+        assert day_type_separation(long_trace) > 0.1
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = load_autocorrelation(sine_trace(), 1800.0)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelates(self):
+        rng = np.random.default_rng(2)
+        n = int(2 * SECONDS_PER_DAY / 60.0)
+        tr = MachineTrace(
+            "wn", 0.0, 60.0,
+            np.clip(rng.normal(0.3, 0.05, n), 0, 1), np.full(n, 400.0),
+        )
+        acf = load_autocorrelation(tr, 600.0)
+        assert np.all(np.abs(acf[1:]) < 0.1)
+
+    def test_smooth_signal_correlates(self):
+        acf = load_autocorrelation(sine_trace(), 3600.0)
+        assert acf[-1] > 0.9  # a 1 h lag barely moves a 24 h sine
+
+    def test_constant_signal(self):
+        n = int(SECONDS_PER_DAY / 300.0)
+        tr = MachineTrace("c", 0.0, 300.0, np.full(n, 0.5), np.full(n, 400.0))
+        acf = load_autocorrelation(tr, 1500.0)
+        assert np.allclose(acf, 1.0)
+
+
+class TestFailureIntensity:
+    def test_quiet_trace_zero(self):
+        tr = sine_trace(amplitude=0.1)  # never crosses Th2
+        intensity = failure_intensity_by_hour(tr)
+        assert intensity.sum() == 0.0
+
+    def test_failures_land_in_their_hour(self):
+        n_per_day = int(SECONDS_PER_DAY / 60.0)
+        load = np.full(5 * n_per_day, 0.05)
+        i0 = int(15 * 3600 / 60.0)  # 15:00
+        for d in range(5):
+            load[d * n_per_day + i0 : d * n_per_day + i0 + 5] = 0.95
+        tr = MachineTrace("f", 0.0, 60.0, load, np.full(load.shape, 400.0))
+        intensity = failure_intensity_by_hour(tr)
+        assert intensity[15] == pytest.approx(1.0)
+        assert intensity.sum() == pytest.approx(1.0)
+
+    def test_day_type_filter(self, long_trace):
+        wd = failure_intensity_by_hour(long_trace, dtype=DayType.WEEKDAY)
+        we = failure_intensity_by_hour(long_trace, dtype=DayType.WEEKEND)
+        both = failure_intensity_by_hour(long_trace)
+        assert wd.sum() > we.sum()  # the lab fails more on weekdays
+        n_wd = len(long_trace.days(DayType.WEEKDAY))
+        n_we = len(long_trace.days(DayType.WEEKEND))
+        total_events = wd.sum() * n_wd + we.sum() * n_we
+        assert both.sum() * long_trace.n_days == pytest.approx(total_events)

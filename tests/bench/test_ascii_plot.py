@@ -1,0 +1,96 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.bench.ascii_plot import Series, bar_chart, line_chart
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1])
+        with pytest.raises(ValueError):
+            Series("s", [], [])
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        s = Series("errors", [1, 2, 3], [10.0, 20.0, 15.0])
+        text = line_chart([s], title="demo", xlabel="T", ylabel="err")
+        assert "demo" in text
+        assert "o errors" in text
+        assert "T" in text
+        # Axis labels show the data range.
+        assert "10" in text and "20" in text
+
+    def test_multiple_series_distinct_markers(self):
+        a = Series("a", [1, 2], [1.0, 2.0])
+        b = Series("b", [1, 2], [2.0, 1.0])
+        text = line_chart([a, b])
+        assert "o a" in text and "x b" in text
+
+    def test_nan_points_skipped(self):
+        s = Series("s", [1, 2, 3], [1.0, float("nan"), 3.0])
+        text = line_chart([s])
+        assert "o" in text
+
+    def test_all_nan_graceful(self):
+        s = Series("s", [1.0], [float("nan")])
+        text = line_chart([s], title="t")
+        assert "no finite data" in text
+
+    def test_log_y(self):
+        s = Series("s", [1, 2, 3], [1.0, 100.0, 10000.0])
+        text = line_chart([s], log_y=True)
+        assert "o" in text
+
+    def test_log_y_no_positive(self):
+        s = Series("s", [1.0], [0.0])
+        assert "no positive data" in line_chart([s], log_y=True)
+
+    def test_constant_series(self):
+        s = Series("s", [1, 2], [5.0, 5.0])
+        text = line_chart([s])
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([Series("s", [1], [1])], width=4)
+
+    def test_marker_positions_monotone(self):
+        # An increasing series must place later markers on higher rows.
+        s = Series("s", [0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])
+        text = line_chart([s], width=20, height=8)
+        rows = [i for i, line in enumerate(text.splitlines()) if "o" in line and "|" in line]
+        cols = []
+        for i in rows:
+            line = text.splitlines()[i]
+            cols.append(line.index("o"))
+        # Higher rows (smaller index) have larger x positions.
+        assert cols == sorted(cols, reverse=True)
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="bars", unit="%")
+        lines = text.splitlines()
+        assert lines[0] == "bars"
+        assert "#" in lines[1] and "#" in lines[2]
+        assert lines[2].count("#") > lines[1].count("#")
+        assert "2%" in lines[2]
+
+    def test_nan_bar(self):
+        text = bar_chart(["a"], [float("nan")])
+        assert "nan" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_all_zero(self):
+        text = bar_chart(["a"], [0.0])
+        assert "0" in text

@@ -1,0 +1,74 @@
+"""Smoke tests of the experiment modules at reduced sizes.
+
+The full quick-scale runs (with their qualitative assertions) live in
+``benchmarks/``; here we verify that every registry entry runs and
+produces a structurally sound result, using the smallest parameters the
+modules accept.
+"""
+
+import pytest
+
+from repro.bench.data import evaluation_data
+from repro.bench.experiments import REGISTRY, fig4, fig5, fig7, fig8
+
+
+class TestRegistry:
+    def test_covers_design_md_index(self):
+        assert set(REGISTRY) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8",
+            "emp-cpu", "emp-mem", "ovh", "trace", "e2e", "ablations",
+            "profiles", "char", "cal", "size", "load",
+        }
+
+    def test_every_entry_has_run(self):
+        for module in REGISTRY.values():
+            assert callable(module.run)
+
+
+class TestEvaluationData:
+    def test_cached(self):
+        a = evaluation_data("quick")
+        b = evaluation_data("quick")
+        assert a is b
+
+    def test_split_consistent(self):
+        data = evaluation_data("quick")
+        for mid in data.machine_ids:
+            assert data.train[mid].last_day == data.test[mid].first_day
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            evaluation_data("huge")
+
+
+class TestReducedRuns:
+    def test_fig4_reduced(self):
+        r = fig4.run("quick", lengths=(1.0, 2.0))
+        table = r.tables[0]
+        assert len(table.rows) == 2
+        assert table.column("horizon_steps") == [600, 1200]
+        assert all(v > 0 for v in table.column("total_ms"))
+
+    def test_fig5_reduced(self):
+        r = fig5.run("quick", lengths=(1.0,), start_hours=(8, 20))
+        assert len(r.tables) == 2  # weekdays + weekends
+        for t in r.tables:
+            assert len(t.rows) == 1
+            assert t.rows[0][4] > 0  # n
+
+    def test_fig7_reduced(self):
+        r = fig7.run("quick", lengths=(2.0,))
+        table = r.tables[0]
+        assert len(table.rows) == 1
+        assert len(table.columns) == 7  # T, SMP, 5 models
+
+    def test_fig8_reduced(self):
+        r = fig8.run("quick", noise_amounts=(1, 5), lengths=(1.0, 3.0))
+        table = r.tables[0]
+        assert [row[0] for row in table.rows] == [1, 5]
+        assert all(v >= 0 for row in table.rows for v in row[1:])
+
+    def test_experiment_results_render(self):
+        r = fig4.run("quick", lengths=(1.0,))
+        text = r.format()
+        assert "FIG4" in text

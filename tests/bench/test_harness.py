@@ -1,0 +1,73 @@
+"""Tests for the experiment harness (tables, results)."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, ResultTable
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        t.add(1, 2.0)
+        t.add(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.0, 4.0]
+
+    def test_wrong_arity_rejected(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_unknown_column_rejected(self):
+        t = ResultTable(title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            t.column("zz")
+
+    def test_format_alignment(self):
+        t = ResultTable(title="widths", columns=["name", "value"])
+        t.add("x", 1.5)
+        t.add("longer", 0.000123)
+        text = t.format()
+        lines = text.splitlines()
+        assert lines[0] == "widths"
+        assert "name" in lines[2]
+        # All data lines share the same width.
+        assert len(set(len(l) for l in lines[2:])) == 1
+
+    def test_format_handles_nan_and_big(self):
+        t = ResultTable(title="t", columns=["v"])
+        t.add(float("nan"))
+        t.add(123456.789)
+        text = t.format()
+        assert "nan" in text
+        assert "e+" in text or "123" in text
+
+    def test_to_csv(self, tmp_path):
+        t = ResultTable(title="t", columns=["a", "b"])
+        t.add(1, "x")
+        path = t.to_csv(tmp_path / "t.csv")
+        assert path.read_text().splitlines() == ["a,b", "1,x"]
+
+
+class TestExperimentResult:
+    def test_table_lookup(self):
+        r = ExperimentResult(experiment_id="X", description="d")
+        t = ResultTable(title="one", columns=["a"])
+        r.tables.append(t)
+        assert r.table("one") is t
+        with pytest.raises(KeyError):
+            r.table("two")
+
+    def test_format_includes_everything(self):
+        r = ExperimentResult(experiment_id="X", description="desc")
+        t = ResultTable(title="tab", columns=["a"])
+        t.add(1)
+        r.tables.append(t)
+        r.notes["claim"] = True
+        text = r.format()
+        assert "X" in text and "desc" in text and "tab" in text and "claim" in text
+
+    def test_print(self, capsys):
+        r = ExperimentResult(experiment_id="X", description="d")
+        r.print()
+        assert "X" in capsys.readouterr().out

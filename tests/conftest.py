@@ -1,0 +1,41 @@
+"""Shared fixtures: small synthetic traces and common components.
+
+Traces are session-scoped because synthesis over two weeks of samples is
+the dominant test cost; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import StateClassifier
+from repro.traces.synthesis import synthesize_testbed, synthesize_trace
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """A two-week, 30-second-period lab trace (fast to synthesize)."""
+    return synthesize_trace("fix-short", n_days=14, sample_period=30.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def long_trace():
+    """A four-week, 30-second-period lab trace for accuracy tests."""
+    return synthesize_trace("fix-long", n_days=28, sample_period=30.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """A small 3-machine testbed."""
+    return synthesize_testbed(3, n_days=14, sample_period=30.0, seed=11)
+
+
+@pytest.fixture()
+def classifier():
+    return StateClassifier()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,52 @@
+"""Tests for the memory/thrashing model."""
+
+import pytest
+
+from repro.contention.memory import MemorySystem
+
+
+class TestMemorySystem:
+    def test_paper_defaults(self):
+        mem = MemorySystem()
+        assert mem.ram_mb == 384.0
+        assert mem.available_mb == pytest.approx(344.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(ram_mb=30.0, kernel_mem_mb=40.0)
+        with pytest.raises(ValueError):
+            MemorySystem(paging_severity=0.0)
+
+    def test_overcommit_ratio(self):
+        mem = MemorySystem(ram_mb=384.0, kernel_mem_mb=40.0)
+        assert mem.overcommit_ratio([172.0, 172.0]) == pytest.approx(1.0)
+        assert mem.overcommit_ratio([]) == 0.0
+        with pytest.raises(ValueError):
+            mem.overcommit_ratio([-5.0])
+
+    def test_thrashing_criterion_is_overcommit(self):
+        mem = MemorySystem()
+        assert not mem.is_thrashing([150.0, 150.0])
+        assert mem.is_thrashing([200.0, 200.0])
+
+    def test_efficiency_one_when_memory_sufficient(self):
+        mem = MemorySystem()
+        assert mem.cpu_efficiency([100.0, 100.0]) == 1.0
+        assert mem.cpu_efficiency([344.0]) == 1.0
+
+    def test_efficiency_decays_with_overcommit(self):
+        mem = MemorySystem()
+        e1 = mem.cpu_efficiency([380.0])
+        e2 = mem.cpu_efficiency([500.0])
+        assert 0.0 < e2 < e1 < 1.0
+
+    def test_thirty_percent_overcommit_is_severe(self):
+        # Calibration anchor from the model docstring.
+        mem = MemorySystem()
+        eff = mem.cpu_efficiency([344.0 * 1.3])
+        assert eff < 0.5
+
+    def test_free_for_guest(self):
+        mem = MemorySystem()
+        assert mem.free_for_guest([144.0]) == pytest.approx(200.0)
+        assert mem.free_for_guest([400.0]) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for process and host-group specifications."""
+
+import numpy as np
+import pytest
+
+from repro.contention.processes import HostGroup, ProcessSpec, guest_spec
+
+
+class TestProcessSpec:
+    def test_cpu_bound(self):
+        p = ProcessSpec(name="g", isolated_usage=1.0)
+        assert p.cpu_bound
+        assert p.sleep_per_burst == 0.0
+
+    def test_bursty_sleep_ratio(self):
+        p = ProcessSpec(name="h", isolated_usage=0.25, burst_mean=0.03)
+        # usage = burst / (burst + sleep) = 0.25
+        assert p.sleep_per_burst == pytest.approx(0.09)
+        assert not p.cpu_bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", nice=25)
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", isolated_usage=0.0)
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", isolated_usage=1.2)
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", burst_mean=0.0)
+        with pytest.raises(ValueError):
+            ProcessSpec(name="x", working_set_mb=-1.0)
+
+    def test_guest_spec(self):
+        g = guest_spec(19)
+        assert g.nice == 19
+        assert g.cpu_bound
+        assert g.name == "guest"
+
+
+class TestHostGroup:
+    def test_single(self):
+        g = HostGroup.single(0.4)
+        assert g.size == 1
+        assert g.isolated_usage == pytest.approx(0.4)
+
+    def test_aggregate_usage_capped(self):
+        g = HostGroup.with_total_usage(0.9, size=3)
+        assert g.isolated_usage == pytest.approx(0.9)
+        specs = tuple(
+            ProcessSpec(name=f"h{i}", isolated_usage=0.8) for i in range(3)
+        )
+        assert HostGroup(specs).isolated_usage == 1.0
+
+    def test_with_total_usage_splits_evenly(self):
+        g = HostGroup.with_total_usage(0.6, size=3)
+        assert all(p.isolated_usage == pytest.approx(0.2) for p in g.processes)
+
+    def test_random_groups(self):
+        rng = np.random.default_rng(0)
+        g = HostGroup.random(rng, size=5)
+        assert g.size == 5
+        assert all(0.10 <= p.isolated_usage <= 1.00 for p in g.processes)
+        names = [p.name for p in g.processes]
+        assert len(set(names)) == 5
+
+    def test_working_set_aggregates(self):
+        specs = tuple(
+            ProcessSpec(name=f"h{i}", working_set_mb=50.0) for i in range(2)
+        )
+        assert HostGroup(specs).working_set_mb == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HostGroup(())
+        with pytest.raises(ValueError):
+            HostGroup.random(np.random.default_rng(0), 0)
+        with pytest.raises(ValueError):
+            HostGroup.with_total_usage(0.5, 0)

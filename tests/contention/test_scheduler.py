@@ -1,0 +1,136 @@
+"""Tests for the event-driven scheduler simulator."""
+
+import numpy as np
+import pytest
+
+from repro.contention.processes import HostGroup, ProcessSpec, guest_spec
+from repro.contention.scheduler import SchedulerParams, SchedulerSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SchedulerSimulator()
+
+
+class TestParams:
+    def test_timeslice_rule(self):
+        p = SchedulerParams()
+        assert p.timeslice(0) == pytest.approx(0.100)
+        assert p.timeslice(19) == pytest.approx(0.005)
+        assert p.timeslice(10) == pytest.approx(0.050)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerParams(timeslice_unit=0.0)
+        with pytest.raises(ValueError):
+            SchedulerParams(tick=-1.0)
+        with pytest.raises(ValueError):
+            SchedulerParams(equal_nice_preempt_prob=1.5)
+        with pytest.raises(ValueError):
+            SchedulerParams(context_switch_cost=-0.1)
+
+
+class TestBasicRuns:
+    def test_lone_cpu_bound_process_saturates(self, sim):
+        res = sim.run([guest_spec(0)], duration=30.0, seed=0)
+        assert res.cpu_usage["guest"] == pytest.approx(1.0, abs=0.02)
+
+    def test_lone_bursty_process_hits_target(self, sim):
+        for target in (0.1, 0.5, 0.9):
+            res = sim.run(
+                [ProcessSpec(name="h", isolated_usage=target)], duration=60.0, seed=1
+            )
+            assert res.cpu_usage["h"] == pytest.approx(target, abs=0.05)
+
+    def test_total_usage_bounded(self, sim):
+        specs = [ProcessSpec(name=f"h{i}", isolated_usage=0.6) for i in range(3)]
+        res = sim.run(specs, duration=30.0, seed=2)
+        assert sum(res.cpu_usage.values()) <= 1.0 + 1e-6
+
+    def test_two_cpu_bound_equal_nice_share_fairly(self, sim):
+        specs = [
+            ProcessSpec(name="a", isolated_usage=1.0),
+            ProcessSpec(name="b", isolated_usage=1.0),
+        ]
+        res = sim.run(specs, duration=30.0, seed=3)
+        assert res.cpu_usage["a"] == pytest.approx(0.5, abs=0.05)
+        assert res.cpu_usage["b"] == pytest.approx(0.5, abs=0.05)
+
+    def test_nice19_starves_against_nice0_cpu_bound(self, sim):
+        specs = [guest_spec(0), ProcessSpec(name="victim", nice=19, isolated_usage=1.0)]
+        res = sim.run(specs, duration=30.0, seed=4)
+        # Strict priority: the nice-19 spinner only runs in scheduling gaps.
+        assert res.cpu_usage["victim"] < 0.10
+        assert res.cpu_usage["guest"] > 0.90
+
+    def test_guest_soaks_idle_cycles(self, sim):
+        host = ProcessSpec(name="h", isolated_usage=0.3)
+        res = sim.run([host, guest_spec(19)], duration=60.0, seed=5)
+        # Guest picks up roughly the idle complement of the host usage.
+        assert res.cpu_usage["guest"] > 0.55
+        assert res.cpu_usage["h"] + res.cpu_usage["guest"] <= 1.0 + 1e-6
+
+    def test_determinism(self, sim):
+        specs = [ProcessSpec(name="h", isolated_usage=0.4), guest_spec(0)]
+        a = sim.run(specs, duration=20.0, seed=7)
+        b = sim.run(specs, duration=20.0, seed=7)
+        assert a.cpu_usage == b.cpu_usage
+        assert a.dispatches == b.dispatches
+
+    def test_paired_seeds_stabilize_reduction_estimate(self, sim):
+        # The point of per-process RNG streams: the same seed gives the
+        # host identical burst/sleep sequences with and without the
+        # guest, so per-rep reduction estimates have low variance.
+        host = ProcessSpec(name="h", isolated_usage=0.3)
+        per_rep = []
+        for rep in range(4):
+            iso = sim.run([host], duration=60.0, seed=rep).cpu_usage["h"]
+            tog = sim.run([host, guest_spec(19)], duration=60.0, seed=rep).cpu_usage["h"]
+            per_rep.append((iso - tog) / iso)
+        assert np.std(per_rep) < 0.02
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.run([], duration=0.0)
+        with pytest.raises(ValueError):
+            sim.run([guest_spec(0), guest_spec(0)], duration=10.0)
+        with pytest.raises(ValueError):
+            sim.run([guest_spec(0)], duration=10.0, warmup=-1.0)
+
+
+class TestContentionBehaviour:
+    """Structural properties of the paper's reduction-rate curves."""
+
+    @staticmethod
+    def reduction(sim, load, nice, size=1, reps=3, duration=90.0):
+        group = HostGroup.with_total_usage(load, size)
+        names = [p.name for p in group.processes]
+        vals = []
+        for rep in range(reps):
+            iso = sim.run(list(group.processes), duration, seed=rep).usage_of(names)
+            tog = sim.run(
+                list(group.processes) + [guest_spec(nice)], duration, seed=rep
+            ).usage_of(names)
+            vals.append((iso - tog) / iso)
+        return float(np.mean(vals))
+
+    def test_reduction_grows_with_load(self, sim):
+        r_low = self.reduction(sim, 0.1, 0)
+        r_high = self.reduction(sim, 0.8, 0)
+        assert r_high > r_low
+
+    def test_nice19_hurts_less_than_nice0(self, sim):
+        r0 = self.reduction(sim, 0.5, 0)
+        r19 = self.reduction(sim, 0.5, 19)
+        assert r19 < r0
+
+    def test_light_load_nice0_below_limit(self, sim):
+        assert self.reduction(sim, 0.10, 0) < 0.05
+
+    def test_heavy_load_nice19_above_limit(self, sim):
+        assert self.reduction(sim, 0.85, 19) > 0.05
+
+    def test_mid_load_reniced_guest_acceptable(self, sim):
+        # Between Th1 and Th2 a reniced guest keeps the slowdown small —
+        # the reason S2 exists.
+        assert self.reduction(sim, 0.4, 19) < 0.05

@@ -1,0 +1,110 @@
+"""Tests for the probabilistic calibration tooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_diagram,
+)
+
+
+def perfect_forecaster(rng, n=2000):
+    """Predictions equal to the true per-event probabilities."""
+    p = rng.uniform(0.0, 1.0, n)
+    y = rng.random(n) < p
+    return p, y
+
+
+class TestBrierScore:
+    def test_perfect_binary_forecaster(self):
+        p = [1.0, 0.0, 1.0]
+        y = [True, False, True]
+        dec = brier_score(p, y)
+        assert dec.brier == 0.0
+        assert dec.reliability == 0.0
+
+    def test_worst_forecaster(self):
+        dec = brier_score([1.0, 0.0], [False, True])
+        assert dec.brier == pytest.approx(1.0)
+
+    def test_calibrated_forecaster_low_reliability(self, rng):
+        p, y = perfect_forecaster(rng)
+        dec = brier_score(p, y)
+        assert dec.reliability < 0.01
+        assert dec.resolution > 0.05  # it also discriminates
+
+    def test_constant_base_rate_forecast(self, rng):
+        y = rng.random(1000) < 0.3
+        p = np.full(1000, y.mean())
+        dec = brier_score(p, y)
+        # Calibrated but zero resolution: brier == uncertainty.
+        assert dec.reliability == pytest.approx(0.0, abs=1e-9)
+        assert dec.resolution == pytest.approx(0.0, abs=1e-9)
+        assert dec.brier == pytest.approx(dec.uncertainty)
+
+    def test_miscalibrated_forecaster_penalized(self, rng):
+        y = rng.random(1000) < 0.2
+        overconfident = np.full(1000, 0.9)
+        dec = brier_score(overconfident, y)
+        assert dec.reliability > 0.4
+
+    def test_decomposition_identity(self, rng):
+        p, y = perfect_forecaster(rng, 500)
+        dec = brier_score(p, y)
+        assert dec.brier == pytest.approx(
+            dec.reliability - dec.resolution + dec.uncertainty
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brier_score([], [])
+        with pytest.raises(ValueError):
+            brier_score([0.5], [True, False])
+        with pytest.raises(ValueError):
+            brier_score([1.5], [True])
+        with pytest.raises(ValueError):
+            brier_score([0.5], [True], n_bins=0)
+
+
+class TestReliabilityDiagram:
+    def test_bins_cover_data(self, rng):
+        p, y = perfect_forecaster(rng, 1000)
+        diagram = reliability_diagram(p, y, n_bins=10)
+        assert sum(c for _a, _b, c in diagram) == 1000
+        assert 1 <= len(diagram) <= 10
+
+    def test_calibrated_points_near_diagonal(self, rng):
+        p, y = perfect_forecaster(rng, 5000)
+        for p_bar, y_bar, count in reliability_diagram(p, y):
+            if count > 100:
+                assert abs(p_bar - y_bar) < 0.1
+
+    def test_empty_bins_omitted(self):
+        diagram = reliability_diagram([0.05, 0.06], [True, False], n_bins=10)
+        assert len(diagram) == 1
+
+    def test_boundary_prediction(self):
+        # p = 1.0 must land in the last bin, not overflow.
+        diagram = reliability_diagram([1.0], [True], n_bins=10)
+        assert len(diagram) == 1
+        assert diagram[0][2] == 1
+
+
+class TestECE:
+    def test_perfect(self):
+        assert expected_calibration_error([1.0, 0.0], [True, False]) == 0.0
+
+    def test_systematic_bias(self):
+        ece = expected_calibration_error([0.8] * 100, [False] * 100)
+        assert ece == pytest.approx(0.8)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0, 1, 50)
+        y = rng.random(50) < 0.5
+        assert 0.0 <= expected_calibration_error(p, y) <= 1.0

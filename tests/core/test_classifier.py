@@ -1,0 +1,159 @@
+"""Tests for the sample-to-state classifier, including the transient rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, StateClassifier
+from repro.core.states import State, Thresholds
+
+
+def classify(load, mem=None, up=None, period=6.0, **cfg):
+    load = np.asarray(load, dtype=float)
+    mem = np.full(load.shape, 400.0) if mem is None else np.asarray(mem, dtype=float)
+    up = np.ones(load.shape, bool) if up is None else np.asarray(up, dtype=bool)
+    clf = StateClassifier(ClassifierConfig(**cfg)) if cfg else StateClassifier()
+    return clf.classify_arrays(load, mem, up, period)
+
+
+class TestCpuStates:
+    def test_light_load_is_s1(self):
+        assert list(classify([0.0, 0.1, 0.19])) == [1, 1, 1]
+
+    def test_heavy_load_is_s2(self):
+        assert list(classify([0.2, 0.45, 0.6])) == [2, 2, 2]
+
+    def test_sustained_overload_is_s3(self):
+        # 12 samples x 6 s = 72 s > 60 s tolerance.
+        states = classify([0.9] * 12)
+        assert set(states) == {3}
+
+    def test_threshold_boundaries_match_paper(self):
+        # S2 covers Th1 <= L <= Th2.
+        out = classify([0.1999, 0.2, 0.6, 0.61] + [0.61] * 11)
+        assert out[0] == 1 and out[1] == 2 and out[2] == 2
+        assert out[3] == 3
+
+
+class TestTransientRule:
+    def test_short_spike_absorbed_into_s1(self):
+        # 5 samples x 6 s = 30 s < 60 s: guest suspended, not killed.
+        load = [0.05] * 10 + [0.95] * 5 + [0.05] * 10
+        states = classify(load)
+        assert set(states) == {1}
+
+    def test_short_spike_absorbed_into_s2(self):
+        load = [0.4] * 10 + [0.95] * 5 + [0.4] * 10
+        states = classify(load)
+        assert set(states) == {2}
+
+    def test_spike_inherits_preceding_state(self):
+        # Spike between an S1 run and an S2 run belongs to the preceding S1.
+        load = [0.05] * 10 + [0.95] * 3 + [0.4] * 10
+        states = classify(load)
+        assert list(states[10:13]) == [1, 1, 1]
+
+    def test_leading_spike_inherits_following_state(self):
+        load = [0.95] * 3 + [0.05] * 10
+        states = classify(load)
+        assert list(states[:3]) == [1, 1, 1]
+
+    def test_spike_at_exact_tolerance_is_failure(self):
+        # 10 samples x 6 s = 60 s: not strictly less than the tolerance.
+        load = [0.05] * 5 + [0.95] * 10 + [0.05] * 5
+        states = classify(load)
+        assert set(states[5:15]) == {3}
+
+    def test_spike_with_no_operational_neighbour_defaults_to_s2(self):
+        # A sequence that is entirely one short spike has no operational
+        # neighbour; the conservative S2 is used.
+        states = classify([0.95] * 3)
+        assert list(states) == [2, 2, 2]
+
+    def test_adjacent_overload_merges_into_one_run(self):
+        # A 3-sample spike flowing into a 12-sample overload is a single
+        # 15-sample S3 run — longer than the tolerance, so all S3.
+        states = classify([0.95] * 3 + [0.7] * 12)
+        assert set(states) == {3}
+
+    def test_tolerance_scales_with_period(self):
+        # Same 5 samples but 30 s period = 150 s > 60 s: a real S3.
+        load = [0.05] * 5 + [0.95] * 5 + [0.05] * 5
+        states = classify(load, period=30.0)
+        assert set(states[5:10]) == {3}
+
+    def test_custom_tolerance(self):
+        load = [0.05] * 5 + [0.95] * 5 + [0.05] * 5
+        states = classify(load, transient_tolerance=10.0)
+        assert set(states[5:10]) == {3}
+
+
+class TestMemoryAndRevocation:
+    def test_low_memory_is_s4(self):
+        states = classify([0.1, 0.1], mem=[100.0, 500.0])
+        assert list(states) == [4, 1]
+
+    def test_memory_requirement_configurable(self):
+        states = classify([0.1], mem=[100.0], guest_mem_requirement_mb=64.0)
+        assert list(states) == [1]
+
+    def test_down_is_s5(self):
+        states = classify([0.0, 0.0], up=[False, True])
+        assert list(states) == [5, 1]
+
+    def test_s5_overrides_s4_overrides_s3(self):
+        # One sample that is down, thrashing and overloaded at once: S5 wins.
+        states = classify([0.95] * 12, mem=[10.0] * 12, up=[False] * 12)
+        assert set(states) == {5}
+        states = classify([0.95] * 12, mem=[10.0] * 12)
+        assert set(states) == {4}
+
+
+class TestClassifierAPI:
+    def test_shape_mismatch_rejected(self):
+        clf = StateClassifier()
+        with pytest.raises(ValueError):
+            clf.classify_arrays(np.zeros(3), np.zeros(2), np.ones(3, bool), 6.0)
+
+    def test_bad_period_rejected(self):
+        clf = StateClassifier()
+        with pytest.raises(ValueError):
+            clf.classify_arrays(np.zeros(3), np.zeros(3), np.ones(3, bool), 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(transient_tolerance=-1.0)
+        with pytest.raises(ValueError):
+            ClassifierConfig(guest_mem_requirement_mb=-5.0)
+
+    def test_classify_trace_matches_arrays(self, short_trace):
+        clf = StateClassifier()
+        a = clf.classify_trace(short_trace)
+        b = clf.classify_arrays(
+            short_trace.load, short_trace.free_mem_mb, short_trace.up, short_trace.sample_period
+        )
+        assert np.array_equal(a, b)
+        assert a.dtype == np.int8
+        assert set(np.unique(a)) <= {1, 2, 3, 4, 5}
+
+    def test_classify_window(self, short_trace):
+        from repro.core.windows import ClockWindow
+
+        clf = StateClassifier()
+        view = short_trace.window_view(ClockWindow.from_hours(8, 2).on_day(2))
+        states = clf.classify_window(view)
+        assert states.shape[0] == view.n_samples
+
+    def test_custom_thresholds_change_result(self):
+        load = [0.3] * 5
+        default = classify(load)
+        strict = StateClassifier(
+            ClassifierConfig(thresholds=Thresholds(th1=0.35, th2=0.8))
+        ).classify_arrays(np.array(load), np.full(5, 400.0), np.ones(5, bool), 6.0)
+        assert set(default) == {2}
+        assert set(strict) == {1}
+
+    def test_transient_tolerance_samples(self):
+        clf = StateClassifier()
+        assert clf.transient_tolerance_samples(6.0) == 10
+        assert clf.transient_tolerance_samples(30.0) == 2
+        assert clf.transient_tolerance_samples(120.0) == 1

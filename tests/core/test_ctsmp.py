@@ -1,0 +1,123 @@
+"""Tests for the continuous-time (phase-type) SMP approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ctsmp import ContinuousSmp, fit_phase_type
+from repro.core.smp import SLOT_INDEX, SmpKernel, estimate_kernel, temporal_reliability
+from repro.core.states import State
+
+
+def make_kernel(horizon=60, step=6.0, entries=None):
+    k = np.zeros((8, horizon + 1))
+    for src, dst, l, p in entries or []:
+        k[SLOT_INDEX[(src, dst)], l] = p
+    return SmpKernel(k, step)
+
+
+class TestPhaseFit:
+    def test_exponential(self):
+        fit = fit_phase_type(mean=10.0, scv=1.0)
+        assert fit.n_phases == 1
+        assert fit.mean() == pytest.approx(10.0)
+
+    def test_erlang_for_low_scv(self):
+        fit = fit_phase_type(mean=10.0, scv=0.25)
+        assert fit.n_phases == 4  # Erlang-4 has SCV 1/4
+        assert fit.mean() == pytest.approx(10.0)
+
+    def test_hyperexponential_for_high_scv(self):
+        fit = fit_phase_type(mean=10.0, scv=4.0)
+        assert fit.n_phases == 2
+        assert fit.mean() == pytest.approx(10.0)
+        assert fit.initial.sum() == pytest.approx(1.0)
+
+    def test_near_deterministic_capped(self):
+        fit = fit_phase_type(mean=5.0, scv=0.0001)
+        assert fit.n_phases <= 20
+        assert fit.mean() == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_phase_type(mean=0.0, scv=1.0)
+        with pytest.raises(ValueError):
+            fit_phase_type(mean=1.0, scv=-0.5)
+
+    def test_exit_rates_balance_generator(self):
+        for scv in (0.3, 1.0, 3.0):
+            fit = fit_phase_type(mean=7.0, scv=scv)
+            row_sums = fit.generator.sum(axis=1) + fit.exit_rates
+            assert np.allclose(row_sums, 0.0, atol=1e-9)
+
+
+class TestContinuousSmp:
+    def test_no_hazard_tr_one(self):
+        kern = make_kernel(entries=[(1, 2, 5, 0.5), (2, 1, 5, 0.5)])
+        ct = ContinuousSmp(kern)
+        assert ct.temporal_reliability(init_state=State.S1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pure_failure_kernel(self):
+        # From S1, always fail to S3 after ~5 steps: TR over the horizon
+        # should be small (the exponential tail keeps it above 0).
+        kern = make_kernel(horizon=60, entries=[(1, 3, 5, 1.0)])
+        ct = ContinuousSmp(kern)
+        tr = ct.temporal_reliability(init_state=State.S1)
+        assert tr < 0.2
+
+    def test_failure_split_respected(self):
+        kern = make_kernel(horizon=60, entries=[(1, 3, 5, 0.6), (1, 5, 5, 0.4)])
+        ct = ContinuousSmp(kern)
+        p = ct.failure_probabilities(60 * 6.0, State.S1)
+        # S3 absorbs more mass than S5, in roughly the 60:40 ratio.
+        assert p[0] > p[2] > 0.0
+        assert p[0] / max(p[2], 1e-12) == pytest.approx(1.5, rel=0.15)
+
+    def test_failure_init_state(self):
+        kern = make_kernel(entries=[(1, 2, 5, 0.5)])
+        ct = ContinuousSmp(kern)
+        p = ct.failure_probabilities(100.0, State.S4)
+        assert p[1] == pytest.approx(1.0)
+        assert ct.temporal_reliability(100.0, State.S4) == 0.0
+
+    def test_invalid_init(self):
+        ct = ContinuousSmp(make_kernel(entries=[(1, 2, 5, 0.5)]))
+        with pytest.raises(ValueError):
+            ct.failure_probabilities(10.0, 0)
+        with pytest.raises(ValueError):
+            ct.failure_probabilities(-1.0, State.S1)
+
+    def test_zero_horizon(self):
+        ct = ContinuousSmp(make_kernel(entries=[(1, 3, 5, 1.0)]))
+        assert ct.temporal_reliability(0.0, State.S1) == pytest.approx(1.0)
+
+    def test_monotone_in_horizon(self):
+        ct = ContinuousSmp(make_kernel(horizon=60, entries=[(1, 3, 10, 0.5)]))
+        trs = [ct.temporal_reliability(t, State.S1) for t in (30.0, 120.0, 600.0)]
+        assert trs[0] >= trs[1] >= trs[2]
+
+    def test_approximates_discrete_on_exponential_process(self, rng):
+        # Generate sequences from a process with geometric holding times
+        # (the discrete analogue of exponential): the phase-type CTMC
+        # should closely agree with the discrete solver.
+        def gen():
+            seq = []
+            state = 1
+            while len(seq) < 100:
+                hold = int(rng.geometric(0.2))
+                if state == 1:
+                    nxt = 2 if rng.random() < 0.85 else 3
+                else:
+                    nxt = 1 if rng.random() < 0.85 else 5
+                seq.extend([state] * hold)
+                state = nxt
+                if nxt in (3, 5):
+                    seq.extend([nxt] * (100 - len(seq)))
+                    break
+            return np.array(seq[:100], dtype=np.int8)
+
+        seqs = [gen() for _ in range(300)]
+        kern = estimate_kernel(seqs, horizon=80, step=6.0, censoring="km")
+        discrete = temporal_reliability(kern, 1)
+        ct = ContinuousSmp(kern)
+        continuous = ct.temporal_reliability(init_state=1)
+        assert continuous == pytest.approx(discrete, abs=0.12)

@@ -1,0 +1,112 @@
+"""Tests for empirical temporal reliability from test traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import StateClassifier
+from repro.core.empirical import empirical_tr, observed_window_outcomes
+from repro.core.states import State
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+
+def build_trace(day_loads, period=60.0, day_ups=None):
+    """One row of per-sample loads per day."""
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.concatenate([np.full(n_per_day, v) for v in day_loads])
+    up = np.ones(load.shape, bool)
+    if day_ups is not None:
+        for d, u in enumerate(day_ups):
+            if not u:
+                up[d * n_per_day : (d + 1) * n_per_day] = False
+    load[~up] = 0.0
+    mem = np.where(up, 400.0, 0.0)
+    return MachineTrace("emp", 0.0, period, load, mem, up)
+
+
+class TestEmpiricalTR:
+    def test_all_days_available(self):
+        trace = build_trace([0.05] * 5)
+        res = empirical_tr(trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert res.value == pytest.approx(1.0)
+        assert res.n_days == 5
+        assert res.n_excluded == 0
+
+    def test_fraction_of_failed_days(self):
+        # Days 0-4 are weekdays; days 2 and 3 are overloaded all day.
+        trace = build_trace([0.05, 0.05, 0.95, 0.95, 0.05])
+        res = empirical_tr(trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        # Overloaded days start failed -> excluded, not counted as failures.
+        assert res.n_days == 3
+        assert res.n_excluded == 2
+        assert res.value == pytest.approx(1.0)
+
+    def test_unconditioned_counts_failed_starts(self):
+        trace = build_trace([0.05, 0.05, 0.95, 0.95, 0.05])
+        res = empirical_tr(
+            trace,
+            StateClassifier(),
+            ClockWindow.from_hours(8, 2),
+            DayType.WEEKDAY,
+            condition_on_operational_start=False,
+        )
+        assert res.n_days == 5
+        assert res.value == pytest.approx(3.0 / 5.0)
+
+    def test_mid_window_failure_counts(self):
+        period = 60.0
+        n_per_day = int(SECONDS_PER_DAY / period)
+        load = np.full(5 * n_per_day, 0.05)
+        # Day 1: overload 9:00-9:10 (inside an 8:00+2h window).
+        i = n_per_day + int(9 * 3600 / period)
+        load[i : i + 10] = 0.95
+        trace = MachineTrace("emp", 0.0, period, load, np.full(load.shape, 400.0))
+        res = empirical_tr(trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert res.n_days == 5
+        assert res.value == pytest.approx(4.0 / 5.0)
+
+    def test_down_day_is_failure_or_excluded(self):
+        trace = build_trace([0.05] * 5, day_ups=[True, True, False, True, True])
+        clf = StateClassifier()
+        cond = empirical_tr(trace, clf, ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert cond.n_days == 4 and cond.n_excluded == 1
+        uncond = empirical_tr(
+            trace, clf, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+            condition_on_operational_start=False,
+        )
+        assert uncond.value == pytest.approx(4.0 / 5.0)
+
+    def test_weekend_filtering(self):
+        trace = build_trace([0.05] * 7)
+        res = empirical_tr(trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKEND)
+        assert res.n_days == 2
+
+    def test_empty_history_returns_nan(self):
+        trace = build_trace([0.05] * 3)  # Mon-Wed only: no weekend days
+        res = empirical_tr(trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKEND)
+        assert np.isnan(res.value)
+        assert res.n_days == 0
+
+
+class TestObservedOutcomes:
+    def test_rows_have_day_init_and_outcome(self):
+        trace = build_trace([0.05, 0.45, 0.95, 0.05, 0.05])
+        rows = observed_window_outcomes(
+            trace, StateClassifier(), ClockWindow.from_hours(8, 2), DayType.WEEKDAY
+        )
+        days = [r[0] for r in rows]
+        assert days == [0, 1, 3, 4]  # day 2 starts failed
+        assert rows[0][1] is State.S1
+        assert rows[1][1] is State.S2
+        assert all(isinstance(r[2], bool) for r in rows)
+
+    def test_step_multiple_consistency(self, long_trace):
+        clf = StateClassifier()
+        cw = ClockWindow.from_hours(10, 2)
+        # Unconditioned: coarsening takes the max state per group, so a
+        # day contains a failure iff the fine sequence does — identical TR.
+        fine = empirical_tr(long_trace, clf, cw, DayType.WEEKDAY, step_multiple=1,
+                            condition_on_operational_start=False)
+        coarse = empirical_tr(long_trace, clf, cw, DayType.WEEKDAY, step_multiple=10,
+                              condition_on_operational_start=False)
+        assert fine.value == pytest.approx(coarse.value)

@@ -1,0 +1,96 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ErrorSummary,
+    accuracy_from_error,
+    prediction_discrepancy,
+    relative_error,
+    summarize_errors,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestRelativeError:
+    def test_exact_prediction(self):
+        assert relative_error(0.8, 0.8) == 0.0
+
+    def test_paper_definition(self):
+        assert relative_error(0.9, 0.6) == pytest.approx(0.5)
+        assert relative_error(0.3, 0.6) == pytest.approx(0.5)
+
+    def test_zero_empirical_zero_prediction(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_empirical_nonzero_prediction(self):
+        assert math.isinf(relative_error(0.5, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_error(float("nan"), 0.5))
+        assert math.isnan(relative_error(0.5, float("nan")))
+
+    @given(probs, st.floats(min_value=1e-6, max_value=1.0))
+    def test_symmetric_in_difference(self, p, e):
+        assert relative_error(p, e) == pytest.approx(abs(p - e) / e)
+        assert relative_error(p, e) >= 0.0
+
+
+class TestPredictionDiscrepancy:
+    def test_identical_predictions(self):
+        assert prediction_discrepancy(0.7, 0.7) == 0.0
+
+    def test_relative_to_clean(self):
+        assert prediction_discrepancy(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_zero_clean(self):
+        assert prediction_discrepancy(0.0, 0.0) == 0.0
+        assert math.isinf(prediction_discrepancy(0.2, 0.0))
+
+
+class TestAccuracy:
+    def test_complement(self):
+        assert accuracy_from_error(0.135) == pytest.approx(0.865)
+
+    def test_clamped_at_zero(self):
+        assert accuracy_from_error(1.5) == 0.0
+
+    def test_nan(self):
+        assert math.isnan(accuracy_from_error(float("nan")))
+
+
+class TestErrorSummary:
+    def test_basic_stats(self):
+        s = summarize_errors([0.1, 0.2, 0.3])
+        assert s.mean == pytest.approx(0.2)
+        assert s.minimum == pytest.approx(0.1)
+        assert s.maximum == pytest.approx(0.3)
+        assert s.n == 3
+        assert s.n_dropped == 0
+
+    def test_drops_non_finite(self):
+        s = summarize_errors([0.1, float("inf"), float("nan"), 0.3])
+        assert s.n == 2
+        assert s.n_dropped == 2
+        assert s.mean == pytest.approx(0.2)
+
+    def test_all_dropped(self):
+        s = summarize_errors([float("nan")])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+
+    def test_accuracies(self):
+        s = summarize_errors([0.1, 0.2])
+        assert s.mean_accuracy == pytest.approx(0.85)
+        assert s.worst_accuracy == pytest.approx(0.8)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=50))
+    def test_bounds_property(self, errors):
+        s = ErrorSummary.from_errors(errors)
+        assert s.minimum <= s.mean + 1e-12 and s.mean <= s.maximum + 1e-12
+        assert s.n == len(errors)

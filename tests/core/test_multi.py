@@ -1,0 +1,158 @@
+"""Tests for multi-machine reliability and completion-time models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multi import (
+    any_survival,
+    expected_completion_time,
+    expected_completion_with_checkpointing,
+    group_survival,
+    replication_needed,
+    select_best_k,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestGroupSurvival:
+    def test_product(self):
+        assert group_survival([0.9, 0.8]) == pytest.approx(0.72)
+
+    def test_single(self):
+        assert group_survival([0.5]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_survival([])
+        with pytest.raises(ValueError):
+            group_survival([1.2])
+
+    @given(st.lists(probs, min_size=1, max_size=8))
+    def test_bounded_by_worst_machine(self, trs):
+        assert group_survival(trs) <= min(trs) + 1e-12
+
+
+class TestAnySurvival:
+    def test_complement_product(self):
+        assert any_survival([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_one_reliable_machine_suffices(self):
+        assert any_survival([1.0, 0.0]) == 1.0
+
+    @given(st.lists(probs, min_size=1, max_size=8))
+    def test_at_least_best_machine(self, trs):
+        assert any_survival(trs) >= max(trs) - 1e-12
+
+    @given(st.lists(probs, min_size=1, max_size=8))
+    def test_ordering(self, trs):
+        assert any_survival(trs) >= group_survival(trs) - 1e-12
+
+
+class TestSelectBestK:
+    def test_ranking(self):
+        trs = {"a": 0.5, "b": 0.9, "c": 0.7}
+        assert select_best_k(trs, 2) == ["b", "c"]
+
+    def test_tie_break_by_id(self):
+        trs = {"z": 0.5, "a": 0.5}
+        assert select_best_k(trs, 1) == ["a"]
+
+    def test_insufficient_machines(self):
+        with pytest.raises(ValueError):
+            select_best_k({"a": 0.5}, 2)
+        with pytest.raises(ValueError):
+            select_best_k({"a": 0.5}, 0)
+
+
+class TestReplication:
+    def test_already_sufficient(self):
+        assert replication_needed(0.95, 0.9) == 1
+
+    def test_known_case(self):
+        # 1 - 0.5^n >= 0.95  ->  n >= 4.32 -> 5
+        assert replication_needed(0.5, 0.95) == 5
+
+    def test_achieves_target(self):
+        for tr in (0.2, 0.5, 0.8):
+            for target in (0.9, 0.99):
+                n = replication_needed(tr, target)
+                assert any_survival([tr] * n) >= target - 1e-12
+                if n > 1:
+                    assert any_survival([tr] * (n - 1)) < target
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replication_needed(0.0, 0.9)
+        with pytest.raises(ValueError):
+            replication_needed(0.5, 1.0)
+
+
+class TestExpectedCompletion:
+    def test_no_failures(self):
+        assert expected_completion_time(100.0, 0.0) == 100.0
+
+    def test_formula(self):
+        lam, w = 0.01, 100.0
+        expected = (math.exp(lam * w) - 1.0) / lam
+        assert expected_completion_time(w, lam) == pytest.approx(expected)
+
+    def test_restart_delay_adds(self):
+        base = expected_completion_time(100.0, 0.01)
+        with_delay = expected_completion_time(100.0, 0.01, restart_delay=30.0)
+        assert with_delay > base
+
+    def test_monotone_in_rate(self):
+        assert expected_completion_time(100.0, 0.001) < expected_completion_time(100.0, 0.05)
+
+    def test_hopeless_job_infinite(self):
+        assert math.isinf(expected_completion_time(1e6, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(0.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_completion_time(10.0, -0.1)
+        with pytest.raises(ValueError):
+            expected_completion_time(10.0, 0.1, restart_delay=-1.0)
+
+
+class TestCheckpointedCompletion:
+    def test_no_failures_pays_checkpoint_cost(self):
+        t = expected_completion_with_checkpointing(100.0, 0.0, 50.0, 5.0)
+        assert t == pytest.approx(100.0 + 5.0)  # one intermediate checkpoint
+
+    def test_checkpointing_helps_under_failures(self):
+        lam, w = 0.005, 2000.0
+        plain = expected_completion_time(w, lam)
+        ckpt = expected_completion_with_checkpointing(w, lam, 200.0, 10.0)
+        assert ckpt < plain
+
+    def test_checkpointing_wasteful_when_reliable(self):
+        lam, w = 1e-7, 2000.0
+        plain = expected_completion_time(w, lam)
+        ckpt = expected_completion_with_checkpointing(w, lam, 100.0, 10.0)
+        assert ckpt > plain  # pays 19 checkpoints for nothing
+
+    def test_young_interval_near_optimal(self):
+        from repro.sim.checkpoint import young_interval
+
+        lam, w, cost = 0.002, 5000.0, 10.0
+        t_young = expected_completion_with_checkpointing(
+            w, lam, young_interval(cost, 1.0 / lam), cost
+        )
+        # Young's interval beats 4x-off intervals in either direction.
+        for factor in (0.25, 4.0):
+            t_other = expected_completion_with_checkpointing(
+                w, lam, young_interval(cost, 1.0 / lam) * factor, cost
+            )
+            assert t_young <= t_other * 1.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_completion_with_checkpointing(100.0, 0.01, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            expected_completion_with_checkpointing(100.0, 0.01, 10.0, -1.0)

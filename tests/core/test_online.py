@@ -1,0 +1,123 @@
+"""Tests for the incremental (online) predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.online import IncrementalPredictor
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.windows import ClockWindow, DayType
+
+
+@pytest.fixture()
+def incremental():
+    return IncrementalPredictor(config=EstimatorConfig(step_multiple=10))
+
+
+WINDOWS = [(2, 1.0), (8, 2.0), (11, 3.0), (14, 5.0), (20, 10.0)]
+
+
+class TestEquivalenceWithBatch:
+    def test_same_tr_as_batch(self, long_trace, incremental):
+        batch = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        for h, T in WINDOWS:
+            cw = ClockWindow.from_hours(h, T)
+            for dtype in (DayType.WEEKDAY, DayType.WEEKEND):
+                tr_batch = batch.predict(cw, dtype)
+                tr_inc = incremental.predict(long_trace, cw, dtype)
+                assert tr_inc == pytest.approx(tr_batch, abs=1e-12), (h, T, dtype)
+
+    def test_same_kernel_as_batch(self, long_trace, incremental):
+        batch = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        cw = ClockWindow.from_hours(9, 3)
+        k_batch = batch.kernel(cw, DayType.WEEKDAY)
+        k_inc = incremental.kernel(long_trace, cw, DayType.WEEKDAY)
+        assert np.allclose(k_batch.k, k_inc.k)
+
+    def test_same_initial_state(self, long_trace, incremental):
+        batch = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        for h in (2, 9, 14):
+            cw = ClockWindow.from_hours(h, 2)
+            assert incremental.typical_initial_state(
+                long_trace, cw, DayType.WEEKDAY
+            ) is batch.estimator.typical_initial_state(long_trace, cw, DayType.WEEKDAY)
+
+
+class TestCaching:
+    def test_second_query_reuses_days(self, long_trace, incremental):
+        cw = ClockWindow.from_hours(9, 2)
+        incremental.predict(long_trace, cw, DayType.WEEKDAY)
+        classified_first = incremental.days_classified
+        assert incremental.days_reused == 0
+        incremental.predict(long_trace, cw, DayType.WEEKDAY)
+        assert incremental.days_classified == classified_first
+        assert incremental.days_reused == classified_first
+
+    def test_growing_trace_classifies_only_new_days(self, incremental):
+        from repro.traces.synthesis import synthesize_trace
+
+        full = synthesize_trace("grow", n_days=21, sample_period=60.0, seed=4)
+        cw = ClockWindow.from_hours(9, 2)
+        short = full.slice_days(0, 14)
+        incremental.predict(short, cw, DayType.WEEKDAY)
+        n_first = incremental.days_classified
+        incremental.predict(full, cw, DayType.WEEKDAY)
+        new_days = incremental.days_classified - n_first
+        assert new_days == 5  # days 14..20 add one working week
+
+    def test_prediction_correct_after_growth(self, incremental):
+        from repro.traces.synthesis import synthesize_trace
+
+        full = synthesize_trace("grow2", n_days=21, sample_period=60.0, seed=6)
+        cw = ClockWindow.from_hours(10, 3)
+        short = full.slice_days(0, 14)
+        incremental.predict(short, cw, DayType.WEEKDAY)
+        tr_inc = incremental.predict(full, cw, DayType.WEEKDAY)
+        batch = TemporalReliabilityPredictor(
+            full, estimator_config=incremental.config
+        )
+        assert tr_inc == pytest.approx(batch.predict(cw, DayType.WEEKDAY), abs=1e-12)
+
+    def test_distinct_windows_cached_separately(self, long_trace, incremental):
+        incremental.predict(long_trace, ClockWindow.from_hours(9, 2), DayType.WEEKDAY)
+        n = incremental.days_classified
+        incremental.predict(long_trace, ClockWindow.from_hours(10, 2), DayType.WEEKDAY)
+        assert incremental.days_classified > n
+
+    def test_invalidate_machine(self, long_trace, incremental):
+        cw = ClockWindow.from_hours(9, 2)
+        incremental.predict(long_trace, cw, DayType.WEEKDAY)
+        incremental.invalidate(long_trace.machine_id)
+        reused_before = incremental.days_reused
+        incremental.predict(long_trace, cw, DayType.WEEKDAY)
+        assert incremental.days_reused == reused_before  # nothing reused
+
+    def test_invalidate_all(self, long_trace, incremental):
+        cw = ClockWindow.from_hours(9, 2)
+        incremental.predict(long_trace, cw, DayType.WEEKDAY)
+        incremental.invalidate()
+        assert incremental._caches == {}
+
+
+class TestApi:
+    def test_absolute_window(self, long_trace, incremental):
+        aw = ClockWindow.from_hours(9, 2).on_day(long_trace.last_day + 1)
+        tr = incremental.predict(long_trace, aw)
+        assert 0.0 <= tr <= 1.0
+
+    def test_clock_window_requires_day_type(self, long_trace, incremental):
+        with pytest.raises(ValueError):
+            incremental.predict(long_trace, ClockWindow.from_hours(9, 2))
+
+    def test_explicit_init_state(self, long_trace, incremental):
+        from repro.core.states import State
+
+        cw = ClockWindow.from_hours(9, 2)
+        tr = incremental.predict(long_trace, cw, DayType.WEEKDAY, init_state=State.S5)
+        assert tr == 0.0

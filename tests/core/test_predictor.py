@@ -1,0 +1,146 @@
+"""Tests for the end-to-end temporal-reliability predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig
+from repro.core.estimator import EstimatorConfig
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.states import State, Thresholds
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+
+def deterministic_trace(n_days=10, period=60.0, fail_prob_by_day=None, seed=0):
+    """Idle trace with an optional 10-min overload at 09:00 on chosen days."""
+    rng = np.random.default_rng(seed)
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.full(n_days * n_per_day, 0.05)
+    i0 = int(9 * 3600 / period)
+    for d in range(n_days):
+        p = (fail_prob_by_day or {}).get(d, 0.0)
+        if rng.random() < p:
+            load[d * n_per_day + i0 : d * n_per_day + i0 + 10] = 0.95
+    return MachineTrace("det", 0.0, period, load, np.full(load.shape, 400.0))
+
+
+class TestPredictorBasics:
+    def test_idle_history_predicts_one(self):
+        pred = TemporalReliabilityPredictor(deterministic_trace())
+        tr = pred.predict(ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert tr == pytest.approx(1.0)
+
+    def test_certain_failure_predicts_zero(self):
+        trace = deterministic_trace(fail_prob_by_day={d: 1.0 for d in range(10)})
+        pred = TemporalReliabilityPredictor(trace)
+        tr = pred.predict(ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert tr == pytest.approx(0.0, abs=1e-9)
+
+    def test_partial_failure_fraction(self):
+        # Failure on every weekday with probability ~0.5 (seeded).
+        trace = deterministic_trace(
+            n_days=40, fail_prob_by_day={d: 0.5 for d in range(40)}, seed=5
+        )
+        pred = TemporalReliabilityPredictor(trace)
+        tr = pred.predict(ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert 0.2 < tr < 0.8
+
+    def test_window_outside_failure_hour_is_safe(self):
+        trace = deterministic_trace(fail_prob_by_day={d: 1.0 for d in range(10)})
+        pred = TemporalReliabilityPredictor(trace)
+        tr = pred.predict(ClockWindow.from_hours(14, 2), DayType.WEEKDAY)
+        assert tr == pytest.approx(1.0)
+
+    def test_failure_init_state_gives_zero(self):
+        pred = TemporalReliabilityPredictor(deterministic_trace())
+        tr = pred.predict(ClockWindow.from_hours(8, 2), DayType.WEEKDAY, init_state=State.S5)
+        assert tr == 0.0
+
+    def test_absolute_window_infers_day_type(self):
+        trace = deterministic_trace(fail_prob_by_day={d: 1.0 for d in range(10)})
+        pred = TemporalReliabilityPredictor(trace)
+        # Day 12 is a Saturday: weekend history (days 5, 6) has no failure
+        # only if those days drew no event — they did (prob 1), so expect 0.
+        tr_wd = pred.predict(ClockWindow.from_hours(8, 2).on_day(14))  # Monday
+        assert tr_wd == pytest.approx(0.0, abs=1e-9)
+
+    def test_clock_window_requires_day_type(self):
+        pred = TemporalReliabilityPredictor(deterministic_trace())
+        with pytest.raises(ValueError):
+            pred.predict(ClockWindow.from_hours(8, 2))
+
+
+class TestPredictDetailed:
+    def test_result_fields(self):
+        pred = TemporalReliabilityPredictor(deterministic_trace(n_days=14))
+        res = pred.predict_detailed(ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert res.tr == pytest.approx(1.0)
+        assert res.init_state is State.S1
+        assert res.n_history_days == 10
+        assert res.horizon == 120  # 2 h at 60 s
+        assert res.step == pytest.approx(60.0)
+        assert res.estimation_seconds >= 0.0
+        assert res.solve_seconds >= 0.0
+        assert res.total_seconds == pytest.approx(
+            res.estimation_seconds + res.solve_seconds
+        )
+
+    def test_explicit_init_state_s2(self):
+        trace = deterministic_trace(fail_prob_by_day={d: 1.0 for d in range(10)})
+        pred = TemporalReliabilityPredictor(trace)
+        res = pred.predict_detailed(
+            ClockWindow.from_hours(8, 2), DayType.WEEKDAY, init_state=State.S2
+        )
+        assert res.init_state is State.S2
+
+    def test_kernel_access(self):
+        pred = TemporalReliabilityPredictor(deterministic_trace())
+        kern = pred.kernel(ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert kern.horizon == 120
+
+    def test_update_history(self):
+        quiet = deterministic_trace()
+        busy = deterministic_trace(fail_prob_by_day={d: 1.0 for d in range(10)})
+        pred = TemporalReliabilityPredictor(quiet)
+        cw = ClockWindow.from_hours(8, 2)
+        assert pred.predict(cw, DayType.WEEKDAY) == pytest.approx(1.0)
+        pred.update_history(busy)
+        assert pred.predict(cw, DayType.WEEKDAY) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPredictorConfiguration:
+    def test_custom_thresholds_affect_prediction(self):
+        # Load 0.5 all day: S2 by default (safe), S3 with th2=0.4 (failure).
+        n = int(5 * SECONDS_PER_DAY / 60.0)
+        trace = MachineTrace(
+            "halfload", 0.0, 60.0, np.full(n, 0.5), np.full(n, 400.0)
+        )
+        cw = ClockWindow.from_hours(8, 2)
+        default = TemporalReliabilityPredictor(trace)
+        assert default.predict(cw, DayType.WEEKDAY, init_state=State.S2) == pytest.approx(1.0)
+        strict = TemporalReliabilityPredictor(
+            trace,
+            classifier_config=ClassifierConfig(thresholds=Thresholds(th1=0.2, th2=0.4)),
+        )
+        assert strict.predict(cw, DayType.WEEKDAY) == 0.0
+
+    def test_step_multiple_speeds_and_approximates(self, long_trace):
+        cw = ClockWindow.from_hours(10, 3)
+        fine = TemporalReliabilityPredictor(long_trace)
+        coarse = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        tr_f = fine.predict(cw, DayType.WEEKDAY)
+        tr_c = coarse.predict(cw, DayType.WEEKDAY)
+        # Coarse discretization approximates the fine TR (paper Section
+        # 4.1's accuracy/efficiency trade-off).
+        assert tr_c == pytest.approx(tr_f, abs=0.15)
+
+    def test_prediction_in_unit_interval(self, long_trace):
+        pred = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        for h in (0, 6, 12, 18):
+            for T in (1, 5):
+                tr = pred.predict(ClockWindow.from_hours(h, T), DayType.WEEKDAY)
+                assert 0.0 <= tr <= 1.0

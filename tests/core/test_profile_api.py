@@ -1,0 +1,100 @@
+"""Tests for the TR-profile API (TR as a function of window length)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import TemporalReliabilityPredictor, max_reliable_horizon
+from repro.core.smp import (
+    SLOT_INDEX,
+    SmpKernel,
+    temporal_reliability,
+    temporal_reliability_profile,
+)
+from repro.core.states import State
+
+
+def make_kernel(horizon=40, step=6.0, entries=None):
+    k = np.zeros((8, horizon + 1))
+    for src, dst, l, p in entries or []:
+        k[SLOT_INDEX[(src, dst)], l] = p
+    return SmpKernel(k, step)
+
+
+class TestProfileSolver:
+    def test_starts_at_one(self):
+        kern = make_kernel(entries=[(1, 3, 5, 0.5)])
+        profile = temporal_reliability_profile(kern, 1)
+        assert profile[0] == 1.0
+        assert profile.shape == (41,)
+
+    def test_non_increasing(self):
+        rng = np.random.default_rng(0)
+        k = np.zeros((8, 31))
+        for rows in (slice(0, 4), slice(4, 8)):
+            raw = rng.random((4, 30))
+            raw /= raw.sum()
+            k[rows, 1:] = raw * 0.9
+        profile = temporal_reliability_profile(SmpKernel(k, 6.0), 1)
+        assert np.all(np.diff(profile) <= 1e-12)
+
+    def test_endpoint_matches_point_solver(self):
+        rng = np.random.default_rng(1)
+        k = np.zeros((8, 25))
+        for rows in (slice(0, 4), slice(4, 8)):
+            raw = rng.random((4, 24))
+            raw /= raw.sum()
+            k[rows, 1:] = raw * 0.7
+        kern = SmpKernel(k, 6.0)
+        for init in (1, 2):
+            profile = temporal_reliability_profile(kern, init)
+            assert profile[-1] == pytest.approx(temporal_reliability(kern, init), abs=1e-12)
+
+    def test_every_prefix_matches_truncated_kernel(self):
+        kern = make_kernel(horizon=20, entries=[(1, 3, 4, 0.3), (1, 2, 2, 0.5), (2, 5, 3, 0.6)])
+        profile = temporal_reliability_profile(kern, 1)
+        for m in (1, 5, 10, 20):
+            truncated = SmpKernel(kern.k[:, : m + 1].copy(), kern.step)
+            assert profile[m] == pytest.approx(
+                temporal_reliability(truncated, 1), abs=1e-12
+            )
+
+    def test_failure_init(self):
+        profile = temporal_reliability_profile(make_kernel(), State.S5)
+        assert profile[0] == 1.0
+        assert np.all(profile[1:] == 0.0)
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            temporal_reliability_profile(make_kernel(), 0)
+
+
+class TestMaxReliableHorizon:
+    def test_threshold_crossing(self):
+        profile = np.array([1.0, 0.95, 0.85, 0.7])
+        assert max_reliable_horizon(profile, 60.0, 0.9) == pytest.approx(60.0)
+        assert max_reliable_horizon(profile, 60.0, 0.8) == pytest.approx(120.0)
+        assert max_reliable_horizon(profile, 60.0, 0.5) == pytest.approx(180.0)
+
+    def test_never_reliable(self):
+        # Entry 0 is always 1.0 in real profiles; a synthetic all-low
+        # profile yields 0.
+        assert max_reliable_horizon(np.array([0.5, 0.4]), 60.0, 0.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_reliable_horizon(np.array([1.0]), 60.0, 0.0)
+
+
+class TestPredictorProfileApi:
+    def test_profile_consistent_with_predict(self, long_trace):
+        from repro.core.estimator import EstimatorConfig
+        from repro.core.windows import ClockWindow, DayType
+
+        pred = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        cw = ClockWindow.from_hours(9, 5)
+        profile, step = pred.predict_profile(cw, DayType.WEEKDAY)
+        assert profile[-1] == pytest.approx(pred.predict(cw, DayType.WEEKDAY), abs=1e-12)
+        assert step == pytest.approx(300.0)
+        assert profile.shape[0] == 61  # 5 h at 300 s + entry 0

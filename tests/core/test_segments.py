@@ -1,0 +1,99 @@
+"""Tests for run-length utilities over state sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.segments import (
+    failure_free,
+    run_length_encode,
+    transition_pairs,
+    visits,
+)
+from repro.core.states import State
+
+state_arrays = hnp.arrays(
+    dtype=np.int8,
+    shape=st.integers(min_value=0, max_value=200),
+    elements=st.integers(min_value=1, max_value=5),
+)
+
+
+class TestRunLengthEncode:
+    def test_empty(self):
+        vals, starts, lengths = run_length_encode(np.array([], dtype=np.int8))
+        assert len(vals) == len(starts) == len(lengths) == 0
+
+    def test_single_run(self):
+        vals, starts, lengths = run_length_encode(np.array([2, 2, 2]))
+        assert list(vals) == [2]
+        assert list(starts) == [0]
+        assert list(lengths) == [3]
+
+    def test_alternating(self):
+        vals, starts, lengths = run_length_encode(np.array([1, 2, 1, 2]))
+        assert list(vals) == [1, 2, 1, 2]
+        assert list(lengths) == [1, 1, 1, 1]
+        assert list(starts) == [0, 1, 2, 3]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            run_length_encode(np.zeros((2, 2)))
+
+    @given(state_arrays)
+    def test_reconstruction_property(self, arr):
+        vals, starts, lengths = run_length_encode(arr)
+        rebuilt = np.concatenate(
+            [np.full(ln, v) for v, ln in zip(vals, lengths)]
+        ) if len(vals) else np.array([], dtype=arr.dtype)
+        assert np.array_equal(rebuilt, arr)
+        # Runs are maximal: adjacent run values differ.
+        assert all(vals[i] != vals[i + 1] for i in range(len(vals) - 1))
+        assert int(np.sum(lengths)) == arr.size
+
+
+class TestVisits:
+    def test_basic(self):
+        vs = visits(np.array([1, 1, 2, 3, 3, 3]))
+        assert [(v.state, v.start_index, v.length) for v in vs] == [
+            (State.S1, 0, 2),
+            (State.S2, 2, 1),
+            (State.S3, 3, 3),
+        ]
+        assert vs[-1].end_index == 6
+
+    @given(state_arrays)
+    def test_visits_cover_sequence(self, arr):
+        vs = visits(arr)
+        assert sum(v.length for v in vs) == arr.size
+        cursor = 0
+        for v in vs:
+            assert v.start_index == cursor
+            cursor = v.end_index
+
+
+class TestTransitionPairs:
+    def test_counts_holdings(self):
+        pairs = transition_pairs(np.array([1, 1, 1, 2, 2, 5]))
+        assert pairs == [(State.S1, State.S2, 3), (State.S2, State.S5, 2)]
+
+    def test_last_visit_censored(self):
+        assert transition_pairs(np.array([1, 1])) == []
+
+    @given(state_arrays)
+    def test_one_fewer_than_visits(self, arr):
+        assert len(transition_pairs(arr)) == max(0, len(visits(arr)) - 1)
+
+
+class TestFailureFree:
+    def test_operational_only(self):
+        assert failure_free(np.array([1, 2, 1, 2]))
+
+    def test_any_failure(self):
+        for bad in (3, 4, 5):
+            assert not failure_free(np.array([1, 2, bad, 1]))
+
+    def test_empty_is_failure_free(self):
+        assert failure_free(np.array([], dtype=np.int8))

@@ -1,0 +1,383 @@
+"""Tests for the semi-Markov kernel: estimation and the Eq.-3 solver."""
+
+import numpy as np
+import numpy.testing as npt
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smp import (
+    SLOT_INDEX,
+    SLOTS,
+    SmpKernel,
+    VisitObservation,
+    collect_observations,
+    estimate_kernel,
+    failure_probabilities,
+    failure_probabilities_dense,
+    kernel_from_observations,
+    temporal_reliability,
+)
+from repro.core.states import State
+
+
+def make_kernel(horizon=20, step=6.0, entries=None):
+    """Construct a kernel with explicit (src, dst, l, p) entries."""
+    k = np.zeros((8, horizon + 1))
+    for src, dst, l, p in entries or []:
+        k[SLOT_INDEX[(src, dst)], l] = p
+    return SmpKernel(k, step)
+
+
+# --------------------------------------------------------------------- #
+# kernel construction & invariants
+# --------------------------------------------------------------------- #
+
+
+class TestSmpKernel:
+    def test_slots_cover_paper_sparsity(self):
+        # Paper Fig. 3: 8 non-zero elements, sources S1/S2 only.
+        assert len(SLOTS) == 8
+        assert {s for s, _ in SLOTS} == {1, 2}
+        assert all(d != s for s, d in SLOTS)
+        assert (2, 1) in SLOT_INDEX and (1, 2) in SLOT_INDEX
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SmpKernel(np.zeros((7, 10)), 6.0)
+        with pytest.raises(ValueError):
+            SmpKernel(np.zeros((8, 1)), 6.0)
+
+    def test_rejects_negative(self):
+        k = np.zeros((8, 5))
+        k[0, 1] = -0.1
+        with pytest.raises(ValueError):
+            SmpKernel(k, 6.0)
+
+    def test_rejects_zero_holding_mass(self):
+        k = np.zeros((8, 5))
+        k[0, 0] = 0.5
+        with pytest.raises(ValueError):
+            SmpKernel(k, 6.0)
+
+    def test_rejects_mass_over_one(self):
+        k = np.zeros((8, 5))
+        k[SLOT_INDEX[(1, 2)], 1] = 0.7
+        k[SLOT_INDEX[(1, 3)], 2] = 0.5
+        with pytest.raises(ValueError):
+            SmpKernel(k, 6.0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            SmpKernel(np.zeros((8, 5)), 0.0)
+
+    def test_q_matrix(self):
+        kern = make_kernel(entries=[(1, 2, 3, 0.4), (1, 3, 5, 0.2), (2, 1, 2, 0.9)])
+        q = kern.q
+        assert q[0, 1] == pytest.approx(0.4)
+        assert q[0, 2] == pytest.approx(0.2)
+        assert q[1, 0] == pytest.approx(0.9)
+        # Failure-state rows are structurally zero.
+        assert np.all(q[2:] == 0.0)
+
+    def test_holding_pmf_normalized(self):
+        kern = make_kernel(entries=[(1, 2, 3, 0.2), (1, 2, 7, 0.2)])
+        pmf = kern.holding_pmf(1, 2)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[3] == pytest.approx(0.5)
+
+    def test_holding_pmf_unobserved_is_zero(self):
+        kern = make_kernel()
+        assert kern.holding_pmf(1, 5).sum() == 0.0
+
+    def test_expected_holding(self):
+        kern = make_kernel(entries=[(1, 2, 4, 0.5)])
+        assert kern.expected_holding(1, 2) == pytest.approx(4.0)
+
+    def test_horizon(self):
+        assert make_kernel(horizon=33).horizon == 33
+
+
+# --------------------------------------------------------------------- #
+# observation collection
+# --------------------------------------------------------------------- #
+
+
+class TestCollectObservations:
+    def test_completed_and_censored(self):
+        seq = np.array([1, 1, 1, 2, 2, 1, 1])
+        obs = collect_observations([seq])
+        assert [(o.state, o.holding, o.target) for o in obs] == [
+            (1, 3, 2),
+            (2, 2, 1),
+            (1, 2, None),
+        ]
+        assert obs[-1].censored
+
+    def test_failure_targets(self):
+        seq = np.array([2, 2, 5, 5])
+        obs = collect_observations([seq])
+        assert [(o.state, o.holding, o.target) for o in obs] == [(2, 2, 5)]
+
+    def test_failure_visits_skipped(self):
+        # The S3 visit itself produces no observation (absorbing model),
+        # but the operational visit after it does.
+        seq = np.array([3, 3, 1, 1])
+        obs = collect_observations([seq])
+        assert [(o.state, o.target) for o in obs] == [(1, None)]
+
+    def test_lookback_prefix_visits_excluded(self):
+        # The first visit ends inside the lookback; only later ones count.
+        seq = np.array([1, 1, 2, 2, 2, 1])
+        obs = collect_observations([seq], lookback_steps=2)
+        assert [(o.state, o.holding, o.target) for o in obs] == [(2, 3, 1), (1, 1, None)]
+
+    def test_lookback_extends_holding(self):
+        # Visit starts in the lookback but ends in the window: full length.
+        seq = np.array([1, 1, 1, 1, 2])
+        obs = collect_observations([seq], lookback_steps=2)
+        assert obs[0].holding == 4
+
+    def test_pooling_multiple_sequences(self):
+        obs = collect_observations([np.array([1, 2]), np.array([2, 1])])
+        assert len(obs) == 4
+
+    def test_rejects_sequence_shorter_than_lookback(self):
+        with pytest.raises(ValueError):
+            collect_observations([np.array([1, 1])], lookback_steps=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            collect_observations([np.zeros((2, 2), dtype=np.int8)])
+
+
+# --------------------------------------------------------------------- #
+# estimation
+# --------------------------------------------------------------------- #
+
+
+class TestEstimateKernel:
+    def test_deterministic_sequence(self):
+        # Two identical days: S1 (3 steps) -> S3.  All mass on one slot.
+        seqs = [np.array([1, 1, 1, 3, 3]), np.array([1, 1, 1, 3, 3])]
+        kern = estimate_kernel(seqs, horizon=4, step=6.0, censoring="beyond")
+        assert kern.slot(1, 3)[3] == pytest.approx(1.0)
+        assert kern.q[0, 2] == pytest.approx(1.0)
+
+    def test_split_mass(self):
+        seqs = [np.array([1, 3]), np.array([1, 5])]
+        kern = estimate_kernel(seqs, horizon=2, step=6.0, censoring="beyond")
+        assert kern.slot(1, 3)[1] == pytest.approx(0.5)
+        assert kern.slot(1, 5)[1] == pytest.approx(0.5)
+
+    def test_censored_beyond_reduces_mass(self):
+        # One completed failure, one censored survival: mass 1/2.
+        seqs = [np.array([1, 3]), np.array([1, 1])]
+        kern = estimate_kernel(seqs, horizon=2, step=6.0, censoring="beyond")
+        assert kern.slot(1, 3)[1] == pytest.approx(0.5)
+
+    def test_censored_drop_ignores_survival(self):
+        seqs = [np.array([1, 3]), np.array([1, 1])]
+        kern = estimate_kernel(seqs, horizon=2, step=6.0, censoring="drop")
+        assert kern.slot(1, 3)[1] == pytest.approx(1.0)
+
+    def test_km_equals_counting_when_uncensored(self):
+        # With no censoring, KM reduces to the plain empirical pmf.
+        seqs = [
+            np.array([1, 1, 3, 3]),
+            np.array([1, 2, 2, 5]),
+            np.array([1, 1, 1, 4]),
+        ]
+        km = estimate_kernel(seqs, horizon=3, step=6.0, censoring="km")
+        cnt = estimate_kernel(seqs, horizon=3, step=6.0, censoring="beyond")
+        # The final visit of each sequence is censored; drop it from both
+        # by comparing only slots whose observations completed in-window.
+        npt.assert_allclose(km.slot(1, 3)[:4], cnt.slot(1, 3)[:4], atol=1e-12)
+
+    def test_km_handles_pure_censoring(self):
+        seqs = [np.array([1, 1, 1])]
+        kern = estimate_kernel(seqs, horizon=3, step=6.0, censoring="km")
+        assert kern.k.sum() == pytest.approx(0.0)
+
+    def test_laplace_smoothing_shrinks_hazard(self):
+        seqs = [np.array([1, 3])]
+        plain = estimate_kernel(seqs, horizon=2, step=6.0, censoring="beyond")
+        smooth = estimate_kernel(seqs, horizon=2, step=6.0, censoring="beyond", laplace=1.0)
+        assert smooth.slot(1, 3)[1] < plain.slot(1, 3)[1]
+
+    def test_holding_beyond_horizon_is_survival(self):
+        # Transition at step 5 with horizon 3: contributes no in-window mass.
+        seqs = [np.array([1] * 5 + [3])]
+        kern = estimate_kernel(seqs, horizon=3, step=6.0, censoring="beyond")
+        assert kern.k.sum() == pytest.approx(0.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            estimate_kernel([np.array([1, 2])], horizon=0, step=6.0)
+
+    def test_rejects_negative_laplace(self):
+        with pytest.raises(ValueError):
+            estimate_kernel([np.array([1, 2])], horizon=2, step=6.0, laplace=-1.0)
+
+    def test_rejects_invalid_transition(self):
+        obs = [VisitObservation(state=1, holding=1, target=1)]
+        with pytest.raises(ValueError):
+            kernel_from_observations(obs, horizon=2, step=6.0, censoring="beyond")
+
+
+# --------------------------------------------------------------------- #
+# solver: hand-computable cases
+# --------------------------------------------------------------------- #
+
+
+class TestSolverHandCases:
+    def test_no_hazard_means_tr_one(self):
+        kern = make_kernel(entries=[(1, 2, 2, 0.5), (2, 1, 2, 0.5)])
+        assert temporal_reliability(kern, State.S1) == pytest.approx(1.0)
+        assert temporal_reliability(kern, State.S2) == pytest.approx(1.0)
+
+    def test_direct_failure_only(self):
+        # From S1: fail to S3 at step 4 w.p. 0.3.  TR = 0.7.
+        kern = make_kernel(horizon=10, entries=[(1, 3, 4, 0.3)])
+        p = failure_probabilities(kern, 1)
+        npt.assert_allclose(p, [0.3, 0.0, 0.0], atol=1e-12)
+        assert temporal_reliability(kern, 1) == pytest.approx(0.7)
+
+    def test_failure_after_horizon_does_not_count(self):
+        kern = make_kernel(horizon=3, entries=[(1, 3, 3, 0.3)])
+        assert failure_probabilities(kern, 1)[0] == pytest.approx(0.3)
+        kern2 = make_kernel(horizon=2, entries=[(1, 3, 2, 0.0)])
+        assert temporal_reliability(kern2, 1) == pytest.approx(1.0)
+
+    def test_two_hop_failure(self):
+        # S1 -> S2 at l=1 (w.p. 1), S2 -> S4 at l=1 (w.p. 1): fail by m=2.
+        kern = make_kernel(horizon=5, entries=[(1, 2, 1, 1.0), (2, 4, 1, 1.0)])
+        p = failure_probabilities(kern, 1)
+        npt.assert_allclose(p, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_two_hop_probability_product(self):
+        kern = make_kernel(horizon=5, entries=[(1, 2, 1, 0.5), (2, 5, 1, 0.4)])
+        # P(fail) = P(1->2) * P(2->5) = 0.2 within 5 steps.
+        p = failure_probabilities(kern, 1)
+        assert p[2] == pytest.approx(0.2)
+        assert temporal_reliability(kern, 1) == pytest.approx(0.8)
+
+    def test_failure_init_state(self):
+        kern = make_kernel()
+        for init, idx in [(State.S3, 0), (State.S4, 1), (State.S5, 2)]:
+            p = failure_probabilities(kern, init)
+            assert p[idx] == 1.0
+            assert temporal_reliability(kern, init) == 0.0
+
+    def test_invalid_init_state(self):
+        with pytest.raises(ValueError):
+            failure_probabilities(make_kernel(), 0)
+
+    def test_oscillation_accumulates_hazard(self):
+        # S1 <-> S2 ping-pong with a small per-visit failure hazard: the
+        # failure probability must grow with the horizon.
+        entries = [(1, 2, 1, 0.9), (1, 3, 1, 0.1), (2, 1, 1, 0.9), (2, 3, 1, 0.1)]
+        small = make_kernel(horizon=3, entries=entries)
+        large = make_kernel(horizon=30, entries=entries)
+        tr_small = temporal_reliability(small, 1)
+        tr_large = temporal_reliability(large, 1)
+        assert tr_large < tr_small < 1.0
+        # Geometric decay: survival after m steps is 0.9^m.
+        assert tr_small == pytest.approx(0.9**3)
+        assert tr_large == pytest.approx(0.9**30)
+
+
+# --------------------------------------------------------------------- #
+# solver: sparse vs dense reference (property-based)
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def random_kernels(draw):
+    horizon = draw(st.integers(min_value=2, max_value=12))
+    k = np.zeros((8, horizon + 1))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    for src_rows in (slice(0, 4), slice(4, 8)):
+        mass = draw(st.floats(min_value=0.0, max_value=1.0))
+        raw = rng.random((4, horizon))
+        raw /= raw.sum()
+        k[src_rows, 1:] = raw * mass
+    return SmpKernel(k, 6.0)
+
+
+class TestSparseVsDense:
+    @settings(max_examples=40, deadline=None)
+    @given(random_kernels(), st.sampled_from([1, 2]))
+    def test_sparse_matches_dense(self, kern, init):
+        sparse = failure_probabilities(kern, init)
+        dense = failure_probabilities_dense(kern, init)
+        npt.assert_allclose(sparse, dense, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_kernels(), st.sampled_from([1, 2]))
+    def test_probabilities_well_formed(self, kern, init):
+        p = failure_probabilities(kern, init)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+        assert p.sum() <= 1.0 + 1e-9
+        tr = temporal_reliability(kern, init)
+        assert 0.0 <= tr <= 1.0
+        assert tr == pytest.approx(1.0 - p.sum(), abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_kernels())
+    def test_failure_probability_monotone_in_horizon(self, kern):
+        # Truncating the kernel to a shorter horizon can only lower the
+        # probability of failing within the window.
+        short = SmpKernel(kern.k[:, : kern.horizon // 2 + 1].copy(), kern.step)
+        p_short = failure_probabilities(short, 1).sum()
+        p_full = failure_probabilities(kern, 1).sum()
+        assert p_short <= p_full + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# estimation + solution round trips
+# --------------------------------------------------------------------- #
+
+
+class TestEndToEnd:
+    def test_tr_matches_analytic_geometric(self):
+        # Synthetic process: from S1, fail at the next step w.p. 1/3
+        # (pooled across days).  TR over n steps where the sequence shows
+        # exactly one step: with horizon 1, TR = 2/3.
+        seqs = [np.array([1, 3]), np.array([1, 1]), np.array([1, 1])]
+        kern = estimate_kernel(seqs, horizon=1, step=6.0, censoring="beyond")
+        assert temporal_reliability(kern, 1) == pytest.approx(2.0 / 3.0)
+
+    def test_more_failures_lower_tr(self):
+        quiet = [np.array([1] * 50) for _ in range(5)]
+        busy = [np.concatenate([[1] * 10, [3] * 5, [1] * 35]) for _ in range(5)]
+        k_quiet = estimate_kernel(quiet, horizon=40, step=6.0, censoring="km")
+        k_busy = estimate_kernel(busy, horizon=40, step=6.0, censoring="km")
+        assert temporal_reliability(k_quiet, 1) > temporal_reliability(k_busy, 1)
+
+    def test_stochastic_recovery(self, rng):
+        # Generate days from a known SMP and verify the estimated TR is
+        # close to the empirical failure-free fraction.
+        def gen_day():
+            seq = []
+            state = 1
+            while len(seq) < 120:
+                if state == 1:
+                    hold = rng.integers(2, 8)
+                    nxt = 2 if rng.random() < 0.9 else 3
+                elif state == 2:
+                    hold = rng.integers(2, 6)
+                    nxt = 1 if rng.random() < 0.92 else 5
+                else:
+                    seq.extend([state] * (120 - len(seq)))
+                    break
+                seq.extend([state] * int(hold))
+                state = nxt
+            return np.array(seq[:120], dtype=np.int8)
+
+        days = [gen_day() for _ in range(400)]
+        horizon = 60
+        kern = estimate_kernel([d[:horizon] for d in days], horizon, 6.0, censoring="km")
+        tr = temporal_reliability(kern, 1)
+        empirical = float(np.mean([np.all(d[:horizon] <= 2) for d in days]))
+        assert tr == pytest.approx(empirical, abs=0.08)

@@ -1,0 +1,77 @@
+"""Tests for the five-state availability model."""
+
+import pytest
+
+from repro.core.states import (
+    DEFAULT_THRESHOLDS,
+    FAILURE_STATES,
+    N_STATES,
+    OPERATIONAL_STATES,
+    State,
+    Thresholds,
+)
+
+
+class TestState:
+    def test_values_match_paper(self):
+        assert [s.value for s in State] == [1, 2, 3, 4, 5]
+        assert N_STATES == 5
+
+    def test_operational_partition(self):
+        assert set(OPERATIONAL_STATES) | set(FAILURE_STATES) == set(State)
+        assert not set(OPERATIONAL_STATES) & set(FAILURE_STATES)
+
+    def test_is_operational(self):
+        assert State.S1.is_operational
+        assert State.S2.is_operational
+        assert not State.S3.is_operational
+
+    def test_is_failure(self):
+        assert not State.S1.is_failure
+        assert State.S3.is_failure and State.S4.is_failure and State.S5.is_failure
+
+    def test_uec_vs_urr(self):
+        assert State.S3.is_uec and State.S4.is_uec
+        assert not State.S5.is_uec
+        assert State.S5.is_urr
+        assert not State.S3.is_urr
+        assert not State.S1.is_uec and not State.S1.is_urr
+
+    def test_describe(self):
+        for s in State:
+            assert isinstance(s.describe(), str) and s.describe()
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        assert DEFAULT_THRESHOLDS.th1 == pytest.approx(0.20)
+        assert DEFAULT_THRESHOLDS.th2 == pytest.approx(0.60)
+        assert DEFAULT_THRESHOLDS.slowdown_limit == pytest.approx(0.05)
+
+    def test_cpu_state_boundaries(self):
+        th = DEFAULT_THRESHOLDS
+        assert th.cpu_state(0.0) is State.S1
+        assert th.cpu_state(0.1999) is State.S1
+        # Paper: S2 when Th1 <= L_H <= Th2 (inclusive at both ends).
+        assert th.cpu_state(0.20) is State.S2
+        assert th.cpu_state(0.60) is State.S2
+        assert th.cpu_state(0.601) is State.S3
+        assert th.cpu_state(1.0) is State.S3
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            Thresholds(th1=0.7, th2=0.6)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Thresholds(th1=0.0, th2=0.6)
+        with pytest.raises(ValueError):
+            Thresholds(th1=0.2, th2=1.2)
+        with pytest.raises(ValueError):
+            Thresholds(slowdown_limit=0.0)
+
+    def test_custom_thresholds(self):
+        th = Thresholds(th1=0.3, th2=0.8)
+        assert th.cpu_state(0.25) is State.S1
+        assert th.cpu_state(0.7) is State.S2
+        assert th.cpu_state(0.85) is State.S3

@@ -1,0 +1,102 @@
+"""Tests for bootstrap confidence intervals on TR predictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimatorConfig, WindowedKernelEstimator
+from repro.core.uncertainty import TrInterval, bootstrap_tr
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+
+def bernoulli_failure_trace(n_days=30, period=60.0, fail_days=(), fail_hour=9.0):
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.full(n_days * n_per_day, 0.05)
+    i0 = int(fail_hour * 3600 / period)
+    for d in fail_days:
+        load[d * n_per_day + i0 : d * n_per_day + i0 + 15] = 0.95
+    return MachineTrace("u", 0.0, period, load, np.full(load.shape, 400.0))
+
+
+class TestTrInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrInterval(point=0.9, lower=0.1, upper=0.5, confidence=0.9,
+                       n_resamples=10, n_history_days=5)
+
+    def test_width(self):
+        iv = TrInterval(point=0.5, lower=0.4, upper=0.7, confidence=0.9,
+                        n_resamples=10, n_history_days=5)
+        assert iv.width == pytest.approx(0.3)
+
+
+class TestBootstrapTr:
+    def test_certain_trace_tight_interval(self):
+        trace = bernoulli_failure_trace(fail_days=())
+        est = WindowedKernelEstimator()
+        iv = bootstrap_tr(est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+                          n_resamples=50, rng=0)
+        assert iv.point == pytest.approx(1.0)
+        assert iv.width == pytest.approx(0.0, abs=1e-9)
+
+    def test_mixed_trace_interval_contains_point(self):
+        # Weekday indices among days 0..29; fail on roughly half.
+        fail = [d for d in range(30) if d % 7 < 5 and d % 2 == 0]
+        trace = bernoulli_failure_trace(fail_days=fail)
+        est = WindowedKernelEstimator()
+        iv = bootstrap_tr(est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+                          n_resamples=100, rng=1)
+        assert iv.lower <= iv.point <= iv.upper
+        assert 0.0 < iv.point < 1.0
+        assert iv.width > 0.05  # genuine uncertainty
+
+    def test_more_history_narrower_interval(self):
+        def width(n_days):
+            fail = [d for d in range(n_days) if d % 7 < 5 and d % 3 == 0]
+            trace = bernoulli_failure_trace(n_days=n_days, fail_days=fail)
+            est = WindowedKernelEstimator()
+            return bootstrap_tr(
+                est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+                n_resamples=150, rng=2,
+            ).width
+
+        assert width(84) < width(14)
+
+    def test_deterministic_with_seed(self):
+        fail = [d for d in range(30) if d % 7 < 5 and d % 2 == 0]
+        trace = bernoulli_failure_trace(fail_days=fail)
+        est = WindowedKernelEstimator()
+        a = bootstrap_tr(est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+                         n_resamples=50, rng=7)
+        b = bootstrap_tr(est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY,
+                         n_resamples=50, rng=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self):
+        trace = bernoulli_failure_trace()
+        est = WindowedKernelEstimator()
+        cw = ClockWindow.from_hours(8, 2)
+        with pytest.raises(ValueError):
+            bootstrap_tr(est, trace, cw, DayType.WEEKDAY, n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_tr(est, trace, cw, DayType.WEEKDAY, confidence=1.5)
+
+    def test_no_history_rejected(self):
+        # Two weekend-only days cannot answer a weekday query.
+        n = int(2 * SECONDS_PER_DAY / 60.0)
+        trace = MachineTrace(
+            "we", 5 * SECONDS_PER_DAY, 60.0, np.full(n, 0.05), np.full(n, 400.0)
+        )
+        est = WindowedKernelEstimator()
+        with pytest.raises(ValueError):
+            bootstrap_tr(est, trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+
+    def test_works_on_synthetic_trace(self, long_trace):
+        est = WindowedKernelEstimator(config=EstimatorConfig(step_multiple=10))
+        iv = bootstrap_tr(
+            est, long_trace, ClockWindow.from_hours(10, 3), DayType.WEEKDAY,
+            n_resamples=60, rng=3,
+        )
+        assert 0.0 <= iv.lower <= iv.upper <= 1.0
+        assert iv.n_history_days > 0
+        assert "CI" in str(iv)

@@ -1,0 +1,153 @@
+"""Tests for the simulation calendar and window arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import windows as win
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+
+
+class TestDayArithmetic:
+    def test_epoch_is_monday(self):
+        assert win.day_of_week(0) == 0
+        assert win.day_name(0) == "Mon"
+
+    def test_day_index_at_boundaries(self):
+        assert win.day_index(0.0) == 0
+        assert win.day_index(win.SECONDS_PER_DAY - 1e-3) == 0
+        assert win.day_index(win.SECONDS_PER_DAY) == 1
+
+    def test_day_start_round_trip(self):
+        for day in (0, 1, 6, 100):
+            assert win.day_index(win.day_start(day)) == day
+
+    def test_time_of_day(self):
+        t = 3 * win.SECONDS_PER_DAY + 5 * win.SECONDS_PER_HOUR + 42.0
+        assert win.time_of_day(t) == pytest.approx(5 * win.SECONDS_PER_HOUR + 42.0)
+
+    def test_week_classification(self):
+        # Day 0 is a Monday; days 5, 6 are the first weekend.
+        assert [win.day_type(d) for d in range(7)] == [
+            DayType.WEEKDAY,
+            DayType.WEEKDAY,
+            DayType.WEEKDAY,
+            DayType.WEEKDAY,
+            DayType.WEEKDAY,
+            DayType.WEEKEND,
+            DayType.WEEKEND,
+        ]
+
+    def test_day_type_of_time(self):
+        assert win.day_type_of_time(5.5 * win.SECONDS_PER_DAY) is DayType.WEEKEND
+
+    def test_days_of_type(self):
+        assert win.days_of_type(0, 14, DayType.WEEKEND) == [5, 6, 12, 13]
+        assert len(win.days_of_type(0, 14, DayType.WEEKDAY)) == 10
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_day_index_consistent_with_time_of_day(self, t):
+        d = win.day_index(t)
+        tod = win.time_of_day(t)
+        assert 0.0 <= tod < win.SECONDS_PER_DAY + 1e-6
+        assert win.day_start(d) + tod == pytest.approx(t, abs=1e-6)
+
+
+class TestClockWindow:
+    def test_from_hours(self):
+        cw = ClockWindow.from_hours(8.0, 2.5)
+        assert cw.start == pytest.approx(8 * 3600)
+        assert cw.duration == pytest.approx(2.5 * 3600)
+        assert cw.start_hour == pytest.approx(8.0)
+        assert cw.duration_hours == pytest.approx(2.5)
+
+    def test_on_day(self):
+        cw = ClockWindow.from_hours(8.0, 2.0)
+        aw = cw.on_day(3)
+        assert aw.start == pytest.approx(3 * win.SECONDS_PER_DAY + 8 * 3600)
+        assert aw.duration == pytest.approx(2 * 3600)
+        assert aw.day == 3
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ValueError):
+            ClockWindow(start=-1.0, duration=100.0)
+        with pytest.raises(ValueError):
+            ClockWindow(start=win.SECONDS_PER_DAY, duration=100.0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            ClockWindow(start=0.0, duration=0.0)
+
+    def test_may_cross_midnight(self):
+        cw = ClockWindow.from_hours(22.0, 5.0)
+        aw = cw.on_day(1)
+        assert aw.end > win.day_start(2)
+        # Day type is defined by the start day.
+        assert aw.day == 1
+
+
+class TestAbsoluteWindow:
+    def test_end_and_contains(self):
+        aw = AbsoluteWindow(start=100.0, duration=50.0)
+        assert aw.end == 150.0
+        assert aw.contains(100.0)
+        assert aw.contains(149.999)
+        assert not aw.contains(150.0)
+        assert not aw.contains(99.9)
+
+    def test_overlaps(self):
+        a = AbsoluteWindow(0.0, 100.0)
+        assert a.overlaps(AbsoluteWindow(50.0, 100.0))
+        assert not a.overlaps(AbsoluteWindow(100.0, 10.0))
+        assert a.overlaps(AbsoluteWindow(99.9, 10.0))
+
+    def test_clock_window_round_trip(self):
+        aw = ClockWindow.from_hours(9.0, 3.0).on_day(8)
+        cw = aw.clock_window()
+        assert cw.start_hour == pytest.approx(9.0)
+        assert cw.on_day(8) == aw
+
+    def test_day_type(self):
+        assert ClockWindow.from_hours(8, 1).on_day(5).day_type is DayType.WEEKEND
+
+    def test_iter_history_days_same_type(self):
+        # Day 7 is a Monday; its history weekdays are 4, 3, 2, 1, 0.
+        aw = ClockWindow.from_hours(8, 1).on_day(7)
+        assert list(aw.iter_history_days(3)) == [4, 3, 2]
+        assert list(aw.iter_history_days(10)) == [4, 3, 2, 1, 0]
+
+    def test_iter_history_days_any_type(self):
+        aw = ClockWindow.from_hours(8, 1).on_day(7)
+        assert list(aw.iter_history_days(3, same_type_only=False)) == [6, 5, 4]
+
+    def test_iter_history_days_weekend(self):
+        # Day 12 is a Saturday; prior weekend days are 6, 5.
+        aw = ClockWindow.from_hours(8, 1).on_day(12)
+        assert list(aw.iter_history_days(5)) == [6, 5]
+
+
+class TestNSteps:
+    def test_exact_multiple(self):
+        assert win.n_steps(3600.0, 6.0) == 600
+
+    def test_rounding(self):
+        assert win.n_steps(10.0, 6.0) == 2
+        assert win.n_steps(8.0, 6.0) == 1
+
+    def test_at_least_one(self):
+        assert win.n_steps(1.0, 600.0) == 1
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            win.n_steps(100.0, 0.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    )
+    def test_n_steps_close_to_ratio(self, duration, step):
+        n = win.n_steps(duration, step)
+        assert n >= 1
+        assert abs(n - duration / step) <= 0.5 + 1e-9 or n == 1

@@ -1,0 +1,153 @@
+"""Tests for the TR-driven checkpoint interval and job groups."""
+
+import math
+
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY
+from repro.sim.checkpoint import (
+    PredictiveIntervalCheckpointing,
+    failure_rate_from_tr,
+    young_interval,
+)
+from repro.sim.jobs import GuestJob, JobGroup
+
+
+class TestFailureRate:
+    def test_tr_one_is_zero_rate(self):
+        assert failure_rate_from_tr(1.0, 3600.0) == 0.0
+
+    def test_tr_zero_is_infinite_rate(self):
+        assert math.isinf(failure_rate_from_tr(0.0, 3600.0))
+
+    def test_inversion(self):
+        rate = failure_rate_from_tr(math.exp(-2.0), 100.0)
+        assert rate == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            failure_rate_from_tr(1.5, 100.0)
+        with pytest.raises(ValueError):
+            failure_rate_from_tr(0.5, 0.0)
+
+
+class TestYoungInterval:
+    def test_formula(self):
+        assert young_interval(30.0, 3600.0) == pytest.approx(math.sqrt(2 * 30 * 3600))
+
+    def test_infinite_mtbf(self):
+        assert math.isinf(young_interval(30.0, math.inf))
+
+    def test_more_failures_shorter_interval(self):
+        assert young_interval(30.0, 600.0) < young_interval(30.0, 6000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            young_interval(10.0, -1.0)
+
+
+class TestPredictiveIntervalPolicy:
+    def make_job(self, progress=2000.0):
+        job = GuestJob(job_id="j", cpu_seconds=36000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = progress
+        return job
+
+    def test_reliable_host_long_interval(self):
+        policy = PredictiveIntervalCheckpointing(refresh_interval=1.0)
+        job = self.make_job()
+        policy.should_checkpoint(job, 10.0, lambda w: 0.999)
+        long_iv = policy.current_interval("j")
+        policy2 = PredictiveIntervalCheckpointing(refresh_interval=1.0)
+        policy2.should_checkpoint(job, 10.0, lambda w: 0.30)
+        short_iv = policy2.current_interval("j")
+        assert short_iv < long_iv
+
+    def test_interval_clamped(self):
+        policy = PredictiveIntervalCheckpointing(
+            refresh_interval=1.0, min_interval=600.0, max_interval=1200.0
+        )
+        job = self.make_job()
+        policy.should_checkpoint(job, 1.0, lambda w: 1e-9)  # terrible host
+        assert policy.current_interval("j") == 600.0
+        policy.should_checkpoint(job, 3.0, lambda w: 1.0 - 1e-12)  # perfect host
+        assert policy.current_interval("j") == 1200.0
+
+    def test_checkpoints_fire_at_interval(self):
+        policy = PredictiveIntervalCheckpointing(
+            refresh_interval=10.0, min_interval=100.0, max_interval=100.0,
+            cost_cpu_seconds=5.0,
+        )
+        job = self.make_job()
+        tr = lambda w: 0.5
+        assert not policy.apply(job, 50.0, tr)  # before the interval
+        assert policy.apply(job, 150.0, tr)
+        assert job.checkpointed_progress > 0.0
+        assert not policy.apply(job, 200.0, tr)
+        job.progress += 500.0
+        assert policy.apply(job, 260.0, tr)
+
+    def test_prediction_error_assumes_mediocre(self):
+        def broken(window):
+            raise RuntimeError("no data")
+
+        policy = PredictiveIntervalCheckpointing(refresh_interval=1.0)
+        job = self.make_job()
+        policy.should_checkpoint(job, 1.0, broken)
+        assert policy.current_interval("j") is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveIntervalCheckpointing(refresh_interval=0.0)
+        with pytest.raises(ValueError):
+            PredictiveIntervalCheckpointing(min_interval=500.0, max_interval=100.0)
+
+
+class TestJobGroup:
+    def test_uniform_construction(self):
+        g = JobGroup.uniform("sweep", 4, 1000.0)
+        assert g.size == 4
+        assert [j.job_id for j in g.jobs] == [f"sweep/{i:02d}" for i in range(4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobGroup(group_id="g", jobs=[])
+        with pytest.raises(ValueError):
+            JobGroup.uniform("g", 0, 100.0)
+        j = GuestJob(job_id="same", cpu_seconds=1.0)
+        j2 = GuestJob(job_id="same", cpu_seconds=1.0)
+        with pytest.raises(ValueError):
+            JobGroup(group_id="g", jobs=[j, j2])
+
+    def test_response_is_slowest_member(self):
+        g = JobGroup.uniform("g", 2, 100.0)
+        g.submitted_at = 0.0
+        for i, job in enumerate(g.jobs):
+            job.begin_attempt("m", 0.0)
+            job.progress = 100.0
+            job.complete(100.0 + i * 50.0)
+        assert g.done
+        assert g.completed_at == 150.0
+        assert g.response_time == 150.0
+
+    def test_incomplete_group(self):
+        g = JobGroup.uniform("g", 2, 100.0)
+        g.jobs[0].begin_attempt("m", 0.0)
+        g.jobs[0].progress = 100.0
+        g.jobs[0].complete(10.0)
+        assert not g.done
+        assert g.response_time is None
+
+    def test_group_scheduling_end_to_end(self, testbed):
+        from repro.sim import FgcsTestbed, PredictivePolicy
+
+        bed = FgcsTestbed(testbed, monitor_period=30.0)
+        sched = bed.make_scheduler(PredictivePolicy())
+        group = JobGroup.uniform("mc", 3, 1200.0)
+        sched.submit_group_at(group, bed.start_time + 3600.0)
+        bed.engine.run_until(bed.start_time + 3 * SECONDS_PER_DAY)
+        assert group.done
+        assert sched.group_response_times()["mc"] == group.response_time
+        assert group.response_time > 0.0

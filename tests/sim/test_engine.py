@@ -1,0 +1,82 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(5.0, lambda: fired.append("b"))
+        eng.schedule_at(1.0, lambda: fired.append("a"))
+        eng.schedule_at(9.0, lambda: fired.append("c"))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+        assert eng.now == 9.0
+        assert eng.events_fired == 3
+
+    def test_fifo_for_equal_times(self):
+        eng = SimulationEngine()
+        fired = []
+        for i in range(5):
+            eng.schedule_at(2.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in(self):
+        eng = SimulationEngine(start_time=100.0)
+        fired = []
+        eng.schedule_in(10.0, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [110.0]
+
+    def test_callbacks_can_schedule_more(self):
+        eng = SimulationEngine()
+        fired = []
+
+        def recurring():
+            fired.append(eng.now)
+            if eng.now < 5.0:
+                eng.schedule_in(1.0, recurring)
+
+        eng.schedule_at(0.0, recurring)
+        eng.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_run_until_stops_clock(self):
+        eng = SimulationEngine()
+        fired = []
+        eng.schedule_at(3.0, lambda: fired.append(3))
+        eng.schedule_at(7.0, lambda: fired.append(7))
+        eng.run_until(5.0)
+        assert fired == [3]
+        assert eng.now == 5.0
+        eng.run_until(10.0)
+        assert fired == [3, 7]
+
+    def test_cannot_schedule_in_past(self):
+        eng = SimulationEngine(start_time=10.0)
+        with pytest.raises(ValueError):
+            eng.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            eng.schedule_in(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        eng = SimulationEngine()
+        fired = []
+        handle = eng.schedule_at(1.0, lambda: fired.append(1))
+        eng.schedule_at(2.0, lambda: fired.append(2))
+        handle.cancel()
+        assert handle.cancelled
+        eng.run()
+        assert fired == [2]
+
+    def test_pending_count(self):
+        eng = SimulationEngine()
+        eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        assert eng.pending == 2
+        eng.run()
+        assert eng.pending == 0

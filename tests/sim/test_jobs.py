@@ -1,0 +1,95 @@
+"""Tests for guest jobs, attempts and workload statistics."""
+
+import pytest
+
+from repro.core.states import State
+from repro.sim.jobs import GuestJob, JobState, WorkloadStats
+
+
+class TestGuestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GuestJob(job_id="x", cpu_seconds=0.0)
+        with pytest.raises(ValueError):
+            GuestJob(job_id="x", cpu_seconds=10.0, mem_requirement_mb=-1.0)
+
+    def test_lifecycle_success(self):
+        job = GuestJob(job_id="j", cpu_seconds=100.0, submitted_at=10.0)
+        job.begin_attempt("m0", 20.0)
+        assert job.state is JobState.RUNNING
+        job.progress = 100.0
+        job.complete(150.0)
+        assert job.done
+        assert job.response_time == pytest.approx(140.0)
+        assert job.n_failures == 0
+        assert job.wasted_cpu_seconds == 0.0
+
+    def test_failure_resets_progress(self):
+        job = GuestJob(job_id="j", cpu_seconds=100.0)
+        job.begin_attempt("m0", 0.0)
+        job.progress = 40.0
+        job.fail_attempt(State.S3, 50.0)
+        assert job.state is JobState.FAILED
+        assert job.progress == 0.0
+        assert job.remaining == 100.0
+        assert job.n_failures == 1
+        assert job.wasted_cpu_seconds == pytest.approx(40.0)
+
+    def test_checkpoint_preserves_progress(self):
+        job = GuestJob(job_id="j", cpu_seconds=100.0)
+        job.begin_attempt("m0", 0.0)
+        job.progress = 60.0
+        job.checkpointed_progress = 50.0
+        job.fail_attempt(State.S5, 80.0)
+        assert job.progress == 50.0
+        # Only the work past the checkpoint is wasted.
+        assert job.wasted_cpu_seconds == pytest.approx(60.0)
+
+    def test_second_attempt_resumes_from_checkpoint(self):
+        job = GuestJob(job_id="j", cpu_seconds=100.0)
+        job.begin_attempt("m0", 0.0)
+        job.progress = 70.0
+        job.checkpointed_progress = 70.0
+        job.fail_attempt(State.S5, 10.0)
+        job.begin_attempt("m1", 20.0)
+        assert job.progress == 70.0
+        assert job.remaining == pytest.approx(30.0)
+
+    def test_complete_without_attempt_rejected(self):
+        job = GuestJob(job_id="j", cpu_seconds=10.0)
+        with pytest.raises(RuntimeError):
+            job.complete(1.0)
+        with pytest.raises(RuntimeError):
+            job.fail_attempt(State.S3, 1.0)
+
+    def test_response_time_none_until_done(self):
+        job = GuestJob(job_id="j", cpu_seconds=10.0)
+        assert job.response_time is None
+
+
+class TestWorkloadStats:
+    def test_aggregation(self):
+        a = GuestJob(job_id="a", cpu_seconds=10.0, submitted_at=0.0)
+        a.begin_attempt("m", 0.0)
+        a.progress = 10.0
+        a.complete(20.0)
+        b = GuestJob(job_id="b", cpu_seconds=10.0, submitted_at=0.0)
+        b.begin_attempt("m", 0.0)
+        b.progress = 5.0
+        b.fail_attempt(State.S3, 5.0)
+        b.begin_attempt("m2", 10.0)
+        b.progress = 10.0
+        b.complete(40.0)
+        stats = WorkloadStats.from_jobs([a, b])
+        assert stats.n_jobs == 2
+        assert stats.n_completed == 2
+        assert stats.n_failures == 1
+        assert stats.mean_response_time == pytest.approx(30.0)
+        assert stats.total_wasted_cpu_seconds == pytest.approx(5.0)
+
+    def test_empty_workload(self):
+        import math
+
+        stats = WorkloadStats.from_jobs([])
+        assert stats.n_jobs == 0
+        assert math.isnan(stats.mean_response_time)

@@ -1,0 +1,197 @@
+"""Tests for the machine, monitor and gateway layers."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import State
+from repro.core.windows import SECONDS_PER_DAY
+from repro.sim.engine import SimulationEngine
+from repro.sim.gateway import GuestStatus, IShareGateway
+from repro.sim.jobs import GuestJob, JobState
+from repro.sim.machine import HostMachine
+from repro.sim.monitor import ResourceMonitor
+from repro.traces.trace import MachineTrace
+
+
+def make_machine(loads, period=6.0, mems=None, ups=None):
+    loads = np.asarray(loads, dtype=float)
+    mems = np.full(loads.shape, 400.0) if mems is None else np.asarray(mems, dtype=float)
+    ups = np.ones(loads.shape, bool) if ups is None else np.asarray(ups, dtype=bool)
+    return HostMachine(MachineTrace("m0", 0.0, period, loads, mems, ups))
+
+
+def stack(loads, period=6.0, mems=None, ups=None):
+    machine = make_machine(loads, period, mems, ups)
+    engine = SimulationEngine()
+    monitor = ResourceMonitor(machine, engine, period=period)
+    gateway = IShareGateway(machine, monitor)
+    monitor.start()
+    return machine, engine, monitor, gateway
+
+
+class TestHostMachine:
+    def test_queries(self):
+        m = make_machine([0.1, 0.5], ups=[True, False])
+        assert m.load_at(0.0) == pytest.approx(0.1)
+        assert m.up_at(0.0)
+        assert not m.up_at(6.0)
+        assert m.free_mem_at(0.0) == 400.0
+        assert m.covers(11.9) and not m.covers(12.0)
+
+    def test_guest_rate(self):
+        m = make_machine([0.3])
+        assert m.guest_rate_at(0.0, reniced=False) == pytest.approx(0.7)
+        assert m.guest_rate_at(0.0, reniced=True) == pytest.approx(0.7 * 0.96)
+        m2 = make_machine([0.0], ups=[False])
+        assert m2.guest_rate_at(0.0, reniced=False) == 0.0
+
+
+class TestMonitor:
+    def test_samples_at_period(self):
+        _m, engine, monitor, _g = stack([0.1] * 100)
+        engine.run_until(60.0)
+        assert monitor.samples_taken == 11  # t = 0, 6, ..., 60
+
+    def test_no_samples_while_down(self):
+        ups = [True] * 10 + [False] * 10 + [True] * 10
+        _m, engine, monitor, _g = stack([0.1] * 30, ups=ups)
+        engine.run_until(29 * 6.0)
+        assert monitor.samples_taken == 20
+        # Heartbeat ends at the last up sample before the gap.
+        assert len(monitor.log_times) == 20
+
+    def test_heartbeat_staleness(self):
+        ups = [True] * 5 + [False] * 25
+        _m, engine, monitor, _g = stack([0.1] * 30, ups=ups)
+        engine.run_until(29 * 6.0)
+        assert monitor.heartbeat_stale(engine.now)
+        assert not monitor.heartbeat_stale(monitor.last_heartbeat + 12.0)
+
+    def test_overhead_under_one_percent(self):
+        _m, engine, monitor, _g = stack([0.1] * 200)
+        engine.run_until(199 * 6.0)
+        assert 0.0 < monitor.overhead_fraction(engine.now) < 0.01
+
+    def test_validation(self):
+        m = make_machine([0.1])
+        with pytest.raises(ValueError):
+            ResourceMonitor(m, SimulationEngine(), period=0.0)
+        with pytest.raises(ValueError):
+            ResourceMonitor(m, SimulationEngine(), heartbeat_timeout_periods=1.0)
+
+
+class TestGatewayLifecycle:
+    @staticmethod
+    def launch(gateway, engine, cpu_seconds=60.0, mem=64.0):
+        done, failed = [], []
+        job = GuestJob(job_id="j", cpu_seconds=cpu_seconds, mem_requirement_mb=mem)
+        gateway.launch_guest(job, engine.now, done.append, lambda j, s: failed.append((j, s)))
+        return job, done, failed
+
+    def test_job_completes_on_idle_machine(self):
+        _m, engine, _mon, gateway = stack([0.1] * 200)
+        job, done, failed = self.launch(gateway, engine, cpu_seconds=60.0)
+        engine.run_until(200 * 6.0)
+        assert done == [job]
+        assert not failed
+        assert job.done
+        # At load 0.1 the guest rate is 0.9: 60 CPU-seconds in ~67 s.
+        assert job.completed_at == pytest.approx(66.0, abs=12.0)
+
+    def test_progress_slower_when_reniced(self):
+        _m1, e1, _mo1, g1 = stack([0.1] * 400)
+        j1, d1, _ = self.launch(g1, e1, cpu_seconds=120.0)
+        e1.run_until(2400.0)
+        _m2, e2, _mo2, g2 = stack([0.5] * 400)
+        j2, d2, _ = self.launch(g2, e2, cpu_seconds=120.0)
+        e2.run_until(2400.0)
+        assert j1.completed_at < j2.completed_at
+
+    def test_guest_killed_by_sustained_overload(self):
+        loads = [0.1] * 10 + [0.9] * 15 + [0.1] * 10
+        _m, engine, _mon, gateway = stack(loads)
+        job, done, failed = self.launch(gateway, engine, cpu_seconds=10000.0)
+        engine.run_until(34 * 6.0)
+        assert len(failed) == 1
+        assert failed[0][1] is State.S3
+        assert job.state is JobState.FAILED
+        assert not gateway.busy
+
+    def test_transient_spike_suspends_then_resumes(self):
+        loads = [0.1] * 10 + [0.9] * 5 + [0.1] * 30
+        _m, engine, _mon, gateway = stack(loads)
+        job, done, failed = self.launch(gateway, engine, cpu_seconds=10000.0)
+        engine.run_until(12 * 6.0)
+        assert gateway.guest_status is GuestStatus.SUSPENDED
+        engine.run_until(44 * 6.0)
+        assert not failed
+        assert gateway.guest_status is GuestStatus.DEFAULT_PRIORITY
+
+    def test_renice_between_thresholds(self):
+        loads = [0.1] * 5 + [0.4] * 10
+        _m, engine, _mon, gateway = stack(loads)
+        self.launch(gateway, engine, cpu_seconds=10000.0)
+        engine.run_until(14 * 6.0)
+        assert gateway.guest_status is GuestStatus.RENICED
+
+    def test_guest_killed_by_memory_exhaustion(self):
+        mems = [400.0] * 10 + [30.0] * 10
+        _m, engine, _mon, gateway = stack([0.1] * 20, mems=mems)
+        job, _done, failed = self.launch(gateway, engine, cpu_seconds=10000.0, mem=64.0)
+        engine.run_until(19 * 6.0)
+        assert failed and failed[0][1] is State.S4
+
+    def test_guest_killed_by_revocation(self):
+        ups = [True] * 10 + [False] * 10
+        _m, engine, _mon, gateway = stack([0.1] * 20, ups=ups)
+        job, _done, failed = self.launch(gateway, engine, cpu_seconds=10000.0)
+        engine.run_until(19 * 6.0)
+        assert failed and failed[0][1] is State.S5
+
+    def test_cannot_double_launch(self):
+        _m, engine, _mon, gateway = stack([0.1] * 50)
+        self.launch(gateway, engine, cpu_seconds=10000.0)
+        with pytest.raises(RuntimeError):
+            self.launch(gateway, engine)
+
+    def test_accepts_jobs(self):
+        _m, engine, mon, gateway = stack([0.1] * 50)
+        engine.run_until(12.0)
+        assert gateway.accepts_jobs(engine.now)
+        self.launch(gateway, engine, cpu_seconds=10000.0)
+        assert not gateway.accepts_jobs(engine.now)
+
+    def test_rejects_when_overloaded(self):
+        _m, engine, _mon, gateway = stack([0.9] * 50)
+        engine.run_until(12.0)
+        assert not gateway.accepts_jobs(engine.now)
+
+
+class TestGatewayAcceptance:
+    def test_memory_requirement_checked_at_accept(self):
+        mems = [100.0] * 50
+        _m, engine, _mon, gateway = stack([0.1] * 50, mems=mems)
+        engine.run_until(12.0)
+        assert gateway.accepts_jobs(engine.now)  # no requirement stated
+        assert gateway.accepts_jobs(engine.now, mem_requirement_mb=64.0)
+        assert not gateway.accepts_jobs(engine.now, mem_requirement_mb=256.0)
+
+    def test_counters_track_outcomes(self):
+        loads = [0.1] * 10 + [0.9] * 15 + [0.1] * 60
+        _m, engine, _mon, gateway = stack(loads)
+        job = GuestJob(job_id="a", cpu_seconds=100000.0)
+        gateway.launch_guest(job, 0.0, lambda j: None, lambda j, s: None)
+        engine.run_until(30 * 6.0)
+        assert gateway.guests_started == 1
+        assert gateway.guests_failed == 1
+        job2 = GuestJob(job_id="b", cpu_seconds=30.0)
+        gateway.launch_guest(job2, engine.now, lambda j: None, lambda j, s: None)
+        engine.run_until(84 * 6.0)
+        assert gateway.guests_completed == 1
+
+    def test_stale_heartbeat_blocks_acceptance(self):
+        ups = [True] * 5 + [False] * 20
+        _m, engine, monitor, gateway = stack([0.1] * 25, ups=ups)
+        engine.run_until(24 * 6.0)
+        assert monitor.heartbeat_stale(engine.now)
+        assert not gateway.accepts_jobs(engine.now)

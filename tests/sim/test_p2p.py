@@ -1,0 +1,94 @@
+"""Tests for the P2P publication/discovery overlay."""
+
+import pytest
+
+from repro.sim.p2p import P2PNetwork, ResourceAdvert
+
+
+def build_network(n=12, seed=0):
+    net = P2PNetwork(seed=seed)
+    for i in range(n):
+        net.join(f"n{i}")
+        net.publish(f"n{i}", ResourceAdvert(machine_id=f"m{i}"))
+    return net
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        net = build_network(5)
+        assert len(net) == 5
+        assert "n3" in net
+        assert set(net.node_ids) == {f"n{i}" for i in range(5)}
+
+    def test_duplicate_join_rejected(self):
+        net = build_network(2)
+        with pytest.raises(KeyError):
+            net.join("n0")
+
+    def test_leave_removes_adverts(self):
+        net = build_network(6)
+        net.leave("n0")
+        assert "n0" not in net
+        found = net.discover("n1", ttl=10)
+        assert "m0" not in {a.machine_id for a in found.adverts}
+
+    def test_leave_unknown_rejected(self):
+        net = build_network(2)
+        with pytest.raises(KeyError):
+            net.leave("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2PNetwork(k=1)
+
+
+class TestDiscovery:
+    def test_full_coverage_with_large_ttl(self):
+        net = build_network(12)
+        result = net.discover("n0", ttl=12)
+        assert len(result.adverts) == 12
+        assert result.nodes_reached == 12
+        assert result.messages > 0
+
+    def test_ttl_zero_sees_only_local(self):
+        net = build_network(8)
+        result = net.discover("n0", ttl=0)
+        assert {a.machine_id for a in result.adverts} == {"m0"}
+        assert result.messages == 0
+
+    def test_coverage_grows_with_ttl(self):
+        net = build_network(30, seed=2)
+        cov = [net.reachable_fraction("n0", ttl) for ttl in (0, 1, 2, 6)]
+        assert cov[0] <= cov[1] <= cov[2] <= cov[3]
+        assert cov[3] == 1.0  # small-world: 6 hops cover 30 nodes
+
+    def test_predicate_filtering(self):
+        net = P2PNetwork(seed=0)
+        net.join("a")
+        net.join("b")
+        net.publish("a", ResourceAdvert(machine_id="big", ram_mb=2048.0))
+        net.publish("b", ResourceAdvert(machine_id="small", ram_mb=128.0))
+        result = net.discover("a", ttl=3, predicate=lambda ad: ad.ram_mb >= 512.0)
+        assert {a.machine_id for a in result.adverts} == {"big"}
+
+    def test_unpublish(self):
+        net = build_network(4)
+        net.unpublish("n1", "m1")
+        found = net.discover("n0", ttl=5)
+        assert "m1" not in {a.machine_id for a in found.adverts}
+        net.unpublish("n1", "m1")  # idempotent
+
+    def test_unknown_origin_rejected(self):
+        net = build_network(3)
+        with pytest.raises(KeyError):
+            net.discover("ghost")
+        with pytest.raises(ValueError):
+            net.discover("n0", ttl=-1)
+
+    def test_messages_counted_per_edge_traversal(self):
+        net = P2PNetwork(seed=0)
+        net.join("a")
+        net.join("b")  # b wires to a
+        result = net.discover("a", ttl=1)
+        assert result.messages == 1
+        assert result.nodes_reached == 2

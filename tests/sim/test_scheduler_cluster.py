@@ -1,0 +1,248 @@
+"""Tests for the client scheduler, checkpointing and testbed assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY, AbsoluteWindow
+from repro.sim.checkpoint import (
+    AdaptiveCheckpointing,
+    NoCheckpointing,
+    PeriodicCheckpointing,
+)
+from repro.sim.cluster import FgcsTestbed, poisson_workload, run_workload
+from repro.sim.jobs import GuestJob
+from repro.sim.scheduler import LeastLoadedPolicy, PredictivePolicy, RandomPolicy
+from repro.sim.state_manager import StateManager
+from repro.traces.synthesis import synthesize_testbed
+from repro.traces.trace import TraceSet
+
+
+@pytest.fixture(scope="module")
+def small_testbed_traces():
+    return synthesize_testbed(3, n_days=14, sample_period=30.0, seed=21)
+
+
+@pytest.fixture()
+def testbed(small_testbed_traces):
+    return FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+
+
+class TestTestbedAssembly:
+    def test_machines_wired(self, testbed):
+        assert len(testbed.hosts) == 3
+        assert testbed.machine_ids == ["lab-00", "lab-01", "lab-02"]
+        assert testbed.end_time > testbed.start_time
+
+    def test_p2p_discovery_finds_all(self, testbed):
+        assert sorted(testbed.discover_hosts()) == testbed.machine_ids
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            FgcsTestbed(TraceSet())
+
+    def test_monitoring_overhead_small(self, testbed):
+        testbed.engine.run_until(testbed.start_time + 3600.0)
+        ovh = testbed.monitoring_overhead()
+        assert 0.0 < ovh < 0.01  # the paper's < 1% claim
+
+
+class TestStateManager:
+    def test_prediction_from_bootstrap(self, testbed):
+        stack = testbed.hosts[0]
+        window = AbsoluteWindow(testbed.start_time + 3600.0, 3600.0)
+        tr = stack.manager.predict_tr(window)
+        assert 0.0 <= tr <= 1.0
+        assert stack.manager.predictions_served == 1
+
+    def test_live_log_reconstructs_down_as_gaps(self, testbed):
+        testbed.engine.run_until(testbed.start_time + 7200.0)
+        stack = testbed.hosts[0]
+        live = stack.manager.live_trace(testbed.engine.now)
+        assert live is not None
+        assert live.sample_period == stack.monitor.period
+        # The live grid starts where the bootstrap ends.
+        assert live.start_time == pytest.approx(stack.manager.bootstrap.end_time)
+
+    def test_history_concatenates(self, testbed):
+        testbed.engine.run_until(testbed.start_time + 7200.0)
+        stack = testbed.hosts[0]
+        hist = stack.manager.history(testbed.engine.now)
+        assert hist.n_samples > stack.manager.bootstrap.n_samples
+
+
+class TestPolicies:
+    def test_workload_completes_under_each_policy(self, small_testbed_traces):
+        for policy in (PredictivePolicy(), LeastLoadedPolicy(), RandomPolicy(seed=1)):
+            bed = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+            wl = poisson_workload(
+                4,
+                start=bed.start_time + 1800.0,
+                span=2 * SECONDS_PER_DAY,
+                cpu_seconds_range=(600.0, 3600.0),
+                seed=3,
+            )
+            stats = run_workload(bed, policy, wl)
+            assert stats.n_completed == 4, policy.name
+            assert stats.mean_response_time > 0.0
+
+    def test_policy_names(self):
+        assert PredictivePolicy().name == "predictive"
+        assert LeastLoadedPolicy().name == "least-loaded"
+        assert RandomPolicy().name == "random"
+
+    def test_random_policy_deterministic_with_seed(self, small_testbed_traces):
+        outcomes = []
+        for _ in range(2):
+            bed = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+            wl = poisson_workload(
+                3, start=bed.start_time + 1800.0, span=SECONDS_PER_DAY,
+                cpu_seconds_range=(600.0, 1800.0), seed=4,
+            )
+            stats = run_workload(bed, RandomPolicy(seed=7), wl)
+            outcomes.append((stats.n_failures, round(stats.mean_response_time, 3)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestCheckpointing:
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicCheckpointing(interval=0.0)
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCheckpointing(tr_threshold=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveCheckpointing(check_interval=0.0)
+
+    def test_no_checkpointing_never_checkpoints(self):
+        job = GuestJob(job_id="j", cpu_seconds=1000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = 500.0
+        assert not NoCheckpointing().apply(job, 100.0, lambda w: 1.0)
+        assert job.checkpointed_progress == 0.0
+
+    def test_periodic_checkpoints_after_interval(self):
+        policy = PeriodicCheckpointing(interval=100.0, cost_cpu_seconds=10.0)
+        job = GuestJob(job_id="j", cpu_seconds=1000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = 500.0
+        assert not policy.apply(job, 50.0, lambda w: 1.0)
+        assert policy.apply(job, 150.0, lambda w: 1.0)
+        assert job.checkpointed_progress == pytest.approx(490.0)
+        # Immediately after, the interval restarts.
+        job.progress = 600.0
+        assert not policy.apply(job, 200.0, lambda w: 1.0)
+
+    def test_checkpoint_skipped_when_nothing_to_save(self):
+        policy = PeriodicCheckpointing(interval=10.0, cost_cpu_seconds=50.0)
+        job = GuestJob(job_id="j", cpu_seconds=1000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = 20.0  # less than the checkpoint cost
+        assert not policy.apply(job, 100.0, lambda w: 1.0)
+
+    def test_adaptive_checkpoints_only_when_tr_low(self):
+        policy = AdaptiveCheckpointing(
+            tr_threshold=0.8, check_interval=1.0, cost_cpu_seconds=5.0
+        )
+        job = GuestJob(job_id="j", cpu_seconds=1000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = 300.0
+        assert not policy.apply(job, 10.0, lambda w: 0.95)
+        assert policy.apply(job, 20.0, lambda w: 0.30)
+        assert job.checkpointed_progress > 0.0
+
+    def test_adaptive_checkpoints_on_prediction_error(self):
+        def broken(window):
+            raise RuntimeError("no history")
+
+        policy = AdaptiveCheckpointing(check_interval=1.0, cost_cpu_seconds=5.0)
+        job = GuestJob(job_id="j", cpu_seconds=1000.0)
+        job.begin_attempt("m", 0.0)
+        job.progress = 300.0
+        assert policy.apply(job, 10.0, broken)
+
+    def test_checkpointing_reduces_waste_end_to_end(self, small_testbed_traces):
+        results = {}
+        for name, ckpt in [
+            ("none", NoCheckpointing()),
+            ("periodic", PeriodicCheckpointing(interval=900.0, cost_cpu_seconds=10.0)),
+        ]:
+            bed = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+            wl = poisson_workload(
+                6,
+                start=bed.start_time + 1800.0,
+                span=3 * SECONDS_PER_DAY,
+                cpu_seconds_range=(3600.0, 14400.0),
+                seed=8,
+            )
+            stats = run_workload(bed, RandomPolicy(seed=5), wl, checkpoint_policy=ckpt)
+            results[name] = stats
+        if results["none"].n_failures > 0:
+            assert (
+                results["periodic"].total_wasted_cpu_seconds
+                <= results["none"].total_wasted_cpu_seconds + 1e-6
+            )
+
+
+class TestMultiClient:
+    def test_clients_contend_and_complete(self, small_testbed_traces):
+        from repro.sim.cluster import run_multi_client
+
+        bed = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+        wl_a = poisson_workload(
+            3, start=bed.start_time + 1800.0, span=SECONDS_PER_DAY,
+            cpu_seconds_range=(600.0, 1800.0), seed=41,
+        )
+        wl_b = poisson_workload(
+            3, start=bed.start_time + 1800.0, span=SECONDS_PER_DAY,
+            cpu_seconds_range=(600.0, 1800.0), seed=43,
+        )
+        # Give job ids distinct prefixes across the clients.
+        for i, (_t, job) in enumerate(wl_b):
+            job.job_id = f"b-{i:03d}"
+        stats = run_multi_client(
+            bed,
+            {
+                "alice": (PredictivePolicy(), wl_a),
+                "bob": (RandomPolicy(seed=2), wl_b),
+            },
+        )
+        assert set(stats) == {"alice", "bob"}
+        assert stats["alice"].n_completed == 3
+        assert stats["bob"].n_completed == 3
+
+    def test_contention_delays_jobs(self, small_testbed_traces):
+        from repro.sim.cluster import run_multi_client
+
+        # 3 machines, 6 simultaneous long jobs: some must queue, so the
+        # multi-client mean response exceeds the single-client one.
+        def workload(seed, prefix):
+            wl = poisson_workload(
+                3, start=FgcsTestbed(small_testbed_traces, monitor_period=30.0).start_time + 1800.0,
+                span=1800.0, cpu_seconds_range=(7200.0, 7200.0), seed=seed,
+            )
+            for i, (_t, job) in enumerate(wl):
+                job.job_id = f"{prefix}-{i}"
+            return wl
+
+        bed_single = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+        single = run_multi_client(
+            bed_single, {"solo": (RandomPolicy(seed=1), workload(50, "s"))}
+        )["solo"]
+
+        bed_multi = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+        multi = run_multi_client(
+            bed_multi,
+            {
+                "a": (RandomPolicy(seed=1), workload(50, "a")),
+                "b": (RandomPolicy(seed=9), workload(51, "b")),
+            },
+        )
+        assert multi["a"].mean_response_time >= single.mean_response_time - 60.0
+
+    def test_empty_clients_rejected(self, small_testbed_traces):
+        from repro.sim.cluster import run_multi_client
+
+        bed = FgcsTestbed(small_testbed_traces, monitor_period=30.0)
+        with pytest.raises(ValueError):
+            run_multi_client(bed, {})

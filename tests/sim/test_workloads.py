@@ -1,0 +1,106 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import windows as win
+from repro.sim.jobs import GuestJob, JobGroup
+from repro.sim.workloads import (
+    WorkloadSpec,
+    bimodal_workload,
+    diurnal_workload,
+    group_workload,
+)
+
+
+SPEC = WorkloadSpec(n_jobs=200, start=1000.0, span=7 * win.SECONDS_PER_DAY, seed=5)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_jobs=0, start=0.0, span=100.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_jobs=1, start=0.0, span=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_jobs=1, start=0.0, span=100.0, mem_mb=-1.0)
+
+
+class TestBimodal:
+    def test_count_and_ordering(self):
+        wl = bimodal_workload(SPEC)
+        assert len(wl) == 200
+        times = [t for t, _ in wl]
+        assert times == sorted(times)
+        assert all(SPEC.start <= t <= SPEC.start + SPEC.span for t in times)
+
+    def test_two_modes_present(self):
+        wl = bimodal_workload(SPEC)
+        sizes = np.array([j.cpu_seconds for _, j in wl])
+        assert (sizes <= 1800.0).sum() > 50  # small test runs
+        assert (sizes >= 7200.0).sum() > 20  # long jobs
+
+    def test_fraction_extremes(self):
+        all_small = bimodal_workload(SPEC, small_fraction=1.0)
+        assert max(j.cpu_seconds for _, j in all_small) <= 1800.0
+        all_large = bimodal_workload(SPEC, small_fraction=0.0)
+        assert min(j.cpu_seconds for _, j in all_large) >= 7200.0
+
+    def test_determinism(self):
+        a = bimodal_workload(SPEC)
+        b = bimodal_workload(SPEC)
+        assert [(t, j.cpu_seconds) for t, j in a] == [(t, j.cpu_seconds) for t, j in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bimodal_workload(SPEC, small_fraction=1.5)
+
+    def test_unique_job_ids(self):
+        ids = [j.job_id for _, j in bimodal_workload(SPEC)]
+        assert len(set(ids)) == len(ids)
+
+
+class TestDiurnal:
+    def test_peak_concentration(self):
+        wl = diurnal_workload(SPEC, peak_hour=10.0, concentration=4.0)
+        hours = np.array([win.time_of_day(t) / 3600.0 for t, _ in wl])
+        near_peak = ((hours >= 7) & (hours <= 13)).mean()
+        night = ((hours >= 0) & (hours <= 4)).mean()
+        assert near_peak > night
+
+    def test_zero_concentration_roughly_uniform(self):
+        wl = diurnal_workload(SPEC, concentration=0.0)
+        hours = np.array([win.time_of_day(t) / 3600.0 for t, _ in wl])
+        # A crude uniformity check: both halves of the day populated.
+        assert (hours < 12).sum() > 40 and (hours >= 12).sum() > 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_workload(SPEC, concentration=-1.0)
+
+    def test_jobs_well_formed(self):
+        for _t, job in diurnal_workload(SPEC):
+            assert isinstance(job, GuestJob)
+            assert job.cpu_seconds > 0
+
+
+class TestGroups:
+    def test_groups_generated(self):
+        wl = group_workload(WorkloadSpec(n_jobs=30, start=0.0, span=1e5, seed=2))
+        assert len(wl) == 30
+        for _t, group in wl:
+            assert isinstance(group, JobGroup)
+            assert 2 <= group.size <= 6
+            sizes = {j.cpu_seconds for j in group.jobs}
+            assert len(sizes) == 1  # identical members (a sweep)
+
+    def test_member_ids_unique_across_groups(self):
+        wl = group_workload(WorkloadSpec(n_jobs=10, start=0.0, span=1e5, seed=3))
+        ids = [j.job_id for _, g in wl for j in g.jobs]
+        assert len(set(ids)) == len(ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_workload(SPEC, group_size_range=(0, 3))
+        with pytest.raises(ValueError):
+            group_workload(SPEC, group_size_range=(5, 3))

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale == "quick"
+        assert args.seed == 0
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "emp-cpu" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_trace_with_csv_out(self, tmp_path, capsys):
+        assert main(["run", "trace", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE" in out
+        assert list(tmp_path.glob("trace_*.csv"))
+
+    def test_synthesize_and_predict(self, tmp_path, capsys):
+        assert (
+            main([
+                "synthesize", "--machines", "1", "--days", "14",
+                "--period", "60", "--out", str(tmp_path), "--seed", "3",
+            ])
+            == 0
+        )
+        assert (tmp_path / "lab-00.npz").exists()
+        capsys.readouterr()
+        assert (
+            main([
+                "predict", "--trace", str(tmp_path / "lab-00.npz"),
+                "--start-hour", "9", "--hours", "2",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TR:" in out and "lab-00" in out
+
+    def test_predict_weekend(self, tmp_path, capsys):
+        main([
+            "synthesize", "--machines", "1", "--days", "14",
+            "--period", "60", "--out", str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert (
+            main([
+                "predict", "--trace", str(tmp_path / "lab-00.npz"), "--weekend",
+            ])
+            == 0
+        )
+        assert "weekend" in capsys.readouterr().out
+
+    def test_synthesize_unknown_profile(self, tmp_path, capsys):
+        assert (
+            main(["synthesize", "--profile", "mainframe", "--out", str(tmp_path)])
+            == 2
+        )
+        assert "unknown profile" in capsys.readouterr().err

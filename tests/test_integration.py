@@ -1,0 +1,151 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClockWindow,
+    DayType,
+    EstimatorConfig,
+    StateClassifier,
+    TemporalReliabilityPredictor,
+    empirical_tr,
+    relative_error,
+)
+from repro.core.windows import SECONDS_PER_DAY, AbsoluteWindow
+from repro.service import AvailabilityService
+from repro.sim import (
+    FgcsTestbed,
+    PredictiveIntervalCheckpointing,
+    PredictivePolicy,
+    WorkloadSpec,
+    group_workload,
+    run_workload,
+)
+from repro.traces.io import load_traceset, save_traceset
+from repro.traces.noise import NoiseSpec, inject_noise
+from repro.traces.synthesis import synthesize_testbed
+
+
+class TestPersistencePipeline:
+    """synthesize -> save -> load -> predict: identical results."""
+
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        testbed = synthesize_testbed(2, n_days=14, sample_period=60.0, seed=31)
+        save_traceset(testbed, tmp_path / "bed")
+        loaded = load_traceset(tmp_path / "bed")
+        cw = ClockWindow.from_hours(10, 3)
+        cfg = EstimatorConfig(step_multiple=5)
+        for mid in testbed.machine_ids:
+            a = TemporalReliabilityPredictor(testbed[mid], estimator_config=cfg)
+            b = TemporalReliabilityPredictor(loaded[mid], estimator_config=cfg)
+            assert a.predict(cw, DayType.WEEKDAY) == b.predict(cw, DayType.WEEKDAY)
+
+
+class TestPredictionPipeline:
+    """The paper's core loop on a fresh testbed."""
+
+    def test_train_test_prediction_bounds(self):
+        testbed = synthesize_testbed(2, n_days=28, sample_period=60.0, seed=33)
+        clf = StateClassifier()
+        cfg = EstimatorConfig(step_multiple=5)
+        errors = []
+        for trace in testbed:
+            train, test = trace.split_by_ratio(0.5)
+            predictor = TemporalReliabilityPredictor(train, estimator_config=cfg)
+            for h in (2, 9, 14, 20):
+                cw = ClockWindow.from_hours(h, 2)
+                tr = predictor.predict(cw, DayType.WEEKDAY)
+                emp = empirical_tr(test, clf, cw, DayType.WEEKDAY, step_multiple=5)
+                err = relative_error(tr, emp.value)
+                if np.isfinite(err):
+                    errors.append(err)
+        assert errors
+        # Predictions are informative: clearly better than always
+        # predicting 50%.
+        assert float(np.mean(errors)) < 0.6
+
+    def test_noise_injection_perturbs_only_target_window(self):
+        testbed = synthesize_testbed(1, n_days=28, sample_period=60.0, seed=35)
+        trace = testbed["lab-00"]
+        cfg = EstimatorConfig(step_multiple=5)
+        clean = TemporalReliabilityPredictor(trace, estimator_config=cfg)
+        noisy_trace = inject_noise(trace, NoiseSpec(n_events=8), rng=2)
+        noisy = TemporalReliabilityPredictor(noisy_trace, estimator_config=cfg)
+        # 8:00 windows move...
+        cw_hit = ClockWindow.from_hours(8, 1)
+        assert noisy.predict(cw_hit, DayType.WEEKDAY) < clean.predict(
+            cw_hit, DayType.WEEKDAY
+        )
+        # ...night windows (far before the injections) do not.
+        cw_miss = ClockWindow.from_hours(2, 1)
+        assert noisy.predict(cw_miss, DayType.WEEKDAY) == pytest.approx(
+            clean.predict(cw_miss, DayType.WEEKDAY), abs=1e-9
+        )
+
+
+class TestSimulatorPipeline:
+    """iShare simulation with the extended workload + checkpoint stack."""
+
+    def test_group_workload_with_predictive_checkpointing(self):
+        traces = synthesize_testbed(3, n_days=21, sample_period=30.0, seed=37)
+        bed = FgcsTestbed(traces, monitor_period=30.0)
+        groups = group_workload(
+            WorkloadSpec(
+                n_jobs=3,
+                start=bed.start_time + 3600.0,
+                span=2 * SECONDS_PER_DAY,
+                seed=4,
+            ),
+            group_size_range=(2, 3),
+            cpu_seconds_range=(900.0, 2700.0),
+        )
+        scheduler = bed.make_scheduler(
+            PredictivePolicy(),
+            checkpoint_policy=PredictiveIntervalCheckpointing(
+                cost_cpu_seconds=10.0, refresh_interval=300.0
+            ),
+        )
+        for t, group in groups:
+            scheduler.submit_group_at(group, t)
+        bed.engine.run_until(bed.end_time - 1.0)
+        for _t, group in groups:
+            assert group.done, group.group_id
+        rts = scheduler.group_response_times()
+        assert all(rt is not None and rt > 0 for rt in rts.values())
+
+    def test_state_manager_history_feeds_service(self):
+        """Live monitor logs flow into the service's predictions."""
+        traces = synthesize_testbed(2, n_days=14, sample_period=60.0, seed=39)
+        bed = FgcsTestbed(traces, monitor_period=60.0)
+        bed.engine.run_until(bed.start_time + 2 * SECONDS_PER_DAY)
+        service = AvailabilityService(
+            estimator_config=EstimatorConfig(step_multiple=5)
+        )
+        for stack in bed.hosts:
+            service.register(stack.manager.history(bed.engine.now))
+        window = AbsoluteWindow(bed.engine.now + 3600.0, 2 * 3600.0)
+        trs = service.predict_all(window)
+        assert set(trs) == set(bed.machine_ids)
+        assert all(0.0 <= tr <= 1.0 for tr in trs.values())
+        ranking = service.rank(window)
+        assert len(ranking) == 2
+
+
+class TestConsistencyAcrossSolvers:
+    """Discrete, profile and continuous solvers agree on simple kernels."""
+
+    def test_three_solvers_on_synthetic_kernel(self, long_trace):
+        from repro.core.ctsmp import ContinuousSmp
+        from repro.core.smp import temporal_reliability, temporal_reliability_profile
+
+        pred = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        cw = ClockWindow.from_hours(9, 3)
+        kernel = pred.kernel(cw, DayType.WEEKDAY)
+        tr_point = temporal_reliability(kernel, 1)
+        tr_profile = temporal_reliability_profile(kernel, 1)[-1]
+        tr_ct = ContinuousSmp(kernel).temporal_reliability(init_state=1)
+        assert tr_profile == pytest.approx(tr_point, abs=1e-12)
+        assert tr_ct == pytest.approx(tr_point, abs=0.35)  # approximation

@@ -1,0 +1,149 @@
+"""Tests for the multi-machine availability service."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.states import State
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+
+def idle_trace(mid, n_days=14, period=60.0, fail_hour=None):
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.full(n_days * n_per_day, 0.05)
+    if fail_hour is not None:
+        i0 = int(fail_hour * 3600 / period)
+        for d in range(n_days):
+            load[d * n_per_day + i0 : d * n_per_day + i0 + 15] = 0.95
+    return MachineTrace(mid, 0.0, period, load, np.full(load.shape, 400.0))
+
+
+@pytest.fixture()
+def service():
+    svc = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=5))
+    svc.register(idle_trace("safe"))
+    svc.register(idle_trace("risky", fail_hour=9.0))
+    return svc
+
+
+WINDOW = ClockWindow.from_hours(8, 3)
+
+
+class TestRegistry:
+    def test_membership(self, service):
+        assert len(service) == 2
+        assert "safe" in service and "ghost" not in service
+        assert service.machine_ids == ["safe", "risky"]
+
+    def test_unregister(self, service):
+        service.unregister("safe")
+        assert "safe" not in service
+        with pytest.raises(KeyError):
+            service.predict("safe", WINDOW, DayType.WEEKDAY)
+
+    def test_unknown_machine(self, service):
+        with pytest.raises(KeyError):
+            service.predict("ghost", WINDOW, DayType.WEEKDAY)
+
+    def test_reregister_invalidates(self, service):
+        before = service.predict("safe", WINDOW, DayType.WEEKDAY)
+        service.register(idle_trace("safe", fail_hour=9.0))
+        after = service.predict("safe", WINDOW, DayType.WEEKDAY)
+        assert after < before
+
+    def test_extend_history_accepts_growth(self, service):
+        grown = idle_trace("safe", n_days=21)
+        service.extend_history(grown)
+        assert service.predict("safe", WINDOW, DayType.WEEKDAY) == pytest.approx(1.0)
+
+    def test_extend_history_rejects_mismatch(self, service):
+        other = MachineTrace(
+            "safe", 0.0, 30.0, np.full(100, 0.05), np.full(100, 400.0)
+        )
+        with pytest.raises(ValueError):
+            service.extend_history(other)
+
+    def test_extend_history_of_unknown_registers(self):
+        svc = AvailabilityService()
+        svc.extend_history(idle_trace("new"))
+        assert "new" in svc
+
+
+class TestQueries:
+    def test_predict_matches_batch(self, service):
+        batch = TemporalReliabilityPredictor(
+            idle_trace("risky", fail_hour=9.0),
+            estimator_config=EstimatorConfig(step_multiple=5),
+        )
+        assert service.predict("risky", WINDOW, DayType.WEEKDAY) == pytest.approx(
+            batch.predict(WINDOW, DayType.WEEKDAY), abs=1e-12
+        )
+
+    def test_predict_all_and_rank(self, service):
+        trs = service.predict_all(WINDOW, DayType.WEEKDAY)
+        assert set(trs) == {"safe", "risky"}
+        assert trs["safe"] > trs["risky"]
+        ranking = service.rank(WINDOW, DayType.WEEKDAY)
+        assert [r.machine_id for r in ranking] == ["safe", "risky"]
+        assert ranking[0].tr >= ranking[1].tr
+
+    def test_select_gang(self, service):
+        chosen, survival = service.select(WINDOW, DayType.WEEKDAY, k=2)
+        assert chosen[0] == "safe"
+        assert survival == pytest.approx(
+            service.predict("safe", WINDOW, DayType.WEEKDAY)
+            * service.predict("risky", WINDOW, DayType.WEEKDAY)
+        )
+
+    def test_select_too_many(self, service):
+        with pytest.raises(ValueError):
+            service.select(WINDOW, DayType.WEEKDAY, k=5)
+
+    def test_interval(self, service):
+        iv = service.interval("risky", WINDOW, DayType.WEEKDAY, n_resamples=40, rng=1)
+        assert 0.0 <= iv.lower <= iv.point <= iv.upper <= 1.0
+
+    def test_explicit_init_state(self, service):
+        assert service.predict("safe", WINDOW, DayType.WEEKDAY, init_state=State.S3) == 0.0
+
+    def test_absolute_window(self, service):
+        aw = WINDOW.on_day(15)  # a future Tuesday
+        assert service.predict("safe", aw) == pytest.approx(1.0)
+
+
+class TestReliableHorizon:
+    def test_safe_machine_full_horizon(self, service):
+        h = service.reliable_horizon(
+            "safe", ClockWindow.from_hours(8, 5), DayType.WEEKDAY, tr_threshold=0.9
+        )
+        assert h == pytest.approx(5 * 3600.0)
+
+    def test_risky_machine_truncates_before_failure(self, service):
+        # The daily failure hits at 9:00; a window starting 8:00 is only
+        # reliable for about an hour.
+        h = service.reliable_horizon(
+            "risky", ClockWindow.from_hours(8, 5), DayType.WEEKDAY, tr_threshold=0.9
+        )
+        assert 0.0 < h <= 1.25 * 3600.0
+
+    def test_threshold_validation(self, service):
+        with pytest.raises(ValueError):
+            service.reliable_horizon(
+                "safe", ClockWindow.from_hours(8, 5), DayType.WEEKDAY, tr_threshold=0.0
+            )
+
+    def test_requires_day_type_for_clock_window(self, service):
+        with pytest.raises(ValueError):
+            service.reliable_horizon("safe", ClockWindow.from_hours(8, 5))
+
+    def test_monotone_in_threshold(self, service):
+        hs = [
+            service.reliable_horizon(
+                "risky", ClockWindow.from_hours(8, 5), DayType.WEEKDAY, tr_threshold=th
+            )
+            for th in (0.5, 0.9, 0.99)
+        ]
+        assert hs[0] >= hs[1] >= hs[2]

@@ -1,0 +1,85 @@
+"""Tests for forecast-quality evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.evaluation import compare_models, rolling_forecast_errors
+from repro.timeseries.models import AutoRegressive, GlobalMean, Last
+
+
+def ar1(n=600, phi=0.9, sigma=0.03, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = 0.4
+    for t in range(1, n):
+        x[t] = 0.4 + phi * (x[t - 1] - 0.4) + rng.normal(0, sigma)
+    return np.clip(x, 0, 1)
+
+
+class TestRollingErrors:
+    def test_shapes_and_counts(self):
+        errs = rolling_forecast_errors(
+            lambda: Last(), ar1(), fit_length=100, horizon=20
+        )
+        assert errs.horizon == 20
+        assert errs.mae.shape == (20,)
+        assert errs.n_origins == (600 - 100 - 20) // 20 + 1
+        assert errs.model_name == "LAST"
+
+    def test_rmse_at_least_mae(self):
+        errs = rolling_forecast_errors(
+            lambda: AutoRegressive(4), ar1(), fit_length=100, horizon=10
+        )
+        assert np.all(errs.rmse >= errs.mae - 1e-12)
+
+    def test_error_grows_with_horizon_for_persistent_series(self):
+        errs = rolling_forecast_errors(
+            lambda: Last(), ar1(phi=0.95, seed=3), fit_length=100, horizon=40
+        )
+        # On a mean-reverting series, LAST's error grows with look-ahead.
+        assert errs.mae[-1] > errs.mae[0]
+
+    def test_ar_beats_mean_short_term_on_ar_series(self):
+        series = ar1(phi=0.9, seed=5)
+        ar = rolling_forecast_errors(
+            lambda: AutoRegressive(4), series, fit_length=150, horizon=10
+        )
+        mean = rolling_forecast_errors(
+            lambda: GlobalMean(), series, fit_length=150, horizon=10
+        )
+        assert ar.mae[0] < mean.mae[0]
+
+    def test_stride_controls_origins(self):
+        a = rolling_forecast_errors(
+            lambda: Last(), ar1(), fit_length=100, horizon=10, stride=10
+        )
+        b = rolling_forecast_errors(
+            lambda: Last(), ar1(), fit_length=100, horizon=10, stride=50
+        )
+        assert a.n_origins > b.n_origins
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rolling_forecast_errors(lambda: Last(), ar1(50), fit_length=45, horizon=10)
+        with pytest.raises(ValueError):
+            rolling_forecast_errors(lambda: Last(), ar1(), fit_length=1, horizon=10)
+        with pytest.raises(ValueError):
+            rolling_forecast_errors(
+                lambda: Last(), ar1(), fit_length=100, horizon=10, stride=0
+            )
+        with pytest.raises(ValueError):
+            rolling_forecast_errors(
+                lambda: Last(), np.zeros((5, 2)), fit_length=2, horizon=1
+            )
+
+
+class TestCompareModels:
+    def test_same_origins_for_all(self):
+        results = compare_models(
+            [lambda: Last(), lambda: GlobalMean()],
+            ar1(),
+            fit_length=100,
+            horizon=10,
+        )
+        assert len(results) == 2
+        assert results[0].n_origins == results[1].n_origins

@@ -1,0 +1,257 @@
+"""Tests for the linear time-series models (Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.timeseries.base import TimeSeriesModel, clip_loads
+from repro.timeseries.models import (
+    Arma,
+    AutoRegressive,
+    BestMean,
+    Last,
+    MovingAverage,
+    rps_model_suite,
+)
+
+
+def ar1_series(n=400, mean=0.3, phi=0.8, sigma=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = mean
+    for t in range(1, n):
+        x[t] = mean + phi * (x[t - 1] - mean) + rng.normal(0.0, sigma)
+    return np.clip(x, 0.0, 1.0)
+
+
+load_series = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=40, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64),
+)
+
+ALL_MODELS = [lambda: Last(), lambda: BestMean(8), lambda: AutoRegressive(8),
+              lambda: MovingAverage(8), lambda: Arma(8, 8)]
+
+
+class TestBaseContract:
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_forecast_before_fit_rejected(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().forecast(5)
+
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_bad_steps_rejected(self, factory):
+        m = factory().fit(ar1_series(100))
+        with pytest.raises(ValueError):
+            m.forecast(0)
+
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_rejects_empty_series(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.array([]))
+
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_rejects_2d_series(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((5, 2)))
+
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_rejects_nonfinite(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.array([0.1, np.nan, 0.2]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(load_series, st.integers(min_value=1, max_value=60))
+    def test_forecasts_clipped_and_shaped(self, series, steps):
+        for factory in ALL_MODELS:
+            f = factory().fit(series).forecast(steps)
+            assert f.shape == (steps,)
+            assert np.all(f >= 0.0) and np.all(f <= 1.0)
+            assert np.all(np.isfinite(f))
+
+    def test_clip_loads(self):
+        out = clip_loads(np.array([-0.5, 0.5, 1.5]))
+        assert list(out) == [0.0, 0.5, 1.0]
+
+
+class TestLast:
+    def test_constant_forecast(self):
+        f = Last().fit(np.array([0.1, 0.9, 0.4])).forecast(5)
+        assert np.allclose(f, 0.4)
+
+
+class TestBestMean:
+    def test_window_selection_on_noise(self):
+        # For i.i.d. noise, longer windows average better: BM should pick
+        # a window larger than 1.
+        rng = np.random.default_rng(2)
+        m = BestMean(8).fit(np.clip(rng.normal(0.4, 0.1, 300), 0, 1))
+        assert m.window > 1
+
+    def test_window_selection_on_random_walk(self):
+        # For a (load-like) slowly drifting series the most recent value
+        # is the best predictor: BM should pick a short window.
+        rng = np.random.default_rng(3)
+        walk = np.clip(0.5 + np.cumsum(rng.normal(0, 0.05, 300)), 0, 1)
+        m = BestMean(8).fit(walk)
+        assert m.window <= 3
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            BestMean(0)
+
+    def test_forecast_is_recent_mean(self):
+        series = np.array([0.0] * 50 + [0.6, 0.6, 0.6])
+        m = BestMean(3).fit(series)
+        if m.window == 3:
+            assert np.allclose(m.forecast(4), 0.6)
+
+
+class TestAutoRegressive:
+    def test_recovers_ar1_coefficient(self):
+        m = AutoRegressive(1).fit(ar1_series(3000, phi=0.8))
+        assert m.phi[0] == pytest.approx(0.8, abs=0.06)
+
+    def test_forecast_decays_to_mean(self):
+        series = ar1_series(500)
+        m = AutoRegressive(8).fit(series)
+        f = m.forecast(300)
+        assert f[-1] == pytest.approx(series.mean(), abs=0.02)
+
+    def test_constant_series(self):
+        f = AutoRegressive(8).fit(np.full(100, 0.5)).forecast(10)
+        assert np.allclose(f, 0.5)
+
+    def test_very_short_series_falls_back(self):
+        f = AutoRegressive(8).fit(np.array([0.2, 0.4])).forecast(3)
+        assert np.all((f >= 0) & (f <= 1))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            AutoRegressive(0)
+
+
+class TestMovingAverage:
+    def test_forecast_reaches_mean_after_q(self):
+        series = ar1_series(500)
+        m = MovingAverage(8).fit(series)
+        f = m.forecast(20)
+        # Beyond q = 8 steps every forecast is exactly the mean.
+        assert np.allclose(f[8:], np.clip(series.mean(), 0, 1), atol=1e-9)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+
+class TestArma:
+    def test_tracks_ar1_short_term_better_than_mean(self):
+        series = ar1_series(600, phi=0.9, seed=5)
+        m = Arma(8, 8).fit(series)
+        one_step = m.forecast(1)[0]
+        # One-step forecast should be much closer to the last value than
+        # to the long-run mean (phi = 0.9 persistence).
+        assert abs(one_step - series[-1]) < abs(series.mean() - series[-1])
+
+    def test_constant_series(self):
+        f = Arma(8, 8).fit(np.full(100, 0.7)).forecast(10)
+        assert np.allclose(f, 0.7)
+
+    def test_rejects_bad_orders(self):
+        with pytest.raises(ValueError):
+            Arma(0, 8)
+        with pytest.raises(ValueError):
+            Arma(8, 0)
+
+
+class TestSuite:
+    def test_rps_roster_matches_table1(self):
+        names = [m.name for m in rps_model_suite()]
+        assert names == ["AR(8)", "BM(8)", "MA(8)", "ARMA(8,8)", "LAST"]
+
+    def test_custom_orders(self):
+        names = [m.name for m in rps_model_suite(p=4, q=2)]
+        assert "AR(4)" in names and "ARMA(4,2)" in names
+
+
+class TestExtendedRoster:
+    """MEAN, MEDIAN and ARIMA — the RPS models beyond Table 1."""
+
+    def test_global_mean(self):
+        from repro.timeseries.models import GlobalMean
+
+        f = GlobalMean().fit(np.array([0.2, 0.4, 0.6])).forecast(3)
+        assert np.allclose(f, 0.4)
+
+    def test_windowed_median_robust_to_spike(self):
+        from repro.timeseries.models import WindowedMedian
+
+        series = np.array([0.2] * 7 + [1.0])  # one spike in the window
+        f = WindowedMedian(8).fit(series).forecast(2)
+        assert np.allclose(f, 0.2)
+
+    def test_median_validation(self):
+        from repro.timeseries.models import WindowedMedian
+
+        with pytest.raises(ValueError):
+            WindowedMedian(0)
+
+    def test_arima_d0_close_to_arma(self):
+        from repro.timeseries.models import Arima, Arma
+
+        series = ar1_series(400, seed=9)
+        fa = Arima(4, 0, 4).fit(series).forecast(10)
+        fb = Arma(4, 4).fit(series).forecast(10)
+        assert np.allclose(fa, fb, atol=1e-9)
+
+    def test_arima_d1_tracks_trend_short_term(self):
+        from repro.timeseries.models import Arima
+
+        # A rising ramp: the differenced model forecasts continued rise.
+        series = np.linspace(0.1, 0.5, 200)
+        f = Arima(2, 1, 2).fit(series).forecast(5)
+        assert f[0] > series[-1] - 0.01
+        assert f[-1] >= f[0] - 0.01
+
+    def test_arima_clipped(self):
+        from repro.timeseries.models import Arima
+
+        series = np.linspace(0.5, 0.99, 200)  # steep ramp toward 1
+        f = Arima(2, 1, 2).fit(series).forecast(100)
+        assert np.all(f <= 1.0)
+
+    def test_arima_validation(self):
+        from repro.timeseries.models import Arima
+
+        with pytest.raises(ValueError):
+            Arima(0, 1, 2)
+        with pytest.raises(ValueError):
+            Arima(2, 3, 2)
+
+    def test_arima_short_series_fallback(self):
+        from repro.timeseries.models import Arima
+
+        f = Arima(8, 1, 8).fit(np.array([0.1, 0.2, 0.3])).forecast(4)
+        assert np.all((f >= 0) & (f <= 1))
+
+    def test_extended_suite_roster(self):
+        from repro.timeseries.models import rps_extended_suite
+
+        names = [m.name for m in rps_extended_suite()]
+        assert names == [
+            "AR(8)", "BM(8)", "MA(8)", "ARMA(8,8)", "LAST",
+            "MEAN", "MEDIAN(8)", "ARIMA(8,1,8)",
+        ]
+
+    def test_extended_models_respect_base_contract(self):
+        from repro.timeseries.models import rps_extended_suite
+
+        rng = np.random.default_rng(3)
+        series = np.clip(rng.normal(0.4, 0.1, 120), 0, 1)
+        for m in rps_extended_suite()[5:]:
+            f = m.fit(series).forecast(20)
+            assert f.shape == (20,)
+            assert np.all((f >= 0.0) & (f <= 1.0))

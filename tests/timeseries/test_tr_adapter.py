@@ -1,0 +1,107 @@
+"""Tests for the time-series -> temporal-reliability adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.timeseries.models import Arma, AutoRegressive, Last
+from repro.timeseries.tr_adapter import TimeSeriesTRPredictor
+from repro.traces.trace import MachineTrace
+
+
+def step_trace(n_days=10, period=60.0, busy_from_hour=9.0, busy_load=0.95):
+    """Idle until busy_from_hour each day, then overloaded for 4 hours."""
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.full(n_days * n_per_day, 0.05)
+    i0 = int(busy_from_hour * 3600 / period)
+    k = int(4 * 3600 / period)
+    for d in range(n_days):
+        load[d * n_per_day + i0 : d * n_per_day + i0 + k] = busy_load
+    return MachineTrace("step", 0.0, period, load, np.full(load.shape, 400.0))
+
+
+class TestPredictDay:
+    def test_last_predicts_persistence(self):
+        trace = step_trace()
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        # Preceding window 8-10 ends at load 0.95 (busy started at 9):
+        # LAST forecasts overload for the whole target window -> failure.
+        target = ClockWindow.from_hours(10, 2).on_day(2)
+        assert pred.predict_day(trace, target) is False
+        # Preceding window for an idle 4-6 target ends idle -> safe.
+        target = ClockWindow.from_hours(4, 2).on_day(2)
+        assert pred.predict_day(trace, target) is True
+
+    def test_requires_preceding_window(self):
+        trace = step_trace(n_days=2)
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        with pytest.raises(IndexError):
+            pred.predict_day(trace, ClockWindow.from_hours(0, 2).on_day(0))
+
+    def test_ar_misses_future_burst(self):
+        # The model sees an idle 7-9 window (except the 9:00 onset) and
+        # forecasts idle: it cannot anticipate the 9:00 workload.
+        trace = step_trace(busy_from_hour=9.0)
+        pred = TimeSeriesTRPredictor(lambda: AutoRegressive(8))
+        target = ClockWindow.from_hours(9, 2).on_day(2)
+        assert pred.predict_day(trace, target) is True  # wrong, and typically so
+
+
+class TestPredictedTR:
+    def test_idle_trace_tr_one(self):
+        n = int(10 * SECONDS_PER_DAY / 60.0)
+        trace = MachineTrace("idle", 0.0, 60.0, np.full(n, 0.05), np.full(n, 400.0))
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        res = pred.predicted_tr(trace, ClockWindow.from_hours(8, 2), DayType.WEEKDAY)
+        assert res.value == pytest.approx(1.0)
+        assert res.model_name == "LAST"
+        # Day 0 lacks a preceding 6-8 window? No: 6-8 on day 0 exists.
+        assert res.n_days == 8  # days 0..4 and 7..9 are weekdays; all eligible
+
+    def test_skips_days_without_preceding_window(self):
+        n = int(3 * SECONDS_PER_DAY / 60.0)
+        trace = MachineTrace("idle", 0.0, 60.0, np.full(n, 0.05), np.full(n, 400.0))
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        # Window 0:00-2:00: day 0 has no preceding window.
+        res = pred.predicted_tr(trace, ClockWindow.from_hours(0, 2), DayType.WEEKDAY)
+        assert res.n_days == 2
+
+    def test_empty_result_nan(self):
+        n = int(2 * SECONDS_PER_DAY / 60.0)
+        trace = MachineTrace(
+            "we", 5 * SECONDS_PER_DAY, 60.0, np.full(n, 0.05), np.full(n, 400.0)
+        )
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        res = pred.predicted_tr(trace, ClockWindow.from_hours(8, 1), DayType.WEEKDAY)
+        assert np.isnan(res.value)
+        assert res.n_days == 0
+
+    def test_conditioning_excludes_failed_starts(self):
+        trace = step_trace()
+        pred = TimeSeriesTRPredictor(lambda: Last())
+        cw = ClockWindow.from_hours(10, 1)  # starts mid-overload
+        cond = pred.predicted_tr(trace, cw, DayType.WEEKDAY)
+        uncond = pred.predicted_tr(
+            trace, cw, DayType.WEEKDAY, condition_on_operational_start=False
+        )
+        assert cond.n_days < uncond.n_days or cond.n_days == 0
+
+    def test_step_multiple_reduces_cost_same_ballpark(self, long_trace):
+        cw = ClockWindow.from_hours(10, 2)
+        fine = TimeSeriesTRPredictor(lambda: Last()).predicted_tr(
+            long_trace, cw, DayType.WEEKDAY
+        )
+        coarse = TimeSeriesTRPredictor(lambda: Last(), step_multiple=10).predicted_tr(
+            long_trace, cw, DayType.WEEKDAY
+        )
+        assert coarse.value == pytest.approx(fine.value, abs=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesTRPredictor(lambda: Last(), step_multiple=0)
+
+    def test_arma_runs_on_synthetic(self, long_trace):
+        pred = TimeSeriesTRPredictor(lambda: Arma(8, 8), step_multiple=10)
+        res = pred.predicted_tr(long_trace, ClockWindow.from_hours(9, 2), DayType.WEEKDAY)
+        assert 0.0 <= res.value <= 1.0
+        assert res.n_days > 0

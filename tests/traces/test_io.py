@@ -1,0 +1,90 @@
+"""Tests for trace persistence (NPZ and CSV round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_npz,
+    load_traceset,
+    save_trace_csv,
+    save_trace_npz,
+    save_traceset,
+)
+from repro.traces.synthesis import synthesize_testbed, synthesize_trace
+from repro.traces.trace import MachineTrace
+
+
+@pytest.fixture()
+def small_trace():
+    return synthesize_trace("io-test", n_days=1, sample_period=300.0, seed=0)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_exact(self, small_trace, tmp_path):
+        path = save_trace_npz(small_trace, tmp_path / "t.npz")
+        loaded = load_trace_npz(path)
+        assert loaded.machine_id == small_trace.machine_id
+        assert loaded.start_time == small_trace.start_time
+        assert loaded.sample_period == small_trace.sample_period
+        assert np.array_equal(loaded.load, small_trace.load)
+        assert np.array_equal(loaded.free_mem_mb, small_trace.free_mem_mb)
+        assert np.array_equal(loaded.up, small_trace.up)
+
+    def test_suffix_added(self, small_trace, tmp_path):
+        path = save_trace_npz(small_trace, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_version_check(self, small_trace, tmp_path):
+        path = save_trace_npz(small_trace, tmp_path / "t.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace_npz(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_exact(self, small_trace, tmp_path):
+        path = save_trace_csv(small_trace, tmp_path / "t.csv")
+        loaded = load_trace_csv(path)
+        assert loaded.machine_id == small_trace.machine_id
+        assert np.array_equal(loaded.load, small_trace.load)
+        assert np.array_equal(loaded.up, small_trace.up)
+        assert loaded.sample_period == small_trace.sample_period
+
+    def test_missing_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("time,cpu_load,free_mem_mb,up\n0.0,0.1,100.0,1\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(p)
+
+    def test_header_values(self, small_trace, tmp_path):
+        path = save_trace_csv(small_trace, tmp_path / "t.csv")
+        text = path.read_text()
+        assert text.startswith("# machine_id=io-test\n")
+        assert "# sample_period=300.0" in text
+
+
+class TestTraceSetRoundTrip:
+    def test_directory_round_trip(self, tmp_path):
+        ts = synthesize_testbed(3, n_days=1, sample_period=300.0, seed=1)
+        save_traceset(ts, tmp_path / "bed")
+        loaded = load_traceset(tmp_path / "bed")
+        assert loaded.machine_ids == ts.machine_ids
+        for mid in ts.machine_ids:
+            assert np.array_equal(loaded[mid].load, ts[mid].load)
+
+    def test_manifest_exists(self, tmp_path):
+        ts = synthesize_testbed(2, n_days=1, sample_period=300.0, seed=1)
+        d = save_traceset(ts, tmp_path / "bed")
+        assert (d / "manifest.json").exists()
+        assert (d / "lab-00.npz").exists()
+
+    def test_bad_manifest_version(self, tmp_path):
+        ts = synthesize_testbed(1, n_days=1, sample_period=300.0, seed=1)
+        d = save_traceset(ts, tmp_path / "bed")
+        (d / "manifest.json").write_text('{"format_version": 42, "machines": []}')
+        with pytest.raises(ValueError):
+            load_traceset(d)

@@ -1,0 +1,108 @@
+"""Tests for Section-7.3 noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import windows as win
+from repro.core.classifier import StateClassifier
+from repro.core.states import State
+from repro.core.windows import DayType
+from repro.traces.noise import NoiseSpec, inject_noise
+from repro.traces.stats import unavailability_events
+from repro.traces.trace import MachineTrace
+
+
+def quiet_trace(n_days=14, period=60.0):
+    n = int(n_days * win.SECONDS_PER_DAY / period)
+    return MachineTrace("q", 0.0, period, np.full(n, 0.05), np.full(n, 400.0))
+
+
+class TestNoiseSpec:
+    def test_defaults_match_paper(self):
+        spec = NoiseSpec(n_events=1)
+        assert spec.anchor == pytest.approx(8 * 3600)
+        assert spec.hold_range == (60.0, 1800.0)
+        assert spec.state is State.S3
+        assert spec.day_type is DayType.WEEKDAY
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(n_events=-1)
+        with pytest.raises(ValueError):
+            NoiseSpec(n_events=1, state=State.S1)
+        with pytest.raises(ValueError):
+            NoiseSpec(n_events=1, hold_range=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            NoiseSpec(n_events=1, hold_range=(100.0, 10.0))
+
+
+class TestInjectNoise:
+    def test_original_untouched(self):
+        tr = quiet_trace()
+        before = tr.load.copy()
+        inject_noise(tr, NoiseSpec(n_events=5), rng=0)
+        assert np.array_equal(tr.load, before)
+
+    def test_zero_events_identity(self):
+        tr = quiet_trace()
+        noisy = inject_noise(tr, NoiseSpec(n_events=0), rng=0)
+        assert np.array_equal(noisy.load, tr.load)
+
+    def test_adds_failure_events(self):
+        tr = quiet_trace()
+        clf = StateClassifier()
+        assert len(unavailability_events(tr, clf)) == 0
+        noisy = inject_noise(tr, NoiseSpec(n_events=4), rng=0)
+        events = unavailability_events(noisy, clf)
+        assert 1 <= len(events) <= 4  # same-day injections may merge
+        assert all(e.state is State.S3 for e in events)
+
+    def test_events_near_anchor_on_weekdays(self):
+        tr = quiet_trace(n_days=28)
+        noisy = inject_noise(tr, NoiseSpec(n_events=10), rng=1)
+        for e in unavailability_events(noisy, StateClassifier()):
+            assert win.day_type(win.day_index(e.start)) is DayType.WEEKDAY
+            tod = win.time_of_day(e.start)
+            assert 8 * 3600 - 60 <= tod <= 8 * 3600 + 700
+
+    def test_hold_range_respected(self):
+        tr = quiet_trace(n_days=28)
+        noisy = inject_noise(tr, NoiseSpec(n_events=8), rng=2)
+        for e in unavailability_events(noisy, StateClassifier()):
+            assert 60.0 - 60.0 <= e.duration <= 1800.0 + 2 * 60.0  # sample rounding
+
+    def test_s5_injection(self):
+        tr = quiet_trace()
+        noisy = inject_noise(tr, NoiseSpec(n_events=3, state=State.S5), rng=0)
+        assert (~noisy.up).sum() > 0
+        events = unavailability_events(noisy, StateClassifier())
+        assert all(e.state is State.S5 for e in events)
+
+    def test_s4_injection(self):
+        tr = quiet_trace()
+        noisy = inject_noise(tr, NoiseSpec(n_events=3, state=State.S4), rng=0)
+        events = unavailability_events(noisy, StateClassifier())
+        assert events and all(e.state is State.S4 for e in events)
+
+    def test_weekend_target(self):
+        tr = quiet_trace(n_days=14)
+        noisy = inject_noise(
+            tr, NoiseSpec(n_events=5, day_type=DayType.WEEKEND), rng=3
+        )
+        for e in unavailability_events(noisy, StateClassifier()):
+            assert win.day_type(win.day_index(e.start)) is DayType.WEEKEND
+
+    def test_determinism(self):
+        tr = quiet_trace()
+        a = inject_noise(tr, NoiseSpec(n_events=5), rng=7)
+        b = inject_noise(tr, NoiseSpec(n_events=5), rng=7)
+        assert np.array_equal(a.load, b.load)
+
+    def test_no_eligible_days_rejected(self):
+        # A weekend-only trace cannot receive weekday noise.
+        n = int(2 * win.SECONDS_PER_DAY / 60.0)
+        tr = MachineTrace(
+            "we", 5 * win.SECONDS_PER_DAY, 60.0, np.full(n, 0.05), np.full(n, 400.0)
+        )
+        with pytest.raises(ValueError):
+            inject_noise(tr, NoiseSpec(n_events=1), rng=0)

@@ -1,0 +1,82 @@
+"""Tests for trace resampling."""
+
+import numpy as np
+import pytest
+
+from repro.traces.resample import align_periods, downsample
+from repro.traces.trace import MachineTrace
+
+
+def make_trace(load, mem=None, up=None, period=6.0):
+    load = np.asarray(load, dtype=float)
+    mem = np.full(load.shape, 400.0) if mem is None else np.asarray(mem, dtype=float)
+    up = np.ones(load.shape, bool) if up is None else np.asarray(up, dtype=bool)
+    return MachineTrace("r", 0.0, period, load, mem, up)
+
+
+class TestDownsample:
+    def test_identity(self):
+        tr = make_trace([0.1, 0.2])
+        assert downsample(tr, 1) is tr
+
+    def test_load_averaged(self):
+        tr = make_trace([0.2, 0.4, 0.6, 0.8])
+        out = downsample(tr, 2)
+        assert list(out.load) == pytest.approx([0.3, 0.7])
+        assert out.sample_period == 12.0
+        assert out.n_samples == 2
+
+    def test_memory_takes_minimum(self):
+        tr = make_trace([0.1] * 4, mem=[400.0, 50.0, 300.0, 200.0])
+        out = downsample(tr, 2)
+        assert list(out.free_mem_mb) == [50.0, 200.0]
+
+    def test_down_never_hidden(self):
+        tr = make_trace([0.1] * 4, up=[True, False, True, True])
+        out = downsample(tr, 2)
+        assert list(out.up) == [False, True]
+
+    def test_remainder_dropped(self):
+        tr = make_trace([0.1] * 7)
+        out = downsample(tr, 3)
+        assert out.n_samples == 2
+
+    def test_validation(self):
+        tr = make_trace([0.1, 0.2])
+        with pytest.raises(ValueError):
+            downsample(tr, 0)
+        with pytest.raises(ValueError):
+            downsample(tr, 5)
+
+    def test_failure_condition_survives_coarsening(self):
+        # A thrashing sample must still classify as S4 after coarsening.
+        from repro.core.classifier import StateClassifier
+
+        tr = make_trace([0.05] * 10, mem=[400.0] * 4 + [10.0] + [400.0] * 5)
+        coarse = downsample(tr, 5)
+        states = StateClassifier().classify_trace(coarse)
+        assert 4 in states
+
+
+class TestAlignPeriods:
+    def test_already_aligned(self):
+        a = make_trace([0.1] * 4)
+        b = make_trace([0.2] * 4)
+        ra, rb = align_periods(a, b)
+        assert ra is a and rb is b
+
+    def test_fine_trace_coarsened(self):
+        fine = make_trace([0.1] * 10, period=6.0)
+        coarse = make_trace([0.2] * 2, period=30.0)
+        ra, rb = align_periods(fine, coarse)
+        assert ra.sample_period == 30.0
+        assert rb is coarse
+        # Argument order preserved.
+        rb2, ra2 = align_periods(coarse, fine)
+        assert rb2 is coarse and ra2.sample_period == 30.0
+
+    def test_non_multiple_rejected(self):
+        a = make_trace([0.1] * 10, period=6.0)
+        b = make_trace([0.2] * 10, period=10.0)
+        with pytest.raises(ValueError):
+            align_periods(a, b)

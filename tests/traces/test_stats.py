@@ -1,0 +1,123 @@
+"""Tests for trace statistics and events extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import windows as win
+from repro.core.classifier import StateClassifier
+from repro.core.states import State
+from repro.traces.events import StateVisit, UnavailabilityEvent
+from repro.traces.stats import (
+    daily_pattern_correlation,
+    hourly_mean_load,
+    summarize_trace,
+    unavailability_events,
+)
+from repro.traces.trace import MachineTrace
+
+
+def trace_from_loads(load, period=60.0, mem=None, up=None):
+    load = np.asarray(load, dtype=float)
+    mem = np.full(load.shape, 400.0) if mem is None else np.asarray(mem, dtype=float)
+    up = np.ones(load.shape, bool) if up is None else np.asarray(up, dtype=bool)
+    return MachineTrace("s", 0.0, period, load, mem, up)
+
+
+class TestEventTypes:
+    def test_unavailability_event_validation(self):
+        with pytest.raises(ValueError):
+            UnavailabilityEvent(start=0.0, end=10.0, state=State.S1)
+        with pytest.raises(ValueError):
+            UnavailabilityEvent(start=10.0, end=10.0, state=State.S3)
+        e = UnavailabilityEvent(start=0.0, end=60.0, state=State.S5)
+        assert e.duration == 60.0
+
+    def test_state_visit_validation(self):
+        with pytest.raises(ValueError):
+            StateVisit(state=State.S1, start_index=0, length=0)
+        with pytest.raises(ValueError):
+            StateVisit(state=State.S1, start_index=-1, length=2)
+
+
+class TestUnavailabilityEvents:
+    def test_no_events_in_quiet_trace(self):
+        tr = trace_from_loads([0.05] * 100)
+        assert unavailability_events(tr) == []
+
+    def test_one_s3_event(self):
+        load = [0.05] * 10 + [0.95] * 5 + [0.05] * 10
+        tr = trace_from_loads(load, period=60.0)
+        events = unavailability_events(tr)
+        assert len(events) == 1
+        e = events[0]
+        assert e.state is State.S3
+        assert e.start == pytest.approx(600.0)
+        assert e.duration == pytest.approx(300.0)
+
+    def test_adjacent_distinct_failures_separate(self):
+        # S3 flowing straight into a reboot: two events.
+        load = [0.05] * 5 + [0.95] * 5 + [0.0] * 5 + [0.05] * 5
+        up = [True] * 10 + [False] * 5 + [True] * 5
+        tr = trace_from_loads(load, period=60.0, up=up)
+        events = unavailability_events(tr)
+        assert [e.state for e in events] == [State.S3, State.S5]
+
+    def test_transient_spike_not_an_event(self):
+        # 30 s spike at 6 s sampling: absorbed, no event.
+        load = [0.05] * 20 + [0.95] * 5 + [0.05] * 20
+        tr = trace_from_loads(load, period=6.0)
+        assert unavailability_events(tr) == []
+
+
+class TestSummaries:
+    def test_summary_counts(self):
+        load = [0.05] * 30 + [0.95] * 10 + [0.05] * 30
+        mem = [400.0] * 50 + [50.0] * 10 + [400.0] * 10
+        tr = trace_from_loads(load, period=60.0, mem=mem)
+        s = summarize_trace(tr)
+        assert s.n_events == 2
+        assert s.n_s3 == 1 and s.n_s4 == 1 and s.n_s5 == 0
+        assert s.breakdown() == {"S3": 1, "S4": 1, "S5": 0}
+        assert 0.0 < s.availability < 1.0
+
+    def test_mean_load_excludes_down(self):
+        load = [0.4] * 10 + [0.0] * 10
+        up = [True] * 10 + [False] * 10
+        tr = trace_from_loads(load, period=60.0, up=up)
+        assert summarize_trace(tr).mean_load == pytest.approx(0.4)
+
+
+class TestHourlyLoad:
+    def test_constant_day(self):
+        n = int(win.SECONDS_PER_DAY / 60.0)
+        tr = trace_from_loads([0.3] * n, period=60.0)
+        hourly = hourly_mean_load(tr, 0)
+        assert np.allclose(hourly, 0.3)
+
+    def test_down_hour_is_nan(self):
+        n = int(win.SECONDS_PER_DAY / 60.0)
+        up = np.ones(n, bool)
+        up[0:60] = False  # hour 0 fully down
+        tr = trace_from_loads(np.full(n, 0.3) * up, period=60.0, up=up)
+        hourly = hourly_mean_load(tr, 0)
+        assert np.isnan(hourly[0])
+        assert hourly[1] == pytest.approx(0.3)
+
+
+class TestPatternCorrelation:
+    def test_identical_days_correlate(self):
+        n_day = int(win.SECONDS_PER_DAY / 300.0)
+        day = np.clip(np.sin(np.linspace(0, np.pi, n_day)) * 0.5, 0, 1)
+        tr = trace_from_loads(np.tile(day, 2), period=300.0)
+        assert daily_pattern_correlation(tr, 0, 1) == pytest.approx(1.0)
+
+    def test_constant_day_is_nan(self):
+        n_day = int(win.SECONDS_PER_DAY / 300.0)
+        tr = trace_from_loads(np.full(2 * n_day, 0.3), period=300.0)
+        assert np.isnan(daily_pattern_correlation(tr, 0, 1))
+
+    def test_inverted_days_anticorrelate(self):
+        n_day = int(win.SECONDS_PER_DAY / 300.0)
+        ramp = np.linspace(0.0, 0.8, n_day)
+        tr = trace_from_loads(np.concatenate([ramp, ramp[::-1]]), period=300.0)
+        assert daily_pattern_correlation(tr, 0, 1) < -0.9

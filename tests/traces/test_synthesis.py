@@ -1,0 +1,178 @@
+"""Tests for the synthetic workload generator and its calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import StateClassifier
+from repro.core.windows import DayType
+from repro.traces.profiles import MachineProfile, office_desktop, server_room, student_lab
+from repro.traces.stats import (
+    daily_pattern_correlation,
+    hourly_mean_load,
+    summarize_trace,
+    unavailability_events,
+)
+from repro.traces.synthesis import SynthesisConfig, synthesize_testbed, synthesize_trace
+
+
+class TestProfiles:
+    def test_presets_construct(self):
+        for factory in (student_lab, office_desktop, server_room):
+            prof = factory()
+            assert len(prof.weekday_hourly) == 24
+            assert len(prof.weekend_hourly) == 24
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            MachineProfile(name="bad", weekday_hourly=(0.5,) * 23, weekend_hourly=(0.5,) * 24)
+
+    def test_ram_validation(self):
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="bad",
+                weekday_hourly=(0.5,) * 24,
+                weekend_hourly=(0.5,) * 24,
+                ram_mb=64.0,
+                kernel_mem_mb=96.0,
+            )
+
+    def test_jitter_produces_different_profile(self):
+        rng = np.random.default_rng(0)
+        base = student_lab()
+        jittered = base.with_jitter(rng)
+        assert jittered.sessions_per_day != base.sessions_per_day
+        assert jittered.weekday_hourly != base.weekday_hourly
+
+    def test_student_lab_diurnal_shape(self):
+        prof = student_lab()
+        wd = prof.hourly(weekend=False)
+        # Afternoon is the peak; 3-4 am is near dead.
+        assert wd[15] > 0.8
+        assert wd[3] < 0.1
+        # Weekends are quieter than weekdays at peak hours.
+        assert prof.hourly(True)[15] < wd[15]
+
+
+class TestSynthesisConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(n_days=0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(sample_period=0.0)
+        with pytest.raises(ValueError):
+            SynthesisConfig(start_day=-1)
+        with pytest.raises(ValueError):
+            SynthesisConfig(machine_jitter=-0.5)
+
+
+class TestSynthesizeTrace:
+    def test_shape_and_range(self, short_trace):
+        assert short_trace.n_days == 14
+        assert short_trace.sample_period == 30.0
+        assert short_trace.load.min() >= 0.0
+        assert short_trace.load.max() <= 1.0
+        assert short_trace.free_mem_mb.min() >= 0.0
+
+    def test_determinism(self):
+        a = synthesize_trace("m", n_days=3, sample_period=60.0, seed=9)
+        b = synthesize_trace("m", n_days=3, sample_period=60.0, seed=9)
+        assert np.array_equal(a.load, b.load)
+        assert np.array_equal(a.up, b.up)
+
+    def test_seed_changes_trace(self):
+        a = synthesize_trace("m", n_days=3, sample_period=60.0, seed=1)
+        b = synthesize_trace("m", n_days=3, sample_period=60.0, seed=2)
+        assert not np.array_equal(a.load, b.load)
+
+    def test_down_periods_have_zero_load(self, short_trace):
+        assert short_trace.load[~short_trace.up].sum() == 0.0
+        assert short_trace.free_mem_mb[~short_trace.up].sum() == 0.0
+
+    def test_has_some_revocations(self, short_trace):
+        assert (~short_trace.up).sum() > 0
+
+    def test_diurnal_pattern_present(self, long_trace):
+        # Weekday afternoons must be busier than weekday nights on average.
+        wd = long_trace.days(DayType.WEEKDAY)
+        hourly = np.nanmean([hourly_mean_load(long_trace, d) for d in wd], axis=0)
+        assert hourly[14] > 3.0 * hourly[3]
+
+    def test_weekend_quieter_than_weekday(self, long_trace):
+        wd = np.nanmean(
+            [hourly_mean_load(long_trace, d).mean() for d in long_trace.days(DayType.WEEKDAY)]
+        )
+        we = np.nanmean(
+            [hourly_mean_load(long_trace, d).mean() for d in long_trace.days(DayType.WEEKEND)]
+        )
+        assert we < wd
+
+    def test_start_day_offsets_trace(self):
+        tr = synthesize_trace("m", n_days=2, sample_period=60.0, start_day=3, seed=0)
+        assert tr.first_day == 3
+        assert tr.last_day == 5
+
+    def test_profile_selection(self):
+        tr = synthesize_trace(
+            "srv", n_days=3, sample_period=60.0, profile=server_room(), seed=0,
+            machine_jitter=0.0,
+        )
+        # Server room: higher RAM means much more free memory.
+        assert np.median(tr.free_mem_mb[tr.up]) > 800.0
+
+
+class TestCalibration:
+    """The TRACE experiment: synthetic testbed vs the paper's statistics."""
+
+    def test_unavailability_count_in_paper_band(self):
+        # Paper: 405-453 events per machine over 3 months.  Allow a wider
+        # band per machine, but require the right order of magnitude.
+        tr = synthesize_trace("cal", n_days=90, seed=3, machine_jitter=0.10)
+        s = summarize_trace(tr)
+        assert 250 <= s.n_events <= 650
+
+    def test_event_mix(self):
+        tr = synthesize_trace("cal", n_days=90, seed=3, machine_jitter=0.10)
+        s = summarize_trace(tr)
+        # CPU contention dominates; thrashing and revocation both occur.
+        assert s.n_s3 > s.n_s4 > 0
+        assert s.n_s5 > 0
+
+    def test_daily_patterns_comparable(self):
+        # The paper's premise: same-type days correlate.
+        tr = synthesize_trace("cal", n_days=28, sample_period=60.0, seed=5)
+        wd = tr.days(DayType.WEEKDAY)
+        corr = [
+            daily_pattern_correlation(tr, a, b)
+            for a, b in zip(wd, wd[1:])
+        ]
+        assert np.nanmean(corr) > 0.2
+
+    def test_events_cluster_in_busy_hours(self):
+        tr = synthesize_trace("cal", n_days=28, sample_period=60.0, seed=5)
+        events = unavailability_events(tr, StateClassifier())
+        from repro.core.windows import time_of_day
+
+        hours = np.array([time_of_day(e.start) / 3600.0 for e in events])
+        busy = ((hours >= 9) & (hours <= 22)).mean()
+        assert busy > 0.7  # the paper injects noise at 8:00 because it is rare there
+
+
+class TestSynthesizeTestbed:
+    def test_machine_count_and_ids(self, testbed):
+        assert len(testbed) == 3
+        assert testbed.machine_ids == ["lab-00", "lab-01", "lab-02"]
+
+    def test_machines_differ(self, testbed):
+        a = testbed["lab-00"]
+        b = testbed["lab-01"]
+        assert not np.array_equal(a.load, b.load)
+
+    def test_determinism(self):
+        x = synthesize_testbed(2, n_days=2, sample_period=60.0, seed=4)
+        y = synthesize_testbed(2, n_days=2, sample_period=60.0, seed=4)
+        for mid in x.machine_ids:
+            assert np.array_equal(x[mid].load, y[mid].load)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            synthesize_testbed(0)

@@ -1,0 +1,224 @@
+"""Tests for trace containers and window/day slicing."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY, AbsoluteWindow, ClockWindow, DayType
+from repro.traces.trace import MachineTrace, TraceSet
+
+
+def make_trace(n_days=4, period=60.0, start_day=0):
+    n = int(n_days * SECONDS_PER_DAY / period)
+    rng = np.random.default_rng(0)
+    return MachineTrace(
+        machine_id="m0",
+        start_time=start_day * SECONDS_PER_DAY,
+        sample_period=period,
+        load=rng.random(n) * 0.5,
+        free_mem_mb=np.full(n, 300.0),
+        up=np.ones(n, bool),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tr = make_trace(n_days=3, period=60.0)
+        assert tr.n_samples == 3 * 1440
+        assert tr.duration == pytest.approx(3 * SECONDS_PER_DAY)
+        assert tr.end_time == pytest.approx(3 * SECONDS_PER_DAY)
+
+    def test_default_up(self):
+        tr = MachineTrace("m", 0.0, 6.0, np.zeros(10), np.zeros(10))
+        assert tr.up.all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MachineTrace("m", 0.0, 6.0, np.zeros(10), np.zeros(9))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            MachineTrace("m", 0.0, 6.0, np.zeros((5, 2)), np.zeros((5, 2)))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            MachineTrace("m", 0.0, 0.0, np.zeros(5), np.zeros(5))
+
+    def test_rejects_out_of_range_load(self):
+        with pytest.raises(ValueError):
+            MachineTrace("m", 0.0, 6.0, np.array([1.2]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            MachineTrace("m", 0.0, 6.0, np.array([-0.2]), np.array([0.0]))
+
+    def test_times(self):
+        tr = MachineTrace("m", 100.0, 6.0, np.zeros(3), np.zeros(3))
+        assert list(tr.times()) == [100.0, 106.0, 112.0]
+
+    def test_index_of(self):
+        tr = make_trace()
+        assert tr.index_of(0.0) == 0
+        assert tr.index_of(59.9) == 0
+        assert tr.index_of(60.0) == 1
+        with pytest.raises(IndexError):
+            tr.index_of(-1.0)
+        with pytest.raises(IndexError):
+            tr.index_of(tr.end_time + 1.0)
+
+
+class TestDays:
+    def test_full_days(self):
+        tr = make_trace(n_days=4)
+        assert tr.first_day == 0
+        assert tr.last_day == 4
+        assert tr.n_days == 4
+        assert tr.days() == [0, 1, 2, 3]
+
+    def test_day_type_filter(self):
+        tr = make_trace(n_days=14)
+        assert len(tr.days(DayType.WEEKDAY)) == 10
+        assert tr.days(DayType.WEEKEND) == [5, 6, 12, 13]
+
+    def test_partial_start_day_excluded(self):
+        # Starts at noon of day 0: day 0 is not fully covered.
+        n = int(1.5 * SECONDS_PER_DAY / 60.0)
+        tr = MachineTrace("m", SECONDS_PER_DAY / 2, 60.0, np.zeros(n), np.zeros(n))
+        assert tr.first_day == 1
+        assert tr.n_days == 1
+
+
+class TestWindowAccess:
+    def test_window_view_shape(self):
+        tr = make_trace()
+        view = tr.window_view(ClockWindow.from_hours(8, 2).on_day(1))
+        assert view.n_samples == 120  # 2 h at 60 s
+        assert view.sample_period == 60.0
+
+    def test_window_view_is_view(self):
+        tr = make_trace()
+        view = tr.window_view(ClockWindow.from_hours(0, 1).on_day(0))
+        assert view.load.base is tr.load
+
+    def test_window_view_values(self):
+        tr = make_trace()
+        aw = AbsoluteWindow(3600.0, 600.0)
+        view = tr.window_view(aw)
+        i0 = tr.index_of(3600.0)
+        assert np.array_equal(view.load, tr.load[i0 : i0 + 10])
+
+    def test_out_of_range_window_rejected(self):
+        tr = make_trace(n_days=2)
+        with pytest.raises(IndexError):
+            tr.window_view(ClockWindow.from_hours(23, 2).on_day(1))
+
+    def test_covers(self):
+        tr = make_trace(n_days=2)
+        assert tr.covers(AbsoluteWindow(0.0, SECONDS_PER_DAY))
+        assert not tr.covers(AbsoluteWindow(SECONDS_PER_DAY, SECONDS_PER_DAY + 60))
+
+    def test_day_view(self):
+        tr = make_trace()
+        view = tr.day_view(2)
+        assert view.n_samples == 1440
+
+
+class TestSplitting:
+    def test_slice_days(self):
+        tr = make_trace(n_days=6)
+        sub = tr.slice_days(2, 4)
+        assert sub.first_day == 2 and sub.last_day == 4
+        assert sub.load.base is tr.load  # shares storage
+
+    def test_slice_days_validation(self):
+        tr = make_trace(n_days=4)
+        with pytest.raises(ValueError):
+            tr.slice_days(2, 2)
+        with pytest.raises(ValueError):
+            tr.slice_days(0, 5)
+
+    def test_split_by_ratio_halves(self):
+        tr = make_trace(n_days=10)
+        a, b = tr.split_by_ratio(0.5)
+        assert a.n_days == 5 and b.n_days == 5
+        assert a.last_day == b.first_day
+
+    def test_split_by_ratio_uneven(self):
+        tr = make_trace(n_days=10)
+        a, b = tr.split_by_ratio(0.6)
+        assert a.n_days == 6 and b.n_days == 4
+
+    def test_split_always_leaves_a_day(self):
+        tr = make_trace(n_days=2)
+        a, b = tr.split_by_ratio(0.99)
+        assert a.n_days == 1 and b.n_days == 1
+
+    def test_split_validation(self):
+        tr = make_trace(n_days=4)
+        with pytest.raises(ValueError):
+            tr.split_by_ratio(0.0)
+        with pytest.raises(ValueError):
+            tr.split_by_ratio(1.0)
+
+    def test_split_single_day_rejected(self):
+        tr = make_trace(n_days=1)
+        with pytest.raises(ValueError):
+            tr.split_by_ratio(0.5)
+
+    def test_split_preserves_samples(self):
+        tr = make_trace(n_days=4)
+        a, b = tr.split_by_ratio(0.5)
+        rejoined = np.concatenate([a.load, b.load])
+        assert np.array_equal(rejoined, tr.load)
+
+
+class TestTraceSet:
+    def test_add_and_lookup(self):
+        ts = TraceSet([make_trace()])
+        assert len(ts) == 1
+        assert "m0" in ts
+        assert ts["m0"].machine_id == "m0"
+        assert ts.machine_ids == ["m0"]
+
+    def test_duplicate_rejected(self):
+        ts = TraceSet([make_trace()])
+        with pytest.raises(KeyError):
+            ts.add(make_trace())
+
+    def test_iteration_order(self):
+        a = make_trace()
+        b = MachineTrace("m1", 0.0, 60.0, np.zeros(10), np.zeros(10))
+        ts = TraceSet([a, b])
+        assert [t.machine_id for t in ts] == ["m0", "m1"]
+
+    def test_split_by_ratio(self):
+        ts = TraceSet([make_trace(n_days=10)])
+        train, test = ts.split_by_ratio(0.5)
+        assert train["m0"].n_days == 5
+        assert test["m0"].n_days == 5
+
+
+class TestConcat:
+    def test_round_trip_with_slice(self):
+        tr = make_trace(n_days=6)
+        a, b = tr.split_by_ratio(0.5)
+        joined = a.concat(b)
+        assert np.array_equal(joined.load, tr.load)
+        assert np.array_equal(joined.up, tr.up)
+        assert joined.n_days == 6
+
+    def test_rejects_different_machine(self):
+        a = make_trace(n_days=2)
+        b = MachineTrace("other", a.end_time, 60.0,
+                         np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_rejects_different_period(self):
+        a = make_trace(n_days=2)
+        b = MachineTrace("m0", a.end_time, 30.0, np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_rejects_gap(self):
+        a = make_trace(n_days=2)
+        b = MachineTrace("m0", a.end_time + 600.0, 60.0, np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            a.concat(b)
