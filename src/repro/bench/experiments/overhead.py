@@ -14,6 +14,7 @@ from repro.bench.harness import ExperimentResult, ResultTable
 from repro.core.estimator import EstimatorConfig
 from repro.core.predictor import TemporalReliabilityPredictor
 from repro.core.windows import ClockWindow, DayType, SECONDS_PER_DAY
+from repro.obs.instruments import instrument
 from repro.sim.engine import SimulationEngine
 from repro.sim.machine import HostMachine
 from repro.sim.monitor import ResourceMonitor
@@ -34,12 +35,18 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
         sim_days = 7.0
 
     # --- monitoring overhead ------------------------------------------ #
+    # The CPU cost is read back from the metrics registry (delta across
+    # the run), so this experiment verifies the same counter a production
+    # scrape of the Sec. 5.2 "< 1% CPU" claim would alert on.
+    cost_counter = instrument("monitor_cpu_cost_seconds_total")
+    cost_before = cost_counter.value
     engine = SimulationEngine(start_time=trace.start_time)
     monitor = ResourceMonitor(HostMachine(trace), engine, period=monitor_period)
     monitor.start()
     engine.run_until(trace.start_time + sim_days * SECONDS_PER_DAY)
     elapsed = engine.now - trace.start_time
-    mon_overhead = monitor.overhead_fraction(elapsed)
+    mon_cpu_seconds = cost_counter.value - cost_before
+    mon_overhead = mon_cpu_seconds / elapsed if elapsed > 0.0 else 0.0
 
     # --- prediction overhead on a 10 h job ----------------------------- #
     predictor = TemporalReliabilityPredictor(
@@ -62,4 +69,5 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
     result.notes["monitor_overhead_pct"] = mon_overhead * 100
     result.notes["prediction_job_overhead_pct"] = job_overhead * 100
     result.notes["samples_taken"] = monitor.samples_taken
+    result.notes["monitor_cpu_cost_seconds"] = mon_cpu_seconds
     return result

@@ -9,11 +9,15 @@ a run is directly comparable against the paper.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["ResultTable", "ExperimentResult"]
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+
+__all__ = ["ResultTable", "ExperimentResult", "run_instrumented"]
 
 
 def _fmt(value: Any) -> str:
@@ -107,3 +111,37 @@ class ExperimentResult:
     def print(self) -> None:
         """Print the result to stdout."""
         print(self.format(), flush=True)
+
+
+def run_instrumented(
+    name: str, module: Any, scale: str = "quick", *, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment module, publishing telemetry about the run.
+
+    Wall time lands in ``experiment_wall_seconds{experiment=...}``, the
+    produced table-row count in ``experiment_result_rows``, and the
+    outcome in ``experiment_runs_total{status=ok|error}``.  A failing
+    experiment additionally emits an ``experiment_failed`` event before
+    the exception propagates to the caller (the CLI turns it into a
+    non-zero exit).
+    """
+    t0 = time.perf_counter()
+    try:
+        result = module.run(scale, seed=seed)
+    except Exception as exc:
+        instrument("experiment_runs_total").labels(experiment=name, status="error").inc()
+        get_event_log().emit(
+            "experiment_failed",
+            severity="error",
+            experiment=name,
+            scale=scale,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        raise
+    elapsed = time.perf_counter() - t0
+    instrument("experiment_runs_total").labels(experiment=name, status="ok").inc()
+    instrument("experiment_wall_seconds").labels(experiment=name).observe(elapsed)
+    instrument("experiment_result_rows").labels(experiment=name).set(
+        sum(len(t.rows) for t in result.tables)
+    )
+    return result

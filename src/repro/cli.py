@@ -8,8 +8,14 @@ Usage::
     repro-fgcs run all --out results/       # everything, tables to CSV
     repro-fgcs synthesize --machines 8 --days 90 --out traces/
     repro-fgcs predict --trace traces/lab-00.npz --start-hour 8 --hours 5
+    repro-fgcs obs --format prometheus      # dump the metrics snapshot
 
 (Equivalently: ``python -m repro ...``.)
+
+``run`` and ``predict`` write the process's metrics registry to a JSON
+snapshot as they exit (``--metrics-out``, default ``.repro-metrics.json``
+in the working directory); ``obs`` renders that snapshot as a human
+table or as the Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -20,6 +26,10 @@ import time
 from pathlib import Path
 
 __all__ = ["main"]
+
+#: Mirror of repro.obs.export.DEFAULT_SNAPSHOT_PATH, kept literal so
+#: building the parser stays import-light.
+_DEFAULT_SNAPSHOT = ".repro-metrics.json"
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -33,8 +43,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(path: str) -> None:
+    """Persist the full instrument catalog (plus recorded values) to disk."""
+    from repro.obs import ensure_all_registered, write_snapshot
+
+    ensure_all_registered()
+    write_snapshot(path)
+    print(f"[metrics snapshot written to {path}]")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import traceback
+
     from repro.bench.experiments import REGISTRY
+    from repro.bench.harness import run_instrumented
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in REGISTRY]
@@ -42,9 +64,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: all, {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    failed: list[str] = []
     for name in names:
         t0 = time.perf_counter()
-        result = REGISTRY[name].run(args.scale, seed=args.seed)
+        try:
+            result = run_instrumented(name, REGISTRY[name], args.scale, seed=args.seed)
+        except Exception:
+            # run_instrumented already counted the failure and emitted the
+            # experiment_failed event; report and keep going so one broken
+            # experiment does not hide the others' results.
+            print(f"[{name} FAILED]", file=sys.stderr)
+            traceback.print_exc()
+            failed.append(name)
+            continue
         result.print()
         print(f"\n[{name} finished in {time.perf_counter() - t0:.1f} s]\n")
         if args.out:
@@ -53,6 +85,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 slug = table.title.lower().replace(" ", "_").replace(":", "")[:60]
                 table.to_csv(out / f"{name}_{i}_{slug}.csv")
             print(f"[tables written to {out}/]")
+    _write_metrics(args.metrics_out)
+    if failed:
+        print(f"failed experiment(s): {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -100,6 +136,34 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     )
     print(f"cost:       {res.total_seconds * 1000:.1f} ms "
           f"(estimation {res.estimation_seconds * 1000:.1f} ms)")
+    _write_metrics(args.metrics_out)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        ensure_all_registered,
+        read_snapshot,
+        render_prometheus,
+        render_table,
+    )
+
+    path = Path(args.metrics_in)
+    if path.exists():
+        registry = read_snapshot(path)
+    else:
+        # No snapshot yet: render the instrument catalog, zero-valued, so
+        # dashboards and smoke tests see the full schema either way.
+        print(
+            f"[no snapshot at {path}; rendering the empty instrument catalog — "
+            "run 'repro-fgcs run' or 'repro-fgcs predict' first]",
+            file=sys.stderr,
+        )
+        from repro.obs import MetricsRegistry
+
+        registry = ensure_all_registered(MetricsRegistry())
+    render = render_prometheus if args.format == "prometheus" else render_table
+    print(render(registry), end="")
     return 0
 
 
@@ -120,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="quick: minutes; full: paper-scale (default: quick)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--out", help="directory to also write result tables as CSV")
+    run.add_argument("--metrics-out", default=_DEFAULT_SNAPSHOT,
+                     help="metrics snapshot path (default: %(default)s)")
     run.set_defaults(func=_cmd_run)
 
     synth = sub.add_parser("synthesize", help="generate a synthetic testbed")
@@ -141,7 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="predict for weekends instead of weekdays")
     pred.add_argument("--step-multiple", type=int, default=10,
                       help="SMP step as a multiple of the monitoring period")
+    pred.add_argument("--metrics-out", default=_DEFAULT_SNAPSHOT,
+                      help="metrics snapshot path (default: %(default)s)")
     pred.set_defaults(func=_cmd_predict)
+
+    obs = sub.add_parser("obs", help="render the metrics snapshot")
+    obs.add_argument("--format", choices=("table", "prometheus"), default="table",
+                     help="output format (default: table)")
+    obs.add_argument("--metrics-in", default=_DEFAULT_SNAPSHOT,
+                     help="snapshot to render (default: %(default)s)")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

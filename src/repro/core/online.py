@@ -20,6 +20,7 @@ for the same machine id requires :meth:`invalidate`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,13 +37,18 @@ from repro.core.smp import (
 )
 from repro.core.states import State
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.obs.instruments import instrument
 from repro.traces.trace import MachineTrace
 
 __all__ = ["IncrementalPredictor"]
 
 
-def _clock_key(clock: ClockWindow) -> tuple[int, int]:
-    return (int(round(clock.start)), int(round(clock.duration)))
+def _clock_key(clock: ClockWindow) -> tuple[float, float]:
+    # Exact floats: rounding to whole seconds made distinct sub-second
+    # windows (e.g. starts 0.2 s apart) share — and corrupt — one cache
+    # entry.  Floats hash fine and day-observation extraction is a pure
+    # function of the exact (start, duration) pair.
+    return (clock.start, clock.duration)
 
 
 @dataclass
@@ -77,10 +83,15 @@ class IncrementalPredictor:
     def invalidate(self, machine_id: str | None = None) -> None:
         """Drop cached observations (for one machine, or all)."""
         if machine_id is None:
+            dropped = len(self._caches)
             self._caches.clear()
         else:
-            for key in [k for k in self._caches if k[0] == machine_id]:
+            keys = [k for k in self._caches if k[0] == machine_id]
+            dropped = len(keys)
+            for key in keys:
                 del self._caches[key]
+        if dropped:
+            instrument("incremental_cache_invalidations_total").inc(dropped)
 
     # ------------------------------------------------------------------ #
 
@@ -116,14 +127,22 @@ class IncrementalPredictor:
             key, _WindowCache(per_day_obs={}, per_day_init={})
         )
         days = self.estimator.history_days(trace, clock, dtype)
+        hits = misses = 0
         for day in days:
             if day in cache.per_day_obs:
-                self.days_reused += 1
+                hits += 1
                 continue
             obs, init = self._day_entry(trace, clock, day)
             cache.per_day_obs[day] = obs
             cache.per_day_init[day] = init
-            self.days_classified += 1
+            misses += 1
+        self.days_reused += hits
+        self.days_classified += misses
+        if hits:
+            instrument("incremental_cache_hits_total").inc(hits)
+        if misses:
+            instrument("incremental_cache_misses_total").inc(misses)
+            instrument("incremental_days_classified_total").inc(misses)
         return cache, days
 
     # ------------------------------------------------------------------ #
@@ -170,6 +189,7 @@ class IncrementalPredictor:
         init_state: State | None = None,
     ) -> float:
         """Predict TR; identical semantics to the batch predictor."""
+        t0 = time.perf_counter()
         if isinstance(window, AbsoluteWindow):
             clock = window.clock_window()
             dtype = dtype or window.day_type
@@ -181,4 +201,8 @@ class IncrementalPredictor:
         kernel = self._kernel_from_cache(trace, clock, cache, days)
         if init_state is None:
             init_state = self._init_from_cache(cache, days)
-        return temporal_reliability(kernel, init_state)
+        tr = temporal_reliability(kernel, init_state)
+        instrument("tr_query_latency_seconds").labels(path="incremental").observe(
+            time.perf_counter() - t0
+        )
+        return tr

@@ -32,6 +32,7 @@ from repro.core.smp import (
 )
 from repro.core.states import State
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.obs.instruments import instrument
 
 __all__ = ["PredictionResult", "TemporalReliabilityPredictor", "max_reliable_horizon"]
 
@@ -131,6 +132,7 @@ class TemporalReliabilityPredictor:
             init_state = self.estimator.typical_initial_state(self.history, clock, dt)
         tr = temporal_reliability(kernel, init_state)
         t2 = time.perf_counter()
+        instrument("tr_query_latency_seconds").labels(path="batch").observe(t2 - t0)
         n_days = len(self.estimator.history_days(self.history, clock, dt))
         return PredictionResult(
             tr=tr,

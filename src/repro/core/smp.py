@@ -55,6 +55,7 @@ solver in tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Literal, Sequence
 
@@ -62,6 +63,7 @@ import numpy as np
 
 from repro.core.segments import run_length_encode
 from repro.core.states import FAILURE_STATES, N_STATES, State
+from repro.obs.instruments import instrument
 
 __all__ = [
     "SLOTS",
@@ -301,6 +303,7 @@ def kernel_from_observations(
         raise ValueError(f"horizon must be >= 1, got {horizon}")
     if laplace < 0.0:
         raise ValueError(f"laplace must be >= 0, got {laplace}")
+    t0 = time.perf_counter()
     for o in obs:
         if o.state not in (1, 2):
             raise ValueError(f"observations must come from S1/S2 visits, got {o.state}")
@@ -312,7 +315,9 @@ def kernel_from_observations(
         k = _kernel_counting(obs, horizon, laplace, drop_censored=(censoring == "drop"))
     else:  # pragma: no cover - guarded by Literal type
         raise ValueError(f"unknown censoring mode {censoring!r}")
-    return SmpKernel(k, step)
+    kernel = SmpKernel(k, step)
+    instrument("smp_kernel_estimation_seconds").observe(time.perf_counter() - t0)
+    return kernel
 
 
 def _slot_rows_for(src: int) -> list[tuple[int, int]]:
@@ -415,6 +420,7 @@ def failure_probabilities(kernel: SmpKernel, init_state: State | int) -> np.ndar
     if init not in (1, 2):
         raise ValueError(f"init_state must be one of S1..S5, got {init_state!r}")
 
+    t0 = time.perf_counter()
     k12 = kernel.slot(1, 2)
     k21 = kernel.slot(2, 1)
     # Direct-to-failure cumulative mass: C_i[j, m] = sum_{l<=m} K_{i,j}(l).
@@ -434,6 +440,7 @@ def failure_probabilities(kernel: SmpKernel, init_state: State | int) -> np.ndar
         p1[m] = c1[:, m] + conv1
         p2[m] = c2[:, m] + conv2
     result = p1[n] if init == 1 else p2[n]
+    instrument("smp_solve_seconds").observe(time.perf_counter() - t0)
     # Probabilities of disjoint absorbing events; clip tiny FP excursions.
     return np.clip(result, 0.0, 1.0)
 
@@ -463,6 +470,7 @@ def temporal_reliability_profile(kernel: SmpKernel, init_state: State | int) -> 
         return out
     if init not in (1, 2):
         raise ValueError(f"init_state must be one of S1..S5, got {init_state!r}")
+    t0 = time.perf_counter()
     k12 = kernel.slot(1, 2)
     k21 = kernel.slot(2, 1)
     c1 = np.cumsum(np.stack([kernel.slot(1, j) for j in _FAILURE_TARGETS]), axis=1)
@@ -478,6 +486,7 @@ def temporal_reliability_profile(kernel: SmpKernel, init_state: State | int) -> 
         p1[m] = c1[:, m] + conv1
         p2[m] = c2[:, m] + conv2
     fail = (p1 if init == 1 else p2).sum(axis=1)
+    instrument("smp_solve_seconds").observe(time.perf_counter() - t0)
     return np.clip(1.0 - fail, 0.0, 1.0)
 
 

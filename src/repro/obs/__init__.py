@@ -1,0 +1,74 @@
+"""Observability layer: metrics, spans, structured events, exposition.
+
+The runtime counterpart of the paper's measured claims (see DESIGN.md,
+"Observability"): every hot path in the service/simulation stack records
+into a process-global :class:`MetricsRegistry`, discrete occurrences go
+to the :class:`EventLog`, and :mod:`repro.obs.export` renders both the
+Prometheus text format and a human table — surfaced on the CLI as
+``repro obs`` and ``--metrics-out``.
+"""
+
+from repro.obs.events import (
+    SEVERITIES,
+    Event,
+    EventLog,
+    get_event_log,
+    reset_event_log,
+    scoped_event_log,
+    set_event_log,
+)
+from repro.obs.export import (
+    DEFAULT_SNAPSHOT_PATH,
+    read_snapshot,
+    render_prometheus,
+    render_table,
+    write_snapshot,
+)
+from repro.obs.instruments import CATALOG, ensure_all_registered, instrument
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    linear_buckets,
+    reset_registry,
+    scoped_registry,
+    set_registry,
+)
+from repro.obs.timing import Timer, span
+
+__all__ = [
+    "CATALOG",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SNAPSHOT_PATH",
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "SEVERITIES",
+    "Timer",
+    "ensure_all_registered",
+    "exponential_buckets",
+    "get_event_log",
+    "get_registry",
+    "instrument",
+    "linear_buckets",
+    "read_snapshot",
+    "render_prometheus",
+    "render_table",
+    "reset_event_log",
+    "reset_registry",
+    "scoped_event_log",
+    "scoped_registry",
+    "set_event_log",
+    "set_registry",
+    "span",
+    "write_snapshot",
+]

@@ -1,0 +1,166 @@
+"""Structured event log: bounded ring buffer plus optional JSONL sink.
+
+Metrics answer "how much / how fast"; events answer "what happened".
+:class:`EventLog` records discrete occurrences — a machine's history
+being replaced, an experiment failing, a guest being killed — as
+structured records with a severity, a wall-clock timestamp and free-form
+fields.  The most recent ``capacity`` events stay queryable in memory
+(a deque ring buffer); when a ``sink`` path is given every event is also
+appended to that file as one JSON object per line, the format log
+shippers ingest directly.
+
+Like the metrics registry, a process-global default log is resolvable at
+emit time (:func:`get_event_log`) and swappable for tests
+(:func:`scoped_event_log`).  Every emit also increments the
+``events_emitted_total{severity=...}`` counter in the current metrics
+registry, so event volume is itself observable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "SEVERITIES",
+    "Event",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+    "reset_event_log",
+    "scoped_event_log",
+]
+
+#: Valid severities, least to most severe.
+SEVERITIES: tuple[str, ...] = ("debug", "info", "warning", "error")
+
+_SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    name: str
+    severity: str
+    time: float
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize as one JSONL line (without trailing newline)."""
+        record = {"time": self.time, "severity": self.severity, "event": self.name}
+        record.update(self.fields)
+        return json.dumps(record, sort_keys=True, default=str)
+
+
+class EventLog:
+    """Severity-tagged structured events with a bounded memory footprint."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 1024,
+        sink: str | Path | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.sink = Path(sink) if sink is not None else None
+        self._registry = registry
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    # ------------------------------------------------------------------ #
+
+    def emit(self, name: str, *, severity: str = "info", **fields: Any) -> Event:
+        """Record one event; returns it."""
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r}; use one of {SEVERITIES}")
+        event = Event(name=name, severity=severity, time=time.time(), fields=fields)
+        if len(self._buffer) == self.capacity:
+            self._dropped += 1
+        self._buffer.append(event)
+        if self.sink is not None:
+            with self.sink.open("a") as fh:
+                fh.write(event.to_json() + "\n")
+        reg = self._registry if self._registry is not None else get_registry()
+        reg.counter(
+            "events_emitted_total",
+            "Structured events emitted, by severity.",
+            labelnames=("severity",),
+        ).labels(severity).inc()
+        return event
+
+    # ------------------------------------------------------------------ #
+
+    def events(
+        self, name: str | None = None, *, min_severity: str = "debug"
+    ) -> list[Event]:
+        """Buffered events, optionally filtered by name and severity floor."""
+        if min_severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {min_severity!r}; use one of {SEVERITIES}")
+        floor = _SEVERITY_RANK[min_severity]
+        return [
+            e
+            for e in self._buffer
+            if (name is None or e.name == name) and _SEVERITY_RANK[e.severity] >= floor
+        ]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer so far (sink never drops)."""
+        return self._dropped
+
+    def clear(self) -> None:
+        """Empty the in-memory buffer (the file sink is left alone)."""
+        self._buffer.clear()
+        self._dropped = 0
+
+
+# ---------------------------------------------------------------------- #
+# the process-global default log
+# ---------------------------------------------------------------------- #
+
+_default_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The current process-global event log."""
+    return _default_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Swap in ``log`` as the process-global default; returns the old one."""
+    global _default_log
+    old = _default_log
+    _default_log = log
+    return old
+
+
+def reset_event_log() -> EventLog:
+    """Replace the default log with a fresh empty one and return it."""
+    fresh = EventLog()
+    set_event_log(fresh)
+    return fresh
+
+
+@contextmanager
+def scoped_event_log(log: EventLog | None = None) -> Iterator[EventLog]:
+    """Temporarily make ``log`` (or a fresh one) the process default."""
+    scoped = log if log is not None else EventLog()
+    old = set_event_log(scoped)
+    try:
+        yield scoped
+    finally:
+        set_event_log(old)

@@ -1,0 +1,139 @@
+"""Render and persist metrics: Prometheus text format, tables, snapshots.
+
+:func:`render_prometheus` emits the classic Prometheus text exposition
+format (version 0.0.4) — ``# HELP``/``# TYPE`` comments, escaped label
+values, cumulative ``_bucket{le=...}`` series with the mandatory
+``+Inf`` bucket, and ``_sum``/``_count`` lines — so the output of
+``repro obs --format prometheus`` can be scraped, pushed to a
+Pushgateway, or diffed in tests verbatim.
+
+:func:`render_table` is the human-facing view the CLI prints by default.
+
+Snapshots bridge CLI invocations: ``repro run``/``repro predict`` write
+the registry to a JSON file as they exit and ``repro obs`` renders it —
+the same registry state crossing a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+__all__ = [
+    "render_prometheus",
+    "render_table",
+    "write_snapshot",
+    "read_snapshot",
+    "DEFAULT_SNAPSHOT_PATH",
+]
+
+#: Where the CLI persists metrics between invocations unless told otherwise.
+DEFAULT_SNAPSHOT_PATH = ".repro-metrics.json"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # nan
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    reg = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for metric in reg.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        children = metric.children
+        if not children and not metric.labelnames:
+            children = {(): metric._solo()}  # render an explicit zero sample
+        for key, child in sorted(children.items()):
+            if isinstance(metric, Histogram):
+                bounds = [*child.bounds, float("inf")]
+                for bound, cum in zip(bounds, child.cumulative_counts()):
+                    le = f'le="{_format_value(bound)}"'
+                    labels = _labels_text(metric.labelnames, key, le)
+                    lines.append(f"{metric.name}_bucket{labels} {cum}")
+                labels = _labels_text(metric.labelnames, key)
+                lines.append(f"{metric.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{labels} {child.count}")
+            else:
+                labels = _labels_text(metric.labelnames, key)
+                lines.append(f"{metric.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def render_table(registry: MetricsRegistry | None = None) -> str:
+    """A human-readable metric table (one row per series)."""
+    reg = registry if registry is not None else get_registry()
+    rows: list[tuple[str, str, str]] = []
+    for metric in reg.collect():
+        children = metric.children
+        if not children and not metric.labelnames:
+            children = {(): metric._solo()}
+        if not children:
+            rows.append((metric.name, metric.kind, "(no series)"))
+            continue
+        for key, child in sorted(children.items()):
+            name = metric.name + _labels_text(metric.labelnames, key)
+            if isinstance(metric, Histogram):
+                count = child.count
+                mean = child.sum / count if count else float("nan")
+                value = f"count={count} sum={child.sum:.6g} mean={mean:.6g}"
+            else:
+                value = _format_value(child.value)
+            rows.append((name, metric.kind, value))
+    if not rows:
+        return "(no metrics recorded)\n"
+    w_name = max(len(r[0]) for r in rows)
+    w_kind = max(len(r[1]) for r in rows)
+    lines = [f"{'metric'.ljust(w_name)}  {'type'.ljust(w_kind)}  value"]
+    lines.append(f"{'-' * w_name}  {'-' * w_kind}  {'-' * 5}")
+    for name, kind, value in rows:
+        lines.append(f"{name.ljust(w_name)}  {kind.ljust(w_kind)}  {value}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# snapshots
+# ---------------------------------------------------------------------- #
+
+
+def write_snapshot(path: str | Path, registry: MetricsRegistry | None = None) -> Path:
+    """Persist the registry as a JSON snapshot; returns the path written."""
+    reg = registry if registry is not None else get_registry()
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(reg.to_state(), indent=None, sort_keys=True))
+    return path
+
+
+def read_snapshot(path: str | Path) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`write_snapshot` file."""
+    return MetricsRegistry.from_state(json.loads(Path(path).read_text()))

@@ -1,0 +1,225 @@
+"""The catalog of well-known instruments across the service stack.
+
+Every metric the repo's instrumented modules record is declared here
+once — name, type, help text, labels, buckets — and resolved through
+:func:`instrument` at the call site.  That gives three properties a
+scattered get-or-create style cannot:
+
+* call sites cannot drift apart on help strings or label sets (the
+  registry would reject the mismatch, but only at runtime on the second
+  caller);
+* :func:`ensure_all_registered` can materialize the whole catalog into a
+  registry, so an exposition snapshot always carries every known series
+  (zero-valued where nothing happened yet) — the shape a scraper's
+  dashboards and alerts key on;
+* the catalog doubles as the documentation index mapping each metric to
+  the paper claim it verifies (see DESIGN.md "Observability").
+
+The catalog is data-only: importing this module pulls in no simulation
+or numerics code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Metric,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+)
+
+__all__ = ["CATALOG", "InstrumentSpec", "instrument", "ensure_all_registered"]
+
+#: Latency buckets for the TR query path: 0.1 ms up to ~26 s, the span
+#: between a cached coarse-step query and a paper-scale 6000-step solve.
+_QUERY_BUCKETS = exponential_buckets(1e-4, 4.0, 9)
+
+#: Fan-out buckets: powers of two up to a 4096-machine pool.
+_FANOUT_BUCKETS = tuple(float(2**i) for i in range(13))
+
+#: Experiment wall-time buckets: 10 ms to ~11 min.
+_WALL_BUCKETS = exponential_buckets(0.01, 4.0, 8)
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """Declaration of one catalog metric."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    labelnames: tuple[str, ...] = ()
+    buckets: tuple[float, ...] = field(default=DEFAULT_BUCKETS)
+
+
+_SPECS: tuple[InstrumentSpec, ...] = (
+    # -- service front-end --------------------------------------------- #
+    InstrumentSpec(
+        "tr_query_latency_seconds",
+        "histogram",
+        "Wall-clock latency of one temporal-reliability query (paper Fig. 4 "
+        "claims this stays cheap enough for online use).",
+        ("path",),  # service | incremental | batch
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "service_registered_machines",
+        "gauge",
+        "Machines currently registered with the AvailabilityService.",
+    ),
+    InstrumentSpec(
+        "service_query_fanout_machines",
+        "histogram",
+        "Machines touched by one fan-out query (predict_all/rank/select).",
+        (),
+        _FANOUT_BUCKETS,
+    ),
+    # -- incremental predictor cache ------------------------------------ #
+    InstrumentSpec(
+        "incremental_cache_hits_total",
+        "counter",
+        "Per-day observation cache hits in the IncrementalPredictor "
+        "(days reused instead of re-classified).",
+    ),
+    InstrumentSpec(
+        "incremental_cache_misses_total",
+        "counter",
+        "Per-day observation cache misses in the IncrementalPredictor.",
+    ),
+    InstrumentSpec(
+        "incremental_cache_invalidations_total",
+        "counter",
+        "Cached (window, day) entries dropped by invalidate().",
+    ),
+    InstrumentSpec(
+        "incremental_days_classified_total",
+        "counter",
+        "History days classified by the IncrementalPredictor; the runtime "
+        "check of core/online.py's memoization claim.",
+    ),
+    # -- SMP math -------------------------------------------------------- #
+    InstrumentSpec(
+        "smp_kernel_estimation_seconds",
+        "histogram",
+        "Time to build one SMP kernel from pooled sojourn observations "
+        "(the Q/H estimation curve of paper Fig. 4).",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "smp_solve_seconds",
+        "histogram",
+        "Time of one Eq.-3 interval-transition recursion (the prediction "
+        "curve of paper Fig. 4).",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    # -- simulation ------------------------------------------------------ #
+    InstrumentSpec(
+        "monitor_samples_total",
+        "counter",
+        "Samples taken by simulated ResourceMonitor daemons.",
+    ),
+    InstrumentSpec(
+        "monitor_cpu_cost_seconds_total",
+        "counter",
+        "Modeled CPU-seconds consumed by monitoring; divided by simulated "
+        "time this is the paper Sec. 5.2 '< 1% CPU' overhead claim.",
+    ),
+    InstrumentSpec(
+        "sim_events_fired_total",
+        "counter",
+        "Events executed by SimulationEngine runs.",
+    ),
+    InstrumentSpec(
+        "gateway_guest_kills_total",
+        "counter",
+        "Guest jobs killed by gateways, by failure cause (uec: excessive "
+        "contention S3/S4; urr: resource revocation S5).",
+        ("cause",),
+    ),
+    InstrumentSpec(
+        "gateway_guests_started_total",
+        "counter",
+        "Guest jobs launched by gateways.",
+    ),
+    InstrumentSpec(
+        "gateway_guests_completed_total",
+        "counter",
+        "Guest jobs completed by gateways.",
+    ),
+    InstrumentSpec(
+        "state_transitions_total",
+        "counter",
+        "Live availability-state transitions observed by StateManagers "
+        "(raw threshold classification; transient spikes not absorbed).",
+        ("from_state", "to_state"),
+    ),
+    InstrumentSpec(
+        "state_manager_predictions_total",
+        "counter",
+        "TR predictions served by StateManagers.",
+    ),
+    # -- bench harness --------------------------------------------------- #
+    InstrumentSpec(
+        "experiment_runs_total",
+        "counter",
+        "Experiment harness runs, by outcome.",
+        ("experiment", "status"),  # status: ok | error
+    ),
+    InstrumentSpec(
+        "experiment_wall_seconds",
+        "histogram",
+        "Wall-clock time of one experiment run.",
+        ("experiment",),
+        _WALL_BUCKETS,
+    ),
+    InstrumentSpec(
+        "experiment_result_rows",
+        "gauge",
+        "Result-table rows produced by the most recent run of an experiment.",
+        ("experiment",),
+    ),
+    # -- the event log's own volume -------------------------------------- #
+    InstrumentSpec(
+        "events_emitted_total",
+        "counter",
+        "Structured events emitted, by severity.",
+        ("severity",),
+    ),
+)
+
+#: Name -> spec for every well-known instrument.
+CATALOG: dict[str, InstrumentSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def instrument(name: str, registry: MetricsRegistry | None = None) -> Metric:
+    """Resolve a catalog instrument in ``registry`` (default: global).
+
+    Get-or-create with the cataloged type/help/labels/buckets, so every
+    call site observes into the same, consistently declared series.
+    """
+    spec = CATALOG.get(name)
+    if spec is None:
+        raise KeyError(f"unknown instrument {name!r}; add it to the catalog first")
+    reg = registry if registry is not None else get_registry()
+    if spec.kind == "counter":
+        return reg.counter(spec.name, spec.help, spec.labelnames)
+    if spec.kind == "gauge":
+        return reg.gauge(spec.name, spec.help, spec.labelnames)
+    return reg.histogram(spec.name, spec.help, spec.labelnames, buckets=spec.buckets)
+
+
+def ensure_all_registered(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Materialize the full catalog into ``registry`` (default: global).
+
+    Called before writing an exposition snapshot so dashboards always see
+    the complete metric set, zero-valued where nothing was recorded.
+    """
+    reg = registry if registry is not None else get_registry()
+    for name in CATALOG:
+        instrument(name, reg)
+    return reg

@@ -1,0 +1,537 @@
+"""Dependency-free metrics primitives and the process-global registry.
+
+The three instrument types mirror the Prometheus data model, which is
+also what a production cycle-sharing deployment would scrape:
+
+:class:`Counter`
+    a monotonically increasing total (queries served, cache hits,
+    modeled CPU-seconds burned by the monitor daemon);
+:class:`Gauge`
+    a value that moves both ways (registered machines);
+:class:`Histogram`
+    a bucketed distribution with ``sum`` and ``count`` (query latency,
+    rank fan-out width).  Bucket upper bounds are *inclusive* (the
+    Prometheus ``le`` convention) and an implicit ``+Inf`` overflow
+    bucket always exists.
+
+Each metric may declare label names; :meth:`Metric.labels` returns the
+child time series for one label-value combination.  A metric with no
+labels is used directly — it owns a single anonymous child.
+
+Metrics live in a :class:`MetricsRegistry`.  Instrumented code resolves
+its instruments through :func:`get_registry` at call time, so tests (and
+embedders that want scoped telemetry) can swap the process-global
+registry via :func:`set_registry` / :func:`reset_registry` or the
+:func:`scoped_registry` context manager without touching the
+instrumented modules.
+
+Everything here is plain stdlib: the repo's hard no-new-dependencies
+rule is part of the design (the renderers in :mod:`repro.obs.export`
+speak the Prometheus text format, so a real scrape endpoint is one
+``http.server`` handler away).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "exponential_buckets",
+    "linear_buckets",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+    "scoped_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds), matching the Prometheus client
+#: defaults — adequate for the sub-second to tens-of-seconds range the
+#: TR query path spans.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` bucket bounds starting at ``start``, each ``factor`` larger."""
+    if start <= 0.0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must exceed 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(start: float, width: float, count: int) -> tuple[float, ...]:
+    """``count`` bucket bounds starting at ``start``, spaced ``width`` apart."""
+    if width <= 0.0:
+        raise ValueError(f"width must be positive, got {width}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(start + width * i for i in range(count))
+
+
+def _check_label_values(values: Sequence[Any]) -> tuple[str, ...]:
+    return tuple(str(v) for v in values)
+
+
+class Metric:
+    """Base class of one named metric family (all its labeled children)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for ln in labelnames:
+            if not _LABEL_RE.match(ln) or ln.startswith("__") or ln == "le":
+                raise ValueError(f"invalid label name {ln!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise ValueError(f"duplicate label names in {labelnames}")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+
+    def _new_child(self) -> Any:
+        raise NotImplementedError
+
+    def labels(self, *values: Any, **kwvalues: Any):
+        """The child time series for one label-value combination."""
+        if values and kwvalues:
+            raise ValueError("pass label values positionally or by keyword, not both")
+        if kwvalues:
+            if set(kwvalues) != set(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name!r} has labels {self.labelnames}, got {sorted(kwvalues)}"
+                )
+            values = tuple(kwvalues[ln] for ln in self.labelnames)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes {len(self.labelnames)} label value(s), "
+                f"got {len(values)}"
+            )
+        key = _check_label_values(values)
+        # Lock-free fast path: dict reads are atomic under the GIL and
+        # children are never removed, so only creation needs the lock.
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._new_child()
+        return child
+
+    @property
+    def children(self) -> dict[tuple[str, ...], Any]:
+        """Snapshot of label-values -> child, in creation order."""
+        with self._lock:
+            return dict(self._children)
+
+    def _solo(self):
+        """The anonymous child of an unlabeled metric."""
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labeled by {self.labelnames}; call .labels() first"
+            )
+        return self.labels()
+
+    # -- serialization -------------------------------------------------- #
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": list(key), **child._state()}
+                for key, child in self.children.items()
+            ],
+        }
+
+    def _load_series(self, series: list[dict[str, Any]]) -> None:
+        for entry in series:
+            self.labels(*entry["labels"])._load_state(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, labels={self.labelnames})"
+
+
+class _CounterChild:
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._value = float(state["value"])
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the (unlabeled) counter."""
+        self._solo().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Current value of the (unlabeled) counter."""
+        return self._solo().value
+
+
+class _GaugeChild:
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        self._value = float(state["value"])
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        """Set the (unlabeled) gauge."""
+        self._solo().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the (unlabeled) gauge."""
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the (unlabeled) gauge."""
+        self._solo().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Current value of the (unlabeled) gauge."""
+        return self._solo().value
+
+
+class _HistogramChild:
+    __slots__ = ("_bounds", "_counts", "_sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        # One slot per finite bucket plus the +Inf overflow bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first bound >= value, so a value equal to
+        # a bound lands in that bound's bucket (inclusive upper bounds).
+        self._counts[bisect.bisect_left(self._bounds, value)] += 1
+        self._sum += value
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        return tuple(self._counts)
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Cumulative counts per bucket (the Prometheus wire form)."""
+        out, acc = [], 0
+        for c in self._counts:
+            acc += c
+            out.append(acc)
+        return tuple(out)
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _state(self) -> dict[str, Any]:
+        return {"counts": list(self._counts), "sum": self._sum}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"snapshot has {len(counts)} buckets, histogram has {len(self._counts)}"
+            )
+        self._counts = counts
+        self._sum = float(state["sum"])
+
+
+class Histogram(Metric):
+    """A bucketed distribution with inclusive upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histograms need at least one finite bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        if bounds[-1] == float("inf"):
+            raise ValueError("+Inf is implicit; pass finite bounds only")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe a value on the (unlabeled) histogram."""
+        self._solo().observe(value)
+
+    @property
+    def count(self) -> int:
+        """Observation count of the (unlabeled) histogram."""
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        """Observation sum of the (unlabeled) histogram."""
+        return self._solo().sum
+
+    def _state(self) -> dict[str, Any]:
+        state = super()._state()
+        state["buckets"] = list(self.buckets)
+        return state
+
+
+_METRIC_TYPES: dict[str, type[Metric]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    ``counter()``/``gauge()``/``histogram()`` return the existing metric
+    when one with the same name is already registered — after verifying
+    that its type and label names match, so two call sites cannot
+    silently disagree about what a name means.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(
+        self, cls: type[Metric], name: str, help: str, labelnames: Sequence[str], **kwargs: Any
+    ) -> Any:
+        labelnames = tuple(labelnames)
+        # Lock-free fast path: instrumented hot loops resolve their metric
+        # on every call, and dict reads are atomic under the GIL.  Metrics
+        # are only ever added (clear() swaps the whole dict), so a non-None
+        # read is always a fully constructed metric.
+        existing = self._metrics.get(name)
+        if existing is None:
+            with self._lock:
+                existing = self._metrics.get(name)
+                if existing is None:
+                    metric = cls(name, help, labelnames, **kwargs)
+                    self._metrics[name] = metric
+                    return metric
+        if type(existing) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {existing.kind}, "
+                f"requested {cls.kind}"
+            )
+        if existing.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{existing.labelnames}, requested {labelnames}"
+            )
+        return existing
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram (bucket bounds fixed at creation)."""
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str) -> Metric | None:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(list(self._metrics.values()))
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def collect(self) -> list[Metric]:
+        """All metrics, sorted by name (the exposition order)."""
+        return [self._metrics[n] for n in self.names()]
+
+    def clear(self) -> None:
+        """Drop every metric (including their recorded values)."""
+        with self._lock:
+            self._metrics = {}  # swap, so lock-free readers see old-or-new
+
+    # -- serialization -------------------------------------------------- #
+
+    def to_state(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of every metric and series."""
+        return {"version": 1, "metrics": [m._state() for m in self.collect()]}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_state` output."""
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported snapshot version {state.get('version')!r}")
+        reg = cls()
+        for mstate in state["metrics"]:
+            kind = mstate["kind"]
+            if kind not in _METRIC_TYPES:
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+            kwargs: dict[str, Any] = {}
+            if kind == "histogram":
+                kwargs["buckets"] = tuple(mstate["buckets"])
+            metric = reg._get_or_create(
+                _METRIC_TYPES[kind],
+                mstate["name"],
+                mstate.get("help", ""),
+                tuple(mstate.get("labelnames", ())),
+                **kwargs,
+            )
+            metric._load_series(mstate.get("series", []))
+        return reg
+
+
+# ---------------------------------------------------------------------- #
+# the process-global default registry
+# ---------------------------------------------------------------------- #
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-global registry (instrumented code's default)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap in ``registry`` as the process-global default; returns the old one."""
+    global _default_registry
+    old = _default_registry
+    _default_registry = registry
+    return old
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the default registry with a fresh empty one and return it."""
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    return fresh
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Temporarily make ``registry`` (or a fresh one) the default.
+
+    The test-isolation primitive: metrics recorded inside the ``with``
+    block land in the scoped registry and the previous default is
+    restored on exit, even on error.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    old = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(old)

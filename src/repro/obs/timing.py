@@ -1,0 +1,92 @@
+"""Wall-clock instrumentation: :class:`Timer` and the :func:`span` manager.
+
+Both are thin wrappers over :func:`time.perf_counter` — the highest
+resolution monotonic clock the stdlib offers — so instrumented hot paths
+pay two clock reads and one histogram observation per span.
+
+::
+
+    with span("tr_query_latency_seconds", labels={"path": "service"}):
+        ... answer the query ...
+
+    t = Timer().start()
+    ...
+    histogram.observe(t.stop())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["Timer", "span"]
+
+
+class Timer:
+    """A restartable perf_counter stopwatch."""
+
+    __slots__ = ("_started", "_elapsed")
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Timer":
+        """Start (or restart) the clock; returns self for chaining."""
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the clock and return the seconds elapsed since start."""
+        if self._started is None:
+            raise RuntimeError("timer was never started")
+        self._elapsed = time.perf_counter() - self._started
+        self._started = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently running."""
+        return self._started is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed: live while running, final after stop()."""
+        if self._started is not None:
+            return time.perf_counter() - self._started
+        return self._elapsed
+
+
+@contextmanager
+def span(
+    metric: Histogram | str,
+    *,
+    labels: Mapping[str, str] | None = None,
+    registry: MetricsRegistry | None = None,
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+) -> Iterator[Timer]:
+    """Time a block and observe its duration into a latency histogram.
+
+    ``metric`` is either a :class:`Histogram` (or histogram child) or a
+    metric name resolved — get-or-create — against ``registry`` (default:
+    the process-global registry).  The duration is recorded even when the
+    block raises, so error paths stay visible in the latency data.
+    """
+    if isinstance(metric, str):
+        reg = registry if registry is not None else get_registry()
+        labelnames = tuple(sorted(labels)) if labels else ()
+        hist = reg.histogram(metric, labelnames=labelnames, buckets=buckets)
+        target = hist.labels(**dict(labels)) if labels else hist
+    else:
+        if labels:
+            target = metric.labels(**dict(labels))
+        else:
+            target = metric
+    timer = Timer().start()
+    try:
+        yield timer
+    finally:
+        target.observe(timer.stop())

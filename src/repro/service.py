@@ -20,6 +20,7 @@ reliable-horizon sizing.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,8 @@ from repro.core.smp import temporal_reliability_profile
 from repro.core.states import State
 from repro.core.uncertainty import TrInterval, bootstrap_tr
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
 from repro.traces.trace import MachineTrace
 
 __all__ = ["AvailabilityService", "RankedMachine"]
@@ -68,7 +71,14 @@ class AvailabilityService:
         """Add a machine (or replace its history, invalidating caches)."""
         if history.machine_id in self._histories:
             self._predictor.invalidate(history.machine_id)
+            get_event_log().emit(
+                "machine_replaced",
+                severity="warning",
+                machine_id=history.machine_id,
+                n_samples=history.n_samples,
+            )
         self._histories[history.machine_id] = history
+        instrument("service_registered_machines").set(len(self._histories))
 
     def extend_history(self, history: MachineTrace) -> None:
         """Replace a machine's history with a grown version of itself.
@@ -96,6 +106,7 @@ class AvailabilityService:
         """Remove a machine and its caches."""
         del self._histories[machine_id]
         self._predictor.invalidate(machine_id)
+        instrument("service_registered_machines").set(len(self._histories))
 
     @property
     def machine_ids(self) -> list[str]:
@@ -126,14 +137,20 @@ class AvailabilityService:
         init_state: State | None = None,
     ) -> float:
         """TR of one machine over one window."""
-        return self._predictor.predict(
+        t0 = time.perf_counter()
+        tr = self._predictor.predict(
             self._history(machine_id), window, dtype, init_state=init_state
         )
+        instrument("tr_query_latency_seconds").labels(path="service").observe(
+            time.perf_counter() - t0
+        )
+        return tr
 
     def predict_all(
         self, window: ClockWindow | AbsoluteWindow, dtype: DayType | None = None
     ) -> dict[str, float]:
         """TR of every registered machine over one window."""
+        instrument("service_query_fanout_machines").observe(len(self._histories))
         return {
             mid: self.predict(mid, window, dtype) for mid in self._histories
         }

@@ -13,6 +13,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.instruments import instrument
+
 __all__ = ["EventHandle", "SimulationEngine"]
 
 
@@ -88,6 +90,7 @@ class SimulationEngine:
 
     def run_until(self, end_time: float) -> None:
         """Execute events up to and including ``end_time``; clock ends there."""
+        fired_before = self._fired
         while self._queue and self._queue[0].time <= end_time:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
@@ -96,9 +99,12 @@ class SimulationEngine:
             self._fired += 1
             entry.callback()
         self._now = max(self._now, end_time)
+        if self._fired > fired_before:
+            instrument("sim_events_fired_total").inc(self._fired - fired_before)
 
     def run(self) -> None:
         """Execute all pending events (callbacks may schedule more)."""
+        fired_before = self._fired
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
@@ -106,3 +112,5 @@ class SimulationEngine:
             self._now = entry.time
             self._fired += 1
             entry.callback()
+        if self._fired > fired_before:
+            instrument("sim_events_fired_total").inc(self._fired - fired_before)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.states import State, Thresholds
+from repro.obs.instruments import instrument
 from repro.sim.jobs import GuestJob, JobState
 from repro.sim.machine import HostMachine
 from repro.sim.monitor import MonitorSample, ResourceMonitor
@@ -69,6 +70,10 @@ class IShareGateway:
         self.guests_started = 0
         self.guests_failed = 0
         self.guests_completed = 0
+        kills = instrument("gateway_guest_kills_total")
+        # Pre-create both cause series so expositions show explicit zeros.
+        self._kills_uec = kills.labels(cause="uec")
+        self._kills_urr = kills.labels(cause="urr")
         monitor.add_listener(self._on_sample)
         monitor.add_down_listener(self._on_machine_down)
 
@@ -129,6 +134,7 @@ class IShareGateway:
             status=status,
         )
         self.guests_started += 1
+        instrument("gateway_guests_started_total").inc()
 
     # ------------------------------------------------------------------ #
 
@@ -144,6 +150,7 @@ class IShareGateway:
         ctx.job.fail_attempt(state, now)
         self._guest = None
         self.guests_failed += 1
+        (self._kills_uec if state.is_uec else self._kills_urr).inc()
         ctx.on_failure(ctx.job, state)
 
     def _on_machine_down(self, now: float) -> None:
@@ -161,6 +168,7 @@ class IShareGateway:
             ctx.job.complete(now)
             self._guest = None
             self.guests_completed += 1
+            instrument("gateway_guests_completed_total").inc()
             ctx.on_complete(ctx.job)
             return
 

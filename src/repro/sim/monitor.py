@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.instruments import instrument
 from repro.sim.engine import SimulationEngine
 from repro.sim.machine import HostMachine
 
@@ -61,6 +62,9 @@ class ResourceMonitor:
         self._listeners: list[Callable[[MonitorSample], None]] = []
         self._down_listeners: list[Callable[[float], None]] = []
         self._was_up = True
+        # Counters bound once: _tick is the simulation's hottest callback.
+        self._samples_metric = instrument("monitor_samples_total")
+        self._cpu_cost_metric = instrument("monitor_cpu_cost_seconds_total")
         # Sample log (regular grid with gaps during down periods).
         self.log_times: list[float] = []
         self.log_loads: list[float] = []
@@ -101,6 +105,8 @@ class ResourceMonitor:
             self.last_heartbeat = now
             self.samples_taken += 1
             self.cpu_seconds_consumed += SAMPLE_CPU_COST
+            self._samples_metric.inc()
+            self._cpu_cost_metric.inc(SAMPLE_CPU_COST)
             self.log_times.append(now)
             self.log_loads.append(sample.cpu_load)
             self.log_mems.append(sample.free_mem_mb)

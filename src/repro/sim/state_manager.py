@@ -18,8 +18,10 @@ import numpy as np
 from repro.core.classifier import ClassifierConfig
 from repro.core.estimator import EstimatorConfig
 from repro.core.predictor import TemporalReliabilityPredictor
+from repro.core.states import State
 from repro.core.windows import AbsoluteWindow
-from repro.sim.monitor import ResourceMonitor
+from repro.obs.instruments import instrument
+from repro.sim.monitor import MonitorSample, ResourceMonitor
 from repro.traces.trace import MachineTrace
 
 __all__ = ["StateManager"]
@@ -40,9 +42,45 @@ class StateManager:
         self.bootstrap = bootstrap_history
         self._predictor: TemporalReliabilityPredictor | None = None
         self._predictor_log_len = -1
-        self._classifier_config = classifier_config
+        self._classifier_config = classifier_config or ClassifierConfig()
         self._estimator_config = estimator_config
         self.predictions_served = 0
+        # Live availability-state bookkeeping: every monitor sample is
+        # classified with the raw threshold rule (transient-spike
+        # absorption needs lookahead, so spikes count as real S3 entries
+        # here) and each state change feeds the per-(from,to) transition
+        # counter — the registry's view of paper Fig. 3's edge traffic.
+        self._transitions = instrument("state_transitions_total")
+        self._live_state: State | None = None
+        monitor.add_listener(self._on_sample)
+        monitor.add_down_listener(self._on_down)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_state(self) -> State | None:
+        """Latest live availability state (None before the first sample)."""
+        return self._live_state
+
+    def _classify_sample(self, sample: MonitorSample) -> State:
+        cfg = self._classifier_config
+        if sample.free_mem_mb < cfg.guest_mem_requirement_mb:
+            return State.S4
+        return cfg.thresholds.cpu_state(sample.cpu_load)
+
+    def _record_state(self, state: State) -> None:
+        prev = self._live_state
+        if prev is not None and prev is not state:
+            self._transitions.labels(
+                from_state=prev.name, to_state=state.name
+            ).inc()
+        self._live_state = state
+
+    def _on_sample(self, sample: MonitorSample) -> None:
+        self._record_state(self._classify_sample(sample))
+
+    def _on_down(self, _now: float) -> None:
+        self._record_state(State.S5)
 
     # ------------------------------------------------------------------ #
 
@@ -115,4 +153,5 @@ class StateManager:
             )
             self._predictor_log_len = log_len
         self.predictions_served += 1
+        instrument("state_manager_predictions_total").inc()
         return self._predictor.predict(window)

@@ -104,6 +104,31 @@ class TestCaching:
         incremental.invalidate()
         assert incremental._caches == {}
 
+    def test_subsecond_windows_do_not_share_cache(self, long_trace, incremental):
+        # Regression: _clock_key used to round start/duration to whole
+        # seconds, so windows 0.2 s apart collided on one cache entry and
+        # the second query silently reused the first window's observations.
+        a = ClockWindow(start=9 * 3600.0 + 0.2, duration=2 * 3600.0)
+        b = ClockWindow(start=9 * 3600.0 + 0.4, duration=2 * 3600.0)
+        incremental.predict(long_trace, a, DayType.WEEKDAY)
+        n = incremental.days_classified
+        reused = incremental.days_reused
+        incremental.predict(long_trace, b, DayType.WEEKDAY)
+        assert incremental.days_classified > n  # b classified fresh days
+        assert incremental.days_reused == reused  # nothing leaked from a
+        assert len(incremental._caches) == 2
+
+    def test_subsecond_windows_match_batch(self, long_trace, incremental):
+        batch = TemporalReliabilityPredictor(
+            long_trace, estimator_config=EstimatorConfig(step_multiple=10)
+        )
+        for offset in (0.2, 0.4):
+            cw = ClockWindow(start=9 * 3600.0 + offset, duration=2 * 3600.0)
+            tr_inc = incremental.predict(long_trace, cw, DayType.WEEKDAY)
+            assert tr_inc == pytest.approx(
+                batch.predict(cw, DayType.WEEKDAY), abs=1e-12
+            ), offset
+
 
 class TestApi:
     def test_absolute_window(self, long_trace, incremental):

@@ -1,0 +1,123 @@
+"""Tests for the structured event log and the timing helpers."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EventLog,
+    get_event_log,
+    scoped_event_log,
+)
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+from repro.obs.timing import Timer, span
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog(registry=MetricsRegistry())
+        log.emit("machine_replaced", severity="warning", machine_id="m0")
+        log.emit("query_served", machine_id="m0")
+        assert len(log) == 2
+        warn = log.events(min_severity="warning")
+        assert [e.name for e in warn] == ["machine_replaced"]
+        assert warn[0].fields["machine_id"] == "m0"
+        assert log.events("query_served")[0].severity == "info"
+
+    def test_invalid_severity_rejected(self):
+        log = EventLog(registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            log.emit("x", severity="fatal")
+        with pytest.raises(ValueError):
+            log.events(min_severity="fatal")
+
+    def test_ring_buffer_caps_memory_and_counts_drops(self):
+        log = EventLog(capacity=3, registry=MetricsRegistry())
+        for i in range(5):
+            log.emit("e", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.fields["i"] for e in log.events()] == [2, 3, 4]
+
+    def test_clear(self):
+        log = EventLog(capacity=1, registry=MetricsRegistry())
+        log.emit("a")
+        log.emit("b")
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = EventLog(sink=sink, registry=MetricsRegistry())
+        log.emit("guest_killed", severity="warning", cause="urr", machine_id="m1")
+        log.emit("guest_killed", severity="warning", cause="uec", machine_id="m2")
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "guest_killed"
+        assert first["severity"] == "warning"
+        assert first["cause"] == "urr"
+        assert "time" in first
+
+    def test_emit_increments_volume_counter(self):
+        reg = MetricsRegistry()
+        log = EventLog(registry=reg)
+        log.emit("a", severity="error")
+        log.emit("b", severity="error")
+        counter = reg.get("events_emitted_total")
+        assert counter.labels(severity="error").value == 2.0
+
+    def test_scoped_event_log(self):
+        outside = get_event_log()
+        with scoped_registry(), scoped_event_log() as log:
+            assert get_event_log() is log
+            get_event_log().emit("inside")
+            assert len(log) == 1
+        assert get_event_log() is outside
+
+
+class TestTimer:
+    def test_basic_cycle(self):
+        t = Timer()
+        assert not t.running
+        with pytest.raises(RuntimeError):
+            t.stop()
+        t.start()
+        assert t.running
+        elapsed = t.stop()
+        assert elapsed >= 0.0
+        assert t.elapsed == elapsed
+        assert not t.running
+
+    def test_elapsed_live_while_running(self):
+        t = Timer().start()
+        assert t.elapsed >= 0.0
+        assert t.running
+
+
+class TestSpan:
+    def test_span_observes_into_named_histogram(self):
+        with scoped_registry() as reg:
+            with span("op_seconds"):
+                pass
+            assert reg.get("op_seconds").count == 1
+
+    def test_span_with_labels(self):
+        with scoped_registry() as reg:
+            with span("op_seconds", labels={"path": "x"}):
+                pass
+            assert reg.get("op_seconds").labels(path="x").count == 1
+
+    def test_span_observes_even_on_exception(self):
+        with scoped_registry() as reg:
+            with pytest.raises(RuntimeError):
+                with span("op_seconds"):
+                    raise RuntimeError("boom")
+            assert reg.get("op_seconds").count == 1
+
+    def test_span_accepts_histogram_object(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("direct_seconds")
+        with span(h):
+            pass
+        assert h.count == 1

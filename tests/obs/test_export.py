@@ -1,0 +1,109 @@
+"""Tests for the Prometheus/table renderers and JSON snapshots."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import (
+    read_snapshot,
+    render_prometheus,
+    render_table,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_prometheus.txt"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A deterministic registry exercising every renderer feature."""
+    reg = MetricsRegistry()
+    c = reg.counter("queries_total", "TR queries served.", ("path",))
+    c.labels(path="service").inc(3)
+    c.labels(path="batch").inc()
+    reg.gauge("machines", "Registered machines.").set(4)
+    h = reg.histogram("latency_seconds", "Query latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.1)  # == bound: inclusive, lands in le="0.1"
+    h.observe(50.0)  # overflow -> +Inf only
+    reg.counter("untouched_total", "Declared but never incremented.")
+    reg.counter("weird_labels_total", "Label escaping.", ("k",)).labels(
+        k='a"b\\c\nd'
+    ).inc()
+    return reg
+
+
+class TestPrometheusRendering:
+    def test_matches_golden_file(self):
+        assert render_prometheus(golden_registry()) == GOLDEN.read_text()
+
+    def test_spec_validity(self):
+        text = render_prometheus(golden_registry())
+        assert text.endswith("\n")
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        # one TYPE line per metric family, each naming a valid type
+        assert len(type_lines) == 5
+        for line in type_lines:
+            assert line.split()[-1] in ("counter", "gauge", "histogram")
+        # histograms carry the mandatory +Inf bucket and _sum/_count
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum" in text
+        assert "latency_seconds_count 3" in text
+        # buckets are cumulative with inclusive upper bounds
+        assert 'latency_seconds_bucket{le="0.1"} 2' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+
+    def test_untouched_unlabeled_metric_renders_zero(self):
+        text = render_prometheus(golden_registry())
+        assert "untouched_total 0" in text
+
+    def test_label_value_escaping(self):
+        text = render_prometheus(golden_registry())
+        assert r'weird_labels_total{k="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_nan").set(math.nan)
+        reg.gauge("g_inf").set(math.inf)
+        text = render_prometheus(reg)
+        assert "g_nan NaN" in text
+        assert "g_inf +Inf" in text
+
+
+class TestTableRendering:
+    def test_lists_every_series(self):
+        text = render_table(golden_registry())
+        line = next(
+            l for l in text.splitlines() if l.startswith('queries_total{path="service"}')
+        )
+        assert line.split() == ['queries_total{path="service"}', "counter", "3"]
+        assert "machines" in text
+        assert "count=3" in text and "mean=" in text
+
+    def test_labeled_metric_with_no_children(self):
+        reg = MetricsRegistry()
+        reg.counter("lonely_total", labelnames=("k",))
+        assert "(no series)" in render_table(reg)
+
+    def test_empty_registry(self):
+        assert "no metrics recorded" in render_table(MetricsRegistry())
+
+
+class TestSnapshots:
+    def test_write_read_round_trip(self, tmp_path):
+        reg = golden_registry()
+        path = write_snapshot(tmp_path / "snap.json", reg)
+        clone = read_snapshot(path)
+        assert render_prometheus(clone) == render_prometheus(reg)
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_snapshot(tmp_path / "deep" / "snap.json", MetricsRegistry())
+        assert path.exists()
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_snapshot(tmp_path / "missing.json")

@@ -1,0 +1,69 @@
+"""Integration: instrumented modules publish into the scoped registry."""
+
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.online import IncrementalPredictor
+from repro.core.windows import ClockWindow, DayType
+from repro.obs.instruments import CATALOG, ensure_all_registered, instrument
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+
+
+@pytest.fixture()
+def incremental():
+    return IncrementalPredictor(config=EstimatorConfig(step_multiple=10))
+
+
+class TestCatalog:
+    def test_instrument_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            instrument("made_up_total", MetricsRegistry())
+
+    def test_ensure_all_registered_materializes_catalog(self):
+        reg = ensure_all_registered(MetricsRegistry())
+        assert set(reg.names()) == set(CATALOG)
+
+    def test_specs_are_internally_consistent(self):
+        for spec in CATALOG.values():
+            assert spec.kind in ("counter", "gauge", "histogram")
+            assert spec.help, f"{spec.name} has no help text"
+
+
+class TestIncrementalCacheCounters:
+    def test_hits_and_misses_track_cache_behaviour(self, long_trace, incremental):
+        cw = ClockWindow.from_hours(9, 2)
+        with scoped_registry() as reg:
+            incremental.predict(long_trace, cw, DayType.WEEKDAY)
+            hits = instrument("incremental_cache_hits_total", reg)
+            misses = instrument("incremental_cache_misses_total", reg)
+            # First query: every history day is a miss, none a hit.
+            assert hits.value == 0.0
+            assert misses.value == incremental.days_classified
+            assert misses.value > 0
+            first_misses = misses.value
+
+            incremental.predict(long_trace, cw, DayType.WEEKDAY)
+            # Repeat query: every day is a hit, no new classification.
+            assert misses.value == first_misses
+            assert hits.value == first_misses
+            # The counters agree with the predictor's own bookkeeping.
+            assert hits.value == incremental.days_reused
+            assert (
+                reg.get("incremental_days_classified_total").value
+                == incremental.days_classified
+            )
+
+    def test_invalidation_counter(self, long_trace, incremental):
+        cw = ClockWindow.from_hours(9, 2)
+        with scoped_registry() as reg:
+            incremental.predict(long_trace, cw, DayType.WEEKDAY)
+            incremental.invalidate(long_trace.machine_id)
+            dropped = reg.get("incremental_cache_invalidations_total")
+            assert dropped.value > 0
+
+    def test_query_latency_observed(self, long_trace, incremental):
+        with scoped_registry() as reg:
+            incremental.predict(long_trace, ClockWindow.from_hours(9, 2), DayType.WEEKDAY)
+            lat = reg.get("tr_query_latency_seconds")
+            assert lat.labels(path="incremental").count == 1
+            assert lat.labels(path="incremental").sum > 0.0

@@ -1,0 +1,231 @@
+"""Tests for the metrics primitives and registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    linear_buckets,
+    reset_registry,
+    scoped_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_labeled_children_are_independent(self):
+        c = Counter("hits_total", labelnames=("path",))
+        c.labels(path="a").inc(3)
+        c.labels(path="b").inc()
+        assert c.labels("a").value == 3.0
+        assert c.labels("b").value == 1.0
+
+    def test_labeled_metric_rejects_bare_use(self):
+        c = Counter("hits_total", labelnames=("path",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_label_count_mismatch(self):
+        c = Counter("hits_total", labelnames=("path",))
+        with pytest.raises(ValueError):
+            c.labels("a", "b")
+        with pytest.raises(ValueError):
+            c.labels(route="a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("machines")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+
+class TestHistogramBucketEdges:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        # Prometheus le semantics: upper bounds are inclusive.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h._solo().bucket_counts == (0, 1, 0, 0)
+
+    def test_value_above_last_bound_goes_to_inf(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(4.0001)
+        h.observe(1e9)
+        assert h._solo().bucket_counts == (0, 0, 0, 2)
+
+    def test_cumulative_counts(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h._solo().cumulative_counts() == (1, 2, 3, 4)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+
+    def test_rejects_unsorted_or_empty_or_inf_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, math.inf))
+
+
+class TestBucketHelpers:
+    def test_exponential(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_linear(self):
+        assert linear_buckets(0.0, 0.5, 3) == (0.0, 0.5, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            linear_buckets(0.0, 0.0, 3)
+
+
+class TestMetricValidation:
+    def test_bad_metric_name(self):
+        with pytest.raises(ValueError):
+            Counter("2bad")
+
+    def test_bad_label_names(self):
+        with pytest.raises(ValueError):
+            Counter("ok", labelnames=("le",))
+        with pytest.raises(ValueError):
+            Counter("ok", labelnames=("__reserved",))
+        with pytest.raises(ValueError):
+            Counter("ok", labelnames=("a", "a"))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_collect_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz")
+        reg.gauge("aaa")
+        assert [m.name for m in reg.collect()] == ["aaa", "zzz"]
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        assert "x_total" in reg
+        assert reg.get("missing") is None
+
+
+class TestGlobalRegistrySwapping:
+    def test_scoped_registry_isolates(self):
+        outside = get_registry()
+        with scoped_registry() as reg:
+            assert get_registry() is reg
+            assert get_registry() is not outside
+            reg.counter("scoped_total").inc()
+        assert get_registry() is outside
+        assert "scoped_total" not in get_registry()
+
+    def test_scoped_registry_restores_on_error(self):
+        outside = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is outside
+
+    def test_reset_returns_fresh_empty_registry(self):
+        with scoped_registry():
+            get_registry().counter("junk_total").inc()
+            fresh = reset_registry()
+            assert get_registry() is fresh
+            assert len(fresh) == 0
+            # restore scoped_registry's expectation before exiting
+        # scoped_registry still restores the original on exit
+
+    def test_set_registry_returns_old(self):
+        with scoped_registry() as reg:
+            other = MetricsRegistry()
+            old = set_registry(other)
+            assert old is reg
+            assert get_registry() is other
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter", ("k",)).labels(k="v").inc(7)
+        reg.gauge("g", "a gauge").set(-2.5)
+        h = reg.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        clone = MetricsRegistry.from_state(reg.to_state())
+        assert clone.names() == reg.names()
+        assert clone.get("c_total").labels("v").value == 7.0
+        assert clone.get("g").value == -2.5
+        hc = clone.get("h_seconds")
+        assert hc.buckets == (0.1, 1.0)
+        assert hc._solo().bucket_counts == (1, 0, 1)
+        assert hc.sum == pytest.approx(5.05)
+        # a second round trip is byte-identical
+        assert clone.to_state() == reg.to_state()
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_state({"version": 99, "metrics": []})
+
+
+class TestThreadSafety:
+    def test_concurrent_child_creation_yields_one_child(self):
+        c = Counter("hits_total", labelnames=("k",))
+        children = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            children.append(c.labels(k="same"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(ch is children[0] for ch in children)
+        assert len(c.children) == 1

@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _run_in_tmp_dir(tmp_path, monkeypatch):
+    # run/predict write a .repro-metrics.json snapshot to the working
+    # directory by default; keep test runs from littering the repo root.
+    monkeypatch.chdir(tmp_path)
 
 
 class TestParser:
@@ -77,3 +86,116 @@ class TestCommands:
             == 2
         )
         assert "unknown profile" in capsys.readouterr().err
+
+
+class _BrokenExperiment:
+    """Stand-in experiment module whose run() always raises."""
+
+    __doc__ = "always fails"
+
+    @staticmethod
+    def run(scale="quick", *, seed=0):
+        raise RuntimeError("synthetic failure")
+
+
+class TestFailureExit:
+    def test_run_returns_nonzero_and_emits_event(self, monkeypatch, capsys):
+        from repro.bench.experiments import REGISTRY
+        from repro.obs.events import scoped_event_log
+        from repro.obs.metrics import scoped_registry
+
+        monkeypatch.setitem(REGISTRY, "broken", _BrokenExperiment)
+        with scoped_registry() as reg, scoped_event_log() as log:
+            assert main(["run", "broken"]) == 1
+            err = capsys.readouterr().err
+            assert "[broken FAILED]" in err
+            assert "synthetic failure" in err
+            events = log.events("experiment_failed")
+            assert len(events) == 1
+            assert events[0].fields["experiment"] == "broken"
+            assert (
+                reg.get("experiment_runs_total")
+                .labels(experiment="broken", status="error")
+                .value
+                == 1.0
+            )
+
+    def test_one_failure_does_not_hide_other_experiments(self, monkeypatch, capsys):
+        from repro.bench import experiments
+        from repro.obs.events import scoped_event_log
+        from repro.obs.metrics import scoped_registry
+
+        registry = {"broken": _BrokenExperiment, "trace": experiments.REGISTRY["trace"]}
+        monkeypatch.setattr(experiments, "REGISTRY", registry)
+        with scoped_registry(), scoped_event_log():
+            assert main(["run", "all"]) == 1
+            out = capsys.readouterr().out
+            assert "TRACE" in out  # the healthy experiment still ran
+
+
+class TestMetricsSnapshot:
+    def _synthesize(self, tmp_path):
+        main([
+            "synthesize", "--machines", "1", "--days", "14",
+            "--period", "60", "--out", str(tmp_path), "--seed", "3",
+        ])
+        return tmp_path / "lab-00.npz"
+
+    def test_predict_writes_snapshot(self, tmp_path, capsys):
+        from repro.obs.metrics import scoped_registry
+
+        trace = self._synthesize(tmp_path)
+        snap = tmp_path / "metrics.json"
+        with scoped_registry():
+            assert (
+                main([
+                    "predict", "--trace", str(trace),
+                    "--metrics-out", str(snap),
+                ])
+                == 0
+            )
+        assert snap.exists()
+        state = json.loads(snap.read_text())
+        assert state["version"] == 1
+        names = {m["name"] for m in state["metrics"]}
+        # the catalog is materialized even where nothing was recorded
+        assert "tr_query_latency_seconds" in names
+        assert "incremental_cache_hits_total" in names
+        assert "monitor_cpu_cost_seconds_total" in names
+
+    def test_obs_renders_snapshot_prometheus(self, tmp_path, capsys):
+        from repro.obs.metrics import scoped_registry
+
+        trace = self._synthesize(tmp_path)
+        snap = tmp_path / "metrics.json"
+        capsys.readouterr()
+        with scoped_registry():
+            main(["predict", "--trace", str(trace), "--metrics-out", str(snap)])
+        capsys.readouterr()
+        assert main(["obs", "--format", "prometheus", "--metrics-in", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE tr_query_latency_seconds histogram" in out
+        assert 'tr_query_latency_seconds_count{path="batch"} 1' in out
+        assert "incremental_cache_hits_total 0" in out
+        assert "incremental_cache_misses_total 0" in out
+        assert "monitor_cpu_cost_seconds_total 0" in out
+
+    def test_obs_table_format(self, tmp_path, capsys):
+        trace = self._synthesize(tmp_path)
+        snap = tmp_path / "metrics.json"
+        capsys.readouterr()
+        from repro.obs.metrics import scoped_registry
+
+        with scoped_registry():
+            main(["predict", "--trace", str(trace), "--metrics-out", str(snap)])
+        capsys.readouterr()
+        assert main(["obs", "--metrics-in", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "tr_query_latency_seconds" in out
+
+    def test_obs_without_snapshot_renders_zero_catalog(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["obs", "--format", "prometheus", "--metrics-in", str(missing)]) == 0
+        captured = capsys.readouterr()
+        assert "no snapshot" in captured.err
+        assert "tr_query_latency_seconds" in captured.out

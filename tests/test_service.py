@@ -54,6 +54,32 @@ class TestRegistry:
         after = service.predict("safe", WINDOW, DayType.WEEKDAY)
         assert after < before
 
+    def test_reregister_emits_machine_replaced_event(self, service):
+        from repro.obs.events import scoped_event_log
+        from repro.obs.metrics import scoped_registry
+
+        with scoped_registry(), scoped_event_log() as log:
+            service.register(idle_trace("safe", fail_hour=9.0))
+            events = log.events("machine_replaced")
+            assert len(events) == 1
+            assert events[0].severity == "warning"
+            assert events[0].fields["machine_id"] == "safe"
+            # A first-time registration is not a replacement.
+            service.register(idle_trace("brand-new"))
+            assert len(log.events("machine_replaced")) == 1
+
+    def test_registered_machines_gauge_tracks_registry(self):
+        from repro.obs.metrics import scoped_registry
+
+        with scoped_registry() as reg:
+            svc = AvailabilityService()
+            svc.register(idle_trace("a"))
+            svc.register(idle_trace("b"))
+            gauge = reg.get("service_registered_machines")
+            assert gauge.value == 2.0
+            svc.unregister("a")
+            assert gauge.value == 1.0
+
     def test_extend_history_accepts_growth(self, service):
         grown = idle_trace("safe", n_days=21)
         service.extend_history(grown)
