@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     load_forecast,
     overhead,
     profiles_exp,
+    serving,
     sizing,
     trace_stats,
 )
@@ -37,6 +38,7 @@ REGISTRY = {
     "cal": calibration_exp,
     "size": sizing,
     "load": load_forecast,
+    "serving": serving,
 }
 
 __all__ = ["REGISTRY"] + sorted(REGISTRY)

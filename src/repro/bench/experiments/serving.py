@@ -1,0 +1,259 @@
+"""SERVING — serving-tier throughput, coalescing and load-shedding.
+
+A closed-loop load generator drives a real :class:`ServeServer` (TCP,
+JSON lines) end to end with thread-per-connection clients and reports,
+from the obs histograms, what the paper's State Manager would face in
+deployment:
+
+* **coalescing** — a burst of identical cold ``predict`` queries is
+  answered with one computation (duplicate concurrent queries share the
+  primary's kernel estimation);
+* **throughput vs. offered load** — requests/second and p50/p99 latency
+  as the number of closed-loop clients grows;
+* **load shedding** — against a deliberately tiny admission queue, a
+  cold burst returns 503-style ``shed`` responses quickly while the
+  server stays live (health round-trip succeeds during and after).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.estimator import EstimatorConfig
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+from repro.serve.client import ServeClient
+from repro.serve.dispatch import DispatchConfig
+from repro.serve.server import ServeServer
+from repro.service import AvailabilityService
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["run"]
+
+
+class _ServerThread:
+    """A ServeServer on its own event loop thread (bench plumbing)."""
+
+    def __init__(self, service: AvailabilityService, config: DispatchConfig) -> None:
+        import asyncio
+
+        self._loop = asyncio.new_event_loop()
+        self.server = ServeServer(service, port=0, config=config)
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="serving-bench-loop", daemon=True
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self._loop).result(10)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        import asyncio
+
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+def _closed_loop(port: int, queries: list[dict], out: dict, lock: threading.Lock) -> None:
+    """One client: issue every query back-to-back, tally statuses."""
+    ok = shed = other = 0
+    with ServeClient(port=port) as client:
+        for params in queries:
+            resp = client.request("predict", params)
+            if resp.ok:
+                ok += 1
+            elif resp.backpressure:
+                shed += 1
+            else:
+                other += 1
+    with lock:
+        out["ok"] = out.get("ok", 0) + ok
+        out["shed"] = out.get("shed", 0) + shed
+        out["other"] = out.get("other", 0) + other
+
+
+def _fanout(port: int, per_client_queries: list[list[dict]]) -> dict:
+    """Run one closed-loop wave, one thread per client."""
+    tally: dict = {}
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(target=_closed_loop, args=(port, qs, tally, lock))
+        for qs in per_client_queries
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return tally
+
+
+def _latency_quantiles(registry: MetricsRegistry, op: str) -> tuple[float, float, int]:
+    """(p50_ms, p99_ms, count) of one op from the obs histogram."""
+    hist = registry.get("serve_request_latency_seconds")
+    if hist is None:
+        return float("nan"), float("nan"), 0
+    child = hist.labels(op=op)
+    return child.quantile(0.5) * 1e3, child.quantile(0.99) * 1e3, child.count
+
+
+def _counter(registry: MetricsRegistry, name: str) -> float:
+    metric = registry.get(name)
+    return 0.0 if metric is None else metric.value
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the SERVING load-generator experiment."""
+    if scale == "quick":
+        n_machines, n_days, period = 3, 10, 60.0
+        burst_clients, load_levels, reqs_per_client = 8, (1, 2, 4, 8), 40
+    else:
+        n_machines, n_days, period = 8, 28, 30.0
+        burst_clients, load_levels, reqs_per_client = 16, (1, 2, 4, 8, 16, 32), 100
+
+    testbed = synthesize_testbed(
+        n_machines, n_days=n_days, sample_period=period, seed=seed
+    )
+    machines = testbed.machine_ids
+
+    def predict_params(machine: str, start_hour: float, hours: float = 2.0) -> dict:
+        return {
+            "machine": machine,
+            "start_hour": start_hour,
+            "hours": hours,
+            "day_type": "weekday",
+        }
+
+    result = ExperimentResult(
+        experiment_id="SERVING",
+        description="serving-tier throughput, coalescing and load-shedding",
+    )
+
+    # --- phase 1: coalescing on a cold cache --------------------------- #
+    # Every client asks the *same* question at the same time; only the
+    # primary should pay the kernel estimation.
+    def fresh_service() -> AvailabilityService:
+        svc = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=10))
+        for trace in testbed:
+            svc.register(trace)
+        return svc
+
+    coalesce_tbl = ResultTable(
+        title="SERVING coalescing (identical cold burst)",
+        columns=["clients", "ok", "coalesced", "computed", "days_classified"],
+    )
+    with scoped_registry() as reg:
+        srv = _ServerThread(
+            fresh_service(), DispatchConfig(max_workers=2, queue_depth=256)
+        )
+        try:
+            same = [
+                [predict_params(machines[0], 9.0)] for _ in range(burst_clients)
+            ]
+            tally = _fanout(srv.port, same)
+        finally:
+            srv.stop()
+        coalesced = _counter(reg, "serve_coalesced_requests_total")
+        classified = _counter(reg, "incremental_days_classified_total")
+        coalesce_tbl.add(
+            burst_clients,
+            tally.get("ok", 0),
+            int(coalesced),
+            burst_clients - int(coalesced),
+            int(classified),
+        )
+    result.tables.append(coalesce_tbl)
+    result.notes["coalesced_requests"] = coalesced
+    result.notes["coalescing_demonstrated"] = coalesced > 0
+
+    # --- phase 2: throughput / latency vs offered load ----------------- #
+    load_tbl = ResultTable(
+        title="SERVING throughput vs offered load",
+        columns=[
+            "clients", "requests", "wall_s", "throughput_rps",
+            "p50_ms", "p99_ms", "shed",
+        ],
+    )
+    service = fresh_service()
+    # Distinct windows per request stream; reused across levels so the
+    # predictor cache is warm after the first level (steady state).
+    start_hours = [6.0 + 0.5 * i for i in range(reqs_per_client)]
+    srv = _ServerThread(service, DispatchConfig(max_workers=4, queue_depth=256))
+    try:
+        for n_clients in load_levels:
+            with scoped_registry() as reg:
+                waves = [
+                    [
+                        predict_params(machines[(c + i) % len(machines)], h)
+                        for i, h in enumerate(start_hours)
+                    ]
+                    for c in range(n_clients)
+                ]
+                t0 = time.perf_counter()
+                tally = _fanout(srv.port, waves)
+                wall = time.perf_counter() - t0
+                p50, p99, count = _latency_quantiles(reg, "predict")
+                load_tbl.add(
+                    n_clients,
+                    n_clients * reqs_per_client,
+                    wall,
+                    (tally.get("ok", 0) + tally.get("shed", 0)) / wall,
+                    p50,
+                    p99,
+                    tally.get("shed", 0),
+                )
+    finally:
+        srv.stop()
+    result.tables.append(load_tbl)
+    result.notes["peak_throughput_rps"] = max(load_tbl.column("throughput_rps"))
+    result.notes["p99_ms_at_peak"] = load_tbl.rows[-1][5]
+
+    # --- phase 3: load shedding under a tiny admission queue ----------- #
+    shed_tbl = ResultTable(
+        title="SERVING load shedding (queue_depth=2, cold distinct burst)",
+        columns=["clients", "ok", "shed", "health_ok_during", "health_ok_after"],
+    )
+    with scoped_registry() as reg:
+        srv = _ServerThread(
+            fresh_service(),
+            DispatchConfig(max_workers=1, queue_depth=2),
+        )
+        try:
+            # Distinct cold windows: every request is real work, so the
+            # single worker falls behind and admission control trips.
+            waves = [
+                [predict_params(machines[c % len(machines)], 6.0 + 0.25 * i, 3.0)
+                 for i in range(10)]
+                for c in range(burst_clients)
+            ]
+            health_during: dict = {}
+
+            def probe() -> None:
+                with ServeClient(port=srv.port) as client:
+                    health_during["ok"] = client.health()["status"] == "ok"
+
+            prober = threading.Thread(target=probe)
+            prober.start()
+            tally = _fanout(srv.port, waves)
+            prober.join()
+            with ServeClient(port=srv.port) as client:
+                health_after = client.health()["status"] == "ok"
+        finally:
+            srv.stop()
+        shed_total = _counter(reg, "serve_shed_total")
+        shed_tbl.add(
+            burst_clients,
+            tally.get("ok", 0),
+            tally.get("shed", 0),
+            health_during.get("ok", False),
+            health_after,
+        )
+    result.tables.append(shed_tbl)
+    result.notes["shed_responses"] = shed_total
+    result.notes["shedding_demonstrated"] = shed_total > 0
+    result.notes["server_stayed_live"] = bool(health_after)
+    return result

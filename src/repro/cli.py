@@ -8,6 +8,8 @@ Usage::
     repro-fgcs run all --out results/       # everything, tables to CSV
     repro-fgcs synthesize --machines 8 --days 90 --out traces/
     repro-fgcs predict --trace traces/lab-00.npz --start-hour 8 --hours 5
+    repro-fgcs serve --traces traces/ --port 7061
+    repro-fgcs query predict --port 7061 --machine lab-00 --start-hour 8 --hours 5
     repro-fgcs obs --format prometheus      # dump the metrics snapshot
 
 (Equivalently: ``python -m repro ...``.)
@@ -38,7 +40,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"{'id':<10} description")
     print(f"{'-' * 10} {'-' * 50}")
     for name, module in REGISTRY.items():
-        desc = (module.__doc__ or "").strip().splitlines()[0]
+        lines = (module.__doc__ or "").strip().splitlines()
+        desc = lines[0] if lines else "(no description)"
         print(f"{name:<10} {desc}")
     return 0
 
@@ -140,6 +143,78 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.dispatch import DispatchConfig
+    from repro.serve.server import ServeServer
+    from repro.service import AvailabilityService
+
+    service = AvailabilityService(max_cache_entries=args.cache_entries)
+    if args.traces:
+        from repro.traces.io import load_traceset
+
+        for trace in load_traceset(args.traces):
+            service.register(trace)
+        print(f"[loaded {len(service)} machine histories from {args.traces}]",
+              flush=True)
+    config = DispatchConfig(
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    async def _serve() -> int:
+        server = ServeServer(service, host=args.host, port=args.port, config=config)
+        await server.start()
+        print(f"[serving on {args.host}:{server.port}]", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("[draining...]", flush=True)
+        serving.cancel()
+        drained = await server.stop()
+        print(f"[stopped{'' if drained else ' (drain timed out)'}]", flush=True)
+        return 0 if drained else 1
+
+    return asyncio.run(_serve())
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import STATUS_OK
+
+    params: dict[str, object] = {}
+    if args.op in ("predict", "rank", "select", "horizon"):
+        params.update(
+            start_hour=args.start_hour,
+            hours=args.hours,
+            day_type="weekend" if args.weekend else "weekday",
+        )
+    if args.op in ("predict", "horizon"):
+        if not args.machine:
+            print(f"--machine is required for op {args.op!r}", file=sys.stderr)
+            return 2
+        params["machine"] = args.machine
+    if args.op == "select":
+        params["k"] = args.k
+    if args.op == "horizon":
+        params["tr_threshold"] = args.tr_threshold
+    with ServeClient(args.host, args.port, timeout=args.connect_timeout) as client:
+        response = client.request(args.op, params, deadline_ms=args.deadline_ms)
+    print(_json.dumps(response.to_wire(), indent=2))
+    return 0 if response.status == STATUS_OK else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import (
         ensure_all_registered,
@@ -210,6 +285,43 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--metrics-out", default=_DEFAULT_SNAPSHOT,
                       help="metrics snapshot path (default: %(default)s)")
     pred.set_defaults(func=_cmd_predict)
+
+    serve = sub.add_parser("serve", help="run the TCP availability server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7061,
+                       help="TCP port; 0 picks an ephemeral port (default: 7061)")
+    serve.add_argument("--port-file",
+                       help="write the bound port to this file once listening")
+    serve.add_argument("--traces", help="directory of .npz traces to pre-register")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="prediction worker threads (default: 4)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max admitted-but-unanswered requests (default: 64)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline in ms (default: none)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for in-flight work on shutdown")
+    serve.add_argument("--cache-entries", type=int, default=512,
+                       help="LRU bound on cached (machine, window) entries")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser("query", help="query a running availability server")
+    query.add_argument("op",
+                       choices=("predict", "rank", "select", "horizon", "health"))
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--machine", help="machine id (predict/horizon)")
+    query.add_argument("--start-hour", type=float, default=9.0)
+    query.add_argument("--hours", type=float, default=2.0)
+    query.add_argument("--weekend", action="store_true",
+                       help="query weekends instead of weekdays")
+    query.add_argument("--k", type=int, default=1, help="gang size for select")
+    query.add_argument("--tr-threshold", type=float, default=0.9,
+                       help="TR threshold for horizon")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline in ms")
+    query.add_argument("--connect-timeout", type=float, default=10.0)
+    query.set_defaults(func=_cmd_query)
 
     obs = sub.add_parser("obs", help="render the metrics snapshot")
     obs.add_argument("--format", choices=("table", "prometheus"), default="table",

@@ -16,11 +16,22 @@ extraction is deterministic given the trace.
 Cache invalidation: an entry is keyed by ``(machine, clock, day type,
 day)``; re-synthesizing or replacing a trace object with different data
 for the same machine id requires :meth:`invalidate`.
+
+Bounding and concurrency: the cache is LRU-bounded at the
+``(machine, clock window, day type)`` granularity (``max_cache_entries``,
+default 512) so a stream of varied query windows cannot grow it without
+limit, and every cache access is serialized by an internal lock so the
+predictor can be shared by the worker threads of :mod:`repro.serve`.
+Classification happens under the lock — correctness over parallel
+classification of the same day — while the SMP solve itself runs
+outside it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,9 +80,17 @@ class IncrementalPredictor:
         self,
         classifier: StateClassifier | None = None,
         config: EstimatorConfig | None = None,
+        *,
+        max_cache_entries: int | None = 512,
     ) -> None:
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be positive or None, got {max_cache_entries}"
+            )
         self.estimator = WindowedKernelEstimator(classifier, config)
-        self._caches: dict[tuple, _WindowCache] = {}
+        self.max_cache_entries = max_cache_entries
+        self._caches: OrderedDict[tuple, _WindowCache] = OrderedDict()
+        self._lock = threading.RLock()
         self.days_classified = 0
         self.days_reused = 0
 
@@ -82,16 +101,22 @@ class IncrementalPredictor:
 
     def invalidate(self, machine_id: str | None = None) -> None:
         """Drop cached observations (for one machine, or all)."""
-        if machine_id is None:
-            dropped = len(self._caches)
-            self._caches.clear()
-        else:
-            keys = [k for k in self._caches if k[0] == machine_id]
-            dropped = len(keys)
-            for key in keys:
-                del self._caches[key]
+        with self._lock:
+            if machine_id is None:
+                dropped = len(self._caches)
+                self._caches.clear()
+            else:
+                keys = [k for k in self._caches if k[0] == machine_id]
+                dropped = len(keys)
+                for key in keys:
+                    del self._caches[key]
         if dropped:
             instrument("incremental_cache_invalidations_total").inc(dropped)
+
+    def __len__(self) -> int:
+        """Number of cached (machine, window, day-type) entries."""
+        with self._lock:
+            return len(self._caches)
 
     # ------------------------------------------------------------------ #
 
@@ -123,27 +148,48 @@ class IncrementalPredictor:
         self, trace: MachineTrace, clock: ClockWindow, dtype: DayType
     ) -> tuple[_WindowCache, list[int]]:
         key = (trace.machine_id, _clock_key(clock), dtype)
-        cache = self._caches.setdefault(
-            key, _WindowCache(per_day_obs={}, per_day_init={})
-        )
-        days = self.estimator.history_days(trace, clock, dtype)
-        hits = misses = 0
-        for day in days:
-            if day in cache.per_day_obs:
-                hits += 1
-                continue
-            obs, init = self._day_entry(trace, clock, day)
-            cache.per_day_obs[day] = obs
-            cache.per_day_init[day] = init
-            misses += 1
-        self.days_reused += hits
-        self.days_classified += misses
+        with self._lock:
+            cache = self._caches.get(key)
+            if cache is None:
+                cache = self._caches[key] = _WindowCache(
+                    per_day_obs={}, per_day_init={}
+                )
+                self._evict_lru(keep=key)
+            else:
+                self._caches.move_to_end(key)
+            days = self.estimator.history_days(trace, clock, dtype)
+            hits = misses = 0
+            for day in days:
+                if day in cache.per_day_obs:
+                    hits += 1
+                    continue
+                obs, init = self._day_entry(trace, clock, day)
+                cache.per_day_obs[day] = obs
+                cache.per_day_init[day] = init
+                misses += 1
+            self.days_reused += hits
+            self.days_classified += misses
         if hits:
             instrument("incremental_cache_hits_total").inc(hits)
         if misses:
             instrument("incremental_cache_misses_total").inc(misses)
             instrument("incremental_days_classified_total").inc(misses)
         return cache, days
+
+    def _evict_lru(self, *, keep: tuple) -> None:
+        """Drop least-recently-used entries past the bound (lock held)."""
+        if self.max_cache_entries is None:
+            return
+        evicted = 0
+        while len(self._caches) > self.max_cache_entries:
+            oldest = next(iter(self._caches))
+            if oldest == keep:  # never evict the entry being filled
+                self._caches.move_to_end(oldest)
+                continue
+            del self._caches[oldest]
+            evicted += 1
+        if evicted:
+            instrument("incremental_cache_evictions_total").inc(evicted)
 
     # ------------------------------------------------------------------ #
 

@@ -95,6 +95,12 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "Cached (window, day) entries dropped by invalidate().",
     ),
     InstrumentSpec(
+        "incremental_cache_evictions_total",
+        "counter",
+        "(machine, window, day-type) cache entries evicted by the "
+        "IncrementalPredictor's LRU bound.",
+    ),
+    InstrumentSpec(
         "incremental_days_classified_total",
         "counter",
         "History days classified by the IncrementalPredictor; the runtime "
@@ -162,6 +168,44 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "state_manager_predictions_total",
         "counter",
         "TR predictions served by StateManagers.",
+    ),
+    # -- serving tier ----------------------------------------------------- #
+    InstrumentSpec(
+        "serve_requests_total",
+        "counter",
+        "Requests handled by the repro.serve dispatcher, by operation and "
+        "outcome (ok | error | shed | deadline_exceeded | shutting_down).",
+        ("op", "status"),
+    ),
+    InstrumentSpec(
+        "serve_request_latency_seconds",
+        "histogram",
+        "End-to-end dispatcher latency of one serving request (admission "
+        "to response), by operation.",
+        ("op",),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "serve_queue_depth",
+        "gauge",
+        "Requests admitted but not yet answered (queued + executing); "
+        "admission control sheds when this reaches the configured depth.",
+    ),
+    InstrumentSpec(
+        "serve_coalesced_requests_total",
+        "counter",
+        "Requests that piggybacked on an identical in-flight computation "
+        "instead of enqueueing their own.",
+    ),
+    InstrumentSpec(
+        "serve_shed_total",
+        "counter",
+        "Requests refused by admission control (503-style shed responses).",
+    ),
+    InstrumentSpec(
+        "serve_connections_open",
+        "gauge",
+        "Client connections currently open on the serving socket.",
     ),
     # -- bench harness --------------------------------------------------- #
     InstrumentSpec(

@@ -308,6 +308,28 @@ class _HistogramChild:
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, interpolated within buckets.
+
+        Follows the ``histogram_quantile`` convention: linear
+        interpolation between a bucket's lower and upper bound; values
+        in the +Inf overflow bucket clamp to the last finite bound.
+        Returns NaN when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        acc, lower = 0, 0.0
+        for bound, c in zip(self._bounds, self._counts):
+            if c > 0 and acc + c >= rank:
+                return lower + (bound - lower) * ((rank - acc) / c)
+            acc += c
+            lower = bound
+        return self._bounds[-1]
+
     def _state(self) -> dict[str, Any]:
         return {"counts": list(self._counts), "sum": self._sum}
 
@@ -360,6 +382,10 @@ class Histogram(Metric):
     def sum(self) -> float:
         """Observation sum of the (unlabeled) histogram."""
         return self._solo().sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the (unlabeled) histogram."""
+        return self._solo().quantile(q)
 
     def _state(self) -> dict[str, Any]:
         state = super()._state()

@@ -1,0 +1,288 @@
+"""Client libraries for the serving tier (sync and asyncio).
+
+:class:`ServeClient` is the blocking client a thread-per-connection
+scheduler (or the ``repro-fgcs query`` CLI and the load-generator
+bench) uses; :class:`AsyncServeClient` is the same surface for asyncio
+callers.  Both speak the JSON-lines protocol of
+:mod:`repro.serve.protocol` over one TCP connection and issue requests
+serially per connection — open more connections for parallelism, which
+is also what exercises the server's concurrency.
+
+The convenience methods (:meth:`~ServeClient.predict`, ...) raise
+:class:`ServeRequestError` on any non-``ok`` status; use
+:meth:`~ServeClient.request` to handle shed/deadline responses
+yourself (a load balancer would retry them on another replica).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any, Mapping
+
+from repro.serve.protocol import ProtocolError, Request, Response
+
+__all__ = ["ServeClient", "AsyncServeClient", "ServeRequestError"]
+
+
+class ServeRequestError(RuntimeError):
+    """A request that came back with a non-``ok`` status."""
+
+    def __init__(self, response: Response) -> None:
+        error = response.error or {}
+        super().__init__(
+            f"request {response.id or '<anonymous>'} failed with status "
+            f"{response.status!r}: {error.get('type', '?')}: "
+            f"{error.get('message', '')}"
+        )
+        self.response = response
+        self.status = response.status
+
+
+def _trace_params(trace: Any) -> dict[str, Any]:
+    """Wire params for registering a ``MachineTrace``."""
+    return {
+        "machine": trace.machine_id,
+        "start_time": trace.start_time,
+        "sample_period": trace.sample_period,
+        "load": [float(v) for v in trace.load],
+        "free_mem_mb": [float(v) for v in trace.free_mem_mb],
+        "up": [bool(v) for v in trace.up],
+    }
+
+
+class _ConvenienceOps:
+    """The op surface shared by the sync and async clients.
+
+    Subclasses provide ``request(op, params, deadline_ms)`` (sync or
+    async); these wrappers build params and unwrap results.  On the
+    async client every method returns a coroutine.
+    """
+
+    def request(self, op, params=None, deadline_ms=None):  # pragma: no cover
+        raise NotImplementedError
+
+    def _result(self, response: Response) -> Any:
+        if not response.ok:
+            raise ServeRequestError(response)
+        return response.result
+
+    @staticmethod
+    def _window_params(
+        start_hour: float, hours: float, day_type: str, **extra: Any
+    ) -> dict[str, Any]:
+        params = {"start_hour": start_hour, "hours": hours, "day_type": day_type}
+        params.update({k: v for k, v in extra.items() if v is not None})
+        return params
+
+
+class ServeClient(_ConvenienceOps):
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float | None = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing -------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None = None,
+        deadline_ms: float | None = None,
+    ) -> Response:
+        """Send one request and block for its response."""
+        req = Request(
+            op=op, params=params or {}, id=f"q{next(self._ids)}", deadline_ms=deadline_ms
+        )
+        self._file.write(req.encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        resp = Response.decode(line)
+        if resp.id != req.id:
+            raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
+        return resp
+
+    # -- ops ------------------------------------------------------------- #
+
+    def predict(
+        self,
+        machine: str,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        init_state: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> float:
+        """TR of one machine over one clock window."""
+        params = self._window_params(
+            start_hour, hours, day_type, machine=machine, init_state=init_state
+        )
+        return self._result(self.request("predict", params, deadline_ms))["tr"]
+
+    def rank(
+        self, start_hour: float, hours: float, day_type: str = "weekday"
+    ) -> list[dict[str, Any]]:
+        """All machines sorted by TR, best first."""
+        params = self._window_params(start_hour, hours, day_type)
+        return self._result(self.request("rank", params))["ranking"]
+
+    def select(
+        self, start_hour: float, hours: float, day_type: str = "weekday", *, k: int = 1
+    ) -> dict[str, Any]:
+        """Best-k machines and their gang survival."""
+        params = self._window_params(start_hour, hours, day_type, k=k)
+        return self._result(self.request("select", params))
+
+    def horizon(
+        self,
+        machine: str,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        tr_threshold: float = 0.9,
+    ) -> float:
+        """Longest reliable job length (seconds) at the window start."""
+        params = self._window_params(
+            start_hour, hours, day_type, machine=machine, tr_threshold=tr_threshold
+        )
+        return self._result(self.request("horizon", params))["horizon_seconds"]
+
+    def register(self, trace: Any) -> dict[str, Any]:
+        """Register (or replace) one machine's history from a trace."""
+        return self._result(self.request("register", _trace_params(trace)))
+
+    def health(self) -> dict[str, Any]:
+        """Server liveness, queue depth, machine count."""
+        return self._result(self.request("health"))
+
+
+class AsyncServeClient(_ConvenienceOps):
+    """Asyncio JSON-lines client over one TCP connection.
+
+    Construct via :meth:`connect`; the op methods mirror
+    :class:`ServeClient` but are coroutines.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServeClient":
+        """Open a connection and return a ready client."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def request(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None = None,
+        deadline_ms: float | None = None,
+    ) -> Response:
+        """Send one request and await its response."""
+        req = Request(
+            op=op, params=params or {}, id=f"q{next(self._ids)}", deadline_ms=deadline_ms
+        )
+        self._writer.write(req.encode())
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        resp = Response.decode(line)
+        if resp.id != req.id:
+            raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
+        return resp
+
+    # -- ops ------------------------------------------------------------- #
+
+    async def predict(
+        self,
+        machine: str,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        init_state: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> float:
+        """TR of one machine over one clock window."""
+        params = self._window_params(
+            start_hour, hours, day_type, machine=machine, init_state=init_state
+        )
+        return self._result(await self.request("predict", params, deadline_ms))["tr"]
+
+    async def rank(
+        self, start_hour: float, hours: float, day_type: str = "weekday"
+    ) -> list[dict[str, Any]]:
+        """All machines sorted by TR, best first."""
+        params = self._window_params(start_hour, hours, day_type)
+        return self._result(await self.request("rank", params))["ranking"]
+
+    async def select(
+        self, start_hour: float, hours: float, day_type: str = "weekday", *, k: int = 1
+    ) -> dict[str, Any]:
+        """Best-k machines and their gang survival."""
+        params = self._window_params(start_hour, hours, day_type, k=k)
+        return self._result(await self.request("select", params))
+
+    async def horizon(
+        self,
+        machine: str,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        tr_threshold: float = 0.9,
+    ) -> float:
+        """Longest reliable job length (seconds) at the window start."""
+        params = self._window_params(
+            start_hour, hours, day_type, machine=machine, tr_threshold=tr_threshold
+        )
+        return self._result(await self.request("horizon", params))["horizon_seconds"]
+
+    async def register(self, trace: Any) -> dict[str, Any]:
+        """Register (or replace) one machine's history from a trace."""
+        return self._result(await self.request("register", _trace_params(trace)))
+
+    async def health(self) -> dict[str, Any]:
+        """Server liveness, queue depth, machine count."""
+        return self._result(await self.request("health"))

@@ -1,0 +1,417 @@
+"""Request dispatcher: coalescing, worker pool, admission control.
+
+The dispatcher is the concurrency heart of the serving tier and is
+deliberately transport-free: the asyncio server hands it decoded
+:class:`~repro.serve.protocol.Request` objects and gets back
+``concurrent.futures.Future`` objects resolving to
+:class:`~repro.serve.protocol.Response`; tests and embedders can drive
+it directly without a socket.
+
+Three mechanisms keep a burst of schedulers from melting the predictor:
+
+**Coalescing.**  Identical in-flight ``predict`` queries — same
+``(machine, window, day type, init state)`` — share one computation.
+The first request becomes the *primary* and occupies a worker slot;
+followers attach a callback to the primary's computation future and
+consume no queue depth and no worker time.  Follower responses are
+marked ``coalesced`` so clients (and the bench) can observe the merge.
+
+**Admission control.**  At most ``queue_depth`` requests may be
+admitted-but-unanswered at once.  Requests beyond that are refused
+immediately with a 503-style ``shed`` response — the caller learns in
+microseconds that this replica is saturated, instead of waiting in an
+unbounded queue (the classic overload failure mode).
+
+**Deadlines.**  A request may carry ``deadline_ms``; if a worker reaches
+it after the deadline passed, the computation is skipped and the client
+gets ``deadline_exceeded``.  Expired work is the other half of overload
+behavior: computing an answer nobody is waiting for anymore only steals
+capacity from answerable requests.
+
+Shutdown is a graceful drain: new work is refused with
+``shutting_down`` while admitted requests finish (bounded by
+``drain_timeout_s``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.states import State
+from repro.core.windows import ClockWindow, DayType
+from repro.obs.instruments import instrument
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_CLOSING,
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_SHED,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.traces.trace import MachineTrace
+
+__all__ = ["DispatchConfig", "Dispatcher", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline passed before a worker reached it."""
+
+
+@dataclass(frozen=True)
+class DispatchConfig:
+    """Tuning knobs of one dispatcher instance."""
+
+    #: Worker threads running CPU-bound kernel work.
+    max_workers: int = 4
+    #: Maximum admitted-but-unanswered requests before shedding.
+    queue_depth: int = 64
+    #: Deadline applied to requests that do not carry their own (None:
+    #: requests without a deadline never expire).
+    default_deadline_ms: float | None = None
+    #: How long close(drain=True) waits for in-flight work.
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# request parameter parsing
+# ---------------------------------------------------------------------- #
+
+
+def _require(params: Mapping[str, Any], key: str) -> Any:
+    if key not in params:
+        raise ProtocolError(f"missing required param {key!r}")
+    return params[key]
+
+
+def _parse_window(params: Mapping[str, Any]) -> tuple[ClockWindow, DayType]:
+    window = ClockWindow.from_hours(
+        float(_require(params, "start_hour")), float(_require(params, "hours"))
+    )
+    raw = params.get("day_type", DayType.WEEKDAY.value)
+    try:
+        dtype = DayType(raw)
+    except ValueError:
+        raise ProtocolError(
+            f"unknown day_type {raw!r}; expected one of "
+            f"{[d.value for d in DayType]}"
+        ) from None
+    return window, dtype
+
+
+def _parse_init_state(params: Mapping[str, Any]) -> State | None:
+    raw = params.get("init_state")
+    if raw is None:
+        return None
+    try:
+        return State[str(raw).upper()]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown init_state {raw!r}; expected one of {[s.name for s in State]}"
+        ) from None
+
+
+# ---------------------------------------------------------------------- #
+
+
+class Dispatcher:
+    """Executes requests against an ``AvailabilityService`` on a pool."""
+
+    def __init__(self, service: Any, config: DispatchConfig | None = None) -> None:
+        self.service = service
+        self.config = config or DispatchConfig()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._inflight: dict[tuple, Future] = {}
+        self._admitted = 0
+        self._closing = False
+        self._started = time.monotonic()
+        # register mutates the service while queries read it; serialize
+        # writers against each other (readers stay lock-free, see the
+        # thread-safety notes in service.py / core/online.py).
+        self._register_lock = threading.Lock()
+        self._handlers: dict[str, Callable[[Mapping[str, Any]], Any]] = {
+            "predict": self._op_predict,
+            "rank": self._op_rank,
+            "select": self._op_select,
+            "horizon": self._op_horizon,
+            "register": self._op_register,
+            "health": self._op_health,
+        }
+
+    # ------------------------------------------------------------------ #
+    # submission path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> "Future[Response]":
+        """Admit one request; the future resolves to its response.
+
+        The future always resolves to a :class:`Response` — errors,
+        sheds and deadline expirations are response statuses, never
+        exceptions on the future.
+        """
+        t0 = time.perf_counter()
+        out: Future[Response] = Future()
+        out.set_running_or_notify_cancel()
+
+        # health answers inline: it is O(1), must work under overload
+        # (it is how operators see the overload), and during drain.
+        if request.op == "health":
+            self._finish_value(out, request, t0, self._op_health(request.params))
+            return out
+
+        # Bookkeeping happens under the lock; callbacks are attached only
+        # after releasing it, because add_done_callback on an
+        # already-finished future runs the callback inline in *this*
+        # thread — which must therefore not be holding the lock the
+        # callbacks acquire.
+        key = self._coalesce_key(request)
+        primary: Future | None = None
+        with self._lock:
+            if self._closing:
+                self._refuse(out, request, t0, STATUS_CLOSING)
+                return out
+            if key is not None:
+                primary = self._inflight.get(key)
+            if primary is None:
+                if self._admitted >= self.config.queue_depth:
+                    instrument("serve_shed_total").inc()
+                    self._refuse(out, request, t0, STATUS_SHED)
+                    return out
+                self._admitted += 1
+                instrument("serve_queue_depth").set(self._admitted)
+                deadline_ms = (
+                    request.deadline_ms
+                    if request.deadline_ms is not None
+                    else self.config.default_deadline_ms
+                )
+                expires = (
+                    None if deadline_ms is None
+                    else time.monotonic() + deadline_ms / 1e3
+                )
+                comp = self._executor.submit(self._execute, request, expires)
+                if key is not None:
+                    self._inflight[key] = comp
+        if primary is not None:
+            instrument("serve_coalesced_requests_total").inc()
+            primary.add_done_callback(
+                lambda f: self._finish(out, request, t0, f, coalesced=True)
+            )
+            return out
+        if key is not None:
+            comp.add_done_callback(lambda f, k=key: self._forget(k, f))
+        comp.add_done_callback(lambda f: self._release())
+        comp.add_done_callback(
+            lambda f: self._finish(out, request, t0, f, coalesced=False)
+        )
+        return out
+
+    def _coalesce_key(self, request: Request) -> tuple | None:
+        """The identity under which a request may share a computation."""
+        if request.op != "predict":
+            return None
+        p = request.params
+        return (
+            "predict",
+            p.get("machine"),
+            p.get("start_hour"),
+            p.get("hours"),
+            p.get("day_type", DayType.WEEKDAY.value),
+            p.get("init_state"),
+        )
+
+    def _execute(self, request: Request, expires: float | None) -> Any:
+        if expires is not None and time.monotonic() > expires:
+            raise DeadlineExceeded(
+                f"deadline passed before a worker reached op {request.op!r}"
+            )
+        return self._handlers[request.op](request.params)
+
+    # -- completion plumbing -------------------------------------------- #
+
+    def _forget(self, key: tuple, _f: Future) -> None:
+        with self._lock:
+            if self._inflight.get(key) is _f:
+                del self._inflight[key]
+
+    def _release(self) -> None:
+        with self._lock:
+            self._admitted -= 1
+            instrument("serve_queue_depth").set(self._admitted)
+            if self._admitted == 0:
+                self._drained.notify_all()
+
+    def _refuse(self, out: Future, request: Request, t0: float, status: str) -> None:
+        message = (
+            "server is shutting down; no new work accepted"
+            if status == STATUS_CLOSING
+            else f"admission queue full ({self.config.queue_depth} in flight); retry later"
+        )
+        self._finish_response(
+            out,
+            request,
+            Response.failure(
+                request.id, status, "Overload", message,
+                elapsed_ms=(time.perf_counter() - t0) * 1e3,
+            ),
+        )
+
+    def _finish_value(self, out: Future, request: Request, t0: float, value: Any) -> None:
+        self._finish_response(
+            out,
+            request,
+            Response.success(
+                request.id, value, elapsed_ms=(time.perf_counter() - t0) * 1e3
+            ),
+        )
+
+    def _finish(
+        self, out: Future, request: Request, t0: float, comp: Future, *, coalesced: bool
+    ) -> None:
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        exc = comp.exception()
+        if exc is None:
+            resp = Response.success(
+                request.id, comp.result(), coalesced=coalesced, elapsed_ms=elapsed_ms
+            )
+        elif isinstance(exc, DeadlineExceeded):
+            resp = Response.failure(
+                request.id, STATUS_DEADLINE, "DeadlineExceeded", str(exc),
+                coalesced=coalesced, elapsed_ms=elapsed_ms,
+            )
+        else:
+            resp = Response.failure(
+                request.id, STATUS_ERROR, type(exc).__name__, str(exc),
+                coalesced=coalesced, elapsed_ms=elapsed_ms,
+            )
+        self._finish_response(out, request, resp)
+
+    def _finish_response(self, out: Future, request: Request, resp: Response) -> None:
+        instrument("serve_requests_total").labels(op=request.op, status=resp.status).inc()
+        if resp.elapsed_ms is not None:
+            instrument("serve_request_latency_seconds").labels(op=request.op).observe(
+                resp.elapsed_ms / 1e3
+            )
+        out.set_result(resp)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def admitted(self) -> int:
+        """Requests currently admitted but unanswered."""
+        with self._lock:
+            return self._admitted
+
+    @property
+    def closing(self) -> bool:
+        """True once close() started; new work is being refused."""
+        with self._lock:
+            return self._closing
+
+    def close(self, *, drain: bool = True) -> bool:
+        """Stop accepting work; optionally wait for in-flight requests.
+
+        Returns True when every admitted request finished before the
+        drain timeout (vacuously True for ``drain=False``).
+        """
+        with self._lock:
+            self._closing = True
+            ok = True
+            if drain:
+                deadline = time.monotonic() + self.config.drain_timeout_s
+                while self._admitted > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        ok = False
+                        break
+                    self._drained.wait(remaining)
+        self._executor.shutdown(wait=drain and ok)
+        return ok
+
+    # ------------------------------------------------------------------ #
+    # op handlers (run on worker threads)
+    # ------------------------------------------------------------------ #
+
+    def _op_predict(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        machine = str(_require(params, "machine"))
+        window, dtype = _parse_window(params)
+        tr = self.service.predict(
+            machine, window, dtype, init_state=_parse_init_state(params)
+        )
+        return {"machine": machine, "tr": tr}
+
+    def _op_rank(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        window, dtype = _parse_window(params)
+        ranking = self.service.rank(window, dtype)
+        return {"ranking": [{"machine": r.machine_id, "tr": r.tr} for r in ranking]}
+
+    def _op_select(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        window, dtype = _parse_window(params)
+        k = int(params.get("k", 1))
+        machines, survival = self.service.select(window, dtype, k=k)
+        return {"machines": machines, "survival": survival, "k": k}
+
+    def _op_horizon(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        machine = str(_require(params, "machine"))
+        window, dtype = _parse_window(params)
+        threshold = float(params.get("tr_threshold", 0.9))
+        seconds = self.service.reliable_horizon(
+            machine, window, dtype, tr_threshold=threshold
+        )
+        return {"machine": machine, "horizon_seconds": seconds, "tr_threshold": threshold}
+
+    def _op_register(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        load = _require(params, "load")
+        # A trace that omits memory samples is treated as memory-
+        # unconstrained; 0.0 would classify every sample as
+        # resource-unavailable (S4) and silently pin TR to zero.
+        free_mem_mb = params.get("free_mem_mb")
+        if free_mem_mb is None:
+            free_mem_mb = [float("inf")] * len(load)
+        trace = MachineTrace(
+            machine_id=str(_require(params, "machine")),
+            start_time=float(params.get("start_time", 0.0)),
+            sample_period=float(_require(params, "sample_period")),
+            load=load,
+            free_mem_mb=free_mem_mb,
+            up=params.get("up"),
+        )
+        with self._register_lock:
+            replaced = trace.machine_id in self.service
+            self.service.register(trace)
+        return {
+            "machine": trace.machine_id,
+            "n_samples": trace.n_samples,
+            "replaced": replaced,
+        }
+
+    def _op_health(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "status": "draining" if self.closing else "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "machines": len(self.service),
+            "queue_depth": self.admitted,
+            "queue_limit": self.config.queue_depth,
+            "workers": self.config.max_workers,
+            "uptime_seconds": time.monotonic() - self._started,
+        }

@@ -1,0 +1,273 @@
+"""Wire protocol of the serving tier: JSON lines, versioned op set.
+
+One request per line, one response per line, both UTF-8 JSON objects —
+the simplest protocol a scheduler written in any language can speak
+with nothing but a socket and a JSON parser.  Requests carry a protocol
+version so the op set can evolve without breaking deployed clients; a
+server that does not understand a request answers with a structured
+error response instead of dropping the connection.
+
+Request wire form::
+
+    {"v": 1, "id": "c1-17", "op": "predict",
+     "params": {"machine": "lab-03", "start_hour": 9, "hours": 5,
+                "day_type": "weekday"},
+     "deadline_ms": 250}
+
+Response wire form::
+
+    {"v": 1, "id": "c1-17", "status": "ok", "result": {"tr": 0.93},
+     "coalesced": false, "elapsed_ms": 1.8}
+
+``status`` is ``ok`` or one of the failure codes in :data:`STATUSES`;
+``shed`` and ``shutting_down`` are the 503-style answers of admission
+control (retry against another replica or later), ``deadline_exceeded``
+means the request was admitted but expired before a worker reached it.
+
+This module is wire format only — no sockets, no service logic — so
+both the asyncio server and the sync/async clients share one source of
+truth for encoding and validation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "STATUSES",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_SHED",
+    "STATUS_DEADLINE",
+    "STATUS_CLOSING",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+]
+
+#: Current protocol version; bump when an op's contract changes.
+PROTOCOL_VERSION = 1
+
+#: The versioned op set of protocol version 1.
+OPS: frozenset[str] = frozenset(
+    {"predict", "rank", "select", "horizon", "register", "health"}
+)
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+STATUS_DEADLINE = "deadline_exceeded"
+STATUS_CLOSING = "shutting_down"
+
+#: Every status a response may carry.
+STATUSES: frozenset[str] = frozenset(
+    {STATUS_OK, STATUS_ERROR, STATUS_SHED, STATUS_DEADLINE, STATUS_CLOSING}
+)
+
+#: Statuses that mean "the server refused work it was offered" — safe to
+#: retry elsewhere/later, no computation happened.
+BACKPRESSURE_STATUSES: frozenset[str] = frozenset({STATUS_SHED, STATUS_CLOSING})
+
+#: Upper bound on one request/response line.  Generous enough for a
+#: register op shipping a multi-week trace, small enough to stop a
+#: malformed client from ballooning server memory.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request (or response) that violates the wire contract."""
+
+
+def _encode(obj: Mapping[str, Any]) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def _decode_line(line: bytes | str) -> dict[str, Any]:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request."""
+
+    op: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    id: str = ""
+    deadline_ms: float | None = None
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {self.version!r} "
+                f"(this build speaks v{PROTOCOL_VERSION})"
+            )
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown op {self.op!r}; v{PROTOCOL_VERSION} ops: {', '.join(sorted(OPS))}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ProtocolError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-serializable wire object."""
+        obj: dict[str, Any] = {"v": self.version, "id": self.id, "op": self.op}
+        if self.params:
+            obj["params"] = dict(self.params)
+        if self.deadline_ms is not None:
+            obj["deadline_ms"] = self.deadline_ms
+        return obj
+
+    def encode(self) -> bytes:
+        """One wire line (JSON + newline)."""
+        return _encode(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "Request":
+        """Validate and build a request from a decoded wire object."""
+        if "op" not in obj:
+            raise ProtocolError("request is missing 'op'")
+        params = obj.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ProtocolError(f"'params' must be an object, got {type(params).__name__}")
+        deadline = obj.get("deadline_ms")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ProtocolError(f"'deadline_ms' must be a number, got {deadline!r}")
+        return cls(
+            op=str(obj["op"]),
+            params=params,
+            id=str(obj.get("id", "")),
+            deadline_ms=None if deadline is None else float(deadline),
+            version=int(obj.get("v", PROTOCOL_VERSION)),
+        )
+
+    @classmethod
+    def decode(cls, line: bytes | str) -> "Request":
+        """Parse one wire line into a request."""
+        return cls.from_wire(_decode_line(line))
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server response."""
+
+    id: str
+    status: str
+    result: Any = None
+    error: Mapping[str, str] | None = None
+    coalesced: bool = False
+    elapsed_ms: float | None = None
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ProtocolError(
+                f"unknown status {self.status!r}; expected one of {sorted(STATUSES)}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the request succeeded."""
+        return self.status == STATUS_OK
+
+    @property
+    def backpressure(self) -> bool:
+        """True when the server refused the work (shed / shutting down)."""
+        return self.status in BACKPRESSURE_STATUSES
+
+    # -- construction helpers ------------------------------------------- #
+
+    @classmethod
+    def success(
+        cls,
+        request_id: str,
+        result: Any,
+        *,
+        coalesced: bool = False,
+        elapsed_ms: float | None = None,
+    ) -> "Response":
+        """An ``ok`` response carrying ``result``."""
+        return cls(
+            id=request_id,
+            status=STATUS_OK,
+            result=result,
+            coalesced=coalesced,
+            elapsed_ms=elapsed_ms,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        request_id: str,
+        status: str,
+        error_type: str,
+        message: str,
+        *,
+        coalesced: bool = False,
+        elapsed_ms: float | None = None,
+    ) -> "Response":
+        """A non-``ok`` response with a structured error."""
+        return cls(
+            id=request_id,
+            status=status,
+            error={"type": error_type, "message": message},
+            coalesced=coalesced,
+            elapsed_ms=elapsed_ms,
+        )
+
+    # -- wire form ------------------------------------------------------- #
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-serializable wire object."""
+        obj: dict[str, Any] = {"v": self.version, "id": self.id, "status": self.status}
+        if self.result is not None:
+            obj["result"] = self.result
+        if self.error is not None:
+            obj["error"] = dict(self.error)
+        if self.coalesced:
+            obj["coalesced"] = True
+        if self.elapsed_ms is not None:
+            obj["elapsed_ms"] = round(self.elapsed_ms, 3)
+        return obj
+
+    def encode(self) -> bytes:
+        """One wire line (JSON + newline)."""
+        return _encode(self.to_wire())
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "Response":
+        """Validate and build a response from a decoded wire object."""
+        if "status" not in obj:
+            raise ProtocolError("response is missing 'status'")
+        error = obj.get("error")
+        if error is not None and not isinstance(error, Mapping):
+            raise ProtocolError(f"'error' must be an object, got {type(error).__name__}")
+        return cls(
+            id=str(obj.get("id", "")),
+            status=str(obj["status"]),
+            result=obj.get("result"),
+            error=error,
+            coalesced=bool(obj.get("coalesced", False)),
+            elapsed_ms=obj.get("elapsed_ms"),
+            version=int(obj.get("v", PROTOCOL_VERSION)),
+        )
+
+    @classmethod
+    def decode(cls, line: bytes | str) -> "Response":
+        """Parse one wire line into a response."""
+        return cls.from_wire(_decode_line(line))

@@ -57,11 +57,14 @@ class AvailabilityService:
         *,
         classifier: StateClassifier | None = None,
         estimator_config: EstimatorConfig | None = None,
+        max_cache_entries: int | None = 512,
     ) -> None:
         self.classifier = classifier or StateClassifier()
         self.config = estimator_config or EstimatorConfig(step_multiple=10)
         self._histories: dict[str, MachineTrace] = {}
-        self._predictor = IncrementalPredictor(self.classifier, self.config)
+        self._predictor = IncrementalPredictor(
+            self.classifier, self.config, max_cache_entries=max_cache_entries
+        )
 
     # ------------------------------------------------------------------ #
     # registry
@@ -100,6 +103,23 @@ class AvailabilityService:
                 "extend_history requires a trace that grows the existing one; "
                 "use register() to replace it"
             )
+        # Cheap prefix spot-check: the kept per-day caches are only valid
+        # if the overlapping samples are actually unchanged.  Comparing
+        # the first and last overlapping samples catches the common
+        # mistakes (re-synthesized trace, shifted data) without an O(n)
+        # array comparison on every extension.
+        for idx in (0, old.n_samples - 1):
+            if (
+                abs(old.load[idx] - history.load[idx]) > 1e-12
+                or abs(old.free_mem_mb[idx] - history.free_mem_mb[idx]) > 1e-9
+                or bool(old.up[idx]) != bool(history.up[idx])
+            ):
+                raise ValueError(
+                    f"extend_history: new trace for {history.machine_id!r} is "
+                    f"not a prefix-extension of the existing history (sample "
+                    f"{idx} differs); use register() to replace the history "
+                    "and invalidate its caches"
+                )
         self._histories[history.machine_id] = history
 
     def unregister(self, machine_id: str) -> None:
@@ -151,8 +171,10 @@ class AvailabilityService:
     ) -> dict[str, float]:
         """TR of every registered machine over one window."""
         instrument("service_query_fanout_machines").observe(len(self._histories))
+        # Snapshot the id list so a concurrent register() (the serving
+        # tier runs queries on worker threads) cannot break iteration.
         return {
-            mid: self.predict(mid, window, dtype) for mid in self._histories
+            mid: self.predict(mid, window, dtype) for mid in list(self._histories)
         }
 
     def rank(

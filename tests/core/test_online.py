@@ -130,6 +130,61 @@ class TestCaching:
             ), offset
 
 
+class TestLruBound:
+    def test_unbounded_when_none(self, long_trace):
+        pred = IncrementalPredictor(
+            config=EstimatorConfig(step_multiple=10), max_cache_entries=None
+        )
+        for h in range(12):
+            pred.predict(long_trace, ClockWindow.from_hours(h, 1.0), DayType.WEEKDAY)
+        assert len(pred) == 12
+
+    def test_eviction_bounds_entries(self, long_trace):
+        from repro.obs.metrics import scoped_registry
+
+        with scoped_registry() as reg:
+            pred = IncrementalPredictor(
+                config=EstimatorConfig(step_multiple=10), max_cache_entries=4
+            )
+            for h in range(10):
+                pred.predict(
+                    long_trace, ClockWindow.from_hours(h, 1.0), DayType.WEEKDAY
+                )
+            assert len(pred) == 4
+            assert reg.get("incremental_cache_evictions_total").value == 6.0
+
+    def test_lru_order_keeps_hot_entries(self, long_trace):
+        pred = IncrementalPredictor(
+            config=EstimatorConfig(step_multiple=10), max_cache_entries=2
+        )
+        hot = ClockWindow.from_hours(9, 1.0)
+        pred.predict(long_trace, hot, DayType.WEEKDAY)
+        before = pred.days_classified
+        # touch hot, then push one cold window through; hot must survive
+        for h in (14, 9, 16, 9, 18, 9):
+            pred.predict(long_trace, ClockWindow.from_hours(h, 1.0), DayType.WEEKDAY)
+        after = pred.days_classified
+        pred.predict(long_trace, hot, DayType.WEEKDAY)
+        assert pred.days_classified == after  # hot was never evicted
+        assert after > before  # the cold windows did classify
+
+    def test_evicted_entry_recomputes_identically(self, long_trace):
+        pred = IncrementalPredictor(
+            config=EstimatorConfig(step_multiple=10), max_cache_entries=1
+        )
+        cw = ClockWindow.from_hours(9, 2.0)
+        first = pred.predict(long_trace, cw, DayType.WEEKDAY)
+        pred.predict(long_trace, ClockWindow.from_hours(15, 2.0), DayType.WEEKDAY)
+        assert len(pred) == 1  # the 9h window was evicted
+        assert pred.predict(long_trace, cw, DayType.WEEKDAY) == pytest.approx(
+            first, abs=1e-15
+        )
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalPredictor(max_cache_entries=0)
+
+
 class TestApi:
     def test_absolute_window(self, long_trace, incremental):
         aw = ClockWindow.from_hours(9, 2).on_day(long_trace.last_day + 1)

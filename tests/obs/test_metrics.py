@@ -91,6 +91,37 @@ class TestHistogramBucketEdges:
             Histogram("lat", buckets=(1.0, math.inf))
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in (1, 2]: p50 interpolates to the middle.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            h.observe(1.5)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_across_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 0.5, 3.0):  # 75% below 1, one in (2, 4]
+            h.observe(v)
+        assert h.quantile(0.5) <= 1.0
+        assert 2.0 <= h.quantile(0.99) <= 4.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
 class TestBucketHelpers:
     def test_exponential(self):
         assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)

@@ -1,0 +1,93 @@
+"""Wire-format tests for the serving protocol."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    ProtocolError,
+    Request,
+    Response,
+)
+
+
+class TestRequest:
+    def test_roundtrip(self):
+        req = Request(
+            op="predict",
+            params={"machine": "lab-00", "start_hour": 9, "hours": 2},
+            id="q1",
+            deadline_ms=250.0,
+        )
+        back = Request.decode(req.encode())
+        assert back == req
+
+    def test_encode_is_one_json_line(self):
+        raw = Request(op="health", id="h").encode()
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        obj = json.loads(raw)
+        assert obj["v"] == PROTOCOL_VERSION
+        assert obj["op"] == "health"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            Request(op="destroy")
+
+    def test_versioned_op_set(self):
+        assert OPS == {"predict", "rank", "select", "horizon", "register", "health"}
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            Request.decode(b'{"v": 99, "op": "health"}')
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="missing 'op'"):
+            Request.decode(b'{"v": 1}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            Request.decode(b"{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            Request.decode(b"[1, 2]")
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            Request(op="health", deadline_ms=0.0)
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ProtocolError, match="params"):
+            Request.decode(b'{"v": 1, "op": "health", "params": [1]}')
+
+
+class TestResponse:
+    def test_success_roundtrip(self):
+        resp = Response.success("q7", {"tr": 0.93}, coalesced=True, elapsed_ms=1.25)
+        back = Response.decode(resp.encode())
+        assert back.ok and back.coalesced
+        assert back.id == "q7"
+        assert back.result == {"tr": 0.93}
+
+    def test_failure_roundtrip(self):
+        resp = Response.failure("q8", STATUS_SHED, "Overload", "queue full")
+        back = Response.decode(resp.encode())
+        assert not back.ok
+        assert back.backpressure
+        assert back.error["type"] == "Overload"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            Response(id="x", status="confused")
+
+    def test_backpressure_classification(self):
+        assert not Response(id="", status=STATUS_OK).backpressure
+        assert not Response(id="", status=STATUS_ERROR).backpressure
+        assert not Response(id="", status=STATUS_DEADLINE).backpressure
+        assert Response(id="", status=STATUS_SHED).backpressure

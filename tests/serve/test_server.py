@@ -1,0 +1,226 @@
+"""End-to-end tests: real TCP server, sync and async clients."""
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.serve.client import AsyncServeClient, ServeClient, ServeRequestError
+from repro.serve.dispatch import DispatchConfig
+from repro.serve.server import ServeServer
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+
+def idle_trace(mid, fail_hour=None, n_days=14, period=60.0):
+    n_per_day = int(SECONDS_PER_DAY / period)
+    load = np.full(n_days * n_per_day, 0.05)
+    if fail_hour is not None:
+        i0 = int(fail_hour * 3600 / period)
+        for day in range(n_days):
+            load[day * n_per_day + i0 : day * n_per_day + i0 + 15] = 0.95
+    return MachineTrace(mid, 0.0, period, load, np.full(load.shape, 400.0))
+
+
+class ServerThread:
+    """A ServeServer on a dedicated event-loop thread."""
+
+    def __init__(self, service, config=None):
+        self.loop = asyncio.new_event_loop()
+        self.server = ServeServer(service, port=0, config=config)
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(30)
+
+    def stop(self):
+        self.run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=5))
+    svc.register(idle_trace("safe"))
+    svc.register(idle_trace("risky", fail_hour=9.0))
+    return svc
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    srv = ServerThread(service, DispatchConfig(max_workers=2, queue_depth=32))
+    yield srv
+    srv.stop()
+
+
+class TestSyncClient:
+    def test_health(self, server):
+        with ServeClient(port=server.port) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["machines"] == 2
+
+    def test_predict_matches_direct_service(self, server, service):
+        with ServeClient(port=server.port) as client:
+            tr = client.predict("risky", 8, 3)
+        direct = service.predict("risky", ClockWindow.from_hours(8, 3), DayType.WEEKDAY)
+        assert tr == pytest.approx(direct, abs=1e-12)
+
+    def test_rank_select_horizon(self, server):
+        with ServeClient(port=server.port) as client:
+            ranking = client.rank(8, 3)
+            assert [r["machine"] for r in ranking] == ["safe", "risky"]
+            select = client.select(8, 3, k=2)
+            assert select["machines"][0] == "safe"
+            horizon = client.horizon("safe", 8, 5)
+            assert horizon == pytest.approx(5 * 3600.0)
+
+    def test_many_requests_one_connection(self, server):
+        with ServeClient(port=server.port) as client:
+            values = [client.predict("safe", 8 + i % 3, 2) for i in range(12)]
+        assert all(v == pytest.approx(1.0) for v in values)
+
+    def test_unknown_machine_raises(self, server):
+        with ServeClient(port=server.port) as client:
+            with pytest.raises(ServeRequestError, match="KeyError"):
+                client.predict("ghost", 8, 3)
+            # the connection survives the error response
+            assert client.health()["status"] == "ok"
+
+    def test_register_over_the_wire(self, server):
+        with ServeClient(port=server.port) as client:
+            out = client.register(idle_trace("wired"))
+            assert out == {"machine": "wired", "n_samples": 14 * 1440, "replaced": False}
+            assert client.predict("wired", 9, 1) == pytest.approx(1.0)
+
+    def test_concurrent_connections(self, server):
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            with ServeClient(port=server.port) as client:
+                tr = client.predict("safe", 8, 2)
+            with lock:
+                results.append(tr)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert all(tr == pytest.approx(1.0) for tr in results)
+
+
+class TestRawWire:
+    def test_malformed_line_gets_error_response_and_connection_survives(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["status"] == "error"
+            assert resp["error"]["type"] == "ProtocolError"
+            f.write(b'{"v": 1, "id": "h1", "op": "health"}\n')
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["status"] == "ok" and resp["id"] == "h1"
+
+    def test_pipelined_requests_all_answered(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            f = sock.makefile("rwb")
+            for i in range(5):
+                f.write(
+                    json.dumps({"v": 1, "id": f"p{i}", "op": "health"}).encode() + b"\n"
+                )
+            f.flush()
+            ids = {json.loads(f.readline())["id"] for _ in range(5)}
+            assert ids == {f"p{i}" for i in range(5)}
+
+    def test_blank_lines_ignored(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"\n\n")
+            f.write(b'{"v": 1, "id": "x", "op": "health"}\n')
+            f.flush()
+            assert json.loads(f.readline())["id"] == "x"
+
+
+class TestAsyncClient:
+    def test_roundtrip(self, server):
+        async def go():
+            client = await AsyncServeClient.connect(port=server.port)
+            try:
+                health = await client.health()
+                tr = await client.predict("safe", 8, 2)
+                ranking = await client.rank(8, 2)
+                return health, tr, ranking
+            finally:
+                await client.close()
+
+        health, tr, ranking = asyncio.run(go())
+        assert health["status"] == "ok"
+        assert tr == pytest.approx(1.0)
+        assert len(ranking) >= 2
+
+
+class TestQueryCli:
+    def test_health_and_predict_roundtrip(self, server, capsys):
+        from repro.cli import main
+
+        assert main(["query", "health", "--port", str(server.port)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "ok" and out["result"]["machines"] >= 2
+
+        assert (
+            main([
+                "query", "predict", "--port", str(server.port),
+                "--machine", "safe", "--start-hour", "8", "--hours", "2",
+            ])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["result"]["tr"] == pytest.approx(1.0)
+
+    def test_predict_requires_machine(self, server, capsys):
+        from repro.cli import main
+
+        assert main(["query", "predict", "--port", str(server.port)]) == 2
+        assert "--machine" in capsys.readouterr().err
+
+    def test_error_response_exits_nonzero(self, server, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "query", "predict", "--port", str(server.port),
+            "--machine", "ghost", "--start-hour", "8", "--hours", "2",
+        ])
+        assert rc == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "error"
+
+
+class TestShutdown:
+    def test_graceful_stop_drains_and_refuses_new_connections(self):
+        svc = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=5))
+        svc.register(idle_trace("only"))
+        srv = ServerThread(svc, DispatchConfig(max_workers=1, queue_depth=8))
+        port = srv.port
+        with ServeClient(port=port) as client:
+            assert client.health()["status"] == "ok"
+        srv.stop()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.5)

@@ -36,6 +36,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig5" in out and "emp-cpu" in out
 
+    def test_list_handles_missing_docstring(self, monkeypatch, capsys):
+        import types
+
+        from repro.bench.experiments import REGISTRY
+
+        bare = types.ModuleType("bare_experiment")  # __doc__ is None
+        empty = types.ModuleType("empty_experiment")
+        empty.__doc__ = "   \n  "
+        monkeypatch.setitem(REGISTRY, "bare", bare)
+        monkeypatch.setitem(REGISTRY, "empty", empty)
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(no description)") == 2
+
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "nonsense"]) == 2
         assert "unknown experiment" in capsys.readouterr().err

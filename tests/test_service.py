@@ -97,6 +97,23 @@ class TestRegistry:
         svc.extend_history(idle_trace("new"))
         assert "new" in svc
 
+    def test_extend_history_rejects_non_prefix_data(self, service):
+        # Same grid and longer, but the overlapping samples differ — the
+        # kept per-day caches would silently serve stale observations.
+        n = 21 * 1440
+        impostor = MachineTrace(
+            "safe", 0.0, 60.0, np.full(n, 0.5), np.full(n, 400.0)
+        )
+        with pytest.raises(ValueError, match="not a prefix-extension"):
+            service.extend_history(impostor)
+
+    def test_extend_history_rejects_changed_tail_sample(self, service):
+        grown = idle_trace("safe", n_days=21)
+        old_n = idle_trace("safe").n_samples
+        grown.load[old_n - 1] = 0.75  # corrupt the last overlapping sample
+        with pytest.raises(ValueError, match=f"sample {old_n - 1}"):
+            service.extend_history(grown)
+
 
 class TestQueries:
     def test_predict_matches_batch(self, service):

@@ -1,0 +1,129 @@
+"""Thread-safety contract of AvailabilityService.predict.
+
+The serving tier runs predictions on a ThreadPoolExecutor against one
+shared service; these tests lock in that concurrent queries (a) return
+exactly the serial results and (b) keep the incremental predictor's
+cache statistics consistent (each (window, day) is classified once,
+everything else is a hit).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import EstimatorConfig
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.obs.metrics import scoped_registry
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+
+def busy_trace(mid, seed, n_days=14, period=120.0):
+    n_per_day = int(SECONDS_PER_DAY / period)
+    rng = np.random.default_rng(seed)
+    load = np.clip(rng.beta(2, 6, n_days * n_per_day), 0.0, 1.0)
+    return MachineTrace(mid, 0.0, period, load, np.full(load.shape, 400.0))
+
+
+def build_service():
+    svc = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=5))
+    for i in range(4):
+        svc.register(busy_trace(f"m{i}", seed=100 + i))
+    return svc
+
+
+WINDOWS = [ClockWindow.from_hours(h, 2.0) for h in (6.0, 9.0, 13.5, 20.0)]
+QUERIES = [
+    (f"m{i}", w, dt)
+    for i in range(4)
+    for w in WINDOWS
+    for dt in (DayType.WEEKDAY, DayType.WEEKEND)
+]
+
+
+class TestConcurrentPredict:
+    def test_results_equal_serial(self):
+        serial_svc = build_service()
+        serial = {
+            (m, w, dt): serial_svc.predict(m, w, dt) for (m, w, dt) in QUERIES
+        }
+
+        concurrent_svc = build_service()
+        start = threading.Barrier(8)
+
+        def worker(offset):
+            start.wait(timeout=10)
+            out = {}
+            # every worker hits every query, rotated so threads collide
+            # on the same (machine, window) entries in different orders
+            n = len(QUERIES)
+            for j in range(n):
+                q = QUERIES[(j + offset * 3) % n]
+                out[q] = concurrent_svc.predict(*q)
+            return out
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result() for f in [pool.submit(worker, i) for i in range(8)]]
+
+        for out in results:
+            for q, tr in out.items():
+                assert tr == pytest.approx(serial[q], abs=1e-12), q
+
+    def test_cache_stats_not_corrupted(self):
+        with scoped_registry() as reg:
+            svc = build_service()
+            start = threading.Barrier(8)
+
+            def worker(offset):
+                start.wait(timeout=10)
+                n = len(QUERIES)
+                for j in range(n):
+                    svc.predict(*QUERIES[(j + offset * 5) % n])
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                for f in [pool.submit(worker, i) for i in range(8)]:
+                    f.result()
+
+            predictor = svc._predictor
+            hits = reg.get("incremental_cache_hits_total").value
+            misses = reg.get("incremental_cache_misses_total").value
+            # Each (machine, window, dtype, day) is classified exactly once
+            # across all 8 threads; all other touches are hits.
+            assert misses == predictor.days_classified
+            assert hits == predictor.days_reused
+            serial = build_service()
+            for q in QUERIES:
+                serial.predict(*q)
+            assert predictor.days_classified == serial._predictor.days_classified
+            total_touches = predictor.days_classified + predictor.days_reused
+            eight_rounds = 8 * (
+                serial._predictor.days_classified + serial._predictor.days_reused
+            )
+            assert total_touches == eight_rounds
+
+    def test_concurrent_predict_with_register(self):
+        svc = build_service()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                try:
+                    svc.register(busy_trace(f"extra{i % 3}", seed=500 + i % 3))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                i += 1
+
+        t = threading.Thread(target=churn)
+        t.start()
+        try:
+            for _ in range(5):
+                for q in QUERIES[:8]:
+                    svc.predict(*q)
+        finally:
+            stop.set()
+            t.join(timeout=10)
+        assert not errors
