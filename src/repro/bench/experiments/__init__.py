@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     profiles_exp,
     serving,
     sizing,
+    store_exp,
     trace_stats,
 )
 
@@ -39,6 +40,7 @@ REGISTRY = {
     "size": sizing,
     "load": load_forecast,
     "serving": serving,
+    "store": store_exp,
 }
 
 __all__ = ["REGISTRY"] + sorted(REGISTRY)

@@ -1,0 +1,163 @@
+"""STORE — durable trace-store ingest, recovery and warm-start costs.
+
+Benchmarks the write-ahead segment log that makes the serving tier's
+registry crash-recoverable:
+
+* **ingest throughput vs fsync policy** — streaming append of monitor
+  chunks under ``always`` (fsync per record), ``interval`` (bounded
+  loss) and ``never`` (OS page cache), in samples/second;
+* **recovery time vs log length** — reopen cost as the WAL grows, and
+  again after compaction folds the segments into one NPZ snapshot (the
+  paper's motivation for snapshots: replay only the suffix);
+* **warm-start vs cold load** — building an :class:`AvailabilityService`
+  from a recovered store versus re-registering a traceset from plain
+  NPZ files.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.service import AvailabilityService
+from repro.store import StoreConfig, TraceStore
+from repro.traces.io import load_traceset, save_traceset
+from repro.traces.trace import MachineTrace
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["run"]
+
+
+def _chunks(trace: MachineTrace, chunk_samples: int) -> list[MachineTrace]:
+    """Split one trace into monitor-sized append chunks."""
+    out = []
+    for lo in range(0, trace.n_samples, chunk_samples):
+        hi = min(lo + chunk_samples, trace.n_samples)
+        out.append(
+            MachineTrace(
+                machine_id=trace.machine_id,
+                start_time=trace.start_time + lo * trace.sample_period,
+                sample_period=trace.sample_period,
+                load=trace.load[lo:hi],
+                free_mem_mb=trace.free_mem_mb[lo:hi],
+                up=trace.up[lo:hi],
+            )
+        )
+    return out
+
+
+def _ingest(root: Path, policy: str, chunks_by_machine: dict) -> tuple[float, int]:
+    """Append every chunk through one store; (wall_s, samples)."""
+    total = 0
+    t0 = time.perf_counter()
+    with TraceStore(root, StoreConfig(fsync=policy)) as store:
+        for chunks in chunks_by_machine.values():
+            for chunk in chunks:
+                total += store.append(chunk.machine_id, chunk).appended
+    return time.perf_counter() - t0, total
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the STORE durability-cost experiment."""
+    if scale == "quick":
+        n_machines, n_days, period, chunk_samples = 3, 7, 60.0, 200
+        log_lengths = (5, 20, 50)
+    else:
+        n_machines, n_days, period, chunk_samples = 8, 28, 30.0, 500
+        log_lengths = (10, 50, 200, 500)
+
+    testbed = synthesize_testbed(
+        n_machines, n_days=n_days, sample_period=period, seed=seed
+    )
+    chunks_by_machine = {t.machine_id: _chunks(t, chunk_samples) for t in testbed}
+    total_samples = sum(t.n_samples for t in testbed)
+
+    result = ExperimentResult(
+        experiment_id="STORE",
+        description="trace-store ingest, recovery and warm-start costs",
+    )
+
+    # --- phase 1: ingest throughput vs fsync policy -------------------- #
+    ingest_tbl = ResultTable(
+        title="STORE ingest throughput vs fsync policy",
+        columns=["fsync", "samples", "wall_s", "samples_per_s"],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        for policy in ("always", "interval:0.5", "never"):
+            wall, appended = _ingest(
+                Path(tmp) / policy.replace(":", "-"), policy, chunks_by_machine
+            )
+            ingest_tbl.add(policy, appended, wall, appended / max(wall, 1e-9))
+    result.tables.append(ingest_tbl)
+    rates = ingest_tbl.column("samples_per_s")
+    result.notes["fsync_always_slowdown_x"] = rates[-1] / max(rates[0], 1e-9)
+
+    # --- phase 2: recovery time vs log length, before/after compaction - #
+    recovery_tbl = ResultTable(
+        title="STORE recovery time vs WAL length",
+        columns=[
+            "chunks", "samples", "wal_recover_ms", "compacted_recover_ms",
+            "segments_removed",
+        ],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        one = testbed[testbed.machine_ids[0]]
+        for i, n_chunks in enumerate(log_lengths):
+            root = Path(tmp) / f"len{i}"
+            chunks = _chunks(one, chunk_samples)[:n_chunks]
+            with TraceStore(root, StoreConfig(fsync="never")) as store:
+                for chunk in chunks:
+                    store.append(chunk.machine_id, chunk)
+            with TraceStore(root) as store:
+                wal_ms = store.last_recovery.duration_s * 1e3
+                report = store.compact()
+            with TraceStore(root) as store:
+                compacted_ms = store.last_recovery.duration_s * 1e3
+                n_recovered = store.n_samples(one.machine_id)
+            assert n_recovered == sum(c.n_samples for c in chunks)
+            recovery_tbl.add(
+                n_chunks,
+                n_recovered,
+                wal_ms,
+                compacted_ms,
+                report.segments_removed,
+            )
+    result.tables.append(recovery_tbl)
+    result.notes["compaction_speedup_x"] = (
+        recovery_tbl.rows[-1][2] / max(recovery_tbl.rows[-1][3], 1e-9)
+    )
+
+    # --- phase 3: warm-start vs cold traceset load --------------------- #
+    warm_tbl = ResultTable(
+        title="STORE warm-start vs cold load",
+        columns=["path", "machines", "wall_s"],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        traces_dir = Path(tmp) / "traces"
+        save_traceset(testbed, traces_dir)
+        store_dir = Path(tmp) / "store"
+        with TraceStore(store_dir, StoreConfig(fsync="never")) as store:
+            for trace in testbed:
+                store.replace(trace)
+
+        t0 = time.perf_counter()
+        svc_cold = AvailabilityService()
+        for trace in load_traceset(traces_dir):
+            svc_cold.register(trace)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        with TraceStore(store_dir) as store:
+            svc_warm = AvailabilityService.warm_start(store)
+        warm_s = time.perf_counter() - t0
+
+        assert sorted(svc_warm.machine_ids) == sorted(svc_cold.machine_ids)
+        warm_tbl.add("cold (npz traceset)", len(svc_cold), cold_s)
+        warm_tbl.add("warm (trace store)", len(svc_warm), warm_s)
+    result.tables.append(warm_tbl)
+    result.notes["total_samples"] = total_samples
+    result.notes["warm_start_s"] = warm_s
+    result.notes["cold_load_s"] = cold_s
+    return result

@@ -10,6 +10,11 @@ Usage::
     repro-fgcs predict --trace traces/lab-00.npz --start-hour 8 --hours 5
     repro-fgcs serve --traces traces/ --port 7061
     repro-fgcs query predict --port 7061 --machine lab-00 --start-hour 8 --hours 5
+    repro-fgcs store init store/            # create a durable trace store
+    repro-fgcs store ingest store/ --traces traces/
+    repro-fgcs serve --store store/         # warm-start, persist registrations
+    repro-fgcs query extend --port 7061 --trace chunk.npz --retries 3
+    repro-fgcs store stat store/            # per-machine WAL/snapshot accounting
     repro-fgcs obs --format prometheus      # dump the metrics snapshot
 
 (Equivalently: ``python -m repro ...``.)
@@ -151,7 +156,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeServer
     from repro.service import AvailabilityService
 
-    service = AvailabilityService(max_cache_entries=args.cache_entries)
+    store = None
+    if args.store:
+        from repro.store import StoreConfig, TraceStore
+
+        store = TraceStore(args.store, StoreConfig(fsync=args.fsync))
+        service = AvailabilityService.warm_start(
+            store, max_cache_entries=args.cache_entries
+        )
+        rec = store.last_recovery
+        print(
+            f"[recovered {rec.machines} machines from {args.store} "
+            f"({rec.samples_from_snapshots} snapshot + {rec.samples_replayed} "
+            f"replayed samples, {rec.truncated_bytes} torn bytes truncated, "
+            f"{rec.duration_s * 1000:.0f} ms)]",
+            flush=True,
+        )
+    else:
+        service = AvailabilityService(max_cache_entries=args.cache_entries)
     if args.traces:
         from repro.traces.io import load_traceset
 
@@ -184,13 +206,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"[stopped{'' if drained else ' (drain timed out)'}]", flush=True)
         return 0 if drained else 1
 
-    return asyncio.run(_serve())
+    try:
+        return asyncio.run(_serve())
+    finally:
+        if store is not None:
+            store.close()
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.serve.client import ServeClient
+    from repro.serve.client import ServeClient, _trace_params
     from repro.serve.protocol import STATUS_OK
 
     params: dict[str, object] = {}
@@ -209,10 +235,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params["k"] = args.k
     if args.op == "horizon":
         params["tr_threshold"] = args.tr_threshold
-    with ServeClient(args.host, args.port, timeout=args.connect_timeout) as client:
+    if args.op in ("register", "extend"):
+        if not args.trace:
+            print(f"--trace is required for op {args.op!r}", file=sys.stderr)
+            return 2
+        from repro.traces.io import load_trace_npz
+
+        params.update(_trace_params(load_trace_npz(args.trace)))
+    with ServeClient(
+        args.host, args.port, timeout=args.connect_timeout, retries=args.retries
+    ) as client:
         response = client.request(args.op, params, deadline_ms=args.deadline_ms)
     print(_json.dumps(response.to_wire(), indent=2))
     return 0 if response.status == STATUS_OK else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import StoreConfig, TraceStore
+
+    with TraceStore(args.dir, StoreConfig(fsync=args.fsync)) as store:
+        rec = store.last_recovery
+        if args.store_op == "init":
+            print(f"initialised trace store at {args.dir} "
+                  f"({rec.machines} machines recovered)")
+            return 0
+        if args.store_op == "ingest":
+            if not args.traces:
+                print("--traces is required for 'store ingest'", file=sys.stderr)
+                return 2
+            from repro.traces.io import load_traceset
+
+            total = 0
+            for trace in load_traceset(args.traces):
+                store.replace(trace)
+                total += trace.n_samples
+                print(f"  {trace.machine_id}: {trace.n_samples} samples")
+            print(f"ingested {len(store)} machines ({total} samples) into {args.dir}")
+            return 0
+        if args.store_op == "stat":
+            print(
+                f"recovery: {rec.machines} machines, "
+                f"{rec.samples_from_snapshots} snapshot + "
+                f"{rec.samples_replayed} replayed samples "
+                f"({rec.records_replayed} records, "
+                f"{rec.truncated_bytes} torn bytes truncated) "
+                f"in {rec.duration_s * 1000:.1f} ms"
+            )
+            header = (f"{'machine':<20} {'samples':>10} {'snapshot':>10} "
+                      f"{'segments':>8} {'wal bytes':>12} {'snap bytes':>12}")
+            print(header)
+            print("-" * len(header))
+            for st in store.stat():
+                print(
+                    f"{st.machine_id:<20} {st.n_samples:>10} "
+                    f"{st.snapshot_samples:>10} {st.n_segments:>8} "
+                    f"{st.wal_bytes:>12} {st.snapshot_bytes:>12}"
+                )
+            return 0
+        if args.store_op == "compact":
+            report = store.compact()
+            print(
+                f"compacted {report.machines} machines: "
+                f"{report.segments_removed} segments removed, "
+                f"{report.bytes_reclaimed} WAL bytes reclaimed"
+            )
+            return 0
+    print(f"unknown store operation {args.store_op!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -293,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file",
                        help="write the bound port to this file once listening")
     serve.add_argument("--traces", help="directory of .npz traces to pre-register")
+    serve.add_argument("--store",
+                       help="trace-store directory; warm-starts the registry from "
+                       "it and persists registrations/extensions durably")
+    serve.add_argument("--fsync", default="interval",
+                       help="store durability policy: always | interval[:SECONDS] "
+                       "| never (default: interval)")
     serve.add_argument("--workers", type=int, default=4,
                        help="prediction worker threads (default: 4)")
     serve.add_argument("--queue-depth", type=int, default=64,
@@ -307,10 +402,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="query a running availability server")
     query.add_argument("op",
-                       choices=("predict", "rank", "select", "horizon", "health"))
+                       choices=("predict", "rank", "select", "horizon", "health",
+                                "register", "extend"))
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, required=True)
     query.add_argument("--machine", help="machine id (predict/horizon)")
+    query.add_argument("--trace",
+                       help="path to a .npz trace to ship (register/extend)")
+    query.add_argument("--retries", type=int, default=0,
+                       help="retry shed/shutting_down responses this many times "
+                       "with jittered backoff (default: 0)")
     query.add_argument("--start-hour", type=float, default=9.0)
     query.add_argument("--hours", type=float, default=2.0)
     query.add_argument("--weekend", action="store_true",
@@ -322,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline in ms")
     query.add_argument("--connect-timeout", type=float, default=10.0)
     query.set_defaults(func=_cmd_query)
+
+    store = sub.add_parser("store", help="manage a durable trace store")
+    store.add_argument("store_op", choices=("init", "ingest", "stat", "compact"),
+                       help="init: create; ingest: load a traceset; stat: "
+                       "per-machine accounting; compact: fold WALs into snapshots")
+    store.add_argument("dir", help="store directory")
+    store.add_argument("--traces", help="traceset directory to ingest")
+    store.add_argument("--fsync", default="interval",
+                       help="durability policy: always | interval[:SECONDS] | never")
+    store.set_defaults(func=_cmd_store)
 
     obs = sub.add_parser("obs", help="render the metrics snapshot")
     obs.add_argument("--format", choices=("table", "prometheus"), default="table",

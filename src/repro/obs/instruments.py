@@ -207,6 +207,52 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "gauge",
         "Client connections currently open on the serving socket.",
     ),
+    # -- durable trace store ---------------------------------------------- #
+    InstrumentSpec(
+        "store_appends_total",
+        "counter",
+        "Sample batches appended to the trace store's write-ahead log.",
+    ),
+    InstrumentSpec(
+        "store_appended_samples_total",
+        "counter",
+        "Samples appended to the trace store (after overlap trimming).",
+    ),
+    InstrumentSpec(
+        "store_fsync_seconds",
+        "histogram",
+        "Latency of one fsync of an active WAL segment; the per-append "
+        "durability price of fsync=always vs interval/never.",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "store_recovery_seconds",
+        "histogram",
+        "Duration of one full store recovery (snapshot load + WAL "
+        "suffix replay across machines); compaction exists to bound this.",
+        (),
+        _WALL_BUCKETS,
+    ),
+    InstrumentSpec(
+        "store_segments_per_machine",
+        "histogram",
+        "WAL segments per machine, observed at recovery and after "
+        "compaction.",
+        (),
+        _FANOUT_BUCKETS,
+    ),
+    InstrumentSpec(
+        "store_compactions_total",
+        "counter",
+        "Machine logs folded into NPZ snapshots (segments deleted).",
+    ),
+    InstrumentSpec(
+        "store_torn_tail_truncations_total",
+        "counter",
+        "Torn WAL tails truncated during recovery (expected after a "
+        "crash mid-append; anything else is corruption).",
+    ),
     # -- bench harness --------------------------------------------------- #
     InstrumentSpec(
         "experiment_runs_total",

@@ -12,16 +12,35 @@ The convenience methods (:meth:`~ServeClient.predict`, ...) raise
 :class:`ServeRequestError` on any non-``ok`` status; use
 :meth:`~ServeClient.request` to handle shed/deadline responses
 yourself (a load balancer would retry them on another replica).
+
+Both clients take an opt-in ``retries=`` argument: backpressure
+responses (``shed`` / ``shutting_down`` — the server refused the work
+without computing anything) are retried up to that many times with
+exponential backoff and full jitter, so a one-off CLI query survives a
+transient overload burst instead of failing on the first shed.  Real
+errors and deadline expirations are never retried.
+
+Requests are sent at the lowest protocol version that includes their op
+(see :func:`repro.serve.protocol.min_version`), so a new client keeps
+working against an older server for the ops that server speaks.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 from typing import Any, Mapping
 
-from repro.serve.protocol import ProtocolError, Request, Response
+from repro.serve.protocol import (
+    BACKPRESSURE_STATUSES,
+    ProtocolError,
+    Request,
+    Response,
+    min_version,
+)
 
 __all__ = ["ServeClient", "AsyncServeClient", "ServeRequestError"]
 
@@ -41,7 +60,7 @@ class ServeRequestError(RuntimeError):
 
 
 def _trace_params(trace: Any) -> dict[str, Any]:
-    """Wire params for registering a ``MachineTrace``."""
+    """Wire params for shipping a ``MachineTrace`` (register / extend)."""
     return {
         "machine": trace.machine_id,
         "start_time": trace.start_time,
@@ -50,6 +69,11 @@ def _trace_params(trace: Any) -> dict[str, Any]:
         "free_mem_mb": [float(v) for v in trace.free_mem_mb],
         "up": [bool(v) for v in trace.up],
     }
+
+
+def _retry_delay(attempt: int, base_s: float, max_s: float) -> float:
+    """Exponential backoff with full jitter (attempt is 0-based)."""
+    return random.uniform(0.0, min(max_s, base_s * (2.0**attempt)))
 
 
 class _ConvenienceOps:
@@ -78,14 +102,31 @@ class _ConvenienceOps:
 
 
 class ServeClient(_ConvenienceOps):
-    """Blocking JSON-lines client over one TCP connection."""
+    """Blocking JSON-lines client over one TCP connection.
+
+    ``retries`` bounds how many times a backpressure response is retried
+    (0: fail fast, the default); ``retry_backoff_s`` is the base of the
+    jittered exponential backoff, capped at ``retry_backoff_max_s``.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float | None = 10.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 10.0,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 2.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._retries = int(retries)
+        self._backoff_s = retry_backoff_s
+        self._backoff_max_s = retry_backoff_max_s
 
     # -- plumbing -------------------------------------------------------- #
 
@@ -108,9 +149,27 @@ class ServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None = None,
         deadline_ms: float | None = None,
     ) -> Response:
-        """Send one request and block for its response."""
+        """Send one request; blocks for (and retries backpressure on) it."""
+        for attempt in itertools.count():
+            resp = self._request_once(op, params, deadline_ms)
+            if resp.status in BACKPRESSURE_STATUSES and attempt < self._retries:
+                time.sleep(_retry_delay(attempt, self._backoff_s, self._backoff_max_s))
+                continue
+            return resp
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None,
+        deadline_ms: float | None,
+    ) -> Response:
         req = Request(
-            op=op, params=params or {}, id=f"q{next(self._ids)}", deadline_ms=deadline_ms
+            op=op,
+            params=params or {},
+            id=f"q{next(self._ids)}",
+            deadline_ms=deadline_ms,
+            version=min_version(op),
         )
         self._file.write(req.encode())
         self._file.flush()
@@ -173,6 +232,10 @@ class ServeClient(_ConvenienceOps):
         """Register (or replace) one machine's history from a trace."""
         return self._result(self.request("register", _trace_params(trace)))
 
+    def extend(self, chunk: Any) -> dict[str, Any]:
+        """Stream a chunk of new samples for one machine (protocol v2)."""
+        return self._result(self.request("extend", _trace_params(chunk)))
+
     def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""
         return self._result(self.request("health"))
@@ -182,21 +245,47 @@ class AsyncServeClient(_ConvenienceOps):
     """Asyncio JSON-lines client over one TCP connection.
 
     Construct via :meth:`connect`; the op methods mirror
-    :class:`ServeClient` but are coroutines.
+    :class:`ServeClient` but are coroutines, and backpressure retries
+    sleep with ``asyncio.sleep`` instead of blocking.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 2.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
+        self._retries = int(retries)
+        self._backoff_s = retry_backoff_s
+        self._backoff_max_s = retry_backoff_max_s
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServeClient":
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 2.0,
+    ) -> "AsyncServeClient":
         """Open a connection and return a ready client."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+            retry_backoff_max_s=retry_backoff_max_s,
+        )
 
     async def close(self) -> None:
         """Close the connection."""
@@ -218,9 +307,29 @@ class AsyncServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None = None,
         deadline_ms: float | None = None,
     ) -> Response:
-        """Send one request and await its response."""
+        """Send one request; awaits (and retries backpressure on) it."""
+        for attempt in itertools.count():
+            resp = await self._request_once(op, params, deadline_ms)
+            if resp.status in BACKPRESSURE_STATUSES and attempt < self._retries:
+                await asyncio.sleep(
+                    _retry_delay(attempt, self._backoff_s, self._backoff_max_s)
+                )
+                continue
+            return resp
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _request_once(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None,
+        deadline_ms: float | None,
+    ) -> Response:
         req = Request(
-            op=op, params=params or {}, id=f"q{next(self._ids)}", deadline_ms=deadline_ms
+            op=op,
+            params=params or {},
+            id=f"q{next(self._ids)}",
+            deadline_ms=deadline_ms,
+            version=min_version(op),
         )
         self._writer.write(req.encode())
         await self._writer.drain()
@@ -282,6 +391,10 @@ class AsyncServeClient(_ConvenienceOps):
     async def register(self, trace: Any) -> dict[str, Any]:
         """Register (or replace) one machine's history from a trace."""
         return self._result(await self.request("register", _trace_params(trace)))
+
+    async def extend(self, chunk: Any) -> dict[str, Any]:
+        """Stream a chunk of new samples for one machine (protocol v2)."""
+        return self._result(await self.request("extend", _trace_params(chunk)))
 
     async def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""

@@ -154,6 +154,7 @@ class Dispatcher:
             "select": self._op_select,
             "horizon": self._op_horizon,
             "register": self._op_register,
+            "extend": self._op_extend,
             "health": self._op_health,
         }
 
@@ -381,21 +382,7 @@ class Dispatcher:
         return {"machine": machine, "horizon_seconds": seconds, "tr_threshold": threshold}
 
     def _op_register(self, params: Mapping[str, Any]) -> dict[str, Any]:
-        load = _require(params, "load")
-        # A trace that omits memory samples is treated as memory-
-        # unconstrained; 0.0 would classify every sample as
-        # resource-unavailable (S4) and silently pin TR to zero.
-        free_mem_mb = params.get("free_mem_mb")
-        if free_mem_mb is None:
-            free_mem_mb = [float("inf")] * len(load)
-        trace = MachineTrace(
-            machine_id=str(_require(params, "machine")),
-            start_time=float(params.get("start_time", 0.0)),
-            sample_period=float(_require(params, "sample_period")),
-            load=load,
-            free_mem_mb=free_mem_mb,
-            up=params.get("up"),
-        )
+        trace = self._parse_trace(params)
         with self._register_lock:
             replaced = trace.machine_id in self.service
             self.service.register(trace)
@@ -404,6 +391,48 @@ class Dispatcher:
             "n_samples": trace.n_samples,
             "replaced": replaced,
         }
+
+    def _op_extend(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Stream a chunk of new samples for one machine (protocol v2).
+
+        Unlike ``register`` (which replaces the whole history and drops
+        its caches), ``extend`` grows the history in place, keeps the
+        per-day caches, and — when the service has a backing store —
+        persists the chunk before acknowledging.  Overlapping retries
+        are trimmed, so at-least-once delivery is safe.
+        """
+        chunk = self._parse_trace(params)
+        with self._register_lock:
+            before = (
+                self.service._histories[chunk.machine_id].n_samples
+                if chunk.machine_id in self.service
+                else 0
+            )
+            grown = self.service.append_samples(chunk)
+        return {
+            "machine": chunk.machine_id,
+            "appended": grown.n_samples - before,
+            "n_samples": grown.n_samples,
+            "created": before == 0,
+        }
+
+    @staticmethod
+    def _parse_trace(params: Mapping[str, Any]) -> MachineTrace:
+        load = _require(params, "load")
+        # A trace that omits memory samples is treated as memory-
+        # unconstrained; 0.0 would classify every sample as
+        # resource-unavailable (S4) and silently pin TR to zero.
+        free_mem_mb = params.get("free_mem_mb")
+        if free_mem_mb is None:
+            free_mem_mb = [float("inf")] * len(load)
+        return MachineTrace(
+            machine_id=str(_require(params, "machine")),
+            start_time=float(params.get("start_time", 0.0)),
+            sample_period=float(_require(params, "sample_period")),
+            load=load,
+            free_mem_mb=free_mem_mb,
+            up=params.get("up"),
+        )
 
     def _op_health(self, params: Mapping[str, Any]) -> dict[str, Any]:
         return {

@@ -37,7 +37,10 @@ from typing import Any, Mapping
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "OPS",
+    "OPS_BY_VERSION",
+    "min_version",
     "STATUSES",
     "STATUS_OK",
     "STATUS_ERROR",
@@ -51,12 +54,39 @@ __all__ = [
 ]
 
 #: Current protocol version; bump when an op's contract changes.
-PROTOCOL_VERSION = 1
+#: v1: predict/rank/select/horizon/register/health.
+#: v2: adds ``extend`` (stream a chunk of new samples for one machine).
+PROTOCOL_VERSION = 2
 
-#: The versioned op set of protocol version 1.
-OPS: frozenset[str] = frozenset(
-    {"predict", "rank", "select", "horizon", "register", "health"}
-)
+#: The op set introduced by each protocol version.  A server validates a
+#: request's op against the *request's* version, so an old client is
+#: never answered with an op it cannot know about, and a new client
+#: talking to an old server gets a structured "unsupported version"
+#: error rather than a dropped connection.
+OPS_BY_VERSION: dict[int, frozenset[str]] = {
+    1: frozenset({"predict", "rank", "select", "horizon", "register", "health"}),
+}
+OPS_BY_VERSION[2] = OPS_BY_VERSION[1] | {"extend"}
+
+#: Versions this build can answer.
+SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)
+
+#: The full op set of the current version.
+OPS: frozenset[str] = OPS_BY_VERSION[PROTOCOL_VERSION]
+
+
+def min_version(op: str) -> int:
+    """The lowest protocol version that includes ``op``.
+
+    Clients send each request at this version so they stay compatible
+    with older servers for ops those servers already speak.
+    """
+    for version in sorted(OPS_BY_VERSION):
+        if op in OPS_BY_VERSION[version]:
+            return version
+    raise ProtocolError(
+        f"unknown op {op!r}; v{PROTOCOL_VERSION} ops: {', '.join(sorted(OPS))}"
+    )
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
@@ -110,14 +140,21 @@ class Request:
     version: int = PROTOCOL_VERSION
 
     def __post_init__(self) -> None:
-        if self.version != PROTOCOL_VERSION:
+        if self.version not in SUPPORTED_VERSIONS:
             raise ProtocolError(
                 f"unsupported protocol version {self.version!r} "
-                f"(this build speaks v{PROTOCOL_VERSION})"
+                f"(this build speaks v1..v{PROTOCOL_VERSION})"
             )
-        if self.op not in OPS:
+        version_ops = OPS_BY_VERSION[self.version]
+        if self.op not in version_ops:
+            if self.op in OPS:
+                raise ProtocolError(
+                    f"op {self.op!r} requires protocol v{min_version(self.op)}, "
+                    f"request declared v{self.version}"
+                )
             raise ProtocolError(
-                f"unknown op {self.op!r}; v{PROTOCOL_VERSION} ops: {', '.join(sorted(OPS))}"
+                f"unknown op {self.op!r}; v{self.version} ops: "
+                f"{', '.join(sorted(version_ops))}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ProtocolError(

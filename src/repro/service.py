@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
 from repro.traces.trace import MachineTrace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.store import TraceStore
 
 __all__ = ["AvailabilityService", "RankedMachine"]
 
@@ -58,20 +62,43 @@ class AvailabilityService:
         classifier: StateClassifier | None = None,
         estimator_config: EstimatorConfig | None = None,
         max_cache_entries: int | None = 512,
+        store: "TraceStore | None" = None,
     ) -> None:
         self.classifier = classifier or StateClassifier()
         self.config = estimator_config or EstimatorConfig(step_multiple=10)
+        self.store = store
         self._histories: dict[str, MachineTrace] = {}
         self._predictor = IncrementalPredictor(
             self.classifier, self.config, max_cache_entries=max_cache_entries
         )
 
+    @classmethod
+    def warm_start(cls, store: "TraceStore", **kwargs: object) -> "AvailabilityService":
+        """Build a service whose registry is recovered from a trace store.
+
+        Every machine in the store is registered from its recovered
+        history (without echoing it back to the store); subsequent
+        ``register``/``extend_history``/``append_samples`` calls persist
+        to the store before acknowledging.
+        """
+        service = cls(store=store, **kwargs)  # type: ignore[arg-type]
+        for machine_id in store.machine_ids:
+            service.register(store.load(machine_id), persist=False)
+        return service
+
     # ------------------------------------------------------------------ #
     # registry
     # ------------------------------------------------------------------ #
 
-    def register(self, history: MachineTrace) -> None:
-        """Add a machine (or replace its history, invalidating caches)."""
+    def register(self, history: MachineTrace, *, persist: bool = True) -> None:
+        """Add a machine (or replace its history, invalidating caches).
+
+        With a backing store, the history is made durable *before* the
+        in-memory registry changes (pass ``persist=False`` only when the
+        history already came from the store, as ``warm_start`` does).
+        """
+        if self.store is not None and persist:
+            self.store.replace(history)
         if history.machine_id in self._histories:
             self._predictor.invalidate(history.machine_id)
             get_event_log().emit(
@@ -83,16 +110,18 @@ class AvailabilityService:
         self._histories[history.machine_id] = history
         instrument("service_registered_machines").set(len(self._histories))
 
-    def extend_history(self, history: MachineTrace) -> None:
+    def extend_history(self, history: MachineTrace, *, persist: bool = True) -> None:
         """Replace a machine's history with a grown version of itself.
 
         Unlike :meth:`register`, the per-day caches are kept: the new
         trace must extend the old one (same grid), so cached days stay
-        valid and only new days will be classified.
+        valid and only new days will be classified.  With a backing
+        store, the new suffix is appended durably before the registry
+        changes.
         """
         old = self._histories.get(history.machine_id)
         if old is None:
-            self.register(history)
+            self.register(history, persist=persist)
             return
         if (
             old.sample_period != history.sample_period
@@ -120,7 +149,64 @@ class AvailabilityService:
                     f"{idx} differs); use register() to replace the history "
                     "and invalidate its caches"
                 )
+        if self.store is not None and persist and history.n_samples > old.n_samples:
+            suffix = MachineTrace(
+                machine_id=history.machine_id,
+                start_time=old.end_time,
+                sample_period=history.sample_period,
+                load=history.load[old.n_samples :],
+                free_mem_mb=history.free_mem_mb[old.n_samples :],
+                up=history.up[old.n_samples :],
+            )
+            self.store.append(history.machine_id, suffix)
         self._histories[history.machine_id] = history
+
+    def append_samples(self, chunk: MachineTrace) -> MachineTrace:
+        """Grow a machine's history by a chunk of newly monitored samples.
+
+        This is the streaming-ingest entry point (the serve ``extend``
+        op): ``chunk`` carries only the *new* samples, on the machine's
+        grid, starting at (or overlapping) the current history end — a
+        retried chunk that overlaps already-ingested samples is trimmed,
+        so delivery is idempotent.  For an unknown machine the chunk
+        becomes its initial history.  Returns the grown history.
+        """
+        old = self._histories.get(chunk.machine_id)
+        if old is None:
+            self.register(chunk)
+            return chunk
+        if chunk.sample_period != old.sample_period:
+            raise ValueError(
+                f"chunk sample period {chunk.sample_period} does not match the "
+                f"history's {old.sample_period} for {chunk.machine_id!r}"
+            )
+        offset = (chunk.start_time - old.start_time) / old.sample_period
+        seq = int(round(offset))
+        if abs(offset - seq) > 1e-3 or seq < 0:
+            raise ValueError(
+                f"chunk start {chunk.start_time} is not on the sample grid of "
+                f"{chunk.machine_id!r} (start {old.start_time}, "
+                f"period {old.sample_period})"
+            )
+        if seq > old.n_samples:
+            raise ValueError(
+                f"chunk for {chunk.machine_id!r} starts at sample {seq} but the "
+                f"history has only {old.n_samples}; samples were lost in between"
+            )
+        skip = old.n_samples - seq
+        if skip >= chunk.n_samples:
+            return old  # fully overlapping retry: nothing new
+        tail = MachineTrace(
+            machine_id=chunk.machine_id,
+            start_time=old.end_time,
+            sample_period=chunk.sample_period,
+            load=chunk.load[skip:],
+            free_mem_mb=chunk.free_mem_mb[skip:],
+            up=chunk.up[skip:],
+        )
+        grown = old.concat(tail)
+        self.extend_history(grown)
+        return grown
 
     def unregister(self, machine_id: str) -> None:
         """Remove a machine and its caches."""

@@ -1,0 +1,61 @@
+"""``repro.store`` — durable, crash-recoverable trace storage.
+
+The paper's State Manager is parameterized entirely from accumulated
+host-usage logs; this package is where those logs live when the serving
+tier must survive restarts and crashes.  It is a dependency-free
+persistence layer:
+
+* :mod:`repro.store.wal` — append-only segment files with per-record
+  CRC framing and torn-tail truncation, plus the fsync policy
+  (``always`` / ``interval`` / ``never``) that trades ingest throughput
+  against the crash-durability window;
+* :mod:`repro.store.store` — :class:`TraceStore`: per-machine segment
+  logs + NPZ snapshots behind ``append`` / ``load`` / ``recover`` /
+  ``snapshot`` / ``compact``, with optional background compaction.
+
+Typical use::
+
+    store = TraceStore("state/")            # open == recover
+    store.append("lab-03", chunk)           # durable per fsync policy
+    history = store.load("lab-03")          # snapshot + replayed suffix
+    store.compact()                         # bound future recovery time
+
+The serving tier wires this in via ``AvailabilityService(store=...)``
+(persist-before-acknowledge on ``register``/``extend``) and
+``repro-fgcs serve --store DIR`` (warm start from the store); the
+``repro-fgcs store`` CLI manages a store offline.
+"""
+
+from repro.store.store import (
+    AppendResult,
+    CompactionReport,
+    MachineStat,
+    RecoveryReport,
+    StoreConfig,
+    StoreError,
+    TraceStore,
+)
+from repro.store.wal import (
+    FsyncPolicy,
+    RecoveredSegment,
+    SegmentCorruption,
+    SegmentWriter,
+    iter_records,
+    recover_segment,
+)
+
+__all__ = [
+    "AppendResult",
+    "CompactionReport",
+    "FsyncPolicy",
+    "MachineStat",
+    "RecoveredSegment",
+    "RecoveryReport",
+    "SegmentCorruption",
+    "SegmentWriter",
+    "StoreConfig",
+    "StoreError",
+    "TraceStore",
+    "iter_records",
+    "recover_segment",
+]

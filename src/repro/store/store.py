@@ -1,0 +1,710 @@
+"""The durable trace store: per-machine segment logs + snapshots.
+
+Layout of one store directory::
+
+    root/
+      MANIFEST.json                  machine id -> directory map
+      machines/<dir>/
+        meta.json                    machine_id, start_time, sample_period
+        snapshot.npz                 compacted sample prefix (may be absent)
+        seg-00000001.wal ...         append-only record segments
+
+Each machine's history is a regular sample grid (see
+:class:`~repro.traces.trace.MachineTrace`), so durability reduces to an
+*append-only sequence of sample batches*: a WAL record is ``(seq, n,
+load[n], free_mem_mb[n], up[n])`` where ``seq`` is the index of the
+batch's first sample.  Explicit sequence numbers make replay idempotent
+— a batch overlapping already-stored samples is trimmed, so a monitor
+retrying an acknowledged-but-unconfirmed ``extend`` cannot duplicate
+data — and let recovery skip records the snapshot already covers.
+
+Recovery (run on every open) is: load ``snapshot.npz`` (the first
+``n_snapshot`` samples in one NPZ read), then replay segment records in
+order, keeping only the suffix past what is already known, truncating a
+torn tail at the first invalid record.  Compaction folds everything
+durable into a fresh snapshot and deletes the segments, bounding both
+recovery time and disk growth.
+
+All public methods are thread-safe (one store-wide lock); the optional
+background compactor (``auto_compact_interval_s``) runs under the same
+lock, so readers never observe a half-compacted machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+from repro.store.wal import FsyncPolicy, SegmentWriter, recover_segment
+from repro.traces.io import load_trace_npz, save_trace_npz
+from repro.traces.trace import MachineTrace
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "StoreConfig",
+    "StoreError",
+    "AppendResult",
+    "RecoveryReport",
+    "CompactionReport",
+    "MachineStat",
+    "TraceStore",
+]
+
+STORE_FORMAT_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+_MACHINES_DIR = "machines"
+_SNAPSHOT = "snapshot.npz"
+_META = "meta.json"
+
+_BATCH_HEADER = struct.Struct("<QI")  # seq (first sample index), n samples
+
+#: Grid tolerance when aligning a chunk's start time to the machine grid.
+_GRID_TOL = 1e-6
+
+
+class StoreError(RuntimeError):
+    """A store operation that violates the store's invariants."""
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Tuning knobs of one :class:`TraceStore`."""
+
+    #: Active segment is rolled once it grows past this many bytes.
+    segment_max_bytes: int = 4 * 1024 * 1024
+    #: Durability policy: "always" | "interval[:SECONDS]" | "never".
+    fsync: str | FsyncPolicy = "interval"
+    #: Run the background compactor this often (None: no background thread).
+    auto_compact_interval_s: float | None = None
+    #: Background compaction only touches machines with at least this
+    #: many WAL bytes (avoids churning snapshots for idle machines).
+    compact_min_wal_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.segment_max_bytes < 1024:
+            raise ValueError(
+                f"segment_max_bytes must be >= 1024, got {self.segment_max_bytes}"
+            )
+        if self.auto_compact_interval_s is not None and self.auto_compact_interval_s <= 0:
+            raise ValueError("auto_compact_interval_s must be positive")
+        # Validate the fsync spec eagerly so a typo fails at config time.
+        FsyncPolicy.parse(self.fsync)
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Outcome of one :meth:`TraceStore.append`."""
+
+    machine_id: str
+    #: Index of the first sample actually written (after overlap trim).
+    seq: int
+    #: Samples written by this append (0 if fully overlapping).
+    appended: int
+    #: Machine's total stored samples after the append.
+    total_samples: int
+    #: True when the record was fsynced before returning.
+    durable: bool
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery pass found and repaired."""
+
+    machines: int
+    records_replayed: int
+    samples_replayed: int
+    samples_from_snapshots: int
+    truncated_bytes: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of one compaction pass."""
+
+    machines: int
+    segments_removed: int
+    bytes_reclaimed: int
+
+
+@dataclass(frozen=True)
+class MachineStat:
+    """Per-machine storage accounting (``repro-fgcs store stat``)."""
+
+    machine_id: str
+    n_samples: int
+    snapshot_samples: int
+    n_segments: int
+    wal_bytes: int
+    snapshot_bytes: int
+
+
+def _encode_batch(seq: int, load: np.ndarray, mem: np.ndarray, up: np.ndarray) -> bytes:
+    n = int(load.shape[0])
+    return b"".join(
+        (
+            _BATCH_HEADER.pack(seq, n),
+            np.ascontiguousarray(load, dtype="<f8").tobytes(),
+            np.ascontiguousarray(mem, dtype="<f8").tobytes(),
+            np.ascontiguousarray(up, dtype=np.uint8).tobytes(),
+        )
+    )
+
+
+def _decode_batch(payload: bytes) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    seq, n = _BATCH_HEADER.unpack_from(payload)
+    expected = _BATCH_HEADER.size + n * 17  # 8 + 8 + 1 bytes per sample
+    if len(payload) != expected:
+        raise StoreError(
+            f"batch record of {len(payload)} bytes does not match its "
+            f"declared {n} samples ({expected} bytes)"
+        )
+    off = _BATCH_HEADER.size
+    load = np.frombuffer(payload, dtype="<f8", count=n, offset=off)
+    off += 8 * n
+    mem = np.frombuffer(payload, dtype="<f8", count=n, offset=off)
+    off += 8 * n
+    up = np.frombuffer(payload, dtype=np.uint8, count=n, offset=off).astype(bool)
+    return int(seq), load.astype(np.float64), mem.astype(np.float64), up
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a rename/creation in ``path`` durable (best effort off-POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_json_atomic(path: Path, obj: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _safe_dirname(machine_id: str) -> str:
+    """A filesystem-safe, reversible directory name for one machine id."""
+    return urllib.parse.quote(machine_id, safe="._-")
+
+
+class _MachineState:
+    """In-memory state of one machine's log (store-internal)."""
+
+    __slots__ = (
+        "machine_id", "dirpath", "start_time", "sample_period",
+        "chunks", "n_total", "n_snapshot", "writer", "sealed_bytes", "seg_index",
+    )
+
+    def __init__(
+        self,
+        machine_id: str,
+        dirpath: Path,
+        start_time: float,
+        sample_period: float,
+    ) -> None:
+        self.machine_id = machine_id
+        self.dirpath = dirpath
+        self.start_time = start_time
+        self.sample_period = sample_period
+        #: Sample arrays, in order, jointly covering [0, n_total).
+        self.chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self.n_total = 0
+        self.n_snapshot = 0
+        self.writer: SegmentWriter | None = None
+        self.sealed_bytes = 0  # bytes in sealed (non-active) segments
+        self.seg_index = 0  # index of the active segment
+
+    def segments(self) -> list[Path]:
+        return sorted(self.dirpath.glob("seg-*.wal"))
+
+    def wal_bytes(self) -> int:
+        if self.writer is not None:
+            return self.sealed_bytes + self.writer.size
+        # No writer yet (recovered but idle): the active segment is only
+        # on disk, not covered by sealed_bytes.
+        active = self.dirpath / f"seg-{self.seg_index:08d}.wal"
+        if self.seg_index and active.exists():
+            return self.sealed_bytes + active.stat().st_size
+        return self.sealed_bytes
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated sample arrays (collapses the chunk list)."""
+        if not self.chunks:
+            empty = np.empty(0)
+            return empty, np.empty(0), np.empty(0, dtype=bool)
+        if len(self.chunks) > 1:
+            load = np.concatenate([c[0] for c in self.chunks])
+            mem = np.concatenate([c[1] for c in self.chunks])
+            up = np.concatenate([c[2] for c in self.chunks])
+            self.chunks = [(load, mem, up)]
+        return self.chunks[0]
+
+    def add_chunk(self, load: np.ndarray, mem: np.ndarray, up: np.ndarray) -> None:
+        self.chunks.append((load, mem, up))
+        self.n_total += int(load.shape[0])
+
+    def trace(self) -> MachineTrace:
+        load, mem, up = self.arrays()
+        return MachineTrace(
+            machine_id=self.machine_id,
+            start_time=self.start_time,
+            sample_period=self.sample_period,
+            load=load,
+            free_mem_mb=mem,
+            up=up,
+        )
+
+
+class TraceStore:
+    """Durable, crash-recoverable storage for machine usage traces.
+
+    Opening a store *is* recovery: the constructor replays every
+    machine's snapshot + segment suffix, truncating torn tails, and
+    leaves the result in :attr:`last_recovery`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        config: StoreConfig | None = None,
+        *,
+        create: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.config = config or StoreConfig()
+        self._fsync = FsyncPolicy.parse(self.config.fsync)
+        self._lock = threading.RLock()
+        self._machines: dict[str, _MachineState] = {}
+        self._closed = False
+        self._compactor: threading.Thread | None = None
+        self._compactor_stop = threading.Event()
+        manifest_path = self.root / _MANIFEST
+        if not manifest_path.exists():
+            if not create:
+                raise FileNotFoundError(f"no trace store at {self.root} (no {_MANIFEST})")
+            (self.root / _MACHINES_DIR).mkdir(parents=True, exist_ok=True)
+            _write_json_atomic(
+                manifest_path,
+                {"format_version": STORE_FORMAT_VERSION, "machines": {}},
+            )
+        self.last_recovery = self._recover_locked()
+        if self.config.auto_compact_interval_s is not None:
+            self._compactor = threading.Thread(
+                target=self._compact_loop, name="repro-store-compactor", daemon=True
+            )
+            self._compactor.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Sync and close every active segment; stop the compactor."""
+        self._compactor_stop.set()
+        if self._compactor is not None:
+            self._compactor.join(timeout=10)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for st in self._machines.values():
+                if st.writer is not None:
+                    st.writer.close()
+                    st.writer = None
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError("trace store is closed")
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def machine_ids(self) -> list[str]:
+        """Stored machine ids, sorted."""
+        with self._lock:
+            return sorted(self._machines)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._machines)
+
+    def __contains__(self, machine_id: str) -> bool:
+        with self._lock:
+            return machine_id in self._machines
+
+    def n_samples(self, machine_id: str) -> int:
+        """Stored samples of one machine."""
+        with self._lock:
+            return self._state(machine_id).n_total
+
+    def _state(self, machine_id: str) -> _MachineState:
+        try:
+            return self._machines[machine_id]
+        except KeyError:
+            raise KeyError(f"machine {machine_id!r} is not in the store") from None
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def append(self, machine_id: str, samples: MachineTrace) -> AppendResult:
+        """Durably append a batch of samples for one machine.
+
+        ``samples`` is a trace chunk on the machine's grid.  For a new
+        machine the chunk establishes the grid (start time and period);
+        for a known machine it must start on the grid at or before the
+        current end — overlapping samples are trimmed (idempotent
+        retries), a gap raises :class:`StoreError`.
+        """
+        with self._lock:
+            self._check_open()
+            st = self._machines.get(machine_id)
+            if st is None:
+                st = self._create_machine(
+                    machine_id, samples.start_time, samples.sample_period
+                )
+            if abs(samples.sample_period - st.sample_period) > _GRID_TOL:
+                raise StoreError(
+                    f"sample period {samples.sample_period} does not match the "
+                    f"stored {st.sample_period} for {machine_id!r}"
+                )
+            offset = (samples.start_time - st.start_time) / st.sample_period
+            seq = int(round(offset))
+            if abs(offset - seq) > 1e-3 or seq < 0:
+                raise StoreError(
+                    f"chunk start {samples.start_time} is not on the sample grid "
+                    f"of {machine_id!r} (start {st.start_time}, "
+                    f"period {st.sample_period})"
+                )
+            if seq > st.n_total:
+                raise StoreError(
+                    f"chunk for {machine_id!r} starts at sample {seq} but only "
+                    f"{st.n_total} samples are stored (no gaps allowed)"
+                )
+            skip = st.n_total - seq
+            if skip >= samples.n_samples:
+                return AppendResult(machine_id, st.n_total, 0, st.n_total, True)
+            load = samples.load[skip:]
+            mem = samples.free_mem_mb[skip:]
+            up = samples.up[skip:]
+            payload = _encode_batch(st.n_total, load, mem, up)
+            writer = self._writer(st)
+            if writer.size + len(payload) > self.config.segment_max_bytes:
+                self._roll_segment(st)
+                writer = self._writer(st)
+            durable = writer.append(payload)
+            seq_eff = st.n_total
+            st.add_chunk(
+                np.array(load, dtype=np.float64),
+                np.array(mem, dtype=np.float64),
+                np.array(up, dtype=bool),
+            )
+            instrument("store_appends_total").inc()
+            instrument("store_appended_samples_total").inc(float(load.shape[0]))
+            return AppendResult(
+                machine_id, seq_eff, int(load.shape[0]), st.n_total, durable
+            )
+
+    def replace(self, trace: MachineTrace) -> None:
+        """(Re)load one machine's full history as a fresh snapshot.
+
+        Bulk loading writes the history straight to ``snapshot.npz``
+        (no WAL round trip) and resets the machine's segments; used by
+        ``register`` semantics and offline ingest.
+        """
+        with self._lock:
+            self._check_open()
+            st = self._machines.get(trace.machine_id)
+            if st is not None:
+                if st.writer is not None:
+                    st.writer.close()
+                shutil.rmtree(st.dirpath)
+                del self._machines[trace.machine_id]
+            st = self._create_machine(
+                trace.machine_id, trace.start_time, trace.sample_period
+            )
+            st.add_chunk(
+                np.array(trace.load, dtype=np.float64),
+                np.array(trace.free_mem_mb, dtype=np.float64),
+                np.array(trace.up, dtype=bool),
+            )
+            self._snapshot_machine(st)
+
+    def sync(self) -> None:
+        """fsync every machine's active segment (flush ``interval`` lag)."""
+        with self._lock:
+            self._check_open()
+            for st in self._machines.values():
+                if st.writer is not None:
+                    st.writer.sync()
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def load(self, machine_id: str) -> MachineTrace:
+        """The full stored history of one machine."""
+        with self._lock:
+            self._check_open()
+            return self._state(machine_id).trace()
+
+    def stat(self) -> list[MachineStat]:
+        """Per-machine storage accounting, sorted by machine id."""
+        with self._lock:
+            self._check_open()
+            out = []
+            for mid in sorted(self._machines):
+                st = self._machines[mid]
+                snap = st.dirpath / _SNAPSHOT
+                out.append(
+                    MachineStat(
+                        machine_id=mid,
+                        n_samples=st.n_total,
+                        snapshot_samples=st.n_snapshot,
+                        n_segments=len(st.segments()),
+                        wal_bytes=st.wal_bytes(),
+                        snapshot_bytes=snap.stat().st_size if snap.exists() else 0,
+                    )
+                )
+            return out
+
+    # ------------------------------------------------------------------ #
+    # snapshot / compaction
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, machine_id: str | None = None) -> int:
+        """Write snapshot(s) covering everything stored; returns count.
+
+        After a snapshot, recovery replays only records appended later.
+        Segments are left in place (see :meth:`compact` to drop them).
+        """
+        with self._lock:
+            self._check_open()
+            ids = [machine_id] if machine_id is not None else sorted(self._machines)
+            for mid in ids:
+                self._snapshot_machine(self._state(mid))
+            return len(ids)
+
+    def compact(self, machine_id: str | None = None) -> CompactionReport:
+        """Fold segments into snapshots and delete them.
+
+        Bounds recovery to one NPZ read per machine (plus whatever is
+        appended afterwards).
+        """
+        with self._lock:
+            self._check_open()
+            ids = [machine_id] if machine_id is not None else sorted(self._machines)
+            segments_removed = 0
+            bytes_reclaimed = 0
+            for mid in ids:
+                st = self._state(mid)
+                self._snapshot_machine(st)
+                if st.writer is not None:
+                    st.writer.close()
+                    st.writer = None
+                for seg in st.segments():
+                    bytes_reclaimed += seg.stat().st_size
+                    seg.unlink()
+                    segments_removed += 1
+                _fsync_dir(st.dirpath)
+                st.sealed_bytes = 0
+                st.seg_index += 1  # fresh segment, monotonic name
+                instrument("store_compactions_total").inc()
+                instrument("store_segments_per_machine").observe(1.0)
+            return CompactionReport(
+                machines=len(ids),
+                segments_removed=segments_removed,
+                bytes_reclaimed=bytes_reclaimed,
+            )
+
+    def _snapshot_machine(self, st: _MachineState) -> None:
+        # save_trace_npz forces a .npz suffix; write to a tmp name and
+        # publish with an atomic rename so a crash never leaves a partial
+        # snapshot where recovery would read it.
+        written = save_trace_npz(st.trace(), st.dirpath / ("tmp-" + _SNAPSHOT))
+        with open(written, "rb") as fh:
+            os.fsync(fh.fileno())
+        os.replace(written, st.dirpath / _SNAPSHOT)
+        _fsync_dir(st.dirpath)
+        st.n_snapshot = st.n_total
+
+    def _compact_loop(self) -> None:
+        interval = self.config.auto_compact_interval_s or 1.0
+        while not self._compactor_stop.wait(interval):
+            try:
+                with self._lock:
+                    if self._closed:
+                        return
+                    due = [
+                        mid
+                        for mid, st in self._machines.items()
+                        if st.wal_bytes() >= self.config.compact_min_wal_bytes
+                    ]
+                for mid in due:
+                    self.compact(mid)
+            except Exception as exc:  # keep the daemon alive; surface the event
+                get_event_log().emit(
+                    "store_compaction_failed",
+                    severity="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def recover(self) -> RecoveryReport:
+        """Re-run recovery from disk, discarding in-memory state."""
+        with self._lock:
+            self._check_open()
+            for st in self._machines.values():
+                if st.writer is not None:
+                    st.writer.close()
+            self._machines.clear()
+            self.last_recovery = self._recover_locked()
+            return self.last_recovery
+
+    def _recover_locked(self) -> RecoveryReport:
+        t0 = time.perf_counter()
+        manifest = self._read_manifest()
+        records = samples = snap_samples = truncated = 0
+        for mid in sorted(manifest["machines"]):
+            dirpath = self.root / _MACHINES_DIR / manifest["machines"][mid]
+            meta = json.loads((dirpath / _META).read_text())
+            st = _MachineState(
+                machine_id=mid,
+                dirpath=dirpath,
+                start_time=float(meta["start_time"]),
+                sample_period=float(meta["sample_period"]),
+            )
+            # A crash between snapshot write and rename leaves a tmp file;
+            # it was never authoritative, so drop it.
+            (dirpath / ("tmp-" + _SNAPSHOT)).unlink(missing_ok=True)
+            snap_path = dirpath / _SNAPSHOT
+            if snap_path.exists():
+                snap = load_trace_npz(snap_path)
+                st.add_chunk(snap.load, snap.free_mem_mb, snap.up)
+                st.n_snapshot = st.n_total
+                snap_samples += st.n_total
+            segments = st.segments()
+            for seg in segments:
+                rec = recover_segment(seg)
+                truncated += rec.truncated_bytes
+                for payload in rec.payloads:
+                    seq, load, mem, up = _decode_batch(payload)
+                    if seq > st.n_total:
+                        raise StoreError(
+                            f"gap in log of {mid!r}: record starts at sample "
+                            f"{seq}, only {st.n_total} recovered so far"
+                        )
+                    skip = st.n_total - seq
+                    if skip >= load.shape[0]:
+                        continue  # snapshot (or an earlier record) covers it
+                    st.add_chunk(load[skip:], mem[skip:], up[skip:])
+                    records += 1
+                    samples += int(load.shape[0]) - skip
+            if segments:
+                st.seg_index = int(segments[-1].stem.split("-")[1])
+                st.sealed_bytes = sum(s.stat().st_size for s in segments[:-1])
+            instrument("store_segments_per_machine").observe(float(max(1, len(segments))))
+            self._machines[mid] = st
+        duration = time.perf_counter() - t0
+        instrument("store_recovery_seconds").observe(duration)
+        report = RecoveryReport(
+            machines=len(self._machines),
+            records_replayed=records,
+            samples_replayed=samples,
+            samples_from_snapshots=snap_samples,
+            truncated_bytes=truncated,
+            duration_s=duration,
+        )
+        if truncated:
+            get_event_log().emit(
+                "store_torn_tail_truncated",
+                severity="warning",
+                truncated_bytes=truncated,
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _read_manifest(self) -> dict:
+        manifest = json.loads((self.root / _MANIFEST).read_text())
+        if manifest.get("format_version") != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported store format version {manifest.get('format_version')}"
+            )
+        return manifest
+
+    def _create_machine(
+        self, machine_id: str, start_time: float, sample_period: float
+    ) -> _MachineState:
+        if sample_period <= 0:
+            raise StoreError(f"sample_period must be positive, got {sample_period}")
+        dirname = _safe_dirname(machine_id)
+        dirpath = self.root / _MACHINES_DIR / dirname
+        dirpath.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(
+            dirpath / _META,
+            {
+                "machine_id": machine_id,
+                "start_time": float(start_time),
+                "sample_period": float(sample_period),
+            },
+        )
+        manifest = self._read_manifest()
+        if manifest["machines"].get(machine_id) != dirname:
+            manifest["machines"][machine_id] = dirname
+            _write_json_atomic(self.root / _MANIFEST, manifest)
+        st = _MachineState(machine_id, dirpath, float(start_time), float(sample_period))
+        st.seg_index = 0
+        self._machines[machine_id] = st
+        return st
+
+    def _writer(self, st: _MachineState) -> SegmentWriter:
+        if st.writer is None:
+            if st.seg_index == 0:
+                st.seg_index = 1
+            st.writer = SegmentWriter(
+                st.dirpath / f"seg-{st.seg_index:08d}.wal", fsync=self._fsync
+            )
+        return st.writer
+
+    def _roll_segment(self, st: _MachineState) -> None:
+        if st.writer is not None:
+            st.sealed_bytes += st.writer.size
+            st.writer.close()
+            st.writer = None
+        st.seg_index += 1

@@ -1,0 +1,270 @@
+"""Append-only segment files: length-prefixed, CRC-framed records.
+
+This module is the byte-level half of the durable trace store.  A
+*segment* is one append-only file holding a sequence of records::
+
+    segment  := header record*
+    header   := magic "RTSG" | u32 format_version          (8 bytes)
+    record   := u32 payload_length | u32 crc32(payload) | payload
+
+Everything is little-endian.  The framing gives the two properties a
+write-ahead log needs and nothing more:
+
+* **torn tails are detectable** — a crash mid-append leaves a record
+  whose length prefix overruns the file or whose CRC does not match;
+  :func:`recover_segment` finds the last valid record boundary and
+  truncates the file there, so the segment is append-ready again;
+* **acknowledged records are recoverable** — a record followed by an
+  ``fsync`` (see :class:`FsyncPolicy`) survives a process kill or OS
+  crash; replaying the segment returns exactly the payload bytes that
+  were appended.
+
+Payloads are opaque bytes here; the record schema (sample batches) is
+owned by :mod:`repro.store.store`.  No third-party dependencies: the
+CRC is :func:`zlib.crc32`, the framing is :mod:`struct`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.instruments import instrument
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "SEGMENT_VERSION",
+    "HEADER_SIZE",
+    "FsyncPolicy",
+    "SegmentCorruption",
+    "SegmentWriter",
+    "RecoveredSegment",
+    "iter_records",
+    "recover_segment",
+]
+
+SEGMENT_MAGIC = b"RTSG"
+SEGMENT_VERSION = 1
+
+_HEADER = struct.Struct("<4sI")  # magic, format version
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on one record payload; a length prefix beyond this is
+#: treated as corruption rather than honored (it would otherwise make a
+#: flipped bit allocate gigabytes during recovery).
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+class SegmentCorruption(ValueError):
+    """A segment whose *prefix* (header) is not a valid segment."""
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When appends are forced to stable storage.
+
+    ``always``
+        every append ends with ``fsync`` — an acknowledged append is
+        durable (the policy the durability tests assert against);
+    ``interval``
+        ``fsync`` at most once per ``interval_s`` seconds — bounded data
+        loss (everything since the last sync) for much higher ingest
+        throughput;
+    ``never``
+        leave flushing to the OS page cache — fastest, survives process
+        crashes (the data is in kernel buffers) but not power loss.
+    """
+
+    mode: str = "interval"
+    interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("always", "interval", "never"):
+            raise ValueError(
+                f"fsync mode must be always|interval|never, got {self.mode!r}"
+            )
+        if self.interval_s <= 0:
+            raise ValueError(f"fsync interval_s must be positive, got {self.interval_s}")
+
+    @classmethod
+    def parse(cls, spec: "str | FsyncPolicy") -> "FsyncPolicy":
+        """Build a policy from ``always`` / ``interval[:SECONDS]`` / ``never``."""
+        if isinstance(spec, FsyncPolicy):
+            return spec
+        mode, _, arg = spec.partition(":")
+        if arg:
+            return cls(mode=mode, interval_s=float(arg))
+        return cls(mode=mode)
+
+
+class SegmentWriter:
+    """Appends framed records to one segment file.
+
+    Opening a fresh path writes (and syncs) the segment header; opening
+    an existing segment seeks to its end — callers are expected to have
+    run :func:`recover_segment` first so the tail is a valid record
+    boundary.
+    """
+
+    def __init__(self, path: str | Path, fsync: FsyncPolicy | str = "interval") -> None:
+        self.path = Path(path)
+        self.fsync = FsyncPolicy.parse(fsync)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "ab")
+        self._last_sync = time.monotonic()
+        self._unsynced = False
+        if fresh:
+            self._fh.write(_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION))
+            self._fh.flush()
+            self._do_fsync()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Current segment size in bytes (header + records)."""
+        return self._fh.tell()
+
+    def append(self, payload: bytes) -> bool:
+        """Write one record; returns True when it is durable (fsynced)."""
+        if len(payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"record payload of {len(payload)} bytes exceeds the "
+                f"{MAX_PAYLOAD_BYTES}-byte bound"
+            )
+        self._fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        self._unsynced = True
+        if self.fsync.mode == "always":
+            self._do_fsync()
+            return True
+        if (
+            self.fsync.mode == "interval"
+            and time.monotonic() - self._last_sync >= self.fsync.interval_s
+        ):
+            self._do_fsync()
+            return True
+        return False
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if self._unsynced:
+            self._do_fsync()
+
+    def _do_fsync(self) -> None:
+        t0 = time.perf_counter()
+        os.fsync(self._fh.fileno())
+        instrument("store_fsync_seconds").observe(time.perf_counter() - t0)
+        self._last_sync = time.monotonic()
+        self._unsynced = False
+
+    def close(self, *, sync: bool = True) -> None:
+        """Flush (and by default sync) the segment and close the handle."""
+        if self._fh.closed:
+            return
+        if sync:
+            self.sync()
+        self._fh.close()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# reading / recovery
+# ---------------------------------------------------------------------- #
+
+
+def _read_header(fh) -> None:
+    header = fh.read(HEADER_SIZE)
+    if len(header) < HEADER_SIZE:
+        raise SegmentCorruption("segment shorter than its header")
+    magic, version = _HEADER.unpack(header)
+    if magic != SEGMENT_MAGIC:
+        raise SegmentCorruption(f"bad segment magic {magic!r}")
+    if version != SEGMENT_VERSION:
+        raise SegmentCorruption(f"unsupported segment version {version}")
+
+
+def _scan(path: Path) -> tuple[list[bytes], int]:
+    """(valid payloads, offset just past the last valid record)."""
+    payloads: list[bytes] = []
+    with open(path, "rb") as fh:
+        _read_header(fh)
+        good_end = HEADER_SIZE
+        while True:
+            frame = fh.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                break  # clean EOF or torn frame header
+            length, crc = _FRAME.unpack(frame)
+            if length > MAX_PAYLOAD_BYTES:
+                break  # corrupt length prefix
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # torn or corrupt payload
+            payloads.append(payload)
+            good_end = fh.tell()
+    return payloads, good_end
+
+
+def iter_records(path: str | Path) -> Iterator[bytes]:
+    """Yield the valid record payloads of one segment, in append order.
+
+    Stops silently at the first torn/corrupt record (use
+    :func:`recover_segment` to also truncate it away).  Raises
+    :class:`SegmentCorruption` only when the header itself is invalid.
+    """
+    payloads, _ = _scan(Path(path))
+    return iter(payloads)
+
+
+@dataclass(frozen=True)
+class RecoveredSegment:
+    """Outcome of recovering one segment file."""
+
+    path: Path
+    payloads: list[bytes]
+    truncated_bytes: int
+
+    @property
+    def n_records(self) -> int:
+        return len(self.payloads)
+
+
+def recover_segment(path: str | Path) -> RecoveredSegment:
+    """Scan a segment, truncating any torn tail in place.
+
+    Returns the valid payloads and how many bytes were cut.  A file too
+    short to even hold the header (a crash between ``open`` and the
+    header write) is reset to empty so a :class:`SegmentWriter` can
+    re-initialize it.
+    """
+    path = Path(path)
+    try:
+        payloads, good_end = _scan(path)
+    except SegmentCorruption:
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(0)
+        if size:
+            instrument("store_torn_tail_truncations_total").inc()
+        return RecoveredSegment(path=path, payloads=[], truncated_bytes=size)
+    size = path.stat().st_size
+    if size > good_end:
+        with open(path, "r+b") as fh:
+            fh.truncate(good_end)
+        instrument("store_torn_tail_truncations_total").inc()
+    return RecoveredSegment(
+        path=path, payloads=payloads, truncated_bytes=max(0, size - good_end)
+    )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import csv
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -133,12 +134,38 @@ def save_traceset(traces: TraceSet, directory: str | Path) -> Path:
 
 
 def load_traceset(directory: str | Path) -> TraceSet:
-    """Read a testbed directory written by :func:`save_traceset`."""
+    """Read a testbed directory written by :func:`save_traceset`.
+
+    Machines load in sorted ``machine_id`` order regardless of manifest
+    order or filesystem enumeration, so every load of the same testbed
+    produces the same registration order (and hence the same ranking
+    tie-breaks, bench fixtures, ...).  A directory without a
+    ``manifest.json`` is loaded by globbing ``*.npz``; files that are
+    not trace archives (no ``machine_id`` field, not a zip at all) are
+    skipped rather than aborting the load.
+    """
     directory = Path(directory)
-    manifest = json.loads((directory / "manifest.json").read_text())
-    if manifest.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported manifest version {manifest.get('format_version')}")
+    manifest_path = directory / "manifest.json"
     traces = TraceSet()
-    for entry in manifest["machines"]:
-        traces.add(load_trace_npz(directory / entry["file"]))
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {manifest.get('format_version')}"
+            )
+        entries = sorted(manifest["machines"], key=lambda e: str(e["machine_id"]))
+        for entry in entries:
+            traces.add(load_trace_npz(directory / entry["file"]))
+        return traces
+    for path in sorted(directory.glob("*.npz")):
+        if not zipfile.is_zipfile(path):
+            continue  # misnamed non-archive — leave foreign files alone
+        try:
+            traces.add(load_trace_npz(path))
+        except KeyError:
+            continue  # a real .npz, but not a trace (missing fields)
+    if len(traces) == 0:
+        raise FileNotFoundError(
+            f"no manifest.json and no loadable .npz traces in {directory}"
+        )
     return traces

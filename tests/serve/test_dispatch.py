@@ -15,6 +15,7 @@ from repro.core.windows import SECONDS_PER_DAY
 from repro.obs.metrics import scoped_registry
 from repro.serve.dispatch import DispatchConfig, Dispatcher
 from repro.serve.protocol import (
+    PROTOCOL_VERSION,
     STATUS_CLOSING,
     STATUS_DEADLINE,
     STATUS_ERROR,
@@ -286,4 +287,4 @@ class TestOpsAgainstRealService:
         assert resp.ok
         assert resp.result["status"] == "ok"
         assert resp.result["machines"] == 2
-        assert resp.result["protocol_version"] == 1
+        assert resp.result["protocol_version"] == PROTOCOL_VERSION

@@ -6,6 +6,7 @@ import pytest
 
 from repro.serve.protocol import (
     OPS,
+    OPS_BY_VERSION,
     PROTOCOL_VERSION,
     STATUS_DEADLINE,
     STATUS_ERROR,
@@ -40,7 +41,10 @@ class TestRequest:
             Request(op="destroy")
 
     def test_versioned_op_set(self):
-        assert OPS == {"predict", "rank", "select", "horizon", "register", "health"}
+        v1 = {"predict", "rank", "select", "horizon", "register", "health"}
+        assert OPS_BY_VERSION[1] == v1
+        assert OPS_BY_VERSION[2] == v1 | {"extend"}
+        assert OPS == v1 | {"extend"}
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):

@@ -1,0 +1,295 @@
+"""TraceStore behaviour: append/load, snapshots, compaction, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    StoreConfig,
+    StoreError,
+    TraceStore,
+)
+from repro.traces.trace import MachineTrace
+
+
+def make_trace(mid="m0", n=500, start=0.0, period=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return MachineTrace(
+        machine_id=mid,
+        start_time=start,
+        sample_period=period,
+        load=rng.uniform(0.0, 1.0, n),
+        free_mem_mb=rng.uniform(100.0, 900.0, n),
+        up=rng.uniform(0, 1, n) > 0.1,
+    )
+
+
+def chunks_of(trace, size):
+    out = []
+    for lo in range(0, trace.n_samples, size):
+        hi = min(lo + size, trace.n_samples)
+        out.append(
+            MachineTrace(
+                machine_id=trace.machine_id,
+                start_time=trace.start_time + lo * trace.sample_period,
+                sample_period=trace.sample_period,
+                load=trace.load[lo:hi],
+                free_mem_mb=trace.free_mem_mb[lo:hi],
+                up=trace.up[lo:hi],
+            )
+        )
+    return out
+
+
+def assert_traces_equal(a, b):
+    assert a.machine_id == b.machine_id
+    assert a.start_time == b.start_time
+    assert a.sample_period == b.sample_period
+    assert np.array_equal(a.load, b.load)
+    assert np.array_equal(a.free_mem_mb, b.free_mem_mb)
+    assert np.array_equal(a.up, b.up)
+
+
+class TestAppendLoad:
+    def test_round_trip(self, tmp_path):
+        trace = make_trace()
+        with TraceStore(tmp_path / "s") as store:
+            for chunk in chunks_of(trace, 64):
+                store.append(trace.machine_id, chunk)
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_append_result_accounting(self, tmp_path):
+        trace = make_trace(n=100)
+        with TraceStore(tmp_path / "s", StoreConfig(fsync="always")) as store:
+            res = store.append(trace.machine_id, trace)
+        assert res.seq == 0
+        assert res.appended == 100
+        assert res.total_samples == 100
+        assert res.durable is True
+
+    def test_overlapping_retry_is_idempotent(self, tmp_path):
+        trace = make_trace(n=100)
+        first, second = chunks_of(trace, 60)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, first)
+            # Retry delivers the whole trace again: only the tail lands.
+            res = store.append(trace.machine_id, trace)
+            assert res.seq == 60
+            assert res.appended == 40
+            # A fully covered chunk is a no-op.
+            res = store.append(trace.machine_id, first)
+            assert res.appended == 0
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_gap_rejected(self, tmp_path):
+        trace = make_trace(n=100)
+        first, second = chunks_of(trace, 50)
+        future = MachineTrace(
+            trace.machine_id,
+            second.start_time + 10 * trace.sample_period,
+            trace.sample_period,
+            second.load[10:],
+            second.free_mem_mb[10:],
+            second.up[10:],
+        )
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, first)
+            with pytest.raises(StoreError, match="no gaps"):
+                store.append(trace.machine_id, future)
+
+    def test_off_grid_chunk_rejected(self, tmp_path):
+        trace = make_trace(n=50)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, trace)
+            bad = MachineTrace(
+                trace.machine_id, trace.end_time + 1.7, trace.sample_period,
+                trace.load[:5], trace.free_mem_mb[:5], trace.up[:5],
+            )
+            with pytest.raises(StoreError, match="grid"):
+                store.append(trace.machine_id, bad)
+
+    def test_period_mismatch_rejected(self, tmp_path):
+        trace = make_trace(n=50)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, trace)
+            bad = MachineTrace(
+                trace.machine_id, trace.end_time, 60.0,
+                trace.load[:5], trace.free_mem_mb[:5], trace.up[:5],
+            )
+            with pytest.raises(StoreError, match="period"):
+                store.append(trace.machine_id, bad)
+
+    def test_unknown_machine_load_raises(self, tmp_path):
+        with TraceStore(tmp_path / "s") as store:
+            with pytest.raises(KeyError):
+                store.load("ghost")
+
+
+class TestRecovery:
+    def test_reopen_replays_wal(self, tmp_path):
+        trace = make_trace()
+        with TraceStore(tmp_path / "s") as store:
+            for chunk in chunks_of(trace, 64):
+                store.append(trace.machine_id, chunk)
+        with TraceStore(tmp_path / "s") as store:
+            rec = store.last_recovery
+            assert rec.machines == 1
+            assert rec.samples_replayed == trace.n_samples
+            assert rec.samples_from_snapshots == 0
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_snapshot_shrinks_replay(self, tmp_path):
+        trace = make_trace()
+        first, *rest = chunks_of(trace, 200)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, first)
+            store.snapshot()
+            for chunk in rest:
+                store.append(trace.machine_id, chunk)
+        with TraceStore(tmp_path / "s") as store:
+            rec = store.last_recovery
+            assert rec.samples_from_snapshots == first.n_samples
+            assert rec.samples_replayed == trace.n_samples - first.n_samples
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_segment_rolling_and_replay(self, tmp_path):
+        trace = make_trace(n=2000)
+        cfg = StoreConfig(segment_max_bytes=2048, fsync="never")
+        with TraceStore(tmp_path / "s", cfg) as store:
+            for chunk in chunks_of(trace, 50):
+                store.append(trace.machine_id, chunk)
+            stats = store.stat()
+            assert stats[0].n_segments > 1
+        with TraceStore(tmp_path / "s") as store:
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_missing_store_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceStore(tmp_path / "nope", create=False)
+
+    def test_recover_discards_memory_state(self, tmp_path):
+        trace = make_trace(n=100)
+        with TraceStore(tmp_path / "s", StoreConfig(fsync="always")) as store:
+            store.append(trace.machine_id, trace)
+            report = store.recover()
+            assert report.machines == 1
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+
+class TestReplaceAndCompaction:
+    def test_replace_writes_snapshot_only(self, tmp_path):
+        trace = make_trace()
+        with TraceStore(tmp_path / "s") as store:
+            store.replace(trace)
+            st = store.stat()[0]
+            assert st.snapshot_samples == trace.n_samples
+            assert st.n_segments == 0
+        with TraceStore(tmp_path / "s") as store:
+            rec = store.last_recovery
+            assert rec.samples_from_snapshots == trace.n_samples
+            assert rec.records_replayed == 0
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_replace_drops_previous_log(self, tmp_path):
+        old = make_trace(n=300, seed=1)
+        new = make_trace(n=120, seed=2)
+        with TraceStore(tmp_path / "s") as store:
+            for chunk in chunks_of(old, 64):
+                store.append(old.machine_id, chunk)
+            store.replace(new)
+            assert_traces_equal(store.load(new.machine_id), new)
+        with TraceStore(tmp_path / "s") as store:
+            assert_traces_equal(store.load(new.machine_id), new)
+
+    def test_compact_folds_wal_into_snapshot(self, tmp_path):
+        trace = make_trace(n=1500)
+        cfg = StoreConfig(segment_max_bytes=2048, fsync="never")
+        with TraceStore(tmp_path / "s", cfg) as store:
+            for chunk in chunks_of(trace, 50):
+                store.append(trace.machine_id, chunk)
+            report = store.compact()
+            assert report.machines == 1
+            assert report.segments_removed >= 1
+            assert report.bytes_reclaimed > 0
+            st = store.stat()[0]
+            assert st.snapshot_samples == trace.n_samples
+            assert st.wal_bytes == 0
+            assert_traces_equal(store.load(trace.machine_id), trace)
+        with TraceStore(tmp_path / "s") as store:
+            rec = store.last_recovery
+            assert rec.samples_from_snapshots == trace.n_samples
+            assert rec.samples_replayed == 0
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_append_after_compact(self, tmp_path):
+        trace = make_trace(n=600)
+        first, second, third = chunks_of(trace, 200)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, first)
+            store.append(trace.machine_id, second)
+            store.compact()
+            store.append(trace.machine_id, third)
+        with TraceStore(tmp_path / "s") as store:
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+
+class TestLifecycleAndNaming:
+    def test_closed_store_rejects_writes(self, tmp_path):
+        trace = make_trace(n=10)
+        store = TraceStore(tmp_path / "s")
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.append(trace.machine_id, trace)
+
+    def test_hostile_machine_ids_round_trip(self, tmp_path):
+        ids = ["lab/03.cs", "..", "host:9 weird", "ünïcode"]
+        with TraceStore(tmp_path / "s") as store:
+            for i, mid in enumerate(ids):
+                store.append(mid, make_trace(mid=mid, n=40, seed=i))
+        with TraceStore(tmp_path / "s") as store:
+            assert store.machine_ids == sorted(ids)
+            for i, mid in enumerate(ids):
+                assert_traces_equal(store.load(mid), make_trace(mid=mid, n=40, seed=i))
+        # Every machine directory stayed inside the store root.
+        root = (tmp_path / "s").resolve()
+        for sub in (tmp_path / "s" / "machines").iterdir():
+            assert sub.resolve().is_relative_to(root)
+
+    def test_contains_len_n_samples(self, tmp_path):
+        trace = make_trace(n=30)
+        with TraceStore(tmp_path / "s") as store:
+            store.append(trace.machine_id, trace)
+            assert trace.machine_id in store
+            assert "ghost" not in store
+            assert len(store) == 1
+            assert store.n_samples(trace.machine_id) == 30
+
+    def test_interval_sync_flushes(self, tmp_path):
+        trace = make_trace(n=80)
+        with TraceStore(
+            tmp_path / "s", StoreConfig(fsync="interval:3600")
+        ) as store:
+            res = store.append(trace.machine_id, trace)
+            assert res.durable is False
+            store.sync()  # explicit flush of the interval lag
+        with TraceStore(tmp_path / "s") as store:
+            assert_traces_equal(store.load(trace.machine_id), trace)
+
+    def test_background_compactor_runs(self, tmp_path):
+        import time
+
+        trace = make_trace(n=2000)
+        cfg = StoreConfig(
+            fsync="never",
+            auto_compact_interval_s=0.05,
+            compact_min_wal_bytes=1024,
+        )
+        with TraceStore(tmp_path / "s", cfg) as store:
+            for chunk in chunks_of(trace, 100):
+                store.append(trace.machine_id, chunk)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if store.stat()[0].snapshot_samples == trace.n_samples:
+                    break
+                time.sleep(0.05)
+            assert store.stat()[0].snapshot_samples == trace.n_samples
+            assert_traces_equal(store.load(trace.machine_id), trace)

@@ -1,0 +1,151 @@
+"""Byte-level tests of the segment log: framing, fsync, torn tails."""
+
+import struct
+
+import pytest
+
+from repro.store.wal import (
+    HEADER_SIZE,
+    MAX_PAYLOAD_BYTES,
+    SEGMENT_MAGIC,
+    FsyncPolicy,
+    SegmentWriter,
+    iter_records,
+    recover_segment,
+)
+
+
+class TestFsyncPolicy:
+    def test_parse_modes(self):
+        assert FsyncPolicy.parse("always").mode == "always"
+        assert FsyncPolicy.parse("never").mode == "never"
+        p = FsyncPolicy.parse("interval:2.5")
+        assert p.mode == "interval"
+        assert p.interval_s == 2.5
+
+    def test_parse_passthrough(self):
+        p = FsyncPolicy(mode="always")
+        assert FsyncPolicy.parse(p) is p
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FsyncPolicy.parse("sometimes")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FsyncPolicy.parse("interval:0")
+
+
+class TestSegmentWriter:
+    def test_fresh_segment_has_header(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        with SegmentWriter(path):
+            pass
+        data = path.read_bytes()
+        assert data[:4] == SEGMENT_MAGIC
+        assert len(data) == HEADER_SIZE
+
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        payloads = [b"alpha", b"", b"\x00" * 100, b"last"]
+        with SegmentWriter(path, fsync="never") as w:
+            for p in payloads:
+                w.append(p)
+        assert list(iter_records(path)) == payloads
+
+    def test_always_policy_acks_durable(self, tmp_path):
+        with SegmentWriter(tmp_path / "s.wal", fsync="always") as w:
+            assert w.append(b"x") is True
+
+    def test_never_policy_acks_not_durable(self, tmp_path):
+        with SegmentWriter(tmp_path / "s.wal", fsync="never") as w:
+            assert w.append(b"x") is False
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        with SegmentWriter(tmp_path / "s.wal") as w:
+            with pytest.raises(ValueError):
+                w.append(b"\x00" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        with SegmentWriter(path, fsync="never") as w:
+            w.append(b"one")
+        with SegmentWriter(path, fsync="never") as w:
+            w.append(b"two")
+        assert list(iter_records(path)) == [b"one", b"two"]
+
+
+class TestRecovery:
+    def _write(self, path, payloads):
+        with SegmentWriter(path, fsync="never") as w:
+            for p in payloads:
+                w.append(p)
+
+    def test_clean_segment_untouched(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        self._write(path, [b"a", b"b"])
+        size = path.stat().st_size
+        rec = recover_segment(path)
+        assert rec.payloads == [b"a", b"b"]
+        assert rec.truncated_bytes == 0
+        assert path.stat().st_size == size
+
+    def test_torn_frame_truncated(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        self._write(path, [b"kept"])
+        with open(path, "ab") as fh:
+            fh.write(b"\x07\x00")  # half a frame header
+        rec = recover_segment(path)
+        assert rec.payloads == [b"kept"]
+        assert rec.truncated_bytes == 2
+        # The file is append-ready again.
+        with SegmentWriter(path, fsync="never") as w:
+            w.append(b"after")
+        assert list(iter_records(path)) == [b"kept", b"after"]
+
+    def test_torn_payload_truncated(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        self._write(path, [b"kept"])
+        with open(path, "ab") as fh:
+            # Frame promises 100 bytes, only 3 arrive (crash mid-write).
+            fh.write(struct.pack("<II", 100, 0) + b"abc")
+        rec = recover_segment(path)
+        assert rec.payloads == [b"kept"]
+        assert rec.truncated_bytes == 8 + 3
+
+    def test_corrupt_crc_drops_tail(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        self._write(path, [b"good", b"flipped"])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a bit inside the last payload
+        path.write_bytes(data)
+        rec = recover_segment(path)
+        assert rec.payloads == [b"good"]
+        assert rec.truncated_bytes > 0
+
+    def test_insane_length_prefix_is_corruption(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        self._write(path, [b"good"])
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<II", MAX_PAYLOAD_BYTES + 1, 0))
+        rec = recover_segment(path)
+        assert rec.payloads == [b"good"]
+
+    def test_corrupt_header_resets_file(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        rec = recover_segment(path)
+        assert rec.payloads == []
+        assert rec.truncated_bytes == 24
+        assert path.stat().st_size == 0
+        # A writer re-initializes the empty file.
+        with SegmentWriter(path, fsync="never") as w:
+            w.append(b"reborn")
+        assert list(iter_records(path)) == [b"reborn"]
+
+    def test_short_header_resets_file(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"RT")  # crash between open and header write
+        rec = recover_segment(path)
+        assert rec.payloads == []
+        assert path.stat().st_size == 0

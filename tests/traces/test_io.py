@@ -88,3 +88,95 @@ class TestTraceSetRoundTrip:
         (d / "manifest.json").write_text('{"format_version": 42, "machines": []}')
         with pytest.raises(ValueError):
             load_traceset(d)
+
+    def test_load_order_is_sorted_regardless_of_manifest_order(self, tmp_path):
+        import json
+
+        ts = synthesize_testbed(3, n_days=1, sample_period=300.0, seed=1)
+        d = save_traceset(ts, tmp_path / "bed")
+        manifest = json.loads((d / "manifest.json").read_text())
+        manifest["machines"].reverse()
+        (d / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_traceset(d)
+        assert loaded.machine_ids == sorted(ts.machine_ids)
+
+    def test_no_manifest_falls_back_to_sorted_glob(self, tmp_path):
+        ts = synthesize_testbed(3, n_days=1, sample_period=300.0, seed=1)
+        d = save_traceset(ts, tmp_path / "bed")
+        (d / "manifest.json").unlink()
+        loaded = load_traceset(d)
+        assert loaded.machine_ids == sorted(ts.machine_ids)
+
+    def test_non_trace_files_skipped(self, tmp_path):
+        ts = synthesize_testbed(2, n_days=1, sample_period=300.0, seed=1)
+        d = save_traceset(ts, tmp_path / "bed")
+        (d / "manifest.json").unlink()
+        (d / "notes.npz").write_bytes(b"not a zip at all")
+        np.savez(d / "foreign.npz", data=np.arange(3))  # npz, not a trace
+        (d / "README.txt").write_text("ignore me")
+        loaded = load_traceset(d)
+        assert loaded.machine_ids == sorted(ts.machine_ids)
+
+    def test_empty_directory_raises(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_traceset(d)
+
+
+class TestEdgeTraces:
+    """Degenerate traces must survive both formats unchanged."""
+
+    def edge_cases(self):
+        empty = np.empty(0)
+        yield MachineTrace("empty", 0.0, 6.0, empty, empty.copy(),
+                           np.empty(0, dtype=bool))
+        yield MachineTrace("single", 42.0, 6.0, np.array([0.5]),
+                           np.array([256.0]), np.array([True]))
+        # Start mid-day, duration not a whole number of days.
+        rng = np.random.default_rng(3)
+        n = 700  # 700 * 300 s ≈ 2.43 days
+        yield MachineTrace("offgrid", 13 * 3600.0 + 300.0, 300.0,
+                           rng.uniform(0, 1, n), rng.uniform(0, 512, n),
+                           rng.uniform(0, 1, n) > 0.2)
+
+    @pytest.mark.parametrize("fmt", ["npz", "csv"])
+    def test_round_trip(self, tmp_path, fmt):
+        save = save_trace_npz if fmt == "npz" else save_trace_csv
+        load = load_trace_npz if fmt == "npz" else load_trace_csv
+        for trace in self.edge_cases():
+            path = save(trace, tmp_path / f"{trace.machine_id}.{fmt}")
+            loaded = load(path)
+            assert loaded.machine_id == trace.machine_id
+            assert loaded.start_time == trace.start_time
+            assert loaded.sample_period == trace.sample_period
+            assert np.array_equal(loaded.load, trace.load)
+            assert np.array_equal(loaded.free_mem_mb, trace.free_mem_mb)
+            assert np.array_equal(loaded.up, trace.up)
+            assert loaded.n_samples == trace.n_samples
+
+
+class TestConcatMismatches:
+    def base(self):
+        return MachineTrace("a", 0.0, 6.0, np.full(10, 0.1), np.full(10, 100.0))
+
+    def test_machine_mismatch(self):
+        other = MachineTrace("b", 60.0, 6.0, np.full(5, 0.1), np.full(5, 100.0))
+        with pytest.raises(ValueError, match="different machines"):
+            self.base().concat(other)
+
+    def test_period_mismatch(self):
+        other = MachineTrace("a", 60.0, 30.0, np.full(5, 0.1), np.full(5, 100.0))
+        with pytest.raises(ValueError, match="periods differ"):
+            self.base().concat(other)
+
+    def test_non_contiguous(self):
+        other = MachineTrace("a", 120.0, 6.0, np.full(5, 0.1), np.full(5, 100.0))
+        with pytest.raises(ValueError, match="not contiguous"):
+            self.base().concat(other)
+
+    def test_contiguous_succeeds(self):
+        other = MachineTrace("a", 60.0, 6.0, np.full(5, 0.2), np.full(5, 50.0))
+        grown = self.base().concat(other)
+        assert grown.n_samples == 15
+        assert grown.load[-1] == 0.2
