@@ -4,6 +4,7 @@ from repro.bench.experiments import (
     ablations,
     calibration_exp,
     characterization,
+    cluster_exp,
     e2e,
     empirical_cpu,
     empirical_mem,
@@ -41,6 +42,7 @@ REGISTRY = {
     "load": load_forecast,
     "serving": serving,
     "store": store_exp,
+    "cluster": cluster_exp,
 }
 
 __all__ = ["REGISTRY"] + sorted(REGISTRY)

@@ -1,0 +1,177 @@
+"""CLUSTER — multi-node serving: scaling, failover latency, availability.
+
+Drives a real :class:`LocalCluster` (subprocess ``repro serve`` backends
+behind a :class:`ClusterRouter`) the way a multi-host FGCS deployment
+would be driven, and reports:
+
+* **throughput vs node count** — closed-loop predict load against 1..N
+  node clusters with R=2 replication, requests/second and mean latency;
+* **failover latency after SIGKILL** — the observed latency of the
+  first read that lands on a freshly killed primary and transparently
+  fails over to its replica, plus the router's failover counter;
+* **availability with one node down** — with R=2 and one backend held
+  down, the fraction of reads that still succeed (1.0: every shard has
+  a live replica) versus the fraction of writes that reach quorum
+  (shards whose owner set includes the dead node are refused).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.cluster import LocalCluster, RouterConfig, RouterThread
+from repro.obs.metrics import scoped_registry
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["run"]
+
+_ROUTER_CONFIG = RouterConfig(
+    replicas=2,
+    probe_interval_s=0.2,
+    connect_timeout_s=1.0,
+    down_after=2,
+    up_after=1,
+)
+
+
+def _register_all(port: int, testbed) -> None:
+    with ServeClient(port=port, retries=5) as client:
+        for trace in testbed:
+            client.register(trace)
+
+
+def _closed_loop_predicts(port: int, machines: list[str], n_requests: int) -> tuple[float, float]:
+    """(wall_s, mean_latency_ms) for ``n_requests`` router predicts."""
+    latencies = []
+    t0 = time.perf_counter()
+    with ServeClient(port=port) as client:
+        for i in range(n_requests):
+            q0 = time.perf_counter()
+            client.predict(machines[i % len(machines)], 6.0 + (i % 10), 2.0)
+            latencies.append((time.perf_counter() - q0) * 1e3)
+    wall = time.perf_counter() - t0
+    return wall, sum(latencies) / max(len(latencies), 1)
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the CLUSTER multi-node serving experiment."""
+    if scale == "quick":
+        n_machines, n_days, period = 4, 4, 240.0
+        node_counts = (1, 3)
+        n_requests = 120
+    else:
+        n_machines, n_days, period = 8, 7, 120.0
+        node_counts = (1, 2, 3, 4)
+        n_requests = 600
+
+    testbed = synthesize_testbed(
+        n_machines, n_days=n_days, sample_period=period, seed=seed
+    )
+    machines = testbed.machine_ids
+
+    result = ExperimentResult(
+        experiment_id="CLUSTER",
+        description="sharded/replicated serving: scaling, failover, availability",
+    )
+
+    # --- phase 1: throughput vs node count ------------------------------ #
+    scaling_tbl = ResultTable(
+        title="CLUSTER predict throughput vs node count (R=2)",
+        columns=["nodes", "requests", "wall_s", "rps", "mean_ms"],
+    )
+    for n_nodes in node_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+            with LocalCluster(tmp, n_nodes, fsync="never", supervise=False) as cluster:
+                router = RouterThread(cluster.addresses, _ROUTER_CONFIG)
+                try:
+                    _register_all(router.port, testbed)
+                    # warm every estimator so the loop measures serving,
+                    # not one-off kernel fits
+                    _closed_loop_predicts(router.port, machines, len(machines))
+                    wall, mean_ms = _closed_loop_predicts(
+                        router.port, machines, n_requests
+                    )
+                finally:
+                    router.stop()
+        scaling_tbl.add(n_nodes, n_requests, wall, n_requests / max(wall, 1e-9), mean_ms)
+    result.tables.append(scaling_tbl)
+    rps = scaling_tbl.column("rps")
+    result.notes["scaling_rps_ratio"] = rps[-1] / max(rps[0], 1e-9)
+
+    # --- phase 2: failover latency after SIGKILL ------------------------ #
+    failover_tbl = ResultTable(
+        title="CLUSTER failover after SIGKILL of a primary (R=2)",
+        columns=["baseline_ms", "failover_ms", "router_failovers", "restarted"],
+    )
+    with scoped_registry() as reg, \
+            tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+        with LocalCluster(tmp, 3, fsync="never", supervise=True) as cluster:
+            router = RouterThread(cluster.addresses, _ROUTER_CONFIG)
+            try:
+                _register_all(router.port, testbed)
+                target = machines[0]
+                victim = cluster.node(router.router.ring.owners(target)[0])
+                with ServeClient(port=router.port) as client:
+                    client.predict(target, 9.0, 2.0)  # warm both replicas
+                    t0 = time.perf_counter()
+                    client.predict(target, 9.0, 2.0)
+                    baseline_ms = (time.perf_counter() - t0) * 1e3
+                    victim.kill()
+                    t0 = time.perf_counter()
+                    client.predict(target, 9.0, 2.0)  # pays the failover
+                    failover_ms = (time.perf_counter() - t0) * 1e3
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline and victim.restarts == 0:
+                    time.sleep(0.05)
+                failovers = reg.get("cluster_failovers_total")
+                failover_tbl.add(
+                    baseline_ms,
+                    failover_ms,
+                    int(failovers.value) if failovers is not None else 0,
+                    victim.restarts >= 1,
+                )
+            finally:
+                router.stop()
+    result.tables.append(failover_tbl)
+    result.notes["failover_latency_ms"] = failover_tbl.column("failover_ms")[0]
+
+    # --- phase 3: availability with one node held down ------------------ #
+    avail_tbl = ResultTable(
+        title="CLUSTER availability with one of three nodes down (R=2)",
+        columns=["reads", "reads_ok", "read_availability", "writes", "writes_ok", "write_availability"],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+        with LocalCluster(tmp, 3, fsync="never", supervise=False) as cluster:
+            router = RouterThread(cluster.addresses, _ROUTER_CONFIG)
+            try:
+                _register_all(router.port, testbed)
+                cluster.nodes[0].kill()
+                reads_ok = 0
+                n_reads = 4 * len(machines)
+                with ServeClient(port=router.port) as client:
+                    for i in range(n_reads):
+                        try:
+                            client.predict(machines[i % len(machines)], 9.0, 2.0)
+                            reads_ok += 1
+                        except (ServeRequestError, ConnectionError):
+                            pass
+                    writes_ok = 0
+                    for trace in testbed:
+                        try:
+                            client.register(trace)
+                            writes_ok += 1
+                        except ServeRequestError:
+                            pass  # QuorumNotMet: dead node owns a replica
+                avail_tbl.add(
+                    n_reads, reads_ok, reads_ok / n_reads,
+                    n_machines, writes_ok, writes_ok / n_machines,
+                )
+            finally:
+                router.stop()
+    result.tables.append(avail_tbl)
+    result.notes["read_availability_one_down"] = avail_tbl.column("read_availability")[0]
+    result.notes["write_availability_one_down"] = avail_tbl.column("write_availability")[0]
+    return result

@@ -15,6 +15,11 @@ Usage::
     repro-fgcs serve --store store/         # warm-start, persist registrations
     repro-fgcs query extend --port 7061 --trace chunk.npz --retries 3
     repro-fgcs store stat store/            # per-machine WAL/snapshot accounting
+    repro-fgcs cluster start --nodes 3 --replicas 2 --data cluster/
+    repro-fgcs cluster status --spec cluster/cluster.json
+    repro-fgcs query predict --cluster cluster/cluster.json --machine lab-00
+    repro-fgcs query health --port-file /tmp/serve-port
+    repro-fgcs cluster stop --spec cluster/cluster.json
     repro-fgcs obs --format prometheus      # dump the metrics snapshot
 
 (Equivalently: ``python -m repro ...``.)
@@ -213,12 +218,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store.close()
 
 
+def _resolve_query_target(args: argparse.Namespace) -> tuple[str, int] | None:
+    """(host, port) from --port, --port-file or --cluster (exactly one)."""
+    import json as _json
+
+    given = [
+        name for name, value in (
+            ("--port", args.port),
+            ("--port-file", args.port_file),
+            ("--cluster", args.cluster),
+        ) if value
+    ]
+    if len(given) != 1:
+        print(
+            "exactly one of --port, --port-file or --cluster is required"
+            + (f" (got {', '.join(given)})" if given else ""),
+            file=sys.stderr,
+        )
+        return None
+    if args.port:
+        return args.host, args.port
+    if args.port_file:
+        text = Path(args.port_file).read_text().strip()
+        return args.host, int(text)
+    spec = _json.loads(Path(args.cluster).read_text())
+    router = spec["router"]
+    return router["host"], int(router["port"])
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.serve.client import ServeClient, _trace_params
     from repro.serve.protocol import STATUS_OK
 
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    host, port = target
     params: dict[str, object] = {}
     if args.op in ("predict", "rank", "select", "horizon"):
         params.update(
@@ -243,11 +280,161 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         params.update(_trace_params(load_trace_npz(args.trace)))
     with ServeClient(
-        args.host, args.port, timeout=args.connect_timeout, retries=args.retries
+        host, port, timeout=args.connect_timeout, retries=args.retries
     ) as client:
         response = client.request(args.op, params, deadline_ms=args.deadline_ms)
     print(_json.dumps(response.to_wire(), indent=2))
     return 0 if response.status == STATUS_OK else 1
+
+
+def _cmd_cluster_start(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterRouter, LocalCluster, RouterConfig
+
+    data_dir = Path(args.data)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    spec_path = Path(args.spec_file) if args.spec_file else data_dir / "cluster.json"
+    cluster = LocalCluster(
+        data_dir,
+        args.nodes,
+        host=args.host,
+        fsync=args.fsync,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        supervise=not args.no_supervise,
+    )
+    config = RouterConfig(
+        replicas=args.replicas,
+        vnodes=args.vnodes,
+        probe_interval_s=args.probe_interval,
+    )
+
+    async def _run() -> int:
+        from repro.serve.client import AsyncServeClient
+
+        router = ClusterRouter(
+            cluster.addresses, host=args.host, port=args.port, config=config
+        )
+        await router.start()
+        print(
+            f"[cluster router on {args.host}:{router.port}; "
+            f"{args.nodes} nodes, R={args.replicas}, "
+            f"write quorum {config.write_quorum}]",
+            flush=True,
+        )
+        cluster.write_spec(spec_path, args.host, router.port)
+        print(f"[cluster spec written to {spec_path}]", flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{router.port}\n")
+        if args.traces:
+            from repro.traces.io import load_traceset
+
+            client = await AsyncServeClient.connect(
+                args.host, router.port, retries=5
+            )
+            try:
+                total = 0
+                for trace in load_traceset(args.traces):
+                    await client.register(trace)
+                    total += trace.n_samples
+            finally:
+                await client.close()
+            print(
+                f"[registered {args.traces} through the router "
+                f"({total} samples, quorum-replicated)]",
+                flush=True,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        serving = asyncio.ensure_future(router.serve_forever())
+        await stop.wait()
+        print("[stopping cluster...]", flush=True)
+        serving.cancel()
+        await router.stop()
+        return 0
+
+    try:
+        cluster.start()
+        print(
+            f"[{args.nodes} backend nodes up: "
+            + ", ".join(f"{nid}@{host}:{port}"
+                        for nid, (host, port) in cluster.addresses.items())
+            + "]",
+            flush=True,
+        )
+        return asyncio.run(_run())
+    finally:
+        cluster.stop()
+        print("[cluster stopped]", flush=True)
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient
+
+    if args.spec:
+        spec = _json.loads(Path(args.spec).read_text())
+        host, port = spec["router"]["host"], int(spec["router"]["port"])
+    elif args.port:
+        host, port = args.host, args.port
+    else:
+        print("either --spec or --port is required", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            health = client.health()
+    except OSError as exc:
+        print(f"router at {host}:{port} is unreachable: {exc}", file=sys.stderr)
+        return 1
+    ring = health.get("ring", {})
+    print(
+        f"cluster status: {health['status']} "
+        f"({health.get('up_nodes', '?')}/{ring.get('nodes', '?')} nodes up, "
+        f"R={ring.get('replicas', '?')}, "
+        f"write quorum {ring.get('write_quorum', '?')})"
+    )
+    header = f"{'node':<12} {'address':<22} {'state':<6} {'machines':>8} {'queue':>6}"
+    print(header)
+    print("-" * len(header))
+    for node_id, st in sorted(health.get("nodes", {}).items()):
+        machines = st.get("machines")
+        queue = st.get("queue_depth")
+        print(
+            f"{node_id:<12} {st['address']:<22} {st['state']:<6} "
+            f"{'-' if machines is None else machines:>8} "
+            f"{'-' if queue is None else queue:>6}"
+        )
+    return 0 if health["status"] != "down" else 1
+
+
+def _cmd_cluster_stop(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+    import signal
+
+    spec = _json.loads(Path(args.spec).read_text())
+    pid = int(spec["pid"])
+    try:
+        os.kill(pid, signal.SIGTERM)
+    except ProcessLookupError:
+        print(f"cluster process {pid} is already gone")
+        return 0
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            print(f"cluster process {pid} stopped")
+            return 0
+        time.sleep(0.1)
+    print(f"cluster process {pid} did not stop within {args.timeout}s",
+          file=sys.stderr)
+    return 1
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -400,12 +587,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU bound on cached (machine, window) entries")
     serve.set_defaults(func=_cmd_serve)
 
-    query = sub.add_parser("query", help="query a running availability server")
+    query = sub.add_parser("query",
+                           help="query a running availability server or cluster")
     query.add_argument("op",
                        choices=("predict", "rank", "select", "horizon", "health",
                                 "register", "extend"))
     query.add_argument("--host", default="127.0.0.1")
-    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--port", type=int, default=0,
+                       help="server (or cluster router) port")
+    query.add_argument("--port-file",
+                       help="read the port from this file (as written by "
+                       "'repro-fgcs serve --port-file' or 'cluster start')")
+    query.add_argument("--cluster", metavar="SPEC",
+                       help="read the router address from a cluster spec JSON "
+                       "(as written by 'repro-fgcs cluster start')")
     query.add_argument("--machine", help="machine id (predict/horizon)")
     query.add_argument("--trace",
                        help="path to a .npz trace to ship (register/extend)")
@@ -423,6 +618,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline in ms")
     query.add_argument("--connect-timeout", type=float, default=10.0)
     query.set_defaults(func=_cmd_query)
+
+    clus = sub.add_parser(
+        "cluster",
+        help="run a sharded, replicated multi-node cluster behind one router",
+    )
+    csub = clus.add_subparsers(dest="cluster_op", required=True)
+
+    cstart = csub.add_parser(
+        "start", help="start N backend serve processes and the router"
+    )
+    cstart.add_argument("--nodes", type=int, default=3,
+                        help="backend node count (default: 3)")
+    cstart.add_argument("--replicas", type=int, default=2,
+                        help="replication factor R (default: 2)")
+    cstart.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per backend on the hash ring")
+    cstart.add_argument("--data", required=True,
+                        help="cluster data directory (per-node stores + spec)")
+    cstart.add_argument("--host", default="127.0.0.1")
+    cstart.add_argument("--port", type=int, default=7070,
+                        help="router port; 0 picks an ephemeral port")
+    cstart.add_argument("--port-file",
+                        help="write the router port to this file once listening")
+    cstart.add_argument("--spec-file",
+                        help="cluster spec path (default: DATA/cluster.json)")
+    cstart.add_argument("--traces",
+                        help="traceset directory to register through the router "
+                        "(quorum-replicated onto the owning shards)")
+    cstart.add_argument("--fsync", default="always",
+                        help="per-node store durability policy (default: always)")
+    cstart.add_argument("--workers", type=int, default=2,
+                        help="worker threads per backend (default: 2)")
+    cstart.add_argument("--queue-depth", type=int, default=64,
+                        help="admission queue depth per backend (default: 64)")
+    cstart.add_argument("--probe-interval", type=float, default=0.5,
+                        help="membership health-probe period in seconds")
+    cstart.add_argument("--no-supervise", action="store_true",
+                        help="do not relaunch backends that die")
+    cstart.set_defaults(func=_cmd_cluster_start)
+
+    cstatus = csub.add_parser("status", help="show per-node cluster health")
+    cstatus.add_argument("--spec", help="cluster spec JSON from 'cluster start'")
+    cstatus.add_argument("--host", default="127.0.0.1")
+    cstatus.add_argument("--port", type=int, default=0, help="router port")
+    cstatus.add_argument("--connect-timeout", type=float, default=5.0)
+    cstatus.set_defaults(func=_cmd_cluster_status)
+
+    cstop = csub.add_parser("stop", help="stop a running cluster by spec file")
+    cstop.add_argument("--spec", required=True,
+                       help="cluster spec JSON from 'cluster start'")
+    cstop.add_argument("--timeout", type=float, default=30.0,
+                       help="seconds to wait for the cluster to exit")
+    cstop.set_defaults(func=_cmd_cluster_stop)
 
     store = sub.add_parser("store", help="manage a durable trace store")
     store.add_argument("store_op", choices=("init", "ingest", "stat", "compact"),

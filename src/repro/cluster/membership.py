@@ -1,0 +1,224 @@
+"""Backend health tracking: periodic probes with mark-down hysteresis.
+
+The router must not route to a dead backend (every request would pay a
+connect timeout before failing over) and must not flap a slow-but-alive
+backend out of the ring (mark-down dumps its load onto the survivors).
+Both failure modes are handled the standard way — consecutive-outcome
+hysteresis around a periodic probe of the existing wire-protocol
+``health`` op:
+
+* a node is marked **down** only after ``down_after`` consecutive probe
+  failures (one dropped packet does not evict a replica);
+* a down node is marked **up** only after ``up_after`` consecutive
+  probe successes (a restarting node must prove itself before load
+  returns to it).
+
+The router also feeds *passive* evidence in: a connection error on a
+proxied request counts as one probe failure (``report_failure``), so a
+SIGKILLed backend is usually suspected by the very request that first
+hits it, ahead of the probe period.
+
+Mark-down never changes the hash ring — placement is stable, a down
+node keeps owning its shards and reads fail over to the other replicas.
+That is what bounds failover to "try the next owner" instead of a
+rebalance storm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+from repro.serve.protocol import Request, Response
+
+__all__ = ["NodeHealth", "Membership"]
+
+
+@dataclass
+class NodeHealth:
+    """Mutable probe state of one backend node."""
+
+    node_id: str
+    host: str
+    port: int
+    up: bool = True
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    #: Last successful ``health`` payload (queue depth, machines, ...).
+    last_payload: Mapping[str, Any] | None = None
+    last_change_monotonic: float = field(default_factory=time.monotonic)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class Membership:
+    """Health states of a fixed node set, driven by an asyncio probe loop."""
+
+    def __init__(
+        self,
+        addresses: Mapping[str, tuple[str, int]],
+        *,
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 1.0,
+        down_after: int = 2,
+        up_after: int = 2,
+    ) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("down_after and up_after must be >= 1")
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.down_after = down_after
+        self.up_after = up_after
+        self._nodes = {
+            node_id: NodeHealth(node_id=node_id, host=host, port=port)
+            for node_id, (host, port) in addresses.items()
+        }
+        self._task: asyncio.Task | None = None
+        for node_id in self._nodes:
+            instrument("cluster_node_up").labels(node=node_id).set(1)
+
+    # ------------------------------------------------------------------ #
+    # queries (called from the router's event loop only)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> NodeHealth:
+        return self._nodes[node_id]
+
+    def address(self, node_id: str) -> tuple[str, int]:
+        st = self._nodes[node_id]
+        return st.host, st.port
+
+    def is_up(self, node_id: str) -> bool:
+        return self._nodes[node_id].up
+
+    def up_nodes(self) -> list[str]:
+        return [n for n, st in self._nodes.items() if st.up]
+
+    def prefer_up(self, node_ids: list[str]) -> list[str]:
+        """Reorder ``node_ids``: up nodes first, order otherwise kept.
+
+        Down nodes stay at the tail as a last resort — when every owner
+        of a shard is marked down the router still *tries* them rather
+        than refusing outright, so a wrongly-suspected node can answer.
+        """
+        return [n for n in node_ids if self.is_up(n)] + [
+            n for n in node_ids if not self.is_up(n)
+        ]
+
+    def status(self) -> dict[str, dict[str, Any]]:
+        """Per-node health summary (the ``cluster status`` payload)."""
+        out: dict[str, dict[str, Any]] = {}
+        for node_id, st in self._nodes.items():
+            payload = dict(st.last_payload) if st.last_payload else {}
+            out[node_id] = {
+                "address": st.address,
+                "state": "up" if st.up else "down",
+                "consecutive_failures": st.consecutive_failures,
+                "machines": payload.get("machines"),
+                "queue_depth": payload.get("queue_depth"),
+                "backend_status": payload.get("status"),
+            }
+        return out
+
+    # ------------------------------------------------------------------ #
+    # evidence
+    # ------------------------------------------------------------------ #
+
+    def report_failure(self, node_id: str) -> None:
+        """Count one failure against a node (probe or proxied request)."""
+        st = self._nodes[node_id]
+        st.consecutive_successes = 0
+        st.consecutive_failures += 1
+        instrument("cluster_probe_failures_total").labels(node=node_id).inc()
+        if st.up and st.consecutive_failures >= self.down_after:
+            st.up = False
+            st.last_change_monotonic = time.monotonic()
+            instrument("cluster_node_up").labels(node=node_id).set(0)
+            get_event_log().emit(
+                "cluster_node_down",
+                severity="warning",
+                node=node_id,
+                address=st.address,
+                failures=st.consecutive_failures,
+            )
+
+    def report_success(self, node_id: str, payload: Mapping[str, Any] | None = None) -> None:
+        """Count one success for a node (probe or proxied request)."""
+        st = self._nodes[node_id]
+        st.consecutive_failures = 0
+        st.consecutive_successes += 1
+        if payload is not None:
+            st.last_payload = payload
+        if not st.up and st.consecutive_successes >= self.up_after:
+            st.up = True
+            st.last_change_monotonic = time.monotonic()
+            instrument("cluster_node_up").labels(node=node_id).set(1)
+            get_event_log().emit(
+                "cluster_node_up", node=node_id, address=st.address
+            )
+
+    # ------------------------------------------------------------------ #
+    # probe loop
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the periodic probe task on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._probe_loop())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def probe_all(self) -> None:
+        """One probe round across every node (also used by tests)."""
+        await asyncio.gather(
+            *(self._probe_one(node_id) for node_id in self._nodes),
+            return_exceptions=True,
+        )
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await self.probe_all()
+            await asyncio.sleep(self.probe_interval_s)
+
+    async def _probe_one(self, node_id: str) -> None:
+        st = self._nodes[node_id]
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(st.host, st.port), self.probe_timeout_s
+            )
+            writer.write(Request(op="health", id="probe").encode())
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), self.probe_timeout_s)
+            if not line:
+                raise ConnectionError("backend closed the probe connection")
+            resp = Response.decode(line)
+            if not resp.ok:
+                raise ConnectionError(f"health answered {resp.status!r}")
+            self.report_success(node_id, resp.result)
+        except (OSError, asyncio.TimeoutError, ValueError):
+            self.report_failure(node_id)
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass

@@ -1,0 +1,317 @@
+"""Supervised backend nodes: one serve process + one store each.
+
+A cluster backend is nothing new — it is exactly the single-node
+``repro serve --store`` process of the serving and storage tiers, with
+two properties the cluster layers on top:
+
+* **its own store** — each node persists only the shards routed to it,
+  so a node's disk is its shard set and a restarted node recovers
+  *itself* (warm start) without asking anyone else for data;
+* **supervision** — :class:`SupervisedNode` relaunches the process when
+  it dies (crash, SIGKILL), on the *same* port and store directory, so
+  the hash ring and the router's address book never change.  Quorum
+  writes (R ≥ 2) are what make this sufficient: everything the dead
+  node acknowledged is in its WAL, and everything it missed while down
+  lives on the other replicas, which keep answering reads meanwhile.
+
+:class:`LocalCluster` composes N supervised nodes for the CLI, the
+bench and the tests; :class:`RouterThread` hosts a
+:class:`~repro.cluster.router.ClusterRouter` on a dedicated event-loop
+thread for callers that are not themselves async (bench, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.obs.events import get_event_log
+
+__all__ = [
+    "NodeSpec",
+    "SupervisedNode",
+    "LocalCluster",
+    "RouterThread",
+    "free_port",
+    "wait_for_port",
+]
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (bind, read, release)."""
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_port(host: str, port: int, timeout_s: float = 20.0) -> bool:
+    """Poll until a TCP connect to ``host:port`` succeeds."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Identity and launch parameters of one backend node."""
+
+    node_id: str
+    store_dir: Path
+    host: str = "127.0.0.1"
+    #: Fixed port (0: pick a free one at first start and pin it).
+    port: int = 0
+    fsync: str = "always"
+    workers: int = 2
+    queue_depth: int = 64
+
+    def command(self, port: int) -> list[str]:
+        """The serve process argv for this spec bound to ``port``."""
+        return [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host,
+            "--port", str(port),
+            "--store", str(self.store_dir),
+            "--fsync", self.fsync,
+            "--workers", str(self.workers),
+            "--queue-depth", str(self.queue_depth),
+        ]
+
+
+class SupervisedNode:
+    """One backend serve process, relaunched on the same port when it dies."""
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        *,
+        supervise: bool = True,
+        restart_backoff_s: float = 0.2,
+        start_timeout_s: float = 30.0,
+    ) -> None:
+        self.spec = spec
+        self.port = spec.port or free_port(spec.host)
+        self.supervise = supervise
+        self.restart_backoff_s = restart_backoff_s
+        self.start_timeout_s = start_timeout_s
+        self.restarts = 0
+        self._proc: subprocess.Popen | None = None
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    @property
+    def node_id(self) -> str:
+        return self.spec.node_id
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.spec.host, self.port
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Launch the serve process and wait until it accepts connections."""
+        self.spec.store_dir.mkdir(parents=True, exist_ok=True)
+        self._launch()
+        if self.supervise and self._monitor is None:
+            self._monitor = threading.Thread(
+                target=self._watch, name=f"supervise-{self.node_id}", daemon=True
+            )
+            self._monitor.start()
+
+    def _launch(self) -> None:
+        # The child must import the same repro package as this process,
+        # regardless of the parent's CWD or install mode.
+        env = dict(os.environ)
+        pkg_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = pkg_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._proc = subprocess.Popen(
+            self.spec.command(self.port),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        if not wait_for_port(self.spec.host, self.port, self.start_timeout_s):
+            raise RuntimeError(
+                f"backend {self.node_id} did not start listening on "
+                f"{self.spec.host}:{self.port} within {self.start_timeout_s}s"
+            )
+
+    def _watch(self) -> None:
+        while not self._stopping.is_set():
+            proc = self._proc
+            if proc is not None and proc.poll() is not None:
+                get_event_log().emit(
+                    "cluster_node_restarting",
+                    severity="warning",
+                    node=self.node_id,
+                    exit_code=proc.returncode,
+                )
+                time.sleep(self.restart_backoff_s)
+                if self._stopping.is_set():
+                    return
+                try:
+                    self._launch()
+                    self.restarts += 1
+                except RuntimeError:
+                    continue  # port still draining; retry next tick
+            self._stopping.wait(0.1)
+
+    # ------------------------------------------------------------------ #
+
+    def kill(self) -> None:
+        """SIGKILL the process (supervision, if on, will relaunch it)."""
+        if self._proc is not None and self._proc.poll() is None:
+            self._proc.send_signal(signal.SIGKILL)
+            self._proc.wait()
+
+    def stop(self, timeout_s: float = 15.0) -> None:
+        """Stop supervision and terminate the process (graceful drain)."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout_s)
+            self._monitor = None
+        if self._proc is not None and self._proc.poll() is None:
+            self._proc.send_signal(signal.SIGTERM)
+            try:
+                self._proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+
+
+class LocalCluster:
+    """N supervised backends under one data directory, for one router."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        n_nodes: int,
+        *,
+        host: str = "127.0.0.1",
+        fsync: str = "always",
+        workers: int = 2,
+        queue_depth: int = 64,
+        supervise: bool = True,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.data_dir = Path(data_dir)
+        self.nodes: list[SupervisedNode] = [
+            SupervisedNode(
+                NodeSpec(
+                    node_id=f"node-{i}",
+                    store_dir=self.data_dir / f"node-{i}" / "store",
+                    host=host,
+                    fsync=fsync,
+                    workers=workers,
+                    queue_depth=queue_depth,
+                ),
+                supervise=supervise,
+            )
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        """``node_id -> (host, port)`` for building a router."""
+        return {node.node_id: node.address for node in self.nodes}
+
+    def node(self, node_id: str) -> SupervisedNode:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"unknown node {node_id!r}")
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    def stop(self) -> None:
+        for node in self.nodes:
+            node.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def write_spec(self, path: str | Path, router_host: str, router_port: int) -> Path:
+        """Persist the cluster layout for ``cluster status`` / ``stop``."""
+        spec = {
+            "router": {"host": router_host, "port": router_port},
+            "pid": os.getpid(),
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "host": node.spec.host,
+                    "port": node.port,
+                    "store": str(node.spec.store_dir),
+                    "pid": node.pid,
+                }
+                for node in self.nodes
+            ],
+        }
+        path = Path(path)
+        path.write_text(json.dumps(spec, indent=2) + "\n")
+        return path
+
+
+@dataclass
+class RouterThread:
+    """A :class:`ClusterRouter` hosted on a dedicated event-loop thread."""
+
+    addresses: dict[str, tuple[str, int]]
+    config: RouterConfig = field(default_factory=RouterConfig)
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self.router = ClusterRouter(
+            self.addresses, host=self.host, port=0, config=self.config
+        )
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="cluster-router-loop", daemon=True
+        )
+        self._thread.start()
+        self.run(self.router.start())
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def run(self, coro):  # noqa: ANN001 - passthrough helper
+        """Run a coroutine on the router's loop and return its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(60)
+
+    def stop(self) -> None:
+        self.run(self.router.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()

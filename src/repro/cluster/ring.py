@@ -1,0 +1,130 @@
+"""Consistent-hash ring: stable ``machine_id -> replica set`` placement.
+
+The cluster shards the machine universe across its backend nodes with
+the classic consistent-hashing construction: every node is hashed onto
+a circle at ``vnodes`` pseudo-random points (virtual nodes), and a key
+is owned by the first ``replicas`` *distinct* nodes found walking the
+circle clockwise from the key's own hash.  Two properties make this the
+right placement function for a serving tier whose membership changes:
+
+* **balance** — with enough virtual nodes the arc owned by each node
+  concentrates around 1/N of the circle, so shards stay within a few
+  percent of each other (``tests/cluster/test_ring.py`` pins the
+  tolerance);
+* **minimal movement** — adding or removing one node only reassigns the
+  keys whose clockwise walk crosses that node's points, about 1/N of
+  the keyspace, instead of reshuffling everything the way ``hash(key)
+  % N`` does.
+
+Hashing uses MD5 (as a mixer, not for security): it is stable across
+processes and Python versions, unlike the builtin ``hash`` which is
+randomized per process — two routers built over the same node list
+MUST agree on every key's owners.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """Position of ``key`` on the ring circle (first 8 MD5 bytes)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to an R-replica node set."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        *,
+        vnodes: int = 64,
+        replicas: int = 2,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.vnodes = vnodes
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners_at: list[str] = []  # node owning self._points[i]
+        for node in nodes:
+            self._nodes.add(node)
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> list[str]:
+        """Current member nodes, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        """Add one node (idempotent)."""
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        """Remove one node."""
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"{node}#{v}"), node)
+            for node in self._nodes
+            for v in range(self.vnodes)
+        )
+        self._points = [p for p, _ in pairs]
+        self._owners_at = [n for _, n in pairs]
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    def owners(self, key: str) -> list[str]:
+        """The replica set of ``key``: first R distinct nodes clockwise.
+
+        The first entry is the *primary* (preferred for reads); the rest
+        are the failover order.  With fewer than R member nodes every
+        node owns every key.
+        """
+        if not self._nodes:
+            raise LookupError("hash ring has no nodes")
+        start = bisect.bisect_right(self._points, _point(key))
+        want = min(self.replicas, len(self._nodes))
+        found: list[str] = []
+        for i in range(len(self._points)):
+            node = self._owners_at[(start + i) % len(self._points)]
+            if node not in found:
+                found.append(node)
+                if len(found) == want:
+                    break
+        return found
+
+    def primary(self, key: str) -> str:
+        """The primary owner of ``key``."""
+        return self.owners(key)[0]
+
+    def shard_counts(self, keys: Sequence[str]) -> dict[str, int]:
+        """Primary-ownership tally of ``keys`` per node (balance probe)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.primary(key)] += 1
+        return counts

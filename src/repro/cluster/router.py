@@ -1,0 +1,534 @@
+"""The cluster frontend: one socket, many sharded/replicated backends.
+
+The router speaks the *same* JSON-lines wire protocol as a single
+``repro serve`` process (:mod:`repro.serve.protocol`), so every
+existing client — ``repro query``, :class:`~repro.serve.client.ServeClient`,
+a scheduler with a socket — talks to a cluster by changing nothing but
+the port.  Behind the socket each op is routed by kind:
+
+* **single-machine reads** (``predict``, ``horizon``) go to the
+  machine's primary owner on the hash ring; on a connection error or a
+  backpressure answer (``shed`` / ``shutting_down``) the router fails
+  over to the next replica transparently, so a SIGKILLed backend costs
+  the client nothing but latency;
+* **fan-out reads** (``rank``, ``select``) scatter to every live node
+  and merge: replicas report the same machine twice, the merge dedups,
+  and ``select`` re-runs the top-k + gang-survival math on the merged
+  TR map so its answer is identical to a single-node deployment;
+* **writes** (``register``, ``extend``) fan out to *all* R owners of
+  the machine and succeed only with a write quorum of ⌈(R+1)/2⌉ acks —
+  for the default R=2 that is both replicas, which is what lets a
+  restarted node warm-start from its own store and still hold every
+  byte it ever acknowledged;
+* **health** is answered by the router itself with the cluster view
+  (per-node up/down, ring shape) — it must work while backends are
+  down, because it is how operators see that they are down.
+
+The router holds no machine data: placement is pure hashing, health is
+probed, and every byte of history lives in the backends' stores.  A
+router restart therefore loses nothing and needs no recovery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cluster.membership import Membership
+from repro.cluster.ring import HashRing
+from repro.core.multi import group_survival, select_best_k
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    STATUS_ERROR,
+    ProtocolError,
+    Request,
+    Response,
+    min_version,
+)
+
+__all__ = ["RouterConfig", "ClusterRouter"]
+
+#: Ops answered by proxying to the single owning replica set.
+_SINGLE_MACHINE_OPS = frozenset({"predict", "horizon"})
+#: Ops answered by scatter-gather across every shard.
+_SCATTER_OPS = frozenset({"rank", "select"})
+#: Ops fanned out to all R owners under a write quorum.
+_WRITE_OPS = frozenset({"register", "extend"})
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of one :class:`ClusterRouter`."""
+
+    #: Replication factor R: copies of each machine's history.
+    replicas: int = 2
+    #: Virtual nodes per backend on the hash ring.
+    vnodes: int = 64
+    #: Seconds to establish one backend connection.
+    connect_timeout_s: float = 2.0
+    #: Seconds to wait for one backend response (None: unbounded).
+    request_timeout_s: float | None = 30.0
+    #: Idle pooled connections kept per backend.
+    pool_idle_per_node: int = 8
+    #: Health-probe period.
+    probe_interval_s: float = 0.5
+    #: Consecutive failures before mark-down / successes before mark-up.
+    down_after: int = 2
+    up_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+
+    @property
+    def write_quorum(self) -> int:
+        """Acks required for a write: ⌈(R+1)/2⌉ (majority of R+1)."""
+        return (self.replicas + 2) // 2
+
+
+class _BackendPool:
+    """Pooled JSON-lines connections to the backends, one in use per call."""
+
+    def __init__(self, membership: Membership, config: RouterConfig) -> None:
+        self._membership = membership
+        self._config = config
+        self._idle: dict[str, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = {}
+        self._ids = itertools.count(1)
+
+    async def call(self, node_id: str, request: Request) -> Response:
+        """One request/response round-trip against ``node_id``.
+
+        Raises ``ConnectionError``/``OSError``/``TimeoutError`` when the
+        backend is unreachable or the connection breaks mid-request; the
+        broken connection is discarded, never pooled.
+        """
+        conn = await self._acquire(node_id)
+        reader, writer = conn
+        forwarded = Request(
+            op=request.op,
+            params=request.params,
+            id=f"r{next(self._ids)}",
+            deadline_ms=request.deadline_ms,
+            version=min_version(request.op),
+        )
+        try:
+            writer.write(forwarded.encode())
+            await writer.drain()
+            line = await self._bounded(reader.readline())
+            if not line:
+                raise ConnectionError(f"backend {node_id} closed the connection")
+            resp = Response.decode(line)
+            if resp.id != forwarded.id:
+                raise ProtocolError(
+                    f"backend {node_id} answered id {resp.id!r}, "
+                    f"expected {forwarded.id!r}"
+                )
+        except BaseException:
+            await _close_quietly(writer)
+            raise
+        self._release(node_id, conn)
+        return resp
+
+    async def _bounded(self, coro: Any) -> Any:
+        if self._config.request_timeout_s is None:
+            return await coro
+        return await asyncio.wait_for(coro, self._config.request_timeout_s)
+
+    async def _acquire(
+        self, node_id: str
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        idle = self._idle.get(node_id)
+        while idle:
+            reader, writer = idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            await _close_quietly(writer)
+        host, port = self._membership.address(node_id)
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_LINE_BYTES),
+            self._config.connect_timeout_s,
+        )
+
+    def _release(
+        self, node_id: str, conn: tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        idle = self._idle.setdefault(node_id, [])
+        if len(idle) < self._config.pool_idle_per_node and not conn[1].is_closing():
+            idle.append(conn)
+        else:
+            conn[1].close()
+
+    async def close(self) -> None:
+        for conns in self._idle.values():
+            for _, writer in conns:
+                await _close_quietly(writer)
+        self._idle.clear()
+
+
+async def _close_quietly(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (OSError, asyncio.CancelledError):
+        pass
+
+
+class ClusterRouter:
+    """Protocol-compatible frontend over N sharded, replicated backends."""
+
+    def __init__(
+        self,
+        nodes: Mapping[str, tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: RouterConfig | None = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one backend node")
+        self.host = host
+        self.port = port  # 0 until start() binds an ephemeral port
+        self.config = config or RouterConfig()
+        self.ring = HashRing(
+            nodes, vnodes=self.config.vnodes, replicas=self.config.replicas
+        )
+        self.membership = Membership(
+            nodes,
+            probe_interval_s=self.config.probe_interval_s,
+            probe_timeout_s=self.config.connect_timeout_s,
+            down_after=self.config.down_after,
+            up_after=self.config.up_after,
+        )
+        self._pool = _BackendPool(self.membership, self.config)
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind, start probing, start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.membership.start()
+        get_event_log().emit(
+            "cluster_router_started",
+            host=self.host,
+            port=self.port,
+            nodes=len(self.ring),
+            replicas=self.config.replicas,
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, close backend pools and the probe loop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.membership.stop()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self._pool.close()
+        get_event_log().emit("cluster_router_stopped")
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (start() must have been called)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    # connection handling (same framing discipline as ServeServer)
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                t = asyncio.ensure_future(self._answer(line, writer, write_lock))
+                pending.add(t)
+                t.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            for t in pending:
+                t.cancel()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _answer(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        t0 = time.perf_counter()
+        op = "invalid"
+        try:
+            request = Request.decode(line)
+            op = request.op
+            response = await self._route(request)
+        except ProtocolError as exc:
+            response = Response.failure("", STATUS_ERROR, "ProtocolError", str(exc))
+        except Exception as exc:  # routing bug: answer, don't drop the line
+            response = Response.failure(
+                "", STATUS_ERROR, type(exc).__name__, str(exc)
+            )
+        outcome = "ok" if response.ok else response.status
+        instrument("cluster_requests_routed_total").labels(op=op, outcome=outcome).inc()
+        if response.elapsed_ms is None:
+            response = Response(
+                id=response.id,
+                status=response.status,
+                result=response.result,
+                error=response.error,
+                coalesced=response.coalesced,
+                elapsed_ms=(time.perf_counter() - t0) * 1e3,
+            )
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(response.encode())
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    async def _route(self, request: Request) -> Response:
+        if request.op == "health":
+            return Response.success(request.id, self._cluster_health())
+        if request.op in _SINGLE_MACHINE_OPS:
+            return await self._route_single(request)
+        if request.op in _SCATTER_OPS:
+            return await self._route_scatter(request)
+        if request.op in _WRITE_OPS:
+            return await self._route_write(request)
+        return Response.failure(
+            request.id, STATUS_ERROR, "ProtocolError",
+            f"op {request.op!r} is not routable"
+        )
+
+    async def _call_timed(self, node_id: str, request: Request) -> Response:
+        t0 = time.perf_counter()
+        try:
+            resp = await self._pool.call(node_id, request)
+        except (OSError, asyncio.TimeoutError):
+            self.membership.report_failure(node_id)
+            raise
+        finally:
+            instrument("cluster_shard_latency_seconds").labels(node=node_id).observe(
+                time.perf_counter() - t0
+            )
+        return resp
+
+    def _owner_key(self, request: Request) -> str:
+        machine = request.params.get("machine")
+        if machine is None:
+            raise ProtocolError(f"missing required param 'machine' for {request.op!r}")
+        return str(machine)
+
+    async def _route_single(self, request: Request) -> Response:
+        """Proxy to the owning replica set, failing over in ring order."""
+        owners = self.membership.prefer_up(self.ring.owners(self._owner_key(request)))
+        backpressure: Response | None = None
+        for attempt, node_id in enumerate(owners):
+            try:
+                resp = await self._call_timed(node_id, request)
+            except (OSError, asyncio.TimeoutError):
+                if attempt + 1 < len(owners):
+                    instrument("cluster_failovers_total").inc()
+                continue
+            if resp.backpressure:
+                backpressure = resp
+                if attempt + 1 < len(owners):
+                    instrument("cluster_failovers_total").inc()
+                continue
+            # ok — or a semantic error the next replica would repeat.
+            return Response(
+                id=request.id,
+                status=resp.status,
+                result=resp.result,
+                error=resp.error,
+                coalesced=resp.coalesced,
+            )
+        if backpressure is not None:
+            return Response(
+                id=request.id,
+                status=backpressure.status,
+                error=backpressure.error,
+            )
+        return Response.failure(
+            request.id, STATUS_ERROR, "NoReplicaAvailable",
+            f"all {len(owners)} replicas of "
+            f"{self._owner_key(request)!r} are unreachable",
+        )
+
+    async def _route_scatter(self, request: Request) -> Response:
+        """Scatter ``rank``/``select`` to every live shard and merge."""
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        # The backend math for select is top-k over the *global* TR map,
+        # so both ops scatter as `rank` and the router re-derives select.
+        scatter = Request(
+            op="rank",
+            params={
+                k: v for k, v in request.params.items() if k != "k"
+            },
+            deadline_ms=request.deadline_ms,
+        )
+        results = await asyncio.gather(
+            *(self._call_timed(n, scatter) for n in targets),
+            return_exceptions=True,
+        )
+        trs: dict[str, float] = {}
+        errors: list[Response] = []
+        nodes_ok = 0
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            for entry in resp.result["ranking"]:
+                # Replicas answer from byte-identical histories; first
+                # answer wins, duplicates are dropped.
+                trs.setdefault(entry["machine"], entry["tr"])
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(
+                    id=request.id, status=first.status, error=first.error
+                )
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                "no shard answered the scatter",
+            )
+        shards = {"queried": len(targets), "ok": nodes_ok,
+                  "partial": nodes_ok < len(targets)}
+        if request.op == "rank":
+            order = sorted(trs.items(), key=lambda kv: (-kv[1], kv[0]))
+            result: dict[str, Any] = {
+                "ranking": [{"machine": m, "tr": tr} for m, tr in order],
+                "shards": shards,
+            }
+            return Response.success(request.id, result)
+        k = int(request.params.get("k", 1))
+        try:
+            chosen = select_best_k(trs, k)
+        except ValueError as exc:
+            return Response.failure(
+                request.id, STATUS_ERROR, "ValueError", str(exc)
+            )
+        return Response.success(
+            request.id,
+            {
+                "machines": chosen,
+                "survival": group_survival([trs[m] for m in chosen]),
+                "k": k,
+                "shards": shards,
+            },
+        )
+
+    async def _route_write(self, request: Request) -> Response:
+        """Fan a write out to all R owners; ack only on a write quorum."""
+        owners = self.ring.owners(self._owner_key(request))
+        quorum = min(self.config.write_quorum, len(owners))
+        results = await asyncio.gather(
+            *(self._call_timed(n, request) for n in owners),
+            return_exceptions=True,
+        )
+        acks: list[Response] = []
+        refusals: list[Response] = []
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            (acks if resp.ok else refusals).append(resp)
+        if len(acks) < quorum:
+            # A semantic refusal (bad grid, gap) is the same on every
+            # replica — surface it rather than a generic quorum error.
+            for refusal in refusals:
+                if not refusal.backpressure:
+                    return Response(
+                        id=request.id, status=refusal.status, error=refusal.error
+                    )
+            return Response.failure(
+                request.id, STATUS_ERROR, "QuorumNotMet",
+                f"write acknowledged by {len(acks)}/{len(owners)} replicas, "
+                f"quorum is {quorum}",
+            )
+        result = dict(acks[0].result)
+        degraded = len(acks) < len(owners)
+        if degraded:
+            instrument("cluster_quorum_degraded_total").inc()
+        result["quorum"] = {
+            "acks": len(acks),
+            "replicas": len(owners),
+            "required": quorum,
+            "degraded": degraded,
+        }
+        return Response.success(request.id, result)
+
+    # ------------------------------------------------------------------ #
+
+    def _cluster_health(self) -> dict[str, Any]:
+        nodes = self.membership.status()
+        up = sum(1 for st in nodes.values() if st["state"] == "up")
+        if up == len(nodes):
+            status = "ok"
+        elif up > 0:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "role": "router",
+            "protocol_version": PROTOCOL_VERSION,
+            "nodes": nodes,
+            "up_nodes": up,
+            "ring": {
+                "nodes": len(self.ring),
+                "replicas": self.config.replicas,
+                "vnodes": self.config.vnodes,
+                "write_quorum": self.config.write_quorum,
+            },
+            "uptime_seconds": time.monotonic() - self._started,
+        }

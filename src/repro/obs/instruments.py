@@ -207,6 +207,47 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "gauge",
         "Client connections currently open on the serving socket.",
     ),
+    # -- cluster tier ------------------------------------------------------ #
+    InstrumentSpec(
+        "cluster_requests_routed_total",
+        "counter",
+        "Requests routed by the cluster router, by operation and outcome "
+        "(ok | error | shed | deadline_exceeded | shutting_down).",
+        ("op", "outcome"),
+    ),
+    InstrumentSpec(
+        "cluster_failovers_total",
+        "counter",
+        "Transparent failovers: a replica was unreachable or refused, and "
+        "the router retried the request on the next owner.",
+    ),
+    InstrumentSpec(
+        "cluster_quorum_degraded_total",
+        "counter",
+        "Writes that met the write quorum with fewer than R replica acks "
+        "(data is durable but under-replicated until the node returns).",
+    ),
+    InstrumentSpec(
+        "cluster_shard_latency_seconds",
+        "histogram",
+        "Latency of one proxied backend call, by node (the per-shard view "
+        "of serve_request_latency_seconds).",
+        ("node",),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "cluster_node_up",
+        "gauge",
+        "Health-probe verdict per backend node (1 up, 0 marked down).",
+        ("node",),
+    ),
+    InstrumentSpec(
+        "cluster_probe_failures_total",
+        "counter",
+        "Failed health probes (and proxied-request connection errors "
+        "counted as probe evidence), by node.",
+        ("node",),
+    ),
     # -- durable trace store ---------------------------------------------- #
     InstrumentSpec(
         "store_appends_total",

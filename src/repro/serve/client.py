@@ -13,12 +13,19 @@ The convenience methods (:meth:`~ServeClient.predict`, ...) raise
 :meth:`~ServeClient.request` to handle shed/deadline responses
 yourself (a load balancer would retry them on another replica).
 
-Both clients take an opt-in ``retries=`` argument: backpressure
-responses (``shed`` / ``shutting_down`` — the server refused the work
-without computing anything) are retried up to that many times with
-exponential backoff and full jitter, so a one-off CLI query survives a
-transient overload burst instead of failing on the first shed.  Real
-errors and deadline expirations are never retried.
+Both clients take an opt-in ``retries=`` argument covering the two
+refusal modes a replica can exhibit: backpressure responses (``shed`` /
+``shutting_down`` — the server refused the work without computing
+anything) and *connection errors* (``ConnectionRefusedError`` /
+``ConnectionResetError`` — the replica is restarting or was killed).
+Both are retried up to ``retries`` times with exponential backoff and
+full jitter, reconnecting first for connection errors, so a one-off CLI
+query (or the cluster router's own clients) survives a transient
+overload burst or a replica restart instead of failing on the first
+refusal.  Connection-error retries re-send the request, which is safe
+for this op set: reads are side-effect-free and ``register``/``extend``
+are idempotent (replace / overlap-trim semantics).  Real errors and
+deadline expirations are never retried.
 
 Requests are sent at the lowest protocol version that includes their op
 (see :func:`repro.serve.protocol.min_version`), so a new client keeps
@@ -104,9 +111,11 @@ class _ConvenienceOps:
 class ServeClient(_ConvenienceOps):
     """Blocking JSON-lines client over one TCP connection.
 
-    ``retries`` bounds how many times a backpressure response is retried
-    (0: fail fast, the default); ``retry_backoff_s`` is the base of the
-    jittered exponential backoff, capped at ``retry_backoff_max_s``.
+    ``retries`` bounds how many times a backpressure response or a
+    connection error is retried (0: fail fast, the default);
+    ``retry_backoff_s`` is the base of the jittered exponential backoff,
+    capped at ``retry_backoff_max_s``.  A connection-error retry
+    reconnects to the same ``(host, port)`` before re-sending.
     """
 
     def __init__(
@@ -121,8 +130,12 @@ class ServeClient(_ConvenienceOps):
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+        self._connect()
         self._ids = itertools.count(1)
         self._retries = int(retries)
         self._backoff_s = retry_backoff_s
@@ -130,8 +143,25 @@ class ServeClient(_ConvenienceOps):
 
     # -- plumbing -------------------------------------------------------- #
 
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        """Drop a broken connection (close() tolerates this state)."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._sock = None
+        self._file = None
+
     def close(self) -> None:
         """Close the connection."""
+        if self._sock is None:
+            return
         try:
             self._file.close()
         finally:
@@ -149,9 +179,23 @@ class ServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None = None,
         deadline_ms: float | None = None,
     ) -> Response:
-        """Send one request; blocks for (and retries backpressure on) it."""
+        """Send one request; blocks for it, retrying refusals if opted in.
+
+        Backpressure responses are retried in place; connection errors
+        (refused while restarting, reset by a killed replica) tear the
+        connection down and reconnect before re-sending.
+        """
         for attempt in itertools.count():
-            resp = self._request_once(op, params, deadline_ms)
+            try:
+                if self._sock is None:
+                    self._connect()
+                resp = self._request_once(op, params, deadline_ms)
+            except ConnectionError:
+                self._teardown()
+                if attempt >= self._retries:
+                    raise
+                time.sleep(_retry_delay(attempt, self._backoff_s, self._backoff_max_s))
+                continue
             if resp.status in BACKPRESSURE_STATUSES and attempt < self._retries:
                 time.sleep(_retry_delay(attempt, self._backoff_s, self._backoff_max_s))
                 continue
@@ -246,7 +290,10 @@ class AsyncServeClient(_ConvenienceOps):
 
     Construct via :meth:`connect`; the op methods mirror
     :class:`ServeClient` but are coroutines, and backpressure retries
-    sleep with ``asyncio.sleep`` instead of blocking.
+    sleep with ``asyncio.sleep`` instead of blocking.  Connection-error
+    retries (which reconnect first) need the server address, so they are
+    available on clients built via :meth:`connect` but not on clients
+    wrapped around an existing reader/writer pair.
     """
 
     def __init__(
@@ -260,8 +307,10 @@ class AsyncServeClient(_ConvenienceOps):
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
-        self._reader = reader
-        self._writer = writer
+        self._reader: asyncio.StreamReader | None = reader
+        self._writer: asyncio.StreamWriter | None = writer
+        self._host: str | None = None
+        self._port: int | None = None
         self._ids = itertools.count(1)
         self._retries = int(retries)
         self._backoff_s = retry_backoff_s
@@ -277,18 +326,43 @@ class AsyncServeClient(_ConvenienceOps):
         retry_backoff_s: float = 0.05,
         retry_backoff_max_s: float = 2.0,
     ) -> "AsyncServeClient":
-        """Open a connection and return a ready client."""
+        """Open a connection and return a ready (reconnectable) client."""
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(
+        client = cls(
             reader,
             writer,
             retries=retries,
             retry_backoff_s=retry_backoff_s,
             retry_backoff_max_s=retry_backoff_max_s,
         )
+        client._host = host
+        client._port = port
+        return client
+
+    async def _reconnect(self) -> None:
+        if self._host is None or self._port is None:
+            raise ConnectionError(
+                "connection lost and this client was built from a raw "
+                "reader/writer pair; use AsyncServeClient.connect() for "
+                "reconnectable clients"
+            )
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def _teardown(self) -> None:
+        if self._writer is not None:
+            writer, self._writer, self._reader = self._writer, None, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
 
     async def close(self) -> None:
         """Close the connection."""
+        if self._writer is None:
+            return
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -307,9 +381,24 @@ class AsyncServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None = None,
         deadline_ms: float | None = None,
     ) -> Response:
-        """Send one request; awaits (and retries backpressure on) it."""
+        """Send one request; awaits it, retrying refusals if opted in.
+
+        Backpressure responses are retried in place; connection errors
+        reconnect (clients built via :meth:`connect`) before re-sending.
+        """
         for attempt in itertools.count():
-            resp = await self._request_once(op, params, deadline_ms)
+            try:
+                if self._writer is None:
+                    await self._reconnect()
+                resp = await self._request_once(op, params, deadline_ms)
+            except ConnectionError:
+                await self._teardown()
+                if attempt >= self._retries:
+                    raise
+                await asyncio.sleep(
+                    _retry_delay(attempt, self._backoff_s, self._backoff_max_s)
+                )
+                continue
             if resp.status in BACKPRESSURE_STATUSES and attempt < self._retries:
                 await asyncio.sleep(
                     _retry_delay(attempt, self._backoff_s, self._backoff_max_s)

@@ -21,8 +21,11 @@ Response wire form::
 
 ``status`` is ``ok`` or one of the failure codes in :data:`STATUSES`;
 ``shed`` and ``shutting_down`` are the 503-style answers of admission
-control (retry against another replica or later), ``deadline_exceeded``
-means the request was admitted but expired before a worker reached it.
+control — the :class:`~repro.cluster.router.ClusterRouter` reacts by
+failing the request over to another replica of the shard, and a
+directly-connected client retries later (``retries=`` on the clients) —
+``deadline_exceeded`` means the request was admitted but expired before
+a worker reached it.
 
 This module is wire format only — no sockets, no service logic — so
 both the asyncio server and the sync/async clients share one source of

@@ -1,0 +1,109 @@
+"""Cluster test harness: in-process backends + a threaded router.
+
+The router logic tests run against real TCP backends (``ServeServer``
+on dedicated event-loop threads) but keep everything in-process so they
+are fast and can inspect each backend's ``AvailabilityService``
+directly.  Process-level behaviour (SIGKILL, warm restart) lives in
+``test_failover.py`` on subprocess backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import RouterConfig, RouterThread
+from repro.core.estimator import EstimatorConfig
+from repro.core.windows import SECONDS_PER_DAY
+from repro.serve.dispatch import DispatchConfig
+from repro.serve.server import ServeServer
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+
+def flat_trace(mid: str, *, load: float = 0.05, n_days: int = 6,
+               period: float = 300.0) -> MachineTrace:
+    """A constant-load trace: cheap to ship, deterministic TR."""
+    n = int(n_days * SECONDS_PER_DAY / period)
+    return MachineTrace(
+        mid, 0.0, period,
+        np.full(n, load), np.full(n, 400.0), np.ones(n, dtype=bool),
+    )
+
+
+class BackendThread:
+    """One in-process backend: service + ServeServer on its own loop."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.service = AvailabilityService(
+            estimator_config=EstimatorConfig(step_multiple=5)
+        )
+        self.loop = asyncio.new_event_loop()
+        self.server = ServeServer(
+            self.service, port=0, config=DispatchConfig(max_workers=2)
+        )
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return "127.0.0.1", self.server.port
+
+    def stop(self) -> None:
+        if self.loop.is_closed():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=False), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+class ClusterHarness:
+    """Three in-process backends behind one threaded router."""
+
+    def __init__(self, n_nodes: int = 3, *, replicas: int = 2):
+        self.backends = {f"node-{i}": BackendThread(f"node-{i}")
+                         for i in range(n_nodes)}
+        self.router_thread = RouterThread(
+            {nid: b.address for nid, b in self.backends.items()},
+            RouterConfig(
+                replicas=replicas,
+                probe_interval_s=0.1,
+                connect_timeout_s=1.0,
+                down_after=2,
+                up_after=1,
+            ),
+        )
+
+    @property
+    def router(self):
+        return self.router_thread.router
+
+    @property
+    def port(self) -> int:
+        return self.router_thread.port
+
+    def service(self, node_id: str) -> AvailabilityService:
+        return self.backends[node_id].service
+
+    def owners(self, machine_id: str) -> list[str]:
+        return self.router.ring.owners(machine_id)
+
+    def stop(self) -> None:
+        self.router_thread.stop()
+        for backend in self.backends.values():
+            backend.stop()
+
+
+@pytest.fixture()
+def harness():
+    h = ClusterHarness()
+    yield h
+    h.stop()

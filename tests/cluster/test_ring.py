@@ -1,0 +1,132 @@
+"""Property-style tests of the consistent-hash ring.
+
+The cluster's correctness rests on three placement properties —
+balance, stability under membership change, and replica distinctness —
+so they are asserted over many node sets and key universes rather than
+a single example.
+"""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+
+def keys(n, salt=""):
+    return [f"machine-{salt}{i:05d}" for i in range(n)]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_empty_ring_refuses_lookup(self):
+        with pytest.raises(LookupError):
+            HashRing().owners("m")
+
+    def test_add_is_idempotent_remove_unknown_raises(self):
+        ring = HashRing(["a"])
+        ring.add_node("a")
+        assert ring.nodes == ["a"]
+        with pytest.raises(KeyError):
+            ring.remove_node("ghost")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("nodes", [["a"], ["a", "b", "c"], ["x", "y", "z", "w"]])
+    def test_two_rings_agree(self, nodes):
+        # Placement must be identical across processes (and insertion
+        # orders): routers built independently have to agree.
+        r1 = HashRing(nodes, vnodes=32, replicas=2)
+        r2 = HashRing(list(reversed(nodes)), vnodes=32, replicas=2)
+        for k in keys(500):
+            assert r1.owners(k) == r2.owners(k)
+
+
+class TestReplicaSets:
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_owners_distinct_and_sized(self, replicas):
+        ring = HashRing(["a", "b", "c", "d"], vnodes=64, replicas=replicas)
+        for k in keys(300):
+            owners = ring.owners(k)
+            assert len(owners) == replicas
+            assert len(set(owners)) == replicas
+
+    def test_small_cluster_caps_replicas_at_node_count(self):
+        ring = HashRing(["only"], vnodes=64, replicas=2)
+        assert ring.owners("m") == ["only"]
+
+    def test_primary_is_first_owner(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64, replicas=2)
+        for k in keys(100):
+            assert ring.primary(k) == ring.owners(k)[0]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_nodes", [3, 4, 8])
+    def test_primary_shards_balanced_at_64_vnodes(self, n_nodes):
+        # With >= 64 vnodes every node's primary shard must be within a
+        # factor ~2 band around the fair share 1/N — loose enough for
+        # hashing variance, tight enough to catch a broken ring (where
+        # one node would own nearly everything or nearly nothing).
+        ring = HashRing([f"node-{i}" for i in range(n_nodes)], vnodes=64)
+        counts = ring.shard_counts(keys(6000))
+        fair = 6000 / n_nodes
+        for node, count in counts.items():
+            assert 0.45 * fair < count < 1.8 * fair, (node, count, fair)
+
+    def test_more_vnodes_never_leaves_a_node_empty(self):
+        ring = HashRing([f"node-{i}" for i in range(10)], vnodes=128)
+        counts = ring.shard_counts(keys(5000))
+        assert all(c > 0 for c in counts.values())
+
+
+class TestMinimalMovement:
+    def test_adding_one_node_moves_about_one_over_n(self):
+        universe = keys(4000)
+        for n in (3, 5, 8):
+            before = HashRing([f"n{i}" for i in range(n)], vnodes=64)
+            after = HashRing([f"n{i}" for i in range(n + 1)], vnodes=64)
+            moved = sum(
+                1 for k in universe if before.primary(k) != after.primary(k)
+            )
+            frac = moved / len(universe)
+            # ~1/(N+1) of keys land on the new node; allow 2x slack but
+            # rule out the mod-N disaster (~N/(N+1) of keys moving).
+            assert frac < 2.0 / (n + 1), (n, frac)
+            assert frac > 0.2 / (n + 1), (n, frac)
+
+    def test_moved_keys_moved_onto_the_new_node_only(self):
+        universe = keys(3000)
+        before = HashRing([f"n{i}" for i in range(4)], vnodes=64)
+        after = HashRing([f"n{i}" for i in range(4)], vnodes=64)
+        after.add_node("n4")
+        for k in universe:
+            if before.primary(k) != after.primary(k):
+                assert after.primary(k) == "n4"
+
+    def test_removing_a_node_reassigns_only_its_keys(self):
+        universe = keys(3000)
+        before = HashRing([f"n{i}" for i in range(4)], vnodes=64)
+        after = HashRing([f"n{i}" for i in range(4)], vnodes=64)
+        after.remove_node("n2")
+        for k in universe:
+            if before.primary(k) == "n2":
+                assert after.primary(k) != "n2"
+            else:
+                assert after.primary(k) == before.primary(k)
+
+    def test_replica_sets_mostly_stable_under_add(self):
+        universe = keys(3000)
+        before = HashRing([f"n{i}" for i in range(5)], vnodes=64, replicas=2)
+        after = HashRing([f"n{i}" for i in range(6)], vnodes=64, replicas=2)
+        changed = sum(
+            1
+            for k in universe
+            if set(before.owners(k)) != set(after.owners(k))
+        )
+        # Each of the R=2 owner slots moves w.p. ~1/(N+1); the set
+        # changes for at most the union, ~2/(N+1).
+        assert changed / len(universe) < 2 * 2.0 / 6

@@ -14,6 +14,7 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricsRegistry
 
 GOLDEN = Path(__file__).parent / "golden_prometheus.txt"
+GOLDEN_CATALOG = Path(__file__).parent / "golden_catalog_prometheus.txt"
 
 
 def golden_registry() -> MetricsRegistry:
@@ -37,6 +38,23 @@ def golden_registry() -> MetricsRegistry:
 class TestPrometheusRendering:
     def test_matches_golden_file(self):
         assert render_prometheus(golden_registry()) == GOLDEN.read_text()
+
+    def test_full_catalog_matches_golden_file(self):
+        # The complete instrument catalog, zero-valued — the schema a
+        # dashboard scrapes on day one.  Adding/renaming an instrument
+        # must update this golden file deliberately:
+        #   PYTHONPATH=src python -c "from repro.obs.instruments import \
+        #     ensure_all_registered; from repro.obs.metrics import \
+        #     MetricsRegistry; from repro.obs.export import \
+        #     render_prometheus; open('tests/obs/golden_catalog_prometheus.txt', \
+        #     'w').write(render_prometheus(ensure_all_registered(MetricsRegistry())))"
+        from repro.obs.instruments import ensure_all_registered
+
+        rendered = render_prometheus(ensure_all_registered(MetricsRegistry()))
+        assert rendered == GOLDEN_CATALOG.read_text()
+        for family in ("cluster_requests_routed_total", "cluster_failovers_total",
+                       "cluster_shard_latency_seconds", "cluster_node_up"):
+            assert f"# TYPE {family} " in rendered
 
     def test_spec_validity(self):
         text = render_prometheus(golden_registry())

@@ -224,3 +224,147 @@ class TestShutdown:
         srv.stop()
         with pytest.raises(OSError):
             socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+
+class _FlakyListener:
+    """A server that kills its first N connections mid-request.
+
+    Connection ``i < drops``: accept, read one line, close without
+    replying (the client sees EOF => ConnectionError).  Later
+    connections answer every request with a canned ok response.
+    """
+
+    def __init__(self, drops: int):
+        self.drops = drops
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            drop = self.connections <= self.drops
+            with conn:
+                f = conn.makefile("rwb")
+                try:
+                    while True:
+                        line = f.readline()
+                        if not line:
+                            break
+                        if drop:
+                            break  # close mid-request
+                        req = json.loads(line)
+                        f.write(json.dumps({
+                            "v": 2, "id": req["id"], "status": "ok",
+                            "result": {"echo": req["op"]},
+                        }).encode() + b"\n")
+                        f.flush()
+                finally:
+                    # makefile keeps the fd alive past conn.close(); send
+                    # the FIN explicitly so the client sees EOF.
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    f.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestConnectionErrorRetry:
+    def test_sync_client_reconnects_and_resends(self):
+        listener = _FlakyListener(drops=1)
+        try:
+            with ServeClient(
+                port=listener.port, retries=2, retry_backoff_s=0.01
+            ) as client:
+                resp = client.request("health")
+            assert resp.ok and resp.result == {"echo": "health"}
+            assert listener.connections == 2  # dropped once, then re-sent
+        finally:
+            listener.close()
+
+    def test_sync_client_without_retries_raises(self):
+        listener = _FlakyListener(drops=1)
+        try:
+            with ServeClient(port=listener.port) as client:
+                with pytest.raises(ConnectionError):
+                    client.request("health")
+        finally:
+            listener.close()
+
+    def test_sync_client_exhausted_retries_raise(self):
+        listener = _FlakyListener(drops=10)
+        try:
+            with ServeClient(
+                port=listener.port, retries=2, retry_backoff_s=0.01
+            ) as client:
+                with pytest.raises(ConnectionError):
+                    client.request("health")
+            assert listener.connections == 3  # initial + 2 retries
+        finally:
+            listener.close()
+
+    def test_async_client_reconnects_and_resends(self):
+        listener = _FlakyListener(drops=1)
+
+        async def scenario():
+            client = await AsyncServeClient.connect(
+                port=listener.port, retries=2, retry_backoff_s=0.01
+            )
+            try:
+                return await client.request("health")
+            finally:
+                await client.close()
+
+        try:
+            resp = asyncio.run(scenario())
+            assert resp.ok and resp.result == {"echo": "health"}
+            assert listener.connections == 2
+        finally:
+            listener.close()
+
+
+class TestQueryTargetCli:
+    def test_port_file(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        port_file = tmp_path / "serve.port"
+        port_file.write_text(f"{server.port}\n")
+        assert main(["query", "health", "--port-file", str(port_file)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "ok"
+
+    def test_cluster_spec(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "cluster.json"
+        spec.write_text(json.dumps(
+            {"router": {"host": "127.0.0.1", "port": server.port}}
+        ))
+        assert main(["query", "health", "--cluster", str(spec)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "ok"
+
+    def test_exactly_one_target_required(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["query", "health"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        port_file = tmp_path / "serve.port"
+        port_file.write_text(f"{server.port}\n")
+        rc = main([
+            "query", "health",
+            "--port", str(server.port), "--port-file", str(port_file),
+        ])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
