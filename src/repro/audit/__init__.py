@@ -1,0 +1,51 @@
+"""Online prediction-quality auditing (closes the paper's Section 5 loop).
+
+The serving tier ships TR predictions; this package checks them against
+what actually happened.  :class:`PredictionJournal` durably records every
+served ``predict``/``horizon`` response, the resolver inside
+:class:`PredictionAudit` labels each prediction once ingested samples
+cover its window, :class:`Scoreboard` keeps sliding-window Brier /
+reliability-bin / ECE metrics, and :class:`DriftDetector` raises
+``model_degraded`` alarms when the model goes stale.
+"""
+
+from repro.audit.audit import AuditConfig, PredictionAudit
+from repro.audit.drift import DriftConfig, DriftDetector, PageHinkley
+from repro.audit.journal import (
+    OUTCOME_AVAILABLE,
+    OUTCOME_EXCLUDED,
+    OUTCOME_FAILED,
+    OUTCOMES,
+    PredictionJournal,
+    PredictionRecord,
+    ResolutionRecord,
+)
+from repro.audit.scoreboard import (
+    Scoreboard,
+    bins_from_pairs,
+    derive_metrics,
+    empty_bins,
+    merge_bins,
+    merge_quality,
+)
+
+__all__ = [
+    "AuditConfig",
+    "PredictionAudit",
+    "DriftConfig",
+    "DriftDetector",
+    "PageHinkley",
+    "PredictionJournal",
+    "PredictionRecord",
+    "ResolutionRecord",
+    "OUTCOMES",
+    "OUTCOME_AVAILABLE",
+    "OUTCOME_FAILED",
+    "OUTCOME_EXCLUDED",
+    "Scoreboard",
+    "bins_from_pairs",
+    "derive_metrics",
+    "empty_bins",
+    "merge_bins",
+    "merge_quality",
+]

@@ -1,0 +1,324 @@
+"""The audit facade: journal, resolve, score, and alarm in one object.
+
+:class:`PredictionAudit` is what the serving tier holds.  The dispatcher
+calls :meth:`record_prediction` when it serves a ``predict`` or
+``horizon`` response and :meth:`observe_ingest` when ``extend`` /
+``register`` grow a machine's history; everything else — pinning the
+prediction to a concrete future window, labeling it once that window
+has elapsed, scoring, drift detection, durability — happens here.
+
+**Target windows.**  A served prediction is a claim about the *next*
+occurrence of the requested clock window: the first day of the matching
+day type whose window starts at or after the machine's current history
+end.  That absolute window is frozen into the journal record, so the
+resolver needs no guesswork later.
+
+**Resolution.**  Once ingested samples cover a pending window, the
+five-state classifier labels the realized interval exactly as the
+paper's empirical validation does (:mod:`repro.core.empirical`):
+``available`` when the coarsened state sequence stays failure-free,
+``failed`` when it does not, ``excluded`` when the window starts in a
+failure state (the prediction is conditioned on an operational start)
+or the replaced history no longer covers it.  Excluded windows are
+journaled but never scored.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.audit.drift import DriftConfig, DriftDetector
+from repro.audit.journal import (
+    OUTCOME_AVAILABLE,
+    OUTCOME_EXCLUDED,
+    OUTCOME_FAILED,
+    PredictionJournal,
+    PredictionRecord,
+    ResolutionRecord,
+)
+from repro.audit.scoreboard import Scoreboard
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import coarsen_states
+from repro.core.segments import failure_free
+from repro.core.states import State
+from repro.core.windows import AbsoluteWindow, ClockWindow, DayType, day_index, day_type
+from repro.obs.instruments import instrument
+from repro.traces.trace import MachineTrace
+
+__all__ = ["AuditConfig", "PredictionAudit"]
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Everything one :class:`PredictionAudit` needs to know."""
+
+    #: Identity stamped into journal records (the cluster merges by it).
+    node_id: str = "local"
+    #: Journal directory (None: memory-only, same API, no durability).
+    directory: str | Path | None = None
+    #: WAL durability policy for the journal segments.
+    fsync: str = "always"
+    #: Sliding-window size of the scoreboard (resolved pairs retained).
+    window: int = 2048
+    #: Probability bins for the reliability diagram / ECE / merging.
+    n_bins: int = 10
+    #: Oldest pending predictions are dropped beyond this per-machine
+    #: bound (a machine that stops reporting must not grow state forever).
+    max_pending_per_machine: int = 1024
+    drift: DriftConfig = field(default_factory=DriftConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_pending_per_machine < 1:
+            raise ValueError(
+                f"max_pending_per_machine must be >= 1, "
+                f"got {self.max_pending_per_machine}"
+            )
+
+
+class PredictionAudit:
+    """Online prediction-quality monitor for one serving process.
+
+    Thread-safe: the dispatcher calls in from multiple worker threads.
+    """
+
+    def __init__(
+        self,
+        config: AuditConfig | None = None,
+        *,
+        classifier: StateClassifier | None = None,
+        step_multiple: int = 1,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.config = config or AuditConfig()
+        self.classifier = classifier or StateClassifier()
+        self.step_multiple = step_multiple
+        self._clock = clock
+        self._lock = threading.RLock()
+        self.journal = PredictionJournal(
+            self.config.directory, fsync=self.config.fsync
+        )
+        self.scoreboard = Scoreboard(
+            window=self.config.window, n_bins=self.config.n_bins
+        )
+        self.drift = DriftDetector(self.config.drift, node=self.config.node_id)
+        #: machine -> {seq -> pending record}, insertion-ordered by seq.
+        self._pending: dict[str, dict[int, PredictionRecord]] = {}
+        self._journaled = {"predict": 0, "horizon": 0}
+        self._resolved = {
+            OUTCOME_AVAILABLE: 0, OUTCOME_FAILED: 0, OUTCOME_EXCLUDED: 0,
+        }
+        self.pending_dropped = 0
+        self._replay()
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def _replay(self) -> None:
+        """Rebuild scoreboard/drift/pending from a recovered journal."""
+        by_seq = self.journal.predictions
+        for record in sorted(by_seq.values(), key=lambda r: r.seq):
+            self._journaled[record.op] = self._journaled.get(record.op, 0) + 1
+        for res in self.journal.resolutions:
+            self._resolved[res.outcome] = self._resolved.get(res.outcome, 0) + 1
+            if res.outcome != OUTCOME_EXCLUDED:
+                outcome = res.outcome == OUTCOME_AVAILABLE
+                self.scoreboard.record(res.machine, res.probability, outcome)
+                error = (res.probability - (1.0 if outcome else 0.0)) ** 2
+                self.drift.update(error, self.scoreboard.snapshot(), emit=False)
+        for record in sorted(self.journal.pending.values(), key=lambda r: r.seq):
+            self._pending.setdefault(record.machine, {})[record.seq] = record
+        self._update_gauges()
+
+    # ------------------------------------------------------------------ #
+    # the record path (called at response time)
+    # ------------------------------------------------------------------ #
+
+    def record_prediction(
+        self,
+        op: str,
+        machine: str,
+        window: ClockWindow,
+        dtype: DayType,
+        probability: float,
+        *,
+        history_end: float,
+        init_state: State | None = None,
+    ) -> PredictionRecord | None:
+        """Journal one served response; returns None when unscorable.
+
+        ``probability`` is the served TR (for ``horizon`` the caller
+        passes the TR threshold and a window cut to the solved horizon).
+        A NaN or out-of-range value — e.g. a prediction over no matching
+        history days — cannot be scored and is not journaled.
+        """
+        p = float(probability)
+        if math.isnan(p) or not 0.0 <= p <= 1.0:
+            return None
+        with self._lock:
+            target = self._target_window(window, dtype, history_end)
+            record = PredictionRecord(
+                seq=self.journal.next_seq(),
+                op=op,
+                machine=machine,
+                probability=p,
+                window_start=target.start,
+                window_duration=target.duration,
+                day_type=dtype.value,
+                issued_at=self._clock(),
+                node=self.config.node_id,
+                init_state=None if init_state is None else init_state.name,
+            )
+            self.journal.append_prediction(record)
+            self._journaled[op] = self._journaled.get(op, 0) + 1
+            queue = self._pending.setdefault(machine, {})
+            queue[record.seq] = record
+            while len(queue) > self.config.max_pending_per_machine:
+                oldest = next(iter(queue))
+                del queue[oldest]
+                self.journal.pending.pop(oldest, None)
+                self.pending_dropped += 1
+            instrument("audit_predictions_journaled_total").labels(op=op).inc()
+            self._update_gauges()
+            return record
+
+    @staticmethod
+    def _target_window(
+        window: ClockWindow, dtype: DayType, history_end: float
+    ) -> AbsoluteWindow:
+        """First occurrence of ``window`` on a ``dtype`` day at/after now."""
+        day = max(0, day_index(history_end))
+        for _ in range(8):  # a matching day type recurs within a week
+            if day_type(day) is dtype:
+                candidate = window.on_day(day)
+                if candidate.start >= history_end:
+                    return candidate
+            day += 1
+        raise RuntimeError(
+            f"no {dtype.value} occurrence of {window} after t={history_end}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # the resolve path (called when samples arrive)
+    # ------------------------------------------------------------------ #
+
+    def observe_ingest(
+        self, machine: str, history: MachineTrace
+    ) -> list[ResolutionRecord]:
+        """Resolve every pending prediction whose window has elapsed."""
+        with self._lock:
+            queue = self._pending.get(machine)
+            if not queue:
+                return []
+            due = [
+                record
+                for record in queue.values()
+                if record.window_end <= history.end_time
+            ]
+            out: list[ResolutionRecord] = []
+            for record in due:
+                outcome = self._label(record, history)
+                resolution = ResolutionRecord(
+                    seq=record.seq,
+                    machine=machine,
+                    outcome=outcome,
+                    probability=record.probability,
+                    resolved_at=self._clock(),
+                )
+                self.journal.append_resolution(resolution)
+                del queue[record.seq]
+                self._resolved[outcome] = self._resolved.get(outcome, 0) + 1
+                instrument("audit_resolutions_total").labels(outcome=outcome).inc()
+                if outcome != OUTCOME_EXCLUDED:
+                    scored = outcome == OUTCOME_AVAILABLE
+                    self.scoreboard.record(machine, record.probability, scored)
+                    error = (record.probability - (1.0 if scored else 0.0)) ** 2
+                    self.drift.update(error, self.scoreboard.snapshot())
+                out.append(resolution)
+            if not queue:
+                self._pending.pop(machine, None)
+            if out:
+                self._update_gauges()
+            return out
+
+    def _label(self, record: PredictionRecord, history: MachineTrace) -> str:
+        window = AbsoluteWindow(
+            start=record.window_start, duration=record.window_duration
+        )
+        if not history.covers(window):
+            # register() replaced the history with one that starts later
+            # than the promised window; there is nothing to score.
+            return OUTCOME_EXCLUDED
+        states = self.classifier.classify_window(history.window_view(window))
+        states = coarsen_states(states, self.step_multiple)
+        if State(int(states[0])).is_failure:
+            return OUTCOME_EXCLUDED
+        return OUTCOME_AVAILABLE if failure_free(states) else OUTCOME_FAILED
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_pending(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._pending.values())
+
+    def quality(self, machine: str | None = None) -> dict[str, Any]:
+        """The ``quality`` op result: scoreboard snapshots + drift state."""
+        with self._lock:
+            if machine is None:
+                names = sorted(set(self.scoreboard.machine_ids()) | set(self._pending))
+            else:
+                names = [machine]
+            machines = {}
+            for name in names:
+                snap = self.scoreboard.snapshot(name)
+                snap["pending"] = len(self._pending.get(name, ()))
+                machines[name] = snap
+            return {
+                "enabled": True,
+                "node": self.config.node_id,
+                "durable": self.journal.durable,
+                "journaled": dict(self._journaled),
+                "pending": sum(len(q) for q in self._pending.values()),
+                "pending_dropped": self.pending_dropped,
+                "resolved": dict(self._resolved),
+                "window": self.config.window,
+                "n_bins": self.config.n_bins,
+                "aggregate": self.scoreboard.snapshot(),
+                "machines": machines,
+                "drift": self.drift.status(),
+            }
+
+    def _update_gauges(self) -> None:
+        instrument("audit_pending_predictions").set(
+            float(sum(len(q) for q in self._pending.values()))
+        )
+        snap = self.scoreboard.snapshot()
+        if snap["brier"] is not None:
+            instrument("audit_windowed_brier").set(snap["brier"])
+            instrument("audit_windowed_ece").set(snap["ece"])
+        instrument("audit_model_degraded").set(1.0 if self.drift.degraded else 0.0)
+
+    # ------------------------------------------------------------------ #
+
+    def sync(self) -> None:
+        with self._lock:
+            self.journal.sync()
+
+    def close(self) -> None:
+        """Flush the journal; part of the server's graceful drain."""
+        with self._lock:
+            self.journal.close()
+
+    def __enter__(self) -> "PredictionAudit":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,179 @@
+"""Model-drift detection on the stream of resolved prediction errors.
+
+The availability model drifts when host behavior shifts — a lab machine
+repurposed as a build server, a semester ending, a new user — and the
+predictor keeps answering from a history that no longer describes the
+machine.  The detector watches the per-resolution squared error stream
+``(p - y)²`` three ways:
+
+* **Page–Hinkley** — the classic sequential change-point test on the
+  error mean: ``m_t = Σ (x_i - x̄_i - δ)`` with alarm when
+  ``m_t - min m_t > λ``.  Catches a *shift* quickly, long before a wide
+  sliding window drags the averaged score over any absolute threshold.
+* **Windowed Brier threshold** — absolute floor on recent accuracy.
+* **Windowed ECE threshold** — absolute floor on recent calibration.
+
+Alarms are edge-triggered: each reason fires an event (via
+:mod:`repro.obs.events`) and bumps ``audit_drift_alarms_total`` once per
+crossing, and the detector latches ``degraded`` until the windowed
+metrics have looked healthy for ``min_samples`` consecutive resolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+
+__all__ = ["DriftConfig", "PageHinkley", "DriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Alarm thresholds and the Page–Hinkley tuning of one detector."""
+
+    #: Resolved pairs required before any alarm may fire (and before a
+    #: latched alarm may clear).
+    min_samples: int = 30
+    #: Windowed-Brier ceiling (None disables the threshold alarm).
+    brier_threshold: float | None = 0.25
+    #: Windowed-ECE ceiling (None disables the threshold alarm).
+    ece_threshold: float | None = 0.2
+    #: Page–Hinkley drift allowance δ (tolerated mean increase per step).
+    ph_delta: float = 0.005
+    #: Page–Hinkley alarm threshold λ on the cumulative deviation.
+    ph_lambda: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.ph_lambda <= 0:
+            raise ValueError(f"ph_lambda must be positive, got {self.ph_lambda}")
+
+
+class PageHinkley:
+    """Sequential change-point test for an increase of the stream mean."""
+
+    def __init__(self, delta: float, lam: float) -> None:
+        self.delta = delta
+        self.lam = lam
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.cumulative = 0.0
+        self.minimum = 0.0
+
+    def update(self, x: float) -> bool:
+        """Feed one observation; True when the test statistic crosses λ."""
+        self.n += 1
+        self.mean += (x - self.mean) / self.n
+        self.cumulative += x - self.mean - self.delta
+        self.minimum = min(self.minimum, self.cumulative)
+        return self.cumulative - self.minimum > self.lam
+
+
+class DriftDetector:
+    """Raises ``model_degraded`` alarms from the resolved error stream."""
+
+    def __init__(self, config: DriftConfig | None = None, *, node: str = "local") -> None:
+        self.config = config or DriftConfig()
+        self.node = node
+        self.alarms = 0
+        self.degraded = False
+        self.last_alarm: dict[str, Any] | None = None
+        self._ph = PageHinkley(self.config.ph_delta, self.config.ph_lambda)
+        self._brier_breached = False
+        self._ece_breached = False
+        self._healthy_streak = 0
+
+    def update(
+        self, error: float, metrics: Mapping[str, Any], *, emit: bool = True
+    ) -> list[str]:
+        """Feed one resolution; returns the alarm reasons it fired.
+
+        ``error`` is the squared error of the resolved pair; ``metrics``
+        the current aggregate scoreboard snapshot.  With ``emit=False``
+        (journal replay after a restart) the detector state is rebuilt
+        but no events or counters are re-emitted.
+        """
+        cfg = self.config
+        n = int(metrics.get("n") or 0)
+        reasons: list[str] = []
+
+        ph_crossed = self._ph.update(error)
+        if ph_crossed and self._ph.n >= cfg.min_samples:
+            reasons.append("page_hinkley")
+            self._ph.reset()
+
+        brier = metrics.get("brier")
+        ece = metrics.get("ece")
+        brier_breach = (
+            cfg.brier_threshold is not None
+            and n >= cfg.min_samples
+            and brier is not None
+            and brier > cfg.brier_threshold
+        )
+        ece_breach = (
+            cfg.ece_threshold is not None
+            and n >= cfg.min_samples
+            and ece is not None
+            and ece > cfg.ece_threshold
+        )
+        if brier_breach and not self._brier_breached:
+            reasons.append("brier")
+        if ece_breach and not self._ece_breached:
+            reasons.append("ece")
+        self._brier_breached = brier_breach
+        self._ece_breached = ece_breach
+
+        if reasons:
+            self.degraded = True
+            self._healthy_streak = 0
+            for reason in reasons:
+                self._alarm(reason, metrics, emit=emit)
+        elif brier_breach or ece_breach:
+            self._healthy_streak = 0
+        else:
+            self._healthy_streak += 1
+            if self.degraded and self._healthy_streak >= cfg.min_samples:
+                self.degraded = False
+                if emit:
+                    get_event_log().emit(
+                        "model_recovered", node=self.node,
+                        brier=brier, ece=ece, n=n,
+                    )
+        if emit:
+            instrument("audit_model_degraded").set(1.0 if self.degraded else 0.0)
+        return reasons
+
+    def _alarm(self, reason: str, metrics: Mapping[str, Any], *, emit: bool) -> None:
+        self.alarms += 1
+        self.last_alarm = {
+            "reason": reason,
+            "brier": metrics.get("brier"),
+            "ece": metrics.get("ece"),
+            "n": int(metrics.get("n") or 0),
+        }
+        if not emit:
+            return
+        instrument("audit_drift_alarms_total").labels(reason=reason).inc()
+        get_event_log().emit(
+            "model_degraded",
+            severity="warning",
+            node=self.node,
+            reason=reason,
+            brier=metrics.get("brier"),
+            ece=metrics.get("ece"),
+            n=int(metrics.get("n") or 0),
+        )
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "degraded": self.degraded,
+            "alarms": self.alarms,
+            "last_alarm": self.last_alarm,
+        }

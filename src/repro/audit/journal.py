@@ -1,0 +1,254 @@
+"""Durable journal of served predictions and their resolutions.
+
+Every ``predict`` / ``horizon`` response the dispatcher serves becomes a
+:class:`PredictionRecord`; once its target window has fully elapsed in
+the ingested samples, the resolver appends a matching
+:class:`ResolutionRecord`.  Both are JSON payloads framed by the store's
+:class:`~repro.store.wal.SegmentWriter`, so the audit trail gets the
+exact durability contract of the trace store for free: CRC-framed
+records, ``FsyncPolicy`` control over when appends hit stable storage,
+and torn-tail truncation via :func:`~repro.store.wal.recover_segment`
+when a crashed process restarts.
+
+Without a directory the journal is memory-only — same API, no files —
+which is what ``repro serve --audit`` (no ``--audit-dir``) uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.store.wal import FsyncPolicy, SegmentWriter, recover_segment
+
+__all__ = [
+    "OUTCOME_AVAILABLE",
+    "OUTCOME_FAILED",
+    "OUTCOME_EXCLUDED",
+    "OUTCOMES",
+    "PredictionRecord",
+    "ResolutionRecord",
+    "PredictionJournal",
+]
+
+#: The window stayed failure-free: the machine delivered what was promised.
+OUTCOME_AVAILABLE = "available"
+#: The machine entered a failure state inside the window.
+OUTCOME_FAILED = "failed"
+#: Unscorable: the window started in a failure state (the prediction is
+#: conditioned on an operational start, mirroring core/empirical.py) or
+#: the history was replaced and no longer covers the window.
+OUTCOME_EXCLUDED = "excluded"
+
+OUTCOMES = (OUTCOME_AVAILABLE, OUTCOME_FAILED, OUTCOME_EXCLUDED)
+
+_KIND_PREDICTION = "prediction"
+_KIND_RESOLUTION = "resolution"
+
+#: Roll to a fresh segment past this size so recovery replays bounded files.
+_MAX_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One served prediction, pinned to the concrete window it promised."""
+
+    seq: int
+    op: str  # "predict" | "horizon"
+    machine: str
+    #: The served probability: TR for ``predict``, the TR threshold the
+    #: horizon was solved for (the server's survival claim) for ``horizon``.
+    probability: float
+    #: Absolute target window (the first future occurrence of the
+    #: requested clock window after the machine's history end).
+    window_start: float
+    window_duration: float
+    day_type: str
+    issued_at: float
+    node: str
+    init_state: str | None = None
+
+    @property
+    def window_end(self) -> float:
+        return self.window_start + self.window_duration
+
+    def to_payload(self) -> bytes:
+        obj = {"kind": _KIND_PREDICTION, **asdict(self)}
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ResolutionRecord:
+    """The realized outcome of one journaled prediction."""
+
+    seq: int  # matches the prediction's seq
+    machine: str
+    outcome: str
+    probability: float
+    resolved_at: float
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {self.outcome!r}; expected one of {OUTCOMES}"
+            )
+
+    def to_payload(self) -> bytes:
+        obj = {"kind": _KIND_RESOLUTION, **asdict(self)}
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def _decode(payload: bytes) -> PredictionRecord | ResolutionRecord | None:
+    try:
+        obj = json.loads(payload)
+        kind = obj.pop("kind")
+        if kind == _KIND_PREDICTION:
+            return PredictionRecord(**obj)
+        if kind == _KIND_RESOLUTION:
+            return ResolutionRecord(**obj)
+    except (ValueError, TypeError):
+        pass
+    return None  # unknown/garbled record: skip, don't poison recovery
+
+
+class PredictionJournal:
+    """Append-only prediction/resolution log with crash recovery.
+
+    Opening a directory replays every segment (truncating torn tails)
+    and rebuilds the in-memory state: all predictions by sequence
+    number, all resolutions in append order, and the pending set
+    (predictions without a resolution).  ``directory=None`` keeps the
+    same state machine purely in memory.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        fsync: FsyncPolicy | str = "always",
+        max_segment_bytes: int = _MAX_SEGMENT_BYTES,
+    ) -> None:
+        self.directory = None if directory is None else Path(directory)
+        self._fsync = FsyncPolicy.parse(fsync)
+        self._max_segment_bytes = max_segment_bytes
+        self._writer: SegmentWriter | None = None
+        self._segment_index = 0
+        self.predictions: dict[int, PredictionRecord] = {}
+        self.resolutions: list[ResolutionRecord] = []
+        self.pending: dict[int, PredictionRecord] = {}
+        self.recovered_records = 0
+        self.recovered_truncated_bytes = 0
+        self._next_seq = 1
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._open_writer()
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def _segments(self) -> list[Path]:
+        assert self.directory is not None
+        return sorted(self.directory.glob("audit-*.wal"))
+
+    def _recover(self) -> None:
+        for path in self._segments():
+            recovered = recover_segment(path)
+            self.recovered_truncated_bytes += recovered.truncated_bytes
+            for payload in recovered.payloads:
+                record = _decode(payload)
+                if record is None:
+                    continue
+                self._apply(record)
+                self.recovered_records += 1
+
+    def _apply(self, record: PredictionRecord | ResolutionRecord) -> None:
+        if isinstance(record, PredictionRecord):
+            self.predictions[record.seq] = record
+            self.pending[record.seq] = record
+        else:
+            self.resolutions.append(record)
+            self.pending.pop(record.seq, None)
+        self._next_seq = max(self._next_seq, record.seq + 1)
+
+    def _open_writer(self) -> None:
+        assert self.directory is not None
+        segments = self._segments()
+        if segments:
+            last = segments[-1]
+            self._segment_index = int(last.stem.split("-")[1])
+            if last.stat().st_size < self._max_segment_bytes:
+                self._writer = SegmentWriter(last, self._fsync)
+                return
+            self._segment_index += 1
+        self._writer = SegmentWriter(
+            self.directory / f"audit-{self._segment_index:08d}.wal", self._fsync
+        )
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def append_prediction(self, record: PredictionRecord) -> None:
+        self._apply(record)
+        self._write(record.to_payload())
+
+    def append_resolution(self, record: ResolutionRecord) -> None:
+        self._apply(record)
+        self._write(record.to_payload())
+
+    def _write(self, payload: bytes) -> None:
+        if self._writer is None:
+            return
+        if self._writer.size >= self._max_segment_bytes:
+            self._writer.close()
+            self._segment_index += 1
+            assert self.directory is not None
+            self._writer = SegmentWriter(
+                self.directory / f"audit-{self._segment_index:08d}.wal", self._fsync
+            )
+        self._writer.append(payload)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def n_predictions(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def n_resolutions(self) -> int:
+        return len(self.resolutions)
+
+    def records(self) -> Iterator[PredictionRecord | ResolutionRecord]:
+        """Predictions (by seq) then resolutions (in append order)."""
+        yield from (self.predictions[s] for s in sorted(self.predictions))
+        yield from self.resolutions
+
+    def sync(self) -> None:
+        """Force appended records to stable storage."""
+        if self._writer is not None:
+            self._writer.sync()
+
+    def close(self) -> None:
+        """Sync and close the active segment (no torn tail afterwards)."""
+        if self._writer is not None:
+            self._writer.close(sync=True)
+            self._writer = None
+
+    def __enter__(self) -> "PredictionJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,263 @@
+"""Sliding-window prediction scoring with cluster-mergeable bins.
+
+The scoreboard turns the resolver's stream of ``(predicted TR, realized
+outcome)`` pairs into the calibration metrics of
+:mod:`repro.core.calibration` — Brier score (raw and Murphy-binned),
+reliability / resolution / uncertainty, and ECE — over a bounded sliding
+window, per machine and in aggregate.
+
+The representation is chosen for the cluster: every metric is derived
+from *per-bin sufficient statistics* ``(count, sum_pred, sum_out,
+sum_sq_err)``.  Because outcomes are binary (``y² = y``), these four
+sums determine the binned Brier score, its Murphy decomposition and the
+ECE exactly — so the router can merge the bins of N nodes element-wise
+and recompute the pooled metrics without ever shipping raw pairs.  The
+property test in ``tests/audit`` asserts the invariant this file is
+built on: merged bins equal bins computed from the pooled raw pairs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "empty_bins",
+    "bin_index",
+    "bins_from_pairs",
+    "merge_bins",
+    "derive_metrics",
+    "merge_machine_snapshots",
+    "merge_quality",
+    "Scoreboard",
+]
+
+#: Per-bin sufficient statistics, JSON-shaped:
+#: ``[count, sum_pred, sum_out, sum_sq_err]``.
+Bins = list[list[float]]
+
+
+def empty_bins(n_bins: int) -> Bins:
+    """``n_bins`` zeroed stat rows."""
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    return [[0.0, 0.0, 0.0, 0.0] for _ in range(n_bins)]
+
+
+def bin_index(prediction: float, n_bins: int) -> int:
+    """Equal-width bin of one prediction (same rule as core/calibration)."""
+    return min(n_bins - 1, max(0, int(prediction * n_bins)))
+
+
+def bins_from_pairs(
+    predictions: Sequence[float], outcomes: Sequence[bool], n_bins: int
+) -> Bins:
+    """Accumulate raw pairs into per-bin sufficient statistics."""
+    if len(predictions) != len(outcomes):
+        raise ValueError(
+            f"predictions and outcomes must be equal-length, got "
+            f"{len(predictions)} and {len(outcomes)}"
+        )
+    bins = empty_bins(n_bins)
+    for p, y_raw in zip(predictions, outcomes):
+        p = float(p)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"predictions must be probabilities in [0, 1], got {p}")
+        y = 1.0 if y_raw else 0.0
+        row = bins[bin_index(p, n_bins)]
+        row[0] += 1.0
+        row[1] += p
+        row[2] += y
+        row[3] += (p - y) ** 2
+    return bins
+
+
+def merge_bins(many: Iterable[Bins]) -> Bins:
+    """Element-wise sum of several bin tables (all of equal width)."""
+    merged: Bins | None = None
+    for bins in many:
+        if merged is None:
+            merged = [list(map(float, row)) for row in bins]
+            continue
+        if len(bins) != len(merged):
+            raise ValueError(
+                f"cannot merge bin tables of widths {len(merged)} and {len(bins)}"
+            )
+        for row, other in zip(merged, bins):
+            for i in range(4):
+                row[i] += float(other[i])
+    if merged is None:
+        raise ValueError("need at least one bin table to merge")
+    return merged
+
+
+def derive_metrics(bins: Bins) -> dict[str, Any]:
+    """Calibration metrics from bin statistics alone.
+
+    ``brier`` is the plain mean squared error (exact, unbinned);
+    ``brier_binned`` / ``reliability`` / ``resolution`` / ``uncertainty``
+    are the Murphy terms of :func:`repro.core.calibration.brier_score`;
+    ``ece`` matches :func:`~repro.core.calibration.expected_calibration_error`.
+    All metric fields are ``None`` when the window holds no pairs yet
+    (``NaN`` does not survive strict JSON, and "no data" is not a score).
+    """
+    n = sum(row[0] for row in bins)
+    out: dict[str, Any] = {"n": int(n), "bins": [list(row) for row in bins]}
+    if n == 0:
+        for key in (
+            "brier", "brier_binned", "reliability", "resolution",
+            "uncertainty", "ece", "base_rate", "mean_prediction",
+        ):
+            out[key] = None
+        return out
+    base = sum(row[2] for row in bins) / n
+    reliability = 0.0
+    resolution = 0.0
+    brier_binned = 0.0
+    ece = 0.0
+    for count, sum_pred, sum_out, _sq in bins:
+        if count == 0:
+            continue
+        p_bar = sum_pred / count
+        y_bar = sum_out / count
+        w = count / n
+        reliability += w * (p_bar - y_bar) ** 2
+        resolution += w * (y_bar - base) ** 2
+        # sum over the bin of (p_bar - y)^2, using y^2 = y for binary y.
+        brier_binned += count * p_bar * p_bar - 2.0 * p_bar * sum_out + sum_out
+        ece += count * abs(p_bar - y_bar)
+    out.update(
+        brier=sum(row[3] for row in bins) / n,
+        brier_binned=brier_binned / n,
+        reliability=reliability,
+        resolution=resolution,
+        uncertainty=base * (1.0 - base),
+        ece=ece / n,
+        base_rate=base,
+        mean_prediction=sum(row[1] for row in bins) / n,
+    )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# cluster-side merging of quality results
+# ---------------------------------------------------------------------- #
+
+
+def _merge_snapshot_list(snaps: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    merged = derive_metrics(merge_bins([s["bins"] for s in snaps]))
+    pending = sum(int(s.get("pending", 0)) for s in snaps)
+    merged["pending"] = pending
+    return merged
+
+
+def merge_machine_snapshots(
+    per_node: Sequence[Mapping[str, Mapping[str, Any]]]
+) -> dict[str, dict[str, Any]]:
+    """Merge ``machine -> snapshot`` maps from several nodes.
+
+    Unlike histories, audit state is *not* replicated: each node
+    journaled only the predictions it served, so two owners of the same
+    machine hold disjoint pair sets and their bins must be summed, never
+    deduplicated.
+    """
+    by_machine: dict[str, list[Mapping[str, Any]]] = {}
+    for machines in per_node:
+        for machine, snap in machines.items():
+            by_machine.setdefault(machine, []).append(snap)
+    return {m: _merge_snapshot_list(snaps) for m, snaps in by_machine.items()}
+
+
+def merge_quality(results: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Merge per-node ``quality`` results into one cluster-wide view."""
+    enabled = [r for r in results if r.get("enabled")]
+    if not enabled:
+        return {"enabled": False, "nodes": []}
+    widths = {len(r["aggregate"]["bins"]) for r in enabled}
+    if len(widths) > 1:
+        raise ValueError(f"nodes disagree on bin width: {sorted(widths)}")
+    journaled: dict[str, int] = {}
+    resolved: dict[str, int] = {}
+    for r in enabled:
+        for op, count in r.get("journaled", {}).items():
+            journaled[op] = journaled.get(op, 0) + int(count)
+        for outcome, count in r.get("resolved", {}).items():
+            resolved[outcome] = resolved.get(outcome, 0) + int(count)
+    aggregate = derive_metrics(merge_bins([r["aggregate"]["bins"] for r in enabled]))
+    drift = {
+        "degraded": any(r["drift"]["degraded"] for r in enabled),
+        "alarms": sum(int(r["drift"]["alarms"]) for r in enabled),
+        "nodes_degraded": sorted(
+            r["node"] for r in enabled if r["drift"]["degraded"]
+        ),
+    }
+    return {
+        "enabled": True,
+        "nodes": sorted(r["node"] for r in enabled),
+        "journaled": journaled,
+        "pending": sum(int(r.get("pending", 0)) for r in enabled),
+        "resolved": resolved,
+        "n_bins": next(iter(widths)),
+        "aggregate": aggregate,
+        "machines": merge_machine_snapshots([r.get("machines", {}) for r in enabled]),
+        "drift": drift,
+    }
+
+
+# ---------------------------------------------------------------------- #
+
+
+class Scoreboard:
+    """Sliding windows of resolved pairs, per machine and in aggregate.
+
+    ``window`` bounds how many resolved pairs each scope retains; the
+    metrics are always computed over the retained pairs, so the score
+    tracks *recent* model quality rather than averaging a regression
+    away against months of history.
+    """
+
+    def __init__(self, *, window: int = 2048, n_bins: int = 10) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.window = window
+        self.n_bins = n_bins
+        self._lock = threading.Lock()
+        self._aggregate: deque[tuple[float, bool]] = deque(maxlen=window)
+        self._per_machine: dict[str, deque[tuple[float, bool]]] = {}
+        self.n_recorded = 0
+
+    def record(self, machine: str, prediction: float, outcome: bool) -> None:
+        """Add one resolved pair to the machine's and the global window."""
+        p = float(prediction)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"prediction must be a probability in [0, 1], got {p}")
+        pair = (p, bool(outcome))
+        with self._lock:
+            self._aggregate.append(pair)
+            self._per_machine.setdefault(
+                machine, deque(maxlen=self.window)
+            ).append(pair)
+            self.n_recorded += 1
+
+    def machine_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._per_machine)
+
+    def pairs(self, machine: str | None = None) -> tuple[list[float], list[bool]]:
+        """The retained (predictions, outcomes) of one scope."""
+        with self._lock:
+            source = (
+                self._aggregate
+                if machine is None
+                else self._per_machine.get(machine, ())
+            )
+            items = list(source)
+        return [p for p, _y in items], [y for _p, y in items]
+
+    def snapshot(self, machine: str | None = None) -> dict[str, Any]:
+        """Metrics + bins of one scope (aggregate when ``machine`` is None)."""
+        predictions, outcomes = self.pairs(machine)
+        return derive_metrics(bins_from_pairs(predictions, outcomes, self.n_bins))

@@ -2,6 +2,7 @@
 
 from repro.bench.experiments import (
     ablations,
+    audit_exp,
     calibration_exp,
     characterization,
     cluster_exp,
@@ -43,6 +44,7 @@ REGISTRY = {
     "serving": serving,
     "store": store_exp,
     "cluster": cluster_exp,
+    "audit": audit_exp,
 }
 
 __all__ = ["REGISTRY"] + sorted(REGISTRY)

@@ -1,0 +1,150 @@
+"""AUDIT — online quality monitoring under an injected regime shift.
+
+Replays a synthetic testbed day by day through the prediction-audit
+subsystem: each morning the service predicts TR for a set of clock
+windows on the day ahead, the audit journals those predictions, and
+ingesting the day's samples resolves them against the five-state
+classifier.  Mid-replay the *machine behaviour* is swapped to a
+different profile (server-room -> student-lab) while the model keeps
+predicting from the stale history — the regime shift of paper Section 5
+that motivates online validation.
+
+The table tracks, per replayed day, the day's Brier score, the sliding
+windowed Brier/ECE the ``quality`` op reports, and the drift detector's
+alarm count.  The headline notes measure detection latency: the
+Page-Hinkley alarm should fire within a day or two of the shift,
+*before* the windowed Brier crosses the degradation threshold — the
+lead time during which a scheduler could already stop trusting the
+model.
+"""
+
+from __future__ import annotations
+
+from repro.audit import AuditConfig, DriftConfig, PredictionAudit
+from repro.bench.harness import ExperimentResult, ResultTable
+from repro.core.windows import ClockWindow, day_type
+from repro.service import AvailabilityService
+from repro.traces.profiles import server_room, student_lab
+from repro.traces.synthesis import synthesize_testbed
+
+__all__ = ["run"]
+
+
+def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
+    """Run the AUDIT drift-detection experiment."""
+    if scale == "quick":
+        n_machines, warm_days, shift_day, total_days = 3, 6, 13, 22
+        period, start_hours = 300.0, (1.0, 4.0, 7.0, 10.0, 13.0, 16.0)
+    else:
+        n_machines, warm_days, shift_day, total_days = 6, 10, 24, 40
+        period, start_hours = 120.0, tuple(float(h) for h in range(0, 22, 2))
+    window_hours = 2.0
+
+    pre = synthesize_testbed(
+        n_machines, n_days=total_days, sample_period=period, seed=seed,
+        profile=student_lab(),
+    )
+    post = synthesize_testbed(
+        n_machines, n_days=total_days, sample_period=period, seed=seed + 1,
+        profile=server_room(),
+    )
+    spliced = {
+        a.machine_id: a.slice_days(0, shift_day).concat(
+            b.slice_days(shift_day, total_days)
+        )
+        for a, b in zip(pre, post)
+    }
+
+    service = AvailabilityService()
+    audit = PredictionAudit(
+        AuditConfig(
+            node_id="bench",
+            window=128,
+            drift=DriftConfig(
+                min_samples=30,
+                brier_threshold=0.25,
+                ece_threshold=0.35,
+                ph_delta=0.05,
+                ph_lambda=2.0,
+            ),
+        ),
+        classifier=service.classifier,
+        step_multiple=service.config.step_multiple,
+    )
+    for machine, trace in spliced.items():
+        service.register(trace.slice_days(0, warm_days))
+
+    result = ExperimentResult(
+        experiment_id="AUDIT",
+        description="online prediction-quality audit under a regime shift",
+    )
+    table = ResultTable(
+        title="AUDIT day-by-day scoreboard across the regime shift",
+        columns=[
+            "day", "phase", "resolved", "day_brier", "win_brier", "ece",
+            "alarms", "degraded",
+        ],
+    )
+
+    alarm_day = collapse_day = None
+    alarms_before_shift = 0
+    day_briers: dict[str, list[float]] = {"pre": [], "post": []}
+    for day in range(warm_days, total_days):
+        dtype = day_type(day)
+        for machine in spliced:
+            history = service._history(machine)
+            for start in start_hours:
+                clock = ClockWindow.from_hours(start, window_hours)
+                tr = service.predict(machine, clock, dtype)
+                audit.record_prediction(
+                    "predict", machine, clock, dtype, tr,
+                    history_end=history.end_time,
+                )
+        resolutions = []
+        for machine, trace in spliced.items():
+            grown = service.append_samples(trace.slice_days(day, day + 1))
+            resolutions.extend(audit.observe_ingest(machine, grown))
+        scored = [
+            (r.probability - (1.0 if r.outcome == "available" else 0.0)) ** 2
+            for r in resolutions
+            if r.outcome != "excluded"
+        ]
+        day_brier = sum(scored) / len(scored) if scored else float("nan")
+        phase = "pre" if day < shift_day else "post"
+        if scored:
+            day_briers[phase].append(day_brier)
+        snap = audit.scoreboard.snapshot()
+        status = audit.drift.status()
+        if day < shift_day:
+            alarms_before_shift = status["alarms"]
+        elif alarm_day is None and status["alarms"] > alarms_before_shift:
+            alarm_day = day
+        win_brier = snap["brier"]
+        if (collapse_day is None and day >= shift_day
+                and win_brier is not None
+                and win_brier > audit.config.drift.brier_threshold):
+            collapse_day = day
+        table.add(
+            day, phase, len(scored),
+            round(day_brier, 4) if scored else None,
+            None if win_brier is None else round(win_brier, 4),
+            None if snap["ece"] is None else round(snap["ece"], 4),
+            status["alarms"],
+            int(status["degraded"]),
+        )
+    result.tables.append(table)
+
+    result.notes["shift_day"] = shift_day
+    result.notes["alarm_day"] = alarm_day
+    result.notes["collapse_day"] = collapse_day
+    if alarm_day is not None and collapse_day is not None:
+        result.notes["alarm_lead_days"] = collapse_day - alarm_day
+    result.notes["alarms_before_shift"] = alarms_before_shift
+    for phase, values in day_briers.items():
+        if values:
+            result.notes[f"{phase}_shift_day_brier"] = round(
+                sum(values) / len(values), 4
+            )
+    result.notes["final_degraded"] = audit.drift.degraded
+    audit.close()
+    return result

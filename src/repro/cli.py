@@ -20,6 +20,10 @@ Usage::
     repro-fgcs query predict --cluster cluster/cluster.json --machine lab-00
     repro-fgcs query health --port-file /tmp/serve-port
     repro-fgcs cluster stop --spec cluster/cluster.json
+    repro-fgcs serve --store store/ --audit --audit-dir audit/
+    repro-fgcs audit report --port 7061     # Brier/ECE scoreboard + drift
+    repro-fgcs audit watch --port 7061 --interval 5
+    repro-fgcs audit resolve --journal audit/ --store store/
     repro-fgcs obs --format prometheus      # dump the metrics snapshot
 
 (Equivalently: ``python -m repro ...``.)
@@ -186,6 +190,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.register(trace)
         print(f"[loaded {len(service)} machine histories from {args.traces}]",
               flush=True)
+    audit = None
+    if args.audit or args.audit_dir:
+        from repro.audit import AuditConfig, PredictionAudit
+
+        audit = PredictionAudit(
+            AuditConfig(
+                node_id=args.node_id,
+                directory=args.audit_dir,
+                fsync=args.fsync,
+            ),
+            classifier=service.classifier,
+            step_multiple=service.config.step_multiple,
+        )
+        where = f"durable at {args.audit_dir}" if args.audit_dir else "memory-only"
+        print(
+            f"[audit on ({where}): {audit.journal.n_predictions} predictions "
+            f"recovered, {audit.n_pending} pending]",
+            flush=True,
+        )
     config = DispatchConfig(
         max_workers=args.workers,
         queue_depth=args.queue_depth,
@@ -194,7 +217,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> int:
-        server = ServeServer(service, host=args.host, port=args.port, config=config)
+        server = ServeServer(
+            service, host=args.host, port=args.port, config=config, audit=audit
+        )
         await server.start()
         print(f"[serving on {args.host}:{server.port}]", flush=True)
         if args.port_file:
@@ -214,6 +239,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         return asyncio.run(_serve())
     finally:
+        if audit is not None:
+            audit.close()  # idempotent; the drain usually got here first
         if store is not None:
             store.close()
 
@@ -244,6 +271,28 @@ def _resolve_query_target(args: argparse.Namespace) -> tuple[str, int] | None:
     spec = _json.loads(Path(args.cluster).read_text())
     router = spec["router"]
     return router["host"], int(router["port"])
+
+
+def _unreachable_hint(args: argparse.Namespace, host: str, port: int) -> str:
+    """An actionable next step when the query target refuses connections."""
+    if args.port:
+        return (
+            f"hint: --port {port} was given explicitly; no server is listening "
+            f"there on {host}. Start one with 'repro-fgcs serve --port {port}' "
+            "(or 'cluster start'), or read the live port from a file with "
+            "--port-file."
+        )
+    if args.port_file:
+        return (
+            f"hint: port {port} was read from --port-file {args.port_file}, "
+            "which may be stale from an earlier server. Restart the server "
+            "with the same --port-file, or pass the live port via --port."
+        )
+    return (
+        f"hint: the router address came from --cluster {args.cluster}, but the "
+        "cluster looks down. Check it with 'repro-fgcs cluster status --spec "
+        f"{args.cluster}' or restart it with 'repro-fgcs cluster start'."
+    )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -279,10 +328,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.traces.io import load_trace_npz
 
         params.update(_trace_params(load_trace_npz(args.trace)))
-    with ServeClient(
-        host, port, timeout=args.connect_timeout, retries=args.retries
-    ) as client:
-        response = client.request(args.op, params, deadline_ms=args.deadline_ms)
+    if args.op == "quality" and args.machine:
+        params["machine"] = args.machine
+    try:
+        with ServeClient(
+            host, port, timeout=args.connect_timeout, retries=args.retries
+        ) as client:
+            response = client.request(args.op, params, deadline_ms=args.deadline_ms)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return 1
     print(_json.dumps(response.to_wire(), indent=2))
     return 0 if response.status == STATUS_OK else 1
 
@@ -304,6 +360,7 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         supervise=not args.no_supervise,
+        audit=args.audit,
     )
     config = RouterConfig(
         replicas=args.replicas,
@@ -518,6 +575,160 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_metric(value: object, spec: str = ".4f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def _print_quality(quality: dict) -> None:
+    """Human rendering of a ``quality`` result (single node or merged)."""
+    if not quality.get("enabled"):
+        print("audit is not enabled on the target "
+              "(start the server with --audit)")
+        return
+    if "nodes" in quality:
+        origin = f"{len(quality['nodes'])} nodes: {', '.join(quality['nodes'])}"
+    else:
+        durable = "durable" if quality.get("durable") else "memory-only"
+        origin = f"node {quality.get('node', '?')}, {durable}"
+    journaled = quality.get("journaled", {})
+    resolved = quality.get("resolved", {})
+    drift = quality.get("drift", {})
+    print(f"audit report ({origin})")
+    print(
+        "journaled: "
+        + ", ".join(f"{op} {n}" for op, n in sorted(journaled.items()))
+        + f"   pending: {quality.get('pending', 0)}"
+        + "   resolved: "
+        + ", ".join(f"{o} {n}" for o, n in sorted(resolved.items()))
+    )
+    agg = quality.get("aggregate", {})
+    print(
+        f"windowed brier: {_fmt_metric(agg.get('brier'))}"
+        f"   binned: {_fmt_metric(agg.get('brier_binned'))}"
+        f"   ece: {_fmt_metric(agg.get('ece'))}"
+        f"   base rate: {_fmt_metric(agg.get('base_rate'))}"
+        f"   n: {agg.get('n', 0)}"
+    )
+    degraded = "YES" if drift.get("degraded") else "no"
+    print(f"degraded: {degraded} (alarms: {drift.get('alarms', 0)})")
+    last = drift.get("last_alarm")
+    if last:
+        print(
+            f"last alarm: {last.get('reason')} "
+            f"(brier {_fmt_metric(last.get('brier'))}, "
+            f"ece {_fmt_metric(last.get('ece'))})"
+        )
+    machines = quality.get("machines", {})
+    if machines:
+        header = (f"{'machine':<20} {'n':>6} {'brier':>8} {'ece':>8} "
+                  f"{'base':>6} {'pending':>8}")
+        print(header)
+        print("-" * len(header))
+        for name, snap in sorted(machines.items()):
+            print(
+                f"{name:<20} {snap.get('n', 0):>6} "
+                f"{_fmt_metric(snap.get('brier')):>8} "
+                f"{_fmt_metric(snap.get('ece')):>8} "
+                f"{_fmt_metric(snap.get('base_rate'), '.2f'):>6} "
+                f"{str(snap.get('pending', '-')):>8}"
+            )
+
+
+def _fetch_quality(args: argparse.Namespace, host: str, port: int) -> dict | None:
+    from repro.serve.client import ServeClient
+
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            return client.quality(machine=args.machine)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return None
+
+
+def _cmd_audit_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    quality = _fetch_quality(args, *target)
+    if quality is None:
+        return 1
+    if args.json:
+        print(_json.dumps(quality, indent=2))
+    else:
+        _print_quality(quality)
+    return 0 if quality.get("enabled") else 1
+
+
+def _cmd_audit_watch(args: argparse.Namespace) -> int:
+    """Poll the quality report; one summary line per tick."""
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    previous = None
+    for tick in range(args.count):
+        if tick:
+            time.sleep(args.interval)
+        quality = _fetch_quality(args, *target)
+        if quality is None:
+            return 1
+        if not quality.get("enabled"):
+            print("audit is not enabled on the target", file=sys.stderr)
+            return 1
+        resolved = sum(quality.get("resolved", {}).values())
+        delta = "" if previous is None else f" (+{resolved - previous})"
+        previous = resolved
+        agg = quality.get("aggregate", {})
+        drift = quality.get("drift", {})
+        stamp = time.strftime("%H:%M:%S")
+        print(
+            f"[{stamp}] resolved {resolved}{delta}  "
+            f"pending {quality.get('pending', 0)}  "
+            f"brier {_fmt_metric(agg.get('brier'))}  "
+            f"ece {_fmt_metric(agg.get('ece'))}  "
+            f"degraded {'YES' if drift.get('degraded') else 'no'}"
+            f" (alarms {drift.get('alarms', 0)})",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_audit_resolve(args: argparse.Namespace) -> int:
+    """Offline: label a journal's pending predictions against a store."""
+    import json as _json
+
+    from repro.audit import AuditConfig, PredictionAudit
+    from repro.service import AvailabilityService
+    from repro.store import StoreConfig, TraceStore
+
+    with TraceStore(args.store, StoreConfig(fsync="never")) as store:
+        service = AvailabilityService.warm_start(store)
+        audit = PredictionAudit(
+            AuditConfig(directory=args.journal, fsync="always"),
+            classifier=service.classifier,
+            step_multiple=service.config.step_multiple,
+        )
+        try:
+            before = audit.n_pending
+            resolutions = []
+            for machine, history in sorted(service._histories.items()):
+                resolutions.extend(audit.observe_ingest(machine, history))
+            quality = audit.quality()
+        finally:
+            audit.close()
+    if args.json:
+        print(_json.dumps(quality, indent=2))
+        return 0
+    print(
+        f"resolved {len(resolutions)} of {before} pending predictions "
+        f"against {args.store} ({quality['pending']} still pending)"
+    )
+    _print_quality(quality)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -585,13 +796,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for in-flight work on shutdown")
     serve.add_argument("--cache-entries", type=int, default=512,
                        help="LRU bound on cached (machine, window) entries")
+    serve.add_argument("--audit", action="store_true",
+                       help="journal served predictions and score them as "
+                       "ground truth arrives (the 'quality' op / 'repro-fgcs "
+                       "audit report' read the scoreboard)")
+    serve.add_argument("--audit-dir",
+                       help="audit journal directory (implies --audit; the "
+                       "journal survives restarts)")
+    serve.add_argument("--node-id", default="local",
+                       help="node identity stamped into audit records "
+                       "(default: local)")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query",
                            help="query a running availability server or cluster")
     query.add_argument("op",
                        choices=("predict", "rank", "select", "horizon", "health",
-                                "register", "extend"))
+                                "register", "extend", "quality"))
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=0,
                        help="server (or cluster router) port")
@@ -656,6 +877,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="membership health-probe period in seconds")
     cstart.add_argument("--no-supervise", action="store_true",
                         help="do not relaunch backends that die")
+    cstart.add_argument("--audit", action="store_true",
+                        help="enable the prediction audit on every backend "
+                        "(journals under DATA/node-*/audit; the router merges "
+                        "'quality' across nodes)")
     cstart.set_defaults(func=_cmd_cluster_start)
 
     cstatus = csub.add_parser("status", help="show per-node cluster health")
@@ -681,6 +906,54 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--fsync", default="interval",
                        help="durability policy: always | interval[:SECONDS] | never")
     store.set_defaults(func=_cmd_store)
+
+    audit = sub.add_parser(
+        "audit", help="inspect online prediction quality (Brier, ECE, drift)"
+    )
+    asub = audit.add_subparsers(dest="audit_op", required=True)
+
+    def _audit_target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0,
+                       help="server (or cluster router) port")
+        p.add_argument("--port-file",
+                       help="read the port from this file (as written by "
+                       "'repro-fgcs serve --port-file' or 'cluster start')")
+        p.add_argument("--cluster", metavar="SPEC",
+                       help="read the router address from a cluster spec JSON")
+        p.add_argument("--machine", help="restrict the report to one machine")
+        p.add_argument("--connect-timeout", type=float, default=10.0)
+
+    areport = asub.add_parser(
+        "report", help="fetch and render the quality scoreboard"
+    )
+    _audit_target_args(areport)
+    areport.add_argument("--json", action="store_true",
+                         help="print the raw quality result as JSON")
+    areport.set_defaults(func=_cmd_audit_report)
+
+    awatch = asub.add_parser(
+        "watch", help="poll the scoreboard, one summary line per tick"
+    )
+    _audit_target_args(awatch)
+    awatch.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls (default: 2)")
+    awatch.add_argument("--count", type=int, default=30,
+                        help="number of polls before exiting (default: 30)")
+    awatch.set_defaults(func=_cmd_audit_watch)
+
+    aresolve = asub.add_parser(
+        "resolve",
+        help="offline: label a journal's pending predictions against a "
+        "trace store's histories",
+    )
+    aresolve.add_argument("--journal", required=True,
+                          help="audit journal directory (from serve --audit-dir)")
+    aresolve.add_argument("--store", required=True,
+                          help="trace-store directory holding the ground truth")
+    aresolve.add_argument("--json", action="store_true",
+                          help="print the raw quality result as JSON")
+    aresolve.set_defaults(func=_cmd_audit_resolve)
 
     obs = sub.add_parser("obs", help="render the metrics snapshot")
     obs.add_argument("--format", choices=("table", "prometheus"), default="table",

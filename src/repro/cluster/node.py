@@ -79,10 +79,15 @@ class NodeSpec:
     fsync: str = "always"
     workers: int = 2
     queue_depth: int = 64
+    #: Enable the prediction audit on this backend (the router's
+    #: ``quality`` op merges the per-node scoreboards).
+    audit: bool = False
+    #: Durable audit-journal directory (None with audit on: memory-only).
+    audit_dir: Path | None = None
 
     def command(self, port: int) -> list[str]:
         """The serve process argv for this spec bound to ``port``."""
-        return [
+        argv = [
             sys.executable, "-m", "repro", "serve",
             "--host", self.host,
             "--port", str(port),
@@ -90,7 +95,13 @@ class NodeSpec:
             "--fsync", self.fsync,
             "--workers", str(self.workers),
             "--queue-depth", str(self.queue_depth),
+            "--node-id", self.node_id,
         ]
+        if self.audit or self.audit_dir is not None:
+            argv.append("--audit")
+        if self.audit_dir is not None:
+            argv += ["--audit-dir", str(self.audit_dir)]
+        return argv
 
 
 class SupervisedNode:
@@ -217,6 +228,7 @@ class LocalCluster:
         workers: int = 2,
         queue_depth: int = 64,
         supervise: bool = True,
+        audit: bool = False,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -230,6 +242,10 @@ class LocalCluster:
                     fsync=fsync,
                     workers=workers,
                     queue_depth=queue_depth,
+                    audit=audit,
+                    audit_dir=(
+                        self.data_dir / f"node-{i}" / "audit" if audit else None
+                    ),
                 ),
                 supervise=supervise,
             )

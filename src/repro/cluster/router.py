@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.audit.scoreboard import merge_quality
 from repro.cluster.membership import Membership
 from repro.cluster.ring import HashRing
 from repro.core.multi import group_survival, select_best_k
@@ -58,6 +59,9 @@ __all__ = ["RouterConfig", "ClusterRouter"]
 _SINGLE_MACHINE_OPS = frozenset({"predict", "horizon"})
 #: Ops answered by scatter-gather across every shard.
 _SCATTER_OPS = frozenset({"rank", "select"})
+#: Ops merged from per-node audit state (never deduplicated: each node
+#: journaled only the predictions it served).
+_QUALITY_OPS = frozenset({"quality"})
 #: Ops fanned out to all R owners under a write quorum.
 _WRITE_OPS = frozenset({"register", "extend"})
 
@@ -336,6 +340,8 @@ class ClusterRouter:
             return await self._route_single(request)
         if request.op in _SCATTER_OPS:
             return await self._route_scatter(request)
+        if request.op in _QUALITY_OPS:
+            return await self._route_quality(request)
         if request.op in _WRITE_OPS:
             return await self._route_write(request)
         return Response.failure(
@@ -465,6 +471,48 @@ class ClusterRouter:
                 "shards": shards,
             },
         )
+
+    async def _route_quality(self, request: Request) -> Response:
+        """Scatter ``quality`` to every live node and merge the bins.
+
+        Audit state is per-node, not replicated: a machine's R owners
+        each journaled the subset of predictions *they* served, so the
+        per-bin sufficient statistics are summed across nodes — for the
+        aggregate and per machine — and the pooled metrics re-derived.
+        """
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        results = await asyncio.gather(
+            *(self._call_timed(n, request) for n in targets),
+            return_exceptions=True,
+        )
+        answers: list[Mapping[str, Any]] = []
+        errors: list[Response] = []
+        nodes_ok = 0
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            answers.append(resp.result)
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(id=request.id, status=first.status, error=first.error)
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                "no shard answered the quality scatter",
+            )
+        merged = merge_quality(answers)
+        merged["shards"] = {
+            "queried": len(targets),
+            "ok": nodes_ok,
+            "partial": nodes_ok < len(targets),
+        }
+        return Response.success(request.id, merged)
 
     async def _route_write(self, request: Request) -> Response:
         """Fan a write out to all R owners; ack only on a write quorum."""

@@ -61,7 +61,10 @@ def _validate(predictions: Sequence[float], outcomes: Sequence[bool]) -> tuple[n
     if p.shape != y.shape or p.ndim != 1:
         raise ValueError(f"predictions and outcomes must be equal-length 1-D, got {p.shape}, {y.shape}")
     if p.size == 0:
-        raise ValueError("need at least one (prediction, outcome) pair")
+        raise ValueError(
+            "need at least one (prediction, outcome) pair; empty inputs have "
+            "no Brier score, reliability diagram or ECE"
+        )
     if np.any((p < 0.0) | (p > 1.0)):
         raise ValueError("predictions must be probabilities in [0, 1]")
     if np.any((y != 0.0) & (y != 1.0)):
@@ -117,8 +120,11 @@ def reliability_diagram(
 ) -> list[tuple[float, float, int]]:
     """Calibration curve: ``(mean predicted, observed frequency, count)`` per bin.
 
-    Bins with no predictions are omitted.  A calibrated predictor's
-    points lie on the diagonal.
+    Bins with no predictions are omitted, so the result has between one
+    point (every prediction in the same bin — e.g. a constant predictor)
+    and ``n_bins`` points.  Outcomes that are all-True or all-False are
+    fine: the observed frequency is then 1.0 or 0.0 in every populated
+    bin.  A calibrated predictor's points lie on the diagonal.
     """
     p, y = _validate(predictions, outcomes)
     if n_bins < 1:
@@ -139,9 +145,17 @@ def expected_calibration_error(
     *,
     n_bins: int = 10,
 ) -> float:
-    """ECE: count-weighted mean |predicted - observed| over the bins."""
+    """ECE: count-weighted mean |predicted - observed| over the bins.
+
+    Empty bins carry zero weight; with every prediction in a single bin
+    the ECE degenerates to that bin's |mean predicted - observed
+    frequency|.  Inputs are validated by :func:`reliability_diagram`, so
+    the diagram always has at least one populated bin here.
+    """
     diagram = reliability_diagram(predictions, outcomes, n_bins=n_bins)
     total = sum(c for _p, _y, c in diagram)
+    if total == 0:  # unreachable after _validate; kept as a hard guard
+        raise ValueError("reliability diagram has no populated bins")
     return float(sum(c * abs(p - y) for p, y, c in diagram) / total)
 
 

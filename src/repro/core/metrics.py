@@ -87,9 +87,17 @@ class ErrorSummary:
     @classmethod
     def from_errors(cls, errors: Iterable[float]) -> "ErrorSummary":
         arr = np.asarray(list(errors), dtype=float)
+        if arr.size == 0:
+            raise ValueError(
+                "cannot summarize an empty error sequence; pass at least one "
+                "error value (non-finite values are counted as dropped, an "
+                "all-non-finite input yields a NaN summary)"
+            )
         finite = arr[np.isfinite(arr)]
         dropped = int(arr.size - finite.size)
         if finite.size == 0:
+            # Every value was dropped: the summary is honest about having
+            # seen inputs but kept none.
             return cls(float("nan"), float("nan"), float("nan"), 0, dropped)
         return cls(
             mean=float(finite.mean()),

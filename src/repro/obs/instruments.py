@@ -294,6 +294,49 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "Torn WAL tails truncated during recovery (expected after a "
         "crash mid-append; anything else is corruption).",
     ),
+    # -- prediction audit ------------------------------------------------ #
+    InstrumentSpec(
+        "audit_predictions_journaled_total",
+        "counter",
+        "Served predict/horizon responses recorded by the prediction "
+        "journal, by op.",
+        ("op",),  # predict | horizon
+    ),
+    InstrumentSpec(
+        "audit_resolutions_total",
+        "counter",
+        "Journaled predictions resolved against ingested samples, by "
+        "realized outcome.",
+        ("outcome",),  # available | failed | excluded
+    ),
+    InstrumentSpec(
+        "audit_pending_predictions",
+        "gauge",
+        "Journaled predictions whose target window has not elapsed yet.",
+    ),
+    InstrumentSpec(
+        "audit_windowed_brier",
+        "gauge",
+        "Sliding-window Brier score (mean squared error) of resolved "
+        "predictions — the live counterpart of paper Section 5's "
+        "after-the-fact validation.",
+    ),
+    InstrumentSpec(
+        "audit_windowed_ece",
+        "gauge",
+        "Sliding-window expected calibration error of resolved predictions.",
+    ),
+    InstrumentSpec(
+        "audit_model_degraded",
+        "gauge",
+        "1 while the drift detector holds a model-degraded alarm, else 0.",
+    ),
+    InstrumentSpec(
+        "audit_drift_alarms_total",
+        "counter",
+        "model_degraded alarms raised, by trigger.",
+        ("reason",),  # brier | ece | page_hinkley
+    ),
     # -- bench harness --------------------------------------------------- #
     InstrumentSpec(
         "experiment_runs_total",

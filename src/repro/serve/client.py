@@ -280,6 +280,11 @@ class ServeClient(_ConvenienceOps):
         """Stream a chunk of new samples for one machine (protocol v2)."""
         return self._result(self.request("extend", _trace_params(chunk)))
 
+    def quality(self, machine: str | None = None) -> dict[str, Any]:
+        """Prediction-audit scoreboard snapshots (protocol v3)."""
+        params = {} if machine is None else {"machine": machine}
+        return self._result(self.request("quality", params))
+
     def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""
         return self._result(self.request("health"))
@@ -484,6 +489,11 @@ class AsyncServeClient(_ConvenienceOps):
     async def extend(self, chunk: Any) -> dict[str, Any]:
         """Stream a chunk of new samples for one machine (protocol v2)."""
         return self._result(await self.request("extend", _trace_params(chunk)))
+
+    async def quality(self, machine: str | None = None) -> dict[str, Any]:
+        """Prediction-audit scoreboard snapshots (protocol v3)."""
+        params = {} if machine is None else {"machine": machine}
+        return self._result(await self.request("quality", params))
 
     async def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""

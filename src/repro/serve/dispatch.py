@@ -43,6 +43,7 @@ from typing import Any, Callable, Mapping
 
 from repro.core.states import State
 from repro.core.windows import ClockWindow, DayType
+from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -132,9 +133,18 @@ def _parse_init_state(params: Mapping[str, Any]) -> State | None:
 class Dispatcher:
     """Executes requests against an ``AvailabilityService`` on a pool."""
 
-    def __init__(self, service: Any, config: DispatchConfig | None = None) -> None:
+    def __init__(
+        self,
+        service: Any,
+        config: DispatchConfig | None = None,
+        *,
+        audit: Any | None = None,
+    ) -> None:
         self.service = service
         self.config = config or DispatchConfig()
+        #: Optional PredictionAudit: journals served predict/horizon
+        #: responses and resolves them as extend/register ingest samples.
+        self.audit = audit
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_workers, thread_name_prefix="repro-serve"
         )
@@ -155,6 +165,7 @@ class Dispatcher:
             "horizon": self._op_horizon,
             "register": self._op_register,
             "extend": self._op_extend,
+            "quality": self._op_quality,
             "health": self._op_health,
         }
 
@@ -347,6 +358,10 @@ class Dispatcher:
                         break
                     self._drained.wait(remaining)
         self._executor.shutdown(wait=drain and ok)
+        if self.audit is not None:
+            # After the drain no worker is journaling; flush so a restart
+            # recovers the full audit trail with no torn tail.
+            self.audit.close()
         return ok
 
     # ------------------------------------------------------------------ #
@@ -356,9 +371,9 @@ class Dispatcher:
     def _op_predict(self, params: Mapping[str, Any]) -> dict[str, Any]:
         machine = str(_require(params, "machine"))
         window, dtype = _parse_window(params)
-        tr = self.service.predict(
-            machine, window, dtype, init_state=_parse_init_state(params)
-        )
+        init_state = _parse_init_state(params)
+        tr = self.service.predict(machine, window, dtype, init_state=init_state)
+        self._journal("predict", machine, window, dtype, tr, init_state)
         return {"machine": machine, "tr": tr}
 
     def _op_rank(self, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -379,6 +394,17 @@ class Dispatcher:
         seconds = self.service.reliable_horizon(
             machine, window, dtype, tr_threshold=threshold
         )
+        if seconds > 0:
+            # The horizon response claims "this window prefix survives
+            # with probability >= threshold" — journal exactly that claim.
+            self._journal(
+                "horizon",
+                machine,
+                ClockWindow(start=window.start, duration=seconds),
+                dtype,
+                threshold,
+                None,
+            )
         return {"machine": machine, "horizon_seconds": seconds, "tr_threshold": threshold}
 
     def _op_register(self, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -386,6 +412,7 @@ class Dispatcher:
         with self._register_lock:
             replaced = trace.machine_id in self.service
             self.service.register(trace)
+            self._observe_ingest(trace.machine_id, trace)
         return {
             "machine": trace.machine_id,
             "n_samples": trace.n_samples,
@@ -409,6 +436,7 @@ class Dispatcher:
                 else 0
             )
             grown = self.service.append_samples(chunk)
+            self._observe_ingest(chunk.machine_id, grown)
         return {
             "machine": chunk.machine_id,
             "appended": grown.n_samples - before,
@@ -434,6 +462,12 @@ class Dispatcher:
             up=params.get("up"),
         )
 
+    def _op_quality(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        if self.audit is None:
+            return {"enabled": False}
+        machine = params.get("machine")
+        return self.audit.quality(machine=None if machine is None else str(machine))
+
     def _op_health(self, params: Mapping[str, Any]) -> dict[str, Any]:
         return {
             "status": "draining" if self.closing else "ok",
@@ -442,5 +476,51 @@ class Dispatcher:
             "queue_depth": self.admitted,
             "queue_limit": self.config.queue_depth,
             "workers": self.config.max_workers,
+            "audit": self.audit is not None,
             "uptime_seconds": time.monotonic() - self._started,
         }
+
+    # -- audit plumbing -------------------------------------------------- #
+
+    def _journal(
+        self,
+        op: str,
+        machine: str,
+        window: ClockWindow,
+        dtype: DayType,
+        probability: float,
+        init_state: State | None,
+    ) -> None:
+        """Record one served response in the prediction audit.
+
+        Coalesced followers share the primary's computation, so each
+        distinct computation is journaled exactly once.  An audit bug
+        must not fail the response the client is waiting on — it is
+        reported as an event instead.
+        """
+        if self.audit is None:
+            return
+        history = self.service._histories.get(machine)
+        if history is None:
+            return
+        try:
+            self.audit.record_prediction(
+                op, machine, window, dtype, probability,
+                history_end=history.end_time, init_state=init_state,
+            )
+        except Exception as exc:
+            get_event_log().emit(
+                "audit_error", severity="error", op=op,
+                machine=machine, error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _observe_ingest(self, machine: str, history: MachineTrace) -> None:
+        if self.audit is None:
+            return
+        try:
+            self.audit.observe_ingest(machine, history)
+        except Exception as exc:
+            get_event_log().emit(
+                "audit_error", severity="error", op="resolve",
+                machine=machine, error=f"{type(exc).__name__}: {exc}",
+            )

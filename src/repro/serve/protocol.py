@@ -59,7 +59,8 @@ __all__ = [
 #: Current protocol version; bump when an op's contract changes.
 #: v1: predict/rank/select/horizon/register/health.
 #: v2: adds ``extend`` (stream a chunk of new samples for one machine).
-PROTOCOL_VERSION = 2
+#: v3: adds ``quality`` (prediction-audit scoreboard snapshots).
+PROTOCOL_VERSION = 3
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -70,6 +71,7 @@ OPS_BY_VERSION: dict[int, frozenset[str]] = {
     1: frozenset({"predict", "rank", "select", "horizon", "register", "health"}),
 }
 OPS_BY_VERSION[2] = OPS_BY_VERSION[1] | {"extend"}
+OPS_BY_VERSION[3] = OPS_BY_VERSION[2] | {"quality"}
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)

@@ -47,10 +47,11 @@ class ServeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         config: DispatchConfig | None = None,
+        audit: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
-        self.dispatcher = Dispatcher(service, config)
+        self.dispatcher = Dispatcher(service, config, audit=audit)
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
 

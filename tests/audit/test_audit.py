@@ -1,0 +1,271 @@
+"""PredictionAudit facade: window pinning, labeling, drift, replay."""
+
+import numpy as np
+import pytest
+
+from repro.audit import AuditConfig, DriftConfig, PredictionAudit
+from repro.audit.journal import (
+    OUTCOME_AVAILABLE,
+    OUTCOME_EXCLUDED,
+    OUTCOME_FAILED,
+)
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.obs.events import scoped_event_log
+from repro.obs.metrics import scoped_registry
+from repro.traces.trace import MachineTrace
+
+PERIOD = 300.0
+
+
+def flat_trace(mid="m0", n_days=5, *, outages=()):
+    """All-operational trace; ``outages`` are (t0, t1) spans with up=False."""
+    n = int(n_days * SECONDS_PER_DAY / PERIOD)
+    up = np.ones(n, dtype=bool)
+    for t0, t1 in outages:
+        up[int(t0 / PERIOD):int(t1 / PERIOD)] = False
+    return MachineTrace(
+        mid, 0.0, PERIOD, np.full(n, 0.05), np.full(n, 4000.0), up
+    )
+
+
+def audit_with(**kwargs):
+    return PredictionAudit(AuditConfig(**kwargs), step_multiple=1)
+
+
+def hours(day, h):
+    return day * SECONDS_PER_DAY + h * 3600.0
+
+
+class TestTargetWindow:
+    def test_pins_next_matching_day(self):
+        # History ends at day-5 start (a Saturday; day 0 is a Monday):
+        # the next weekday occurrence of a 9-11h window is Monday, day 7.
+        audit = audit_with()
+        head = flat_trace(n_days=5)
+        record = audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(9.0, 2.0), DayType.WEEKDAY,
+            0.9, history_end=head.end_time,
+        )
+        assert record.window_start == hours(7, 9)
+        assert record.window_duration == 2 * 3600.0
+
+    def test_weekend_target_is_saturday(self):
+        audit = audit_with()
+        head = flat_trace(n_days=5)
+        record = audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(9.0, 2.0), DayType.WEEKEND,
+            0.9, history_end=head.end_time,
+        )
+        assert record.window_start == hours(5, 9)
+
+    def test_same_day_window_still_ahead(self):
+        # History ends Monday 08:00; a 9-11h weekday window is later that
+        # same day, so the target is day 7 itself, not day 8.
+        audit = audit_with()
+        record = audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(9.0, 2.0), DayType.WEEKDAY,
+            0.9, history_end=hours(7, 8),
+        )
+        assert record.window_start == hours(7, 9)
+
+    def test_elapsed_window_rolls_to_next_matching_day(self):
+        # History ends Monday 12:00: the 9-11h window already elapsed
+        # today, so the claim is about Tuesday.
+        audit = audit_with()
+        record = audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(9.0, 2.0), DayType.WEEKDAY,
+            0.9, history_end=hours(7, 12),
+        )
+        assert record.window_start == hours(8, 9)
+
+    def test_unscorable_probabilities_not_journaled(self):
+        audit = audit_with()
+        clock = ClockWindow.from_hours(9.0, 2.0)
+        assert audit.record_prediction(
+            "predict", "m0", clock, DayType.WEEKDAY, float("nan"), history_end=0.0
+        ) is None
+        assert audit.record_prediction(
+            "predict", "m0", clock, DayType.WEEKDAY, 1.5, history_end=0.0
+        ) is None
+        assert audit.journal.n_predictions == 0
+        assert audit.n_pending == 0
+
+
+class TestResolution:
+    def record(self, audit, start_h, p=0.9, dur_h=1.0):
+        return audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(start_h, dur_h),
+            DayType.WEEKDAY, p, history_end=hours(7, 0),
+        )
+
+    def test_available_failed_excluded_labels(self):
+        audit = audit_with()
+        self.record(audit, 1.0)   # clean -> available
+        self.record(audit, 5.0)   # outage strictly inside -> failed
+        self.record(audit, 9.0)   # outage covering the start -> excluded
+        grown = flat_trace(
+            n_days=9,
+            outages=[
+                (hours(7, 5.5), hours(7, 5.75)),
+                (hours(7, 8.5), hours(7, 9.5)),
+            ],
+        )
+        resolutions = audit.observe_ingest("m0", grown)
+        assert [r.outcome for r in resolutions] == [
+            OUTCOME_AVAILABLE, OUTCOME_FAILED, OUTCOME_EXCLUDED,
+        ]
+        # excluded outcomes are journaled but never scored
+        assert audit.scoreboard.snapshot()["n"] == 2
+        assert audit.n_pending == 0
+        quality = audit.quality()
+        assert quality["resolved"] == {
+            "available": 1, "failed": 1, "excluded": 1,
+        }
+
+    def test_unelapsed_windows_stay_pending(self):
+        audit = audit_with()
+        self.record(audit, 1.0)
+        # History grows only to the end of day 6: the Monday (day 7)
+        # window has not elapsed yet.
+        assert audit.observe_ingest("m0", flat_trace(n_days=7)) == []
+        assert audit.n_pending == 1
+        assert audit.observe_ingest("m0", flat_trace(n_days=9)) != []
+        assert audit.n_pending == 0
+
+    def test_history_replaced_behind_window_excludes(self):
+        audit = audit_with()
+        self.record(audit, 1.0)
+        # A register() swapped in a history that starts after the
+        # promised window: nothing left to score.
+        n = int(2 * SECONDS_PER_DAY / PERIOD)
+        late = MachineTrace(
+            "m0", hours(8, 0), PERIOD,
+            np.full(n, 0.05), np.full(n, 4000.0), np.ones(n, dtype=bool),
+        )
+        resolutions = audit.observe_ingest("m0", late)
+        assert [r.outcome for r in resolutions] == [OUTCOME_EXCLUDED]
+
+    def test_pending_bounded_per_machine(self):
+        audit = audit_with(max_pending_per_machine=3)
+        for start in (1.0, 3.0, 5.0, 7.0, 9.0):
+            self.record(audit, start)
+        assert audit.n_pending == 3
+        assert audit.pending_dropped == 2
+        # the survivors are the newest three
+        starts = sorted(
+            r.window_start for r in audit.journal.pending.values()
+        )
+        assert starts == [hours(7, 5), hours(7, 7), hours(7, 9)]
+
+
+class TestDriftWiring:
+    def test_brier_breach_fires_alarm_and_event(self):
+        with scoped_registry(), scoped_event_log() as log:
+            audit = audit_with(
+                node_id="n7",
+                drift=DriftConfig(min_samples=3, brier_threshold=0.2,
+                                  ece_threshold=None, ph_lambda=100.0),
+            )
+            for start in (1.0, 3.0, 5.0, 7.0):
+                audit.record_prediction(
+                    "predict", "m0", ClockWindow.from_hours(start, 1.0),
+                    DayType.WEEKDAY, 0.95, history_end=hours(7, 0),
+                )
+            outages = [(hours(7, h) + 1200, hours(7, h) + 2400)
+                       for h in (1, 3, 5, 7)]
+            audit.observe_ingest("m0", flat_trace(n_days=9, outages=outages))
+            status = audit.drift.status()
+            assert status["degraded"] is True
+            assert status["alarms"] >= 1
+            assert status["last_alarm"]["reason"] == "brier"
+            events = log.events("model_degraded", min_severity="warning")
+            assert events and events[0].fields["node"] == "n7"
+            assert audit.quality()["drift"]["degraded"] is True
+
+    def test_healthy_stream_raises_nothing(self):
+        with scoped_registry(), scoped_event_log() as log:
+            audit = audit_with(drift=DriftConfig(min_samples=3))
+            for start in (1.0, 3.0, 5.0, 7.0):
+                audit.record_prediction(
+                    "predict", "m0", ClockWindow.from_hours(start, 1.0),
+                    DayType.WEEKDAY, 0.99, history_end=hours(7, 0),
+                )
+            audit.observe_ingest("m0", flat_trace(n_days=9))
+            assert audit.drift.status()["alarms"] == 0
+            assert log.events("model_degraded") == []
+
+
+class TestReplay:
+    def test_restart_rebuilds_state_without_reemitting(self, tmp_path):
+        config = AuditConfig(
+            directory=tmp_path,
+            drift=DriftConfig(min_samples=2, brier_threshold=0.2,
+                              ece_threshold=None, ph_lambda=100.0),
+        )
+        with scoped_registry(), scoped_event_log():
+            audit = PredictionAudit(config, step_multiple=1)
+            for start in (1.0, 3.0, 5.0):
+                audit.record_prediction(
+                    "predict", "m0", ClockWindow.from_hours(start, 1.0),
+                    DayType.WEEKDAY, 0.95, history_end=hours(7, 0),
+                )
+            outages = [(hours(7, 1) + 1200, hours(7, 1) + 2400)]
+            audit.observe_ingest("m0", flat_trace(n_days=9, outages=outages))
+            audit.record_prediction(
+                "predict", "m0", ClockWindow.from_hours(9.0, 1.0),
+                DayType.WEEKDAY, 0.5, history_end=hours(9, 0),
+            )
+            before = audit.quality()
+            audit.close()
+
+        with scoped_registry(), scoped_event_log() as log:
+            reborn = PredictionAudit(config, step_multiple=1)
+            after = reborn.quality()
+            assert after["journaled"] == before["journaled"]
+            assert after["resolved"] == before["resolved"]
+            assert after["pending"] == before["pending"]
+            assert after["aggregate"]["n"] == before["aggregate"]["n"]
+            assert after["aggregate"]["brier"] == pytest.approx(
+                before["aggregate"]["brier"]
+            )
+            assert after["drift"]["alarms"] == before["drift"]["alarms"]
+            # replay rebuilds detector state silently
+            assert log.events("model_degraded") == []
+            reborn.close()
+
+    def test_context_manager_closes_journal(self, tmp_path):
+        with PredictionAudit(AuditConfig(directory=tmp_path)) as audit:
+            audit.record_prediction(
+                "predict", "m0", ClockWindow.from_hours(9.0, 1.0),
+                DayType.WEEKDAY, 0.9, history_end=0.0,
+            )
+        reopened = PredictionAudit(AuditConfig(directory=tmp_path))
+        assert reopened.journal.recovered_truncated_bytes == 0
+        assert reopened.journal.n_predictions == 1
+        reopened.close()
+
+
+class TestQualityShape:
+    def test_quality_is_json_strict(self):
+        import json
+
+        audit = audit_with()
+        json.dumps(audit.quality(), allow_nan=False)
+        audit.record_prediction(
+            "predict", "m0", ClockWindow.from_hours(9.0, 1.0),
+            DayType.WEEKDAY, 0.9, history_end=0.0,
+        )
+        quality = audit.quality()
+        json.dumps(quality, allow_nan=False)
+        assert quality["machines"]["m0"]["pending"] == 1
+
+    def test_machine_filter(self):
+        audit = audit_with()
+        for mid in ("a", "b"):
+            audit.record_prediction(
+                "predict", mid, ClockWindow.from_hours(9.0, 1.0),
+                DayType.WEEKDAY, 0.9, history_end=0.0,
+            )
+        quality = audit.quality(machine="a")
+        assert list(quality["machines"]) == ["a"]
+        assert quality["pending"] == 2  # counters stay process-wide

@@ -1,0 +1,119 @@
+"""Journal durability: recovery, torn tails, segment rolls, memory mode."""
+
+import pytest
+
+from repro.audit.journal import (
+    OUTCOME_AVAILABLE,
+    OUTCOMES,
+    PredictionJournal,
+    PredictionRecord,
+    ResolutionRecord,
+)
+
+
+def prediction(seq, machine="m", p=0.8, start=0.0):
+    return PredictionRecord(
+        seq=seq, op="predict", machine=machine, probability=p,
+        window_start=start, window_duration=3600.0, day_type="weekday",
+        issued_at=1.0, node="n0",
+    )
+
+
+def resolution(seq, machine="m", outcome=OUTCOME_AVAILABLE, p=0.8):
+    return ResolutionRecord(
+        seq=seq, machine=machine, outcome=outcome, probability=p, resolved_at=2.0
+    )
+
+
+class TestRecordTypes:
+    def test_window_end(self):
+        assert prediction(1, start=100.0).window_end == 3700.0
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            resolution(1, outcome="shrug")
+        for outcome in OUTCOMES:
+            resolution(1, outcome=outcome)  # all legal labels construct
+
+
+class TestMemoryJournal:
+    def test_state_machine_without_directory(self):
+        journal = PredictionJournal(None)
+        assert not journal.durable
+        journal.append_prediction(prediction(journal.next_seq()))
+        journal.append_prediction(prediction(journal.next_seq()))
+        journal.append_resolution(resolution(1))
+        assert journal.n_predictions == 2
+        assert journal.n_resolutions == 1
+        assert set(journal.pending) == {2}
+        journal.close()  # no-op, must not raise
+
+
+class TestDurableJournal:
+    def test_roundtrip_and_pending_rebuild(self, tmp_path):
+        with PredictionJournal(tmp_path) as journal:
+            for _ in range(5):
+                journal.append_prediction(prediction(journal.next_seq()))
+            journal.append_resolution(resolution(1))
+            journal.append_resolution(resolution(3))
+        reopened = PredictionJournal(tmp_path)
+        assert reopened.durable
+        assert reopened.n_predictions == 5
+        assert reopened.n_resolutions == 2
+        assert set(reopened.pending) == {2, 4, 5}
+        assert reopened.recovered_records == 7
+        assert reopened.recovered_truncated_bytes == 0
+        assert reopened.next_seq() == 6
+        reopened.close()
+
+    def test_torn_tail_truncated(self, tmp_path):
+        with PredictionJournal(tmp_path) as journal:
+            for _ in range(4):
+                journal.append_prediction(prediction(journal.next_seq()))
+        segment = sorted(tmp_path.glob("audit-*.wal"))[-1]
+        whole = segment.read_bytes()
+        segment.write_bytes(whole[:-3])  # tear the last record's CRC
+        reopened = PredictionJournal(tmp_path)
+        assert reopened.n_predictions == 3
+        assert reopened.recovered_truncated_bytes > 0
+        # appending after recovery still works and survives another reopen
+        reopened.append_prediction(prediction(reopened.next_seq()))
+        reopened.close()
+        final = PredictionJournal(tmp_path)
+        assert final.n_predictions == 4
+        assert final.recovered_truncated_bytes == 0
+        final.close()
+
+    def test_segment_roll(self, tmp_path):
+        journal = PredictionJournal(tmp_path, max_segment_bytes=256)
+        for _ in range(20):
+            journal.append_prediction(prediction(journal.next_seq()))
+        journal.close()
+        segments = sorted(tmp_path.glob("audit-*.wal"))
+        assert len(segments) > 1
+        reopened = PredictionJournal(tmp_path, max_segment_bytes=256)
+        assert reopened.n_predictions == 20
+        reopened.close()
+
+    def test_garbled_record_skipped(self, tmp_path):
+        from repro.store.wal import FsyncPolicy, SegmentWriter
+
+        writer = SegmentWriter(tmp_path / "audit-00000000.wal",
+                               FsyncPolicy.parse("never"))
+        writer.append(prediction(1).to_payload())
+        writer.append(b'{"kind": "mystery", "x": 1}')
+        writer.append(b"not json at all")
+        writer.append(prediction(2).to_payload())
+        writer.close(sync=True)
+        journal = PredictionJournal(tmp_path)
+        assert journal.n_predictions == 2
+        assert set(journal.predictions) == {1, 2}
+        journal.close()
+
+    def test_records_iterates_predictions_then_resolutions(self, tmp_path):
+        with PredictionJournal(tmp_path) as journal:
+            journal.append_prediction(prediction(journal.next_seq()))
+            journal.append_resolution(resolution(1))
+            records = list(journal.records())
+        assert isinstance(records[0], PredictionRecord)
+        assert isinstance(records[1], ResolutionRecord)

@@ -1,0 +1,210 @@
+"""Scoreboard math: metrics match core/calibration; bins merge exactly."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.scoreboard import (
+    Scoreboard,
+    bin_index,
+    bins_from_pairs,
+    derive_metrics,
+    empty_bins,
+    merge_bins,
+    merge_machine_snapshots,
+    merge_quality,
+)
+from repro.core.calibration import (
+    brier_score,
+    expected_calibration_error,
+    reliability_diagram,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def split(pairs):
+    return [p for p, _ in pairs], [y for _, y in pairs]
+
+
+class TestDeriveMetrics:
+    @given(pairs=pairs_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_core_calibration(self, pairs):
+        predictions, outcomes = split(pairs)
+        metrics = derive_metrics(bins_from_pairs(predictions, outcomes, 10))
+        dec = brier_score(predictions, outcomes, n_bins=10)
+        assert metrics["brier_binned"] == pytest.approx(dec.brier, abs=1e-9)
+        assert metrics["reliability"] == pytest.approx(dec.reliability, abs=1e-9)
+        assert metrics["resolution"] == pytest.approx(dec.resolution, abs=1e-9)
+        assert metrics["uncertainty"] == pytest.approx(dec.uncertainty, abs=1e-9)
+        ece = expected_calibration_error(predictions, outcomes, n_bins=10)
+        assert metrics["ece"] == pytest.approx(ece, abs=1e-9)
+        raw = sum(
+            (p - (1.0 if y else 0.0)) ** 2 for p, y in zip(predictions, outcomes)
+        ) / len(predictions)
+        assert metrics["brier"] == pytest.approx(raw, abs=1e-12)
+
+    def test_bin_rule_matches_calibration_clip(self):
+        # core/calibration clips int(p * n) into [0, n-1]; p = 1.0 must
+        # land in the top bin, not overflow.
+        assert bin_index(1.0, 10) == 9
+        assert bin_index(0.0, 10) == 0
+        assert bin_index(0.55, 10) == 5
+
+    def test_empty_window_yields_none_metrics(self):
+        metrics = derive_metrics(empty_bins(10))
+        assert metrics["n"] == 0
+        assert metrics["brier"] is None
+        assert metrics["ece"] is None
+
+    def test_reliability_diagram_equivalence(self):
+        predictions = [0.1, 0.12, 0.9, 0.95, 0.5]
+        outcomes = [False, False, True, True, False]
+        bins = bins_from_pairs(predictions, outcomes, 10)
+        diagram = reliability_diagram(predictions, outcomes, n_bins=10)
+        populated = [
+            (row[1] / row[0], row[2] / row[0], int(row[0]))
+            for row in bins
+            if row[0]
+        ]
+        assert len(populated) == len(diagram)
+        for (p1, y1, c1), (p2, y2, c2) in zip(populated, diagram):
+            assert p1 == pytest.approx(p2, abs=1e-12)
+            assert y1 == pytest.approx(y2, abs=1e-12)
+            assert c1 == c2
+
+
+class TestMergeBins:
+    @given(shards=st.lists(pairs_strategy, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_bins_equal_pooled_pairs(self, shards):
+        # The invariant the cluster router is built on: summing per-node
+        # bins gives exactly the bins of the pooled raw pairs.
+        per_shard = [bins_from_pairs(*split(s), 10) for s in shards]
+        merged = merge_bins(per_shard)
+        pooled = [pair for shard in shards for pair in shard]
+        expected = bins_from_pairs(*split(pooled), 10)
+        for row_m, row_e in zip(merged, expected):
+            for a, b in zip(row_m, row_e):
+                assert a == pytest.approx(b, abs=1e-9)
+        metrics_m = derive_metrics(merged)
+        metrics_e = derive_metrics(expected)
+        for key in ("brier", "brier_binned", "ece", "reliability"):
+            if metrics_e[key] is None:
+                assert metrics_m[key] is None
+            else:
+                assert metrics_m[key] == pytest.approx(metrics_e[key], abs=1e-9)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="widths"):
+            merge_bins([empty_bins(10), empty_bins(5)])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_bins([])
+
+
+class TestMergeQuality:
+    def _node(self, node, machine_pairs):
+        board = Scoreboard(window=64, n_bins=10)
+        for machine, p, y in machine_pairs:
+            board.record(machine, p, y)
+        machines = {m: board.snapshot(m) for m in board.machine_ids()}
+        return {
+            "enabled": True,
+            "node": node,
+            "journaled": {"predict": len(machine_pairs)},
+            "pending": 1,
+            "resolved": {"available": len(machine_pairs)},
+            "aggregate": board.snapshot(),
+            "machines": machines,
+            "drift": {"degraded": node == "b", "alarms": 2},
+        }
+
+    def test_merge_sums_not_dedupes(self):
+        a = self._node("a", [("m1", 0.8, True), ("m2", 0.3, False)])
+        b = self._node("b", [("m1", 0.8, True), ("m3", 0.6, True)])
+        merged = merge_quality([a, b])
+        assert merged["enabled"] is True
+        assert merged["nodes"] == ["a", "b"]
+        # m1 was scored once on each node: both pairs count.
+        assert merged["machines"]["m1"]["n"] == 2
+        assert merged["aggregate"]["n"] == 4
+        assert merged["journaled"] == {"predict": 4}
+        assert merged["resolved"] == {"available": 4}
+        assert merged["pending"] == 2
+        assert merged["drift"]["degraded"] is True
+        assert merged["drift"]["alarms"] == 4
+        assert merged["drift"]["nodes_degraded"] == ["b"]
+
+    def test_merged_aggregate_equals_pooled(self):
+        a = self._node("a", [("m1", 0.8, True), ("m2", 0.3, False)])
+        b = self._node("b", [("m1", 0.7, False), ("m3", 0.6, True)])
+        merged = merge_quality([a, b])
+        pooled = bins_from_pairs([0.8, 0.3, 0.7, 0.6], [True, False, False, True], 10)
+        expected = derive_metrics(pooled)
+        assert merged["aggregate"]["brier"] == pytest.approx(
+            expected["brier"], abs=1e-12
+        )
+        assert merged["aggregate"]["ece"] == pytest.approx(expected["ece"], abs=1e-12)
+
+    def test_disabled_nodes_are_skipped(self):
+        a = self._node("a", [("m1", 0.8, True)])
+        merged = merge_quality([{"enabled": False}, a])
+        assert merged["nodes"] == ["a"]
+        assert merged["aggregate"]["n"] == 1
+
+    def test_all_disabled(self):
+        merged = merge_quality([{"enabled": False}, {"enabled": False}])
+        assert merged == {"enabled": False, "nodes": []}
+
+    def test_bin_width_disagreement_rejected(self):
+        a = self._node("a", [("m1", 0.8, True)])
+        b = self._node("b", [("m1", 0.8, True)])
+        b["aggregate"] = derive_metrics(empty_bins(5))
+        with pytest.raises(ValueError, match="bin width"):
+            merge_quality([a, b])
+
+
+class TestScoreboard:
+    def test_sliding_window_evicts_oldest(self):
+        board = Scoreboard(window=3, n_bins=10)
+        for i in range(5):
+            board.record("m", 0.1 * i, True)
+        predictions, outcomes = board.pairs()
+        assert predictions == pytest.approx([0.2, 0.3, 0.4])
+        assert board.snapshot()["n"] == 3
+        assert board.n_recorded == 5
+
+    def test_per_machine_and_aggregate_scopes(self):
+        board = Scoreboard(window=16, n_bins=10)
+        board.record("m1", 0.9, True)
+        board.record("m2", 0.2, False)
+        assert board.machine_ids() == ["m1", "m2"]
+        assert board.snapshot("m1")["n"] == 1
+        assert board.snapshot()["n"] == 2
+        assert board.snapshot("missing")["n"] == 0
+
+    def test_rejects_out_of_range_prediction(self):
+        board = Scoreboard()
+        with pytest.raises(ValueError, match="probability"):
+            board.record("m", 1.5, True)
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        board = Scoreboard(window=4, n_bins=10)
+        json.dumps(board.snapshot(), allow_nan=False)  # n == 0: all None
+        board.record("m", 0.5, True)
+        dumped = json.dumps(board.snapshot(), allow_nan=False)
+        assert not any(math.isnan(v) for v in json.loads(dumped)["bins"][5])

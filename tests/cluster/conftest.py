@@ -37,14 +37,24 @@ def flat_trace(mid: str, *, load: float = 0.05, n_days: int = 6,
 class BackendThread:
     """One in-process backend: service + ServeServer on its own loop."""
 
-    def __init__(self, node_id: str):
+    def __init__(self, node_id: str, *, audit: bool = False):
         self.node_id = node_id
         self.service = AvailabilityService(
             estimator_config=EstimatorConfig(step_multiple=5)
         )
+        self.audit = None
+        if audit:
+            from repro.audit import AuditConfig, PredictionAudit
+
+            self.audit = PredictionAudit(
+                AuditConfig(node_id=node_id),  # memory-only: tests inspect it
+                classifier=self.service.classifier,
+                step_multiple=self.service.config.step_multiple,
+            )
         self.loop = asyncio.new_event_loop()
         self.server = ServeServer(
-            self.service, port=0, config=DispatchConfig(max_workers=2)
+            self.service, port=0, config=DispatchConfig(max_workers=2),
+            audit=self.audit,
         )
         self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
         self.thread.start()
@@ -68,8 +78,9 @@ class BackendThread:
 class ClusterHarness:
     """Three in-process backends behind one threaded router."""
 
-    def __init__(self, n_nodes: int = 3, *, replicas: int = 2):
-        self.backends = {f"node-{i}": BackendThread(f"node-{i}")
+    def __init__(self, n_nodes: int = 3, *, replicas: int = 2,
+                 audit: bool = False):
+        self.backends = {f"node-{i}": BackendThread(f"node-{i}", audit=audit)
                          for i in range(n_nodes)}
         self.router_thread = RouterThread(
             {nid: b.address for nid, b in self.backends.items()},

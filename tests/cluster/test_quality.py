@@ -1,0 +1,140 @@
+"""Routed ``quality``: scatter to every node, merge bins exactly.
+
+Audit state is per-node and never replicated — each owner journaled
+only the predictions *it* served — so the router must SUM the per-bin
+sufficient statistics across nodes and re-derive the pooled metrics.
+The invariant under test: the merged aggregate equals the metrics of
+the raw (probability, outcome) pairs pooled from every backend journal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.journal import OUTCOME_AVAILABLE, OUTCOME_EXCLUDED
+from repro.audit.scoreboard import bins_from_pairs, derive_metrics
+from repro.core.windows import SECONDS_PER_DAY
+from repro.serve.client import ServeClient
+from repro.traces.trace import MachineTrace
+
+from tests.cluster.conftest import ClusterHarness
+
+PERIOD = 300.0
+HEAD_DAYS = 6
+
+
+def wobbly_trace(mid, *, n_days=HEAD_DAYS + 3):
+    """Clean at even hours, a 20-minute outage inside every odd hour.
+
+    Windows at even start hours predict ~1 and survive; windows at odd
+    start hours predict ~0 and fail (they still *start* operational, so
+    they are scored, not excluded).
+    """
+    n = int(n_days * SECONDS_PER_DAY / PERIOD)
+    up = np.ones(n, dtype=bool)
+    for day in range(n_days):
+        for hour in (1, 3, 5):
+            t0 = day * SECONDS_PER_DAY + hour * 3600.0 + 1800.0
+            up[int(t0 / PERIOD):int((t0 + 1200.0) / PERIOD)] = False
+    return MachineTrace(
+        mid, 0.0, PERIOD, np.full(n, 0.05), np.full(n, 400.0), up
+    )
+
+
+def head_of(trace):
+    return trace.slice_days(0, HEAD_DAYS)
+
+
+def tail_of(trace):
+    n = int(HEAD_DAYS * SECONDS_PER_DAY / PERIOD)
+    return MachineTrace(
+        trace.machine_id, trace.start_time + n * PERIOD, PERIOD,
+        trace.load[n:], trace.free_mem_mb[n:], trace.up[n:],
+    )
+
+
+def pooled_pairs(harness):
+    pairs = []
+    for backend in harness.backends.values():
+        for r in backend.audit.journal.resolutions:
+            if r.outcome != OUTCOME_EXCLUDED:
+                pairs.append((r.probability, r.outcome == OUTCOME_AVAILABLE))
+    return pairs
+
+
+@pytest.fixture()
+def audited_harness():
+    h = ClusterHarness(audit=True)
+    yield h
+    h.stop()
+
+
+class TestRoutedQuality:
+    def test_merged_equals_pooled_raw_pairs(self, audited_harness):
+        h = audited_harness
+        machines = [f"m{i}" for i in range(4)]
+        with ServeClient(port=h.port) as client:
+            for mid in machines:
+                client.register(head_of(wobbly_trace(mid)))
+            for mid in machines:
+                for start_hour in (1.0, 2.0, 3.0, 4.0):
+                    client.predict(mid, start_hour, 1.0)
+            for mid in machines:
+                client.extend(tail_of(wobbly_trace(mid)))
+            merged = client.quality()
+
+        assert merged["enabled"] is True
+        assert merged["shards"] == {"queried": 3, "ok": 3, "partial": False}
+        assert merged["nodes"] == sorted(h.backends)
+
+        pairs = pooled_pairs(h)
+        assert pairs  # the extends resolved routed predictions
+        expected = derive_metrics(
+            bins_from_pairs([p for p, _ in pairs], [y for _, y in pairs],
+                            merged["n_bins"])
+        )
+        agg = merged["aggregate"]
+        assert agg["n"] == len(pairs)
+        for key in ("brier", "brier_binned", "ece", "reliability"):
+            assert agg[key] == pytest.approx(expected[key], abs=1e-9)
+        # journaled/resolved counters are summed across nodes, not deduped
+        assert merged["journaled"]["predict"] == sum(
+            b.audit.journal.n_predictions for b in h.backends.values()
+        )
+        assert sum(merged["resolved"].values()) == sum(
+            b.audit.journal.n_resolutions for b in h.backends.values()
+        )
+
+    def test_per_machine_bins_merged_across_owners(self, audited_harness):
+        h = audited_harness
+        with ServeClient(port=h.port) as client:
+            client.register(head_of(wobbly_trace("solo")))
+            for start_hour in (1.0, 2.0, 3.0, 4.0):
+                client.predict("solo", start_hour, 1.0)
+            client.extend(tail_of(wobbly_trace("solo")))
+            merged = client.quality(machine="solo")
+
+        per_node = [
+            b.audit.scoreboard.snapshot("solo")["n"]
+            for b in h.backends.values()
+        ]
+        assert merged["machines"]["solo"]["n"] == sum(per_node)
+        assert merged["machines"]["solo"]["n"] > 0
+
+    def test_scatter_survives_a_dead_node(self, audited_harness):
+        h = audited_harness
+        with ServeClient(port=h.port) as client:
+            client.register(head_of(wobbly_trace("m0")))
+            client.predict("m0", 2.0, 1.0)
+            h.backends["node-2"].stop()
+            merged = client.quality()
+        assert merged["enabled"] is True
+        assert merged["shards"]["ok"] < merged["shards"]["queried"]
+        assert merged["shards"]["partial"] is True
+        assert "node-2" not in merged["nodes"]
+
+    def test_audit_free_cluster_reports_disabled(self, harness):
+        with ServeClient(port=harness.port) as client:
+            merged = client.quality()
+        assert merged["enabled"] is False
+        assert merged["nodes"] == []
+        assert merged["shards"]["ok"] == 3

@@ -93,6 +93,23 @@ class TestReliabilityDiagram:
         assert len(diagram) == 1
         assert diagram[0][2] == 1
 
+    def test_all_in_one_bin_yields_single_point(self):
+        # A constant predictor degenerates to one diagram point whose
+        # observed frequency is the outcome base rate.
+        diagram = reliability_diagram([0.42] * 8, [True] * 6 + [False] * 2)
+        assert diagram == [(pytest.approx(0.42), pytest.approx(0.75), 8)]
+
+    def test_all_true_and_all_false_outcomes(self):
+        # Degenerate outcome vectors are fine: observed frequency is
+        # 1.0 (or 0.0) in every populated bin.
+        for outcome, freq in ((True, 1.0), (False, 0.0)):
+            diagram = reliability_diagram([0.1, 0.5, 0.9], [outcome] * 3)
+            assert [y for _p, y, _c in diagram] == [freq] * 3
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            reliability_diagram([], [])
+
 
 class TestECE:
     def test_perfect(self):
@@ -108,3 +125,20 @@ class TestECE:
         p = rng.uniform(0, 1, 50)
         y = rng.random(50) < 0.5
         assert 0.0 <= expected_calibration_error(p, y) <= 1.0
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            expected_calibration_error([], [])
+
+    def test_single_bin_degenerates_to_that_bin(self):
+        # Every prediction in one bin: ECE is |mean predicted - observed|.
+        ece = expected_calibration_error([0.42] * 8, [True] * 6 + [False] * 2)
+        assert ece == pytest.approx(abs(0.42 - 0.75))
+
+    def test_all_true_and_all_false_outcomes(self):
+        assert expected_calibration_error(
+            [1.0, 0.95, 0.99], [True, True, True]
+        ) == pytest.approx(0.02, abs=1e-12)
+        assert expected_calibration_error(
+            [0.0, 0.05], [False, False]
+        ) == pytest.approx(0.025, abs=1e-12)

@@ -84,6 +84,14 @@ class TestErrorSummary:
         assert s.n == 0
         assert math.isnan(s.mean)
 
+    def test_empty_sequence_raises(self):
+        # Empty input is a caller bug (no figure point to summarize), and
+        # is distinct from all-non-finite input, which stays a NaN summary.
+        with pytest.raises(ValueError, match="empty error sequence"):
+            summarize_errors([])
+        with pytest.raises(ValueError, match="empty error sequence"):
+            ErrorSummary.from_errors(iter(()))
+
     def test_accuracies(self):
         s = summarize_errors([0.1, 0.2])
         assert s.mean_accuracy == pytest.approx(0.85)

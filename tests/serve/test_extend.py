@@ -121,8 +121,9 @@ class TestVersionGating:
 
     def test_clients_send_each_op_at_min_version(self):
         assert min_version("predict") == 1
-        assert min_version("extend") == PROTOCOL_VERSION == 2
-        assert Request(op="health").to_wire()["v"] == 2  # default is current
+        assert min_version("extend") == 2
+        assert min_version("quality") == PROTOCOL_VERSION == 3
+        assert Request(op="health").to_wire()["v"] == 3  # default is current
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()
         )

@@ -44,7 +44,8 @@ class TestRequest:
         v1 = {"predict", "rank", "select", "horizon", "register", "health"}
         assert OPS_BY_VERSION[1] == v1
         assert OPS_BY_VERSION[2] == v1 | {"extend"}
-        assert OPS == v1 | {"extend"}
+        assert OPS_BY_VERSION[3] == v1 | {"extend", "quality"}
+        assert OPS == v1 | {"extend", "quality"}
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):

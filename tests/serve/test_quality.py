@@ -1,0 +1,169 @@
+"""The v3 ``quality`` op end to end: journal at response time, resolve
+on ingest, and serve scoreboard metrics that match an offline
+``core/calibration`` computation exactly."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.audit import AuditConfig, PredictionAudit
+from repro.audit.journal import OUTCOME_AVAILABLE, OUTCOME_EXCLUDED
+from repro.core.calibration import brier_score, expected_calibration_error
+from repro.core.estimator import EstimatorConfig
+from repro.serve.client import ServeClient
+from repro.serve.dispatch import DispatchConfig
+from repro.serve.server import ServeServer
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+from tests.serve.test_server import ServerThread, idle_trace
+
+HEAD_DAYS = 7
+
+
+class AuditedServerThread(ServerThread):
+    """A ServeServer wired to a PredictionAudit on its own loop thread."""
+
+    def __init__(self, service, audit, config=None):
+        self.loop = asyncio.new_event_loop()
+        self.server = ServeServer(service, port=0, config=config, audit=audit)
+        self.audit = audit
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+
+
+def head_of(trace, n_days=HEAD_DAYS):
+    return trace.slice_days(0, n_days)
+
+
+def tail_of(trace, n_days=HEAD_DAYS):
+    n = int(n_days * 86400.0 / trace.sample_period)
+    return MachineTrace(
+        trace.machine_id, trace.start_time + n * trace.sample_period,
+        trace.sample_period, trace.load[n:], trace.free_mem_mb[n:],
+        trace.up[n:],
+    )
+
+
+def audited_server(tmp_dir=None, **audit_kwargs):
+    service = AvailabilityService(estimator_config=EstimatorConfig(step_multiple=5))
+    for mid, fail_hour in (("safe", None), ("risky", 9.0)):
+        service.register(head_of(idle_trace(mid, fail_hour=fail_hour)))
+    audit = PredictionAudit(
+        AuditConfig(node_id="n0", directory=tmp_dir, **audit_kwargs),
+        classifier=service.classifier,
+        step_multiple=service.config.step_multiple,
+    )
+    return AuditedServerThread(
+        service, audit, DispatchConfig(max_workers=2, queue_depth=32)
+    )
+
+
+class TestQualityOp:
+    def test_disabled_without_audit(self):
+        service = AvailabilityService(
+            estimator_config=EstimatorConfig(step_multiple=5)
+        )
+        service.register(idle_trace("m0"))
+        srv = ServerThread(service, DispatchConfig(max_workers=1, queue_depth=8))
+        try:
+            with ServeClient(port=srv.port) as client:
+                assert client.health()["audit"] is False
+                assert client.quality() == {"enabled": False}
+        finally:
+            srv.stop()
+
+    def test_quality_end_to_end_matches_offline_calibration(self):
+        srv = audited_server()
+        try:
+            with ServeClient(port=srv.port) as client:
+                assert client.health()["audit"] is True
+                for mid in ("safe", "risky"):
+                    for start_hour in (1.0, 5.0, 8.5, 14.0):
+                        client.predict(mid, start_hour, 2.0)
+                    client.horizon(mid, 9.0, 4.0)
+                journaled = srv.audit.journal.n_predictions
+                assert journaled >= 8  # horizon journals only when > 0
+
+                for mid in ("safe", "risky"):
+                    client.extend(tail_of(idle_trace(
+                        mid, fail_hour=9.0 if mid == "risky" else None
+                    )))
+                quality = client.quality()
+        finally:
+            srv.stop()
+
+        assert quality["enabled"] is True
+        assert quality["node"] == "n0"
+        assert quality["journaled"]["predict"] == 8
+        assert sum(quality["resolved"].values()) > 0
+
+        # The served aggregate must equal an offline core/calibration
+        # computation over the journaled (probability, outcome) pairs.
+        pairs = [
+            (r.probability, r.outcome == OUTCOME_AVAILABLE)
+            for r in srv.audit.journal.resolutions
+            if r.outcome != OUTCOME_EXCLUDED
+        ]
+        assert pairs
+        predictions = [p for p, _ in pairs]
+        outcomes = [y for _, y in pairs]
+        agg = quality["aggregate"]
+        assert agg["n"] == len(pairs)
+        offline = brier_score(predictions, outcomes, n_bins=quality["n_bins"])
+        assert agg["brier_binned"] == pytest.approx(offline.brier, abs=1e-9)
+        raw = sum(
+            (p - (1.0 if y else 0.0)) ** 2 for p, y in pairs
+        ) / len(pairs)
+        assert agg["brier"] == pytest.approx(raw, abs=1e-9)
+        ece = expected_calibration_error(
+            predictions, outcomes, n_bins=quality["n_bins"]
+        )
+        assert agg["ece"] == pytest.approx(ece, abs=1e-9)
+
+    def test_machine_scoped_quality(self):
+        srv = audited_server()
+        try:
+            with ServeClient(port=srv.port) as client:
+                client.predict("safe", 1.0, 2.0)
+                client.predict("risky", 1.0, 2.0)
+                scoped = client.quality(machine="safe")
+        finally:
+            srv.stop()
+        assert list(scoped["machines"]) == ["safe"]
+        assert scoped["machines"]["safe"]["pending"] == 1
+
+    def test_unscorable_prediction_not_journaled(self):
+        srv = audited_server()
+        try:
+            with ServeClient(port=srv.port) as client:
+                # An unknown machine errors before journaling; a NaN TR
+                # (no matching history days) is served but not journaled.
+                resp = client.request("predict", {
+                    "machine": "ghost", "start_hour": 1.0, "hours": 2.0,
+                    "day_type": "weekday",
+                })
+                assert resp.status == "error"
+                quality = client.quality()
+        finally:
+            srv.stop()
+        assert quality["journaled"].get("predict", 0) == 0
+
+
+class TestDrainFlush:
+    def test_server_stop_flushes_journal(self, tmp_path):
+        srv = audited_server(tmp_dir=tmp_path)
+        with ServeClient(port=srv.port) as client:
+            for start_hour in (1.0, 5.0, 8.5):
+                client.predict("safe", start_hour, 2.0)
+        srv.stop()  # graceful drain: dispatcher.close() flushes the audit
+
+        reopened = PredictionAudit(AuditConfig(directory=tmp_path))
+        try:
+            assert reopened.journal.recovered_truncated_bytes == 0
+            assert reopened.journal.n_predictions == 3
+            assert reopened.n_pending == 3
+        finally:
+            reopened.close()
