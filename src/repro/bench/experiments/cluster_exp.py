@@ -43,9 +43,11 @@ def _register_all(port: int, testbed) -> None:
             client.register(trace)
 
 
-def _closed_loop_predicts(port: int, machines: list[str], n_requests: int) -> tuple[float, float]:
-    """(wall_s, mean_latency_ms) for ``n_requests`` router predicts."""
-    latencies = []
+def _closed_loop_predicts(
+    port: int, machines: list[str], n_requests: int
+) -> tuple[float, list[float]]:
+    """(wall_s, per-request latencies in ms) for ``n_requests`` router predicts."""
+    latencies: list[float] = []
     t0 = time.perf_counter()
     with ServeClient(port=port) as client:
         for i in range(n_requests):
@@ -53,7 +55,16 @@ def _closed_loop_predicts(port: int, machines: list[str], n_requests: int) -> tu
             client.predict(machines[i % len(machines)], 6.0 + (i % 10), 2.0)
             latencies.append((time.perf_counter() - q0) * 1e3)
     wall = time.perf_counter() - t0
-    return wall, sum(latencies) / max(len(latencies), 1)
+    return wall, latencies
+
+
+def _pct(latencies: list[float], q: float) -> float:
+    """Nearest-rank quantile of a latency sample, in the same unit."""
+    if not latencies:
+        return float("nan")
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[int(rank)]
 
 
 def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
@@ -80,7 +91,7 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
     # --- phase 1: throughput vs node count ------------------------------ #
     scaling_tbl = ResultTable(
         title="CLUSTER predict throughput vs node count (R=2)",
-        columns=["nodes", "requests", "wall_s", "rps", "mean_ms"],
+        columns=["nodes", "requests", "wall_s", "rps", "mean_ms", "p50_ms", "p99_ms"],
     )
     for n_nodes in node_counts:
         with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
@@ -91,12 +102,20 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
                     # warm every estimator so the loop measures serving,
                     # not one-off kernel fits
                     _closed_loop_predicts(router.port, machines, len(machines))
-                    wall, mean_ms = _closed_loop_predicts(
+                    wall, lats = _closed_loop_predicts(
                         router.port, machines, n_requests
                     )
                 finally:
                     router.stop()
-        scaling_tbl.add(n_nodes, n_requests, wall, n_requests / max(wall, 1e-9), mean_ms)
+        scaling_tbl.add(
+            n_nodes,
+            n_requests,
+            wall,
+            n_requests / max(wall, 1e-9),
+            sum(lats) / max(len(lats), 1),
+            _pct(lats, 0.50),
+            _pct(lats, 0.99),
+        )
     result.tables.append(scaling_tbl)
     rps = scaling_tbl.column("rps")
     result.notes["scaling_rps_ratio"] = rps[-1] / max(rps[0], 1e-9)
@@ -174,4 +193,17 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
     result.tables.append(avail_tbl)
     result.notes["read_availability_one_down"] = avail_tbl.column("read_availability")[0]
     result.notes["write_availability_one_down"] = avail_tbl.column("write_availability")[0]
+
+    # Perf-trajectory snapshot (BENCH_cluster.json via `--bench-out`).
+    # Routed-predict p99 at the largest node count is the gated number;
+    # failover latency rides along as context (one sample, too noisy to
+    # hold across commits).
+    result.bench = {
+        "predict_p50_ms": scaling_tbl.rows[-1][5],
+        "predict_p99_ms": scaling_tbl.rows[-1][6],
+        "predict_rps": scaling_tbl.rows[-1][3],
+        "failover_ms": failover_tbl.column("failover_ms")[0],
+        "read_availability_one_down": avail_tbl.column("read_availability")[0],
+        "gate_keys": ["predict_p99_ms"],
+    }
     return result

@@ -23,6 +23,8 @@ import time
 from repro.bench.harness import ExperimentResult, ResultTable
 from repro.core.estimator import EstimatorConfig
 from repro.obs.metrics import MetricsRegistry, scoped_registry
+from repro.obs.tracing import TraceContext, scoped_recorder, use_context
+from repro.obs.traceview import build_traces, summarize
 from repro.serve.client import ServeClient
 from repro.serve.dispatch import DispatchConfig
 from repro.serve.server import ServeServer
@@ -256,4 +258,50 @@ def run(scale: str = "quick", *, seed: int = 0) -> ExperimentResult:
     result.notes["shed_responses"] = shed_total
     result.notes["shedding_demonstrated"] = shed_total > 0
     result.notes["server_stayed_live"] = bool(health_after)
+
+    # --- phase 4: traced wave (per-tier breakdown) --------------------- #
+    # The same warm service again, one closed-loop client, every request
+    # carrying a fresh root context.  Server and client share this
+    # process, so the scoped recorder catches both sides of each trace;
+    # the reconstructed trees give the per-tier latency breakdown the
+    # perf snapshot persists.  Phase 2 ran with tracing off, so its p99
+    # next to this phase's is the tracing-overhead comparison.
+    trace_tbl = ResultTable(
+        title="SERVING traced wave (per-tier breakdown)",
+        columns=["traces", "spans", "trace_p50_ms", "trace_p99_ms"],
+    )
+    with scoped_recorder() as rec:
+        srv = _ServerThread(service, DispatchConfig(max_workers=4, queue_depth=256))
+        try:
+            with ServeClient(port=srv.port) as client:
+                for i, h in enumerate(start_hours):
+                    with use_context(TraceContext.new_root()):
+                        client.request(
+                            "predict", predict_params(machines[i % len(machines)], h)
+                        )
+        finally:
+            srv.stop()
+        trees = build_traces(rec.spans())
+    summ = summarize(trees)
+    trace_tbl.add(summ.n_traces, summ.n_spans, summ.trace_p50_ms, summ.trace_p99_ms)
+    result.tables.append(trace_tbl)
+    result.notes["traced_requests"] = summ.n_traces
+    result.notes["traced_p99_ms"] = summ.trace_p99_ms
+
+    # Perf-trajectory snapshot (BENCH_serving.json via `--bench-out`).
+    # Only the untraced steady-state p99 is gated: the traced wave is a
+    # single serial client, too few samples to hold across commits.
+    result.bench = {
+        "predict_p50_ms": load_tbl.rows[-1][4],
+        "predict_p99_ms": load_tbl.rows[-1][5],
+        "throughput_rps": result.notes["peak_throughput_rps"],
+        "coalesced_requests": int(coalesced),
+        "traced_trace_p50_ms": summ.trace_p50_ms,
+        "traced_trace_p99_ms": summ.trace_p99_ms,
+        **{
+            f"tier_{tier}_p50_ms": ms
+            for tier, ms in summ.tier_breakdown_ms().items()
+        },
+        "gate_keys": ["predict_p99_ms"],
+    }
     return result

@@ -87,6 +87,12 @@ class ExperimentResult:
     tables: list[ResultTable] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
     notes: dict[str, Any] = field(default_factory=dict)
+    #: Flat scalar metrics for the persisted perf trajectory
+    #: (``BENCH_<id>.json`` via :mod:`repro.bench.snapshots`): p50/p99
+    #: latency, throughput, recovery time, per-tier breakdowns.  Keys
+    #: ending in ``p99_ms`` (and any listed in ``gate_keys``) are what
+    #: ``tools/bench_gate.py`` compares across commits.
+    bench: dict[str, Any] = field(default_factory=dict)
 
     def table(self, title: str) -> ResultTable:
         """Look up a table by title."""

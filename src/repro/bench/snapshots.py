@@ -1,0 +1,91 @@
+"""Persisted perf trajectory: machine-readable bench snapshots.
+
+Each bench run can drop a ``BENCH_<experiment>.json`` per experiment —
+a flat record of the headline performance numbers (p50/p99 latency,
+throughput, recovery time, per-tier breakdowns from traces).  Committed
+snapshots under ``benchmarks/baselines/`` form the repo's performance
+trajectory; ``tools/bench_gate.py`` compares a fresh run against the
+committed baseline in CI and fails the build on a p99 regression.
+
+Snapshot schema (version 1)::
+
+    {
+      "snapshot_version": 1,
+      "experiment": "serving",
+      "scale": "quick",
+      "metrics": {"predict_p50_ms": 1.2, "predict_p99_ms": 4.0, ...},
+      "gate_keys": ["predict_p99_ms", ...]
+    }
+
+``gate_keys`` names the metrics the gate holds across commits; metrics
+not listed are context (throughput, counts, tier breakdowns) that may
+drift freely.  By default every key ending in ``p99_ms`` is gated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "bench_snapshot_path",
+    "default_gate_keys",
+    "read_bench_snapshot",
+    "write_bench_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def bench_snapshot_path(directory: str | Path, experiment: str) -> Path:
+    """The conventional snapshot filename for one experiment."""
+    return Path(directory) / f"BENCH_{experiment}.json"
+
+
+def default_gate_keys(metrics: Mapping[str, Any]) -> list[str]:
+    """The metrics gated when the experiment does not name its own:
+    every finite scalar whose key ends in ``p99_ms``."""
+    return sorted(
+        key for key, value in metrics.items()
+        if key.endswith("p99_ms") and isinstance(value, (int, float))
+    )
+
+
+def write_bench_snapshot(
+    directory: str | Path,
+    experiment: str,
+    metrics: Mapping[str, Any],
+    *,
+    scale: str = "quick",
+    gate_keys: list[str] | None = None,
+) -> Path:
+    """Write one experiment's ``BENCH_<experiment>.json``."""
+    path = bench_snapshot_path(directory, experiment)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "metrics": dict(metrics),
+        "gate_keys": (
+            sorted(gate_keys) if gate_keys is not None else default_gate_keys(metrics)
+        ),
+    }
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read and validate one snapshot."""
+    obj = json.loads(Path(path).read_text())
+    if not isinstance(obj, dict) or "metrics" not in obj:
+        raise ValueError(f"{path} is not a bench snapshot (no 'metrics')")
+    version = obj.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"{path} has snapshot_version {version!r}, expected {SNAPSHOT_VERSION}"
+        )
+    obj.setdefault("gate_keys", default_gate_keys(obj["metrics"]))
+    return obj

@@ -25,6 +25,10 @@ Usage::
     repro-fgcs audit watch --port 7061 --interval 5
     repro-fgcs audit resolve --journal audit/ --store store/
     repro-fgcs obs --format prometheus      # dump the metrics snapshot
+    repro-fgcs serve --trace-out spans.jsonl --metrics-out metrics.json
+    repro-fgcs query predict --port 7061 --machine lab-00 --traced
+    repro-fgcs trace spans.jsonl .repro-trace.jsonl   # span trees + critical path
+    repro-fgcs run serving --bench-out bench/         # BENCH_serving.json
 
 (Equivalently: ``python -m repro ...``.)
 
@@ -46,6 +50,9 @@ __all__ = ["main"]
 #: Mirror of repro.obs.export.DEFAULT_SNAPSHOT_PATH, kept literal so
 #: building the parser stays import-light.
 _DEFAULT_SNAPSHOT = ".repro-metrics.json"
+
+#: Default client-side span export of ``query --traced``.
+_DEFAULT_TRACE_PATH = ".repro-trace.jsonl"
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -102,6 +109,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 slug = table.title.lower().replace(" ", "_").replace(":", "")[:60]
                 table.to_csv(out / f"{name}_{i}_{slug}.csv")
             print(f"[tables written to {out}/]")
+        if args.bench_out and result.bench:
+            from repro.bench.snapshots import write_bench_snapshot
+
+            bench = dict(result.bench)
+            gate_keys = bench.pop("gate_keys", None)
+            snap = write_bench_snapshot(
+                args.bench_out, name, bench, scale=args.scale, gate_keys=gate_keys
+            )
+            print(f"[bench snapshot written to {snap}]")
     _write_metrics(args.metrics_out)
     if failed:
         print(f"failed experiment(s): {', '.join(failed)}", file=sys.stderr)
@@ -165,6 +181,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeServer
     from repro.service import AvailabilityService
 
+    if args.trace_out:
+        from repro.obs import get_recorder
+
+        get_recorder().open_sink(args.trace_out)
+        print(f"[tracing to {args.trace_out}]", flush=True)
     store = None
     if args.store:
         from repro.store import StoreConfig, TraceStore
@@ -243,6 +264,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             audit.close()  # idempotent; the drain usually got here first
         if store is not None:
             store.close()
+        # Snapshots land after the drain so the final requests' samples
+        # (and spans) are included.
+        if args.metrics_out:
+            _write_metrics(args.metrics_out)
+        if args.trace_out:
+            from repro.obs import get_recorder
+
+            get_recorder().close()
 
 
 def _resolve_query_target(args: argparse.Namespace) -> tuple[str, int] | None:
@@ -330,15 +359,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
         params.update(_trace_params(load_trace_npz(args.trace)))
     if args.op == "quality" and args.machine:
         params["machine"] = args.machine
+    trace_ctx = None
+    if args.traced or args.trace_out:
+        from repro.obs import TraceContext
+
+        trace_ctx = TraceContext.new_root()
     try:
         with ServeClient(
             host, port, timeout=args.connect_timeout, retries=args.retries
         ) as client:
-            response = client.request(args.op, params, deadline_ms=args.deadline_ms)
+            if trace_ctx is not None:
+                from repro.obs import use_context
+
+                with use_context(trace_ctx):
+                    response = client.request(
+                        args.op, params, deadline_ms=args.deadline_ms
+                    )
+            else:
+                response = client.request(
+                    args.op, params, deadline_ms=args.deadline_ms
+                )
     except OSError as exc:
         print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
         print(_unreachable_hint(args, host, port), file=sys.stderr)
         return 1
+    if trace_ctx is not None:
+        from repro.obs import get_recorder
+
+        out = args.trace_out or _DEFAULT_TRACE_PATH
+        get_recorder().export(out)
+        print(f"[trace {trace_ctx.trace_id}: client spans appended to {out}; "
+              "merge with the server's --trace-out file via 'repro-fgcs trace']",
+              file=sys.stderr)
     print(_json.dumps(response.to_wire(), indent=2))
     return 0 if response.status == STATUS_OK else 1
 
@@ -352,6 +404,14 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
     data_dir = Path(args.data)
     data_dir.mkdir(parents=True, exist_ok=True)
     spec_path = Path(args.spec_file) if args.spec_file else data_dir / "cluster.json"
+    if args.trace_out:
+        # Router spans go to --trace-out; each backend gets its own sink
+        # under DATA/node-*/trace.jsonl.  'repro-fgcs trace' merges them.
+        from repro.obs import get_recorder
+
+        get_recorder().open_sink(args.trace_out)
+        print(f"[router tracing to {args.trace_out}; "
+              f"nodes trace under {data_dir}/node-*/trace.jsonl]", flush=True)
     cluster = LocalCluster(
         data_dir,
         args.nodes,
@@ -361,6 +421,8 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         supervise=not args.no_supervise,
         audit=args.audit,
+        trace=bool(args.trace_out),
+        metrics=bool(args.metrics_out),
     )
     config = RouterConfig(
         replicas=args.replicas,
@@ -426,6 +488,12 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
         return asyncio.run(_run())
     finally:
         cluster.stop()
+        if args.metrics_out:
+            _write_metrics(args.metrics_out)
+        if args.trace_out:
+            from repro.obs import get_recorder
+
+            get_recorder().close()
         print("[cluster stopped]", flush=True)
 
 
@@ -546,6 +614,68 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return 0
     print(f"unknown store operation {args.store_op!r}", file=sys.stderr)
     return 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Reconstruct span trees from exported JSONL and break down latency."""
+    import json as _json
+
+    from repro.obs.traceview import (
+        build_traces,
+        critical_path,
+        load_spans,
+        render_summary,
+        render_tree,
+        summarize,
+    )
+
+    spans = load_spans(args.inputs)
+    if not spans:
+        print(f"no spans found in: {', '.join(args.inputs)}", file=sys.stderr)
+        return 1
+    trees = build_traces(spans)
+    if args.trace_id:
+        tree = trees.get(args.trace_id)
+        if tree is None:
+            prefixed = [t for t in trees if t.startswith(args.trace_id)]
+            if len(prefixed) == 1:
+                tree = trees[prefixed[0]]
+            else:
+                print(f"trace {args.trace_id!r} not found "
+                      f"({len(trees)} traces loaded)", file=sys.stderr)
+                return 1
+        trees = {tree.trace_id: tree}
+    summary = summarize(trees, exemplars=args.exemplars)
+    slowest = max(trees.values(), key=lambda t: t.duration_s)
+    path = critical_path(slowest)
+    if args.json:
+        print(_json.dumps({
+            "n_traces": summary.n_traces,
+            "n_spans": summary.n_spans,
+            "trace_p50_ms": summary.trace_p50_ms,
+            "trace_p99_ms": summary.trace_p99_ms,
+            "by_tier": {k: dict(v) for k, v in summary.by_tier.items()},
+            "by_name": {k: dict(v) for k, v in summary.by_name.items()},
+            "slowest": [{"trace_id": tid, "ms": ms} for tid, ms in summary.slowest],
+            "critical_path": [
+                {"name": s.name, "tier": s.tier, "ms": s.duration_s * 1e3}
+                for s in path
+            ],
+        }, indent=2))
+        return 0 if path else 1
+    print(render_summary(summary))
+    print()
+    if args.tree or args.trace_id:
+        for tree in sorted(trees.values(), key=lambda t: -t.duration_s):
+            print(render_tree(tree))
+            print()
+    print(f"critical path of slowest trace ({slowest.trace_id}):")
+    for span in path:
+        print(f"  {span.name} ({span.tier})  {span.duration_s * 1e3:.2f} ms")
+    if not path:
+        print("  (empty)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -748,6 +878,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", help="directory to also write result tables as CSV")
     run.add_argument("--metrics-out", default=_DEFAULT_SNAPSHOT,
                      help="metrics snapshot path (default: %(default)s)")
+    run.add_argument("--bench-out", default=None,
+                     help="directory for machine-readable BENCH_<id>.json "
+                     "perf snapshots (compared by tools/bench_gate.py)")
     run.set_defaults(func=_cmd_run)
 
     synth = sub.add_parser("synthesize", help="generate a synthetic testbed")
@@ -806,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--node-id", default="local",
                        help="node identity stamped into audit records "
                        "(default: local)")
+    serve.add_argument("--metrics-out", default=None,
+                       help="write a metrics snapshot here on SIGTERM drain")
+    serve.add_argument("--trace-out", default=None,
+                       help="append request trace spans to this JSONL file "
+                       "(eagerly flushed; read with 'repro-fgcs trace')")
     serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query",
@@ -838,6 +976,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--deadline-ms", type=float, default=None,
                        help="per-request deadline in ms")
     query.add_argument("--connect-timeout", type=float, default=10.0)
+    query.add_argument("--traced", action="store_true",
+                       help="attach a fresh trace context to the request and "
+                       "export the client-side spans")
+    query.add_argument("--trace-out", default=None,
+                       help="client-side span JSONL path (implies --traced; "
+                       f"default with --traced: {_DEFAULT_TRACE_PATH})")
     query.set_defaults(func=_cmd_query)
 
     clus = sub.add_parser(
@@ -881,6 +1025,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable the prediction audit on every backend "
                         "(journals under DATA/node-*/audit; the router merges "
                         "'quality' across nodes)")
+    cstart.add_argument("--metrics-out", default=None,
+                        help="write the router's metrics snapshot here on "
+                        "SIGTERM drain (nodes write DATA/node-*/metrics.json)")
+    cstart.add_argument("--trace-out", default=None,
+                        help="append router trace spans to this JSONL file; "
+                        "backends trace to DATA/node-*/trace.jsonl "
+                        "(merge with 'repro-fgcs trace')")
     cstart.set_defaults(func=_cmd_cluster_start)
 
     cstatus = csub.add_parser("status", help="show per-node cluster health")
@@ -954,6 +1105,24 @@ def build_parser() -> argparse.ArgumentParser:
     aresolve.add_argument("--json", action="store_true",
                           help="print the raw quality result as JSON")
     aresolve.set_defaults(func=_cmd_audit_resolve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="reconstruct span trees from exported trace JSONL and print a "
+        "critical-path latency breakdown",
+    )
+    trace.add_argument("inputs", nargs="+",
+                       help="trace JSONL files (client + server/router + "
+                       "per-node files are merged by trace id)")
+    trace.add_argument("--trace-id", default=None,
+                       help="restrict to one trace (full id or unique prefix)")
+    trace.add_argument("--tree", action="store_true",
+                       help="also print every trace's span tree")
+    trace.add_argument("--exemplars", type=int, default=3,
+                       help="slowest-trace exemplars to list (default: 3)")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable summary instead of text")
+    trace.set_defaults(func=_cmd_trace)
 
     obs = sub.add_parser("obs", help="render the metrics snapshot")
     obs.add_argument("--format", choices=("table", "prometheus"), default="table",

@@ -84,6 +84,12 @@ class NodeSpec:
     audit: bool = False
     #: Durable audit-journal directory (None with audit on: memory-only).
     audit_dir: Path | None = None
+    #: JSONL file this node appends its trace spans to (None: no sink).
+    #: Eagerly flushed, so a SIGKILLed node's spans survive for
+    #: ``repro trace`` to merge.
+    trace_out: Path | None = None
+    #: Metrics-snapshot file the node writes on SIGTERM drain.
+    metrics_out: Path | None = None
 
     def command(self, port: int) -> list[str]:
         """The serve process argv for this spec bound to ``port``."""
@@ -101,6 +107,10 @@ class NodeSpec:
             argv.append("--audit")
         if self.audit_dir is not None:
             argv += ["--audit-dir", str(self.audit_dir)]
+        if self.trace_out is not None:
+            argv += ["--trace-out", str(self.trace_out)]
+        if self.metrics_out is not None:
+            argv += ["--metrics-out", str(self.metrics_out)]
         return argv
 
 
@@ -229,6 +239,8 @@ class LocalCluster:
         queue_depth: int = 64,
         supervise: bool = True,
         audit: bool = False,
+        trace: bool = False,
+        metrics: bool = False,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -246,10 +258,24 @@ class LocalCluster:
                     audit_dir=(
                         self.data_dir / f"node-{i}" / "audit" if audit else None
                     ),
+                    trace_out=(
+                        self.data_dir / f"node-{i}" / "trace.jsonl" if trace else None
+                    ),
+                    metrics_out=(
+                        self.data_dir / f"node-{i}" / "metrics.json" if metrics else None
+                    ),
                 ),
                 supervise=supervise,
             )
             for i in range(n_nodes)
+        ]
+
+    @property
+    def trace_files(self) -> list[Path]:
+        """Per-node span sinks (present only when built with trace=True)."""
+        return [
+            node.spec.trace_out for node in self.nodes
+            if node.spec.trace_out is not None
         ]
 
     @property

@@ -43,6 +43,7 @@ from repro.cluster.ring import HashRing
 from repro.core.multi import group_survival, select_best_k
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
+from repro.obs.tracing import TraceContext, current_context, start_span, use_context
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -116,12 +117,17 @@ class _BackendPool:
         """
         conn = await self._acquire(node_id)
         reader, writer = conn
+        # The ambient trace context (the router span this call runs
+        # under) rides the forwarded request, so backend-side spans join
+        # the same trace.  Backends too old for v4 ignore the field.
+        ctx = current_context()
         forwarded = Request(
             op=request.op,
             params=request.params,
             id=f"r{next(self._ids)}",
             deadline_ms=request.deadline_ms,
             version=min_version(request.op),
+            trace=None if ctx is None else ctx.to_wire(),
         )
         try:
             writer.write(forwarded.encode())
@@ -302,7 +308,14 @@ class ClusterRouter:
         try:
             request = Request.decode(line)
             op = request.op
-            response = await self._route(request)
+            if request.trace is not None:
+                # Adopt the client's context for this task: every span
+                # below (and every forwarded backend call) joins its trace.
+                ctx = TraceContext.from_wire(request.trace)
+                with use_context(ctx), start_span("router.route", "router", op=op):
+                    response = await self._route(request)
+            else:
+                response = await self._route(request)
         except ProtocolError as exc:
             response = Response.failure("", STATUS_ERROR, "ProtocolError", str(exc))
         except Exception as exc:  # routing bug: answer, don't drop the line
@@ -362,6 +375,11 @@ class ClusterRouter:
             )
         return resp
 
+    async def _call_traced(self, node_id: str, request: Request, **attrs: Any) -> Response:
+        """One backend call under a ``router.call`` span (fan-out paths)."""
+        with start_span("router.call", "router", node=node_id, **attrs):
+            return await self._call_timed(node_id, request)
+
     def _owner_key(self, request: Request) -> str:
         machine = request.params.get("machine")
         if machine is None:
@@ -373,12 +391,22 @@ class ClusterRouter:
         owners = self.membership.prefer_up(self.ring.owners(self._owner_key(request)))
         backpressure: Response | None = None
         for attempt, node_id in enumerate(owners):
-            try:
-                resp = await self._call_timed(node_id, request)
-            except (OSError, asyncio.TimeoutError):
-                if attempt + 1 < len(owners):
-                    instrument("cluster_failovers_total").inc()
-                continue
+            # attempt > 0 IS the failover hop: the span records which
+            # replica answered after the preferred owner failed.
+            with start_span(
+                "router.attempt", "router",
+                node=node_id, attempt=attempt, failover=attempt > 0,
+            ) as sp:
+                try:
+                    resp = await self._call_timed(node_id, request)
+                except (OSError, asyncio.TimeoutError) as exc:
+                    if sp is not None:
+                        sp.set(outcome=f"unreachable:{type(exc).__name__}")
+                    if attempt + 1 < len(owners):
+                        instrument("cluster_failovers_total").inc()
+                    continue
+                if sp is not None:
+                    sp.set(outcome=resp.status)
             if resp.backpressure:
                 backpressure = resp
                 if attempt + 1 < len(owners):
@@ -416,10 +444,11 @@ class ClusterRouter:
             },
             deadline_ms=request.deadline_ms,
         )
-        results = await asyncio.gather(
-            *(self._call_timed(n, scatter) for n in targets),
-            return_exceptions=True,
-        )
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, scatter) for n in targets),
+                return_exceptions=True,
+            )
         trs: dict[str, float] = {}
         errors: list[Response] = []
         nodes_ok = 0
@@ -481,10 +510,11 @@ class ClusterRouter:
         aggregate and per machine — and the pooled metrics re-derived.
         """
         targets = self.membership.up_nodes() or self.membership.node_ids
-        results = await asyncio.gather(
-            *(self._call_timed(n, request) for n in targets),
-            return_exceptions=True,
-        )
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, request) for n in targets),
+                return_exceptions=True,
+            )
         answers: list[Mapping[str, Any]] = []
         errors: list[Response] = []
         nodes_ok = 0
@@ -518,10 +548,20 @@ class ClusterRouter:
         """Fan a write out to all R owners; ack only on a write quorum."""
         owners = self.ring.owners(self._owner_key(request))
         quorum = min(self.config.write_quorum, len(owners))
-        results = await asyncio.gather(
-            *(self._call_timed(n, request) for n in owners),
-            return_exceptions=True,
-        )
+        # The quorum wait is the write's latency floor: the gather
+        # resolves only when every owner answered or failed, and the
+        # span's children show which replica was the straggler.
+        with start_span(
+            "router.quorum_wait", "router",
+            op=request.op, replicas=len(owners), required=quorum,
+        ) as sp:
+            results = await asyncio.gather(
+                *(self._call_traced(n, request) for n in owners),
+                return_exceptions=True,
+            )
+            if sp is not None:
+                sp.set(acks=sum(1 for r in results
+                                if isinstance(r, Response) and r.ok))
         acks: list[Response] = []
         refusals: list[Response] = []
         for resp in results:

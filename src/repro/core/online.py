@@ -49,6 +49,7 @@ from repro.core.smp import (
 from repro.core.states import State
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
 from repro.obs.instruments import instrument
+from repro.obs.tracing import annotate
 from repro.traces.trace import MachineTrace
 
 __all__ = ["IncrementalPredictor"]
@@ -174,6 +175,9 @@ class IncrementalPredictor:
         if misses:
             instrument("incremental_cache_misses_total").inc(misses)
             instrument("incremental_days_classified_total").inc(misses)
+        # Enrich the enclosing predict.query span (no-op when untraced):
+        # cold windows show up as misses, warm ones as pure hits.
+        annotate(cache_hits=hits, cache_misses=misses)
         return cache, days
 
     def _evict_lru(self, *, keep: tuple) -> None:

@@ -6,6 +6,12 @@ into a process-global :class:`MetricsRegistry`, discrete occurrences go
 to the :class:`EventLog`, and :mod:`repro.obs.export` renders both the
 Prometheus text format and a human table — surfaced on the CLI as
 ``repro obs`` and ``--metrics-out``.
+
+:mod:`repro.obs.tracing` adds the causal dimension the aggregates lack:
+a :class:`TraceContext` rides the wire protocol's ``trace`` field, spans
+land in a process-global :class:`SpanRecorder`, and
+:mod:`repro.obs.traceview` (surfaced as ``repro trace``) reconstructs
+per-request span trees and critical-path breakdowns from exported JSONL.
 """
 
 from repro.obs.events import (
@@ -40,6 +46,20 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.timing import Timer, span
+from repro.obs.tracing import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    annotate,
+    current_context,
+    get_recorder,
+    record_span,
+    reset_recorder,
+    scoped_recorder,
+    set_recorder,
+    start_span,
+    use_context,
+)
 
 __all__ = [
     "CATALOG",
@@ -53,22 +73,34 @@ __all__ = [
     "Metric",
     "MetricsRegistry",
     "SEVERITIES",
+    "Span",
+    "SpanRecorder",
     "Timer",
+    "TraceContext",
+    "annotate",
+    "current_context",
     "ensure_all_registered",
     "exponential_buckets",
     "get_event_log",
+    "get_recorder",
     "get_registry",
     "instrument",
     "linear_buckets",
     "read_snapshot",
+    "record_span",
     "render_prometheus",
     "render_table",
     "reset_event_log",
+    "reset_recorder",
     "reset_registry",
     "scoped_event_log",
+    "scoped_recorder",
     "scoped_registry",
     "set_event_log",
+    "set_recorder",
     "set_registry",
     "span",
+    "start_span",
+    "use_context",
     "write_snapshot",
 ]

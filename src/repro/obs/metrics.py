@@ -314,13 +314,21 @@ class _HistogramChild:
         Follows the ``histogram_quantile`` convention: linear
         interpolation between a bucket's lower and upper bound; values
         in the +Inf overflow bucket clamp to the last finite bound.
-        Returns NaN when nothing was observed.
+        When every observation landed in one bucket, interpolating from
+        the bucket's lower bound would fabricate a spread the data never
+        showed, so the exact (inclusive) upper bound is returned for
+        every quantile instead.  Returns NaN when nothing was observed.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         total = self.count
         if total == 0:
             return float("nan")
+        occupied = [i for i, c in enumerate(self._counts) if c > 0]
+        if len(occupied) == 1:
+            # All mass in one bucket: the tightest honest answer is its
+            # upper bound (or the last finite bound for the +Inf bucket).
+            return self._bounds[min(occupied[0], len(self._bounds) - 1)]
         rank = q * total
         acc, lower = 0, 0.0
         for bound, c in zip(self._bounds, self._counts):

@@ -1,0 +1,262 @@
+"""Reconstruct span trees from exported JSONL and break down latency.
+
+The tracing module (:mod:`repro.obs.tracing`) writes flat JSONL span
+records, possibly spread across several files — one per node plus one
+for the router/client side.  This module is the read path behind the
+``repro trace`` CLI:
+
+* :func:`load_spans` merges any number of JSONL files;
+* :func:`build_traces` groups spans by ``trace_id`` and links children
+  to parents into :class:`TraceTree` objects;
+* :func:`critical_path` walks a tree root-to-leaf following, at each
+  step, the child that finished last — the chain of operations that
+  actually bounded the trace's latency;
+* :func:`summarize` aggregates many traces into per-tier and per-name
+  p50/p99 tables plus slowest-trace exemplars — the numbers the bench
+  snapshots persist as the per-tier breakdown.
+
+Everything here is pure data-in/data-out so tests can drive it with
+hand-built spans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "TraceTree",
+    "TraceSummary",
+    "build_traces",
+    "critical_path",
+    "load_spans",
+    "render_tree",
+    "render_summary",
+    "summarize",
+]
+
+
+def load_spans(paths: Iterable[str | Path]) -> list[Span]:
+    """Read span records from JSONL files; bad lines are skipped.
+
+    Skipping (rather than raising) matters because a SIGKILLed node can
+    leave a torn final line; the rest of the file is still a valid
+    record of what that node saw.
+    """
+    spans: list[Span] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spans.append(Span.from_wire(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue
+    return spans
+
+
+@dataclass
+class TraceTree:
+    """All spans of one trace, linked parent → children."""
+
+    trace_id: str
+    spans: list[Span]
+    children: dict[str, list[Span]] = field(default_factory=dict)
+
+    @property
+    def roots(self) -> list[Span]:
+        """Spans with no parent *present in this trace* (orphans count:
+        a killed node's parent span may never have been recorded)."""
+        ids = {s.span_id for s in self.spans}
+        return [s for s in self.spans if s.parent_id is None or s.parent_id not in ids]
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock extent of the trace (earliest start → latest end)."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def tiers(self) -> set[str]:
+        return {s.tier for s in self.spans}
+
+    def names(self) -> set[str]:
+        return {s.name for s in self.spans}
+
+
+def build_traces(spans: Sequence[Span]) -> dict[str, TraceTree]:
+    """Group spans into :class:`TraceTree` objects keyed by trace_id.
+
+    Duplicate span ids (an eager sink plus a drain export of the same
+    buffer, say) are collapsed to one record.
+    """
+    by_trace: dict[str, dict[str, Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, {})[span.span_id] = span
+    trees: dict[str, TraceTree] = {}
+    for trace_id, unique in by_trace.items():
+        members = sorted(unique.values(), key=lambda s: s.start)
+        children: dict[str, list[Span]] = {}
+        for span in members:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        trees[trace_id] = TraceTree(trace_id=trace_id, spans=members, children=children)
+    return trees
+
+
+def critical_path(tree: TraceTree) -> list[Span]:
+    """Root-to-leaf chain of spans that bounded the trace's latency.
+
+    From the longest root downward, each step follows the child that
+    *finished last* — the operation the parent was still waiting on when
+    everything else was already done.  With multiple roots (partial
+    traces from a killed node) the longest root wins.
+    """
+    roots = tree.roots
+    if not roots:
+        return []
+    path: list[Span] = []
+    node = max(roots, key=lambda s: s.duration_s)
+    seen: set[str] = set()
+    while node is not None and node.span_id not in seen:
+        seen.add(node.span_id)
+        path.append(node)
+        kids = tree.children.get(node.span_id, [])
+        node = max(kids, key=lambda s: s.end) if kids else None
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# aggregation
+# ---------------------------------------------------------------------- #
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[int(rank)]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate view over many traces."""
+
+    n_traces: int
+    n_spans: int
+    trace_p50_ms: float
+    trace_p99_ms: float
+    by_tier: Mapping[str, Mapping[str, float]]  # tier -> {p50_ms, p99_ms, count}
+    by_name: Mapping[str, Mapping[str, float]]  # span name -> {p50_ms, p99_ms, count}
+    slowest: Sequence[tuple[str, float]]  # (trace_id, duration_ms), slowest first
+
+    def tier_breakdown_ms(self) -> dict[str, float]:
+        """tier -> p50 ms, the compact per-tier breakdown BENCH files keep."""
+        return {tier: stats["p50_ms"] for tier, stats in sorted(self.by_tier.items())}
+
+
+def summarize(trees: Mapping[str, TraceTree], *, exemplars: int = 3) -> TraceSummary:
+    """Per-tier / per-name latency quantiles plus slowest exemplars."""
+    durations = sorted(t.duration_s for t in trees.values())
+    tier_samples: dict[str, list[float]] = {}
+    name_samples: dict[str, list[float]] = {}
+    n_spans = 0
+    for tree in trees.values():
+        for span in tree.spans:
+            n_spans += 1
+            tier_samples.setdefault(span.tier or "?", []).append(span.duration_s)
+            name_samples.setdefault(span.name, []).append(span.duration_s)
+
+    def stats(samples: dict[str, list[float]]) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for key, values in samples.items():
+            values.sort()
+            out[key] = {
+                "p50_ms": _quantile(values, 0.50) * 1e3,
+                "p99_ms": _quantile(values, 0.99) * 1e3,
+                "count": float(len(values)),
+            }
+        return out
+
+    slowest = sorted(
+        ((t.trace_id, t.duration_s * 1e3) for t in trees.values()),
+        key=lambda pair: -pair[1],
+    )[:exemplars]
+    return TraceSummary(
+        n_traces=len(trees),
+        n_spans=n_spans,
+        trace_p50_ms=_quantile(durations, 0.50) * 1e3,
+        trace_p99_ms=_quantile(durations, 0.99) * 1e3,
+        by_tier=stats(tier_samples),
+        by_name=stats(name_samples),
+        slowest=slowest,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# rendering
+# ---------------------------------------------------------------------- #
+
+
+def render_tree(tree: TraceTree) -> str:
+    """One trace as an indented span tree with durations and attrs."""
+    lines = [f"trace {tree.trace_id}  ({tree.duration_s * 1e3:.2f} ms, "
+             f"{len(tree.spans)} spans)"]
+    on_path = {s.span_id for s in critical_path(tree)}
+
+    def walk(span: Span, depth: int) -> None:
+        mark = "*" if span.span_id in on_path else " "
+        attrs = ""
+        if span.attrs:
+            attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        status = "" if span.status == "ok" else f"  [{span.status}]"
+        lines.append(
+            f" {mark} {'  ' * depth}{span.name} ({span.tier}) "
+            f"{span.duration_s * 1e3:.2f} ms{status}{attrs}"
+        )
+        for child in sorted(tree.children.get(span.span_id, []), key=lambda s: s.start):
+            walk(child, depth + 1)
+
+    for root in sorted(tree.roots, key=lambda s: s.start):
+        walk(root, 0)
+    lines.append("  (* = critical path)")
+    return "\n".join(lines)
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The aggregate breakdown as an aligned text report."""
+    lines = [
+        f"traces: {summary.n_traces}   spans: {summary.n_spans}   "
+        f"trace p50: {summary.trace_p50_ms:.2f} ms   "
+        f"p99: {summary.trace_p99_ms:.2f} ms",
+        "",
+        f"{'tier':<10} {'count':>7} {'p50 ms':>10} {'p99 ms':>10}",
+    ]
+    for tier, stats in sorted(summary.by_tier.items()):
+        lines.append(
+            f"{tier:<10} {int(stats['count']):>7} "
+            f"{stats['p50_ms']:>10.2f} {stats['p99_ms']:>10.2f}"
+        )
+    lines.append("")
+    lines.append(f"{'span':<26} {'count':>7} {'p50 ms':>10} {'p99 ms':>10}")
+    for name, stats in sorted(summary.by_name.items()):
+        lines.append(
+            f"{name:<26} {int(stats['count']):>7} "
+            f"{stats['p50_ms']:>10.2f} {stats['p99_ms']:>10.2f}"
+        )
+    if summary.slowest:
+        lines.append("")
+        lines.append("slowest traces:")
+        for trace_id, ms in summary.slowest:
+            lines.append(f"  {trace_id}  {ms:.2f} ms")
+    return "\n".join(lines)

@@ -41,6 +41,7 @@ import socket
 import time
 from typing import Any, Mapping
 
+from repro.obs.tracing import current_context, start_span
 from repro.serve.protocol import (
     BACKPRESSURE_STATUSES,
     ProtocolError,
@@ -208,22 +209,31 @@ class ServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None,
         deadline_ms: float | None,
     ) -> Response:
-        req = Request(
-            op=op,
-            params=params or {},
-            id=f"q{next(self._ids)}",
-            deadline_ms=deadline_ms,
-            version=min_version(op),
-        )
-        self._file.write(req.encode())
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection mid-request")
-        resp = Response.decode(line)
-        if resp.id != req.id:
-            raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
-        return resp
+        # When a trace context is ambient, each send becomes a
+        # client.request span and the *span's* context rides the wire,
+        # so server-side spans parent under this attempt (retries each
+        # get their own span and stay distinguishable in the tree).
+        with start_span("client.request", "client", op=op) as sp:
+            ctx = current_context()
+            req = Request(
+                op=op,
+                params=params or {},
+                id=f"q{next(self._ids)}",
+                deadline_ms=deadline_ms,
+                version=min_version(op),
+                trace=None if ctx is None else ctx.to_wire(),
+            )
+            self._file.write(req.encode())
+            self._file.flush()
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-request")
+            resp = Response.decode(line)
+            if resp.id != req.id:
+                raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
+            if sp is not None:
+                sp.set(status=resp.status)
+            return resp
 
     # -- ops ------------------------------------------------------------- #
 
@@ -418,22 +428,30 @@ class AsyncServeClient(_ConvenienceOps):
         params: Mapping[str, Any] | None,
         deadline_ms: float | None,
     ) -> Response:
-        req = Request(
-            op=op,
-            params=params or {},
-            id=f"q{next(self._ids)}",
-            deadline_ms=deadline_ms,
-            version=min_version(op),
-        )
-        self._writer.write(req.encode())
-        await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection mid-request")
-        resp = Response.decode(line)
-        if resp.id != req.id:
-            raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
-        return resp
+        # Mirrors the sync client: ambient context → client.request span
+        # whose child context rides the wire (contextvars follow the
+        # current asyncio task, so concurrent requests stay separate).
+        with start_span("client.request", "client", op=op) as sp:
+            ctx = current_context()
+            req = Request(
+                op=op,
+                params=params or {},
+                id=f"q{next(self._ids)}",
+                deadline_ms=deadline_ms,
+                version=min_version(op),
+                trace=None if ctx is None else ctx.to_wire(),
+            )
+            self._writer.write(req.encode())
+            await self._writer.drain()
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-request")
+            resp = Response.decode(line)
+            if resp.id != req.id:
+                raise ProtocolError(f"response id {resp.id!r} does not match {req.id!r}")
+            if sp is not None:
+                sp.set(status=resp.status)
+            return resp
 
     # -- ops ------------------------------------------------------------- #
 

@@ -45,6 +45,7 @@ from repro.core.states import State
 from repro.core.windows import ClockWindow, DayType
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
+from repro.obs.tracing import TraceContext, record_span, start_span, use_context
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     STATUS_CLOSING,
@@ -219,7 +220,9 @@ class Dispatcher:
                     None if deadline_ms is None
                     else time.monotonic() + deadline_ms / 1e3
                 )
-                comp = self._executor.submit(self._execute, request, expires)
+                comp = self._executor.submit(
+                    self._execute, request, expires, time.time()
+                )
                 if key is not None:
                     self._inflight[key] = comp
         if primary is not None:
@@ -250,12 +253,39 @@ class Dispatcher:
             p.get("init_state"),
         )
 
-    def _execute(self, request: Request, expires: float | None) -> Any:
+    @staticmethod
+    def _trace_context(request: Request) -> TraceContext | None:
+        """The request's wire trace context, or None when untraced."""
+        if request.trace is None:
+            return None
+        try:
+            return TraceContext.from_wire(request.trace)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _check_deadline(request: Request, expires: float | None) -> None:
         if expires is not None and time.monotonic() > expires:
             raise DeadlineExceeded(
                 f"deadline passed before a worker reached op {request.op!r}"
             )
-        return self._handlers[request.op](request.params)
+
+    def _execute(self, request: Request, expires: float | None, submitted: float) -> Any:
+        ctx = self._trace_context(request)
+        if ctx is None:
+            self._check_deadline(request, expires)
+            return self._handlers[request.op](request.params)
+        # contextvars do not cross into pool threads, so the worker
+        # re-activates the wire context explicitly.  Queue wait (submit
+        # → worker pickup) already happened; record it retroactively as
+        # a sibling of the compute span.
+        record_span(
+            "dispatch.queue_wait", "serve", context=ctx.child(),
+            start=submitted, duration_s=time.time() - submitted, op=request.op,
+        )
+        with use_context(ctx), start_span("dispatch.compute", "serve", op=request.op):
+            self._check_deadline(request, expires)
+            return self._handlers[request.op](request.params)
 
     # -- completion plumbing -------------------------------------------- #
 
@@ -299,6 +329,16 @@ class Dispatcher:
         self, out: Future, request: Request, t0: float, comp: Future, *, coalesced: bool
     ) -> None:
         elapsed_ms = (time.perf_counter() - t0) * 1e3
+        if coalesced:
+            ctx = self._trace_context(request)
+            if ctx is not None:
+                # The follower never ran: its whole latency was waiting
+                # for the primary's computation to land.
+                record_span(
+                    "dispatch.coalesced_join", "serve", context=ctx.child(),
+                    start=time.time() - elapsed_ms / 1e3,
+                    duration_s=elapsed_ms / 1e3, op=request.op,
+                )
         exc = comp.exception()
         if exc is None:
             resp = Response.success(
@@ -504,10 +544,11 @@ class Dispatcher:
         if history is None:
             return
         try:
-            self.audit.record_prediction(
-                op, machine, window, dtype, probability,
-                history_end=history.end_time, init_state=init_state,
-            )
+            with start_span("audit.journal", "audit", op=op, machine=machine):
+                self.audit.record_prediction(
+                    op, machine, window, dtype, probability,
+                    history_end=history.end_time, init_state=init_state,
+                )
         except Exception as exc:
             get_event_log().emit(
                 "audit_error", severity="error", op=op,

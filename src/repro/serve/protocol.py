@@ -12,7 +12,13 @@ Request wire form::
     {"v": 1, "id": "c1-17", "op": "predict",
      "params": {"machine": "lab-03", "start_hour": 9, "hours": 5,
                 "day_type": "weekday"},
-     "deadline_ms": 250}
+     "deadline_ms": 250,
+     "trace": {"trace_id": "…", "span_id": "…"}}   # optional, v4
+
+The ``trace`` field is the distributed-tracing envelope (protocol v4):
+requests carrying it produce per-tier spans server-side; peers that
+predate v4 ignore the key, so traced clients interoperate with old
+servers unchanged.
 
 Response wire form::
 
@@ -60,7 +66,11 @@ __all__ = [
 #: v1: predict/rank/select/horizon/register/health.
 #: v2: adds ``extend`` (stream a chunk of new samples for one machine).
 #: v3: adds ``quality`` (prediction-audit scoreboard snapshots).
-PROTOCOL_VERSION = 3
+#: v4: adds the optional ``trace`` envelope field (distributed-tracing
+#:     context).  No new ops; the field may ride a request at *any*
+#:     version — pre-v4 servers decode with ``from_wire``, which ignores
+#:     unknown keys, so the envelope degrades silently on old peers.
+PROTOCOL_VERSION = 4
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -72,6 +82,7 @@ OPS_BY_VERSION: dict[int, frozenset[str]] = {
 }
 OPS_BY_VERSION[2] = OPS_BY_VERSION[1] | {"extend"}
 OPS_BY_VERSION[3] = OPS_BY_VERSION[2] | {"quality"}
+OPS_BY_VERSION[4] = OPS_BY_VERSION[3]  # v4 adds the trace envelope, no ops
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)
@@ -143,6 +154,11 @@ class Request:
     id: str = ""
     deadline_ms: float | None = None
     version: int = PROTOCOL_VERSION
+    #: Optional distributed-tracing context (v4 envelope).  Kept as the
+    #: raw wire mapping — this module stays pure wire format; the obs
+    #: layer parses it into a ``TraceContext``.  Absent (None) on
+    #: untraced requests, so a v3 peer round-trips byte-identically.
+    trace: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.version not in SUPPORTED_VERSIONS:
@@ -165,6 +181,15 @@ class Request:
             raise ProtocolError(
                 f"deadline_ms must be positive, got {self.deadline_ms}"
             )
+        if self.trace is not None:
+            if not isinstance(self.trace, Mapping):
+                raise ProtocolError(
+                    f"'trace' must be an object, got {type(self.trace).__name__}"
+                )
+            if not self.trace.get("trace_id") or not self.trace.get("span_id"):
+                raise ProtocolError(
+                    "'trace' needs non-empty trace_id and span_id"
+                )
 
     def to_wire(self) -> dict[str, Any]:
         """The JSON-serializable wire object."""
@@ -173,6 +198,8 @@ class Request:
             obj["params"] = dict(self.params)
         if self.deadline_ms is not None:
             obj["deadline_ms"] = self.deadline_ms
+        if self.trace is not None:
+            obj["trace"] = dict(self.trace)
         return obj
 
     def encode(self) -> bytes:
@@ -190,12 +217,16 @@ class Request:
         deadline = obj.get("deadline_ms")
         if deadline is not None and not isinstance(deadline, (int, float)):
             raise ProtocolError(f"'deadline_ms' must be a number, got {deadline!r}")
+        trace = obj.get("trace")
+        if trace is not None and not isinstance(trace, Mapping):
+            raise ProtocolError(f"'trace' must be an object, got {type(trace).__name__}")
         return cls(
             op=str(obj["op"]),
             params=params,
             id=str(obj.get("id", "")),
             deadline_ms=None if deadline is None else float(deadline),
             version=int(obj.get("v", PROTOCOL_VERSION)),
+            trace=trace,
         )
 
     @classmethod

@@ -37,6 +37,7 @@ from repro.core.uncertainty import TrInterval, bootstrap_tr
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
+from repro.obs.tracing import start_span
 from repro.traces.trace import MachineTrace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -244,9 +245,10 @@ class AvailabilityService:
     ) -> float:
         """TR of one machine over one window."""
         t0 = time.perf_counter()
-        tr = self._predictor.predict(
-            self._history(machine_id), window, dtype, init_state=init_state
-        )
+        with start_span("predict.query", "predict", machine=machine_id):
+            tr = self._predictor.predict(
+                self._history(machine_id), window, dtype, init_state=init_state
+            )
         instrument("tr_query_latency_seconds").labels(path="service").observe(
             time.perf_counter() - t0
         )

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
+from repro.obs.tracing import start_span
 from repro.store.wal import FsyncPolicy, SegmentWriter, recover_segment
 from repro.traces.io import load_trace_npz, save_trace_npz
 from repro.traces.trace import MachineTrace
@@ -386,7 +387,9 @@ class TraceStore:
         current end — overlapping samples are trimmed (idempotent
         retries), a gap raises :class:`StoreError`.
         """
-        with self._lock:
+        with self._lock, start_span(
+            "store.append", "store", machine=machine_id
+        ) as sp:
             self._check_open()
             st = self._machines.get(machine_id)
             if st is None:
@@ -431,6 +434,8 @@ class TraceStore:
             )
             instrument("store_appends_total").inc()
             instrument("store_appended_samples_total").inc(float(load.shape[0]))
+            if sp is not None:
+                sp.set(samples=int(load.shape[0]), durable=durable)
             return AppendResult(
                 machine_id, seq_eff, int(load.shape[0]), st.n_total, durable
             )

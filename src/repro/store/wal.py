@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.obs.instruments import instrument
+from repro.obs.tracing import start_span
 
 __all__ = [
     "SEGMENT_MAGIC",
@@ -161,7 +162,8 @@ class SegmentWriter:
 
     def _do_fsync(self) -> None:
         t0 = time.perf_counter()
-        os.fsync(self._fh.fileno())
+        with start_span("store.fsync", "store"):
+            os.fsync(self._fh.fileno())
         instrument("store_fsync_seconds").observe(time.perf_counter() - t0)
         self._last_sync = time.monotonic()
         self._unsynced = False

@@ -1,0 +1,145 @@
+"""Tests for the CI perf gate (tools/bench_gate.py) and bench snapshots."""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench.snapshots import (
+    SNAPSHOT_VERSION,
+    bench_snapshot_path,
+    default_gate_keys,
+    read_bench_snapshot,
+    write_bench_snapshot,
+)
+
+_GATE_PATH = Path(__file__).resolve().parents[2] / "tools" / "bench_gate.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory, experiment, metrics, **kw):
+    return write_bench_snapshot(directory, experiment, metrics, **kw)
+
+
+class TestSnapshots:
+    def test_write_read_round_trip(self, tmp_path):
+        path = _write(
+            tmp_path, "serving",
+            {"predict_p50_ms": 1.5, "predict_p99_ms": 4.0, "throughput_rps": 900.0},
+        )
+        assert path == bench_snapshot_path(tmp_path, "serving")
+        snap = read_bench_snapshot(path)
+        assert snap["snapshot_version"] == SNAPSHOT_VERSION
+        assert snap["experiment"] == "serving"
+        assert snap["metrics"]["predict_p99_ms"] == 4.0
+        assert snap["gate_keys"] == ["predict_p99_ms"]
+
+    def test_explicit_gate_keys_win(self, tmp_path):
+        path = _write(
+            tmp_path, "cluster",
+            {"predict_p99_ms": 4.0, "failover_ms": 50.0},
+            gate_keys=["failover_ms"],
+        )
+        assert read_bench_snapshot(path)["gate_keys"] == ["failover_ms"]
+
+    def test_default_gate_keys_skip_non_numeric(self):
+        assert default_gate_keys(
+            {"a_p99_ms": 1.0, "b_p99_ms": "broken", "c_p50_ms": 2.0}
+        ) == ["a_p99_ms"]
+
+    def test_read_rejects_non_snapshot(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            read_bench_snapshot(bad)
+        bad.write_text(json.dumps({"metrics": {}, "snapshot_version": 99}))
+        with pytest.raises(ValueError):
+            read_bench_snapshot(bad)
+
+
+class TestCompare:
+    def test_synthetic_2x_p99_regression_fails(self, gate, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "serving", {"predict_p99_ms": 40.0})
+        _write(cand, "serving", {"predict_p99_ms": 80.0})  # 2x: must fail
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+
+    def test_within_threshold_passes(self, gate, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "serving", {"predict_p99_ms": 40.0})
+        _write(cand, "serving", {"predict_p99_ms": 48.0})  # +20% < 30%
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_abs_floor_absorbs_small_jitter(self, gate, tmp_path):
+        # +100% relative but only +2ms absolute: under the 5ms floor
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "serving", {"predict_p99_ms": 2.0})
+        _write(cand, "serving", {"predict_p99_ms": 4.0})
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        # lowering the floor makes the same delta fail
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand),
+             "--min-abs-ms", "0.5"]
+        ) == 1
+
+    def test_getting_faster_never_fails(self, gate, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "serving", {"predict_p99_ms": 40.0})
+        _write(cand, "serving", {"predict_p99_ms": 10.0})
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_missing_baseline_passes_and_seeds(self, gate, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(cand, "serving", {"predict_p99_ms": 80.0})
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_empty_candidate_dir_is_usage_error(self, gate, tmp_path):
+        cand = tmp_path / "cand"
+        cand.mkdir()
+        assert gate.main(
+            ["--baseline", str(tmp_path), "--candidate", str(cand)]
+        ) == 2
+        assert gate.main(
+            ["--baseline", str(tmp_path), "--candidate", str(tmp_path / "no")]
+        ) == 2
+
+    def test_nan_and_missing_metrics_do_not_gate(self, gate, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "store", {"fsync_p99_ms": float("nan"), "other_p99_ms": 1.0})
+        _write(cand, "store", {"fsync_p99_ms": 99.0, "renamed_p99_ms": 99.0})
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_compare_only_gated_keys(self, gate):
+        base = {"metrics": {"a_p99_ms": 1.0, "rps": 1000.0}, "gate_keys": []}
+        cand = {
+            "metrics": {"a_p99_ms": 500.0, "rps": 1.0},
+            "gate_keys": ["a_p99_ms"],
+        }
+        failures = gate.compare_snapshots(
+            base, cand, threshold=0.3, min_abs_ms=5.0
+        )
+        assert len(failures) == 1
+        assert "a_p99_ms" in failures[0]
+        assert math.isfinite(500.0)  # rps never consulted

@@ -1,0 +1,95 @@
+"""One trace across a real 3-node cluster, including a failover hop.
+
+The acceptance test of the tracing tentpole: a traced predict issued
+through the router of a :class:`LocalCluster` (subprocess backends)
+must come back as ONE span tree covering the client, router, serve and
+predict tiers — merged from the in-process recorder (client + router
+spans) and the per-node JSONL sinks (backend spans).  With the primary
+owner SIGKILLed first, the tree must additionally show the failover
+hop: a ``router.attempt`` that failed against the dead node and a
+second, successful attempt against the replica.
+"""
+
+import pytest
+
+from repro.cluster import LocalCluster, RouterConfig, RouterThread
+from repro.obs.tracing import TraceContext, scoped_recorder, use_context
+from repro.obs.traceview import build_traces, critical_path, load_spans
+from repro.serve.client import ServeClient
+from repro.traces.synthesis import synthesize_testbed
+
+
+@pytest.fixture(scope="module")
+def small_testbed():
+    return synthesize_testbed(3, n_days=4, sample_period=240.0, seed=5)
+
+
+def test_failover_hop_visible_in_one_span_tree(tmp_path, small_testbed):
+    cluster = LocalCluster(
+        tmp_path, 3, supervise=False, fsync="never", trace=True
+    )
+    root = None
+    with scoped_recorder() as rec:
+        cluster.start()
+        router = RouterThread(
+            cluster.addresses,
+            RouterConfig(
+                replicas=2,
+                probe_interval_s=0.2,
+                connect_timeout_s=1.0,
+                down_after=2,
+                up_after=1,
+            ),
+        )
+        try:
+            with ServeClient(port=router.port, retries=5) as client:
+                for trace in small_testbed:
+                    client.register(trace)
+                target = small_testbed.machine_ids[0]
+                client.predict(target, 9.0, 2.0)  # warm both replicas
+
+                # kill the primary owner: the traced read must fail over
+                victim = cluster.node(router.router.ring.owners(target)[0])
+                victim.kill()
+
+                root = TraceContext.new_root()
+                with use_context(root):
+                    client.predict(target, 9.0, 2.0)
+        finally:
+            router.stop()
+            cluster.stop()
+        spans = rec.spans() + load_spans(cluster.trace_files)
+
+    trees = build_traces(spans)
+    assert root.trace_id in trees
+    tree = trees[root.trace_id]
+
+    # one tree, all four tiers — client and router spans from this
+    # process, serve/predict spans from the surviving backend's sink
+    assert {"client", "router", "serve", "predict"} <= tree.tiers()
+    names = tree.names()
+    assert "client.request" in names
+    assert "router.route" in names
+    assert "dispatch.queue_wait" in names
+    assert "dispatch.compute" in names
+    assert "predict.query" in names
+
+    # the failover hop: first attempt died against the killed primary,
+    # a later attempt succeeded against the replica
+    attempts = sorted(
+        (s for s in tree.spans if s.name == "router.attempt"),
+        key=lambda s: s.attrs.get("attempt", 0),
+    )
+    assert len(attempts) >= 2
+    assert str(attempts[0].attrs.get("outcome", "")).startswith("unreachable")
+    assert not attempts[0].attrs.get("failover")
+    assert attempts[-1].attrs.get("failover") is True
+    assert attempts[-1].attrs.get("outcome") == "ok"
+    assert attempts[0].attrs.get("node") != attempts[-1].attrs.get("node")
+
+    # everything hangs off one root and the critical path is non-empty
+    assert len(tree.roots) == 1
+    assert tree.roots[0].name == "client.request"
+    path = critical_path(tree)
+    assert path and path[0].name == "client.request"
+    assert any(s.tier == "predict" for s in path)

@@ -97,12 +97,33 @@ class TestHistogramQuantile:
         assert math.isnan(h.quantile(0.5))
 
     def test_interpolates_within_bucket(self):
-        # 10 observations all in (1, 2]: p50 interpolates to the middle.
+        # Mass in two buckets: the p75 falls inside (1, 2] and
+        # interpolates between its bounds.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 1.5):
+            h.observe(v)
+        assert 1.0 < h.quantile(0.75) <= 2.0
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_single_occupied_bucket_returns_exact_bound(self):
+        # Regression: with every observation in one bucket, interpolating
+        # from the bucket's lower bound fabricated a spread — p50 of ten
+        # 1.5s observations came back as 1.0 + (2-1)*(5/10) by accident of
+        # arithmetic, and p10 came back as 1.1, which the data never
+        # showed.  All quantiles must return the bucket's (inclusive)
+        # upper bound.
         h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
         for _ in range(10):
             h.observe(1.5)
-        assert h.quantile(0.5) == pytest.approx(1.5)
-        assert h.quantile(1.0) == pytest.approx(2.0)
+        for q in (0.0, 0.1, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(2.0)
+
+    def test_single_occupied_overflow_bucket_clamps(self):
+        # Same rule for the +Inf bucket: clamp to the last finite bound.
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(3):
+            h.observe(99.0)
+        assert h.quantile(0.5) == pytest.approx(2.0)
 
     def test_quantile_across_buckets(self):
         h = Histogram("lat", buckets=(1.0, 2.0, 4.0))

@@ -1,0 +1,134 @@
+"""Tests for span-tree reconstruction, critical path and summaries."""
+
+import json
+
+from repro.obs.tracing import Span
+from repro.obs.traceview import (
+    build_traces,
+    critical_path,
+    load_spans,
+    render_summary,
+    render_tree,
+    summarize,
+)
+
+
+def _span(trace, sid, parent, name, tier, start, dur, **attrs):
+    return Span(
+        trace_id=trace, span_id=sid, parent_id=parent, name=name, tier=tier,
+        start=start, duration_s=dur, attrs=attrs,
+    )
+
+
+def _sample_tree():
+    # client.request 100ms -> router.route 90ms -> dispatch.compute 70ms
+    #                                           -> predict.query 50ms
+    return [
+        _span("t1", "a", None, "client.request", "client", 0.00, 0.100),
+        _span("t1", "b", "a", "router.route", "router", 0.005, 0.090),
+        _span("t1", "c", "b", "dispatch.compute", "serve", 0.010, 0.070),
+        _span("t1", "d", "c", "predict.query", "predict", 0.015, 0.050),
+    ]
+
+
+class TestLoadSpans:
+    def test_merges_files_and_skips_bad_lines(self, tmp_path):
+        good = _sample_tree()[0].to_wire()
+        f1 = tmp_path / "a.jsonl"
+        f1.write_text(json.dumps(good) + "\n" + "{torn garba")
+        f2 = tmp_path / "b.jsonl"
+        f2.write_text(json.dumps(_sample_tree()[1].to_wire()) + "\n\n")
+        spans = load_spans([f1, f2, tmp_path / "missing.jsonl"])
+        assert [s.span_id for s in spans] == ["a", "b"]
+
+
+class TestBuildTraces:
+    def test_links_children_and_finds_root(self):
+        trees = build_traces(_sample_tree())
+        tree = trees["t1"]
+        assert [r.span_id for r in tree.roots] == ["a"]
+        assert [c.span_id for c in tree.children["a"]] == ["b"]
+        assert tree.tiers() == {"client", "router", "serve", "predict"}
+        assert tree.duration_s == 0.100  # bounded by the client span
+
+    def test_duplicate_span_ids_collapse(self):
+        spans = _sample_tree() + [_sample_tree()[0]]
+        assert len(build_traces(spans)["t1"].spans) == 4
+
+    def test_orphan_counts_as_root(self):
+        # the parent ("gone") was never recorded — a SIGKILLed node
+        spans = [_span("t1", "x", "gone", "dispatch.compute", "serve", 0.0, 0.1)]
+        assert [r.span_id for r in build_traces(spans)["t1"].roots] == ["x"]
+
+    def test_multiple_traces_separate(self):
+        spans = _sample_tree() + [
+            _span("t2", "z", None, "client.request", "client", 1.0, 0.2)
+        ]
+        trees = build_traces(spans)
+        assert set(trees) == {"t1", "t2"}
+
+
+class TestCriticalPath:
+    def test_follows_child_that_finished_last(self):
+        spans = _sample_tree() + [
+            # a faster sibling under the router: not on the critical path
+            _span("t1", "e", "b", "router.attempt", "router", 0.006, 0.001),
+        ]
+        path = critical_path(build_traces(spans)["t1"])
+        assert [s.span_id for s in path] == ["a", "b", "c", "d"]
+
+    def test_empty_tree(self):
+        from repro.obs.traceview import TraceTree
+
+        assert critical_path(TraceTree(trace_id="t", spans=[])) == []
+
+    def test_cycle_guard_terminates(self):
+        spans = [
+            _span("t1", "a", "b", "x", "serve", 0.0, 0.1),
+            _span("t1", "b", "a", "y", "serve", 0.0, 0.1),
+        ]
+        tree = build_traces(spans)["t1"]
+        assert len(critical_path(tree)) <= 2
+
+
+class TestSummarize:
+    def test_per_tier_and_per_name_stats(self):
+        trees = build_traces(_sample_tree())
+        summ = summarize(trees)
+        assert summ.n_traces == 1
+        assert summ.n_spans == 4
+        assert summ.trace_p50_ms == 100.0
+        assert summ.by_tier["predict"]["count"] == 1
+        assert summ.by_tier["predict"]["p50_ms"] == 50.0
+        assert summ.by_name["router.route"]["p99_ms"] == 90.0
+        assert summ.slowest[0][0] == "t1"
+
+    def test_tier_breakdown_is_sorted_p50(self):
+        summ = summarize(build_traces(_sample_tree()))
+        breakdown = summ.tier_breakdown_ms()
+        assert list(breakdown) == sorted(breakdown)
+        assert breakdown["client"] == 100.0
+
+    def test_exemplars_bound(self):
+        spans = []
+        for i in range(5):
+            spans.append(
+                _span(f"t{i}", f"s{i}", None, "client.request", "client", 0.0, 0.1 * (i + 1))
+            )
+        summ = summarize(build_traces(spans), exemplars=2)
+        assert len(summ.slowest) == 2
+        assert summ.slowest[0][0] == "t4"  # slowest first
+
+
+class TestRendering:
+    def test_render_tree_marks_critical_path(self):
+        tree = build_traces(_sample_tree())["t1"]
+        text = render_tree(tree)
+        assert "client.request" in text
+        assert "* " in text and "(* = critical path)" in text
+
+    def test_render_summary_has_tier_table(self):
+        text = render_summary(summarize(build_traces(_sample_tree())))
+        assert "tier" in text
+        assert "predict" in text
+        assert "slowest traces:" in text

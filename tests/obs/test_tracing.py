@@ -1,0 +1,237 @@
+"""Tests for trace contexts, spans, the recorder and the span API."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    DEFAULT_CAPACITY,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    annotate,
+    current_context,
+    get_recorder,
+    record_span,
+    reset_recorder,
+    scoped_recorder,
+    set_recorder,
+    start_span,
+    use_context,
+)
+
+
+class TestTraceContext:
+    def test_new_root_has_no_parent_and_unique_ids(self):
+        a = TraceContext.new_root()
+        b = TraceContext.new_root()
+        assert a.parent_id is None
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 32  # 16 bytes hex
+        assert len(a.span_id) == 16  # 8 bytes hex
+
+    def test_child_keeps_trace_and_parents_to_self(self):
+        root = TraceContext.new_root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.new_root().child()
+        again = TraceContext.from_wire(ctx.to_wire())
+        assert again == ctx
+
+    def test_root_wire_form_omits_parent(self):
+        assert "parent_id" not in TraceContext.new_root().to_wire()
+
+    def test_from_wire_rejects_missing_ids(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_wire({"trace_id": "abc"})
+        with pytest.raises(ValueError):
+            TraceContext.from_wire({"span_id": "abc", "trace_id": ""})
+
+
+class TestSpanWire:
+    def test_round_trip_preserves_everything(self):
+        span = Span(
+            trace_id="t", span_id="s", parent_id="p", name="x.y", tier="serve",
+            start=100.0, duration_s=0.25, status="error", attrs={"op": "predict"},
+        )
+        assert Span.from_wire(span.to_wire()) == span
+        assert span.end == pytest.approx(100.25)
+
+    def test_defaults_on_sparse_record(self):
+        span = Span.from_wire(
+            {"trace_id": "t", "span_id": "s", "name": "n", "start": 1.0,
+             "duration_s": 0.5}
+        )
+        assert span.parent_id is None
+        assert span.status == "ok"
+        assert span.attrs == {}
+
+
+class TestSpanRecorder:
+    def test_buffer_is_bounded(self):
+        rec = SpanRecorder(capacity=3)
+        for i in range(5):
+            rec.record(Span("t", f"s{i}", None, "n", "serve", 0.0, 0.1))
+        assert len(rec) == 3
+        assert [s.span_id for s in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_sink_writes_each_span_eagerly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = SpanRecorder(export_path=path)
+        rec.record(Span("t", "s1", None, "n", "serve", 0.0, 0.1))
+        # readable before close: the sink flushes per record
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["span_id"] == "s1"
+        rec.close()
+
+    def test_export_appends_buffer(self, tmp_path):
+        rec = SpanRecorder()
+        rec.record(Span("t", "s1", None, "n", "serve", 0.0, 0.1))
+        rec.record(Span("t", "s2", "s1", "m", "store", 0.1, 0.1))
+        out = tmp_path / "dump.jsonl"
+        rec.export(out)
+        assert len(out.read_text().strip().splitlines()) == 2
+
+    def test_export_to_sink_path_does_not_duplicate(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = SpanRecorder(export_path=path)
+        rec.record(Span("t", "s1", None, "n", "serve", 0.0, 0.1))
+        rec.export(path)  # would double every record if not skipped
+        rec.close()
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_record_is_thread_safe(self):
+        rec = SpanRecorder(capacity=10_000)
+
+        def hammer(k):
+            for i in range(100):
+                rec.record(Span("t", f"{k}-{i}", None, "n", "serve", 0.0, 0.1))
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == 800
+
+
+class TestGlobalRecorder:
+    def test_scoped_recorder_swaps_and_restores(self):
+        outside = get_recorder()
+        with scoped_recorder() as rec:
+            assert get_recorder() is rec
+            assert get_recorder() is not outside
+        assert get_recorder() is outside
+
+    def test_set_and_reset(self):
+        old = get_recorder()
+        try:
+            mine = SpanRecorder()
+            assert set_recorder(mine) is old
+            fresh = reset_recorder()
+            assert get_recorder() is fresh
+            assert len(fresh) == 0
+        finally:
+            set_recorder(old)
+
+    def test_default_capacity(self):
+        assert SpanRecorder()._buffer.maxlen == DEFAULT_CAPACITY
+
+
+class TestStartSpan:
+    def test_no_context_yields_none_and_records_nothing(self):
+        with scoped_recorder() as rec:
+            assert current_context() is None
+            with start_span("x", "serve") as sp:
+                assert sp is None
+            assert len(rec) == 0
+
+    def test_records_child_span_under_active_context(self):
+        root = TraceContext.new_root()
+        with scoped_recorder() as rec, use_context(root):
+            with start_span("op", "serve", op="predict") as sp:
+                assert sp is not None
+                inner = current_context()
+                assert inner.trace_id == root.trace_id
+                assert inner.parent_id == root.span_id
+        spans = rec.spans()
+        assert len(spans) == 1
+        assert spans[0].name == "op"
+        assert spans[0].parent_id == root.span_id
+        assert spans[0].attrs == {"op": "predict"}
+        assert spans[0].duration_s >= 0.0
+
+    def test_nested_spans_parent_correctly(self):
+        with scoped_recorder() as rec, use_context(TraceContext.new_root()):
+            with start_span("outer", "serve"):
+                with start_span("inner", "predict"):
+                    pass
+        inner, outer = rec.spans()  # inner finishes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+
+    def test_exception_marks_error_and_still_records(self):
+        with scoped_recorder() as rec, use_context(TraceContext.new_root()):
+            with pytest.raises(RuntimeError):
+                with start_span("boom", "serve"):
+                    raise RuntimeError("x")
+        assert rec.spans()[0].status == "error"
+
+    def test_context_restored_after_span(self):
+        root = TraceContext.new_root()
+        with scoped_recorder(), use_context(root):
+            with start_span("op", "serve"):
+                pass
+            assert current_context() is root
+
+    def test_explicit_context_overrides_ambient(self):
+        other = TraceContext.new_root()
+        with scoped_recorder() as rec:
+            with start_span("op", "serve", context=other):
+                pass
+        assert rec.spans()[0].trace_id == other.trace_id
+
+    def test_use_context_none_deactivates(self):
+        with scoped_recorder() as rec, use_context(TraceContext.new_root()):
+            with use_context(None):
+                with start_span("op", "serve") as sp:
+                    assert sp is None
+            assert len(rec) == 0
+
+
+class TestAnnotate:
+    def test_sets_attrs_on_innermost_span(self):
+        with scoped_recorder() as rec, use_context(TraceContext.new_root()):
+            with start_span("outer", "serve"):
+                with start_span("inner", "predict"):
+                    annotate(cache_hits=3)
+        inner, outer = rec.spans()
+        assert inner.attrs == {"cache_hits": 3}
+        assert outer.attrs == {}
+
+    def test_noop_when_untraced(self):
+        annotate(ignored=True)  # must not raise
+
+
+class TestRecordSpan:
+    def test_uses_contexts_own_span_id(self):
+        ctx = TraceContext.new_root().child()
+        with scoped_recorder() as rec:
+            span = record_span(
+                "dispatch.queue_wait", "serve",
+                context=ctx, start=10.0, duration_s=0.02, op="predict",
+            )
+        assert span.span_id == ctx.span_id
+        assert span.parent_id == ctx.parent_id
+        assert rec.spans() == [span]
+        assert span.attrs == {"op": "predict"}

@@ -122,8 +122,9 @@ class TestVersionGating:
     def test_clients_send_each_op_at_min_version(self):
         assert min_version("predict") == 1
         assert min_version("extend") == 2
-        assert min_version("quality") == PROTOCOL_VERSION == 3
-        assert Request(op="health").to_wire()["v"] == 3  # default is current
+        assert min_version("quality") == 3
+        assert PROTOCOL_VERSION == 4  # v4 adds the trace envelope, no ops
+        assert Request(op="health").to_wire()["v"] == PROTOCOL_VERSION  # default
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()
         )

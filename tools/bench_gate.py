@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare fresh bench snapshots against committed baselines.
+
+Usage::
+
+    python tools/bench_gate.py --baseline benchmarks/baselines --candidate out/bench
+    python tools/bench_gate.py --baseline ... --candidate ... --threshold 0.3 --min-abs-ms 5
+
+For every ``BENCH_<experiment>.json`` in the candidate directory, the
+gate looks up the same file in the baseline directory and compares the
+snapshot's ``gate_keys`` (by default every metric ending in ``p99_ms``).
+A gated metric **fails** when it regressed by more than ``--threshold``
+(relative, default 30%) AND by more than ``--min-abs-ms`` (absolute
+floor, default 5 ms) — the floor keeps microsecond-scale jitter from
+flapping the build.  Getting *faster* never fails.
+
+Missing baselines are reported and pass: the first run on a new
+experiment seeds its baseline rather than blocking the build.
+
+Exit status: 0 when every gated metric holds, 1 on any regression,
+2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.snapshots import read_bench_snapshot  # noqa: E402
+
+
+def compare_snapshots(
+    baseline: dict,
+    candidate: dict,
+    *,
+    threshold: float,
+    min_abs_ms: float,
+) -> list[str]:
+    """Failure messages for gated metrics that regressed (empty: pass)."""
+    failures: list[str] = []
+    base_metrics = baseline["metrics"]
+    cand_metrics = candidate["metrics"]
+    for key in candidate.get("gate_keys", []):
+        base = base_metrics.get(key)
+        cand = cand_metrics.get(key)
+        if not isinstance(base, (int, float)) or not isinstance(cand, (int, float)):
+            continue  # metric renamed or absent on one side: not a regression
+        if base != base or cand != cand:  # nan on either side
+            continue
+        delta = cand - base
+        if delta <= min_abs_ms:
+            continue
+        rel = delta / base if base > 0 else float("inf")
+        if rel > threshold:
+            failures.append(
+                f"{key}: {base:.3f} -> {cand:.3f} "
+                f"(+{rel * 100:.0f}%, +{delta:.3f} abs; "
+                f"threshold {threshold * 100:.0f}%, floor {min_abs_ms})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, type=Path,
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--candidate", required=True, type=Path,
+        help="directory of freshly produced BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="relative regression that fails the gate (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--min-abs-ms", type=float, default=5.0,
+        help="absolute regression floor; smaller deltas never fail (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.candidate.is_dir():
+        print(f"bench_gate: candidate dir {args.candidate} does not exist",
+              file=sys.stderr)
+        return 2
+    candidates = sorted(args.candidate.glob("BENCH_*.json"))
+    if not candidates:
+        print(f"bench_gate: no BENCH_*.json under {args.candidate}", file=sys.stderr)
+        return 2
+
+    any_failed = False
+    for cand_path in candidates:
+        try:
+            candidate = read_bench_snapshot(cand_path)
+        except ValueError as exc:
+            print(f"bench_gate: {exc}", file=sys.stderr)
+            return 2
+        base_path = args.baseline / cand_path.name
+        if not base_path.exists():
+            print(f"PASS {cand_path.name}: no baseline at {base_path} "
+                  "(first run seeds it)")
+            continue
+        try:
+            baseline = read_bench_snapshot(base_path)
+        except ValueError as exc:
+            print(f"bench_gate: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_snapshots(
+            baseline, candidate,
+            threshold=args.threshold, min_abs_ms=args.min_abs_ms,
+        )
+        if failures:
+            any_failed = True
+            print(f"FAIL {cand_path.name}:")
+            for msg in failures:
+                print(f"  {msg}")
+        else:
+            gated = ", ".join(candidate.get("gate_keys", [])) or "(nothing gated)"
+            print(f"PASS {cand_path.name}: {gated} within threshold")
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
