@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     load_forecast,
     overhead,
     profiles_exp,
+    sched_exp,
     serving,
     sizing,
     store_exp,
@@ -45,6 +46,7 @@ REGISTRY = {
     "store": store_exp,
     "cluster": cluster_exp,
     "audit": audit_exp,
+    "sched": sched_exp,
 }
 
 __all__ = ["REGISTRY"] + sorted(REGISTRY)

@@ -29,6 +29,11 @@ Usage::
     repro-fgcs query predict --port 7061 --machine lab-00 --traced
     repro-fgcs trace spans.jsonl .repro-trace.jsonl   # span trees + critical path
     repro-fgcs run serving --bench-out bench/         # BENCH_serving.json
+    repro-fgcs serve --store store/ --sched-dir sched/
+    repro-fgcs sched submit --port 7061 --job j1 --cpu-seconds 3600
+    repro-fgcs sched status --port 7061               # the whole job table
+    repro-fgcs sched watch --cluster cluster/cluster.json
+    repro-fgcs sched drain lab-00 --port 7061         # checkpoint-migrate away
 
 (Equivalently: ``python -m repro ...``.)
 
@@ -230,6 +235,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"recovered, {audit.n_pending} pending]",
             flush=True,
         )
+    from repro.sched import JobManager, SchedConfig
+
+    sched = JobManager(
+        service,
+        config=SchedConfig(speedup=args.sched_speedup),
+        directory=args.sched_dir,
+        fsync=args.fsync,
+        node=args.node_id,
+    )
+    if args.sched_dir:
+        print(
+            f"[scheduler durable at {args.sched_dir}: "
+            f"{sched.recovered_jobs} jobs recovered]",
+            flush=True,
+        )
     config = DispatchConfig(
         max_workers=args.workers,
         queue_depth=args.queue_depth,
@@ -239,7 +259,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> int:
         server = ServeServer(
-            service, host=args.host, port=args.port, config=config, audit=audit
+            service, host=args.host, port=args.port, config=config, audit=audit,
+            sched=sched,
         )
         await server.start()
         print(f"[serving on {args.host}:{server.port}]", flush=True)
@@ -260,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         return asyncio.run(_serve())
     finally:
+        sched.close()  # idempotent; the drain usually got here first
         if audit is not None:
             audit.close()  # idempotent; the drain usually got here first
         if store is not None:
@@ -423,6 +445,8 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
         audit=args.audit,
         trace=bool(args.trace_out),
         metrics=bool(args.metrics_out),
+        sched=args.sched,
+        sched_speedup=args.sched_speedup,
     )
     config = RouterConfig(
         replicas=args.replicas,
@@ -859,6 +883,147 @@ def _cmd_audit_resolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sched_client(args: argparse.Namespace):
+    """Connected ServeClient for the sched subcommands (or None + rc 1/2)."""
+    from repro.serve.client import ServeClient
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return None, 2
+    host, port = target
+    try:
+        return ServeClient(host, port, timeout=args.connect_timeout), 0
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return None, 1
+
+
+def _print_job(job: dict) -> None:
+    state = job.get("state", "?")
+    progress = job.get("progress_seconds")
+    if progress is None:
+        # the job table carries raw records; only 'status --job' computes
+        # live progress, so fall back to what the record itself implies
+        progress = (
+            job.get("total_cpu_seconds", 0.0) if state == "completed"
+            else job.get("carried_seconds", 0.0)
+        )
+    line = (
+        f"{job.get('job', '?'):<20} {state:<10} "
+        f"machine {job.get('machine') or '-':<12} "
+        f"progress {progress:>10.1f}"
+        f"/{job.get('total_cpu_seconds', 0.0):<10.1f} "
+        f"attempts {len(job.get('attempts', ()))}"
+    )
+    if job.get("wasted_cpu_seconds"):
+        line += f" wasted {job['wasted_cpu_seconds']:.1f}"
+    if job.get("note"):
+        line += f"  ({job['note']})"
+    print(line)
+
+
+def _cmd_sched_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client, rc = _sched_client(args)
+    if client is None:
+        return rc
+    with client:
+        result = client.submit(
+            args.job,
+            args.cpu_seconds,
+            cpu=args.cpu,
+            mem_mb=args.mem_mb,
+            checkpoint_interval_s=args.checkpoint_interval,
+        )
+    print(_json.dumps(result, indent=2))
+    record = result.get("record", {})
+    return 0 if record.get("state") not in (None, "failed") else 1
+
+
+def _cmd_sched_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client, rc = _sched_client(args)
+    if client is None:
+        return rc
+    with client:
+        if args.job:
+            result = client.job_status(args.job)
+            if args.json:
+                print(_json.dumps(result, indent=2))
+            else:
+                _print_job(result)
+            return 0
+        result = client.jobs()
+    if args.json:
+        print(_json.dumps(result, indent=2))
+        return 0
+    jobs = result.get("jobs", [])
+    states = result.get("stats", {}).get("states", {})
+    wasted = sum(j.get("wasted_cpu_seconds", 0.0) for j in jobs)
+    print(
+        "jobs: "
+        + (", ".join(f"{s} {n}" for s, n in sorted(states.items())) or "none")
+        + f"   wasted cpu-s {wasted:.1f}"
+    )
+    for job in sorted(jobs, key=lambda j: j.get("job", "")):
+        _print_job(job)
+    return 0
+
+
+def _cmd_sched_watch(args: argparse.Namespace) -> int:
+    """Poll the job list until every job is terminal (or count runs out)."""
+    from repro.sched import TERMINAL_STATES
+
+    client, rc = _sched_client(args)
+    if client is None:
+        return rc
+    open_jobs: list = []
+    with client:
+        for tick in range(args.count):
+            if tick:
+                time.sleep(args.interval)
+            result = client.jobs()
+            jobs = result.get("jobs", [])
+            states = result.get("stats", {}).get("states", {})
+            open_jobs = [
+                j for j in jobs if j.get("state") not in TERMINAL_STATES
+            ]
+            stamp = time.strftime("%H:%M:%S")
+            print(
+                f"[{stamp}] "
+                + (", ".join(f"{s} {n}" for s, n in sorted(states.items()))
+                   or "no jobs")
+                + f"   open {len(open_jobs)}",
+                flush=True,
+            )
+            if jobs and not open_jobs:
+                print("all jobs terminal")
+                return 0
+    print(f"{len(open_jobs)} jobs still open after {args.count} polls",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_sched_drain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client, rc = _sched_client(args)
+    if client is None:
+        return rc
+    with client:
+        response = client.request(
+            "replace",
+            {"machines": list(args.machines), "reason": args.reason},
+        )
+    print(_json.dumps(response.to_wire(), indent=2))
+    from repro.serve.protocol import STATUS_OK
+
+    return 0 if response.status == STATUS_OK else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -939,6 +1104,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--node-id", default="local",
                        help="node identity stamped into audit records "
                        "(default: local)")
+    serve.add_argument("--sched-dir", default=None,
+                       help="scheduler WAL directory; job state survives "
+                       "restarts (default: memory-only scheduler)")
+    serve.add_argument("--sched-speedup", type=float, default=1.0,
+                       help="guest CPU-seconds completed per wall second "
+                       "(tests/bench compress simulated hours; default: 1)")
     serve.add_argument("--metrics-out", default=None,
                        help="write a metrics snapshot here on SIGTERM drain")
     serve.add_argument("--trace-out", default=None,
@@ -1021,6 +1192,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="membership health-probe period in seconds")
     cstart.add_argument("--no-supervise", action="store_true",
                         help="do not relaunch backends that die")
+    cstart.add_argument("--sched", action="store_true",
+                        help="give every backend a durable scheduler WAL "
+                        "under DATA/node-*/sched (job state survives "
+                        "node restarts)")
+    cstart.add_argument("--sched-speedup", type=float, default=1.0,
+                        help="guest CPU-seconds completed per wall second "
+                        "on every backend's scheduler (default: 1)")
     cstart.add_argument("--audit", action="store_true",
                         help="enable the prediction audit on every backend "
                         "(journals under DATA/node-*/audit; the router merges "
@@ -1105,6 +1283,68 @@ def build_parser() -> argparse.ArgumentParser:
     aresolve.add_argument("--json", action="store_true",
                           help="print the raw quality result as JSON")
     aresolve.set_defaults(func=_cmd_audit_resolve)
+
+    sched = sub.add_parser(
+        "sched", help="submit and track guest jobs on the TR-aware scheduler"
+    )
+    ssub = sched.add_subparsers(dest="sched_op", required=True)
+
+    def _sched_target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0,
+                       help="server (or cluster router) port")
+        p.add_argument("--port-file",
+                       help="read the port from this file (as written by "
+                       "'repro-fgcs serve --port-file' or 'cluster start')")
+        p.add_argument("--cluster", metavar="SPEC",
+                       help="read the router address from a cluster spec JSON")
+        p.add_argument("--connect-timeout", type=float, default=10.0)
+
+    ssubmit = ssub.add_parser("submit", help="submit a job for placement")
+    _sched_target_args(ssubmit)
+    ssubmit.add_argument("--job", required=True, help="job id (idempotent)")
+    ssubmit.add_argument("--cpu-seconds", type=float, required=True,
+                         help="total guest CPU-seconds the job needs")
+    ssubmit.add_argument("--cpu", type=float, default=1.0,
+                         help="CPU cores demanded (default: 1)")
+    ssubmit.add_argument("--mem-mb", type=float, default=64.0,
+                         help="resident memory demanded in MB (default: 64)")
+    ssubmit.add_argument("--checkpoint-interval", type=float, default=None,
+                         help="checkpoint period in guest seconds "
+                         "(default: scheduler config)")
+    ssubmit.set_defaults(func=_cmd_sched_submit)
+
+    sstatus = ssub.add_parser(
+        "status", help="show one job (--job) or the whole job table"
+    )
+    _sched_target_args(sstatus)
+    sstatus.add_argument("--job", help="restrict to one job id")
+    sstatus.add_argument("--json", action="store_true",
+                         help="print the raw result as JSON")
+    sstatus.set_defaults(func=_cmd_sched_status)
+
+    swatch = ssub.add_parser(
+        "watch", help="poll the job table until every job is terminal"
+    )
+    _sched_target_args(swatch)
+    swatch.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls (default: 2)")
+    swatch.add_argument("--count", type=int, default=30,
+                        help="number of polls before giving up (default: 30)")
+    swatch.set_defaults(func=_cmd_sched_watch)
+
+    sdrain = ssub.add_parser(
+        "drain",
+        help="re-place the jobs running on the given machines "
+        "(checkpoint-migrate when cheaper than restart)",
+    )
+    _sched_target_args(sdrain)
+    sdrain.add_argument("machines", nargs="+",
+                        help="machine ids to drain jobs away from")
+    sdrain.add_argument("--reason", default="drain",
+                        help="replacement reason recorded on the attempts "
+                        "(drain* reasons allow live migration)")
+    sdrain.set_defaults(func=_cmd_sched_drain)
 
     trace = sub.add_parser(
         "trace",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
@@ -80,6 +80,12 @@ class Membership:
             for node_id, (host, port) in addresses.items()
         }
         self._task: asyncio.Task | None = None
+        #: Transition hooks, invoked on the probe loop's event loop at
+        #: the moment a node is marked down / back up (not per failure).
+        #: The router uses them to trigger job re-placement; exceptions
+        #: are swallowed so a hook bug cannot kill health tracking.
+        self.on_down: Callable[[str], None] | None = None
+        self.on_up: Callable[[str], None] | None = None
         for node_id in self._nodes:
             instrument("cluster_node_up").labels(node=node_id).set(1)
 
@@ -151,6 +157,7 @@ class Membership:
                 address=st.address,
                 failures=st.consecutive_failures,
             )
+            self._notify(self.on_down, node_id)
 
     def report_success(self, node_id: str, payload: Mapping[str, Any] | None = None) -> None:
         """Count one success for a node (probe or proxied request)."""
@@ -165,6 +172,21 @@ class Membership:
             instrument("cluster_node_up").labels(node=node_id).set(1)
             get_event_log().emit(
                 "cluster_node_up", node=node_id, address=st.address
+            )
+            self._notify(self.on_up, node_id)
+
+    @staticmethod
+    def _notify(hook: Callable[[str], None] | None, node_id: str) -> None:
+        if hook is None:
+            return
+        try:
+            hook(node_id)
+        except Exception as exc:
+            get_event_log().emit(
+                "membership_hook_error",
+                severity="error",
+                node=node_id,
+                error=f"{type(exc).__name__}: {exc}",
             )
 
     # ------------------------------------------------------------------ #

@@ -90,6 +90,11 @@ class NodeSpec:
     trace_out: Path | None = None
     #: Metrics-snapshot file the node writes on SIGTERM drain.
     metrics_out: Path | None = None
+    #: Durable scheduler-WAL directory (None: memory-only JobManager).
+    sched_dir: Path | None = None
+    #: Guest CPU-seconds completed per wall second on this node's
+    #: JobManager (tests/bench compress simulated hours into seconds).
+    sched_speedup: float = 1.0
 
     def command(self, port: int) -> list[str]:
         """The serve process argv for this spec bound to ``port``."""
@@ -107,6 +112,10 @@ class NodeSpec:
             argv.append("--audit")
         if self.audit_dir is not None:
             argv += ["--audit-dir", str(self.audit_dir)]
+        if self.sched_dir is not None:
+            argv += ["--sched-dir", str(self.sched_dir)]
+        if self.sched_speedup != 1.0:
+            argv += ["--sched-speedup", str(self.sched_speedup)]
         if self.trace_out is not None:
             argv += ["--trace-out", str(self.trace_out)]
         if self.metrics_out is not None:
@@ -241,6 +250,8 @@ class LocalCluster:
         audit: bool = False,
         trace: bool = False,
         metrics: bool = False,
+        sched: bool = False,
+        sched_speedup: float = 1.0,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -264,6 +275,10 @@ class LocalCluster:
                     metrics_out=(
                         self.data_dir / f"node-{i}" / "metrics.json" if metrics else None
                     ),
+                    sched_dir=(
+                        self.data_dir / f"node-{i}" / "sched" if sched else None
+                    ),
+                    sched_speedup=sched_speedup,
                 ),
                 supervise=supervise,
             )

@@ -65,6 +65,16 @@ _SCATTER_OPS = frozenset({"rank", "select"})
 _QUALITY_OPS = frozenset({"quality"})
 #: Ops fanned out to all R owners under a write quorum.
 _WRITE_OPS = frozenset({"register", "extend"})
+#: Scheduling ops owned by the *job* key's replica set (protocol v5).
+#: ``job_status`` proxies with failover; ``cancel`` and ``job_put`` are
+#: quorum writes so every owner's JobManager converges.
+_JOB_SINGLE_OPS = frozenset({"job_status"})
+_JOB_WRITE_OPS = frozenset({"cancel", "job_put"})
+#: ``jobs`` scatters to every live node and dedups by job id.
+_JOB_SCATTER_OPS = frozenset({"jobs"})
+#: ``replace`` broadcasts to every live node (each JobManager re-places
+#: its own affected jobs); also triggered internally on node death.
+_JOB_BROADCAST_OPS = frozenset({"replace"})
 
 
 @dataclass(frozen=True)
@@ -221,6 +231,11 @@ class ClusterRouter:
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._started = time.monotonic()
+        #: Machines seen in acknowledged register/extend writes.  When a
+        #: node dies, the machines it primarily owns are treated as dead
+        #: hosts and the surviving JobManagers re-place their jobs.
+        self._machine_catalog: set[str] = set()
+        self._replace_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -232,6 +247,8 @@ class ClusterRouter:
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.membership.on_down = self._on_node_down
+        self.membership.on_up = self._on_node_up
         self.membership.start()
         get_event_log().emit(
             "cluster_router_started",
@@ -247,6 +264,10 @@ class ClusterRouter:
             self._server.close()
             await self._server.wait_closed()
         await self.membership.stop()
+        for task in list(self._replace_tasks):
+            task.cancel()
+        if self._replace_tasks:
+            await asyncio.gather(*self._replace_tasks, return_exceptions=True)
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -357,6 +378,16 @@ class ClusterRouter:
             return await self._route_quality(request)
         if request.op in _WRITE_OPS:
             return await self._route_write(request)
+        if request.op == "submit":
+            return await self._route_submit(request)
+        if request.op in _JOB_SINGLE_OPS:
+            return await self._route_single(request)
+        if request.op in _JOB_WRITE_OPS:
+            return await self._route_write(request)
+        if request.op in _JOB_SCATTER_OPS:
+            return await self._route_jobs(request)
+        if request.op in _JOB_BROADCAST_OPS:
+            return await self._route_broadcast(request)
         return Response.failure(
             request.id, STATUS_ERROR, "ProtocolError",
             f"op {request.op!r} is not routable"
@@ -381,6 +412,18 @@ class ClusterRouter:
             return await self._call_timed(node_id, request)
 
     def _owner_key(self, request: Request) -> str:
+        # Job ops shard by the job id (prefixed so job and machine key
+        # spaces never collide on the ring); everything else by machine.
+        if request.op == "job_put":
+            record = request.params.get("record")
+            if not isinstance(record, Mapping) or "job" not in record:
+                raise ProtocolError("job_put needs params['record']['job']")
+            return f"job:{record['job']}"
+        if request.op in ("submit", "job_status", "cancel"):
+            job = request.params.get("job")
+            if job is None:
+                raise ProtocolError(f"missing required param 'job' for {request.op!r}")
+            return f"job:{job}"
         machine = request.params.get("machine")
         if machine is None:
             raise ProtocolError(f"missing required param 'machine' for {request.op!r}")
@@ -593,7 +636,201 @@ class ClusterRouter:
             "required": quorum,
             "degraded": degraded,
         }
+        if request.op in _WRITE_OPS:
+            # An acknowledged history write makes this machine part of
+            # the placement pool the node-death hook reasons about.
+            self._machine_catalog.add(self._owner_key(request))
         return Response.success(request.id, result)
+
+    # ------------------------------------------------------------------ #
+    # scheduling ops (protocol v5)
+    # ------------------------------------------------------------------ #
+
+    async def _route_submit(self, request: Request) -> Response:
+        """Two-phase submit: place at the primary owner, then replicate.
+
+        Each backend holds only its shard of machine histories, so
+        independent placement at every owner would diverge.  Instead the
+        job-key's primary owner (with failover) places *and* adopts the
+        job; the router then fans the resulting record out to the full
+        R owner set as ``job_put`` under the write quorum.  The placer's
+        own adopt is a version-equal no-op, so the fan-out is idempotent.
+        """
+        placed = await self._route_single(request)
+        if not placed.ok or not isinstance(placed.result, Mapping):
+            return placed
+        record = placed.result.get("record")
+        if not isinstance(record, Mapping):
+            return placed
+        put = Request(
+            op="job_put",
+            params={"record": record},
+            deadline_ms=request.deadline_ms,
+        )
+        replicated = await self._route_write(put)
+        if not replicated.ok:
+            return Response(
+                id=request.id,
+                status=replicated.status,
+                error=replicated.error,
+            )
+        result = dict(placed.result)
+        result["quorum"] = replicated.result.get("quorum")
+        return Response.success(request.id, result)
+
+    async def _route_jobs(self, request: Request) -> Response:
+        """Scatter ``jobs`` to every live node; dedup records by job id.
+
+        Replicas of a job may lag one transition apart (e.g. a refresh
+        discovered a completion on one owner first); the merge keeps the
+        copy with the highest ``(version, lifecycle stage)``.
+        """
+        from repro.sched.jobs import STATE_RANK
+
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, request) for n in targets),
+                return_exceptions=True,
+            )
+        merged: dict[str, Mapping[str, Any]] = {}
+        errors: list[Response] = []
+        nodes_ok = 0
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            for record in resp.result.get("jobs", ()):
+                job_id = str(record["job"])
+                current = merged.get(job_id)
+                if current is None or (
+                    (record["version"], STATE_RANK.get(record["state"], 0))
+                    > (current["version"], STATE_RANK.get(current["state"], 0))
+                ):
+                    merged[job_id] = record
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(id=request.id, status=first.status, error=first.error)
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                "no node answered the jobs scatter",
+            )
+        records = [merged[j] for j in sorted(merged)]
+        states: dict[str, int] = {}
+        for record in records:
+            states[record["state"]] = states.get(record["state"], 0) + 1
+        return Response.success(
+            request.id,
+            {
+                "jobs": records,
+                "stats": {"jobs": len(records), "states": states},
+                "shards": {
+                    "queried": len(targets),
+                    "ok": nodes_ok,
+                    "partial": nodes_ok < len(targets),
+                },
+            },
+        )
+
+    async def _route_broadcast(self, request: Request) -> Response:
+        """Broadcast ``replace`` to every live node and sum the counts."""
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, request) for n in targets),
+                return_exceptions=True,
+            )
+        replaced = 0
+        actions: dict[str, int] = {}
+        restored: set[str] = set()
+        nodes_ok = 0
+        errors: list[Response] = []
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            replaced += int(resp.result.get("replaced", 0))
+            for action, count in (resp.result.get("actions") or {}).items():
+                actions[action] = actions.get(action, 0) + int(count)
+            restored.update(resp.result.get("restored") or ())
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(id=request.id, status=first.status, error=first.error)
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                "no node answered the replace broadcast",
+            )
+        return Response.success(
+            request.id,
+            {
+                "replaced": replaced,
+                "actions": actions,
+                "restored": sorted(restored),
+                "nodes": nodes_ok,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # node-death reaction (membership transition hooks)
+    # ------------------------------------------------------------------ #
+
+    def _machines_owned_by(self, node_id: str) -> list[str]:
+        """Cataloged machines whose *primary* owner is ``node_id``."""
+        return sorted(
+            m for m in self._machine_catalog if self.ring.owners(m)[0] == node_id
+        )
+
+    def _on_node_down(self, node_id: str) -> None:
+        machines = self._machines_owned_by(node_id)
+        if machines:
+            self._spawn_replace(machines, f"node_down:{node_id}", restore=False)
+
+    def _on_node_up(self, node_id: str) -> None:
+        machines = self._machines_owned_by(node_id)
+        if machines:
+            self._spawn_replace(machines, f"node_up:{node_id}", restore=True)
+
+    def _spawn_replace(self, machines: list[str], reason: str, *, restore: bool) -> None:
+        request = Request(
+            op="replace",
+            params={"machines": machines, "reason": reason, "restore": restore},
+        )
+        task = asyncio.ensure_future(self._replace_after_transition(request, reason))
+        self._replace_tasks.add(task)
+        task.add_done_callback(self._replace_tasks.discard)
+
+    async def _replace_after_transition(self, request: Request, reason: str) -> None:
+        with start_span("sched.replace", "router", reason=reason):
+            try:
+                response = await self._route_broadcast(request)
+            except Exception as exc:
+                get_event_log().emit(
+                    "cluster_replace_error",
+                    severity="error",
+                    reason=reason,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return
+        get_event_log().emit(
+            "cluster_jobs_replaced",
+            severity="warning",
+            reason=reason,
+            machines=len(request.params["machines"]),
+            replaced=(response.result or {}).get("replaced"),
+            ok=response.ok,
+        )
 
     # ------------------------------------------------------------------ #
 

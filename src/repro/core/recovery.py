@@ -1,0 +1,204 @@
+"""Shared failure-cost model: checkpoint, migrate or restart a guest job.
+
+The paper's proactive job management (Section 6 / refs [20, 31]) needs
+two translations both the simulator's checkpointing policies and the
+serving-tier scheduler perform:
+
+* a **TR prediction → failure rate**: treating the window's failure
+  process as locally Poisson, ``TR = exp(-lambda * T)`` inverts to
+  ``lambda = -ln(TR) / T`` (:func:`failure_rate_from_tr`), from which
+  Young's first-order optimal checkpoint interval follows
+  (:func:`young_interval`);
+* a **recovery-action choice** after (or ahead of) a host failure:
+  resume from the last checkpoint, migrate the full job state, or
+  restart from scratch — compared by the expected wall-clock each
+  action needs to *finish* the job on the new host, under the failure
+  rate implied by the new host's TR over the remaining-execution
+  window (:func:`choose_recovery_action`), in the style of the
+  checkpoint-vs-migration cost models of the post-petascale
+  fault-tolerance literature.
+
+This module is pure math on scalars — no simulator types, no serving
+types — so ``repro.sim.checkpoint`` and ``repro.sched`` share one
+implementation (the sim re-exports the first two functions unchanged).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ACTION_RESUME",
+    "ACTION_MIGRATE",
+    "ACTION_RESTART",
+    "RECOVERY_ACTIONS",
+    "RecoveryCosts",
+    "RecoveryDecision",
+    "failure_rate_from_tr",
+    "young_interval",
+    "expected_completion_seconds",
+    "choose_recovery_action",
+]
+
+#: Resume from the job's last durable checkpoint on the new host.
+ACTION_RESUME = "resume"
+#: Move the full in-memory job state to the new host (only possible
+#: while the old host is still reachable, i.e. proactive re-placement).
+ACTION_MIGRATE = "migrate"
+#: Re-run the job from scratch on the new host.
+ACTION_RESTART = "restart"
+
+RECOVERY_ACTIONS = (ACTION_RESUME, ACTION_MIGRATE, ACTION_RESTART)
+
+
+def failure_rate_from_tr(tr: float, window_seconds: float) -> float:
+    """Effective failure rate (per second) implied by a TR prediction.
+
+    Treating the window's failure process as (locally) Poisson,
+    ``TR = exp(-lambda * T)`` inverts to ``lambda = -ln(TR) / T``.  A TR
+    of 0 maps to infinity; a TR of 1 to 0.
+    """
+    if not 0.0 <= tr <= 1.0:
+        raise ValueError(f"tr must be in [0, 1], got {tr}")
+    if window_seconds <= 0.0:
+        raise ValueError(f"window must be positive, got {window_seconds}")
+    if tr == 0.0:
+        return math.inf
+    return -math.log(tr) / window_seconds
+
+
+def young_interval(checkpoint_cost_seconds: float, mtbf_seconds: float) -> float:
+    """Young's first-order optimal checkpoint interval.
+
+    ``t_opt = sqrt(2 * C * MTBF)`` — the classic result the follow-up
+    failure-aware-checkpointing literature builds on.  An infinite MTBF
+    yields an infinite interval (never checkpoint).
+    """
+    if checkpoint_cost_seconds <= 0.0:
+        raise ValueError(f"checkpoint cost must be positive, got {checkpoint_cost_seconds}")
+    if mtbf_seconds <= 0.0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_seconds}")
+    if math.isinf(mtbf_seconds):
+        return math.inf
+    return math.sqrt(2.0 * checkpoint_cost_seconds * mtbf_seconds)
+
+
+def expected_completion_seconds(work_seconds: float, failure_rate: float) -> float:
+    """Expected wall-clock to finish ``work_seconds`` under restarts.
+
+    Classic renewal result for a job needing ``L`` uninterrupted seconds
+    on a host failing at Poisson rate ``lambda`` (each failure restarts
+    the remaining work from its last stable point)::
+
+        E[T] = (exp(lambda * L) - 1) / lambda
+
+    which degrades gracefully to ``L`` as ``lambda -> 0`` and to
+    infinity as ``lambda -> inf``.  The exponent is clamped so a very
+    unreliable host yields a large finite cost instead of overflowing.
+    """
+    if work_seconds < 0.0:
+        raise ValueError(f"work must be >= 0, got {work_seconds}")
+    if failure_rate < 0.0:
+        raise ValueError(f"failure rate must be >= 0, got {failure_rate}")
+    if work_seconds == 0.0:
+        return 0.0
+    if failure_rate == 0.0:
+        return work_seconds
+    if math.isinf(failure_rate):
+        return math.inf
+    exponent = min(failure_rate * work_seconds, 700.0)
+    return math.expm1(exponent) / failure_rate
+
+
+@dataclass(frozen=True)
+class RecoveryCosts:
+    """Fixed per-action overheads (seconds) of one deployment."""
+
+    #: Reading the checkpoint image back on the new host.
+    resume_overhead_s: float = 30.0
+    #: Shipping the full in-memory state to the new host.
+    migrate_overhead_s: float = 90.0
+    #: Launching from scratch (input staging, warm-up).
+    restart_overhead_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("resume_overhead_s", "migrate_overhead_s", "restart_overhead_s"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """The chosen action and the per-action expected completion costs."""
+
+    action: str
+    expected_seconds: float
+    #: Action -> expected completion seconds (inf: action unavailable).
+    costs: dict[str, float]
+
+    @property
+    def retained_seconds_for(self) -> dict[str, str]:  # pragma: no cover - doc aid
+        return {
+            ACTION_RESUME: "checkpointed progress",
+            ACTION_MIGRATE: "all progress",
+            ACTION_RESTART: "nothing",
+        }
+
+
+def choose_recovery_action(
+    *,
+    total_work_seconds: float,
+    progress_seconds: float,
+    checkpointed_seconds: float,
+    new_host_tr: float,
+    window_seconds: float,
+    costs: RecoveryCosts | None = None,
+    migratable: bool = False,
+) -> RecoveryDecision:
+    """Pick the cheapest way to finish a displaced job on a new host.
+
+    Each action keeps a different amount of the job's progress —
+    resume keeps ``checkpointed_seconds``, migrate keeps
+    ``progress_seconds`` (only available while the old host is still
+    reachable, ``migratable=True``), restart keeps nothing — and pays a
+    fixed overhead before the remaining work runs under the failure
+    rate implied by ``new_host_tr`` over ``window_seconds``
+    (:func:`expected_completion_seconds`).  The cheapest expected total
+    wins; ties break toward the action retaining the most progress
+    (migrate > resume > restart).
+    """
+    if not 0.0 <= checkpointed_seconds <= progress_seconds <= total_work_seconds:
+        raise ValueError(
+            "need 0 <= checkpointed <= progress <= total work, got "
+            f"{checkpointed_seconds} / {progress_seconds} / {total_work_seconds}"
+        )
+    costs = costs or RecoveryCosts()
+    tr = min(max(new_host_tr, 1e-9), 1.0)
+    rate = failure_rate_from_tr(tr, max(window_seconds, 1.0))
+
+    def _total(retained: float, overhead: float) -> float:
+        return overhead + expected_completion_seconds(
+            total_work_seconds - retained, rate
+        )
+
+    options: dict[str, float] = {
+        ACTION_RESTART: _total(0.0, costs.restart_overhead_s),
+        ACTION_RESUME: (
+            _total(checkpointed_seconds, costs.resume_overhead_s)
+            if checkpointed_seconds > 0.0
+            else math.inf
+        ),
+        ACTION_MIGRATE: (
+            _total(progress_seconds, costs.migrate_overhead_s)
+            if migratable
+            else math.inf
+        ),
+    }
+    preference = (ACTION_MIGRATE, ACTION_RESUME, ACTION_RESTART)
+    action = min(preference, key=lambda a: (options[a], preference.index(a)))
+    if math.isinf(options[action]):
+        action = ACTION_RESTART  # everything unavailable: restart is always legal
+    return RecoveryDecision(
+        action=action, expected_seconds=options[action], costs=options
+    )

@@ -337,6 +337,50 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "model_degraded alarms raised, by trigger.",
         ("reason",),  # brier | ece | page_hinkley
     ),
+    # -- serving-tier scheduler ------------------------------------------ #
+    InstrumentSpec(
+        "sched_jobs_submitted_total",
+        "counter",
+        "Guest jobs submitted to the serving-tier JobManager.",
+    ),
+    InstrumentSpec(
+        "sched_placements_total",
+        "counter",
+        "Placement decisions by the PlacementEngine, by outcome "
+        "(placed | refused).",
+        ("outcome",),
+    ),
+    InstrumentSpec(
+        "sched_placement_latency_seconds",
+        "histogram",
+        "Wall-clock latency of one placement decision (TR queries over "
+        "candidate machines plus scoring).",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "sched_replacements_total",
+        "counter",
+        "Jobs re-placed after node-death or drain evidence, by recovery "
+        "action (resume | migrate | restart).",
+        ("action",),
+    ),
+    InstrumentSpec(
+        "sched_jobs_running",
+        "gauge",
+        "Jobs currently placed or running under this JobManager.",
+    ),
+    InstrumentSpec(
+        "sched_jobs_completed_total",
+        "counter",
+        "Jobs that reached the completed state.",
+    ),
+    InstrumentSpec(
+        "sched_wasted_cpu_seconds_total",
+        "counter",
+        "Guest CPU-seconds of progress lost to failures (work done but "
+        "not retained by the chosen recovery action).",
+    ),
     # -- bench harness --------------------------------------------------- #
     InstrumentSpec(
         "experiment_runs_total",

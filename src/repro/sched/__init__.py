@@ -1,0 +1,60 @@
+"""Serving-tier job placement: TR predictions turned into decisions.
+
+``repro.sched`` closes the loop the paper motivates: the serving stack
+predicts which machines survive a window; this subsystem *acts* on
+those predictions, placing guest jobs (paper Section 5.1's client Job
+Scheduler), keeping their state durable, and re-placing them with a
+cost-modeled recovery action when hosts die.
+
+* :mod:`repro.sched.engine` — pure placement scoring (TR × DRR packing);
+* :mod:`repro.sched.jobs` — the replicated, WAL-durable job record with
+  lazy clock-driven execution;
+* :mod:`repro.sched.manager` — lifecycles, the scheduler WAL, and
+  TR-driven failure recovery.
+"""
+
+from repro.sched.engine import (
+    Candidate,
+    JobDemand,
+    Placement,
+    PlacementEngine,
+    PlacementRefusal,
+    REFUSAL_NO_FEASIBLE_MACHINE,
+)
+from repro.sched.jobs import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    STATE_CANCELLED,
+    STATE_COMPLETED,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_PLACED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    Attempt,
+    JobRecord,
+)
+from repro.sched.manager import JobManager, SchedConfig, UnknownJob
+
+__all__ = [
+    "Candidate",
+    "JobDemand",
+    "Placement",
+    "PlacementEngine",
+    "PlacementRefusal",
+    "REFUSAL_NO_FEASIBLE_MACHINE",
+    "Attempt",
+    "JobRecord",
+    "JobManager",
+    "SchedConfig",
+    "UnknownJob",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ACTIVE_STATES",
+    "STATE_PENDING",
+    "STATE_PLACED",
+    "STATE_RUNNING",
+    "STATE_COMPLETED",
+    "STATE_FAILED",
+    "STATE_CANCELLED",
+]

@@ -1,0 +1,201 @@
+"""Availability-aware placement: TR × dominant-remaining-resource packing.
+
+The engine scores one (machine, job) pair from two ingredients:
+
+* **temporal reliability** — the probability the machine stays
+  available to the guest over the job's remaining-execution window,
+  exactly the quantity the paper's predictor serves (Section 5.1's
+  client Job Scheduler is the intended consumer);
+* **DRR packing** — an Elasecutor-style dominant-remaining-resource
+  term: after tentatively placing the job, how balanced are the
+  machine's leftover CPU and memory fractions?  Placements that leave
+  one resource stranded (lots of CPU, no memory headroom) fragment the
+  pool; balanced leftovers keep future jobs placeable.
+
+The combined score is ``tr * (tr_weight + (1 - tr_weight) * balance)``
+— multiplicative in TR, so among candidates with identical resource
+shapes the ordering is *exactly* the TR ordering (a property test pins
+this).  A TR-blind baseline (``predictive=False``) replaces TR with a
+constant and scores by remaining headroom alone — classic least-loaded
+— which is the control arm of the SCHED bench.
+
+The engine is pure: it never mutates candidates, performs no I/O, and
+an empty or infeasible candidate set yields a structured
+:class:`PlacementRefusal` (never an exception) so the serving tier can
+return it to the client as data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Candidate",
+    "JobDemand",
+    "Placement",
+    "PlacementRefusal",
+    "PlacementEngine",
+    "REFUSAL_NO_FEASIBLE_MACHINE",
+]
+
+REFUSAL_NO_FEASIBLE_MACHINE = "no_feasible_machine"
+
+#: Feasibility slack for float accumulation of commitments.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """The resources one job asks for."""
+
+    job_id: str
+    #: CPU share demanded (1.0: a whole core's worth of guest cycles).
+    cpu: float = 1.0
+    #: Resident working set the guest needs (paper Sec. 3.2.2: less free
+    #: memory than this means thrashing regardless of CPU headroom).
+    mem_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0.0:
+            raise ValueError(f"cpu demand must be positive, got {self.cpu}")
+        if self.mem_mb < 0.0:
+            raise ValueError(f"mem demand must be >= 0, got {self.mem_mb}")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One machine offered to the engine, with its current commitments."""
+
+    machine_id: str
+    #: TR of this machine over the job's remaining-execution window.
+    tr: float
+    cpu_capacity: float = 1.0
+    mem_capacity_mb: float = math.inf
+    cpu_committed: float = 0.0
+    mem_committed_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_capacity <= 0.0:
+            raise ValueError(f"cpu capacity must be positive, got {self.cpu_capacity}")
+        if self.mem_capacity_mb <= 0.0:
+            raise ValueError(
+                f"mem capacity must be positive, got {self.mem_capacity_mb}"
+            )
+
+    def fits(self, job: JobDemand) -> bool:
+        """Whether the job fits in this machine's remaining capacity."""
+        return (
+            self.cpu_committed + job.cpu <= self.cpu_capacity + _EPS
+            and self.mem_committed_mb + job.mem_mb <= self.mem_capacity_mb + _EPS
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful decision: where the job goes and why."""
+
+    job_id: str
+    machine_id: str
+    score: float
+    tr: float
+    #: Leftover fraction of the dominant remaining resource after placing.
+    headroom: float
+    #: 1 - |cpu leftover - mem leftover|: how balanced the leftovers are.
+    balance: float
+
+
+@dataclass(frozen=True)
+class PlacementRefusal:
+    """A structured non-answer: no machine can take the job right now."""
+
+    job_id: str
+    reason: str
+    detail: str
+    candidates_considered: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "job": self.job_id,
+            "reason": self.reason,
+            "detail": self.detail,
+            "candidates_considered": self.candidates_considered,
+        }
+
+
+class PlacementEngine:
+    """Scores candidates and picks the best feasible machine for a job.
+
+    ``tr_weight`` in [0, 1] sets how much of the score is pure TR versus
+    packing balance (1.0: ignore packing).  ``predictive=False`` builds
+    the TR-blind least-loaded baseline: every candidate's TR is treated
+    as 1.0 and the score is its remaining dominant-resource headroom.
+    """
+
+    def __init__(self, *, tr_weight: float = 0.7, predictive: bool = True) -> None:
+        if not 0.0 <= tr_weight <= 1.0:
+            raise ValueError(f"tr_weight must be in [0, 1], got {tr_weight}")
+        self.tr_weight = tr_weight
+        self.predictive = predictive
+
+    # ------------------------------------------------------------------ #
+
+    def score(self, candidate: Candidate, job: JobDemand) -> Placement | None:
+        """The placement this candidate would yield, or None if infeasible."""
+        if not candidate.fits(job):
+            return None
+        cpu_left = (
+            candidate.cpu_capacity - candidate.cpu_committed - job.cpu
+        ) / candidate.cpu_capacity
+        if math.isinf(candidate.mem_capacity_mb):
+            # Memory-unconstrained machine: its memory leftover mirrors
+            # CPU so it neither helps nor hurts the balance term.
+            mem_left = cpu_left
+        else:
+            mem_left = (
+                candidate.mem_capacity_mb - candidate.mem_committed_mb - job.mem_mb
+            ) / candidate.mem_capacity_mb
+        cpu_left = min(max(cpu_left, 0.0), 1.0)
+        mem_left = min(max(mem_left, 0.0), 1.0)
+        balance = 1.0 - abs(cpu_left - mem_left)
+        headroom = max(cpu_left, mem_left)
+        if self.predictive:
+            tr = min(max(candidate.tr, 0.0), 1.0)
+            score = tr * (self.tr_weight + (1.0 - self.tr_weight) * balance)
+        else:
+            tr = min(max(candidate.tr, 0.0), 1.0)
+            score = headroom  # least-loaded: most free capacity wins
+        return Placement(
+            job_id=job.job_id,
+            machine_id=candidate.machine_id,
+            score=score,
+            tr=tr,
+            headroom=headroom,
+            balance=balance,
+        )
+
+    def rank(self, job: JobDemand, candidates: list[Candidate]) -> list[Placement]:
+        """Feasible placements, best first (ties broken by machine id)."""
+        scored = [p for p in (self.score(c, job) for c in candidates) if p is not None]
+        return sorted(scored, key=lambda p: (-p.score, p.machine_id))
+
+    def place(
+        self, job: JobDemand, candidates: list[Candidate]
+    ) -> Placement | PlacementRefusal:
+        """The best feasible placement, or a structured refusal."""
+        ranked = self.rank(job, candidates)
+        if ranked:
+            return ranked[0]
+        if not candidates:
+            detail = "no candidate machines offered"
+        else:
+            detail = (
+                f"none of {len(candidates)} machines has "
+                f"cpu>={job.cpu:g} and mem>={job.mem_mb:g}MB free"
+            )
+        return PlacementRefusal(
+            job_id=job.job_id,
+            reason=REFUSAL_NO_FEASIBLE_MACHINE,
+            detail=detail,
+            candidates_considered=len(candidates),
+        )

@@ -1,0 +1,245 @@
+"""Job records: the replicated, WAL-durable unit of scheduler state.
+
+A :class:`JobRecord` is everything the scheduler knows about one guest
+job, in plain scalars so it serializes to one JSON object — the same
+object travels over the wire (``submit`` responses, ``job_put``
+replication, ``jobs`` listings) and into the scheduler WAL.
+
+Execution is *lazy and clock-driven*: nothing advances jobs in the
+background.  Progress is a pure function of wall clock —
+``carried + (now - attempt_start) * speedup`` capped at the total work —
+recomputed whenever anyone looks (:meth:`JobRecord.progress_at`).
+Checkpoints are equally deterministic: the guest durably saves its state
+every ``checkpoint_interval_s`` CPU-seconds of new progress.  Because
+both are pure functions of the record's scalars and the clock, every
+replica holding the same record derives the same progress without
+coordination, and a restarted scheduler recovers exact state from the
+WAL snapshot alone.
+
+Every mutation bumps the monotonic ``version``; replication and WAL
+recovery keep the highest version per job, so stale copies never
+overwrite newer state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = [
+    "STATE_PENDING",
+    "STATE_PLACED",
+    "STATE_RUNNING",
+    "STATE_COMPLETED",
+    "STATE_FAILED",
+    "STATE_CANCELLED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ACTIVE_STATES",
+    "Attempt",
+    "JobRecord",
+]
+
+STATE_PENDING = "pending"
+STATE_PLACED = "placed"
+STATE_RUNNING = "running"
+STATE_COMPLETED = "completed"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+JOB_STATES = (
+    STATE_PENDING,
+    STATE_PLACED,
+    STATE_RUNNING,
+    STATE_COMPLETED,
+    STATE_FAILED,
+    STATE_CANCELLED,
+)
+TERMINAL_STATES = (STATE_COMPLETED, STATE_FAILED, STATE_CANCELLED)
+#: States in which the job occupies capacity on its machine.
+ACTIVE_STATES = (STATE_PLACED, STATE_RUNNING)
+
+#: Listing merges prefer later lifecycle stages at equal version.
+STATE_RANK = {state: i for i, state in enumerate(JOB_STATES)}
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One try at running the job on one machine."""
+
+    machine: str
+    started_at: float
+    #: CPU-seconds of progress carried into this attempt (checkpoint
+    #: resume or migration; 0.0 for a fresh start).
+    carried_seconds: float
+    #: Why this attempt exists: "submit" | "retry" | recovery action.
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "started_at": self.started_at,
+            "carried_seconds": self.carried_seconds,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "Attempt":
+        return cls(
+            machine=str(obj["machine"]),
+            started_at=float(obj["started_at"]),
+            carried_seconds=float(obj["carried_seconds"]),
+            reason=str(obj.get("reason", "submit")),
+        )
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Full scheduler-visible state of one guest job."""
+
+    job_id: str
+    #: Total guest work, in CPU-seconds.
+    total_cpu_seconds: float
+    #: CPU share demanded while running (1.0 = a full core).
+    cpu: float
+    #: Resident memory demanded while running.
+    mem_mb: float
+    state: str
+    submitted_at: float
+    #: CPU-seconds between the guest's durable checkpoints.
+    checkpoint_interval_s: float
+    version: int = 1
+    machine: str | None = None
+    attempts: tuple[Attempt, ...] = field(default_factory=tuple)
+    #: Progress carried into the current attempt (checkpoint/migrate).
+    carried_seconds: float = 0.0
+    #: CPU-seconds of progress lost across all failures so far.
+    wasted_cpu_seconds: float = 0.0
+    completed_at: float | None = None
+    #: Why the job sits in a non-running state (refusal detail, cancel
+    #: reason, node-death note); purely informational.
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {self.state!r}")
+        if self.total_cpu_seconds <= 0.0:
+            raise ValueError(
+                f"total work must be positive, got {self.total_cpu_seconds}"
+            )
+        if self.checkpoint_interval_s <= 0.0:
+            raise ValueError(
+                f"checkpoint interval must be positive, got {self.checkpoint_interval_s}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived, clock-driven quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def attempt(self) -> Attempt | None:
+        return self.attempts[-1] if self.attempts else None
+
+    def progress_at(self, now: float, speedup: float) -> float:
+        """CPU-seconds of completed work at wall-clock ``now``.
+
+        ``speedup`` converts wall seconds into guest CPU-seconds (the
+        bench and tests use large values to compress simulated hours
+        into real milliseconds).
+        """
+        if self.state == STATE_COMPLETED:
+            return self.total_cpu_seconds
+        if self.state not in ACTIVE_STATES or not self.attempts:
+            return self.carried_seconds
+        active = max(0.0, now - self.attempts[-1].started_at) * speedup
+        return min(self.total_cpu_seconds, self.carried_seconds + active)
+
+    def checkpointed_at(self, now: float, speedup: float) -> float:
+        """CPU-seconds durably checkpointed at wall-clock ``now``.
+
+        The carried base is always durable (it came from a checkpoint or
+        migration image); on top of it the guest saves every
+        ``checkpoint_interval_s`` CPU-seconds of new progress.
+        """
+        progress = self.progress_at(now, speedup)
+        fresh = progress - self.carried_seconds
+        intervals = math.floor(fresh / self.checkpoint_interval_s)
+        return min(
+            progress, self.carried_seconds + intervals * self.checkpoint_interval_s
+        )
+
+    def remaining_at(self, now: float, speedup: float) -> float:
+        return max(0.0, self.total_cpu_seconds - self.progress_at(now, speedup))
+
+    def eta_at(self, now: float, speedup: float) -> float | None:
+        """Wall-clock time the current attempt will finish, if running."""
+        if self.state not in ACTIVE_STATES or not self.attempts:
+            return None
+        return now + self.remaining_at(now, speedup) / speedup
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # ------------------------------------------------------------------ #
+    # transitions (functional: each returns a new, version-bumped record)
+    # ------------------------------------------------------------------ #
+
+    def with_state(self, state: str, **changes: Any) -> "JobRecord":
+        return replace(self, state=state, version=self.version + 1, **changes)
+
+    def placed_on(
+        self, machine: str, now: float, carried: float, reason: str
+    ) -> "JobRecord":
+        attempt = Attempt(
+            machine=machine, started_at=now, carried_seconds=carried, reason=reason
+        )
+        return self.with_state(
+            STATE_PLACED,
+            machine=machine,
+            carried_seconds=carried,
+            attempts=self.attempts + (attempt,),
+            note="",
+        )
+
+    # ------------------------------------------------------------------ #
+    # wire / WAL form
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job": self.job_id,
+            "total_cpu_seconds": self.total_cpu_seconds,
+            "cpu": self.cpu,
+            "mem_mb": self.mem_mb,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "checkpoint_interval_s": self.checkpoint_interval_s,
+            "version": self.version,
+            "machine": self.machine,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "carried_seconds": self.carried_seconds,
+            "wasted_cpu_seconds": self.wasted_cpu_seconds,
+            "completed_at": self.completed_at,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=str(obj["job"]),
+            total_cpu_seconds=float(obj["total_cpu_seconds"]),
+            cpu=float(obj["cpu"]),
+            mem_mb=float(obj["mem_mb"]),
+            state=str(obj["state"]),
+            submitted_at=float(obj["submitted_at"]),
+            checkpoint_interval_s=float(obj["checkpoint_interval_s"]),
+            version=int(obj["version"]),
+            machine=obj.get("machine"),
+            attempts=tuple(Attempt.from_dict(a) for a in obj.get("attempts", ())),
+            carried_seconds=float(obj.get("carried_seconds", 0.0)),
+            wasted_cpu_seconds=float(obj.get("wasted_cpu_seconds", 0.0)),
+            completed_at=obj.get("completed_at"),
+            note=str(obj.get("note", "")),
+        )

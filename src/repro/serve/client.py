@@ -299,6 +299,38 @@ class ServeClient(_ConvenienceOps):
         """Server liveness, queue depth, machine count."""
         return self._result(self.request("health"))
 
+    def submit(
+        self,
+        job: str,
+        total_cpu_seconds: float,
+        *,
+        cpu: float = 1.0,
+        mem_mb: float = 64.0,
+        checkpoint_interval_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit one guest job for placement (protocol v5)."""
+        params: dict[str, Any] = {
+            "job": job,
+            "total_cpu_seconds": total_cpu_seconds,
+            "cpu": cpu,
+            "mem_mb": mem_mb,
+        }
+        if checkpoint_interval_s is not None:
+            params["checkpoint_interval_s"] = checkpoint_interval_s
+        return self._result(self.request("submit", params))
+
+    def job_status(self, job: str) -> dict[str, Any]:
+        """Full record of one job, with clock-derived progress (v5)."""
+        return self._result(self.request("job_status", {"job": job}))
+
+    def cancel(self, job: str) -> dict[str, Any]:
+        """Cancel one job; idempotent on terminal jobs (protocol v5)."""
+        return self._result(self.request("cancel", {"job": job}))
+
+    def jobs(self) -> dict[str, Any]:
+        """All job records plus scheduler stats (protocol v5)."""
+        return self._result(self.request("jobs"))
+
 
 class AsyncServeClient(_ConvenienceOps):
     """Asyncio JSON-lines client over one TCP connection.
@@ -516,3 +548,35 @@ class AsyncServeClient(_ConvenienceOps):
     async def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""
         return self._result(await self.request("health"))
+
+    async def submit(
+        self,
+        job: str,
+        total_cpu_seconds: float,
+        *,
+        cpu: float = 1.0,
+        mem_mb: float = 64.0,
+        checkpoint_interval_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit one guest job for placement (protocol v5)."""
+        params: dict[str, Any] = {
+            "job": job,
+            "total_cpu_seconds": total_cpu_seconds,
+            "cpu": cpu,
+            "mem_mb": mem_mb,
+        }
+        if checkpoint_interval_s is not None:
+            params["checkpoint_interval_s"] = checkpoint_interval_s
+        return self._result(await self.request("submit", params))
+
+    async def job_status(self, job: str) -> dict[str, Any]:
+        """Full record of one job, with clock-derived progress (v5)."""
+        return self._result(await self.request("job_status", {"job": job}))
+
+    async def cancel(self, job: str) -> dict[str, Any]:
+        """Cancel one job; idempotent on terminal jobs (protocol v5)."""
+        return self._result(await self.request("cancel", {"job": job}))
+
+    async def jobs(self) -> dict[str, Any]:
+        """All job records plus scheduler stats (protocol v5)."""
+        return self._result(await self.request("jobs"))

@@ -58,11 +58,15 @@ from repro.serve.protocol import (
 )
 from repro.traces.trace import MachineTrace
 
-__all__ = ["DispatchConfig", "Dispatcher", "DeadlineExceeded"]
+__all__ = ["DispatchConfig", "Dispatcher", "DeadlineExceeded", "SchedulerDisabled"]
 
 
 class DeadlineExceeded(Exception):
     """The request's deadline passed before a worker reached it."""
+
+
+class SchedulerDisabled(RuntimeError):
+    """A v5 scheduling op reached a node running without a JobManager."""
 
 
 @dataclass(frozen=True)
@@ -140,12 +144,15 @@ class Dispatcher:
         config: DispatchConfig | None = None,
         *,
         audit: Any | None = None,
+        sched: Any | None = None,
     ) -> None:
         self.service = service
         self.config = config or DispatchConfig()
         #: Optional PredictionAudit: journals served predict/horizon
         #: responses and resolves them as extend/register ingest samples.
         self.audit = audit
+        #: Optional JobManager answering the v5 scheduling ops.
+        self.sched = sched
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_workers, thread_name_prefix="repro-serve"
         )
@@ -168,6 +175,12 @@ class Dispatcher:
             "extend": self._op_extend,
             "quality": self._op_quality,
             "health": self._op_health,
+            "submit": self._op_submit,
+            "job_status": self._op_job_status,
+            "cancel": self._op_cancel,
+            "jobs": self._op_jobs,
+            "replace": self._op_replace,
+            "job_put": self._op_job_put,
         }
 
     # ------------------------------------------------------------------ #
@@ -402,6 +415,10 @@ class Dispatcher:
             # After the drain no worker is journaling; flush so a restart
             # recovers the full audit trail with no torn tail.
             self.audit.close()
+        if self.sched is not None:
+            # Same contract for the scheduler WAL: every acknowledged
+            # transition must be replayable after restart.
+            self.sched.close()
         return ok
 
     # ------------------------------------------------------------------ #
@@ -517,8 +534,67 @@ class Dispatcher:
             "queue_limit": self.config.queue_depth,
             "workers": self.config.max_workers,
             "audit": self.audit is not None,
+            "sched": self.sched is not None,
             "uptime_seconds": time.monotonic() - self._started,
         }
+
+    # -- scheduling ops (protocol v5) ------------------------------------ #
+
+    def _require_sched(self) -> Any:
+        if self.sched is None:
+            raise SchedulerDisabled(
+                "this node runs without a JobManager (serve without scheduling); "
+                "scheduling ops are unavailable"
+            )
+        return self.sched
+
+    def _op_submit(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        sched = self._require_sched()
+        job_id = str(_require(params, "job"))
+        total = float(_require(params, "total_cpu_seconds"))
+        interval = params.get("checkpoint_interval_s")
+        return sched.submit(
+            job_id,
+            total_cpu_seconds=total,
+            cpu=float(params.get("cpu", 1.0)),
+            mem_mb=float(params.get("mem_mb", 64.0)),
+            checkpoint_interval_s=None if interval is None else float(interval),
+        )
+
+    def _op_job_status(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        sched = self._require_sched()
+        job_id = str(_require(params, "job"))
+        try:
+            return sched.status(job_id)
+        except KeyError:
+            raise ProtocolError(f"unknown job {job_id!r}") from None
+
+    def _op_cancel(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        sched = self._require_sched()
+        job_id = str(_require(params, "job"))
+        try:
+            return sched.cancel(job_id)
+        except KeyError:
+            raise ProtocolError(f"unknown job {job_id!r}") from None
+
+    def _op_jobs(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        sched = self._require_sched()
+        return {"jobs": sched.list_jobs(), "stats": sched.stats()}
+
+    def _op_replace(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Re-place jobs off dead machines (router broadcast, internal)."""
+        sched = self._require_sched()
+        machines = [str(m) for m in _require(params, "machines")]
+        return sched.replace(
+            machines,
+            reason=str(params.get("reason", "node_down")),
+            restore=bool(params.get("restore", False)),
+        )
+
+    def _op_job_put(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Adopt a replicated job record (router write fan-out, internal)."""
+        sched = self._require_sched()
+        return sched.adopt(_require(params, "record"))
 
     # -- audit plumbing -------------------------------------------------- #
 

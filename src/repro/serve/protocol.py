@@ -70,7 +70,12 @@ __all__ = [
 #:     context).  No new ops; the field may ride a request at *any*
 #:     version — pre-v4 servers decode with ``from_wire``, which ignores
 #:     unknown keys, so the envelope degrades silently on old peers.
-PROTOCOL_VERSION = 4
+#: v5: adds the scheduling ops — ``submit``/``job_status``/``cancel``/
+#:     ``jobs`` for clients, plus the internal ``replace`` (node-death
+#:     re-placement broadcast) and ``job_put`` (job-record replication)
+#:     the cluster router uses.  A v4-or-older client sending any of
+#:     them gets the structured unsupported-version error.
+PROTOCOL_VERSION = 5
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -83,6 +88,14 @@ OPS_BY_VERSION: dict[int, frozenset[str]] = {
 OPS_BY_VERSION[2] = OPS_BY_VERSION[1] | {"extend"}
 OPS_BY_VERSION[3] = OPS_BY_VERSION[2] | {"quality"}
 OPS_BY_VERSION[4] = OPS_BY_VERSION[3]  # v4 adds the trace envelope, no ops
+OPS_BY_VERSION[5] = OPS_BY_VERSION[4] | {
+    "submit",
+    "job_status",
+    "cancel",
+    "jobs",
+    "replace",
+    "job_put",
+}
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)

@@ -48,10 +48,11 @@ class ServeServer:
         port: int = 0,
         config: DispatchConfig | None = None,
         audit: Any | None = None,
+        sched: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
-        self.dispatcher = Dispatcher(service, config, audit=audit)
+        self.dispatcher = Dispatcher(service, config, audit=audit, sched=sched)
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
 

@@ -23,6 +23,7 @@ import abc
 import math
 from dataclasses import dataclass
 
+from repro.core.recovery import failure_rate_from_tr, young_interval
 from repro.core.windows import AbsoluteWindow
 from repro.sim.jobs import GuestJob
 
@@ -129,36 +130,9 @@ class AdaptiveCheckpointing(CheckpointPolicy):
         return tr < self.tr_threshold
 
 
-def failure_rate_from_tr(tr: float, window_seconds: float) -> float:
-    """Effective failure rate (per second) implied by a TR prediction.
-
-    Treating the window's failure process as (locally) Poisson,
-    ``TR = exp(-lambda * T)`` inverts to ``lambda = -ln(TR) / T``.  A TR
-    of 0 maps to infinity; a TR of 1 to 0.
-    """
-    if not 0.0 <= tr <= 1.0:
-        raise ValueError(f"tr must be in [0, 1], got {tr}")
-    if window_seconds <= 0.0:
-        raise ValueError(f"window must be positive, got {window_seconds}")
-    if tr == 0.0:
-        return math.inf
-    return -math.log(tr) / window_seconds
-
-
-def young_interval(checkpoint_cost_seconds: float, mtbf_seconds: float) -> float:
-    """Young's first-order optimal checkpoint interval.
-
-    ``t_opt = sqrt(2 * C * MTBF)`` — the classic result the follow-up
-    failure-aware-checkpointing literature builds on.  An infinite MTBF
-    yields an infinite interval (never checkpoint).
-    """
-    if checkpoint_cost_seconds <= 0.0:
-        raise ValueError(f"checkpoint cost must be positive, got {checkpoint_cost_seconds}")
-    if mtbf_seconds <= 0.0:
-        raise ValueError(f"MTBF must be positive, got {mtbf_seconds}")
-    if math.isinf(mtbf_seconds):
-        return math.inf
-    return math.sqrt(2.0 * checkpoint_cost_seconds * mtbf_seconds)
+# failure_rate_from_tr and young_interval moved to repro.core.recovery so
+# the serving-tier scheduler shares one cost model with these policies;
+# re-exported here (see __all__) for compatibility.
 
 
 @dataclass

@@ -131,6 +131,52 @@ class TestCompare:
             ["--baseline", str(base), "--candidate", str(cand)]
         ) == 0
 
+    def test_higher_suffix_gates_throughput_drop(self, gate, tmp_path):
+        # useful_work_rate is higher-is-better: a 50% drop must fail even
+        # though the absolute delta is far below the 5ms floor.
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "sched", {"useful_work_rate": 6.0},
+               gate_keys=["useful_work_rate:higher"])
+        _write(cand, "sched", {"useful_work_rate": 3.0},
+               gate_keys=["useful_work_rate:higher"])
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+
+    def test_higher_suffix_improvement_and_jitter_pass(self, gate, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        _write(base, "sched", {"useful_work_rate": 6.0},
+               gate_keys=["useful_work_rate:higher"])
+        # going up never fails
+        _write(cand, "sched", {"useful_work_rate": 9.0},
+               gate_keys=["useful_work_rate:higher"])
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        # a drop within the relative threshold passes (-10% < 30%)
+        _write(cand, "sched", {"useful_work_rate": 5.4},
+               gate_keys=["useful_work_rate:higher"])
+        assert gate.main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+
+    def test_higher_suffix_mixed_with_latency_gate(self, gate):
+        # one snapshot can gate latency (lower) and throughput (higher)
+        base = {
+            "metrics": {"placement_p99_ms": 10.0, "useful_work_rate": 6.0},
+            "gate_keys": [],
+        }
+        cand = {
+            "metrics": {"placement_p99_ms": 40.0, "useful_work_rate": 2.0},
+            "gate_keys": ["placement_p99_ms", "useful_work_rate:higher"],
+        }
+        failures = gate.compare_snapshots(
+            base, cand, threshold=0.3, min_abs_ms=5.0
+        )
+        assert len(failures) == 2
+        assert any("placement_p99_ms" in f for f in failures)
+        assert any("useful_work_rate" in f for f in failures)
+
     def test_compare_only_gated_keys(self, gate):
         base = {"metrics": {"a_p99_ms": 1.0, "rps": 1000.0}, "gate_keys": []}
         cand = {

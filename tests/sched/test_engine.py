@@ -1,0 +1,217 @@
+"""PlacementEngine unit + property tests.
+
+The property tests pin the engine's contract-level invariants:
+
+* packing — a returned placement never exceeds the machine's remaining
+  capacity (the engine refuses rather than overcommits);
+* TR ordering — among candidates with identical resource shapes the
+  predictive ranking is exactly the TR ordering;
+* totality — any candidate list (including empty) yields a Placement or
+  a structured PlacementRefusal, never an exception.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    REFUSAL_NO_FEASIBLE_MACHINE,
+    Candidate,
+    JobDemand,
+    Placement,
+    PlacementEngine,
+    PlacementRefusal,
+)
+
+
+def mk_candidate(i, tr, *, cpu_cap=1.0, mem_cap=1024.0, cpu_used=0.0, mem_used=0.0):
+    return Candidate(
+        machine_id=f"m-{i:02d}",
+        tr=tr,
+        cpu_capacity=cpu_cap,
+        mem_capacity_mb=mem_cap,
+        cpu_committed=cpu_used,
+        mem_committed_mb=mem_used,
+    )
+
+
+class TestScoring:
+    def test_higher_tr_wins_on_equal_shapes(self):
+        engine = PlacementEngine()
+        job = JobDemand("j", cpu=0.5, mem_mb=64.0)
+        decision = engine.place(
+            job, [mk_candidate(0, 0.4), mk_candidate(1, 0.9), mk_candidate(2, 0.6)]
+        )
+        assert isinstance(decision, Placement)
+        assert decision.machine_id == "m-01"
+        assert decision.tr == pytest.approx(0.9)
+
+    def test_tie_breaks_by_machine_id(self):
+        engine = PlacementEngine()
+        job = JobDemand("j", cpu=0.5)
+        ranked = engine.rank(job, [mk_candidate(1, 0.7), mk_candidate(0, 0.7)])
+        assert [p.machine_id for p in ranked] == ["m-00", "m-01"]
+
+    def test_infeasible_candidate_skipped(self):
+        engine = PlacementEngine()
+        job = JobDemand("j", cpu=0.5, mem_mb=64.0)
+        full = mk_candidate(0, 0.99, cpu_used=0.8)  # only 0.2 cpu left
+        empty = mk_candidate(1, 0.2)
+        decision = engine.place(job, [full, empty])
+        assert isinstance(decision, Placement)
+        assert decision.machine_id == "m-01"
+
+    def test_memory_exhaustion_is_infeasible(self):
+        engine = PlacementEngine()
+        job = JobDemand("j", cpu=0.1, mem_mb=512.0)
+        crowded = mk_candidate(0, 0.99, mem_used=600.0)  # 424MB free < 512
+        assert engine.score(crowded, job) is None
+
+    def test_blind_engine_ranks_by_headroom(self):
+        engine = PlacementEngine(predictive=False)
+        job = JobDemand("j", cpu=0.1, mem_mb=16.0)
+        loaded = mk_candidate(0, 0.99, cpu_used=0.7, mem_used=700.0)
+        idle = mk_candidate(1, 0.01)
+        ranked = engine.rank(job, [loaded, idle])
+        # least-loaded ignores TR entirely: the idle machine wins even
+        # though its TR is terrible
+        assert ranked[0].machine_id == "m-01"
+
+    def test_tr_weight_one_ignores_packing(self):
+        engine = PlacementEngine(tr_weight=1.0)
+        job = JobDemand("j", cpu=0.5, mem_mb=512.0)
+        skewed = mk_candidate(0, 0.8, cpu_used=0.4)  # unbalanced leftovers
+        balanced = mk_candidate(1, 0.8)
+        ranked = engine.rank(job, [skewed, balanced])
+        assert ranked[0].score == pytest.approx(ranked[1].score)
+
+    def test_invalid_tr_weight_rejected(self):
+        with pytest.raises(ValueError, match="tr_weight"):
+            PlacementEngine(tr_weight=1.5)
+
+    def test_invalid_demand_rejected(self):
+        with pytest.raises(ValueError, match="cpu"):
+            JobDemand("j", cpu=0.0)
+        with pytest.raises(ValueError, match="mem"):
+            JobDemand("j", mem_mb=-1.0)
+
+    def test_infinite_memory_candidate_is_neutral(self):
+        engine = PlacementEngine()
+        job = JobDemand("j", cpu=0.5, mem_mb=64.0)
+        placement = engine.score(mk_candidate(0, 0.8, mem_cap=math.inf), job)
+        assert placement is not None
+        assert placement.balance == pytest.approx(1.0)
+
+
+class TestRefusal:
+    def test_empty_candidates_structured_refusal(self):
+        decision = PlacementEngine().place(JobDemand("j"), [])
+        assert isinstance(decision, PlacementRefusal)
+        assert decision.reason == REFUSAL_NO_FEASIBLE_MACHINE
+        assert decision.candidates_considered == 0
+        wire = decision.to_dict()
+        assert wire["job"] == "j" and wire["reason"] == REFUSAL_NO_FEASIBLE_MACHINE
+
+    def test_all_infeasible_structured_refusal(self):
+        job = JobDemand("j", cpu=0.9)
+        crowded = [mk_candidate(i, 0.9, cpu_used=0.5) for i in range(3)]
+        decision = PlacementEngine().place(job, crowded)
+        assert isinstance(decision, PlacementRefusal)
+        assert decision.candidates_considered == 3
+        assert "3 machines" in decision.detail
+
+
+# --------------------------------------------------------------------- #
+# property tests
+# --------------------------------------------------------------------- #
+
+trs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+
+candidate_shapes = st.tuples(
+    trs,
+    st.floats(min_value=0.1, max_value=8.0, allow_nan=False),  # cpu capacity
+    st.floats(min_value=32.0, max_value=4096.0, allow_nan=False),  # mem capacity
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False),  # cpu committed
+    st.floats(min_value=0.0, max_value=4096.0, allow_nan=False),  # mem committed
+)
+
+
+def build_pool(shapes):
+    """Candidates with unique ids (the engine keys decisions on the id)."""
+    return [
+        Candidate(
+            machine_id=f"m-{i:02d}",
+            tr=tr,
+            cpu_capacity=cpu_cap,
+            mem_capacity_mb=mem_cap,
+            cpu_committed=cpu_used,
+            mem_committed_mb=mem_used,
+        )
+        for i, (tr, cpu_cap, mem_cap, cpu_used, mem_used) in enumerate(shapes)
+    ]
+
+demands = st.builds(
+    JobDemand,
+    job_id=st.just("prop-job"),
+    cpu=st.floats(min_value=0.01, max_value=4.0, allow_nan=False),
+    mem_mb=st.floats(min_value=0.0, max_value=2048.0, allow_nan=False),
+)
+
+engines = st.builds(
+    PlacementEngine,
+    tr_weight=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    predictive=st.booleans(),
+)
+
+
+class TestEngineProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(engines, demands, st.lists(candidate_shapes, max_size=12))
+    def test_packing_never_exceeds_capacity(self, engine, job, shapes):
+        """Any returned placement fits in the machine's leftover capacity."""
+        pool = build_pool(shapes)
+        decision = engine.place(job, pool)
+        if isinstance(decision, PlacementRefusal):
+            return
+        chosen = next(c for c in pool if c.machine_id == decision.machine_id)
+        eps = 1e-6
+        assert chosen.cpu_committed + job.cpu <= chosen.cpu_capacity + eps
+        assert chosen.mem_committed_mb + job.mem_mb <= chosen.mem_capacity_mb + eps
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(trs, min_size=1, max_size=10, unique=True),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_equal_shapes_ordered_exactly_by_tr(self, tr_values, tr_weight):
+        """With identical resource shapes, predictive rank == TR rank."""
+        engine = PlacementEngine(tr_weight=tr_weight)
+        job = JobDemand("j", cpu=0.25, mem_mb=32.0)
+        pool = [mk_candidate(i, tr) for i, tr in enumerate(tr_values)]
+        ranked = engine.rank(job, pool)
+        assert len(ranked) == len(pool)
+        by_tr = sorted(pool, key=lambda c: (-c.tr, c.machine_id))
+        assert [p.machine_id for p in ranked] == [c.machine_id for c in by_tr]
+
+    @settings(max_examples=200, deadline=None)
+    @given(engines, demands, st.lists(candidate_shapes, max_size=12))
+    def test_total_never_raises(self, engine, job, shapes):
+        """place() always returns a decision object, never raises."""
+        pool = build_pool(shapes)
+        decision = engine.place(job, pool)
+        if isinstance(decision, Placement):
+            assert decision.machine_id in {c.machine_id for c in pool}
+            assert 0.0 <= decision.tr <= 1.0
+            assert math.isfinite(decision.score)
+        else:
+            assert decision.reason == REFUSAL_NO_FEASIBLE_MACHINE
+            assert decision.candidates_considered == len(pool)
+
+    @settings(max_examples=100, deadline=None)
+    @given(demands)
+    def test_empty_pool_always_refuses(self, job):
+        decision = PlacementEngine().place(job, [])
+        assert isinstance(decision, PlacementRefusal)
+        assert decision.reason == REFUSAL_NO_FEASIBLE_MACHINE

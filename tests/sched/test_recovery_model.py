@@ -1,0 +1,128 @@
+"""The shared recovery cost model (repro.core.recovery).
+
+``failure_rate_from_tr`` and ``young_interval`` are covered through the
+sim re-export in tests/sim/test_checkpoint_extensions.py; here we pin
+the scheduler-facing half: expected-completion math and the
+resume / migrate / restart choice.
+"""
+
+import math
+
+import pytest
+
+from repro.core.recovery import (
+    ACTION_MIGRATE,
+    ACTION_RESTART,
+    ACTION_RESUME,
+    RecoveryCosts,
+    choose_recovery_action,
+    expected_completion_seconds,
+)
+
+
+class TestExpectedCompletion:
+    def test_reliable_host_costs_exactly_the_work(self):
+        assert expected_completion_seconds(500.0, 0.0) == 500.0
+
+    def test_zero_work_is_free(self):
+        assert expected_completion_seconds(0.0, 1.0) == 0.0
+
+    def test_dead_host_costs_infinity(self):
+        assert math.isinf(expected_completion_seconds(500.0, math.inf))
+
+    def test_monotone_in_failure_rate(self):
+        costs = [expected_completion_seconds(1000.0, r) for r in (0.0, 1e-4, 1e-3)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_huge_exponent_stays_finite(self):
+        assert math.isfinite(expected_completion_seconds(1e6, 1.0))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            expected_completion_seconds(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_completion_seconds(10.0, -0.1)
+
+
+class TestChooseRecoveryAction:
+    def test_no_checkpoint_not_migratable_restarts(self):
+        decision = choose_recovery_action(
+            total_work_seconds=1000.0,
+            progress_seconds=300.0,
+            checkpointed_seconds=0.0,
+            new_host_tr=0.9,
+            window_seconds=700.0,
+        )
+        assert decision.action == ACTION_RESTART
+        assert math.isinf(decision.costs[ACTION_RESUME])
+        assert math.isinf(decision.costs[ACTION_MIGRATE])
+
+    def test_checkpoint_beats_restart(self):
+        decision = choose_recovery_action(
+            total_work_seconds=1000.0,
+            progress_seconds=300.0,
+            checkpointed_seconds=250.0,
+            new_host_tr=0.9,
+            window_seconds=750.0,
+        )
+        assert decision.action == ACTION_RESUME
+        assert decision.costs[ACTION_RESUME] < decision.costs[ACTION_RESTART]
+
+    def test_migrate_retains_everything_when_reachable(self):
+        # nothing checkpointed, old host reachable: the 300s of live
+        # progress outweighs migrate's higher fixed overhead
+        decision = choose_recovery_action(
+            total_work_seconds=1000.0,
+            progress_seconds=300.0,
+            checkpointed_seconds=0.0,
+            new_host_tr=0.9,
+            window_seconds=700.0,
+            migratable=True,
+        )
+        assert decision.action == ACTION_MIGRATE
+
+    def test_worthless_checkpoint_restarts(self):
+        # resume overhead exceeds the progress a near-empty checkpoint
+        # saves, so restart wins on expected cost
+        decision = choose_recovery_action(
+            total_work_seconds=1000.0,
+            progress_seconds=10.0,
+            checkpointed_seconds=5.0,
+            new_host_tr=1.0,
+            window_seconds=1000.0,
+            costs=RecoveryCosts(resume_overhead_s=30.0, restart_overhead_s=5.0),
+        )
+        assert decision.action == ACTION_RESTART
+
+    def test_costs_dict_covers_every_action(self):
+        decision = choose_recovery_action(
+            total_work_seconds=100.0,
+            progress_seconds=50.0,
+            checkpointed_seconds=50.0,
+            new_host_tr=0.8,
+            window_seconds=50.0,
+            migratable=True,
+        )
+        assert set(decision.costs) == {ACTION_RESUME, ACTION_MIGRATE, ACTION_RESTART}
+        assert decision.expected_seconds == decision.costs[decision.action]
+
+    def test_unreliable_new_host_inflates_all_costs(self):
+        kw = dict(
+            total_work_seconds=1000.0,
+            progress_seconds=500.0,
+            checkpointed_seconds=400.0,
+            window_seconds=600.0,
+        )
+        good = choose_recovery_action(new_host_tr=0.95, **kw)
+        bad = choose_recovery_action(new_host_tr=0.30, **kw)
+        assert bad.expected_seconds > good.expected_seconds
+
+    def test_invalid_progress_ordering_rejected(self):
+        with pytest.raises(ValueError, match="checkpointed"):
+            choose_recovery_action(
+                total_work_seconds=100.0,
+                progress_seconds=50.0,
+                checkpointed_seconds=80.0,  # > progress
+                new_host_tr=0.9,
+                window_seconds=100.0,
+            )

@@ -123,7 +123,8 @@ class TestVersionGating:
         assert min_version("predict") == 1
         assert min_version("extend") == 2
         assert min_version("quality") == 3
-        assert PROTOCOL_VERSION == 4  # v4 adds the trace envelope, no ops
+        assert min_version("submit") == 5
+        assert PROTOCOL_VERSION == 5  # v5 adds the scheduling ops
         assert Request(op="health").to_wire()["v"] == PROTOCOL_VERSION  # default
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()

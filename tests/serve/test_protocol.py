@@ -45,7 +45,9 @@ class TestRequest:
         assert OPS_BY_VERSION[1] == v1
         assert OPS_BY_VERSION[2] == v1 | {"extend"}
         assert OPS_BY_VERSION[3] == v1 | {"extend", "quality"}
-        assert OPS == v1 | {"extend", "quality"}
+        sched_ops = {"submit", "job_status", "cancel", "jobs", "replace", "job_put"}
+        assert OPS_BY_VERSION[5] == OPS_BY_VERSION[4] | sched_ops
+        assert OPS == v1 | {"extend", "quality"} | sched_ops
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):

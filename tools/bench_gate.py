@@ -14,6 +14,13 @@ A gated metric **fails** when it regressed by more than ``--threshold``
 floor, default 5 ms) — the floor keeps microsecond-scale jitter from
 flapping the build.  Getting *faster* never fails.
 
+A gate key may carry a ``:higher`` suffix (``useful_work_rate:higher``)
+for throughput-style metrics where *bigger* is better: the gated metric
+is the key without the suffix, and it fails when the candidate *drops*
+below the baseline by more than ``--threshold`` relative.  The
+millisecond floor does not apply — these metrics are not latencies —
+so the check is relative-only.  Getting *higher* never fails.
+
 Missing baselines are reported and pass: the first run on a new
 experiment seeds its baseline rather than blocking the build.
 
@@ -46,12 +53,26 @@ def compare_snapshots(
     failures: list[str] = []
     base_metrics = baseline["metrics"]
     cand_metrics = candidate["metrics"]
-    for key in candidate.get("gate_keys", []):
+    for gate_key in candidate.get("gate_keys", []):
+        key, _, direction = gate_key.partition(":")
+        higher_is_better = direction == "higher"
         base = base_metrics.get(key)
         cand = cand_metrics.get(key)
         if not isinstance(base, (int, float)) or not isinstance(cand, (int, float)):
             continue  # metric renamed or absent on one side: not a regression
         if base != base or cand != cand:  # nan on either side
+            continue
+        if higher_is_better:
+            drop = base - cand
+            if drop <= 0:
+                continue
+            rel = drop / base if base > 0 else float("inf")
+            if rel > threshold:
+                failures.append(
+                    f"{key}: {base:.3f} -> {cand:.3f} "
+                    f"(-{rel * 100:.0f}%; higher is better, "
+                    f"threshold {threshold * 100:.0f}%)"
+                )
             continue
         delta = cand - base
         if delta <= min_abs_ms:
