@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     fig6,
     fig7,
     fig8,
+    ingest_exp,
     load_forecast,
     overhead,
     profiles_exp,
@@ -44,6 +45,7 @@ REGISTRY = {
     "load": load_forecast,
     "serving": serving,
     "store": store_exp,
+    "ingest": ingest_exp,
     "cluster": cluster_exp,
     "audit": audit_exp,
     "sched": sched_exp,

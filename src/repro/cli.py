@@ -34,6 +34,11 @@ Usage::
     repro-fgcs sched status --port 7061               # the whole job table
     repro-fgcs sched watch --cluster cluster/cluster.json
     repro-fgcs sched drain lab-00 --port 7061         # checkpoint-migrate away
+    repro-fgcs ingest agent --port 7061 --duration 60 # monitor THIS host live
+    repro-fgcs ingest agent --port 7061 --simulate-days 14  # synthetic, fast
+    repro-fgcs ingest import spot.csv --format preempt --port 7061
+    repro-fgcs ingest import fleet.csv --out traces/  # convert offline
+    repro-fgcs ingest tail --port 7061 --machine $(hostname) -n 5
 
 (Equivalently: ``python -m repro ...``.)
 
@@ -1024,6 +1029,191 @@ def _cmd_sched_drain(args: argparse.Namespace) -> int:
     return 0 if response.status == STATUS_OK else 1
 
 
+def _cmd_ingest_agent(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.ingest.agent import AgentConfig, MonitorAgent, SimulatedClock
+    from repro.ingest.samplers import MissingDependencyError, make_sampler
+    from repro.serve.client import ServeClient
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    host, port = target
+    sampler_kind = args.sampler
+    if args.simulate_days and sampler_kind == "auto":
+        # Simulated time makes a real host sampler meaningless (it would
+        # read the same instant thousands of times); default to synthetic.
+        sampler_kind = "synthetic"
+    try:
+        sampler = make_sampler(sampler_kind, seed=args.seed)
+    except MissingDependencyError as exc:
+        print(f"sampler {sampler_kind!r} unavailable: {exc}", file=sys.stderr)
+        return 2
+    config = AgentConfig(
+        machine_id=args.machine,
+        sample_period=args.period,
+        chunk_samples=args.chunk,
+        ring_capacity=args.ring,
+        spill_dir=args.spill_dir,
+        utc_offset_s=args.utc_offset,
+    )
+    if args.simulate_days:
+        clock = SimulatedClock(time.time())
+        tick, sleeper = clock.now, clock.sleep
+        duration = args.simulate_days * 86400.0
+    else:
+        tick, sleeper = time.time, time.sleep
+        duration = args.duration
+    stopping = False
+
+    def _stop(_sig, _frame):
+        nonlocal stopping
+        stopping = True
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _stop)
+    try:
+        with ServeClient(
+            host, port, timeout=args.connect_timeout, retries=args.retries
+        ) as client:
+            agent = MonitorAgent(sampler, client, config, clock=tick, sleep=sleeper)
+            print(
+                f"[agent {args.machine}: sampler {sampler.kind}, "
+                f"period {args.period:g}s, chunk {args.chunk}, "
+                f"target {host}:{port}"
+                + (f", spill {args.spill_dir}" if args.spill_dir else "")
+                + "]",
+                flush=True,
+            )
+            produced = agent.run(
+                max_samples=args.samples,
+                duration_s=duration,
+                stop=lambda: stopping,
+            )
+            status = agent.status()
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return 1
+    print(
+        f"[agent stopped: {produced} samples generated, "
+        f"{status['acked']} acked, {status['unacked']} unacked, "
+        f"{status['gap_filled']} gap-filled, "
+        f"{status['flush_errors']} flush errors]"
+    )
+    return 0 if status["unacked"] == 0 else 1
+
+
+def _cmd_ingest_import(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.ingest.adapters import get_adapter
+
+    try:
+        convert = get_adapter(args.format)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    client = None
+    if not args.out:
+        target = _resolve_query_target(args)
+        if target is None:
+            print(
+                "hint: give a server target to register the imported traces, "
+                "or --out DIR to write them as a traceset instead",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serve.client import ServeClient
+
+        host, port = target
+        try:
+            client = ServeClient(host, port, timeout=args.connect_timeout)
+        except OSError as exc:
+            print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+            print(_unreachable_hint(args, host, port), file=sys.stderr)
+            return 1
+    kwargs: dict[str, object] = {
+        "sample_period": args.period,
+        "machine_id": args.machine,
+        "utc_offset_s": args.utc_offset,
+    }
+    if args.format != "preempt":
+        kwargs["gap_policy"] = args.gap_policy
+        if args.native_period:
+            kwargs["native_period"] = args.native_period
+    all_traces = []
+    try:
+        for path in args.files:
+            try:
+                traces, stats = convert(path, **kwargs)
+            except (ValueError, FileNotFoundError) as exc:
+                print(f"import failed: {exc}", file=sys.stderr)
+                return 1
+            all_traces.extend(traces)
+            print(_json.dumps(stats.as_dict()))
+            for trace in traces:
+                if client is not None:
+                    result = client.register(trace)
+                    print(
+                        f"  registered {trace.machine_id}: "
+                        f"{result.get('n_samples', trace.n_samples)} samples"
+                    )
+                else:
+                    print(f"  converted {trace.machine_id}: "
+                          f"{trace.n_samples} samples")
+    finally:
+        if client is not None:
+            client.close()
+    if args.out:
+        from repro.traces.io import save_traceset
+        from repro.traces.trace import TraceSet
+
+        testbed = TraceSet()
+        for trace in all_traces:
+            testbed.add(trace)
+        save_traceset(testbed, args.out)
+        print(f"[{len(testbed)} machine traces written to {args.out}/]")
+    return 0
+
+
+def _cmd_ingest_tail(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    host, port = target
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            result = client.tail(args.machine, n=args.n)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(result, indent=2))
+        return 0
+    print(
+        f"{result['machine']}: {result['n_samples']} samples, "
+        f"period {result['sample_period']:g}s, "
+        f"model time [{result['start_time']:g}, {result['end_time']:g})"
+    )
+    header = f"{'model time':>14} {'load':>8} {'free MB':>10} {'up':>3}"
+    print(header)
+    print("-" * len(header))
+    for s in result["samples"]:
+        mem = "inf" if s["free_mem_mb"] == float("inf") else f"{s['free_mem_mb']:.0f}"
+        print(
+            f"{s['time']:>14.1f} {s['load']:>8.3f} {mem:>10} "
+            f"{'up' if s['up'] else 'DN':>3}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1345,6 +1535,116 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replacement reason recorded on the attempts "
                         "(drain* reasons allow live migration)")
     sdrain.set_defaults(func=_cmd_sched_drain)
+
+    ingest = sub.add_parser(
+        "ingest", help="feed real telemetry into a server (live agent, "
+        "foreign trace import, read-back tail)"
+    )
+    isub = ingest.add_subparsers(dest="ingest_op", required=True)
+
+    def _ingest_target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0,
+                       help="server (or cluster router) port")
+        p.add_argument("--port-file",
+                       help="read the port from this file (as written by "
+                       "'repro-fgcs serve --port-file' or 'cluster start')")
+        p.add_argument("--cluster", metavar="SPEC",
+                       help="read the router address from a cluster spec JSON")
+        p.add_argument("--connect-timeout", type=float, default=10.0)
+
+    import socket as _socket
+
+    iagent = isub.add_parser(
+        "agent",
+        help="run the live host monitor: sample this machine onto the "
+        "model grid and stream chunks through 'extend'",
+    )
+    _ingest_target_args(iagent)
+    iagent.add_argument("--machine", default=_socket.gethostname(),
+                        help="machine id to report as (default: hostname)")
+    iagent.add_argument("--period", type=float, default=6.0,
+                        help="monitoring period in seconds (default: 6, "
+                        "the paper's testbed setting)")
+    # Mirror of repro.ingest.samplers.SAMPLER_KINDS, kept literal so
+    # building the parser stays import-light.
+    iagent.add_argument("--sampler", default="auto",
+                        choices=("auto", "psutil", "proc", "synthetic"),
+                        help="host sampler backend: psutil (needs the "
+                        "repro[ingest] extra), proc (/proc, Linux, no deps), "
+                        "synthetic (deterministic walk); auto picks psutil, "
+                        "or synthetic under --simulate-days (default: auto)")
+    iagent.add_argument("--seed", type=int, default=0,
+                        help="seed for the synthetic sampler")
+    iagent.add_argument("--duration", type=float, default=None,
+                        help="stop after this many wall seconds "
+                        "(default: run until SIGINT/SIGTERM)")
+    iagent.add_argument("--samples", type=int, default=None,
+                        help="stop after generating this many samples")
+    iagent.add_argument("--simulate-days", type=float, default=None,
+                        help="run on a simulated clock for this many model "
+                        "days (sleep is free; builds multi-day histories "
+                        "in seconds)")
+    iagent.add_argument("--chunk", type=int, default=10,
+                        help="samples per extend chunk (default: 10, one "
+                        "minute at the 6 s period)")
+    iagent.add_argument("--ring", type=int, default=4096,
+                        help="in-memory buffer bound in samples (default: 4096)")
+    iagent.add_argument("--spill-dir", default=None,
+                        help="durable spill directory; unacknowledged samples "
+                        "survive agent crashes and server outages")
+    iagent.add_argument("--utc-offset", type=float, default=0.0,
+                        help="seconds to add to UTC for the model calendar "
+                        "(the paper's weekday/weekend split is local time)")
+    iagent.add_argument("--retries", type=int, default=3,
+                        help="retry shed/refused flushes this many times "
+                        "with jittered backoff (default: 3)")
+    iagent.set_defaults(func=_cmd_ingest_agent)
+
+    iimport = isub.add_parser(
+        "import",
+        help="convert a foreign trace file onto the model grid and "
+        "register it (or write a traceset with --out)",
+    )
+    _ingest_target_args(iimport)
+    iimport.add_argument("files", nargs="+", help="foreign trace files")
+    # Mirror of the repro.ingest.adapters registry, kept literal so
+    # building the parser stays import-light.
+    iimport.add_argument("--format", default="csv",
+                         choices=("csv", "preempt"),
+                         help="adapter: csv (timestamp,load[,free_mem_mb]"
+                         "[,up][,machine]) or preempt (instance,start,end"
+                         "[,cause] spot-VM lifetimes) (default: csv)")
+    iimport.add_argument("--period", type=float, default=6.0,
+                         help="model grid period in seconds (default: 6)")
+    iimport.add_argument("--machine", default=None,
+                         help="override the machine id (single-machine "
+                         "files only)")
+    iimport.add_argument("--gap-policy", choices=("down", "reject"),
+                         default="down",
+                         help="slots with no source data: mark the machine "
+                         "down, or reject the import (default: down)")
+    iimport.add_argument("--native-period", type=float, default=None,
+                         help="source cadence in seconds (csv adapter; "
+                         "default: inferred from timestamps)")
+    iimport.add_argument("--utc-offset", type=float, default=0.0,
+                         help="seconds to add to UTC for the model calendar")
+    iimport.add_argument("--out", default=None,
+                         help="write converted traces to this traceset "
+                         "directory instead of registering them")
+    iimport.set_defaults(func=_cmd_ingest_import)
+
+    itail = isub.add_parser(
+        "tail",
+        help="read back the last N samples the server holds for a machine",
+    )
+    _ingest_target_args(itail)
+    itail.add_argument("--machine", required=True, help="machine id")
+    itail.add_argument("-n", type=int, default=10,
+                       help="samples to read (default: 10)")
+    itail.add_argument("--json", action="store_true",
+                       help="print the raw result as JSON")
+    itail.set_defaults(func=_cmd_ingest_tail)
 
     trace = sub.add_parser(
         "trace",

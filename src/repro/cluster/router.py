@@ -57,7 +57,7 @@ from repro.serve.protocol import (
 __all__ = ["RouterConfig", "ClusterRouter"]
 
 #: Ops answered by proxying to the single owning replica set.
-_SINGLE_MACHINE_OPS = frozenset({"predict", "horizon"})
+_SINGLE_MACHINE_OPS = frozenset({"predict", "horizon", "tail"})
 #: Ops answered by scatter-gather across every shard.
 _SCATTER_OPS = frozenset({"rank", "select"})
 #: Ops merged from per-node audit state (never deduplicated: each node

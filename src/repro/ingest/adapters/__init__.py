@@ -1,0 +1,52 @@
+"""Foreign trace adapter registry.
+
+Every adapter exposes one callable::
+
+    convert(path, *, sample_period, machine_id=None, gap_policy="down",
+            utc_offset_s=0.0, **format_kwargs)
+        -> (list[MachineTrace], AdapterStats)
+
+Built-ins: ``csv`` (generic timestamped samples) and ``preempt``
+(spot/preemptible-VM lifetime logs).  Third-party formats register via
+:func:`register_adapter` and immediately show up in
+``repro-fgcs ingest import --format``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ingest.adapters import csvts, preempt
+from repro.ingest.adapters.base import GAP_POLICIES, AdapterStats
+
+__all__ = [
+    "ADAPTERS",
+    "AdapterStats",
+    "GAP_POLICIES",
+    "get_adapter",
+    "register_adapter",
+]
+
+#: Adapter name -> convert callable.
+ADAPTERS: dict[str, Callable] = {}
+
+
+def register_adapter(name: str, convert: Callable) -> None:
+    """Register (or replace) one adapter under ``name``."""
+    if not name:
+        raise ValueError("adapter name must be non-empty")
+    ADAPTERS[name] = convert
+
+
+def get_adapter(name: str) -> Callable:
+    """Look up an adapter; KeyError lists what exists."""
+    try:
+        return ADAPTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adapter {name!r}; registered: {', '.join(sorted(ADAPTERS))}"
+        ) from None
+
+
+register_adapter(csvts.NAME, csvts.convert)
+register_adapter(preempt.NAME, preempt.convert)

@@ -1,0 +1,141 @@
+"""Generic timestamped-CSV adapter: any monitor's dump, one row per sample.
+
+Accepted shape (header row required, extra columns ignored)::
+
+    timestamp,load[,free_mem_mb][,up][,machine]
+
+* ``timestamp`` — Unix seconds (float) or an ISO-8601 instant; naive
+  ISO timestamps are read as UTC (the model calendar has no zones).
+* ``load`` — CPU load in [0, 1]; a file whose loads exceed 1 is read as
+  percentages (noted in the stats) so foreign 0-100 dumps import
+  without a preprocessing step.
+* ``free_mem_mb`` — optional; missing means memory-unconstrained
+  (``inf``), matching the serving tier's convention for traces without
+  a memory signal.
+* ``up`` — optional 0/1 heartbeat; missing means up (the row exists).
+* ``machine`` — optional; one file may carry several machines.  An
+  explicit ``machine_id`` argument overrides (and requires a
+  single-machine file).
+
+Rows are binned on the source's *native* cadence first (inferred from
+the median inter-sample spacing when not given), then regridded to the
+requested model period — so a 30 s office-fleet dump imports onto the
+paper's 6 s grid without manufacturing false gaps.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.ingest.adapters.base import AdapterStats, bin_samples, observe_import, regrid
+from repro.ingest.timebase import wall_to_model
+from repro.traces.trace import MachineTrace
+
+__all__ = ["convert"]
+
+NAME = "csv"
+
+
+def _parse_timestamp(raw: str) -> float:
+    """Unix seconds from a numeric or ISO-8601 field."""
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    stamp = datetime.fromisoformat(raw)
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=timezone.utc)
+    return stamp.timestamp()
+
+
+def _infer_native_period(times: np.ndarray) -> float:
+    deltas = np.diff(np.unique(times))
+    deltas = deltas[deltas > 1e-9]
+    if deltas.size == 0:
+        raise ValueError("cannot infer a native period from a single timestamp")
+    return float(np.median(deltas))
+
+
+def convert(
+    path: str | Path,
+    *,
+    sample_period: float,
+    machine_id: str | None = None,
+    gap_policy: str = "down",
+    native_period: float | None = None,
+    utc_offset_s: float = 0.0,
+) -> tuple[list[MachineTrace], AdapterStats]:
+    """Convert one timestamped CSV into model-grid traces."""
+    path = Path(path)
+    stats = AdapterStats(adapter=NAME, gap_policy=gap_policy)
+    rows_by_machine: dict[str, list[tuple[float, float, float, bool]]] = {}
+    file_machines: set[str] = set()
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or "timestamp" not in reader.fieldnames:
+            raise ValueError(f"{path}: expected a header row with a 'timestamp' column")
+        if "load" not in reader.fieldnames:
+            raise ValueError(f"{path}: expected a 'load' column")
+        for row in reader:
+            if all(not (v or "").strip() for v in row.values()):
+                stats.skipped_rows += 1
+                continue  # blank line
+            lineno = reader.line_num
+            try:
+                t = _parse_timestamp(row["timestamp"])
+                load = float(row["load"])
+                mem_raw = row.get("free_mem_mb")
+                mem = float(mem_raw) if mem_raw not in (None, "") else float("inf")
+                up_raw = row.get("up")
+                up = bool(int(up_raw)) if up_raw not in (None, "") else True
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed row: {exc}") from None
+            col = (row.get("machine") or "").strip()
+            if col:
+                file_machines.add(col)
+            mid = machine_id or col or path.stem
+            rows_by_machine.setdefault(mid, []).append((t, load, mem, up))
+            stats.rows_read += 1
+    if not rows_by_machine:
+        raise ValueError(f"{path}: no data rows")
+    if machine_id is not None and len(file_machines) > 1:
+        raise ValueError(
+            f"{path}: carries {len(file_machines)} machines but an explicit "
+            f"machine id {machine_id!r} was given"
+        )
+
+    traces: list[MachineTrace] = []
+    for mid in sorted(rows_by_machine):
+        rows = rows_by_machine[mid]
+        wall = np.array([r[0] for r in rows])
+        loads = np.array([r[1] for r in rows])
+        mems = np.array([r[2] for r in rows])
+        ups = np.array([r[3] for r in rows], dtype=bool)
+        if float(loads.max(initial=0.0)) > 1.0 + 1e-9:
+            if float(loads.max(initial=0.0)) > 100.0 + 1e-6:
+                raise ValueError(
+                    f"{path}: load values exceed 100; neither a fraction nor "
+                    "a percentage"
+                )
+            loads = loads / 100.0
+            note = "loads read as percentages (max > 1)"
+            if note not in stats.notes:
+                stats.notes.append(note)
+        times_model = wall_to_model(wall, utc_offset_s=utc_offset_s)
+        native = native_period if native_period is not None else _infer_native_period(
+            times_model
+        )
+        binned = bin_samples(
+            mid, times_model, loads, mems, ups,
+            period=native, gap_policy=gap_policy, stats=stats,
+        )
+        trace = regrid(binned, sample_period, stats)
+        stats.samples_out += trace.n_samples
+        traces.append(trace)
+    stats.machines = len(traces)
+    observe_import(stats)
+    return traces, stats

@@ -1,0 +1,505 @@
+"""Live host monitor agent: sample the machine we run on, stream it in.
+
+The agent closes the loop the paper assumes but PRs 1-7 only simulated:
+a daemon on each host measures (CPU load, free memory, heartbeat) every
+``sample_period`` seconds and feeds the availability model.  Design
+constraints, in the order they shaped the code:
+
+**Grid quantization.**  The model needs a perfectly regular grid; wall
+clocks drift, sampling has jitter, processes get paged out.  The agent
+therefore never timestamps samples with "now" — it computes the next
+*slot* of the global model grid (:mod:`repro.ingest.timebase`), sleeps
+to the slot boundary, and assigns the measured sample to that slot.
+
+**Gap-free by construction.**  The serving tier's ``extend`` op (and
+the durable store underneath) reject chunks that would leave holes in
+the history.  Slots the agent missed — it was stopped, the host slept,
+sampling stalled past a boundary — are *down-filled*: ``up=False``,
+zero load, zero memory.  Absence of a heartbeat is exactly how the
+paper's model defines unavailability, so a killed agent reports its own
+outage when it comes back.  A gap longer than ``max_gap_samples`` stops
+being believable downtime (a laptop closed for a month); the agent then
+starts a fresh grid instead of writing a mountain of fake samples.
+
+**Local durability.**  Samples land in a bounded in-memory ring and,
+when a ``spill_dir`` is configured, in an append-only on-disk journal
+*before* any flush is attempted — a server outage (or an agent crash)
+never loses samples.  The ring bounds memory during long outages; older
+unacknowledged samples remain on disk and are re-read at flush time.
+The journal is truncated only once everything in it was acknowledged.
+
+**Idempotent streaming.**  Flushes go through
+:meth:`repro.serve.client.ServeClient.extend` with the client's
+retry/backoff; because ``extend`` trims overlap server-side, a retried
+or replayed chunk is harmless and the agent only advances its acked
+cursor on a positive acknowledgement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ingest.samplers import HostSample
+from repro.ingest.timebase import (
+    model_to_wall,
+    slot_index,
+    slot_start,
+    wall_to_model,
+)
+from repro.obs.events import get_event_log
+from repro.obs.instruments import instrument
+from repro.obs.tracing import start_span
+from repro.serve.client import ServeRequestError
+from repro.traces.trace import MachineTrace
+
+__all__ = ["AgentConfig", "MonitorAgent", "SimulatedClock"]
+
+_META_FILE = "agent.json"
+_JOURNAL_FILE = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Tuning knobs of one monitor agent."""
+
+    #: Machine identity under which samples are registered.
+    machine_id: str
+    #: Grid period in seconds (the paper's testbed used 6 s).
+    sample_period: float = 6.0
+    #: Flush to the server once this many samples are unacknowledged.
+    chunk_samples: int = 10
+    #: Upper bound on samples shipped in one ``extend`` request.
+    max_chunk_samples: int = 5000
+    #: In-memory ring bound on unacknowledged samples; beyond it the
+    #: oldest entries live only in the spill journal.
+    ring_capacity: int = 4096
+    #: Directory for the durability journal (None: memory-only).
+    spill_dir: str | None = None
+    #: Longest believable outage to down-fill, in samples; a larger gap
+    #: restarts the grid instead (1 day at the 6 s period by default).
+    max_gap_samples: int = 14400
+    #: Shift applied to UTC time-of-day (deployments wanting local-time
+    #: day boundaries).
+    utc_offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.machine_id:
+            raise ValueError("machine_id must be non-empty")
+        if self.sample_period <= 0:
+            raise ValueError(f"sample_period must be positive, got {self.sample_period}")
+        if self.chunk_samples < 1 or self.max_chunk_samples < 1:
+            raise ValueError("chunk_samples and max_chunk_samples must be >= 1")
+        if self.ring_capacity < self.chunk_samples:
+            raise ValueError(
+                f"ring_capacity ({self.ring_capacity}) must hold at least one "
+                f"flush chunk ({self.chunk_samples})"
+            )
+        if self.max_gap_samples < 0:
+            raise ValueError(f"max_gap_samples must be >= 0, got {self.max_gap_samples}")
+
+
+class SimulatedClock:
+    """A controllable clock: ``sleep`` advances time instead of waiting.
+
+    Drives the agent's exact production loop at full speed — the
+    ``--simulate`` CLI mode and the SIGKILL round-trip test use it to
+    produce multi-day live-ingested histories in seconds.
+    """
+
+    def __init__(self, start_unix_time: float) -> None:
+        self.now_s = float(start_unix_time)
+
+    def now(self) -> float:
+        return self.now_s
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.now_s += seconds
+
+
+class MonitorAgent:
+    """Samples one host onto the model grid and streams it via extend.
+
+    ``client`` is anything with an ``extend(chunk) -> dict`` method —
+    a :class:`~repro.serve.client.ServeClient` in production, a fake in
+    tests.  ``clock``/``sleep`` default to the real wall clock and are
+    replaced together by a :class:`SimulatedClock` for simulation.
+    """
+
+    def __init__(
+        self,
+        sampler: Any,
+        client: Any,
+        config: AgentConfig,
+        *,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.sampler = sampler
+        self.client = client
+        self.config = config
+        self._clock = clock
+        self._sleep = sleep
+        #: Grid slot of sample seq 0 (fixed for the life of one grid).
+        self._start_slot: int | None = None
+        #: Samples generated since seq 0.
+        self._n_generated = 0
+        #: Samples acknowledged by the server.
+        self._acked = 0
+        #: Oldest seq still retained (journal truncation point).
+        self._retained_from = 0
+        #: Unacked tail cache: list of (seq, load, free_mem_mb, up).
+        self._ring: list[tuple[int, float, float, bool]] = []
+        self.gap_filled = 0
+        self.flush_errors = 0
+        self._journal_fh = None
+        if config.spill_dir is not None:
+            Path(config.spill_dir).mkdir(parents=True, exist_ok=True)
+            self._recover_spill()
+
+    # ------------------------------------------------------------------ #
+    # spill journal
+    # ------------------------------------------------------------------ #
+
+    def _meta_path(self) -> Path:
+        return Path(self.config.spill_dir) / _META_FILE
+
+    def _journal_path(self) -> Path:
+        return Path(self.config.spill_dir) / _JOURNAL_FILE
+
+    def _recover_spill(self) -> None:
+        """Resume grid/cursor state from a previous agent's journal."""
+        meta_path = self._meta_path()
+        if not meta_path.exists():
+            return
+        meta = json.loads(meta_path.read_text())
+        if (
+            meta.get("machine_id") != self.config.machine_id
+            or abs(meta.get("sample_period", -1.0) - self.config.sample_period) > 1e-9
+        ):
+            raise ValueError(
+                f"spill dir {self.config.spill_dir} belongs to machine "
+                f"{meta.get('machine_id')!r} at period {meta.get('sample_period')}; "
+                f"refusing to mix it with {self.config.machine_id!r} at "
+                f"{self.config.sample_period} (use a fresh --spill-dir)"
+            )
+        self._start_slot = int(meta["start_slot"])
+        self._acked = int(meta.get("acked", 0))
+        self._retained_from = int(meta.get("retained_from", 0))
+        self._n_generated = int(meta.get("n_generated", 0))
+        recovered = 0
+        journal = self._journal_path()
+        if journal.exists():
+            with journal.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    seq, load, mem, up = json.loads(line)
+                    self._n_generated = max(self._n_generated, int(seq) + 1)
+                    if int(seq) >= self._acked:
+                        recovered += 1
+        if recovered:
+            instrument("ingest_spilled_samples_total").inc(recovered)
+            get_event_log().emit(
+                "ingest_spill_recovered",
+                machine_id=self.config.machine_id,
+                samples=recovered,
+            )
+        # The in-memory ring restarts empty; flushes below the ring floor
+        # re-read the journal.  Cache nothing rather than guessing.
+
+    def _write_meta(self) -> None:
+        if self.config.spill_dir is None:
+            return
+        tmp = self._meta_path().with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "machine_id": self.config.machine_id,
+                    "sample_period": self.config.sample_period,
+                    "start_slot": self._start_slot,
+                    "acked": self._acked,
+                    "retained_from": self._retained_from,
+                    "n_generated": self._n_generated,
+                }
+            )
+        )
+        os.replace(tmp, self._meta_path())
+
+    def _journal_append(self, seq: int, sample: HostSample) -> None:
+        if self.config.spill_dir is None:
+            return
+        if self._journal_fh is None:
+            self._journal_fh = self._journal_path().open("a")
+        self._journal_fh.write(
+            json.dumps([seq, sample.load, sample.free_mem_mb, bool(sample.up)]) + "\n"
+        )
+        self._journal_fh.flush()
+
+    def _journal_truncate_if_drained(self) -> None:
+        """Once everything is acked, drop the journal and start it fresh."""
+        if self.config.spill_dir is None or self._acked < self._n_generated:
+            return
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        journal = self._journal_path()
+        if journal.exists():
+            journal.unlink()
+        self._retained_from = self._acked
+        self._write_meta()
+
+    def _journal_read(self, lo_seq: int, hi_seq: int) -> dict[int, tuple]:
+        """Samples with ``lo_seq <= seq < hi_seq`` from the journal."""
+        out: dict[int, tuple] = {}
+        journal = self._journal_path()
+        if self.config.spill_dir is None or not journal.exists():
+            return out
+        if self._journal_fh is not None:
+            self._journal_fh.flush()
+        with journal.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                seq, load, mem, up = json.loads(line)
+                if lo_seq <= int(seq) < hi_seq:
+                    out[int(seq)] = (float(load), float(mem), bool(up))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # sampling loop
+    # ------------------------------------------------------------------ #
+
+    @property
+    def start_time(self) -> float:
+        """Model time of sample seq 0 (None-safe only after first tick)."""
+        assert self._start_slot is not None
+        return slot_start(self._start_slot, self.config.sample_period)
+
+    @property
+    def n_generated(self) -> int:
+        return self._n_generated
+
+    @property
+    def unacked(self) -> int:
+        return self._n_generated - self._acked
+
+    def run(
+        self,
+        *,
+        max_samples: int | None = None,
+        duration_s: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> int:
+        """Sample until a bound is hit; returns samples generated.
+
+        At least one of ``max_samples``/``duration_s``/``stop`` should
+        bound the loop; with none given it runs forever (the daemon
+        case — the CLI installs a signal-driven ``stop``).
+        """
+        deadline = None if duration_s is None else self._clock() + duration_s
+        produced = 0
+        while True:
+            if max_samples is not None and produced >= max_samples:
+                break
+            if deadline is not None and self._clock() >= deadline:
+                break
+            if stop is not None and stop():
+                break
+            produced += self._tick()
+        self.flush()
+        self._write_meta()
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+        return produced
+
+    def _tick(self) -> int:
+        """Advance to the next grid slot and sample it; returns samples
+        generated (1 + any down-filled gap)."""
+        period = self.config.sample_period
+        now_model = wall_to_model(self._clock(), utc_offset_s=self.config.utc_offset_s)
+        if self._start_slot is None:
+            # First tick of a fresh grid: the first full slot ahead.
+            self._start_slot = slot_index(now_model, period) + 1
+        generated = self._fill_gap(now_model)
+        target_slot = self._start_slot + self._n_generated
+        wait_s = model_to_wall(
+            slot_start(target_slot, period), utc_offset_s=self.config.utc_offset_s
+        ) - self._clock()
+        if wait_s > 0:
+            self._sleep(wait_s)
+        t0 = time.perf_counter()
+        with start_span(
+            "ingest.sample", "ingest",
+            machine=self.config.machine_id, seq=self._n_generated,
+        ):
+            sample = self.sampler.sample()
+        instrument("ingest_sample_seconds").observe(time.perf_counter() - t0)
+        instrument("ingest_samples_total").labels(
+            sampler=getattr(self.sampler, "kind", "unknown")
+        ).inc()
+        self._append(sample)
+        generated += 1
+        if self.unacked >= self.config.chunk_samples:
+            self.flush()
+        return generated
+
+    def _fill_gap(self, now_model: float) -> int:
+        """Down-fill slots that fully elapsed while we were not looking."""
+        period = self.config.sample_period
+        next_slot_due = self._start_slot + self._n_generated
+        current = slot_index(now_model, period)
+        missed = current - next_slot_due
+        if missed <= 0:
+            return 0
+        if missed > self.config.max_gap_samples:
+            # Not a believable outage: restart the grid here and leave the
+            # old history alone (the server keeps what was flushed).
+            get_event_log().emit(
+                "ingest_grid_restarted",
+                severity="warning",
+                machine_id=self.config.machine_id,
+                missed_samples=missed,
+                max_gap_samples=self.config.max_gap_samples,
+            )
+            self._start_slot = current + 1
+            self._n_generated = 0
+            self._acked = 0
+            self._retained_from = 0
+            self._ring.clear()
+            if self.config.spill_dir is not None:
+                if self._journal_fh is not None:
+                    self._journal_fh.close()
+                    self._journal_fh = None
+                if self._journal_path().exists():
+                    self._journal_path().unlink()
+                self._write_meta()
+            return 0
+        down = HostSample(load=0.0, free_mem_mb=0.0, up=False)
+        for _ in range(missed):
+            self._append(down)
+        self.gap_filled += missed
+        instrument("ingest_gap_filled_samples_total").inc(missed)
+        return missed
+
+    def _append(self, sample: HostSample) -> None:
+        seq = self._n_generated
+        self._journal_append(seq, sample)
+        self._ring.append((seq, sample.load, sample.free_mem_mb, bool(sample.up)))
+        self._n_generated = seq + 1
+        overflow = len(self._ring) - self.config.ring_capacity
+        if overflow > 0:
+            # The journal retains the evicted samples; memory stays bounded
+            # through an arbitrarily long server outage.
+            del self._ring[:overflow]
+        instrument("ingest_buffered_samples").set(self.unacked)
+
+    # ------------------------------------------------------------------ #
+    # flushing
+    # ------------------------------------------------------------------ #
+
+    def _chunk(self, lo_seq: int, n: int) -> MachineTrace | None:
+        """A contiguous unacked chunk [lo_seq, lo_seq + n) as a trace."""
+        period = self.config.sample_period
+        hi_seq = min(lo_seq + n, self._n_generated)
+        if hi_seq <= lo_seq:
+            return None
+        rows: list[tuple[float, float, bool]] = [None] * (hi_seq - lo_seq)  # type: ignore[list-item]
+        ring_lo = self._ring[0][0] if self._ring else self._n_generated
+        if lo_seq < ring_lo:
+            from_journal = self._journal_read(lo_seq, min(hi_seq, ring_lo))
+            for seq, row in from_journal.items():
+                rows[seq - lo_seq] = row
+        for seq, load, mem, up in self._ring:
+            if lo_seq <= seq < hi_seq:
+                rows[seq - lo_seq] = (load, mem, up)
+        if any(r is None for r in rows):
+            missing = sum(1 for r in rows if r is None)
+            raise RuntimeError(
+                f"{missing} unacked samples in [{lo_seq}, {hi_seq}) are neither "
+                "in memory nor in the spill journal; the journal was removed "
+                "out from under the agent"
+            )
+        return MachineTrace(
+            machine_id=self.config.machine_id,
+            start_time=slot_start(self._start_slot + lo_seq, period),
+            sample_period=period,
+            load=np.array([r[0] for r in rows]),
+            free_mem_mb=np.array([r[1] for r in rows]),
+            up=np.array([r[2] for r in rows], dtype=bool),
+        )
+
+    def flush(self) -> bool:
+        """Ship every unacked sample; False if the server is unreachable.
+
+        Samples stay buffered (ring + journal) on failure, so the next
+        flush — or the next agent on this spill dir — retries them.
+        """
+        while self._acked < self._n_generated:
+            chunk = self._chunk(self._acked, self.config.max_chunk_samples)
+            if chunk is None:
+                break
+            t0 = time.perf_counter()
+            try:
+                with start_span(
+                    "ingest.flush", "ingest",
+                    machine=self.config.machine_id, samples=chunk.n_samples,
+                ):
+                    self.client.extend(chunk)
+                outcome = "ok"
+            except ServeRequestError as exc:
+                if "samples were lost" in str(exc) and self._acked > self._retained_from:
+                    # The server is behind our cursor (e.g. its store was
+                    # reset).  Everything since the last truncation is
+                    # still retained — rewind and resend; extend's
+                    # overlap-trim makes the replay idempotent.
+                    self._acked = self._retained_from
+                    instrument("ingest_flushes_total").labels(outcome="resync").inc()
+                    get_event_log().emit(
+                        "ingest_resync",
+                        severity="warning",
+                        machine_id=self.config.machine_id,
+                        resent_from=self._retained_from,
+                        error=str(exc),
+                    )
+                    continue
+                outcome = "error"
+            except (ConnectionError, OSError):
+                outcome = "error"
+            instrument("ingest_flush_latency_seconds").observe(
+                time.perf_counter() - t0
+            )
+            instrument("ingest_flushes_total").labels(outcome=outcome).inc()
+            if outcome != "ok":
+                self.flush_errors += 1
+                return False
+            self._acked += chunk.n_samples
+            self._write_meta()
+        instrument("ingest_buffered_samples").set(self.unacked)
+        self._journal_truncate_if_drained()
+        return True
+
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> dict[str, Any]:
+        """Agent state for the CLI's progress line."""
+        return {
+            "machine": self.config.machine_id,
+            "sample_period": self.config.sample_period,
+            "start_slot": self._start_slot,
+            "generated": self._n_generated,
+            "acked": self._acked,
+            "unacked": self.unacked,
+            "gap_filled": self.gap_filled,
+            "flush_errors": self.flush_errors,
+        }

@@ -1,0 +1,175 @@
+"""Host samplers: where the live monitor agent's numbers come from.
+
+Three interchangeable backends produce the paper's per-sample signal
+triple (CPU load in [0, 1], free memory in MB, host-up heartbeat):
+
+* :class:`PsutilSampler` — the primary production backend, built on the
+  optional ``psutil`` dependency (``pip install 'repro[ingest]'``).
+  Per-core CPU utilisation is averaged into one host load, matching how
+  the paper's monitor reports a single load figure per period.
+* :class:`ProcSampler` — a zero-dependency Linux backend reading
+  ``/proc/stat`` and ``/proc/meminfo`` directly; CI smokes the live
+  agent with it so the pipeline is exercised without installing extras.
+* :class:`SyntheticSampler` — a deterministic load/memory walk for
+  tests, benchmarks and the agent's ``--simulate`` mode; no host access
+  at all.
+
+``up`` is True for every sample a sampler produces: a sample exists
+because the host (and the agent on it) was alive to take it.  Downtime
+is represented by the *absence* of samples, which the agent down-fills
+as ``up=False`` grid slots — the same heartbeat semantics the paper's
+multi-state model derives unavailability from.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "HostSample",
+    "MissingDependencyError",
+    "PsutilSampler",
+    "ProcSampler",
+    "SyntheticSampler",
+    "make_sampler",
+    "SAMPLER_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class HostSample:
+    """One measured (load, free memory, up) triple."""
+
+    load: float
+    free_mem_mb: float
+    up: bool = True
+
+
+class MissingDependencyError(RuntimeError):
+    """An optional dependency a sampler needs is not installed.
+
+    The message carries the install hint so the CLI can surface it
+    verbatim instead of a traceback.
+    """
+
+
+def _clamp01(value: float) -> float:
+    return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value
+
+
+class PsutilSampler:
+    """psutil-backed host sampler (the ``repro[ingest]`` extra)."""
+
+    kind = "psutil"
+
+    def __init__(self) -> None:
+        try:
+            import psutil
+        except ImportError:
+            raise MissingDependencyError(
+                "the live monitor agent's default sampler needs psutil, "
+                "which is not installed; run `pip install 'repro[ingest]'` "
+                "(or use `--sampler proc` on Linux, which has no "
+                "dependencies)"
+            ) from None
+        self._psutil = psutil
+        # Prime the interval-based counters: the first cpu_percent call
+        # after import returns a meaningless 0.0, so take it now and let
+        # real samples measure utilisation since the previous sample.
+        self._psutil.cpu_percent(interval=None, percpu=True)
+
+    def sample(self) -> HostSample:
+        percpu = self._psutil.cpu_percent(interval=None, percpu=True)
+        load = sum(percpu) / (100.0 * max(len(percpu), 1))
+        free_mb = self._psutil.virtual_memory().available / (1024.0 * 1024.0)
+        return HostSample(load=_clamp01(load), free_mem_mb=free_mb)
+
+
+class ProcSampler:
+    """Linux ``/proc`` sampler: no dependencies beyond the kernel.
+
+    CPU load is the busy fraction of aggregate jiffies since the
+    previous sample (idle + iowait counted as idle); free memory is
+    ``MemAvailable`` from ``/proc/meminfo``.
+    """
+
+    kind = "proc"
+
+    def __init__(self, proc_root: str = "/proc") -> None:
+        self._stat_path = os.path.join(proc_root, "stat")
+        self._meminfo_path = os.path.join(proc_root, "meminfo")
+        if not os.path.exists(self._stat_path):
+            raise MissingDependencyError(
+                f"{self._stat_path} does not exist; the proc sampler needs "
+                "a Linux /proc filesystem (use `--sampler psutil` elsewhere)"
+            )
+        self._prev_busy, self._prev_total = self._read_cpu()
+
+    def _read_cpu(self) -> tuple[int, int]:
+        with open(self._stat_path) as fh:
+            for line in fh:
+                if line.startswith("cpu "):
+                    fields = [int(v) for v in line.split()[1:]]
+                    idle = fields[3] + (fields[4] if len(fields) > 4 else 0)
+                    total = sum(fields)
+                    return total - idle, total
+        raise ValueError(f"no aggregate 'cpu' line in {self._stat_path}")
+
+    def _read_available_mb(self) -> float:
+        with open(self._meminfo_path) as fh:
+            for line in fh:
+                if line.startswith(("MemAvailable:", "MemFree:")):
+                    return float(line.split()[1]) / 1024.0
+        return float("inf")
+
+    def sample(self) -> HostSample:
+        busy, total = self._read_cpu()
+        d_total = total - self._prev_total
+        load = (busy - self._prev_busy) / d_total if d_total > 0 else 0.0
+        self._prev_busy, self._prev_total = busy, total
+        return HostSample(load=_clamp01(load), free_mem_mb=self._read_available_mb())
+
+
+class SyntheticSampler:
+    """Deterministic load/memory walk; no host access.
+
+    A small linear-congruential generator drives a bounded random walk,
+    so two samplers with the same seed produce the identical sample
+    stream — which is what makes the agent's ``--simulate`` mode (and
+    the SIGKILL round-trip test built on it) reproducible.
+    """
+
+    kind = "synthetic"
+
+    def __init__(self, seed: int = 0, *, total_mem_mb: float = 4096.0) -> None:
+        self._state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+        self._load = 0.1
+        self._total_mem_mb = total_mem_mb
+
+    def _rand(self) -> float:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._state / 0x7FFFFFFF
+
+    def sample(self) -> HostSample:
+        self._load = _clamp01(self._load + (self._rand() - 0.5) * 0.2)
+        free = self._total_mem_mb * (0.3 + 0.6 * (1.0 - self._load))
+        return HostSample(load=self._load, free_mem_mb=free)
+
+
+#: CLI-facing sampler kinds.  ``auto`` prefers psutil and reports the
+#: install hint when it is missing.
+SAMPLER_KINDS = ("auto", "psutil", "proc", "synthetic")
+
+
+def make_sampler(kind: str = "auto", *, seed: int = 0):
+    """Build a sampler by kind name (see :data:`SAMPLER_KINDS`)."""
+    if kind in ("auto", "psutil"):
+        return PsutilSampler()
+    if kind == "proc":
+        return ProcSampler()
+    if kind == "synthetic":
+        return SyntheticSampler(seed)
+    raise ValueError(
+        f"unknown sampler kind {kind!r}; expected one of {SAMPLER_KINDS}"
+    )

@@ -1,0 +1,78 @@
+"""Wall-clock to model-calendar mapping for real-telemetry ingestion.
+
+The model calendar of :mod:`repro.core.windows` defines its epoch (t=0)
+to fall on a **Monday at 00:00** with no time zones, DST or leap
+seconds — exactly the weekday/weekend periodicity the paper's pooling
+needs.  The Unix epoch (1970-01-01 00:00 UTC) falls on a **Thursday**,
+so feeding raw ``time.time()`` values into the model would classify
+real Saturdays as model Tuesdays and corrupt the day-type pooling.
+
+Shifting Unix time forward by three days aligns the two calendars:
+``model_time = unix_time + 3 * 86400`` puts every UTC Monday-midnight
+on a model-day boundary whose :func:`repro.core.windows.day_of_week`
+is 0.  The mapping uses UTC time-of-day (the model has no zones); a
+deployment that wants local-time day boundaries can pass an explicit
+``utc_offset_s``.
+
+All ingestion front doors — the live monitor agent and every foreign
+trace adapter — go through these helpers, so a sample taken at a real
+Saturday 14:00 UTC and a preemption-trace row stamped the same instant
+land on the same model grid slot with the same day type.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.windows import SECONDS_PER_DAY, DayType, day_type_of_time
+
+__all__ = [
+    "UNIX_EPOCH_OFFSET_S",
+    "wall_to_model",
+    "model_to_wall",
+    "slot_index",
+    "slot_start",
+    "next_slot",
+    "day_type_of_wall",
+]
+
+#: The Unix epoch is a Thursday; the model epoch is a Monday.  Adding
+#: three days maps Unix weekdays onto the matching model weekdays.
+UNIX_EPOCH_OFFSET_S = 3.0 * SECONDS_PER_DAY
+
+
+def wall_to_model(unix_time: float, *, utc_offset_s: float = 0.0) -> float:
+    """Model time of one wall-clock (Unix) timestamp."""
+    return unix_time + UNIX_EPOCH_OFFSET_S + utc_offset_s
+
+
+def model_to_wall(model_time: float, *, utc_offset_s: float = 0.0) -> float:
+    """Wall-clock (Unix) timestamp of one model time."""
+    return model_time - UNIX_EPOCH_OFFSET_S - utc_offset_s
+
+
+def slot_index(model_time: float, sample_period: float) -> int:
+    """The grid slot containing ``model_time``.
+
+    Slots are global: slot ``k`` covers ``[k * period, (k + 1) * period)``
+    in model time, so every agent and adapter using the same period
+    lands samples on the same grid regardless of when it started.
+    """
+    if sample_period <= 0:
+        raise ValueError(f"sample_period must be positive, got {sample_period}")
+    return int(math.floor(model_time / sample_period + 1e-9))
+
+
+def slot_start(slot: int, sample_period: float) -> float:
+    """Model time at which grid slot ``slot`` begins."""
+    return slot * sample_period
+
+
+def next_slot(model_time: float, sample_period: float) -> int:
+    """The first slot starting strictly after ``model_time``."""
+    return slot_index(model_time, sample_period) + 1
+
+
+def day_type_of_wall(unix_time: float, *, utc_offset_s: float = 0.0) -> DayType:
+    """Day type (weekday/weekend) of one wall-clock timestamp."""
+    return day_type_of_time(wall_to_model(unix_time, utc_offset_s=utc_offset_s))

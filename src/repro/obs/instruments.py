@@ -401,6 +401,65 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "Result-table rows produced by the most recent run of an experiment.",
         ("experiment",),
     ),
+    # -- ingestion tier --------------------------------------------------- #
+    InstrumentSpec(
+        "ingest_samples_total",
+        "counter",
+        "Host samples taken by live monitor agents, by sampler backend.",
+        ("sampler",),  # psutil | proc | synthetic
+    ),
+    InstrumentSpec(
+        "ingest_sample_seconds",
+        "histogram",
+        "Cost of taking one host sample; the live counterpart of the "
+        "paper Sec. 5.2 '< 1% CPU' monitoring-overhead claim.",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "ingest_gap_filled_samples_total",
+        "counter",
+        "Grid slots the agent missed (suspend, overload, clock jump) and "
+        "filled as down before resuming, keeping extend gap-free.",
+    ),
+    InstrumentSpec(
+        "ingest_buffered_samples",
+        "gauge",
+        "Samples generated but not yet acknowledged by the server "
+        "(ring + spill journal backlog).",
+    ),
+    InstrumentSpec(
+        "ingest_spilled_samples_total",
+        "counter",
+        "Unacknowledged samples recovered from the spill journal at agent "
+        "start (evidence of a previous crash or server outage).",
+    ),
+    InstrumentSpec(
+        "ingest_flushes_total",
+        "counter",
+        "Agent flush attempts, by outcome (ok | error | resync).",
+        ("outcome",),
+    ),
+    InstrumentSpec(
+        "ingest_flush_latency_seconds",
+        "histogram",
+        "Wall-clock latency of shipping one chunk through extend.",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "ingest_imported_samples_total",
+        "counter",
+        "Model-grid samples produced by foreign trace adapters, by adapter.",
+        ("adapter",),
+    ),
+    InstrumentSpec(
+        "ingest_import_gap_samples_total",
+        "counter",
+        "Native-grid slots with no source data encountered during import "
+        "(marked down or rejected per the gap policy), by adapter.",
+        ("adapter",),
+    ),
     # -- the event log's own volume -------------------------------------- #
     InstrumentSpec(
         "events_emitted_total",

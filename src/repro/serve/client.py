@@ -295,6 +295,10 @@ class ServeClient(_ConvenienceOps):
         params = {} if machine is None else {"machine": machine}
         return self._result(self.request("quality", params))
 
+    def tail(self, machine: str, n: int = 10) -> dict[str, Any]:
+        """Last ``n`` samples of one machine's history (protocol v6)."""
+        return self._result(self.request("tail", {"machine": machine, "n": n}))
+
     def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""
         return self._result(self.request("health"))
@@ -544,6 +548,10 @@ class AsyncServeClient(_ConvenienceOps):
         """Prediction-audit scoreboard snapshots (protocol v3)."""
         params = {} if machine is None else {"machine": machine}
         return self._result(await self.request("quality", params))
+
+    async def tail(self, machine: str, n: int = 10) -> dict[str, Any]:
+        """Last ``n`` samples of one machine's history (protocol v6)."""
+        return self._result(await self.request("tail", {"machine": machine, "n": n}))
 
     async def health(self) -> dict[str, Any]:
         """Server liveness, queue depth, machine count."""

@@ -41,6 +41,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+import numpy as np
+
 from repro.core.states import State
 from repro.core.windows import ClockWindow, DayType
 from repro.obs.events import get_event_log
@@ -173,6 +175,7 @@ class Dispatcher:
             "horizon": self._op_horizon,
             "register": self._op_register,
             "extend": self._op_extend,
+            "tail": self._op_tail,
             "quality": self._op_quality,
             "health": self._op_health,
             "submit": self._op_submit,
@@ -499,6 +502,47 @@ class Dispatcher:
             "appended": grown.n_samples - before,
             "n_samples": grown.n_samples,
             "created": before == 0,
+        }
+
+    def _op_tail(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Last N samples of one machine's history (protocol v6).
+
+        The read-your-writes check of the live-ingestion pipeline: a
+        monitor agent (or operator) confirms what the service holds
+        without touching the store files.  Read-only, so it shares the
+        query path's lock-free access to the registry.
+        """
+        machine = str(_require(params, "machine"))
+        n = int(params.get("n", 10))
+        if n < 0:
+            raise ProtocolError(f"n must be >= 0, got {n}")
+        history = self.service._histories.get(machine)
+        if history is None:
+            raise ProtocolError(f"machine {machine!r} is not registered")
+        lo = max(0, history.n_samples - n)
+        times = history.start_time + history.sample_period * np.arange(
+            lo, history.n_samples
+        )
+        return {
+            "machine": machine,
+            "n_samples": history.n_samples,
+            "start_time": history.start_time,
+            "end_time": history.end_time,
+            "sample_period": history.sample_period,
+            "samples": [
+                {
+                    "time": float(t),
+                    "load": float(ld),
+                    "free_mem_mb": float(fm),
+                    "up": bool(u),
+                }
+                for t, ld, fm, u in zip(
+                    times,
+                    history.load[lo:],
+                    history.free_mem_mb[lo:],
+                    history.up[lo:],
+                )
+            ],
         }
 
     @staticmethod

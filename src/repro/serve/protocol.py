@@ -75,7 +75,11 @@ __all__ = [
 #:     re-placement broadcast) and ``job_put`` (job-record replication)
 #:     the cluster router uses.  A v4-or-older client sending any of
 #:     them gets the structured unsupported-version error.
-PROTOCOL_VERSION = 5
+#: v6: adds ``tail`` (read the last N samples of one machine's history)
+#:     — the observability end of the live-ingestion pipeline: a monitor
+#:     agent (or an operator) verifies what the service actually holds
+#:     without racing the store files on disk.
+PROTOCOL_VERSION = 6
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -96,6 +100,7 @@ OPS_BY_VERSION[5] = OPS_BY_VERSION[4] | {
     "replace",
     "job_put",
 }
+OPS_BY_VERSION[6] = OPS_BY_VERSION[5] | {"tail"}
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)

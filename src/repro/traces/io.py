@@ -87,26 +87,43 @@ def save_trace_csv(trace: MachineTrace, path: str | Path) -> Path:
 
 
 def load_trace_csv(path: str | Path) -> MachineTrace:
-    """Read a trace written by :func:`save_trace_csv`."""
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Blank lines (including whitespace-only trailers from hand edits or
+    shell appends) are skipped; a malformed row raises ``ValueError``
+    naming the 1-based line number in the file, so a broken export is
+    fixable without bisecting it.
+    """
     path = Path(path)
     meta: dict[str, str] = {}
     loads: list[float] = []
     mems: list[float] = []
     ups: list[bool] = []
     with path.open() as fh:
+        n_header = 0
         pos = fh.tell()
         line = fh.readline()
         while line.startswith("#"):
             key, _, value = line[1:].strip().partition("=")
             meta[key.strip()] = value.strip()
+            n_header += 1
             pos = fh.tell()
             line = fh.readline()
         fh.seek(pos)
         reader = csv.DictReader(fh)
         for row in reader:
-            loads.append(float(row["cpu_load"]))
-            mems.append(float(row["free_mem_mb"]))
-            ups.append(bool(int(row["up"])))
+            if all(v in (None, "") or not str(v).strip() for v in row.values()):
+                continue  # blank (or whitespace-only) line
+            lineno = n_header + reader.line_num
+            try:
+                loads.append(float(row["cpu_load"]))
+                mems.append(float(row["free_mem_mb"]))
+                ups.append(bool(int(row["up"])))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace row "
+                    f"{dict(row)!r}: {exc}"
+                ) from None
     for key in ("machine_id", "start_time", "sample_period"):
         if key not in meta:
             raise ValueError(f"CSV trace {path} is missing the {key} header")

@@ -20,9 +20,11 @@ expressed in seconds, not samples).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.traces.trace import MachineTrace
 
-__all__ = ["downsample", "align_periods"]
+__all__ = ["downsample", "upsample", "resample_to_period", "align_periods"]
 
 
 def downsample(trace: MachineTrace, factor: int) -> MachineTrace:
@@ -52,6 +54,57 @@ def downsample(trace: MachineTrace, factor: int) -> MachineTrace:
         free_mem_mb=mem.min(axis=1),
         up=up.min(axis=1).astype(bool),
     )
+
+
+def upsample(trace: MachineTrace, factor: int) -> MachineTrace:
+    """Refine a trace by an integer factor (each sample repeated).
+
+    The inverse of :func:`downsample` in the only sense a coarser
+    measurement permits: each coarse sample is assumed to describe its
+    whole interval, so it repeats across the ``factor`` fine slots it
+    covers.  ``downsample(upsample(t, f), f)`` reproduces ``t``
+    exactly (mean of a constant block is the constant; so are its
+    minima) — the round-trip foreign-cadence adapters rely on.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return trace
+    return MachineTrace(
+        machine_id=trace.machine_id,
+        start_time=trace.start_time,
+        sample_period=trace.sample_period / factor,
+        load=np.repeat(trace.load, factor),
+        free_mem_mb=np.repeat(trace.free_mem_mb, factor),
+        up=np.repeat(trace.up, factor),
+    )
+
+
+def resample_to_period(trace: MachineTrace, sample_period: float) -> MachineTrace:
+    """Convert a trace to ``sample_period``, whichever direction that is.
+
+    Coarser targets downsample, finer targets upsample; a target that is
+    not an integer multiple (or divisor) of the trace's period raises
+    ``ValueError``, as in :func:`align_periods`.
+    """
+    if sample_period <= 0:
+        raise ValueError(f"sample_period must be positive, got {sample_period}")
+    if abs(sample_period - trace.sample_period) < 1e-9:
+        return trace
+    if sample_period > trace.sample_period:
+        ratio = sample_period / trace.sample_period
+    else:
+        ratio = trace.sample_period / sample_period
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError(
+            f"target period {sample_period} is not an integer multiple or "
+            f"divisor of the trace's {trace.sample_period}; cannot resample "
+            "losslessly"
+        )
+    factor = int(round(ratio))
+    if sample_period > trace.sample_period:
+        return downsample(trace, factor)
+    return upsample(trace, factor)
 
 
 def align_periods(a: MachineTrace, b: MachineTrace) -> tuple[MachineTrace, MachineTrace]:

@@ -1,0 +1,238 @@
+"""Foreign trace adapters: binning, gap policies, idempotence, calendar."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY
+from repro.ingest.adapters import ADAPTERS, get_adapter, register_adapter
+from repro.ingest.timebase import UNIX_EPOCH_OFFSET_S
+from repro.traces.resample import downsample
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestRegistry:
+    def test_builtin_adapters_present(self):
+        assert "csv" in ADAPTERS and "preempt" in ADAPTERS
+
+    def test_unknown_adapter_lists_known(self):
+        with pytest.raises(KeyError, match="csv"):
+            get_adapter("carrier-pigeon")
+
+    def test_register_custom(self):
+        def fake_convert(path, **kwargs):
+            return [], None
+
+        register_adapter("fake", fake_convert)
+        try:
+            assert get_adapter("fake") is fake_convert
+        finally:
+            del ADAPTERS["fake"]
+
+
+class TestCsvAdapter:
+    def test_epoch_alignment(self, tmp_path):
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load,free_mem_mb",
+            "0,0.5,100",
+            "6,0.5,100",
+        ])
+        traces, _ = get_adapter("csv")(p, sample_period=6.0)
+        # Unix t=0 is model time +3 days: real weekdays survive import.
+        assert traces[0].start_time == UNIX_EPOCH_OFFSET_S
+
+    def test_native_binning_semantics(self, tmp_path):
+        # Three observations inside one 30 s native slot: mean load,
+        # min memory, min up.
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load,free_mem_mb,up",
+            "0,0.2,300,1",
+            "10,0.4,100,1",
+            "20,0.6,200,0",
+            "30,0.3,400,1",
+        ])
+        traces, stats = get_adapter("csv")(
+            p, sample_period=30.0, native_period=30.0
+        )
+        t = traces[0]
+        assert t.load[0] == pytest.approx(0.4)
+        assert t.free_mem_mb[0] == 100.0
+        assert not t.up[0]          # one down observation downs the slot
+        assert t.up[1]
+
+    def test_gap_policy_down_vs_reject(self, tmp_path):
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load,free_mem_mb",
+            "0,0.5,100",
+            "30,0.5,100",
+            # 60 and 90 missing
+            "120,0.5,100",
+        ])
+        traces, stats = get_adapter("csv")(
+            p, sample_period=30.0, native_period=30.0, gap_policy="down"
+        )
+        t = traces[0]
+        assert stats.gap_slots == 2
+        assert list(t.up) == [True, True, False, False, True]
+        assert t.load[2] == 0.0 and t.free_mem_mb[2] == 0.0
+        with pytest.raises(ValueError, match="gap policy"):
+            get_adapter("csv")(
+                p, sample_period=30.0, native_period=30.0, gap_policy="reject"
+            )
+
+    def test_reimport_is_byte_identical(self, tmp_path):
+        rows = ["timestamp,load,free_mem_mb,up"]
+        for i in range(200):
+            rows.append(f"{30 * i},{(i % 17) / 20:.3f},{100 + i % 50},{1 if i % 13 else 0}")
+        p = write_lines(tmp_path / "t.csv", rows)
+        a, _ = get_adapter("csv")(p, sample_period=6.0)
+        b, _ = get_adapter("csv")(p, sample_period=6.0)
+        assert a[0].start_time == b[0].start_time
+        assert a[0].load.tobytes() == b[0].load.tobytes()
+        assert a[0].free_mem_mb.tobytes() == b[0].free_mem_mb.tobytes()
+        assert a[0].up.tobytes() == b[0].up.tobytes()
+
+    def test_foreign_cadence_round_trip(self, tmp_path):
+        # 30 s source upsampled to the 6 s model grid; coarsening back by
+        # the same factor reproduces the native-grid values exactly.
+        rows = ["timestamp,load,free_mem_mb"]
+        for i in range(40):
+            rows.append(f"{30 * i},{0.1 + (i % 7) * 0.1:.2f},{512 - i}")
+        p = write_lines(tmp_path / "t.csv", rows)
+        fine, stats = get_adapter("csv")(p, sample_period=6.0)
+        assert stats.native_period == 30.0
+        assert fine[0].sample_period == 6.0
+        assert fine[0].n_samples == 40 * 5
+        coarse = downsample(fine[0], 5)
+        native, _ = get_adapter("csv")(p, sample_period=30.0)
+        np.testing.assert_allclose(coarse.load, native[0].load)
+        np.testing.assert_allclose(coarse.free_mem_mb, native[0].free_mem_mb)
+        assert (coarse.up == native[0].up).all()
+
+    def test_multi_machine_column(self, tmp_path):
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load,free_mem_mb,machine",
+            "0,0.5,100,a",
+            "0,0.2,200,b",
+            "30,0.5,100,a",
+            "30,0.2,200,b",
+        ])
+        traces, stats = get_adapter("csv")(p, sample_period=30.0)
+        assert sorted(t.machine_id for t in traces) == ["a", "b"]
+        assert stats.machines == 2
+        with pytest.raises(ValueError, match="machine"):
+            get_adapter("csv")(p, sample_period=30.0, machine_id="only-one")
+
+    def test_percent_loads_are_scaled(self, tmp_path):
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load",
+            "0,45",
+            "30,90",
+        ])
+        traces, stats = get_adapter("csv")(p, sample_period=30.0)
+        assert traces[0].load[0] == pytest.approx(0.45)
+        assert any("percent" in n for n in stats.notes)
+
+    def test_malformed_row_names_the_line(self, tmp_path):
+        p = write_lines(tmp_path / "t.csv", [
+            "timestamp,load",
+            "0,0.5",
+            "30,banana",
+        ])
+        with pytest.raises(ValueError, match=r":3: malformed"):
+            get_adapter("csv")(p, sample_period=30.0)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("timestamp,load\n0,0.5\n\n30,0.6\n   \n")
+        traces, stats = get_adapter("csv")(p, sample_period=30.0)
+        assert traces[0].n_samples == 2
+        # the csv module swallows truly empty lines; only the
+        # whitespace-only row reaches (and is counted by) the adapter
+        assert stats.skipped_rows == 1
+
+
+class TestPreemptAdapter:
+    def convert(self, path, **kw):
+        kw.setdefault("sample_period", 6.0)
+        return get_adapter("preempt")(path, **kw)
+
+    def test_lifetimes_become_up_down(self, tmp_path):
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end",
+            "i-1,0,60",
+            "i-1,120,180",
+        ])
+        traces, _ = self.convert(p)
+        t = traces[0]
+        assert t.machine_id == "i-1"
+        assert t.start_time == UNIX_EPOCH_OFFSET_S
+        assert t.n_samples == 30  # 180 s horizon at 6 s
+        assert t.up[:10].all()          # first lifetime
+        assert not t.up[10:20].any()    # preempted
+        assert t.up[20:].all()          # second lifetime
+        # up slots advertise memory, down slots none; load is the
+        # guest's to measure, so it reads zero here
+        assert np.isinf(t.free_mem_mb[0])
+        assert t.free_mem_mb[10] == 0.0
+        assert (t.load == 0.0).all()
+
+    def test_partial_slots_count_as_down(self, tmp_path):
+        # A lifetime covering only part of a slot cannot promise the
+        # whole slot: min-up semantics keep it down.
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end",
+            "i-1,3,15",
+        ])
+        traces, _ = self.convert(p, horizon=18.0)
+        assert list(traces[0].up) == [False, True, False]
+
+    def test_censored_lifetime_runs_to_horizon(self, tmp_path):
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end",
+            "i-1,0,60",
+            "i-2,0,",     # still running at collection time
+        ])
+        traces, _ = self.convert(p, horizon=120.0)
+        by_id = {t.machine_id: t for t in traces}
+        assert not by_id["i-1"].up[15:].any()
+        assert by_id["i-2"].up.all()
+
+    def test_overlapping_lifetimes_rejected(self, tmp_path):
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end",
+            "i-1,0,100",
+            "i-1,50,150",
+        ])
+        with pytest.raises(ValueError, match="overlap"):
+            self.convert(p)
+
+    def test_reimport_is_byte_identical(self, tmp_path):
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end,cause",
+            "i-1,0,3600,preempted",
+            "i-1,4000,7200,reclaim",
+        ])
+        a, _ = self.convert(p)
+        b, _ = self.convert(p)
+        assert a[0].up.tobytes() == b[0].up.tobytes()
+        assert a[0].free_mem_mb.tobytes() == b[0].free_mem_mb.tobytes()
+
+    def test_weekend_lifetime_lands_on_model_weekend(self, tmp_path):
+        # 2026-08-08 is a real Saturday; after import, the up samples
+        # must sit inside a model weekend day.
+        import datetime
+
+        sat = datetime.datetime(
+            2026, 8, 8, 10, 0, tzinfo=datetime.timezone.utc
+        ).timestamp()
+        p = write_lines(tmp_path / "spot.csv", [
+            "instance,start,end",
+            f"i-1,{sat:.0f},{sat + 600:.0f}",
+        ])
+        traces, _ = self.convert(p)
+        model_day = int(traces[0].start_time // SECONDS_PER_DAY)
+        assert model_day % 7 in (5, 6)

@@ -1,0 +1,209 @@
+"""Monitor agent: grid quantization, gap fill, durability, resync."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.agent import AgentConfig, MonitorAgent, SimulatedClock
+from repro.ingest.samplers import SyntheticSampler
+from repro.ingest.timebase import slot_index, wall_to_model
+from repro.serve.client import ServeRequestError
+from repro.serve.protocol import Response
+
+
+def lost_samples_error() -> ServeRequestError:
+    """The server-side rejection of a chunk that would leave a hole."""
+    return ServeRequestError(Response(
+        id="q1", status="error",
+        error={"type": "invalid_params",
+               "message": "3 samples were lost in between"},
+    ))
+
+T0 = 1_700_000_000.0  # arbitrary fixed wall-clock start
+
+
+class FakeClient:
+    """Collects extend() chunks; scriptable failures."""
+
+    def __init__(self):
+        self.chunks = []
+        self.fail_with = None  # exception instance to raise, once set
+
+    def extend(self, chunk):
+        if self.fail_with is not None:
+            raise self.fail_with
+        self.chunks.append(chunk)
+        return {"machine": chunk.machine_id, "n_samples": chunk.n_samples}
+
+    def total_samples(self):
+        return sum(c.n_samples for c in self.chunks)
+
+    def stitched(self):
+        """Concatenate chunks, trimming retried overlap like the server."""
+        load, mem, up = [], [], []
+        start = end = None
+        for c in sorted(self.chunks, key=lambda c: c.start_time):
+            if start is None:
+                start = c.start_time
+                lo = 0
+            else:
+                lo = int(round((end - c.start_time) / c.sample_period))
+                if lo >= c.n_samples:
+                    continue
+            load.extend(c.load[lo:])
+            mem.extend(c.free_mem_mb[lo:])
+            up.extend(c.up[lo:])
+            end = c.start_time + c.sample_period * c.n_samples
+        return start, np.array(load), np.array(mem), np.array(up)
+
+
+def make_agent(client, *, spill=None, chunk=5, ring=4096, period=6.0,
+               start=T0, max_gap=14400):
+    clock = SimulatedClock(start)
+    agent = MonitorAgent(
+        SyntheticSampler(seed=1),
+        client,
+        AgentConfig(
+            machine_id="m1", sample_period=period, chunk_samples=chunk,
+            ring_capacity=ring, spill_dir=None if spill is None else str(spill),
+            max_gap_samples=max_gap,
+        ),
+        clock=clock.now, sleep=clock.sleep,
+    )
+    return agent, clock
+
+
+class TestGridQuantization:
+    def test_samples_land_on_the_global_grid(self):
+        client = FakeClient()
+        agent, clock = make_agent(client, start=T0 + 2.5)
+        agent.run(max_samples=12)
+        first = client.chunks[0]
+        # seq 0 occupies the first full slot after the start instant
+        expected_slot = slot_index(wall_to_model(T0 + 2.5), 6.0) + 1
+        assert first.start_time == expected_slot * 6.0
+        assert first.start_time % 6.0 == 0.0
+
+    def test_chunks_are_seq_contiguous(self):
+        client = FakeClient()
+        agent, _ = make_agent(client, chunk=5)
+        agent.run(max_samples=23)
+        assert client.total_samples() == 23
+        for prev, nxt in zip(client.chunks, client.chunks[1:]):
+            assert nxt.start_time == prev.start_time + 6.0 * prev.n_samples
+
+    def test_two_agents_agree_on_slots(self):
+        # Same machine, different start instants within one slot: the
+        # global grid keeps their sample times identical.
+        c1, c2 = FakeClient(), FakeClient()
+        a1, _ = make_agent(c1, start=T0 + 0.5)
+        a2, _ = make_agent(c2, start=T0 + 2.2)
+        a1.run(max_samples=4)
+        a2.run(max_samples=4)
+        assert c1.chunks[0].start_time == c2.chunks[0].start_time
+
+
+class TestGapFill:
+    def test_missed_slots_become_downtime(self):
+        client = FakeClient()
+        agent, clock = make_agent(client, chunk=4)
+        agent.run(max_samples=4)
+        clock.now_s += 60.0  # the host "sleeps" for 60 s
+        agent.run(max_samples=4)
+        # 9 fully-elapsed slots are down-filled; the slot containing
+        # "now" is sampled normally, not faked.  (Down-fill counts
+        # toward max_samples, so this run produced 9 + 1.)
+        assert agent.gap_filled == 9
+        _, load, mem, up = client.stitched()
+        assert len(up) == 14  # gap-free overall: 4 + 9 + 1
+        assert not up[4:13].any()
+        assert (load[4:13] == 0.0).all()
+        assert (mem[4:13] == 0.0).all()
+        assert up[:4].all() and up[13:].all()
+
+    def test_unbelievable_gap_restarts_the_grid(self, tmp_path):
+        client = FakeClient()
+        agent, clock = make_agent(client, spill=tmp_path, chunk=4, max_gap=100)
+        agent.run(max_samples=4)
+        old_start = agent.start_time
+        clock.now_s += 6.0 * 5000  # far past max_gap_samples
+        agent.run(max_samples=4)
+        assert agent.gap_filled == 0
+        assert agent.start_time > old_start
+        assert agent.n_generated == 4  # fresh grid, fresh seq space
+        assert client.total_samples() == 8
+
+
+class TestSpillDurability:
+    def test_unflushed_samples_survive_agent_death(self, tmp_path):
+        down = FakeClient()
+        down.fail_with = ConnectionError("server down")
+        agent, clock = make_agent(down, spill=tmp_path, chunk=5)
+        agent.run(max_samples=17)
+        assert agent.unacked == 17
+        assert agent.flush_errors > 0
+        # agent dies here (nothing acked); a new one adopts the journal
+        up = FakeClient()
+        agent2, clock2 = make_agent(up, spill=tmp_path, chunk=5,
+                                    start=clock.now_s)
+        agent2.run(max_samples=3)
+        assert agent2.unacked == 0
+        start, load, mem, ups = up.stitched()
+        assert start == agent.start_time  # same grid, not a fresh one
+        assert len(load) >= 20  # 17 recovered + gap fill + 3 new
+
+    def test_ring_overflow_is_served_from_the_journal(self, tmp_path):
+        down = FakeClient()
+        down.fail_with = ConnectionError("server down")
+        # ring holds 8; 30 samples generated during the outage
+        agent, clock = make_agent(down, spill=tmp_path, chunk=8, ring=8)
+        agent.run(max_samples=30)
+        assert agent.unacked == 30
+        down.fail_with = None  # server returns
+        assert agent.flush() is True
+        assert agent.unacked == 0
+        assert down.total_samples() == 30
+        _, load, _, _ = down.stitched()
+        assert len(load) == 30  # nothing lost to the ring bound
+
+    def test_journal_truncated_once_drained(self, tmp_path):
+        client = FakeClient()
+        agent, _ = make_agent(client, spill=tmp_path, chunk=5)
+        agent.run(max_samples=10)
+        assert agent.unacked == 0
+        assert not (tmp_path / "journal.jsonl").exists()
+        assert (tmp_path / "agent.json").exists()
+
+    def test_mismatched_spill_dir_refused(self, tmp_path):
+        client = FakeClient()
+        agent, _ = make_agent(client, spill=tmp_path, period=6.0)
+        agent.run(max_samples=2)
+        with pytest.raises(ValueError, match="refusing to mix"):
+            make_agent(client, spill=tmp_path, period=30.0)
+
+
+class TestResync:
+    def test_server_reset_triggers_replay(self, tmp_path):
+        client = FakeClient()
+        agent, _ = make_agent(client, spill=tmp_path, chunk=5)
+        agent.run(max_samples=10)
+        assert client.total_samples() == 10
+        # The server lost its store: it now claims our next seq leaves a
+        # gap.  The journal still holds everything since the last
+        # truncation (which reset retained_from to 10), so the replay
+        # starts there, not at 0.
+        client.fail_with = lost_samples_error()
+        agent.run(max_samples=7)
+        assert agent.flush_errors > 0  # rewound to retained_from, still refused
+        client.fail_with = None
+        assert agent.flush() is True
+        assert client.total_samples() >= 17
+
+
+class TestConfigValidation:
+    def test_ring_must_hold_a_chunk(self):
+        with pytest.raises(ValueError, match="ring_capacity"):
+            AgentConfig(machine_id="m", chunk_samples=100, ring_capacity=10)
+
+    def test_empty_machine_id(self):
+        with pytest.raises(ValueError, match="machine_id"):
+            AgentConfig(machine_id="")

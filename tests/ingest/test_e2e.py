@@ -1,0 +1,149 @@
+"""End-to-end acceptance: live agent -> server -> store -> SIGKILL -> TR.
+
+The ingestion tier's contract with the rest of the stack: a monitor
+agent streaming real (here: simulated-clock) telemetry through
+``extend`` leaves a store-durable trace whose temporal-reliability
+predictions survive a server SIGKILL and warm start unchanged.
+Everything runs through the public CLI, exactly as operators do.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+MACHINE = "e2e-host"
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def start_server(store, port_file):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", str(port_file),
+            "--store", str(store), "--fsync", "always",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_env(), cwd=str(_REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(f"server died: {proc.stderr.read()[-2000:]}")
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server never wrote its port file")
+
+
+def run_agent(port, spill, *, days="2"):
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro", "ingest", "agent",
+            "--port", str(port), "--machine", MACHINE,
+            "--sampler", "synthetic", "--seed", "11",
+            "--simulate-days", days, "--chunk", "500",
+            "--spill-dir", str(spill),
+        ],
+        capture_output=True, text=True, timeout=300,
+        env=_env(), cwd=str(_REPO_ROOT),
+    )
+
+
+def predictions(port):
+    """A fixed battery of TR queries over both day types."""
+    out = []
+    with ServeClient("127.0.0.1", port) as client:
+        for start_hour, hours in ((0.0, 4.0), (9.0, 5.0), (18.0, 3.0)):
+            for day_type in ("weekday", "weekend"):
+                out.append(client.predict(MACHINE, start_hour, hours, day_type))
+    return out
+
+
+class TestAgentStoreSigkillRoundTrip:
+    def test_tr_survives_server_sigkill_and_warm_start(self, tmp_path):
+        store = tmp_path / "store"
+        spill = tmp_path / "spill"
+        port_file = tmp_path / "port"
+
+        proc, port = start_server(store, port_file)
+        try:
+            res = run_agent(port, spill)
+            assert res.returncode == 0, res.stderr[-2000:]
+            with ServeClient("127.0.0.1", port) as client:
+                ingested = client.tail(MACHINE, n=1)["n_samples"]
+            assert ingested >= 2 * (86400 // 6)  # a real two-day history
+            before = predictions(port)
+            assert any(p > 0.0 for p in before)
+        finally:
+            # SIGKILL: no drain, no atexit — the store's durability and
+            # the agent's acked samples are all that may survive.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        port_file.unlink()
+        proc2, port2 = start_server(store, port_file)
+        try:
+            after = predictions(port2)
+            assert after == before  # byte-identical TR after warm start
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)
+            proc2.stdout.close()
+            proc2.stderr.close()
+
+    def test_agent_resumes_across_server_outage(self, tmp_path):
+        # The spill journal bridges a dead server: a second agent run
+        # against a fresh server on the same store continues the same
+        # grid instead of opening a gap.
+        store = tmp_path / "store"
+        spill = tmp_path / "spill"
+        port_file = tmp_path / "port"
+
+        proc, port = start_server(store, port_file)
+        try:
+            assert run_agent(port, spill, days="1").returncode == 0
+            with ServeClient("127.0.0.1", port) as client:
+                assert client.health()["machines"] == 1
+                n_first = client.tail(MACHINE, n=1)["n_samples"]
+            assert n_first >= 86400 // 6
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        port_file.unlink()
+        proc2, port2 = start_server(store, port_file)
+        try:
+            assert run_agent(port2, spill, days="1").returncode == 0
+            with ServeClient("127.0.0.1", port2) as client:
+                tail = client.tail(MACHINE, n=1)
+            # Same grid, no hole: extend rejects gapped chunks, so a
+            # clean exit plus growth proves seamless continuation.
+            assert tail["n_samples"] > n_first
+            assert tail["sample_period"] == 6.0
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)
+            proc2.stdout.close()
+            proc2.stderr.close()

@@ -1,0 +1,89 @@
+"""Sampler backends: graceful degradation and determinism."""
+
+import sys
+import types
+
+import pytest
+
+from repro.ingest.samplers import (
+    SAMPLER_KINDS,
+    MissingDependencyError,
+    ProcSampler,
+    PsutilSampler,
+    SyntheticSampler,
+    make_sampler,
+)
+
+
+class TestPsutilSampler:
+    def test_missing_psutil_names_the_extra(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "psutil", None)  # import -> ImportError
+        with pytest.raises(MissingDependencyError) as err:
+            PsutilSampler()
+        assert "repro[ingest]" in str(err.value)
+        assert "--sampler proc" in str(err.value)
+
+    def test_fake_psutil_is_read_correctly(self, monkeypatch):
+        fake = types.SimpleNamespace(
+            cpu_percent=lambda interval=None, percpu=False: [20.0, 60.0],
+            virtual_memory=lambda: types.SimpleNamespace(available=512 * 2**20),
+        )
+        monkeypatch.setitem(sys.modules, "psutil", fake)
+        sampler = PsutilSampler()
+        s = sampler.sample()
+        assert s.load == pytest.approx(0.4)   # mean of per-core percents / 100
+        assert s.free_mem_mb == pytest.approx(512.0)
+        assert s.up is True
+
+
+class TestProcSampler:
+    def test_reads_busy_delta_from_proc_stat(self, tmp_path):
+        stat = tmp_path / "stat"
+        # fields: user nice system idle iowait
+        stat.write_text("cpu  100 0 100 700 100\n")
+        (tmp_path / "meminfo").write_text(
+            "MemTotal: 2048000 kB\nMemAvailable: 1024000 kB\n"
+        )
+        sampler = ProcSampler(proc_root=str(tmp_path))
+        # +200 busy jiffies out of +1000 total since construction
+        stat.write_text("cpu  250 0 150 1300 300\n")
+        s = sampler.sample()
+        assert s.load == pytest.approx(0.2)
+        assert s.free_mem_mb == pytest.approx(1000.0)
+
+    def test_missing_proc_is_a_dependency_error(self, tmp_path):
+        with pytest.raises(MissingDependencyError, match="proc"):
+            ProcSampler(proc_root=str(tmp_path / "nowhere"))
+
+
+class TestSyntheticSampler:
+    def test_same_seed_same_stream(self):
+        a = [SyntheticSampler(seed=7).sample() for _ in range(1)]
+        stream1 = [s.load for s in _take(SyntheticSampler(seed=7), 50)]
+        stream2 = [s.load for s in _take(SyntheticSampler(seed=7), 50)]
+        stream3 = [s.load for s in _take(SyntheticSampler(seed=8), 50)]
+        assert stream1 == stream2
+        assert stream1 != stream3
+        del a
+
+    def test_values_stay_in_range(self):
+        for s in _take(SyntheticSampler(seed=3), 500):
+            assert 0.0 <= s.load <= 1.0
+            assert s.free_mem_mb > 0.0
+            assert s.up is True
+
+
+def _take(sampler, n):
+    return [sampler.sample() for _ in range(n)]
+
+
+class TestMakeSampler:
+    def test_kinds_are_covered(self):
+        assert set(SAMPLER_KINDS) == {"auto", "psutil", "proc", "synthetic"}
+
+    def test_synthetic(self):
+        assert make_sampler("synthetic", seed=1).kind == "synthetic"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown sampler kind"):
+            make_sampler("quantum")

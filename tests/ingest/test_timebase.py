@@ -1,0 +1,83 @@
+"""Wall-clock to model-calendar mapping: the weekday invariant."""
+
+import datetime
+
+import pytest
+
+from repro.core.windows import SECONDS_PER_DAY, DayType, day_of_week
+from repro.ingest.timebase import (
+    UNIX_EPOCH_OFFSET_S,
+    day_type_of_wall,
+    model_to_wall,
+    next_slot,
+    slot_index,
+    slot_start,
+    wall_to_model,
+)
+
+
+def unix_of(y, m, d, hh=0, mm=0):
+    dt = datetime.datetime(y, m, d, hh, mm, tzinfo=datetime.timezone.utc)
+    return dt.timestamp()
+
+
+class TestCalendarAlignment:
+    def test_offset_is_three_days(self):
+        assert UNIX_EPOCH_OFFSET_S == 3 * SECONDS_PER_DAY
+
+    def test_round_trip(self):
+        t = 1_723_200_000.5
+        assert model_to_wall(wall_to_model(t)) == t
+        assert model_to_wall(wall_to_model(t, utc_offset_s=3600.0),
+                             utc_offset_s=3600.0) == t
+
+    @pytest.mark.parametrize(
+        "date, weekday",
+        [
+            ((2026, 8, 3), 0),   # a real Monday
+            ((2026, 8, 7), 4),   # a real Friday
+            ((2026, 8, 8), 5),   # a real Saturday
+            ((2026, 8, 9), 6),   # a real Sunday
+            ((1970, 1, 1), 3),   # the Unix epoch itself: a Thursday
+        ],
+    )
+    def test_real_weekdays_survive_the_mapping(self, date, weekday):
+        unix = unix_of(*date, hh=12)
+        assert datetime.datetime.fromtimestamp(
+            unix, datetime.timezone.utc
+        ).weekday() == weekday
+        model_day = int(wall_to_model(unix) // SECONDS_PER_DAY)
+        assert day_of_week(model_day) == weekday
+
+    def test_day_type_of_wall(self):
+        assert day_type_of_wall(unix_of(2026, 8, 7, 12)) is DayType.WEEKDAY
+        assert day_type_of_wall(unix_of(2026, 8, 8, 12)) is DayType.WEEKEND
+
+    def test_utc_offset_moves_the_day_boundary(self):
+        # Saturday 23:30 UTC is already Sunday in UTC+1 — still weekend —
+        # but Sunday 23:30 UTC is Monday in UTC+1: a weekday.
+        sun_late = unix_of(2026, 8, 9, 23, 30)
+        assert day_type_of_wall(sun_late) is DayType.WEEKEND
+        assert day_type_of_wall(sun_late, utc_offset_s=3600.0) is DayType.WEEKDAY
+
+
+class TestGridSlots:
+    def test_slots_are_global(self):
+        # Two agents starting at different times agree on slot identity.
+        assert slot_index(600.0, 6.0) == 100
+        assert slot_index(604.9, 6.0) == 100
+        assert slot_index(606.0, 6.0) == 101
+        assert slot_start(101, 6.0) == 606.0
+
+    def test_boundary_belongs_to_the_starting_slot(self):
+        assert slot_index(6.0, 6.0) == 1
+        # float noise just below a boundary still lands on it
+        assert slot_index(6.0 - 1e-12, 6.0) == 1
+
+    def test_next_slot_is_strictly_ahead(self):
+        assert next_slot(600.0, 6.0) == 101
+        assert next_slot(605.0, 6.0) == 101
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            slot_index(0.0, 0.0)

@@ -124,7 +124,8 @@ class TestVersionGating:
         assert min_version("extend") == 2
         assert min_version("quality") == 3
         assert min_version("submit") == 5
-        assert PROTOCOL_VERSION == 5  # v5 adds the scheduling ops
+        assert min_version("tail") == 6
+        assert PROTOCOL_VERSION == 6  # v6 adds the ingestion tail op
         assert Request(op="health").to_wire()["v"] == PROTOCOL_VERSION  # default
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()

@@ -47,7 +47,8 @@ class TestRequest:
         assert OPS_BY_VERSION[3] == v1 | {"extend", "quality"}
         sched_ops = {"submit", "job_status", "cancel", "jobs", "replace", "job_put"}
         assert OPS_BY_VERSION[5] == OPS_BY_VERSION[4] | sched_ops
-        assert OPS == v1 | {"extend", "quality"} | sched_ops
+        assert OPS_BY_VERSION[6] == OPS_BY_VERSION[5] | {"tail"}
+        assert OPS == v1 | {"extend", "quality", "tail"} | sched_ops
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):

@@ -67,6 +67,34 @@ class TestCsvRoundTrip:
         assert "# sample_period=300.0" in text
 
 
+class TestCsvRobustness:
+    def test_trailing_blank_lines_tolerated(self, small_trace, tmp_path):
+        # A shell append or hand edit often leaves blank trailers.
+        path = save_trace_csv(small_trace, tmp_path / "t.csv")
+        with path.open("a") as fh:
+            fh.write("\n   \n\n")
+        loaded = load_trace_csv(path)
+        assert loaded.n_samples == small_trace.n_samples
+        assert np.array_equal(loaded.load, small_trace.load)
+
+    def test_interior_blank_line_tolerated(self, small_trace, tmp_path):
+        path = save_trace_csv(small_trace, tmp_path / "t.csv")
+        lines = path.read_text().splitlines()
+        lines.insert(6, "")  # between two data rows
+        path.write_text("\n".join(lines) + "\n")
+        loaded = load_trace_csv(path)
+        assert loaded.n_samples == small_trace.n_samples
+
+    def test_malformed_row_names_its_line(self, small_trace, tmp_path):
+        path = save_trace_csv(small_trace, tmp_path / "t.csv")
+        lines = path.read_text().splitlines()
+        # 3 comment headers + 1 column header + 2 good rows, then this:
+        lines[6] = "0.0,not-a-load,100.0,1"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"t\.csv:7: malformed"):
+            load_trace_csv(path)
+
+
 class TestTraceSetRoundTrip:
     def test_directory_round_trip(self, tmp_path):
         ts = synthesize_testbed(3, n_days=1, sample_period=300.0, seed=1)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.traces.resample import align_periods, downsample
+from repro.traces.resample import (
+    align_periods,
+    downsample,
+    resample_to_period,
+    upsample,
+)
 from repro.traces.trace import MachineTrace
 
 
@@ -80,3 +85,61 @@ class TestAlignPeriods:
         b = make_trace([0.2] * 10, period=10.0)
         with pytest.raises(ValueError):
             align_periods(a, b)
+
+
+class TestUpsample:
+    def test_identity(self):
+        tr = make_trace([0.1, 0.2])
+        assert upsample(tr, 1) is tr
+
+    def test_each_sample_covers_its_interval(self):
+        tr = make_trace([0.2, 0.8], mem=[400.0, 50.0], up=[True, False],
+                        period=30.0)
+        out = upsample(tr, 5)
+        assert out.sample_period == 6.0
+        assert out.n_samples == 10
+        assert list(out.load[:5]) == [0.2] * 5
+        assert list(out.load[5:]) == [0.8] * 5
+        assert list(out.free_mem_mb[5:]) == [50.0] * 5
+        assert out.up[:5].all() and not out.up[5:].any()
+        assert out.start_time == tr.start_time
+
+    def test_round_trip_is_exact(self):
+        # The invariant the foreign-cadence adapters rely on.  (Dyadic
+        # loads: the mean of a constant block is bit-exact for them.)
+        tr = make_trace([0.125, 0.5, 0.875], mem=[400.0, 120.0, 55.0],
+                        up=[True, False, True], period=30.0)
+        back = downsample(upsample(tr, 5), 5)
+        assert np.array_equal(back.load, tr.load)
+        assert np.array_equal(back.free_mem_mb, tr.free_mem_mb)
+        assert np.array_equal(back.up, tr.up)
+        assert back.sample_period == tr.sample_period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            upsample(make_trace([0.1]), 0)
+
+
+class TestResampleToPeriod:
+    def test_same_period_is_identity(self):
+        tr = make_trace([0.1, 0.2], period=6.0)
+        assert resample_to_period(tr, 6.0) is tr
+
+    def test_coarser_target_downsamples(self):
+        tr = make_trace([0.2, 0.4, 0.6, 0.8], period=6.0)
+        out = resample_to_period(tr, 12.0)
+        assert out.sample_period == 12.0
+        assert list(out.load) == pytest.approx([0.3, 0.7])
+
+    def test_finer_target_upsamples(self):
+        tr = make_trace([0.2, 0.4], period=30.0)
+        out = resample_to_period(tr, 6.0)
+        assert out.sample_period == 6.0
+        assert out.n_samples == 10
+
+    def test_non_integer_ratio_rejected(self):
+        tr = make_trace([0.1] * 10, period=6.0)
+        with pytest.raises(ValueError, match="cannot resample losslessly"):
+            resample_to_period(tr, 10.0)
+        with pytest.raises(ValueError, match="positive"):
+            resample_to_period(tr, 0.0)
