@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.classifier import StateClassifier
 from repro.core.smp import SmpKernel, estimate_kernel, failure_probabilities
+from repro.fleet import FleetKernel, solve_fleet
 from repro.traces.synthesis import synthesize_trace
 
 
@@ -53,6 +54,67 @@ def test_classifier_speed_one_day(benchmark):
     clf = StateClassifier()
     states = benchmark(clf.classify_trace, trace)
     assert states.shape[0] == trace.n_samples
+
+
+@pytest.fixture(scope="module")
+def fleet_100():
+    rng = np.random.default_rng(4)
+    n = 600
+    kernels = []
+    for _ in range(100):
+        k = np.zeros((8, n + 1))
+        for rows in (slice(0, 4), slice(4, 8)):
+            raw = rng.random((4, n))
+            raw /= raw.sum()
+            k[rows, 1:] = raw * 0.8
+        kernels.append(SmpKernel(k, 6.0))
+    ids = [f"m{i:03d}" for i in range(100)]
+    inits = rng.integers(1, 3, size=100)
+    return FleetKernel(ids, kernels), inits
+
+
+def test_fleet_solve_speed_100(benchmark, fleet_100):
+    """One stacked 100-machine solve at horizon 600."""
+    fleet, inits = fleet_100
+    solution = benchmark(solve_fleet, fleet, inits)
+    assert solution.tr.shape == (100,)
+
+
+def test_fleet_kernel_tensors_stay_contiguous(fleet_100):
+    """The stacked tensors must be owned, C-contiguous float64.
+
+    ``solve_fleet`` slices these every step of the recursion; a silent
+    regression to a strided view (e.g. dropping ``ascontiguousarray``
+    from the reversed rows) would force numpy to copy per matmul call.
+    This guard fails loudly instead.
+    """
+    fleet, inits = fleet_100
+    solve_fleet(fleet, inits)  # a solve must not perturb the tensors
+    for name in ("k", "k12r", "k21r", "c1", "c2"):
+        arr = getattr(fleet, name)
+        assert arr.flags["C_CONTIGUOUS"], f"{name} lost C-contiguity"
+        assert arr.dtype == np.float64, f"{name} is {arr.dtype}, not float64"
+        assert arr.base is None, f"{name} is a view, not an owned copy"
+
+
+def test_fleet_solve_beats_scalar_loop(fleet_100):
+    """The batched pass must outrun the equivalent scalar loop."""
+    import time
+
+    fleet, inits = fleet_100
+    kernels = [SmpKernel(np.array(fleet.k[i]), 6.0) for i in range(len(fleet))]
+    solve_fleet(fleet, inits)  # warm both paths
+    [failure_probabilities(k, int(s)) for k, s in zip(kernels, inits)]
+    t0 = time.perf_counter()
+    [failure_probabilities(k, int(s)) for k, s in zip(kernels, inits)]
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    solve_fleet(fleet, inits)
+    batched_s = time.perf_counter() - t0
+    assert batched_s < scalar_s, (
+        f"batched solve ({batched_s:.4f}s) slower than "
+        f"scalar loop ({scalar_s:.4f}s)"
+    )
 
 
 def test_synthesis_speed_one_week(benchmark):

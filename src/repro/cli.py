@@ -362,12 +362,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     host, port = target
     params: dict[str, object] = {}
-    if args.op in ("predict", "rank", "select", "horizon"):
+    if args.op in ("predict", "predict_batch", "fleet_scan", "rank",
+                   "select", "horizon"):
         params.update(
             start_hour=args.start_hour,
             hours=args.hours,
             day_type="weekend" if args.weekend else "weekday",
         )
+    if args.op in ("predict_batch", "fleet_scan") and args.machines:
+        params["machines"] = list(args.machines)
+    if args.op == "fleet_scan" and args.horizons_hours:
+        params["horizons_hours"] = list(args.horizons_hours)
     if args.op in ("predict", "horizon"):
         if not args.machine:
             print(f"--machine is required for op {args.op!r}", file=sys.stderr)
@@ -1310,7 +1315,8 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query",
                            help="query a running availability server or cluster")
     query.add_argument("op",
-                       choices=("predict", "rank", "select", "horizon", "health",
+                       choices=("predict", "predict_batch", "fleet_scan", "rank",
+                                "select", "horizon", "health",
                                 "register", "extend", "quality"))
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=0,
@@ -1322,6 +1328,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="read the router address from a cluster spec JSON "
                        "(as written by 'repro-fgcs cluster start')")
     query.add_argument("--machine", help="machine id (predict/horizon)")
+    query.add_argument("--machines", nargs="+", metavar="ID", default=None,
+                       help="restrict predict_batch/fleet_scan to these "
+                       "machines (default: every registered machine)")
+    query.add_argument("--horizons-hours", nargs="+", type=float, default=None,
+                       metavar="H",
+                       help="sub-window TRs to include per fleet_scan entry")
     query.add_argument("--trace",
                        help="path to a .npz trace to ship (register/extend)")
     query.add_argument("--retries", type=int, default=0,

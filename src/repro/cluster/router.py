@@ -60,6 +60,9 @@ __all__ = ["RouterConfig", "ClusterRouter"]
 _SINGLE_MACHINE_OPS = frozenset({"predict", "horizon", "tail"})
 #: Ops answered by scatter-gather across every shard.
 _SCATTER_OPS = frozenset({"rank", "select"})
+#: Fleet batch ops (protocol v7): each shard answers for the machines it
+#: owns (``missing_ok``) and the router merges the per-machine entries.
+_FLEET_OPS = frozenset({"predict_batch", "fleet_scan"})
 #: Ops merged from per-node audit state (never deduplicated: each node
 #: journaled only the predictions it served).
 _QUALITY_OPS = frozenset({"quality"})
@@ -374,6 +377,8 @@ class ClusterRouter:
             return await self._route_single(request)
         if request.op in _SCATTER_OPS:
             return await self._route_scatter(request)
+        if request.op in _FLEET_OPS:
+            return await self._route_fleet(request)
         if request.op in _QUALITY_OPS:
             return await self._route_quality(request)
         if request.op in _WRITE_OPS:
@@ -543,6 +548,79 @@ class ClusterRouter:
                 "shards": shards,
             },
         )
+
+    async def _route_fleet(self, request: Request) -> Response:
+        """Scatter a fleet batch op to every live shard and merge.
+
+        Each shard runs *one* batched kernel solve over the machines it
+        owns (``missing_ok`` makes it skip ids on other shards), so a
+        cluster-wide ``fleet_scan`` costs one matrix pass per shard
+        instead of N scalar predicts.  Replicas answer from
+        byte-identical histories, so the first answer per machine wins.
+        """
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        scatter = Request(
+            op=request.op,
+            params=dict(request.params, missing_ok=True),
+            deadline_ms=request.deadline_ms,
+        )
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, scatter) for n in targets),
+                return_exceptions=True,
+            )
+        key = "predictions" if request.op == "predict_batch" else "machines"
+        merged: dict[str, Mapping[str, Any]] = {}
+        errors: list[Response] = []
+        nodes_ok = 0
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            for entry in resp.result.get(key, ()):
+                merged.setdefault(str(entry["machine"]), entry)
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(id=request.id, status=first.status, error=first.error)
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                f"no shard answered the {request.op} scatter",
+            )
+        requested = request.params.get("machines")
+        if requested is not None:
+            missing = sorted(
+                {str(m) for m in requested} - merged.keys()
+            )
+            if missing:
+                return Response.failure(
+                    request.id, STATUS_ERROR, "ProtocolError",
+                    f"machines not registered: {', '.join(missing)}",
+                )
+        shards = {"queried": len(targets), "ok": nodes_ok,
+                  "partial": nodes_ok < len(targets)}
+        if request.op == "predict_batch":
+            entries = [merged[m] for m in sorted(merged)]
+        else:
+            entries = sorted(
+                merged.values(), key=lambda e: (-float(e["tr"]), str(e["machine"]))
+            )
+        result: dict[str, Any] = {
+            key: entries,
+            "count": len(entries),
+            "shards": shards,
+        }
+        for resp in results:
+            if isinstance(resp, Response) and resp.ok:
+                if "horizons_hours" in (resp.result or {}):
+                    result["horizons_hours"] = resp.result["horizons_hours"]
+                break
+        return Response.success(request.id, result)
 
     async def _route_quality(self, request: Request) -> Response:
         """Scatter ``quality`` to every live node and merge the bins.

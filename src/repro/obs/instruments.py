@@ -123,6 +123,41 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         (),
         _QUERY_BUCKETS,
     ),
+    # -- fleet batch prediction ------------------------------------------ #
+    InstrumentSpec(
+        "fleet_solve_seconds",
+        "histogram",
+        "Time of one batched Eq.-3 recursion over a stacked fleet tensor "
+        "(all machines in one pass; compare smp_solve_seconds x fleet size).",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "fleet_scan_seconds",
+        "histogram",
+        "End-to-end latency of one fleet scan (kernel refresh + batched "
+        "solve, or a pure cache hit).",
+        (),
+        _QUERY_BUCKETS,
+    ),
+    InstrumentSpec(
+        "fleet_scan_machines",
+        "histogram",
+        "Machines covered by one fleet scan.",
+        (),
+        _FANOUT_BUCKETS,
+    ),
+    InstrumentSpec(
+        "fleet_kernels_rebuilt_total",
+        "counter",
+        "Per-machine kernel rows rebuilt during fleet scans (history grew "
+        "or caches were invalidated).",
+    ),
+    InstrumentSpec(
+        "fleet_kernels_reused_total",
+        "counter",
+        "Per-machine kernel rows reused as-is during fleet scans.",
+    ),
     # -- simulation ------------------------------------------------------ #
     InstrumentSpec(
         "monitor_samples_total",

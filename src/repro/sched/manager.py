@@ -97,6 +97,10 @@ class SchedConfig:
     min_window_s: float = 60.0
     #: TR assumed for a machine whose prediction fails (no history yet).
     fallback_tr: float = 0.5
+    #: Score candidates with one batched ``predict_batch`` call instead
+    #: of N scalar predicts (False keeps the scalar reference path; the
+    #: bench asserts both arms place jobs identically).
+    batch_predict: bool = True
     costs: RecoveryCosts = RecoveryCosts()
 
     def __post_init__(self) -> None:
@@ -267,6 +271,25 @@ class JobManager:
         except Exception:
             return self.config.fallback_tr
 
+    def _trs(self, machines: list[str], window: AbsoluteWindow) -> dict[str, float]:
+        """TR per machine: one batched fleet solve, or the scalar loop.
+
+        The batched path answers every machine from a single stacked
+        kernel pass (``AvailabilityService.predict_batch``); services
+        without it (bench fakes, old deployments) and any batch failure
+        fall back to per-machine scalar predicts, so placement never
+        degrades below the v5 behaviour.
+        """
+        if machines and self.config.batch_predict:
+            batch = getattr(self.service, "predict_batch", None)
+            if batch is not None:
+                try:
+                    trs = batch(list(machines), window)
+                    return {m: float(trs[m]) for m in machines}
+                except Exception:
+                    pass
+        return {m: self._tr(m, window) for m in machines}
+
     def _candidates(self, job: JobRecord, now: float) -> list[Candidate]:
         cfg = self.config
         remaining = job.remaining_at(now, cfg.speedup)
@@ -285,17 +308,18 @@ class JobManager:
             committed_mem[other.machine] = (
                 committed_mem.get(other.machine, 0.0) + other.mem_mb
             )
+        pool = [m for m in sorted(self.service.machine_ids) if m not in self._down]
+        trs = self._trs(pool, window)
         return [
             Candidate(
                 machine_id=m,
-                tr=self._tr(m, window),
+                tr=trs[m],
                 cpu_capacity=cfg.cpu_capacity,
                 mem_capacity_mb=cfg.mem_capacity_mb,
                 cpu_committed=committed_cpu.get(m, 0.0),
                 mem_committed_mb=committed_mem.get(m, 0.0),
             )
-            for m in sorted(self.service.machine_ids)
-            if m not in self._down
+            for m in pool
         ]
 
     def _try_place(
@@ -485,10 +509,9 @@ class JobManager:
                         if m not in self._down
                     ]
                     best_tr = max(
-                        (
-                            self._tr(m, AbsoluteWindow(now, remaining_wall))
-                            for m in survivors
-                        ),
+                        self._trs(
+                            survivors, AbsoluteWindow(now, remaining_wall)
+                        ).values(),
                         default=cfg.fallback_tr,
                     )
                     decision = choose_recovery_action(

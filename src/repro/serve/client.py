@@ -253,6 +253,46 @@ class ServeClient(_ConvenienceOps):
         )
         return self._result(self.request("predict", params, deadline_ms))["tr"]
 
+    def predict_batch(
+        self,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        machines: list[str] | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict[str, float]:
+        """TR of many machines in one request (protocol v7).
+
+        ``machines=None`` covers every registered machine; returns
+        ``{machine: tr}``.
+        """
+        params = self._window_params(start_hour, hours, day_type, machines=machines)
+        result = self._result(self.request("predict_batch", params, deadline_ms))
+        return {p["machine"]: p["tr"] for p in result["predictions"]}
+
+    def fleet_scan(
+        self,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        machines: list[str] | None = None,
+        horizons_hours: list[float] | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Full fleet snapshot, best machine first (protocol v7).
+
+        Each entry carries TR, the S3/S4/S5 failure split, the typical
+        initial state and — when ``horizons_hours`` is given — TR at
+        each sub-horizon, all from one stacked solve.
+        """
+        params = self._window_params(
+            start_hour, hours, day_type,
+            machines=machines, horizons_hours=horizons_hours,
+        )
+        return self._result(self.request("fleet_scan", params, deadline_ms))
+
     def rank(
         self, start_hour: float, hours: float, day_type: str = "weekday"
     ) -> list[dict[str, Any]]:
@@ -506,6 +546,39 @@ class AsyncServeClient(_ConvenienceOps):
             start_hour, hours, day_type, machine=machine, init_state=init_state
         )
         return self._result(await self.request("predict", params, deadline_ms))["tr"]
+
+    async def predict_batch(
+        self,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        machines: list[str] | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict[str, float]:
+        """TR of many machines in one request (protocol v7)."""
+        params = self._window_params(start_hour, hours, day_type, machines=machines)
+        result = self._result(
+            await self.request("predict_batch", params, deadline_ms)
+        )
+        return {p["machine"]: p["tr"] for p in result["predictions"]}
+
+    async def fleet_scan(
+        self,
+        start_hour: float,
+        hours: float,
+        day_type: str = "weekday",
+        *,
+        machines: list[str] | None = None,
+        horizons_hours: list[float] | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Full fleet snapshot, best machine first (protocol v7)."""
+        params = self._window_params(
+            start_hour, hours, day_type,
+            machines=machines, horizons_hours=horizons_hours,
+        )
+        return self._result(await self.request("fleet_scan", params, deadline_ms))
 
     async def rank(
         self, start_hour: float, hours: float, day_type: str = "weekday"

@@ -170,6 +170,8 @@ class Dispatcher:
         self._register_lock = threading.Lock()
         self._handlers: dict[str, Callable[[Mapping[str, Any]], Any]] = {
             "predict": self._op_predict,
+            "predict_batch": self._op_predict_batch,
+            "fleet_scan": self._op_fleet_scan,
             "rank": self._op_rank,
             "select": self._op_select,
             "horizon": self._op_horizon,
@@ -435,6 +437,86 @@ class Dispatcher:
         tr = self.service.predict(machine, window, dtype, init_state=init_state)
         self._journal("predict", machine, window, dtype, tr, init_state)
         return {"machine": machine, "tr": tr}
+
+    def _parse_machines(self, params: Mapping[str, Any]) -> list[str] | None:
+        """The validated ``machines`` list of a fleet op (None = all).
+
+        ``missing_ok`` (the cluster router sets it on scatter, since each
+        shard owns only a subset) drops unknown ids instead of erroring.
+        """
+        raw = params.get("machines")
+        if raw is None:
+            return None
+        if not isinstance(raw, (list, tuple)):
+            raise ProtocolError(
+                f"'machines' must be a list, got {type(raw).__name__}"
+            )
+        machines = [str(m) for m in raw]
+        if bool(params.get("missing_ok", False)):
+            return [m for m in machines if m in self.service]
+        unknown = sorted(m for m in machines if m not in self.service)
+        if unknown:
+            raise ProtocolError(
+                f"machines not registered: {', '.join(unknown)}"
+            )
+        return machines
+
+    def _op_predict_batch(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """TR for many machines in one stacked solve (protocol v7)."""
+        window, dtype = _parse_window(params)
+        machines = self._parse_machines(params)
+        if machines is not None and not machines:
+            return {"predictions": [], "count": 0}
+        trs = self.service.predict_batch(machines, window, dtype)
+        return {
+            "predictions": [
+                {"machine": m, "tr": float(trs[m])} for m in sorted(trs)
+            ],
+            "count": len(trs),
+        }
+
+    def _op_fleet_scan(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Full fleet snapshot: TR, failure split, sub-horizon TRs (v7)."""
+        window, dtype = _parse_window(params)
+        machines = self._parse_machines(params)
+        horizons = params.get("horizons_hours")
+        if horizons is not None:
+            if not isinstance(horizons, (list, tuple)):
+                raise ProtocolError(
+                    f"'horizons_hours' must be a list, got {type(horizons).__name__}"
+                )
+            horizons = [float(h) for h in horizons]
+            for h in horizons:
+                if h <= 0:
+                    raise ProtocolError(
+                        f"horizons_hours entries must be positive, got {h}"
+                    )
+        if machines is not None and not machines:
+            return {"machines": [], "count": 0, "horizons_hours": horizons or []}
+        scan = self.service.fleet_scan(window, dtype, machines=machines)
+        entries = []
+        for i, mid in enumerate(scan.machine_ids):
+            entry: dict[str, Any] = {
+                "machine": mid,
+                "tr": float(scan.tr[i]),
+                "fail": {
+                    "s3": float(scan.fail[i, 0]),
+                    "s4": float(scan.fail[i, 1]),
+                    "s5": float(scan.fail[i, 2]),
+                },
+                "init_state": f"S{int(scan.init_states[i])}",
+            }
+            if horizons:
+                entry["tr_at"] = [
+                    float(scan.tr_at(mid, h * 3600.0)) for h in horizons
+                ]
+            entries.append(entry)
+        entries.sort(key=lambda e: (-e["tr"], e["machine"]))
+        return {
+            "machines": entries,
+            "count": len(entries),
+            "horizons_hours": horizons or [],
+        }
 
     def _op_rank(self, params: Mapping[str, Any]) -> dict[str, Any]:
         window, dtype = _parse_window(params)

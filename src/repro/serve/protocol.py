@@ -79,7 +79,13 @@ __all__ = [
 #:     — the observability end of the live-ingestion pipeline: a monitor
 #:     agent (or an operator) verifies what the service actually holds
 #:     without racing the store files on disk.
-PROTOCOL_VERSION = 6
+#: v7: adds the fleet batch ops — ``predict_batch`` (TR for many
+#:     machines in one request, served by one stacked Eq.-3 solve) and
+#:     ``fleet_scan`` (the full per-machine snapshot: TR, failure split,
+#:     optional sub-horizon TRs).  Replaces N scalar predicts for
+#:     rank/select-style consumers; a v6-or-older client sending either
+#:     gets the structured unsupported-version error.
+PROTOCOL_VERSION = 7
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -101,6 +107,7 @@ OPS_BY_VERSION[5] = OPS_BY_VERSION[4] | {
     "job_put",
 }
 OPS_BY_VERSION[6] = OPS_BY_VERSION[5] | {"tail"}
+OPS_BY_VERSION[7] = OPS_BY_VERSION[6] | {"predict_batch", "fleet_scan"}
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)

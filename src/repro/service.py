@@ -35,6 +35,7 @@ from repro.core.smp import temporal_reliability_profile
 from repro.core.states import State
 from repro.core.uncertainty import TrInterval, bootstrap_tr
 from repro.core.windows import AbsoluteWindow, ClockWindow, DayType
+from repro.fleet.predictor import FleetPredictor, FleetScan
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
 from repro.obs.tracing import start_span
@@ -72,6 +73,7 @@ class AvailabilityService:
         self._predictor = IncrementalPredictor(
             self.classifier, self.config, max_cache_entries=max_cache_entries
         )
+        self._fleet = FleetPredictor(self)
 
     @classmethod
     def warm_start(cls, store: "TraceStore", **kwargs: object) -> "AvailabilityService":
@@ -102,6 +104,7 @@ class AvailabilityService:
             self.store.replace(history)
         if history.machine_id in self._histories:
             self._predictor.invalidate(history.machine_id)
+            self._fleet.invalidate(history.machine_id)
             get_event_log().emit(
                 "machine_replaced",
                 severity="warning",
@@ -213,6 +216,7 @@ class AvailabilityService:
         """Remove a machine and its caches."""
         del self._histories[machine_id]
         self._predictor.invalidate(machine_id)
+        self._fleet.invalidate(machine_id)
         instrument("service_registered_machines").set(len(self._histories))
 
     @property
@@ -255,15 +259,54 @@ class AvailabilityService:
         return tr
 
     def predict_all(
-        self, window: ClockWindow | AbsoluteWindow, dtype: DayType | None = None
+        self,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        *,
+        batch: bool = True,
     ) -> dict[str, float]:
-        """TR of every registered machine over one window."""
+        """TR of every registered machine over one window.
+
+        The default path stacks the fleet and solves once
+        (:meth:`fleet_scan`); ``batch=False`` keeps the legacy N-scalar
+        loop, retained as the reference the batched path is benched and
+        property-tested against.
+        """
         instrument("service_query_fanout_machines").observe(len(self._histories))
+        if batch:
+            return self.fleet_scan(window, dtype).trs()
         # Snapshot the id list so a concurrent register() (the serving
         # tier runs queries on worker threads) cannot break iteration.
         return {
             mid: self.predict(mid, window, dtype) for mid in list(self._histories)
         }
+
+    def predict_batch(
+        self,
+        machines: list[str] | None,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+    ) -> dict[str, float]:
+        """TR of many machines over one window, in one batched solve.
+
+        ``machines=None`` means every registered machine; unknown ids
+        raise ``KeyError`` like :meth:`predict`.
+        """
+        return self.fleet_scan(window, dtype, machines=machines).trs()
+
+    def fleet_scan(
+        self,
+        window: ClockWindow | AbsoluteWindow,
+        dtype: DayType | None = None,
+        *,
+        machines: list[str] | None = None,
+    ) -> FleetScan:
+        """Full fleet snapshot: TR, failure split and TR-profiles per machine.
+
+        One stacked Eq.-3 solve (incrementally cached) instead of N
+        scalar recursions; see :class:`repro.fleet.FleetPredictor`.
+        """
+        return self._fleet.scan(window, dtype, machines=machines)
 
     def rank(
         self, window: ClockWindow | AbsoluteWindow, dtype: DayType | None = None

@@ -1,0 +1,69 @@
+"""Fleet batch ops through the router: shard-local solves, merged once.
+
+Each shard answers ``predict_batch``/``fleet_scan`` for the machines it
+owns (the router sets ``missing_ok`` on the scatter); the router merges
+per-machine entries first-answer-wins and re-sorts, so the cluster's
+answer must equal a single-node deployment's for the same histories.
+"""
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeRequestError
+
+from .conftest import flat_trace
+
+MACHINES = [f"m{i:02d}" for i in range(6)]
+
+
+def register_all(harness, machines=MACHINES):
+    with ServeClient(port=harness.port) as client:
+        for i, mid in enumerate(machines):
+            client.register(flat_trace(mid, load=0.02 + 0.01 * i))
+
+
+class TestFleetScatter:
+    def test_predict_batch_covers_every_machine(self, harness):
+        register_all(harness)
+        with ServeClient(port=harness.port) as client:
+            batch = client.predict_batch(8, 3)
+            assert set(batch) == set(MACHINES)
+            # Every TR equals the single-machine predict for that id.
+            for mid in MACHINES:
+                assert batch[mid] == pytest.approx(
+                    client.predict(mid, 8, 3), abs=1e-9
+                )
+
+    def test_fleet_scan_merges_and_sorts_like_rank(self, harness):
+        register_all(harness)
+        with ServeClient(port=harness.port) as client:
+            scan = client.fleet_scan(8, 3)
+            ranking = client.rank(8, 3)
+        assert scan["count"] == len(MACHINES)
+        assert scan["shards"]["ok"] == 3
+        assert scan["shards"]["partial"] is False
+        assert [e["machine"] for e in scan["machines"]] == [
+            e["machine"] for e in ranking
+        ]
+
+    def test_subset_batch_across_shards(self, harness):
+        register_all(harness)
+        subset = MACHINES[::2]
+        with ServeClient(port=harness.port) as client:
+            batch = client.predict_batch(8, 3, machines=subset)
+        assert set(batch) == set(subset)
+
+    def test_machine_on_no_shard_is_an_error(self, harness):
+        register_all(harness)
+        with ServeClient(port=harness.port) as client:
+            with pytest.raises(ServeRequestError, match="not registered"):
+                client.predict_batch(8, 3, machines=[MACHINES[0], "ghost"])
+
+    def test_scan_survives_one_dead_node(self, harness):
+        register_all(harness)
+        victim = sorted(harness.backends)[0]
+        harness.backends[victim].stop()
+        with ServeClient(port=harness.port) as client:
+            scan = client.fleet_scan(8, 3)
+        # R=2 replication: every machine still answered by a survivor.
+        assert scan["count"] == len(MACHINES)
+        assert scan["shards"]["ok"] >= 2

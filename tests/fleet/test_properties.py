@@ -1,0 +1,98 @@
+"""Property tests: the batched solver is the scalar solver, everywhere.
+
+Hypothesis drives random fleets — arbitrary valid kernels, ragged
+horizons, all five init states — and checks the batched results against
+the per-machine scalar reference within 1e-9, plus the derived rank
+ordering byte-for-byte.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smp import (
+    SmpKernel,
+    failure_probabilities,
+    temporal_reliability,
+    temporal_reliability_profile,
+)
+from repro.fleet import FleetKernel, solve_fleet
+
+TOL = 1e-9
+
+
+@st.composite
+def fleets(draw):
+    """A random fleet: (ids, kernels, init states), ragged horizons."""
+    m_count = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    kernels = []
+    inits = []
+    for _ in range(m_count):
+        horizon = draw(st.integers(min_value=1, max_value=60))
+        mass = draw(st.floats(min_value=0.0, max_value=1.0))
+        k = np.zeros((8, horizon + 1))
+        for rows in (slice(0, 4), slice(4, 8)):
+            raw = rng.random((4, horizon))
+            total = raw.sum()
+            if total > 0:
+                k[rows, 1:] = raw / total * mass
+        kernels.append(SmpKernel(k, 6.0))
+        inits.append(draw(st.integers(min_value=1, max_value=5)))
+    ids = [f"m{i:02d}" for i in range(m_count)]
+    return ids, kernels, inits
+
+
+class TestBatchedEqualsScalar:
+    @settings(max_examples=80, deadline=None)
+    @given(fleets())
+    def test_failure_probabilities_match(self, fleet_spec):
+        ids, kernels, inits = fleet_spec
+        solution = solve_fleet(FleetKernel(ids, kernels), inits)
+        for i, (kern, init) in enumerate(zip(kernels, inits)):
+            expected = failure_probabilities(kern, init)
+            assert np.max(np.abs(solution.fail[i] - expected)) <= TOL
+
+    @settings(max_examples=80, deadline=None)
+    @given(fleets())
+    def test_temporal_reliability_matches(self, fleet_spec):
+        ids, kernels, inits = fleet_spec
+        solution = solve_fleet(FleetKernel(ids, kernels), inits)
+        for i, (kern, init) in enumerate(zip(kernels, inits)):
+            assert abs(solution.tr[i] - temporal_reliability(kern, init)) <= TOL
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_reliability_profiles_match_with_ragged_hold(self, fleet_spec):
+        ids, kernels, inits = fleet_spec
+        solution = solve_fleet(FleetKernel(ids, kernels), inits)
+        for i, (kern, init) in enumerate(zip(kernels, inits)):
+            profile = temporal_reliability_profile(kern, init)
+            got = solution.profiles[i]
+            assert np.max(np.abs(got[: kern.horizon + 1] - profile)) <= TOL
+            # Padded tail holds the machine's last real value exactly.
+            assert np.max(np.abs(got[kern.horizon :] - profile[-1])) <= TOL
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_rank_ordering_identical_to_scalar_path(self, fleet_spec):
+        ids, kernels, inits = fleet_spec
+        solution = solve_fleet(FleetKernel(ids, kernels), inits)
+        batched = sorted(
+            zip(ids, solution.tr), key=lambda kv: (-kv[1], kv[0])
+        )
+        scalar_trs = {
+            mid: temporal_reliability(kern, init)
+            for mid, kern, init in zip(ids, kernels, inits)
+        }
+        scalar = sorted(scalar_trs.items(), key=lambda kv: (-kv[1], kv[0]))
+        assert [m for m, _ in batched] == [m for m, _ in scalar]
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_solution_is_within_probability_bounds(self, fleet_spec):
+        ids, kernels, inits = fleet_spec
+        solution = solve_fleet(FleetKernel(ids, kernels), inits)
+        for arr in (solution.fail, solution.tr, solution.profiles):
+            assert np.all(arr >= 0.0) and np.all(arr <= 1.0)

@@ -125,7 +125,9 @@ class TestVersionGating:
         assert min_version("quality") == 3
         assert min_version("submit") == 5
         assert min_version("tail") == 6
-        assert PROTOCOL_VERSION == 6  # v6 adds the ingestion tail op
+        assert min_version("predict_batch") == 7
+        assert min_version("fleet_scan") == 7
+        assert PROTOCOL_VERSION == 7  # v7 adds the fleet batch ops
         assert Request(op="health").to_wire()["v"] == PROTOCOL_VERSION  # default
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()

@@ -48,7 +48,9 @@ class TestRequest:
         sched_ops = {"submit", "job_status", "cancel", "jobs", "replace", "job_put"}
         assert OPS_BY_VERSION[5] == OPS_BY_VERSION[4] | sched_ops
         assert OPS_BY_VERSION[6] == OPS_BY_VERSION[5] | {"tail"}
-        assert OPS == v1 | {"extend", "quality", "tail"} | sched_ops
+        fleet_ops = {"predict_batch", "fleet_scan"}
+        assert OPS_BY_VERSION[7] == OPS_BY_VERSION[6] | fleet_ops
+        assert OPS == v1 | {"extend", "quality", "tail"} | sched_ops | fleet_ops
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):
