@@ -1,0 +1,87 @@
+"""Calibrated fallback: serve the empirical baseline while retuning.
+
+A miscalibrated SMP is worse than no model: its TRs systematically
+over- or under-state survival, and every consumer (scheduler placement,
+gang selection) inherits the bias.  The paper's own evaluation baseline
+— the empirical TR, the fraction of recent matching days that stayed
+failure-free (Section 7.2) — is cheap and, being a raw frequency, is
+calibrated by construction on its own support.
+
+While a machine is on a shadow trial *and* its windowed ECE sits above
+the configured floor, the fallback answers ``predict`` with the
+empirical TR over the machine's recent history instead of the SMP
+value.  The substitution is journaled like any served prediction (the
+audit scores what users actually received) and flagged in the response
+(``"source": "fallback"``), and it ends the moment the trial resolves
+or calibration recovers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.classifier import StateClassifier
+from repro.core.empirical import empirical_tr
+from repro.core.windows import ClockWindow, DayType
+from repro.traces.trace import MachineTrace
+
+__all__ = ["CalibratedFallback"]
+
+
+class CalibratedFallback:
+    """Serves the paper's empirical-TR baseline for miscalibrated machines."""
+
+    def __init__(
+        self,
+        classifier: StateClassifier,
+        *,
+        ece_floor: float = 0.25,
+        history_days: int | None = 14,
+        step_multiple: int = 1,
+        min_days: int = 3,
+    ) -> None:
+        self.classifier = classifier
+        self.ece_floor = ece_floor
+        self.history_days = history_days
+        self.step_multiple = step_multiple
+        self.min_days = min_days
+
+    def should_fall_back(self, machine_ece: float | None) -> bool:
+        """Whether a trial machine's calibration warrants the baseline."""
+        return machine_ece is not None and machine_ece > self.ece_floor
+
+    def value(
+        self,
+        history: MachineTrace,
+        window: ClockWindow,
+        dtype: DayType,
+    ) -> float | None:
+        """The baseline TR, or None when the history cannot support one.
+
+        ``None`` means "keep the SMP value": an unsupported baseline
+        (too few matching recent days) would be noisier than the model
+        it is meant to shield users from.
+        """
+        recent = history
+        if self.history_days is not None:
+            days = history.days(None)
+            if len(days) > self.history_days:
+                recent = history.slice_days(days[-self.history_days], days[-1] + 1)
+        emp = empirical_tr(
+            recent,
+            self.classifier,
+            window,
+            dtype,
+            step_multiple=self.step_multiple,
+        )
+        if emp.n_days < self.min_days or math.isnan(emp.value):
+            return None
+        return emp.value
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "ece_floor": self.ece_floor,
+            "history_days": self.history_days,
+            "min_days": self.min_days,
+        }

@@ -1,0 +1,163 @@
+"""Champion/challenger shadow trials scored through the audit journal.
+
+A retune plan is a *hypothesis* — the backtest says the candidate would
+have done better on the last few days.  Before it may serve traffic,
+the candidate must prove itself forward in time: for every served
+``predict`` on the machine, the challenger's own answer is journaled as
+a ``shadow`` prediction through the same audit journal (same target
+window, same resolver, same labeling), and both arms accumulate into
+trial scoreboards.  The challenger is promoted only when
+
+* both arms have at least ``min_eval`` resolved pairs,
+* the challenger's windowed Brier beats the champion's by at least
+  ``promote_margin`` while its ECE is no worse than ``ece_slack``
+  beyond the champion's, and
+* that verdict is sustained over ``hysteresis`` consecutive
+  evaluations — a single lucky window must not flip the model
+  (anti-flapping, mirroring the health prober's hysteresis).
+
+A trial that cannot win within ``max_trial_resolutions`` is abandoned,
+and a cooldown keeps a machine from churning through trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.audit.scoreboard import Scoreboard
+from repro.core.online import IncrementalPredictor
+
+from repro.adapt.planner import CandidateConfig
+
+__all__ = ["TrialState", "ChampionChallenger"]
+
+#: Trial verdicts returned by :meth:`ChampionChallenger.evaluate`.
+VERDICT_CONTINUE = "continue"
+VERDICT_PROMOTE = "promote"
+VERDICT_ABANDON = "abandon"
+
+
+@dataclass
+class TrialState:
+    """One machine's in-flight shadow trial."""
+
+    machine: str
+    challenger: CandidateConfig
+    predictor: IncrementalPredictor
+    champion_board: Scoreboard
+    challenger_board: Scoreboard
+    backtest_brier: float
+    #: Resolved pairs consumed by the trial so far (both arms).
+    resolutions: int = 0
+    #: Consecutive evaluations the challenger won (hysteresis counter).
+    wins: int = 0
+    shadow_journaled: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, Any]:
+        champ = self.champion_board.snapshot()
+        chall = self.challenger_board.snapshot()
+        return {
+            "challenger": self.challenger.describe(),
+            "backtest_brier": round(self.backtest_brier, 6),
+            "resolutions": self.resolutions,
+            "wins": self.wins,
+            "shadow_journaled": self.shadow_journaled,
+            "champion_brier": champ["brier"],
+            "champion_ece": champ["ece"],
+            "champion_n": champ["n"],
+            "challenger_brier": chall["brier"],
+            "challenger_ece": chall["ece"],
+            "challenger_n": chall["n"],
+        }
+
+
+class ChampionChallenger:
+    """Scores one machine's shadow trial and renders the verdict.
+
+    Stateless apart from per-trial :class:`TrialState` objects the
+    controller owns; every method takes the trial explicitly, so the
+    harness itself needs no locking.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_eval: int = 12,
+        promote_margin: float = 0.02,
+        ece_slack: float = 0.05,
+        hysteresis: int = 2,
+        max_trial_resolutions: int = 512,
+        window: int = 256,
+        n_bins: int = 10,
+    ) -> None:
+        if min_eval < 1:
+            raise ValueError(f"min_eval must be >= 1, got {min_eval}")
+        if hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        self.min_eval = min_eval
+        self.promote_margin = promote_margin
+        self.ece_slack = ece_slack
+        self.hysteresis = hysteresis
+        self.max_trial_resolutions = max_trial_resolutions
+        self.window = window
+        self.n_bins = n_bins
+
+    def start(
+        self,
+        machine: str,
+        challenger: CandidateConfig,
+        predictor: IncrementalPredictor,
+        *,
+        backtest_brier: float,
+    ) -> TrialState:
+        """Open a fresh trial with empty scoreboards for both arms."""
+        return TrialState(
+            machine=machine,
+            challenger=challenger,
+            predictor=predictor,
+            champion_board=Scoreboard(window=self.window, n_bins=self.n_bins),
+            challenger_board=Scoreboard(window=self.window, n_bins=self.n_bins),
+            backtest_brier=backtest_brier,
+        )
+
+    def record(
+        self, trial: TrialState, *, shadow: bool, probability: float, outcome: bool
+    ) -> None:
+        """Fold one resolved pair into the trial's matching arm."""
+        board = trial.challenger_board if shadow else trial.champion_board
+        board.record(trial.machine, probability, outcome)
+        trial.resolutions += 1
+
+    def margin(self, trial: TrialState) -> float | None:
+        """Champion Brier minus challenger Brier (None: not comparable)."""
+        champ = trial.champion_board.snapshot()
+        chall = trial.challenger_board.snapshot()
+        if champ["n"] < self.min_eval or chall["n"] < self.min_eval:
+            return None
+        return champ["brier"] - chall["brier"]
+
+    def evaluate(self, trial: TrialState) -> str:
+        """One hysteresis step; ``continue`` / ``promote`` / ``abandon``."""
+        margin = self.margin(trial)
+        if margin is None:
+            if trial.resolutions >= self.max_trial_resolutions:
+                return VERDICT_ABANDON
+            return VERDICT_CONTINUE
+        champ = trial.champion_board.snapshot()
+        chall = trial.challenger_board.snapshot()
+        ece_ok = (
+            champ["ece"] is None
+            or chall["ece"] is None
+            or chall["ece"] <= champ["ece"] + self.ece_slack
+        )
+        if margin >= self.promote_margin and ece_ok:
+            trial.wins += 1
+            if trial.wins >= self.hysteresis:
+                return VERDICT_PROMOTE
+            return VERDICT_CONTINUE
+        trial.wins = 0
+        if trial.resolutions >= self.max_trial_resolutions:
+            return VERDICT_ABANDON
+        return VERDICT_CONTINUE

@@ -9,7 +9,12 @@ reliability-bin / ECE metrics, and :class:`DriftDetector` raises
 ``model_degraded`` alarms when the model goes stale.
 """
 
-from repro.audit.audit import AuditConfig, PredictionAudit
+from repro.audit.audit import (
+    SHADOW_OP_PREFIX,
+    AuditConfig,
+    PredictionAudit,
+    is_shadow_op,
+)
 from repro.audit.drift import DriftConfig, DriftDetector, PageHinkley
 from repro.audit.journal import (
     OUTCOME_AVAILABLE,
@@ -32,6 +37,8 @@ from repro.audit.scoreboard import (
 __all__ = [
     "AuditConfig",
     "PredictionAudit",
+    "SHADOW_OP_PREFIX",
+    "is_shadow_op",
     "DriftConfig",
     "DriftDetector",
     "PageHinkley",

@@ -50,7 +50,20 @@ from repro.core.windows import AbsoluteWindow, ClockWindow, DayType, day_index, 
 from repro.obs.instruments import instrument
 from repro.traces.trace import MachineTrace
 
-__all__ = ["AuditConfig", "PredictionAudit"]
+__all__ = ["AuditConfig", "PredictionAudit", "SHADOW_OP_PREFIX", "is_shadow_op"]
+
+#: Ops journaled by the adapt tier's challenger models.  Shadow
+#: predictions ride the same journal and resolver as served ones (same
+#: durability, same labeling), but they are *not* folded into the main
+#: scoreboard or the drift detector — the champion's quality must not be
+#: diluted by a challenger that is still on trial.  The
+#: champion/challenger harness scores them in its own scoreboards.
+SHADOW_OP_PREFIX = "shadow"
+
+
+def is_shadow_op(op: str) -> bool:
+    """Whether a journal op names a shadow (unserved) prediction."""
+    return op.startswith(SHADOW_OP_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -126,11 +139,20 @@ class PredictionAudit:
             self._journaled[record.op] = self._journaled.get(record.op, 0) + 1
         for res in self.journal.resolutions:
             self._resolved[res.outcome] = self._resolved.get(res.outcome, 0) + 1
+            record = by_seq.get(res.seq)
+            if record is not None and is_shadow_op(record.op):
+                continue
             if res.outcome != OUTCOME_EXCLUDED:
                 outcome = res.outcome == OUTCOME_AVAILABLE
                 self.scoreboard.record(res.machine, res.probability, outcome)
                 error = (res.probability - (1.0 if outcome else 0.0)) ** 2
-                self.drift.update(error, self.scoreboard.snapshot(), emit=False)
+                self.drift.update(
+                    error,
+                    self.scoreboard.snapshot(),
+                    machine=res.machine,
+                    model_time=None if record is None else record.window_end,
+                    emit=False,
+                )
         for record in sorted(self.journal.pending.values(), key=lambda r: r.seq):
             self._pending.setdefault(record.machine, {})[record.seq] = record
         self._update_gauges()
@@ -234,11 +256,17 @@ class PredictionAudit:
                 del queue[record.seq]
                 self._resolved[outcome] = self._resolved.get(outcome, 0) + 1
                 instrument("audit_resolutions_total").labels(outcome=outcome).inc()
-                if outcome != OUTCOME_EXCLUDED:
+                if outcome != OUTCOME_EXCLUDED and not is_shadow_op(record.op):
                     scored = outcome == OUTCOME_AVAILABLE
                     self.scoreboard.record(machine, record.probability, scored)
                     error = (record.probability - (1.0 if scored else 0.0)) ** 2
-                    self.drift.update(error, self.scoreboard.snapshot())
+                    self.drift.update(
+                        error,
+                        self.scoreboard.snapshot(),
+                        machine=machine,
+                        model_time=record.window_end,
+                        sample_period=history.sample_period,
+                    )
                 out.append(resolution)
             if not queue:
                 self._pending.pop(machine, None)

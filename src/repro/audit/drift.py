@@ -17,13 +17,24 @@ Alarms are edge-triggered: each reason fires an event (via
 :mod:`repro.obs.events`) and bumps ``audit_drift_alarms_total`` once per
 crossing, and the detector latches ``degraded`` until the windowed
 metrics have looked healthy for ``min_samples`` consecutive resolutions.
+
+Beside the aggregate stream the detector runs one Page–Hinkley test
+*per machine*: a single host changing regime is diluted in the fleet
+aggregate but obvious in its own error stream, and the adapt tier needs
+to know *which* machine to retune.  Every alarm records its model-clock
+context (``model_time``, sample ``slot``, ``day``) so operators — and
+the retune planner — can line the alarm up against the trace instead of
+against wall time.  :meth:`DriftDetector.reset_machine` clears one
+machine's test after a model promotion, so post-recovery data is not
+judged against pre-shift statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.core.windows import day_index
 from repro.obs.events import get_event_log
 from repro.obs.instruments import instrument
 
@@ -76,6 +87,18 @@ class PageHinkley:
         return self.cumulative - self.minimum > self.lam
 
 
+@dataclass
+class _MachineDrift:
+    """One machine's Page–Hinkley test and alarm bookkeeping."""
+
+    ph: PageHinkley
+    alarms: int = 0
+    degraded: bool = False
+    last_alarm: dict[str, Any] | None = None
+    healthy_streak: int = 0
+    errors: int = field(default=0)
+
+
 class DriftDetector:
     """Raises ``model_degraded`` alarms from the resolved error stream."""
 
@@ -89,25 +112,64 @@ class DriftDetector:
         self._brier_breached = False
         self._ece_breached = False
         self._healthy_streak = 0
+        self._machines: dict[str, _MachineDrift] = {}
+
+    def _machine_state(self, machine: str) -> _MachineDrift:
+        state = self._machines.get(machine)
+        if state is None:
+            state = self._machines[machine] = _MachineDrift(
+                ph=PageHinkley(self.config.ph_delta, self.config.ph_lambda)
+            )
+        return state
+
+    @staticmethod
+    def _clock_context(
+        model_time: float | None, sample_period: float | None
+    ) -> dict[str, Any]:
+        """Model-clock coordinates of one resolution (all None-safe)."""
+        if model_time is None:
+            return {"model_time": None, "slot": None, "day": None}
+        return {
+            "model_time": float(model_time),
+            "slot": (
+                None if not sample_period
+                else int(model_time // sample_period)
+            ),
+            "day": day_index(model_time),
+        }
 
     def update(
-        self, error: float, metrics: Mapping[str, Any], *, emit: bool = True
+        self,
+        error: float,
+        metrics: Mapping[str, Any],
+        *,
+        machine: str | None = None,
+        model_time: float | None = None,
+        sample_period: float | None = None,
+        emit: bool = True,
     ) -> list[str]:
         """Feed one resolution; returns the alarm reasons it fired.
 
         ``error`` is the squared error of the resolved pair; ``metrics``
-        the current aggregate scoreboard snapshot.  With ``emit=False``
-        (journal replay after a restart) the detector state is rebuilt
-        but no events or counters are re-emitted.
+        the current aggregate scoreboard snapshot.  ``machine`` routes
+        the error into that machine's own Page–Hinkley test as well;
+        ``model_time`` (the resolved window's end on the model clock)
+        and ``sample_period`` stamp the alarm's model-clock slot.  With
+        ``emit=False`` (journal replay after a restart) the detector
+        state is rebuilt but no events or counters are re-emitted.
         """
         cfg = self.config
         n = int(metrics.get("n") or 0)
         reasons: list[str] = []
+        clock = self._clock_context(model_time, sample_period)
 
         ph_crossed = self._ph.update(error)
         if ph_crossed and self._ph.n >= cfg.min_samples:
             reasons.append("page_hinkley")
             self._ph.reset()
+
+        if machine is not None:
+            self._update_machine(machine, error, clock, emit=emit)
 
         brier = metrics.get("brier")
         ece = metrics.get("ece")
@@ -134,7 +196,7 @@ class DriftDetector:
             self.degraded = True
             self._healthy_streak = 0
             for reason in reasons:
-                self._alarm(reason, metrics, emit=emit)
+                self._alarm(reason, metrics, clock, machine=machine, emit=emit)
         elif brier_breach or ece_breach:
             self._healthy_streak = 0
         else:
@@ -150,13 +212,76 @@ class DriftDetector:
             instrument("audit_model_degraded").set(1.0 if self.degraded else 0.0)
         return reasons
 
-    def _alarm(self, reason: str, metrics: Mapping[str, Any], *, emit: bool) -> None:
+    def _update_machine(
+        self, machine: str, error: float, clock: Mapping[str, Any], *, emit: bool
+    ) -> None:
+        """Run one machine's own Page–Hinkley test on the error."""
+        cfg = self.config
+        state = self._machine_state(machine)
+        state.errors += 1
+        crossed = state.ph.update(error)
+        if crossed and state.ph.n >= cfg.min_samples:
+            state.ph.reset()
+            state.alarms += 1
+            state.degraded = True
+            state.healthy_streak = 0
+            state.last_alarm = {
+                "reason": "page_hinkley",
+                "machine": machine,
+                **clock,
+            }
+            if emit:
+                instrument("audit_drift_alarms_total").labels(
+                    reason="machine_page_hinkley"
+                ).inc()
+                get_event_log().emit(
+                    "model_degraded",
+                    severity="warning",
+                    node=self.node,
+                    reason="page_hinkley",
+                    machine=machine,
+                    **clock,
+                )
+        elif state.degraded:
+            state.healthy_streak += 1
+            if state.healthy_streak >= cfg.min_samples:
+                state.degraded = False
+                if emit:
+                    get_event_log().emit(
+                        "model_recovered", node=self.node, machine=machine, **clock
+                    )
+
+    def reset_machine(self, machine: str) -> None:
+        """Forget one machine's drift state (called after a promotion).
+
+        The promoted model answers from different statistics; keeping the
+        pre-promotion Page–Hinkley mean would judge the new model against
+        the old regime and re-alarm (or mask a real regression).
+        """
+        self._machines.pop(machine, None)
+
+    def machine_degraded(self, machine: str) -> bool:
+        """Whether one machine's own error stream is currently degraded."""
+        state = self._machines.get(machine)
+        return bool(state is not None and state.degraded)
+
+    def _alarm(
+        self,
+        reason: str,
+        metrics: Mapping[str, Any],
+        clock: Mapping[str, Any],
+        *,
+        machine: str | None,
+        emit: bool,
+    ) -> None:
         self.alarms += 1
         self.last_alarm = {
             "reason": reason,
             "brier": metrics.get("brier"),
             "ece": metrics.get("ece"),
             "n": int(metrics.get("n") or 0),
+            "machine": machine,
+            **clock,
         }
         if not emit:
             return
@@ -169,6 +294,8 @@ class DriftDetector:
             brier=metrics.get("brier"),
             ece=metrics.get("ece"),
             n=int(metrics.get("n") or 0),
+            machine=machine,
+            **clock,
         )
 
     def status(self) -> dict[str, Any]:
@@ -176,4 +303,14 @@ class DriftDetector:
             "degraded": self.degraded,
             "alarms": self.alarms,
             "last_alarm": self.last_alarm,
+            "machines": {
+                mid: {
+                    "degraded": state.degraded,
+                    "alarms": state.alarms,
+                    "last_alarm": state.last_alarm,
+                    "errors": state.errors,
+                }
+                for mid, state in self._machines.items()
+                if state.alarms or state.degraded
+            },
         }

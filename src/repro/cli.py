@@ -240,6 +240,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"recovered, {audit.n_pending} pending]",
             flush=True,
         )
+    adapt = None
+    if args.adapt:
+        from repro.adapt import AdaptController
+
+        if audit is None:
+            # The adapt tier scores challengers through the audit
+            # journal, so --adapt without audit flags implies a
+            # memory-only audit.
+            from repro.audit import AuditConfig, PredictionAudit
+
+            audit = PredictionAudit(
+                AuditConfig(node_id=args.node_id),
+                classifier=service.classifier,
+                step_multiple=service.config.step_multiple,
+            )
+            print("[audit on (memory-only, implied by --adapt)]", flush=True)
+        adapt = AdaptController(service, audit)
+        print("[adapt on: auto retune on per-machine drift alarms]", flush=True)
     from repro.sched import JobManager, SchedConfig
 
     sched = JobManager(
@@ -265,7 +283,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def _serve() -> int:
         server = ServeServer(
             service, host=args.host, port=args.port, config=config, audit=audit,
-            sched=sched,
+            sched=sched, adapt=adapt,
         )
         await server.start()
         print(f"[serving on {args.host}:{server.port}]", flush=True)
@@ -389,7 +407,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.traces.io import load_trace_npz
 
         params.update(_trace_params(load_trace_npz(args.trace)))
-    if args.op == "quality" and args.machine:
+    if args.op in ("quality", "adapt_status") and args.machine:
         params["machine"] = args.machine
     trace_ctx = None
     if args.traced or args.trace_out:
@@ -799,13 +817,20 @@ def _print_quality(quality: dict) -> None:
 
 
 def _fetch_quality(args: argparse.Namespace, host: str, port: int) -> dict | None:
-    from repro.serve.client import ServeClient
+    from repro.serve.client import ServeClient, ServeRequestError
 
     try:
         with ServeClient(host, port, timeout=args.connect_timeout) as client:
             return client.quality(machine=args.machine)
     except OSError as exc:
         print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return None
+    except ServeRequestError as exc:
+        # A draining/overloaded server answers, but not with a report —
+        # to a watcher that is the same as the target disappearing.
+        print(f"server at {host}:{port} refused the request: {exc}",
+              file=sys.stderr)
         print(_unreachable_hint(args, host, port), file=sys.stderr)
         return None
 
@@ -891,6 +916,175 @@ def _cmd_audit_resolve(args: argparse.Namespace) -> int:
     )
     _print_quality(quality)
     return 0
+
+
+def _fetch_adapt_status(args: argparse.Namespace, host: str, port: int) -> dict | None:
+    from repro.serve.client import ServeClient, ServeRequestError
+
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            return client.adapt_status(machine=args.machine)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return None
+    except ServeRequestError as exc:
+        print(f"server at {host}:{port} refused the request: {exc}",
+              file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return None
+
+
+def _print_adapt_status(status: dict) -> None:
+    print(
+        f"adapt: auto={'on' if status.get('auto') else 'off'}  "
+        f"retunes {status.get('retunes', 0)}  "
+        f"promotions {status.get('promotions', 0)}  "
+        f"abandoned {status.get('abandoned', 0)}  "
+        f"shadowing {status.get('shadowing', 0)}"
+    )
+    overrides = status.get("overrides") or []
+    if overrides:
+        print(f"overridden machines: {', '.join(overrides)}")
+    machines = status.get("machines", {})
+    if machines:
+        header = (f"{'machine':<20} {'state':<10} {'retunes':>8} {'promo':>6} "
+                  f"{'cooldown':>9} {'fallback':>9}")
+        print(header)
+        print("-" * len(header))
+        for name, entry in sorted(machines.items()):
+            print(
+                f"{name:<20} {entry.get('state', '?'):<10} "
+                f"{entry.get('retunes', 0):>8} "
+                f"{entry.get('promotions', 0):>6} "
+                f"{entry.get('cooldown', 0):>9} "
+                f"{'YES' if entry.get('fallback_active') else 'no':>9}"
+            )
+
+
+def _cmd_adapt_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    status = _fetch_adapt_status(args, *target)
+    if status is None:
+        return 1
+    if args.json:
+        print(_json.dumps(status, indent=2))
+    else:
+        if not status.get("enabled"):
+            print("adapt is not enabled on the target", file=sys.stderr)
+        else:
+            _print_adapt_status(status)
+    return 0 if status.get("enabled") else 1
+
+
+def _cmd_adapt_watch(args: argparse.Namespace) -> int:
+    """Poll the adapt tier; one summary line per tick."""
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    for tick in range(args.count):
+        if tick:
+            time.sleep(args.interval)
+        status = _fetch_adapt_status(args, *target)
+        if status is None:
+            return 1
+        if not status.get("enabled"):
+            print("adapt is not enabled on the target", file=sys.stderr)
+            return 1
+        stamp = time.strftime("%H:%M:%S")
+        machines = status.get("machines", {})
+        fallback = sum(1 for e in machines.values() if e.get("fallback_active"))
+        print(
+            f"[{stamp}] retunes {status.get('retunes', 0)}  "
+            f"promotions {status.get('promotions', 0)}  "
+            f"abandoned {status.get('abandoned', 0)}  "
+            f"shadowing {status.get('shadowing', 0)}  "
+            f"fallback {fallback}  "
+            f"overrides {len(status.get('overrides') or [])}",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_adapt_retune(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeRequestError
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    host, port = target
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            summary = client.adapt_retune(args.machine)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return 1
+    except ServeRequestError as exc:
+        print(f"retune failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+        return 0
+    best = summary.get("best") or {}
+    champ = summary.get("champion") or {}
+    print(
+        f"machine {summary.get('machine')}: scored "
+        f"{len(summary.get('candidates', []))} candidates over "
+        f"{summary.get('holdout_days')} holdout days"
+    )
+    print(
+        f"champion brier {champ.get('brier')}  best brier {best.get('brier')}  "
+        f"improvement {summary.get('improvement')}"
+    )
+    if summary.get("trial_opened"):
+        print(f"trial opened for challenger {best.get('candidate')}")
+    else:
+        print("no trial opened (champion holds, or a trial is already running)")
+    return 0
+
+
+def _cmd_adapt_promote(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeRequestError
+
+    target = _resolve_query_target(args)
+    if target is None:
+        return 2
+    host, port = target
+    try:
+        with ServeClient(host, port, timeout=args.connect_timeout) as client:
+            result = client.adapt_promote(args.machine, force=args.force)
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        print(_unreachable_hint(args, host, port), file=sys.stderr)
+        return 1
+    except ServeRequestError as exc:
+        print(f"promote failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(result, indent=2))
+        return 0 if result.get("promoted") else 1
+    if result.get("promoted"):
+        print(
+            f"machine {result.get('machine')}: promoted challenger "
+            f"{result.get('challenger')}"
+            + (" (forced)" if result.get("forced") else "")
+        )
+        return 0
+    print(
+        f"machine {result.get('machine')}: not promoted — "
+        f"{result.get('reason')}",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _sched_client(args: argparse.Namespace):
@@ -1299,6 +1493,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--node-id", default="local",
                        help="node identity stamped into audit records "
                        "(default: local)")
+    serve.add_argument("--adapt", action="store_true",
+                       help="run the self-healing adapt tier: auto retune on "
+                       "per-machine drift alarms, champion/challenger shadow "
+                       "trials, calibrated fallback (implies a memory-only "
+                       "audit when no audit flags are given)")
     serve.add_argument("--sched-dir", default=None,
                        help="scheduler WAL directory; job state survives "
                        "restarts (default: memory-only scheduler)")
@@ -1317,7 +1516,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("op",
                        choices=("predict", "predict_batch", "fleet_scan", "rank",
                                 "select", "horizon", "health",
-                                "register", "extend", "quality"))
+                                "register", "extend", "quality", "adapt_status"))
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=0,
                        help="server (or cluster router) port")
@@ -1485,6 +1684,66 @@ def build_parser() -> argparse.ArgumentParser:
     aresolve.add_argument("--json", action="store_true",
                           help="print the raw quality result as JSON")
     aresolve.set_defaults(func=_cmd_audit_resolve)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="inspect and drive the self-healing model tier "
+        "(retunes, shadow trials, promotions)",
+    )
+    adsub = adapt.add_subparsers(dest="adapt_op", required=True)
+
+    def _adapt_target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0,
+                       help="server (or cluster router) port")
+        p.add_argument("--port-file",
+                       help="read the port from this file (as written by "
+                       "'repro-fgcs serve --port-file' or 'cluster start')")
+        p.add_argument("--cluster", metavar="SPEC",
+                       help="read the router address from a cluster spec JSON")
+        p.add_argument("--connect-timeout", type=float, default=10.0)
+
+    adstatus = adsub.add_parser(
+        "status", help="show retunes, trials and promotions per machine"
+    )
+    _adapt_target_args(adstatus)
+    adstatus.add_argument("--machine", help="restrict to one machine")
+    adstatus.add_argument("--json", action="store_true",
+                          help="print the raw adapt_status result as JSON")
+    adstatus.set_defaults(func=_cmd_adapt_status)
+
+    adwatch = adsub.add_parser(
+        "watch", help="poll the adapt tier, one summary line per tick"
+    )
+    _adapt_target_args(adwatch)
+    adwatch.add_argument("--machine", help="restrict to one machine")
+    adwatch.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default: 2)")
+    adwatch.add_argument("--count", type=int, default=30,
+                         help="number of polls before exiting (default: 30)")
+    adwatch.set_defaults(func=_cmd_adapt_watch)
+
+    adretune = adsub.add_parser(
+        "retune", help="backtest candidate models for one machine now"
+    )
+    _adapt_target_args(adretune)
+    adretune.add_argument("--machine", required=True,
+                          help="machine id to retune")
+    adretune.add_argument("--json", action="store_true",
+                          help="print the raw retune plan as JSON")
+    adretune.set_defaults(func=_cmd_adapt_retune)
+
+    adpromote = adsub.add_parser(
+        "promote", help="promote one machine's shadow challenger"
+    )
+    _adapt_target_args(adpromote)
+    adpromote.add_argument("--machine", required=True,
+                           help="machine id whose challenger to promote")
+    adpromote.add_argument("--force", action="store_true",
+                           help="promote even without the scoreboard margin")
+    adpromote.add_argument("--json", action="store_true",
+                           help="print the raw result as JSON")
+    adpromote.set_defaults(func=_cmd_adapt_promote)
 
     sched = sub.add_parser(
         "sched", help="submit and track guest jobs on the TR-aware scheduler"

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.adapt.controller import merge_adapt_status
 from repro.audit.scoreboard import merge_quality
 from repro.cluster.membership import Membership
 from repro.cluster.ring import HashRing
@@ -78,6 +79,12 @@ _JOB_SCATTER_OPS = frozenset({"jobs"})
 #: ``replace`` broadcasts to every live node (each JobManager re-places
 #: its own affected jobs); also triggered internally on node death.
 _JOB_BROADCAST_OPS = frozenset({"replace"})
+#: Adapt-tier state is per-node like audit state: scatter and merge.
+_ADAPT_STATUS_OPS = frozenset({"adapt_status"})
+#: Retune/promote change the machine's serving model, which lives on
+#: every owner of the machine — quorum writes, but they never touch the
+#: machine catalog (they create no history).
+_ADAPT_WRITE_OPS = frozenset({"adapt_retune", "adapt_promote"})
 
 
 @dataclass(frozen=True)
@@ -393,6 +400,10 @@ class ClusterRouter:
             return await self._route_jobs(request)
         if request.op in _JOB_BROADCAST_OPS:
             return await self._route_broadcast(request)
+        if request.op in _ADAPT_STATUS_OPS:
+            return await self._route_adapt_status(request)
+        if request.op in _ADAPT_WRITE_OPS:
+            return await self._route_write(request)
         return Response.failure(
             request.id, STATUS_ERROR, "ProtocolError",
             f"op {request.op!r} is not routable"
@@ -658,6 +669,48 @@ class ClusterRouter:
                 "no shard answered the quality scatter",
             )
         merged = merge_quality(answers)
+        merged["shards"] = {
+            "queried": len(targets),
+            "ok": nodes_ok,
+            "partial": nodes_ok < len(targets),
+        }
+        return Response.success(request.id, merged)
+
+    async def _route_adapt_status(self, request: Request) -> Response:
+        """Scatter ``adapt_status`` to every live node and merge.
+
+        Adapt state is per-node (each owner runs its own trials for the
+        machines it serves); counters sum and machine entries union,
+        keeping the entry that saw the most retunes.
+        """
+        targets = self.membership.up_nodes() or self.membership.node_ids
+        with start_span("router.scatter", "router", op=request.op, targets=len(targets)):
+            results = await asyncio.gather(
+                *(self._call_traced(n, request) for n in targets),
+                return_exceptions=True,
+            )
+        answers: list[dict[str, Any]] = []
+        errors: list[Response] = []
+        nodes_ok = 0
+        for resp in results:
+            if isinstance(resp, BaseException):
+                if not isinstance(resp, (OSError, asyncio.TimeoutError)):
+                    raise resp
+                continue
+            if not resp.ok:
+                errors.append(resp)
+                continue
+            nodes_ok += 1
+            answers.append(resp.result)
+        if nodes_ok == 0:
+            if errors:
+                first = errors[0]
+                return Response(id=request.id, status=first.status, error=first.error)
+            return Response.failure(
+                request.id, STATUS_ERROR, "NoReplicaAvailable",
+                "no shard answered the adapt_status scatter",
+            )
+        merged = merge_adapt_status(answers)
         merged["shards"] = {
             "queried": len(targets),
             "ok": nodes_ok,

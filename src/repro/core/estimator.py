@@ -68,6 +68,13 @@ class EstimatorConfig:
         4.1) and that our ablation bench quantifies.  Coarse steps take
         the *most severe* state within each group of samples, so short
         failures are never hidden by coarsening.
+    day_type_split:
+        ``True`` (default, the paper's Section 4.2 setting) trains only
+        on history days of the requested type (weekday vs weekend).
+        ``False`` pools every history day regardless of type — the right
+        call when the host has no weekly rhythm (server rooms) and the
+        per-type sample count is the accuracy bottleneck.  The adapt
+        tier's retune search flips this switch per machine.
     """
 
     history_days: int | None = None
@@ -75,6 +82,7 @@ class EstimatorConfig:
     censoring: Censoring = "km"
     laplace: float = 0.0
     step_multiple: int = 1
+    day_type_split: bool = True
 
     def __post_init__(self) -> None:
         if self.history_days is not None and self.history_days < 1:
@@ -134,11 +142,13 @@ class WindowedKernelEstimator:
         """Eligible history days, most recent first.
 
         A day is eligible when it has the requested type and the clock
-        window instantiated on it lies entirely within the trace.
+        window instantiated on it lies entirely within the trace.  With
+        ``day_type_split=False`` every covered day is eligible.
         """
         days: list[int] = []
         limit = self.config.history_days
-        for d in reversed(trace.days(dtype)):
+        pool = trace.days(dtype) if self.config.day_type_split else trace.days(None)
+        for d in reversed(pool):
             if trace.covers(clock.on_day(d)):
                 days.append(d)
                 if limit is not None and len(days) >= limit:

@@ -100,6 +100,11 @@ class IncrementalPredictor:
         """The estimation configuration in force."""
         return self.estimator.config
 
+    @property
+    def classifier(self) -> StateClassifier:
+        """The classifier in force."""
+        return self.estimator.classifier
+
     def invalidate(self, machine_id: str | None = None) -> None:
         """Drop cached observations (for one machine, or all)."""
         with self._lock:

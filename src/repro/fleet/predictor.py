@@ -186,7 +186,6 @@ class FleetPredictor:
             with self._lock:
                 entry = self._entry(_clock_key(clock, dtype))
                 rebuilt = reused = 0
-                predictor = self._service._predictor
                 for mid in ids:
                     trace = histories.get(mid)
                     if trace is None:  # unregistered between snapshot and now
@@ -195,6 +194,10 @@ class FleetPredictor:
                     if row is not None and row[0] == trace.n_samples:
                         reused += 1
                         continue
+                    # Per-machine lookup: a promoted override must feed its
+                    # own kernel into the fleet tensor (set_model_config
+                    # invalidates the stale row to force this rebuild).
+                    predictor = self._service.predictor_for(mid)
                     kernel = predictor.kernel(trace, clock, dtype)
                     init = int(predictor.typical_initial_state(trace, clock, dtype))
                     entry.rows[mid] = (trace.n_samples, kernel, init)

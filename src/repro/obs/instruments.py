@@ -372,6 +372,51 @@ _SPECS: tuple[InstrumentSpec, ...] = (
         "model_degraded alarms raised, by trigger.",
         ("reason",),  # brier | ece | page_hinkley
     ),
+    # -- self-healing adapt tier ------------------------------------------ #
+    InstrumentSpec(
+        "adapt_retunes_total",
+        "counter",
+        "Retune searches run by the adapt controller, by trigger "
+        "(alarm: auto on drift; manual: the adapt_retune op).",
+        ("trigger",),
+    ),
+    InstrumentSpec(
+        "adapt_retune_seconds",
+        "histogram",
+        "Wall-clock time of one retune search (walk-forward backtest of "
+        "the candidate grid).",
+        (),
+        _WALL_BUCKETS,
+    ),
+    InstrumentSpec(
+        "adapt_promotions_total",
+        "counter",
+        "Shadow-trial conclusions, by outcome (margin: challenger won the "
+        "scoreboard margin; forced: adapt_promote --force; abandoned: the "
+        "trial expired without a win).",
+        ("outcome",),
+    ),
+    InstrumentSpec(
+        "adapt_shadow_predictions_total",
+        "counter",
+        "Challenger shadow predictions journaled alongside served ones.",
+    ),
+    InstrumentSpec(
+        "adapt_machines_shadowing",
+        "gauge",
+        "Machines currently running a champion/challenger shadow trial.",
+    ),
+    InstrumentSpec(
+        "adapt_fallback_active",
+        "gauge",
+        "Machines currently answered by the calibrated empirical fallback "
+        "instead of the SMP (trial in flight and ECE above the floor).",
+    ),
+    InstrumentSpec(
+        "adapt_fallback_served_total",
+        "counter",
+        "predict responses served from the empirical fallback baseline.",
+    ),
     # -- serving-tier scheduler ------------------------------------------ #
     InstrumentSpec(
         "sched_jobs_submitted_total",

@@ -375,6 +375,23 @@ class ServeClient(_ConvenienceOps):
         """All job records plus scheduler stats (protocol v5)."""
         return self._result(self.request("jobs"))
 
+    def adapt_status(self, machine: str | None = None) -> dict[str, Any]:
+        """Self-healing adapt tier state (protocol v8)."""
+        params = {} if machine is None else {"machine": machine}
+        return self._result(self.request("adapt_status", params))
+
+    def adapt_retune(self, machine: str, *, trigger: str = "manual") -> dict[str, Any]:
+        """Backtest candidate models for one machine (protocol v8)."""
+        return self._result(
+            self.request("adapt_retune", {"machine": machine, "trigger": trigger})
+        )
+
+    def adapt_promote(self, machine: str, *, force: bool = False) -> dict[str, Any]:
+        """Promote the machine's shadow challenger (protocol v8)."""
+        return self._result(
+            self.request("adapt_promote", {"machine": machine, "force": force})
+        )
+
 
 class AsyncServeClient(_ConvenienceOps):
     """Asyncio JSON-lines client over one TCP connection.
@@ -661,3 +678,24 @@ class AsyncServeClient(_ConvenienceOps):
     async def jobs(self) -> dict[str, Any]:
         """All job records plus scheduler stats (protocol v5)."""
         return self._result(await self.request("jobs"))
+
+    async def adapt_status(self, machine: str | None = None) -> dict[str, Any]:
+        """Self-healing adapt tier state (protocol v8)."""
+        params = {} if machine is None else {"machine": machine}
+        return self._result(await self.request("adapt_status", params))
+
+    async def adapt_retune(
+        self, machine: str, *, trigger: str = "manual"
+    ) -> dict[str, Any]:
+        """Backtest candidate models for one machine (protocol v8)."""
+        return self._result(
+            await self.request("adapt_retune", {"machine": machine, "trigger": trigger})
+        )
+
+    async def adapt_promote(
+        self, machine: str, *, force: bool = False
+    ) -> dict[str, Any]:
+        """Promote the machine's shadow challenger (protocol v8)."""
+        return self._result(
+            await self.request("adapt_promote", {"machine": machine, "force": force})
+        )

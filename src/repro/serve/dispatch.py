@@ -60,7 +60,13 @@ from repro.serve.protocol import (
 )
 from repro.traces.trace import MachineTrace
 
-__all__ = ["DispatchConfig", "Dispatcher", "DeadlineExceeded", "SchedulerDisabled"]
+__all__ = [
+    "DispatchConfig",
+    "Dispatcher",
+    "DeadlineExceeded",
+    "SchedulerDisabled",
+    "AdaptDisabled",
+]
 
 
 class DeadlineExceeded(Exception):
@@ -69,6 +75,10 @@ class DeadlineExceeded(Exception):
 
 class SchedulerDisabled(RuntimeError):
     """A v5 scheduling op reached a node running without a JobManager."""
+
+
+class AdaptDisabled(RuntimeError):
+    """A v8 adapt op reached a node running without an AdaptController."""
 
 
 @dataclass(frozen=True)
@@ -147,6 +157,7 @@ class Dispatcher:
         *,
         audit: Any | None = None,
         sched: Any | None = None,
+        adapt: Any | None = None,
     ) -> None:
         self.service = service
         self.config = config or DispatchConfig()
@@ -155,6 +166,8 @@ class Dispatcher:
         self.audit = audit
         #: Optional JobManager answering the v5 scheduling ops.
         self.sched = sched
+        #: Optional AdaptController closing the audit's alarm loop (v8).
+        self.adapt = adapt
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_workers, thread_name_prefix="repro-serve"
         )
@@ -186,6 +199,9 @@ class Dispatcher:
             "jobs": self._op_jobs,
             "replace": self._op_replace,
             "job_put": self._op_job_put,
+            "adapt_status": self._op_adapt_status,
+            "adapt_retune": self._op_adapt_retune,
+            "adapt_promote": self._op_adapt_promote,
         }
 
     # ------------------------------------------------------------------ #
@@ -435,8 +451,18 @@ class Dispatcher:
         window, dtype = _parse_window(params)
         init_state = _parse_init_state(params)
         tr = self.service.predict(machine, window, dtype, init_state=init_state)
-        self._journal("predict", machine, window, dtype, tr, init_state)
-        return {"machine": machine, "tr": tr}
+        if self.adapt is None:
+            self._journal("predict", machine, window, dtype, tr, init_state)
+            return {"machine": machine, "tr": tr}
+        # The adapt tier may substitute the calibrated fallback; what is
+        # journaled (and therefore scored) is what the client received.
+        served, source = self._adapt_serve(machine, window, dtype, tr)
+        self._journal("predict", machine, window, dtype, served, init_state)
+        self._adapt_shadow("predict", machine, window, dtype, init_state)
+        result = {"machine": machine, "tr": served}
+        if source != "model":
+            result["source"] = source
+        return result
 
     def _parse_machines(self, params: Mapping[str, Any]) -> list[str] | None:
         """The validated ``machines`` list of a fleet op (None = all).
@@ -652,7 +678,7 @@ class Dispatcher:
         return self.audit.quality(machine=None if machine is None else str(machine))
 
     def _op_health(self, params: Mapping[str, Any]) -> dict[str, Any]:
-        return {
+        health = {
             "status": "draining" if self.closing else "ok",
             "protocol_version": PROTOCOL_VERSION,
             "machines": len(self.service),
@@ -663,6 +689,9 @@ class Dispatcher:
             "sched": self.sched is not None,
             "uptime_seconds": time.monotonic() - self._started,
         }
+        if self.adapt is not None:
+            health["adapt"] = True
+        return health
 
     # -- scheduling ops (protocol v5) ------------------------------------ #
 
@@ -722,6 +751,74 @@ class Dispatcher:
         sched = self._require_sched()
         return sched.adopt(_require(params, "record"))
 
+    # -- self-healing adapt ops (protocol v8) ----------------------------- #
+
+    def _require_adapt(self) -> Any:
+        if self.adapt is None:
+            raise AdaptDisabled(
+                "this node runs without an AdaptController (serve without "
+                "--adapt); adapt ops are unavailable"
+            )
+        return self.adapt
+
+    def _op_adapt_status(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Adapt-tier state; answers even when the tier is disabled so
+        the cluster router can scatter it to mixed fleets."""
+        if self.adapt is None:
+            return {"enabled": False}
+        machine = params.get("machine")
+        return self.adapt.status(None if machine is None else str(machine))
+
+    def _op_adapt_retune(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        adapt = self._require_adapt()
+        machine = str(_require(params, "machine"))
+        if machine not in self.service:
+            raise ProtocolError(f"machine {machine!r} is not registered")
+        return adapt.retune(machine, trigger=str(params.get("trigger", "manual")))
+
+    def _op_adapt_promote(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        adapt = self._require_adapt()
+        machine = str(_require(params, "machine"))
+        if machine not in self.service:
+            raise ProtocolError(f"machine {machine!r} is not registered")
+        return adapt.promote(machine, force=bool(params.get("force", False)))
+
+    def _adapt_serve(
+        self, machine: str, window: ClockWindow, dtype: DayType, tr: float
+    ) -> tuple[float, str]:
+        """Let the adapt tier substitute the calibrated fallback.
+
+        A bug in the fallback path must never fail the predict the
+        client is waiting on: serve the model value instead.
+        """
+        try:
+            return self.adapt.serve_value(machine, window, dtype, tr)
+        except Exception as exc:
+            get_event_log().emit(
+                "adapt_error", severity="error", op="serve_value",
+                machine=machine, error=f"{type(exc).__name__}: {exc}",
+            )
+            return tr, "model"
+
+    def _adapt_shadow(
+        self,
+        op: str,
+        machine: str,
+        window: ClockWindow,
+        dtype: DayType,
+        init_state: State | None,
+    ) -> None:
+        """Journal the challenger's shadow prediction, if one is trialing."""
+        try:
+            self.adapt.observe_served(
+                op, machine, window, dtype, init_state=init_state
+            )
+        except Exception as exc:
+            get_event_log().emit(
+                "adapt_error", severity="error", op="shadow",
+                machine=machine, error=f"{type(exc).__name__}: {exc}",
+            )
+
     # -- audit plumbing -------------------------------------------------- #
 
     def _journal(
@@ -761,9 +858,21 @@ class Dispatcher:
         if self.audit is None:
             return
         try:
-            self.audit.observe_ingest(machine, history)
+            resolutions = self.audit.observe_ingest(machine, history)
         except Exception as exc:
             get_event_log().emit(
                 "audit_error", severity="error", op="resolve",
+                machine=machine, error=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        if self.adapt is None:
+            return
+        try:
+            # Resolutions feed the champion/challenger trial and — via
+            # the drift detector's per-machine alarms — auto-retunes.
+            self.adapt.on_ingest(machine, history, resolutions)
+        except Exception as exc:
+            get_event_log().emit(
+                "adapt_error", severity="error", op="on_ingest",
                 machine=machine, error=f"{type(exc).__name__}: {exc}",
             )

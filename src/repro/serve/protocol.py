@@ -85,7 +85,14 @@ __all__ = [
 #:     optional sub-horizon TRs).  Replaces N scalar predicts for
 #:     rank/select-style consumers; a v6-or-older client sending either
 #:     gets the structured unsupported-version error.
-PROTOCOL_VERSION = 7
+#: v8: adds the self-healing adapt ops — ``adapt_status`` (per-machine
+#:     retune/trial/fallback state; the router scatter-merges it),
+#:     ``adapt_retune`` (backtest the candidate grid for one machine and
+#:     open a shadow trial when a candidate wins) and ``adapt_promote``
+#:     (install the machine's challenger; margin-gated unless forced).
+#:     A v7-or-older client sending any of them gets the structured
+#:     unsupported-version error.
+PROTOCOL_VERSION = 8
 
 #: The op set introduced by each protocol version.  A server validates a
 #: request's op against the *request's* version, so an old client is
@@ -108,6 +115,11 @@ OPS_BY_VERSION[5] = OPS_BY_VERSION[4] | {
 }
 OPS_BY_VERSION[6] = OPS_BY_VERSION[5] | {"tail"}
 OPS_BY_VERSION[7] = OPS_BY_VERSION[6] | {"predict_batch", "fleet_scan"}
+OPS_BY_VERSION[8] = OPS_BY_VERSION[7] | {
+    "adapt_status",
+    "adapt_retune",
+    "adapt_promote",
+}
 
 #: Versions this build can answer.
 SUPPORTED_VERSIONS: frozenset[int] = frozenset(OPS_BY_VERSION)

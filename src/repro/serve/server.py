@@ -49,10 +49,13 @@ class ServeServer:
         config: DispatchConfig | None = None,
         audit: Any | None = None,
         sched: Any | None = None,
+        adapt: Any | None = None,
     ) -> None:
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
-        self.dispatcher = Dispatcher(service, config, audit=audit, sched=sched)
+        self.dispatcher = Dispatcher(
+            service, config, audit=audit, sched=sched, adapt=adapt
+        )
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
 

@@ -70,9 +70,13 @@ class AvailabilityService:
         self.config = estimator_config or EstimatorConfig(step_multiple=10)
         self.store = store
         self._histories: dict[str, MachineTrace] = {}
+        self._max_cache_entries = max_cache_entries
         self._predictor = IncrementalPredictor(
             self.classifier, self.config, max_cache_entries=max_cache_entries
         )
+        # Per-machine model overrides (the adapt tier's promotion target):
+        # machines absent from this dict use the shared default predictor.
+        self._overrides: dict[str, IncrementalPredictor] = {}
         self._fleet = FleetPredictor(self)
 
     @classmethod
@@ -215,9 +219,57 @@ class AvailabilityService:
     def unregister(self, machine_id: str) -> None:
         """Remove a machine and its caches."""
         del self._histories[machine_id]
+        self._overrides.pop(machine_id, None)
         self._predictor.invalidate(machine_id)
         self._fleet.invalidate(machine_id)
         instrument("service_registered_machines").set(len(self._histories))
+
+    # ------------------------------------------------------------------ #
+    # per-machine model configuration
+    # ------------------------------------------------------------------ #
+
+    def predictor_for(self, machine_id: str) -> IncrementalPredictor:
+        """The predictor serving one machine (override or shared default)."""
+        return self._overrides.get(machine_id, self._predictor)
+
+    def model_config(self, machine_id: str) -> EstimatorConfig:
+        """The estimator config currently serving one machine."""
+        return self.predictor_for(machine_id).config
+
+    def model_classifier(self, machine_id: str) -> StateClassifier:
+        """The classifier currently serving one machine."""
+        return self.predictor_for(machine_id).classifier
+
+    def set_model_config(
+        self,
+        machine_id: str,
+        *,
+        estimator_config: EstimatorConfig | None = None,
+        classifier: StateClassifier | None = None,
+    ) -> None:
+        """Install (or clear) a per-machine model override.
+
+        With both arguments ``None`` the machine reverts to the shared
+        default model.  Every call invalidates the machine's incremental
+        day cache and its fleet kernel rows: fleet rows are fingerprinted
+        by history length only, so a config change *must* drop them here
+        or scans would keep serving the old hyperparameters.
+        """
+        if estimator_config is None and classifier is None:
+            self._overrides.pop(machine_id, None)
+        else:
+            self._overrides[machine_id] = IncrementalPredictor(
+                classifier or self.classifier,
+                estimator_config or self.config,
+                max_cache_entries=self._max_cache_entries,
+            )
+        self._predictor.invalidate(machine_id)
+        self._fleet.invalidate(machine_id)
+
+    @property
+    def overridden_machines(self) -> list[str]:
+        """Machines currently served by a per-machine override."""
+        return list(self._overrides)
 
     @property
     def machine_ids(self) -> list[str]:
@@ -250,7 +302,7 @@ class AvailabilityService:
         """TR of one machine over one window."""
         t0 = time.perf_counter()
         with start_span("predict.query", "predict", machine=machine_id):
-            tr = self._predictor.predict(
+            tr = self.predictor_for(machine_id).predict(
                 self._history(machine_id), window, dtype, init_state=init_state
             )
         instrument("tr_query_latency_seconds").labels(path="service").observe(
@@ -340,7 +392,7 @@ class AvailabilityService:
     ) -> TrInterval:
         """Bootstrap confidence interval for one machine's TR."""
         return bootstrap_tr(
-            self._predictor.estimator,
+            self.predictor_for(machine_id).estimator,
             self._history(machine_id),
             window,
             dtype,
@@ -371,7 +423,8 @@ class AvailabilityService:
             clock = start
             if dtype is None:
                 raise ValueError("a ClockWindow requires an explicit day type")
-        kernel = self._predictor.kernel(history, clock, dtype)
-        init = self._predictor.typical_initial_state(history, clock, dtype)
+        predictor = self.predictor_for(machine_id)
+        kernel = predictor.kernel(history, clock, dtype)
+        init = predictor.typical_initial_state(history, clock, dtype)
         profile = temporal_reliability_profile(kernel, init)
         return max_reliable_horizon(profile, kernel.step, tr_threshold)

@@ -1,0 +1,393 @@
+"""AdaptController: the alarm -> retune -> shadow -> promote loop."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.adapt import AdaptConfig, AdaptController, merge_adapt_status
+from repro.adapt.controller import _MachineAdapt
+from repro.adapt.planner import CandidateConfig
+from repro.audit import AuditConfig, PredictionAudit
+from repro.audit.audit import SHADOW_OP_PREFIX
+from repro.core.online import IncrementalPredictor
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow, DayType
+from repro.service import AvailabilityService
+from repro.traces.trace import MachineTrace
+
+PERIOD = 300.0
+CLOCK = ClockWindow.from_hours(1.0, 2.0)
+
+
+def steady_trace(mid="m0", n_days=12):
+    n = int(n_days * SECONDS_PER_DAY / PERIOD)
+    return MachineTrace(
+        mid, 0.0, PERIOD, np.full(n, 0.05), np.full(n, 400.0),
+        np.ones(n, dtype=bool),
+    )
+
+
+def shifted_trace(mid="m0", n_days=14, shift_day=8):
+    """A daily 9am outage that stops at ``shift_day`` (regime shift).
+
+    A model trained on the full history keeps predicting the outage; a
+    short training window sees only the clean post-shift days and wins
+    the walk-forward backtest on them.
+    """
+    n_per_day = int(SECONDS_PER_DAY / PERIOD)
+    load = np.full(n_days * n_per_day, 0.05)
+    i0 = int(9.0 * 3600 / PERIOD)
+    for day in range(0, shift_day):
+        load[day * n_per_day + i0 : day * n_per_day + i0 + 24] = 0.95
+    return MachineTrace(mid, 0.0, PERIOD, load, np.full(load.shape, 400.0))
+
+
+def make_stack(trace=None, config=None):
+    service = AvailabilityService()
+    service.register(trace if trace is not None else steady_trace())
+    audit = PredictionAudit(
+        AuditConfig(node_id="t0"),
+        classifier=service.classifier,
+        step_multiple=service.config.step_multiple,
+    )
+    controller = AdaptController(
+        service, audit,
+        config or AdaptConfig(min_eval=2, hysteresis=2, promote_margin=0.01),
+    )
+    return service, audit, controller
+
+
+def open_trial(controller, mid, challenger=None):
+    """Install a shadow trial directly, bypassing the backtest gate."""
+    challenger = challenger or CandidateConfig(history_days=3)
+    st = controller._machines.setdefault(mid, _MachineAdapt())
+    st.state = "shadowing"
+    st.trial = controller.harness.start(
+        mid, challenger,
+        IncrementalPredictor(
+            challenger.classifier(controller.service.classifier),
+            challenger.estimator_config(controller.service.config),
+        ),
+        backtest_brier=0.1,
+    )
+    return st
+
+
+def feed_trial(controller, st, *, champion_p, challenger_p, outcome, n):
+    for _ in range(n):
+        controller.harness.record(
+            st.trial, shadow=False, probability=champion_p, outcome=outcome
+        )
+        controller.harness.record(
+            st.trial, shadow=True, probability=challenger_p, outcome=outcome
+        )
+
+
+class TestConstruction:
+    def test_requires_an_audit(self):
+        service = AvailabilityService()
+        with pytest.raises(ValueError, match="audit"):
+            AdaptController(service, None)
+
+    def test_status_shape_when_idle(self):
+        _svc, _audit, controller = make_stack()
+        status = controller.status()
+        assert status["enabled"] is True
+        assert status["retunes"] == 0
+        assert status["shadowing"] == 0
+        assert status["overrides"] == []
+        assert status["machines"] == {}
+        # Scoping to an unknown machine reports it as stable.
+        scoped = controller.status("m0")
+        assert scoped["machines"]["m0"] == {"state": "stable", "override": False}
+
+
+class TestRetune:
+    def test_real_retune_opens_a_trial_after_a_shift(self):
+        config = AdaptConfig(
+            holdout_days=4,
+            eval_start_hours=(1.0, 8.5, 14.0),
+            candidate_history_days=(None, 3),
+            candidate_day_type_split=(True,),
+            candidate_thresholds=((0.20, 0.60),),
+            retune_min_gain=0.001,
+        )
+        _svc, _audit, controller = make_stack(shifted_trace(), config)
+        summary = controller.retune("m0", trigger="manual")
+        assert summary["trigger"] == "manual"
+        assert summary["trial_opened"] is True
+        assert summary["best"]["candidate"]["history_days"] == 3
+        assert summary["improvement"] > 0
+        status = controller.status()
+        assert status["retunes"] == 1
+        assert status["shadowing"] == 1
+        assert status["machines"]["m0"]["state"] == "shadowing"
+        assert "trial" in status["machines"]["m0"]
+
+    def test_retune_without_a_winner_stays_stable(self):
+        config = AdaptConfig(
+            holdout_days=4,
+            eval_start_hours=(1.0, 14.0),
+            candidate_history_days=(None, 7),
+            candidate_day_type_split=(True,),
+            candidate_thresholds=((0.20, 0.60),),
+        )
+        _svc, _audit, controller = make_stack(steady_trace(), config)
+        summary = controller.retune("m0")
+        assert summary["trial_opened"] is False
+        assert controller.status()["shadowing"] == 0
+
+    def test_retune_while_shadowing_does_not_reopen(self):
+        config = AdaptConfig(
+            holdout_days=4,
+            eval_start_hours=(1.0, 8.5, 14.0),
+            candidate_history_days=(None, 3),
+            candidate_day_type_split=(True,),
+            candidate_thresholds=((0.20, 0.60),),
+            retune_min_gain=0.001,
+        )
+        _svc, _audit, controller = make_stack(shifted_trace(), config)
+        controller.retune("m0")
+        first_trial = controller._machines["m0"].trial
+        controller.retune("m0")
+        assert controller._machines["m0"].trial is first_trial
+        assert controller.status()["retunes"] == 2
+
+
+class TestPromotion:
+    def test_no_trial_in_flight(self):
+        _svc, _audit, controller = make_stack()
+        out = controller.promote("m0")
+        assert out == {
+            "machine": "m0", "promoted": False, "reason": "no trial in flight",
+        }
+
+    def test_not_comparable_until_min_eval(self):
+        _svc, _audit, controller = make_stack()
+        open_trial(controller, "m0")
+        out = controller.promote("m0")
+        assert out["promoted"] is False
+        assert "not comparable" in out["reason"]
+
+    def test_margin_below_required(self):
+        _svc, _audit, controller = make_stack()
+        st = open_trial(controller, "m0")
+        feed_trial(controller, st, champion_p=0.9, challenger_p=0.9,
+                   outcome=True, n=3)
+        out = controller.promote("m0")
+        assert out["promoted"] is False
+        assert "margin" in out["reason"]
+
+    def test_margin_met_installs_override_and_resets_drift(self):
+        service, audit, controller = make_stack()
+        # Pretend the drift detector had latched this machine.
+        audit.drift._machine_state("m0").degraded = True
+        assert audit.drift.machine_degraded("m0")
+        st = open_trial(controller, "m0")
+        feed_trial(controller, st, champion_p=0.5, challenger_p=0.95,
+                   outcome=True, n=3)
+        out = controller.promote("m0")
+        assert out["promoted"] is True
+        assert out["forced"] is False
+        assert out["challenger"]["history_days"] == 3
+        assert "m0" in service.overridden_machines
+        assert service.model_config("m0").history_days == 3
+        # Promotion wipes the machine's drift slate (satellite: the new
+        # model must not be judged against the old model's statistics).
+        assert not audit.drift.machine_degraded("m0")
+        status = controller.status()["machines"]["m0"]
+        assert status["state"] == "stable"
+        assert status["promotions"] == 1
+        assert status["cooldown"] == controller.config.cooldown_resolutions
+        assert status["override"] is True
+
+    def test_forced_promotion_skips_the_margin(self):
+        service, _audit, controller = make_stack()
+        open_trial(controller, "m0")
+        out = controller.promote("m0", force=True)
+        assert out["promoted"] is True
+        assert out["forced"] is True
+        assert "m0" in service.overridden_machines
+
+
+class TestShadowing:
+    def test_observe_served_journals_a_shadow_prediction(self):
+        _svc, audit, controller = make_stack()
+        st = open_trial(controller, "m0")
+        controller.observe_served("predict", "m0", CLOCK, DayType.WEEKDAY)
+        shadows = [
+            r for r in audit.journal.predictions.values()
+            if r.op == SHADOW_OP_PREFIX
+        ]
+        assert len(shadows) == 1
+        assert st.trial.shadow_journaled == 1
+
+    def test_stable_machines_and_other_ops_are_ignored(self):
+        _svc, audit, controller = make_stack()
+        controller.observe_served("predict", "m0", CLOCK, DayType.WEEKDAY)
+        open_trial(controller, "m0")
+        controller.observe_served("horizon", "m0", CLOCK, DayType.WEEKDAY)
+        assert audit.journal.n_predictions == 0
+
+    def test_on_ingest_feeds_arms_and_promotes_with_hysteresis(self):
+        _svc, audit, controller = make_stack()
+        st = open_trial(controller, "m0")
+        history = controller.service._history("m0")
+
+        def resolved_batch(n):
+            out = []
+            for op, p in ((("predict"), 0.5), ((SHADOW_OP_PREFIX), 0.95)):
+                for _ in range(n):
+                    record = audit.record_prediction(
+                        op, "m0", CLOCK, DayType.WEEKDAY, p,
+                        history_end=history.end_time,
+                    )
+                    out.append(SimpleNamespace(
+                        seq=record.seq, probability=p, outcome="available",
+                    ))
+            return out
+
+        controller.on_ingest("m0", history, resolved_batch(2))
+        assert st.trial.wins == 1
+        assert controller.status()["promotions"] == 0
+        controller.on_ingest("m0", history, resolved_batch(2))
+        # hysteresis=2: the second winning evaluation promotes.
+        assert controller.status()["promotions"] == 1
+        assert controller._machines["m0"].state == "stable"
+
+    def test_excluded_resolutions_do_not_feed_the_trial(self):
+        _svc, audit, controller = make_stack()
+        st = open_trial(controller, "m0")
+        history = controller.service._history("m0")
+        controller.on_ingest(
+            "m0", history,
+            [SimpleNamespace(seq=999, probability=0.5, outcome="excluded")],
+        )
+        assert st.trial.resolutions == 0
+
+
+class TestAutoRetune:
+    def test_alarm_triggers_a_retune(self, monkeypatch):
+        _svc, audit, controller = make_stack()
+        audit.drift._machine_state("m0").degraded = True
+        calls = []
+        monkeypatch.setattr(
+            controller, "retune",
+            lambda machine, trigger="manual": calls.append((machine, trigger)),
+        )
+        history = controller.service._history("m0")
+        controller.on_ingest(
+            "m0", history,
+            [SimpleNamespace(seq=1, probability=0.5, outcome="available")],
+        )
+        assert calls == [("m0", "alarm")]
+
+    def test_cooldown_suppresses_auto_retunes_until_it_drains(self, monkeypatch):
+        _svc, audit, controller = make_stack()
+        audit.drift._machine_state("m0").degraded = True
+        st = controller._machines.setdefault("m0", _MachineAdapt())
+        st.cooldown = 3
+        calls = []
+        monkeypatch.setattr(
+            controller, "retune",
+            lambda machine, trigger="manual": calls.append(trigger),
+        )
+        history = controller.service._history("m0")
+        batch = [
+            SimpleNamespace(seq=i, probability=0.5, outcome="available")
+            for i in range(2)
+        ]
+        controller.on_ingest("m0", history, batch)   # cooldown 3 -> 1
+        assert st.cooldown == 1
+        assert calls == []
+        controller.on_ingest("m0", history, batch)   # cooldown 1 -> 0, returns
+        assert st.cooldown == 0
+        assert calls == []
+        controller.on_ingest("m0", history, batch)   # cooldown drained: retune
+        assert calls == ["alarm"]
+
+    def test_auto_disabled_never_retunes(self, monkeypatch):
+        _svc, audit, controller = make_stack(
+            config=AdaptConfig(auto=False)
+        )
+        audit.drift._machine_state("m0").degraded = True
+        monkeypatch.setattr(
+            controller, "retune",
+            lambda *a, **k: pytest.fail("auto retune fired with auto=False"),
+        )
+        controller.on_ingest(
+            "m0", controller.service._history("m0"),
+            [SimpleNamespace(seq=1, probability=0.5, outcome="available")],
+        )
+
+
+class TestFallback:
+    def test_miscalibrated_trial_machine_serves_the_baseline(self):
+        _svc, audit, controller = make_stack()
+        open_trial(controller, "m0")
+        # Load the machine's audit window with badly miscalibrated pairs.
+        for _ in range(30):
+            audit.scoreboard.record("m0", 0.9, False)
+        value, source = controller.serve_value("m0", CLOCK, DayType.WEEKDAY, 0.42)
+        assert source == "fallback"
+        assert 0.0 <= value <= 1.0
+        # The steady trace never fails, so the empirical baseline is ~1.
+        assert value == pytest.approx(1.0, abs=1e-6)
+        entry = controller.status()["machines"]["m0"]
+        assert entry["fallback_active"] is True
+        assert entry["fallback_served"] == 1
+
+    def test_stable_machine_always_serves_the_model(self):
+        _svc, audit, controller = make_stack()
+        for _ in range(30):
+            audit.scoreboard.record("m0", 0.9, False)
+        value, source = controller.serve_value("m0", CLOCK, DayType.WEEKDAY, 0.42)
+        assert (value, source) == (0.42, "model")
+
+    def test_well_calibrated_trial_machine_serves_the_model(self):
+        _svc, audit, controller = make_stack()
+        open_trial(controller, "m0")
+        for _ in range(30):
+            audit.scoreboard.record("m0", 0.95, True)
+        value, source = controller.serve_value("m0", CLOCK, DayType.WEEKDAY, 0.42)
+        assert (value, source) == (0.42, "model")
+
+    def test_fallback_disabled_by_config(self):
+        _svc, audit, controller = make_stack(
+            config=AdaptConfig(fallback_ece_floor=None)
+        )
+        open_trial(controller, "m0")
+        for _ in range(30):
+            audit.scoreboard.record("m0", 0.9, False)
+        assert controller.fallback is None
+        value, source = controller.serve_value("m0", CLOCK, DayType.WEEKDAY, 0.42)
+        assert (value, source) == (0.42, "model")
+
+
+class TestMergeAdaptStatus:
+    def test_all_disabled(self):
+        assert merge_adapt_status([{"enabled": False}, {}]) == {"enabled": False}
+
+    def test_counters_sum_and_overrides_union(self):
+        merged = merge_adapt_status([
+            {
+                "enabled": True, "auto": True, "retunes": 2, "promotions": 1,
+                "abandoned": 0, "shadowing": 1, "overrides": ["a", "b"],
+                "machines": {"a": {"retunes": 2, "state": "shadowing"}},
+            },
+            {"enabled": False},
+            {
+                "enabled": True, "auto": False, "retunes": 1, "promotions": 0,
+                "abandoned": 2, "shadowing": 0, "overrides": ["b", "c"],
+                "machines": {"a": {"retunes": 1, "state": "stable"}},
+            },
+        ])
+        assert merged["enabled"] is True
+        assert merged["auto"] is True
+        assert merged["retunes"] == 3
+        assert merged["promotions"] == 1
+        assert merged["abandoned"] == 2
+        assert merged["shadowing"] == 1
+        assert merged["overrides"] == ["a", "b", "c"]
+        # The entry that saw the most retunes is authoritative.
+        assert merged["machines"]["a"]["state"] == "shadowing"

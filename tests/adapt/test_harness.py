@@ -1,0 +1,122 @@
+"""Champion/challenger verdicts: margin gate, hysteresis, abandonment."""
+
+from repro.adapt.harness import (
+    VERDICT_ABANDON,
+    VERDICT_CONTINUE,
+    VERDICT_PROMOTE,
+    ChampionChallenger,
+)
+from repro.adapt.planner import CandidateConfig
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import EstimatorConfig
+from repro.core.online import IncrementalPredictor
+
+
+def make_harness(**kwargs):
+    defaults = dict(
+        min_eval=3, promote_margin=0.05, ece_slack=0.05,
+        hysteresis=2, max_trial_resolutions=40,
+    )
+    defaults.update(kwargs)
+    return ChampionChallenger(**defaults)
+
+
+def make_trial(harness):
+    return harness.start(
+        "m0",
+        CandidateConfig(history_days=7),
+        IncrementalPredictor(StateClassifier(), EstimatorConfig()),
+        backtest_brier=0.1,
+    )
+
+
+def feed(harness, trial, *, champion_p, challenger_p, outcome, n):
+    for _ in range(n):
+        harness.record(trial, shadow=False, probability=champion_p, outcome=outcome)
+        harness.record(trial, shadow=True, probability=challenger_p, outcome=outcome)
+
+
+class TestMargin:
+    def test_none_until_min_eval_on_both_arms(self):
+        harness = make_harness()
+        trial = make_trial(harness)
+        assert harness.margin(trial) is None
+        feed(harness, trial, champion_p=0.5, challenger_p=0.9, outcome=True, n=2)
+        assert harness.margin(trial) is None  # 2 < min_eval=3
+        # One more pair on the champion arm only: still not comparable.
+        harness.record(trial, shadow=False, probability=0.5, outcome=True)
+        assert harness.margin(trial) is None
+        harness.record(trial, shadow=True, probability=0.9, outcome=True)
+        margin = harness.margin(trial)
+        assert margin is not None
+        # champion (0.5-1)^2=0.25 vs challenger (0.9-1)^2=0.01
+        assert margin > 0.2
+
+    def test_verdict_continue_before_comparable(self):
+        harness = make_harness()
+        trial = make_trial(harness)
+        assert harness.evaluate(trial) == VERDICT_CONTINUE
+
+
+class TestHysteresis:
+    def test_promote_needs_consecutive_wins(self):
+        harness = make_harness(hysteresis=2)
+        trial = make_trial(harness)
+        feed(harness, trial, champion_p=0.5, challenger_p=0.95, outcome=True, n=3)
+        assert harness.evaluate(trial) == VERDICT_CONTINUE  # win 1 of 2
+        assert trial.wins == 1
+        assert harness.evaluate(trial) == VERDICT_PROMOTE   # win 2 of 2
+
+    def test_a_losing_evaluation_resets_the_streak(self):
+        harness = make_harness(hysteresis=2)
+        trial = make_trial(harness)
+        feed(harness, trial, champion_p=0.5, challenger_p=0.95, outcome=True, n=3)
+        assert harness.evaluate(trial) == VERDICT_CONTINUE
+        assert trial.wins == 1
+        # Challenger takes a string of bad pairs: margin collapses.
+        feed(harness, trial, champion_p=0.9, challenger_p=0.1, outcome=True, n=10)
+        assert harness.evaluate(trial) == VERDICT_CONTINUE
+        assert trial.wins == 0
+
+    def test_ece_slack_blocks_a_miscalibrated_winner(self):
+        harness = make_harness(hysteresis=1, ece_slack=0.0, promote_margin=0.0)
+        trial = make_trial(harness)
+        # Champion: perfectly calibrated coin flips (Brier 0.25, ECE 0).
+        for outcome in (True, False, True, False, True, False):
+            harness.record(trial, shadow=False, probability=0.5, outcome=outcome)
+        # Challenger: lower Brier but systematically under-confident
+        # (ECE 0.1) — with zero slack the better Brier must not promote.
+        for _ in range(6):
+            harness.record(trial, shadow=True, probability=0.9, outcome=True)
+        champ = trial.champion_board.snapshot()
+        chall = trial.challenger_board.snapshot()
+        assert chall["brier"] < champ["brier"]
+        assert chall["ece"] > champ["ece"]
+        assert harness.evaluate(trial) == VERDICT_CONTINUE
+        assert trial.wins == 0
+
+
+class TestAbandon:
+    def test_abandon_at_max_resolutions_without_a_win(self):
+        harness = make_harness(max_trial_resolutions=20)
+        trial = make_trial(harness)
+        # Challenger never beats the margin; pairs keep accumulating.
+        feed(harness, trial, champion_p=0.9, challenger_p=0.9, outcome=True, n=10)
+        assert trial.resolutions == 20
+        assert harness.evaluate(trial) == VERDICT_ABANDON
+
+    def test_abandon_even_when_arms_never_became_comparable(self):
+        harness = make_harness(min_eval=100, max_trial_resolutions=10)
+        trial = make_trial(harness)
+        feed(harness, trial, champion_p=0.9, challenger_p=0.9, outcome=True, n=5)
+        assert harness.evaluate(trial) == VERDICT_ABANDON
+
+    def test_describe_reports_both_arms(self):
+        harness = make_harness()
+        trial = make_trial(harness)
+        feed(harness, trial, champion_p=0.6, challenger_p=0.8, outcome=True, n=4)
+        desc = trial.describe()
+        assert desc["champion_n"] == 4
+        assert desc["challenger_n"] == 4
+        assert desc["challenger"]["history_days"] == 7
+        assert desc["resolutions"] == 8

@@ -1,0 +1,156 @@
+"""Retune planner: walk-forward backtest, champion-anchored ranking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adapt.planner import (
+    CandidateConfig,
+    RetunePlanner,
+    default_candidates,
+)
+from repro.core.classifier import StateClassifier
+from repro.core.estimator import EstimatorConfig
+from repro.core.windows import SECONDS_PER_DAY, ClockWindow
+from repro.traces.trace import MachineTrace
+
+PERIOD = 300.0
+
+
+def steady_trace(mid="m0", n_days=12, *, fail_hour=None):
+    n_per_day = int(SECONDS_PER_DAY / PERIOD)
+    load = np.full(n_days * n_per_day, 0.05)
+    if fail_hour is not None:
+        i0 = int(fail_hour * 3600 / PERIOD)
+        for day in range(n_days):
+            load[day * n_per_day + i0 : day * n_per_day + i0 + 12] = 0.95
+    return MachineTrace(mid, 0.0, PERIOD, load, np.full(load.shape, 400.0))
+
+
+def shifted_trace(mid="m0", n_days=14, shift_day=8):
+    """A daily 9am outage that stops at ``shift_day`` (regime shift).
+
+    A model trained on the full history keeps predicting the outage; a
+    short training window sees only the clean post-shift days and wins
+    the walk-forward backtest on them.
+    """
+    n_per_day = int(SECONDS_PER_DAY / PERIOD)
+    load = np.full(n_days * n_per_day, 0.05)
+    i0 = int(9.0 * 3600 / PERIOD)
+    for day in range(0, shift_day):
+        load[day * n_per_day + i0 : day * n_per_day + i0 + 24] = 0.95
+    return MachineTrace(mid, 0.0, PERIOD, load, np.full(load.shape, 400.0))
+
+
+@pytest.fixture()
+def planner():
+    return RetunePlanner(StateClassifier(), step_multiple=5, min_eval=2)
+
+
+BASE = EstimatorConfig(step_multiple=5)
+CLOCKS = [ClockWindow.from_hours(h, 2.0) for h in (1.0, 8.5, 14.0)]
+
+
+class TestCandidateConfig:
+    def test_of_model_roundtrip(self):
+        classifier = StateClassifier()
+        champ = CandidateConfig.of_model(BASE, classifier)
+        assert champ.history_days == BASE.history_days
+        assert champ.day_type_split == BASE.day_type_split
+        assert champ.estimator_config(BASE) == BASE
+        # The same thresholds reuse the base classifier object outright.
+        assert champ.classifier(classifier) is classifier
+
+    def test_classifier_rebuilt_for_new_thresholds(self):
+        classifier = StateClassifier()
+        cand = CandidateConfig(th1=0.10, th2=0.50)
+        built = cand.classifier(classifier)
+        assert built is not classifier
+        assert built.config.thresholds.th1 == 0.10
+        assert built.config.thresholds.th2 == 0.50
+
+    def test_default_candidates_dedup_champion(self):
+        champ = CandidateConfig(None, True, 0.20, 0.60)
+        pool = default_candidates(champ)
+        # The champion coincides with a grid point: it must appear once.
+        assert pool.count(champ) == 1
+        assert len(pool) == len(set(pool))
+        assert pool[0] == champ
+
+
+class TestScoring:
+    def test_eval_points_labeled_by_judge(self, planner):
+        history = steady_trace(fail_hour=9.0)
+        points = planner.eval_points(history, CLOCKS, holdout_days=3)
+        assert points
+        by_clock = {}
+        for day, clock, outcome in points:
+            by_clock.setdefault(clock.start_hour, set()).add(outcome)
+        # The 9am outage sits inside the 8.5h window on every day.
+        assert by_clock[8.5] == {False}
+        assert by_clock[1.0] == {True}
+
+    def test_walk_forward_never_trains_on_the_eval_day(self, planner):
+        history = steady_trace(n_days=10)
+        points = planner.eval_points(history, CLOCKS, holdout_days=3)
+        seen_days = {day for day, _c, _y in points}
+        assert seen_days  # holdout days exist...
+        assert min(seen_days) > history.days(None)[0]  # ...after training data
+
+    def test_infinite_score_when_too_few_points(self, planner):
+        history = steady_trace(n_days=2)
+        score = planner.score(
+            history, CandidateConfig(), [],
+            base_config=BASE, base_classifier=StateClassifier(),
+        )
+        assert math.isinf(score.brier)
+        assert score.describe()["brier"] is None
+
+
+class TestSearch:
+    def test_short_window_wins_after_regime_shift(self, planner):
+        history = shifted_trace()
+        plan = planner.search(
+            "m0", history,
+            base_config=BASE, base_classifier=StateClassifier(),
+            clocks=CLOCKS, holdout_days=4,
+            candidates=[
+                CandidateConfig(None, True, 0.20, 0.60),   # champion: all history
+                CandidateConfig(3, True, 0.20, 0.60),      # post-shift only
+            ],
+        )
+        assert plan.best is not None
+        assert plan.best.candidate.history_days == 3
+        assert plan.improvement > 0
+
+    def test_ties_break_toward_champion(self, planner):
+        # On an unshifted machine every window choice scores identically,
+        # so the champion must rank first and improvement must be zero.
+        history = steady_trace()
+        plan = planner.search(
+            "m0", history,
+            base_config=BASE, base_classifier=StateClassifier(),
+            clocks=CLOCKS, holdout_days=3,
+            candidates=[
+                CandidateConfig(None, True, 0.20, 0.60),
+                CandidateConfig(7, True, 0.20, 0.60),
+            ],
+        )
+        champion = CandidateConfig.of_model(BASE, StateClassifier())
+        assert plan.best.candidate == champion
+        assert plan.improvement == 0.0
+
+    def test_describe_is_json_shaped(self, planner):
+        plan = planner.search(
+            "m0", steady_trace(),
+            base_config=BASE, base_classifier=StateClassifier(),
+            clocks=CLOCKS, holdout_days=3,
+        )
+        desc = plan.describe()
+        assert desc["machine"] == "m0"
+        assert desc["champion"] is not None
+        assert len(desc["candidates"]) == len(plan.scores)
+        import json
+
+        json.dumps(desc)  # strictly serializable

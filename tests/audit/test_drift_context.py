@@ -1,0 +1,124 @@
+"""Regression: alarms carry model-clock context; promotions reset drift.
+
+An operator (or the retune planner) lining an alarm up against the
+trace needs the alarm's position on the *model clock* — the resolved
+window's end time, its sample slot, its day index — not the wall time
+the resolution happened to be processed at.  And after a promotion the
+machine's Page-Hinkley test must restart: the new model answers from
+different statistics, so judging it against the old model's error mean
+would re-alarm spuriously (or mask a real regression).
+"""
+
+from repro.audit import AuditConfig, DriftConfig, PredictionAudit
+from repro.audit.drift import DriftDetector
+from repro.core.windows import SECONDS_PER_DAY, day_index
+
+PERIOD = 300.0
+
+SENSITIVE = DriftConfig(
+    min_samples=3,
+    brier_threshold=None,
+    ece_threshold=None,
+    ph_delta=0.0,
+    ph_lambda=0.05,
+)
+
+
+def alarm_machine(detector, machine, *, start_time, n=8):
+    """Feed a clean stream, then one large error that trips the alarm.
+
+    Stops right at the alarm: further constant errors would not cross
+    the (reset) Page-Hinkley test again and the healthy streak would
+    clear the latch.
+    """
+    t = start_time
+    for error in [0.0] * n + [1.0]:
+        detector.update(
+            error, {"n": 100, "brier": 0.1, "ece": 0.05},
+            machine=machine, model_time=t, sample_period=PERIOD,
+        )
+        t += PERIOD
+    return t
+
+
+class TestAlarmClockContext:
+    def test_machine_alarm_records_slot_time_and_day(self):
+        detector = DriftDetector(SENSITIVE)
+        start = 3 * SECONDS_PER_DAY + 7 * 3600.0
+        alarm_machine(detector, "m0", start_time=start)
+
+        status = detector.status()
+        assert "m0" in status["machines"]
+        last = status["machines"]["m0"]["last_alarm"]
+        assert last["reason"] == "page_hinkley"
+        assert last["machine"] == "m0"
+        assert last["model_time"] is not None
+        assert last["slot"] == int(last["model_time"] // PERIOD)
+        assert last["day"] == day_index(last["model_time"])
+        assert last["day"] == 3
+        # The alarm fired inside the fed range, not at a wall-clock stamp.
+        assert start <= last["model_time"] < start + 9 * PERIOD
+
+    def test_aggregate_alarm_carries_the_same_context(self):
+        detector = DriftDetector(SENSITIVE)
+        alarm_machine(detector, "m0", start_time=10 * SECONDS_PER_DAY)
+        last = detector.status()["last_alarm"]
+        assert last is not None
+        assert last["day"] == 10
+        assert last["slot"] == int(last["model_time"] // PERIOD)
+
+    def test_context_is_none_safe_without_a_model_time(self):
+        detector = DriftDetector(SENSITIVE)
+        for error in [0.0] * 4 + [1.0] * 6:
+            detector.update(error, {"n": 100}, machine="m0")
+        last = detector.status()["machines"]["m0"]["last_alarm"]
+        assert last["model_time"] is None
+        assert last["slot"] is None
+        assert last["day"] is None
+
+    def test_quality_snapshot_exposes_the_alarm_context(self):
+        """The served ``quality`` result carries the per-machine alarm."""
+        audit = PredictionAudit(AuditConfig(node_id="n0", drift=SENSITIVE))
+        try:
+            alarm_machine(audit.drift, "m0", start_time=5 * SECONDS_PER_DAY)
+            quality = audit.quality()
+        finally:
+            audit.close()
+        machines = quality["drift"]["machines"]
+        assert machines["m0"]["degraded"] is True
+        last = machines["m0"]["last_alarm"]
+        assert last["day"] == 5
+        assert last["slot"] == int(last["model_time"] // PERIOD)
+
+
+class TestResetAfterPromotion:
+    def test_reset_machine_clears_state_and_test_statistics(self):
+        detector = DriftDetector(SENSITIVE)
+        t = alarm_machine(detector, "m0", start_time=0.0)
+        assert detector.machine_degraded("m0")
+
+        detector.reset_machine("m0")
+        assert not detector.machine_degraded("m0")
+        assert "m0" not in detector.status()["machines"]
+
+        # Post-promotion errors start a fresh Page-Hinkley: a healthy
+        # stream does NOT re-alarm against the old error mean.
+        for _ in range(10):
+            detector.update(
+                0.0, {"n": 100}, machine="m0",
+                model_time=t, sample_period=PERIOD,
+            )
+            t += PERIOD
+        assert not detector.machine_degraded("m0")
+        assert "m0" not in detector.status()["machines"]
+
+    def test_reset_is_scoped_to_one_machine(self):
+        detector = DriftDetector(SENSITIVE)
+        alarm_machine(detector, "m0", start_time=0.0)
+        alarm_machine(detector, "m1", start_time=0.0)
+        detector.reset_machine("m0")
+        assert not detector.machine_degraded("m0")
+        assert detector.machine_degraded("m1")
+
+    def test_reset_of_an_unknown_machine_is_a_no_op(self):
+        DriftDetector(SENSITIVE).reset_machine("ghost")

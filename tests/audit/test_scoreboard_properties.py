@@ -1,0 +1,147 @@
+"""Property tests for the scoreboard's mergeable sufficient statistics.
+
+The cluster router leans entirely on one invariant: per-bin sufficient
+statistics ``(count, sum_pred, sum_out, sum_sq_err)`` can be summed
+across nodes in any order and still derive exactly the metrics of the
+pooled raw pairs.  Hypothesis drives arbitrary pair sets through
+``merge_bins`` / ``merge_machine_snapshots`` and checks
+
+* order-insensitivity (a scatter's gather order is nondeterministic),
+* associativity (tree-shaped merges equal flat merges), and
+* pooled equality (merged metrics == metrics of the concatenated pairs).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.scoreboard import (
+    bins_from_pairs,
+    derive_metrics,
+    empty_bins,
+    merge_bins,
+    merge_machine_snapshots,
+)
+
+N_BINS = 10
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+pair_lists = st.lists(st.tuples(probabilities, st.booleans()), max_size=40)
+node_sets = st.lists(pair_lists, min_size=1, max_size=4)
+
+METRIC_KEYS = (
+    "brier", "brier_binned", "reliability", "resolution",
+    "uncertainty", "ece", "base_rate", "mean_prediction",
+)
+
+
+def to_bins(pairs):
+    return bins_from_pairs([p for p, _ in pairs], [y for _, y in pairs], N_BINS)
+
+
+def assert_bins_close(a, b):
+    assert len(a) == len(b)
+    for row_a, row_b in zip(a, b):
+        for x, y in zip(row_a, row_b):
+            assert x == pytest.approx(y, rel=1e-9, abs=1e-12)
+
+
+def assert_metrics_close(a, b):
+    assert a["n"] == b["n"]
+    for key in METRIC_KEYS:
+        if a[key] is None or b[key] is None:
+            assert a[key] is None and b[key] is None
+        else:
+            assert a[key] == pytest.approx(b[key], rel=1e-9, abs=1e-12)
+
+
+class TestMergeBins:
+    @settings(max_examples=60, deadline=None)
+    @given(node_sets)
+    def test_order_insensitive(self, nodes):
+        tables = [to_bins(pairs) for pairs in nodes]
+        assert_bins_close(merge_bins(tables), merge_bins(list(reversed(tables))))
+
+    @settings(max_examples=60, deadline=None)
+    @given(node_sets, node_sets)
+    def test_associative(self, left, right):
+        a = [to_bins(pairs) for pairs in left]
+        b = [to_bins(pairs) for pairs in right]
+        flat = merge_bins(a + b)
+        tree = merge_bins([merge_bins(a), merge_bins(b)])
+        assert_bins_close(flat, tree)
+
+    @settings(max_examples=100, deadline=None)
+    @given(node_sets)
+    def test_merged_metrics_equal_pooled_computation(self, nodes):
+        merged = derive_metrics(merge_bins([to_bins(pairs) for pairs in nodes]))
+        pooled = [pair for pairs in nodes for pair in pairs]
+        expected = derive_metrics(to_bins(pooled))
+        assert_metrics_close(merged, expected)
+
+    def test_identity_element(self):
+        bins = to_bins([(0.3, True), (0.8, False)])
+        assert_bins_close(merge_bins([bins, empty_bins(N_BINS)]), bins)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="widths"):
+            merge_bins([empty_bins(10), empty_bins(5)])
+
+
+class TestMergeMachineSnapshots:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["m0", "m1", "m2"]), pair_lists, max_size=3
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_per_machine_merge_equals_pooled(self, per_node_pairs):
+        per_node = []
+        for machines in per_node_pairs:
+            node = {}
+            for machine, pairs in machines.items():
+                snap = derive_metrics(to_bins(pairs))
+                snap["pending"] = len(pairs) % 3
+                node[machine] = snap
+            per_node.append(node)
+
+        merged = merge_machine_snapshots(per_node)
+
+        pooled: dict[str, list] = {}
+        pending: dict[str, int] = {}
+        for machines in per_node_pairs:
+            for machine, pairs in machines.items():
+                pooled.setdefault(machine, []).extend(pairs)
+                pending[machine] = pending.get(machine, 0) + len(pairs) % 3
+        assert set(merged) == set(pooled)
+        for machine, pairs in pooled.items():
+            assert_metrics_close(merged[machine], derive_metrics(to_bins(pairs)))
+            assert merged[machine]["pending"] == pending[machine]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.dictionaries(st.sampled_from(["a", "b"]), pair_lists,
+                                 max_size=2),
+                 min_size=1, max_size=3)
+    )
+    def test_order_insensitive(self, per_node_pairs):
+        per_node = []
+        for machines in per_node_pairs:
+            node = {}
+            for machine, pairs in machines.items():
+                snap = derive_metrics(to_bins(pairs))
+                snap["pending"] = 0
+                node[machine] = snap
+            per_node.append(node)
+        forward = merge_machine_snapshots(per_node)
+        backward = merge_machine_snapshots(list(reversed(per_node)))
+        assert set(forward) == set(backward)
+        for machine in forward:
+            assert_metrics_close(forward[machine], backward[machine])

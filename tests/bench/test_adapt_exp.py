@@ -1,0 +1,57 @@
+"""The ADAPT experiment: self-healing must actually heal.
+
+Runs the quick scale once (a few seconds) and asserts the acceptance
+criteria of the adapt tier: the injected regime shift raises an alarm,
+the alarm leads to a promotion within a finite number of days, and the
+adapt-on arm's post-recovery Brier/ECE beat the frozen adapt-off arm.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import adapt_exp
+
+
+@pytest.fixture(scope="module")
+def result():
+    return adapt_exp.run("quick")
+
+
+class TestAdaptExperiment:
+    def test_alarm_and_recovery_are_finite(self, result):
+        bench = result.bench
+        assert bench["alarm_day"] is not None
+        assert bench["recovery_day"] is not None
+        assert bench["alarm_to_recovery_days"] is not None
+        assert bench["alarm_to_recovery_days"] >= 0
+        # The alarm cannot precede the shift the experiment injected.
+        assert bench["alarm_day"] >= result.notes["shift_day"]
+
+    def test_adapt_on_beats_adapt_off_after_recovery(self, result):
+        bench = result.bench
+        assert (
+            bench["post_recovery_brier_adapt_on"]
+            < bench["post_recovery_brier_adapt_off"]
+        )
+        assert bench["final_ece_adapt_on"] < bench["final_ece_adapt_off"]
+        assert bench["adapt_recovery_speedup"] > 1.0
+
+    def test_bench_gate_keys_are_present_and_finite(self, result):
+        bench = result.bench
+        assert bench["gate_keys"] == ["adapt_recovery_speedup:higher"]
+        for key in (
+            "adapt_recovery_speedup",
+            "post_recovery_brier_adapt_on",
+            "post_recovery_brier_adapt_off",
+            "retune_wall_ms",
+        ):
+            assert math.isfinite(bench[key])
+
+    def test_table_pairs_both_arms_day_by_day(self, result):
+        table = result.tables[0]
+        phases = [row[1] for row in table.rows]
+        assert "pre" in phases and "post" in phases
+        promotions = [row[-1] for row in table.rows]
+        assert promotions == sorted(promotions)  # monotone counter
+        assert promotions[-1] >= 1

@@ -18,7 +18,7 @@ class TestRegistry:
             "fig4", "fig5", "fig6", "fig7", "fig8",
             "emp-cpu", "emp-mem", "ovh", "trace", "e2e", "ablations",
             "profiles", "char", "cal", "size", "load", "serving", "store",
-            "cluster", "audit", "sched", "ingest", "fleet",
+            "cluster", "audit", "sched", "ingest", "fleet", "adapt",
         }
 
     def test_every_entry_has_run(self):

@@ -37,13 +37,14 @@ def flat_trace(mid: str, *, load: float = 0.05, n_days: int = 6,
 class BackendThread:
     """One in-process backend: service + ServeServer on its own loop."""
 
-    def __init__(self, node_id: str, *, audit: bool = False):
+    def __init__(self, node_id: str, *, audit: bool = False,
+                 adapt: bool = False):
         self.node_id = node_id
         self.service = AvailabilityService(
             estimator_config=EstimatorConfig(step_multiple=5)
         )
         self.audit = None
-        if audit:
+        if audit or adapt:
             from repro.audit import AuditConfig, PredictionAudit
 
             self.audit = PredictionAudit(
@@ -51,10 +52,15 @@ class BackendThread:
                 classifier=self.service.classifier,
                 step_multiple=self.service.config.step_multiple,
             )
+        self.adapt = None
+        if adapt:
+            from repro.adapt import AdaptController
+
+            self.adapt = AdaptController(self.service, self.audit)
         self.loop = asyncio.new_event_loop()
         self.server = ServeServer(
             self.service, port=0, config=DispatchConfig(max_workers=2),
-            audit=self.audit,
+            audit=self.audit, adapt=self.adapt,
         )
         self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
         self.thread.start()
@@ -79,9 +85,11 @@ class ClusterHarness:
     """Three in-process backends behind one threaded router."""
 
     def __init__(self, n_nodes: int = 3, *, replicas: int = 2,
-                 audit: bool = False):
-        self.backends = {f"node-{i}": BackendThread(f"node-{i}", audit=audit)
-                         for i in range(n_nodes)}
+                 audit: bool = False, adapt: bool = False):
+        self.backends = {
+            f"node-{i}": BackendThread(f"node-{i}", audit=audit, adapt=adapt)
+            for i in range(n_nodes)
+        }
         self.router_thread = RouterThread(
             {nid: b.address for nid, b in self.backends.items()},
             RouterConfig(

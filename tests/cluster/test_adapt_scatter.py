@@ -1,0 +1,90 @@
+"""Routed ``adapt_status``: scatter to every node, merge the counters.
+
+Adapt state is per-node — each owner runs its own trials for the
+machines it serves — so the router sums the counters, unions the
+override lists, and keeps the machine entry that saw the most retunes.
+``adapt_retune``/``adapt_promote`` ride the existing write path (all R
+owners, quorum ack), so a retune lands on every owner of the machine.
+"""
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from tests.cluster.conftest import ClusterHarness, flat_trace
+
+
+@pytest.fixture()
+def adapt_harness():
+    h = ClusterHarness(audit=True, adapt=True)
+    yield h
+    h.stop()
+
+
+class TestRoutedAdaptStatus:
+    def test_merged_status_counts_every_node(self, adapt_harness):
+        h = adapt_harness
+        with ServeClient(port=h.port) as client:
+            merged = client.adapt_status()
+        assert merged["enabled"] is True
+        assert merged["shards"] == {"queried": 3, "ok": 3, "partial": False}
+        assert merged["retunes"] == 0
+        assert merged["overrides"] == []
+
+    def test_adapt_free_cluster_reports_disabled(self, harness):
+        with ServeClient(port=harness.port) as client:
+            merged = client.adapt_status()
+        assert merged["enabled"] is False
+        assert merged["shards"]["ok"] == 3
+
+    def test_scatter_survives_a_dead_node(self, adapt_harness):
+        h = adapt_harness
+        h.backends["node-1"].stop()
+        with ServeClient(port=h.port) as client:
+            merged = client.adapt_status()
+        assert merged["enabled"] is True
+        assert merged["shards"]["ok"] < merged["shards"]["queried"]
+        assert merged["shards"]["partial"] is True
+
+    def test_promotion_on_an_owner_shows_in_the_merged_view(self, adapt_harness):
+        h = adapt_harness
+        with ServeClient(port=h.port) as client:
+            client.register(flat_trace("m0", n_days=10))
+            owners = h.owners("m0")
+            backend = h.backends[owners[0]]
+
+            from tests.adapt.test_controller import open_trial
+
+            open_trial(backend.adapt, "m0")
+            backend.adapt.promote("m0", force=True)
+
+            merged = client.adapt_status()
+        assert merged["promotions"] == 1
+        assert merged["overrides"] == ["m0"]
+        # The promoting node's entry wins the per-machine union.
+        assert merged["machines"]["m0"]["promotions"] == 1
+
+
+class TestRoutedAdaptWrites:
+    def test_retune_reaches_the_machine_owners(self, adapt_harness):
+        h = adapt_harness
+        with ServeClient(port=h.port) as client:
+            client.register(flat_trace("m0", n_days=10))
+            summary = client.adapt_retune("m0")
+            merged = client.adapt_status()
+        assert summary["machine"] == "m0"
+        # Write quorum: at least ceil((R+1)/2) of the R=2 owners retuned.
+        assert merged["retunes"] >= 1
+        owners = h.owners("m0")
+        per_owner = [
+            h.backends[n].adapt.status()["machines"].get("m0", {}).get("retunes", 0)
+            for n in owners
+        ]
+        assert sum(per_owner) == merged["retunes"]
+
+    def test_retune_of_an_unregistered_machine_fails(self, adapt_harness):
+        from repro.serve.client import ServeRequestError
+
+        with ServeClient(port=adapt_harness.port) as client:
+            with pytest.raises(ServeRequestError, match="not registered"):
+                client.adapt_retune("ghost")

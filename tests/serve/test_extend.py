@@ -127,7 +127,10 @@ class TestVersionGating:
         assert min_version("tail") == 6
         assert min_version("predict_batch") == 7
         assert min_version("fleet_scan") == 7
-        assert PROTOCOL_VERSION == 7  # v7 adds the fleet batch ops
+        assert min_version("adapt_status") == 8
+        assert min_version("adapt_retune") == 8
+        assert min_version("adapt_promote") == 8
+        assert PROTOCOL_VERSION == 8  # v8 adds the adapt ops
         assert Request(op="health").to_wire()["v"] == PROTOCOL_VERSION  # default
         wire = json.loads(
             Request(op="predict", version=min_version("predict")).encode()

@@ -156,7 +156,9 @@ class TestProtocolGating:
         assert resp["status"] == "error"
         assert "requires protocol v7" in resp["error"]["message"]
 
-    def test_v7_health_reports_protocol_version(self, server):
+    def test_health_reports_current_protocol_version(self, server):
+        from repro.serve.protocol import PROTOCOL_VERSION
+
         with ServeClient(port=server.port) as client:
             health = client.health()
-        assert health["protocol_version"] == 7
+        assert health["protocol_version"] == PROTOCOL_VERSION

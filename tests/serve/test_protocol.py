@@ -50,7 +50,11 @@ class TestRequest:
         assert OPS_BY_VERSION[6] == OPS_BY_VERSION[5] | {"tail"}
         fleet_ops = {"predict_batch", "fleet_scan"}
         assert OPS_BY_VERSION[7] == OPS_BY_VERSION[6] | fleet_ops
-        assert OPS == v1 | {"extend", "quality", "tail"} | sched_ops | fleet_ops
+        adapt_ops = {"adapt_status", "adapt_retune", "adapt_promote"}
+        assert OPS_BY_VERSION[8] == OPS_BY_VERSION[7] | adapt_ops
+        assert OPS == (
+            v1 | {"extend", "quality", "tail"} | sched_ops | fleet_ops | adapt_ops
+        )
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):

@@ -1,0 +1,114 @@
+"""``audit watch`` / ``adapt watch`` against a disappearing server.
+
+A watcher is typically left running in a terminal; when the server it
+polls dies mid-watch, the command must exit non-zero and print the
+actionable unreachable-target hint — not loop printing stack traces or
+exit 0 as if the watch completed.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.serve.client import ServeRequestError
+
+from tests.serve.test_adapt_ops import adapt_server
+from tests.serve.test_quality import audited_server
+
+
+def kill_after(srv, delay):
+    timer = threading.Timer(delay, srv.stop)
+    timer.start()
+    return timer
+
+
+def watch_args(kind, port, *, count=50, interval=0.2):
+    return [
+        kind, "watch", "--port", str(port),
+        "--count", str(count), "--interval", str(interval),
+    ]
+
+
+class TestAuditWatch:
+    def test_exits_nonzero_when_no_server_listens(self, capsys):
+        # Grab a port nobody is listening on by binding and releasing it.
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        assert main(watch_args("audit", port)) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+        assert "hint:" in err
+
+    def test_exits_nonzero_when_the_server_dies_mid_watch(self, capsys):
+        srv = audited_server()
+        timer = kill_after(srv, 0.5)
+        try:
+            rc = main(watch_args("audit", srv.port))
+        finally:
+            timer.join()
+        assert rc == 1
+        out = capsys.readouterr()
+        assert "resolved" in out.out          # at least one tick printed
+        assert "cannot reach" in out.err
+        assert "hint:" in out.err
+
+    def test_refused_request_counts_as_unreachable(self, capsys, monkeypatch):
+        """A server that answers with an error (draining, shedding) is,
+        to a watcher, the same as one that disappeared."""
+        srv = audited_server()
+        try:
+            from repro.serve import client as client_mod
+            from repro.serve.protocol import Response
+
+            refused = ServeRequestError(Response.failure(
+                "w1", "shed", "DispatchError", "queue full, draining"
+            ))
+            monkeypatch.setattr(
+                client_mod.ServeClient, "quality",
+                lambda self, machine=None: (_ for _ in ()).throw(refused),
+            )
+            rc = main(watch_args("audit", srv.port, count=3))
+        finally:
+            srv.stop()
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "refused the request" in err
+        assert "hint:" in err
+
+
+class TestAdaptWatch:
+    def test_exits_nonzero_when_the_server_dies_mid_watch(self, capsys):
+        srv = adapt_server()
+        timer = kill_after(srv, 0.5)
+        try:
+            rc = main(watch_args("adapt", srv.port))
+        finally:
+            timer.join()
+        assert rc == 1
+        out = capsys.readouterr()
+        assert "retunes" in out.out           # at least one tick printed
+        assert "cannot reach" in out.err
+        assert "hint:" in out.err
+
+    def test_exits_nonzero_when_adapt_is_not_enabled(self, capsys):
+        srv = audited_server()  # audit on, adapt off
+        try:
+            rc = main(watch_args("adapt", srv.port, count=3))
+        finally:
+            srv.stop()
+        assert rc == 1
+        assert "not enabled" in capsys.readouterr().err
+
+    def test_completed_watch_exits_zero(self, capsys):
+        srv = adapt_server()
+        try:
+            rc = main(watch_args("adapt", srv.port, count=2, interval=0.05))
+        finally:
+            srv.stop()
+        assert rc == 0
+        assert capsys.readouterr().out.count("retunes") == 2
